@@ -1,0 +1,67 @@
+// Ablation A1 — the value of the KS pruning machinery inside Opt-Track:
+// Condition 1 (forget own delivery), Condition 2 (causally later write to
+// the same destination subsumes), the apply-vector gossip discharge, and the
+// §III-B distributed-write mode. Each switch is toggled independently on a
+// common workload.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+using namespace ccpr;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  causal::ProtocolOptions opts;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A1 ablation_pruning", "DESIGN.md ablation index",
+      "Opt-Track metadata under pruning ablations (n=8, q=64, p=3,\n"
+      "w_rate=0.4, 500 ops/site). 'baseline' = both conditions + gossip.");
+
+  const Variant variants[] = {
+      {"baseline", {}},
+      {"no cond1", {.prune_cond1 = false}},
+      {"no cond2", {.prune_cond2 = false}},
+      {"no cond1+2", {.prune_cond1 = false, .prune_cond2 = false}},
+      {"distributed write", {.distribute_write = true}},
+      {"paper merge (unsound)", {.aggressive_merge = true}},
+  };
+
+  util::Table table({"variant", "ctrl B/msg", "ctrl KB total",
+                     "log mean", "log peak", "space peak B"});
+  for (const Variant& v : variants) {
+    bench::RunConfig cfg;
+    cfg.alg = causal::Algorithm::kOptTrack;
+    cfg.n = 8;
+    cfg.q = 64;
+    cfg.p = 3;
+    cfg.protocol = v.opts;
+    cfg.workload.ops_per_site = 500;
+    cfg.workload.write_rate = 0.4;
+    cfg.workload.seed = 14;
+    const auto r = bench::run_workload(std::move(cfg));
+    table.row();
+    table.cell(v.name);
+    table.cell(r.metrics.control_bytes_per_message(), 1);
+    table.cell(static_cast<double>(r.metrics.control_bytes) / 1024.0, 1);
+    table.cell(r.metrics.log_entries.samples().mean(), 2);
+    table.cell(r.metrics.log_entries.peak());
+    table.cell(r.metrics.meta_state_bytes.peak());
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected shape: disabling Condition 2 roughly doubles logs,\n"
+         "bytes and space; Condition 1 matters less on this mix (gossip\n"
+         "discharges most of what it would prune). The distributed write\n"
+         "mode trades slightly larger messages for O(n^2) write time. The\n"
+         "paper-verbatim merge runs without gossip and deletes obligations\n"
+         "it cannot justify — it is not a valid size/correctness trade\n"
+         "(see merge_defect_test).\n";
+  return 0;
+}

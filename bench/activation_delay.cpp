@@ -1,0 +1,76 @@
+// Experiment E7 — §II-C / §V optimality of the activation predicate:
+// A_OPT (Full-Track, merge at read under ->co) vs A_ORG (Ahamad, merge at
+// receipt under happened-before). False causality makes A_ORG hold updates
+// for writes the application never observed; the apply-delay distribution
+// and the pending-buffer depth quantify it. Full replication isolates the
+// predicate (no remote reads).
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <memory>
+
+using namespace ccpr;
+
+namespace {
+
+struct DelayRow {
+  double p50, p99, max_us;
+  std::uint64_t pending_peak;
+};
+
+DelayRow measure(causal::Algorithm alg, double write_rate, double sigma,
+                 std::uint64_t seed) {
+  bench::RunConfig cfg;
+  cfg.alg = alg;
+  cfg.n = 8;
+  cfg.q = 64;
+  cfg.p = 8;
+  cfg.workload.ops_per_site = 400;
+  cfg.workload.write_rate = write_rate;
+  cfg.workload.dist = workload::WorkloadSpec::KeyDist::kZipf;
+  cfg.workload.zipf_theta = 0.9;
+  cfg.workload.seed = seed;
+  cfg.latency = std::make_unique<sim::LogNormalLatency>(30'000.0, sigma);
+  cfg.latency_seed = seed + 1;
+  cfg.mean_think_us = 3'000;
+  const auto r = bench::run_workload(std::move(cfg));
+  return DelayRow{r.metrics.apply_delay_us.percentile(0.5),
+                  r.metrics.apply_delay_us.percentile(0.99),
+                  r.metrics.apply_delay_us.max(),
+                  r.metrics.pending_peak};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E7 activation_delay", "paper §II-C optimal activation predicate",
+      "Apply delay (receipt -> activation) in microseconds, n=8 fully\n"
+      "replicated, zipf(0.9), log-normal WAN latency (median 30ms).\n"
+      "A_OPT = Full-Track; A_ORG = Ahamad et al. (merge at receipt).");
+
+  util::Table table({"w_rate", "lat sigma", "A_OPT p50", "A_ORG p50",
+                     "A_OPT p99", "A_ORG p99", "A_OPT maxQ", "A_ORG maxQ"});
+  for (const double w : {0.2, 0.5, 0.8}) {
+    for (const double sigma : {0.3, 0.9}) {
+      const DelayRow opt =
+          measure(causal::Algorithm::kFullTrack, w, sigma, 77);
+      const DelayRow org = measure(causal::Algorithm::kAhamad, w, sigma, 77);
+      table.row();
+      table.cell(w, 1);
+      table.cell(sigma, 1);
+      table.cell(opt.p50, 0);
+      table.cell(org.p50, 0);
+      table.cell(opt.p99, 0);
+      table.cell(org.p99, 0);
+      table.cell(opt.pending_peak);
+      table.cell(org.pending_peak);
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected shape: identical transport randomness, but A_ORG's\n"
+         "false causality inflates p99 apply delay and the pending-buffer\n"
+         "peak, increasingly so at higher write rates and latency variance.\n";
+  return 0;
+}

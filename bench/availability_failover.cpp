@@ -1,0 +1,88 @@
+// Experiment A3/§V — availability under replica failure:
+// "If a non-local read does not respond in a timeout period, then a
+// secondary process is contacted. This provides better availability in
+// light of the CAP Theorem." Measures remote-read latency with the
+// pre-designated replica failed, as a function of the failover timeout.
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <memory>
+
+using namespace ccpr;
+
+namespace {
+
+struct Result {
+  double p50_us, p99_us;
+  std::uint64_t retries;
+  std::uint64_t completed;
+};
+
+Result run_with_failure(sim::SimTime timeout_us) {
+  // Var space replicated at pairs of 6 sites; crash one replica-heavy site
+  // and read from everywhere.
+  const std::uint32_t n = 6, q = 30;
+  causal::SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::UniformLatency>(5'000, 25'000);
+  opts.latency_seed = 8;
+  opts.record_history = false;
+  opts.protocol.fetch_timeout_us = timeout_us;
+  causal::SimCluster cluster(causal::Algorithm::kOptTrack,
+                             causal::ReplicaMap::even(n, q, 2),
+                             std::move(opts));
+  // Seed every variable, then fail site 1.
+  for (causal::VarId x = 0; x < q; ++x) {
+    const causal::SiteId writer = cluster.replica_map().replicas(x).front();
+    cluster.write(writer, x, "seed");
+  }
+  cluster.run();
+  cluster.crash_site(1);
+
+  // Remote reads from sites that do not replicate the variable. Reads whose
+  // pre-designated target is the dead site need the failover to complete.
+  std::uint64_t issued = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (causal::VarId x = 0; x < q; ++x) {
+      for (causal::SiteId s = 0; s < n; ++s) {
+        if (cluster.replica_map().replicated_at(x, s) || s == 1) continue;
+        if (cluster.replica_map().fetch_target(x, s) != 1) continue;
+        cluster.read_async(s, x, [](const causal::Value&) {});
+        ++issued;
+      }
+    }
+  }
+  cluster.run();
+  const auto m = cluster.metrics();
+  return Result{m.read_latency_us.percentile(0.5),
+                m.read_latency_us.percentile(0.99), m.fetch_retries,
+                m.read_latency_us.count()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A3 availability_failover", "paper §V availability discussion",
+      "Remote reads whose pre-designated replica has failed, n=6, p=2,\n"
+      "uniform 5-25ms latency. Sweeps the failover timeout.");
+
+  util::Table table({"timeout (ms)", "reads completed", "retries",
+                     "read p50 (ms)", "read p99 (ms)"});
+  for (const sim::SimTime timeout : {30'000, 60'000, 120'000, 240'000}) {
+    const Result r = run_with_failure(timeout);
+    table.row();
+    table.cell(static_cast<double>(timeout) / 1000.0, 0);
+    table.cell(r.completed);
+    table.cell(r.retries);
+    table.cell(r.p50_us / 1000.0, 1);
+    table.cell(r.p99_us / 1000.0, 1);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected shape: every read completes at every timeout (the\n"
+         "secondary replica always answers); latency is timeout + one\n"
+         "round trip, so shorter timeouts buy availability latency down to\n"
+         "the WAN floor. Without the §V fallback these reads would hang\n"
+         "forever.\n";
+  return 0;
+}

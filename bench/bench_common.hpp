@@ -1,0 +1,70 @@
+// Shared driver for the experiment harness binaries (one binary per paper
+// table/figure; see DESIGN.md §4 for the experiment index).
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "causal/sim_cluster.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+namespace ccpr::bench {
+
+struct RunConfig {
+  causal::Algorithm alg = causal::Algorithm::kOptTrack;
+  std::uint32_t n = 10;
+  std::uint32_t q = 100;
+  std::uint32_t p = 3;
+  workload::WorkloadSpec workload{};
+  causal::ProtocolOptions protocol{};
+  /// Latency: uniform [lo, hi] microseconds unless a model is supplied.
+  sim::SimTime lat_lo_us = 10'000;
+  sim::SimTime lat_hi_us = 50'000;
+  std::unique_ptr<sim::LatencyModel> latency;  // optional override
+  std::uint64_t latency_seed = 1;
+  sim::SimTime mean_think_us = 2'000;
+  bool record_history = false;  // benches do not re-verify; tests do
+};
+
+struct RunResult {
+  metrics::Metrics metrics;
+  sim::SimTime sim_duration_us = 0;
+  std::uint64_t events = 0;
+};
+
+/// Runs one generated workload to quiescence and returns merged metrics.
+inline RunResult run_workload(RunConfig cfg) {
+  auto rmap = causal::ReplicaMap::even(cfg.n, cfg.q, cfg.p);
+  const causal::Program program =
+      workload::generate_program(cfg.workload, rmap);
+
+  causal::SimCluster::Options opts;
+  opts.protocol = cfg.protocol;
+  opts.latency = cfg.latency
+                     ? std::move(cfg.latency)
+                     : std::make_unique<sim::UniformLatency>(cfg.lat_lo_us,
+                                                             cfg.lat_hi_us);
+  opts.latency_seed = cfg.latency_seed;
+  opts.mean_think_us = cfg.mean_think_us;
+  opts.record_history = cfg.record_history;
+
+  causal::SimCluster cluster(cfg.alg, std::move(rmap), std::move(opts));
+  cluster.run_program(program);
+
+  RunResult result;
+  result.metrics = cluster.metrics();
+  result.sim_duration_us = cluster.scheduler().now();
+  result.events = cluster.scheduler().events_fired();
+  return result;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_ref,
+                         const std::string& what) {
+  std::cout << "\n=== " << experiment << " — " << paper_ref << " ===\n"
+            << what << "\n\n";
+}
+
+}  // namespace ccpr::bench

@@ -1,0 +1,75 @@
+// Experiment E1 — reproduces Figure 4 of the paper:
+// message count as a function of the write rate w_rate = w/(w+r) for n = 10
+// sites and replication factors p in {1, 3, 5, 7, 10} (p = 10 is full
+// replication). The paper's analytic prediction (p*w + 2*r*(n-p)/n messages
+// against n*w for full replication) is printed next to the counts measured
+// from the implemented Opt-Track protocol, and the crossover write rate
+// 2/(2+n) is verified empirically.
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <vector>
+
+using namespace ccpr;
+
+int main() {
+  bench::print_header(
+      "E1 fig4_message_count", "paper Fig. 4",
+      "Messages per run vs w_rate, n=10, q=100, 500 ops/site (Opt-Track).\n"
+      "sim = measured transport messages; pred = paper formula\n"
+      "(pred charges a write p messages; the implementation does not send\n"
+      "to itself, so sim is lower by exactly the local-replica hit rate).");
+
+  const std::uint32_t n = 10;
+  const std::vector<std::uint32_t> ps{1, 3, 5, 7, 10};
+  const std::uint64_t ops_per_site = 500;
+  const double total_ops = static_cast<double>(ops_per_site) * n;
+
+  std::vector<std::string> headers{"w_rate"};
+  for (const auto p : ps) {
+    headers.push_back("sim p=" + std::to_string(p));
+    headers.push_back("pred p=" + std::to_string(p));
+  }
+  util::Table table(headers);
+
+  // Track the empirical crossover: smallest w_rate where p=3 beats full.
+  double measured_crossover = -1.0;
+
+  for (double w_rate = 0.05; w_rate < 1.0; w_rate += 0.05) {
+    table.row();
+    table.cell(w_rate, 2);
+    std::uint64_t sim_p3 = 0, sim_full = 0;
+    for (const auto p : ps) {
+      bench::RunConfig cfg;
+      cfg.alg = causal::Algorithm::kOptTrack;
+      cfg.n = n;
+      cfg.q = 100;
+      cfg.p = p;
+      cfg.workload.ops_per_site = ops_per_site;
+      cfg.workload.write_rate = w_rate;
+      cfg.workload.value_bytes = 8;
+      cfg.workload.seed = 4242;
+      auto result = bench::run_workload(std::move(cfg));
+      const std::uint64_t sim = result.metrics.messages_total();
+      const double writes = w_rate * total_ops;
+      const double reads = total_ops - writes;
+      const double pred =
+          p == n ? workload::predicted_messages_full(n, writes)
+                 : workload::predicted_messages_partial(n, p, writes, reads);
+      table.cell(sim);
+      table.cell(pred, 0);
+      if (p == 3) sim_p3 = sim;
+      if (p == n) sim_full = sim;
+    }
+    if (measured_crossover < 0 && sim_p3 < sim_full) {
+      measured_crossover = w_rate;
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\npaper crossover (p<n wins when w_rate > 2/(2+n)): "
+            << util::format_double(workload::crossover_write_rate(n), 3)
+            << "\nmeasured crossover (first w_rate where p=3 < p=10): "
+            << util::format_double(measured_crossover, 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment E4 — Table I, row "Time complexity" (google-benchmark):
+//   write: Full-Track O(n^2), Opt-Track O(n^2 p) (O(n^2) distributed mode),
+//          Opt-Track-CRP O(n), OptP O(n)
+//   read:  Full-Track/Opt-Track O(n^2), Opt-Track-CRP O(1)*, OptP O(n)
+// Measures the CPU cost of one protocol write / local read (including
+// serialization) as n grows. The scheduler is drained outside the timed
+// region so only the operation's own processing is measured.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "causal/sim_cluster.hpp"
+#include "sim/latency.hpp"
+
+using namespace ccpr;
+using causal::Algorithm;
+
+namespace {
+
+std::unique_ptr<causal::SimCluster> make_cluster(Algorithm alg,
+                                                 std::uint32_t n,
+                                                 std::uint32_t p) {
+  causal::SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::ConstantLatency>(10);
+  opts.record_history = false;
+  return std::make_unique<causal::SimCluster>(
+      alg, causal::ReplicaMap::even(n, 4 * n, p), std::move(opts));
+}
+
+std::uint32_t pick_p(Algorithm alg, std::uint32_t n) {
+  return (alg == Algorithm::kFullTrack || alg == Algorithm::kOptTrack)
+             ? std::min(3u, n)
+             : n;
+}
+
+void BM_Write(benchmark::State& state, Algorithm alg) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto cluster = make_cluster(alg, n, pick_p(alg, n));
+  const std::uint32_t q = 4 * n;
+  std::uint32_t x = 0;
+  int since_drain = 0;
+  for (auto _ : state) {
+    cluster->site(0).write(x, "payload-12345678");
+    x = (x + 1) % q;
+    if (++since_drain == 256) {
+      state.PauseTiming();
+      cluster->run();  // deliver queued updates outside the timed region
+      state.ResumeTiming();
+      since_drain = 0;
+    }
+  }
+  state.SetLabel(causal::algorithm_name(alg));
+}
+
+void BM_LocalRead(benchmark::State& state, Algorithm alg) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto cluster = make_cluster(alg, n, pick_p(alg, n));
+  // Prefill: every site writes its local vars once, everything delivered.
+  for (causal::SiteId s = 0; s < n; ++s) {
+    for (const auto v : cluster->replica_map().vars_at(s)) {
+      cluster->site(s).write(v, "prefill");
+    }
+  }
+  cluster->run();
+  const auto local = cluster->replica_map().vars_at(0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cluster->site(0).read(local[i % local.size()],
+                          [](const causal::Value&) {});
+    ++i;
+  }
+  state.SetLabel(causal::algorithm_name(alg));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Write, full_track, Algorithm::kFullTrack)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_Write, opt_track, Algorithm::kOptTrack)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_Write, opt_track_crp, Algorithm::kOptTrackCRP)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_Write, optp, Algorithm::kOptP)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK_CAPTURE(BM_LocalRead, full_track, Algorithm::kFullTrack)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_LocalRead, opt_track, Algorithm::kOptTrack)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_LocalRead, opt_track_crp, Algorithm::kOptTrackCRP)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_LocalRead, optp, Algorithm::kOptP)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Experiment E5 — Table I, row "Space complexity":
+//   Full-Track O(npq), Opt-Track O(npq) worst / O(pq) amortized,
+//   Opt-Track-CRP O(max(n, q)), OptP O(nq).
+// Reported: peak and mean serialized causal-metadata bytes per site, and
+// the causal-log length, as q and n grow.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+using namespace ccpr;
+
+namespace {
+
+struct SpaceResult {
+  std::uint64_t peak_bytes;
+  double mean_bytes;
+  double mean_log_entries;
+};
+
+SpaceResult measure(causal::Algorithm alg, std::uint32_t n, std::uint32_t q,
+                    std::uint32_t p) {
+  bench::RunConfig cfg;
+  cfg.alg = alg;
+  cfg.n = n;
+  cfg.q = q;
+  cfg.p = p;
+  cfg.workload.ops_per_site = 400;
+  cfg.workload.write_rate = 0.5;
+  cfg.workload.seed = 21;
+  const auto r = bench::run_workload(std::move(cfg));
+  return SpaceResult{r.metrics.meta_state_bytes.peak(),
+                     r.metrics.meta_state_bytes.samples().mean(),
+                     r.metrics.log_entries.samples().mean()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E5 table1_space", "paper Table I (space complexity)",
+      "Per-site causal metadata footprint (peak bytes over the run / mean\n"
+      "bytes / mean causal-log entries), w_rate=0.5, p=3 partial.");
+
+  struct AlgSpec {
+    causal::Algorithm alg;
+    bool partial;
+  };
+  const AlgSpec algs[] = {
+      {causal::Algorithm::kFullTrack, true},
+      {causal::Algorithm::kOptTrack, true},
+      {causal::Algorithm::kOptTrackCRP, false},
+      {causal::Algorithm::kOptP, false},
+  };
+
+  std::cout << "-- sweep q at n=8 --\n";
+  {
+    std::vector<std::string> headers{"q"};
+    for (const auto& a : algs) {
+      headers.push_back(std::string(causal::algorithm_name(a.alg)) +
+                        " peakB/meanB/log");
+    }
+    util::Table table(headers);
+    for (const std::uint32_t q : {32u, 64u, 128u, 256u}) {
+      table.row();
+      table.cell(static_cast<std::uint64_t>(q));
+      for (const auto& a : algs) {
+        const auto r = measure(a.alg, 8, q, a.partial ? 3 : 8);
+        table.cell(std::to_string(r.peak_bytes) + "/" +
+                   util::format_double(r.mean_bytes, 0) + "/" +
+                   util::format_double(r.mean_log_entries, 1));
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n-- sweep n at q=64 --\n";
+  {
+    std::vector<std::string> headers{"n"};
+    for (const auto& a : algs) {
+      headers.push_back(std::string(causal::algorithm_name(a.alg)) +
+                        " peakB/meanB/log");
+    }
+    util::Table table(headers);
+    for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
+      table.row();
+      table.cell(static_cast<std::uint64_t>(n));
+      for (const auto& a : algs) {
+        const auto r = measure(a.alg, n, 64, a.partial ? std::min(3u, n) : n);
+        table.cell(std::to_string(r.peak_bytes) + "/" +
+                   util::format_double(r.mean_bytes, 0) + "/" +
+                   util::format_double(r.mean_log_entries, 1));
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout
+      << "\nExpected shape: Full-Track grows with n^2 (matrix per stored\n"
+         "variable) and with q; Opt-Track stays near O(pq) amortized;\n"
+         "Opt-Track-CRP tracks max(n, q); OptP tracks n*q.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation A5 — the algorithms under the standard YCSB operation mixes.
+// Ties the paper's abstract w_rate axis to familiar industrial workloads:
+// YCSB-A (update-heavy) sits far above the partial-replication crossover,
+// YCSB-B/C (read-mostly/read-only) below it.
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <memory>
+
+#include "workload/ycsb.hpp"
+
+using namespace ccpr;
+
+namespace {
+
+metrics::Metrics run_mix(causal::Algorithm alg, workload::YcsbMix mix,
+                         std::uint32_t p) {
+  const std::uint32_t n = 10, q = 100;
+  workload::WorkloadSpec base;
+  base.ops_per_site = 400;
+  base.value_bytes = 64;
+  base.seed = 515;
+  const auto rmap = causal::ReplicaMap::even(n, q, p);
+  const auto program = workload::generate_ycsb(mix, base, rmap);
+
+  causal::SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::UniformLatency>(10'000, 50'000);
+  opts.latency_seed = 6;
+  opts.record_history = false;
+  causal::SimCluster cluster(alg, causal::ReplicaMap::even(n, q, p),
+                             std::move(opts));
+  cluster.run_program(program);
+  return cluster.metrics();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A5 ycsb_mixes", "DESIGN.md ablation index",
+      "Standard YCSB mixes on n=10, q=100 (zipf 0.99). Partial algorithms\n"
+      "run p=3, full-replication algorithms p=10. YCSB-A is write-heavy\n"
+      "(w_rate 0.5 >> crossover 0.167): partial replication should win on\n"
+      "messages; YCSB-B/C are read-dominated: full replication should win.");
+
+  const workload::YcsbMix mixes[] = {
+      workload::YcsbMix::kA, workload::YcsbMix::kB, workload::YcsbMix::kC,
+      workload::YcsbMix::kF};
+
+  util::Table table({"mix", "OptTrack p=3 msgs", "OptTrack KB",
+                     "CRP p=10 msgs", "CRP KB", "winner (msgs)"});
+  for (const auto mix : mixes) {
+    const auto partial = run_mix(causal::Algorithm::kOptTrack, mix, 3);
+    const auto full = run_mix(causal::Algorithm::kOptTrackCRP, mix, 10);
+    table.row();
+    table.cell(workload::ycsb_name(mix));
+    table.cell(partial.messages_total());
+    table.cell(static_cast<double>(partial.bytes_total()) / 1024.0, 0);
+    table.cell(full.messages_total());
+    table.cell(static_cast<double>(full.bytes_total()) / 1024.0, 0);
+    table.cell(partial.messages_total() < full.messages_total() ? "partial"
+                                                                : "full");
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected shape: partial wins YCSB-A and YCSB-F (write-heavy),\n"
+         "full replication wins YCSB-B and trivially YCSB-C (no writes,\n"
+         "so partial pays remote-read messages for nothing).\n";
+  return 0;
+}

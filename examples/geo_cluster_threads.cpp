@@ -1,0 +1,72 @@
+// Live concurrency demo: the same protocol objects on the threaded runtime,
+// with one real client thread per site hammering a shared key space, then a
+// full causal-consistency audit and a convergence report.
+//
+//   build/examples/geo_cluster_threads [clients_ops]
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "checker/causal_checker.hpp"
+#include "store/geo_store.hpp"
+#include "store/placement.hpp"
+#include "util/rng.hpp"
+
+using namespace ccpr;
+
+int main(int argc, char** argv) {
+  const int ops =
+      argc > 1 ? std::atoi(argv[1]) : 80;
+
+  std::vector<std::string> key_names;
+  for (int i = 0; i < 12; ++i) key_names.push_back("k" + std::to_string(i));
+
+  // 4 sites, hash placement with 2 replicas per key.
+  store::GeoStore::Options options;
+  options.algorithm = causal::Algorithm::kOptTrack;
+  options.max_delay_us = 250;  // widen thread interleavings
+  store::GeoStore store(store::KeySpace(key_names),
+                        store::hash_placement(4, 12, 2, /*seed=*/2024),
+                        options);
+
+  std::vector<std::thread> clients;
+  for (causal::SiteId s = 0; s < 4; ++s) {
+    clients.emplace_back([&store, s, ops] {
+      auto session = store.session(s);
+      util::Rng rng(9000 + s);
+      for (int i = 0; i < ops; ++i) {
+        const std::string key = "k" + std::to_string(rng.below(12));
+        if (rng.chance(0.35)) {
+          session.put(key, "site" + std::to_string(s) + " op" +
+                               std::to_string(i));
+        } else {
+          (void)session.get(key);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  store.flush();
+
+  const auto m = store.metrics();
+  std::cout << "ran " << m.writes << " writes / " << m.reads
+            << " reads across 4 client threads\n"
+            << "traffic: " << m.messages_total() << " messages ("
+            << m.update_msgs << " updates, " << m.fetch_req_msgs
+            << " remote fetches), " << m.control_bytes
+            << " control bytes\n";
+
+  const auto check = checker::check_causal_consistency(
+      store.history(), store.replica_map());
+  std::cout << "causal consistency: " << (check.ok ? "OK" : "VIOLATED")
+            << "\n";
+  for (const auto& v : check.violations) std::cout << "  " << v << "\n";
+
+  const auto conv = store.audit_convergence();
+  std::cout << "replica convergence: " << conv.divergent_vars << "/"
+            << conv.vars_checked
+            << " keys divergent (concurrent writes; plain causal memory "
+               "does not force agreement — see DESIGN.md §6 causal+)\n";
+  return check.ok ? 0 : 1;
+}

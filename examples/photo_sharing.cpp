@@ -1,0 +1,85 @@
+// Write-intensive multimedia workload (paper §I point 2 and §V): photo
+// uploads are large values on a write-heavy mix, where the paper argues
+// partial replication pays off most — every write multicast to p replicas
+// instead of n, and the causal metadata is dwarfed by the payload.
+//
+//   build/examples/photo_sharing [photo_kb]
+//
+// Sweeps the write rate on a 10-site cluster and prints where partial
+// replication (p=3) overtakes full replication in bytes shipped, alongside
+// the paper's message-count crossover w_rate > 2/(2+n).
+#include <cstdlib>
+#include <iostream>
+
+#include "causal/sim_cluster.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+using namespace ccpr;
+
+namespace {
+
+metrics::Metrics run(std::uint32_t p, double write_rate,
+                     std::uint32_t photo_bytes) {
+  const std::uint32_t n = 10, q = 50;
+  workload::WorkloadSpec spec;
+  spec.ops_per_site = 200;
+  spec.write_rate = write_rate;
+  spec.dist = workload::WorkloadSpec::KeyDist::kZipf;
+  spec.zipf_theta = 0.8;
+  spec.value_bytes = photo_bytes;
+  spec.seed = 404;
+  const auto rmap = causal::ReplicaMap::even(n, q, p);
+  const auto program = workload::generate_program(spec, rmap);
+
+  causal::SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::UniformLatency>(10'000, 60'000);
+  opts.record_history = false;
+  causal::SimCluster cluster(causal::Algorithm::kOptTrack,
+                             causal::ReplicaMap::even(n, q, p),
+                             std::move(opts));
+  cluster.run_program(program);
+  return cluster.metrics();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t photo_kb =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+  const std::uint32_t photo_bytes = photo_kb * 1024;
+
+  std::cout << "Photo sharing: 10 sites, " << photo_kb
+            << "KB photos, Opt-Track, p=3 vs full replication\n"
+            << "paper message-count crossover: w_rate > "
+            << util::format_double(workload::crossover_write_rate(10), 3)
+            << "\n\n";
+
+  util::Table table({"w_rate", "p=3 msgs", "full msgs", "p=3 MB", "full MB",
+                     "p=3 meta%", "winner (bytes)"});
+  for (const double w : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    const auto partial = run(3, w, photo_bytes);
+    const auto full = run(10, w, photo_bytes);
+    const double pmb =
+        static_cast<double>(partial.bytes_total()) / (1024.0 * 1024.0);
+    const double fmb =
+        static_cast<double>(full.bytes_total()) / (1024.0 * 1024.0);
+    table.row();
+    table.cell(w, 1);
+    table.cell(partial.messages_total());
+    table.cell(full.messages_total());
+    table.cell(pmb, 1);
+    table.cell(fmb, 1);
+    table.cell(100.0 * static_cast<double>(partial.control_bytes) /
+                   static_cast<double>(partial.bytes_total()),
+               2);
+    table.cell(pmb < fmb ? "partial" : "full");
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nWith multi-KB payloads the causal metadata is a fraction of a\n"
+         "percent of the traffic (the paper's §I point 4), and partial\n"
+         "replication wins on bytes at every write rate because each photo\n"
+         "ships to 3 replicas instead of 10.\n";
+  return 0;
+}

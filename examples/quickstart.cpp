@@ -1,0 +1,59 @@
+// Quickstart: a 3-site geo-replicated causal KV store with partial
+// replication, exercised through the public GeoStore API.
+//
+//   build/examples/quickstart
+//
+// Alice posts from site 0; Bob reads her wall from site 1 and comments;
+// causal consistency guarantees nobody can see Bob's comment without being
+// able to see the photo it refers to. The offline checker verifies the
+// whole run at the end.
+#include <iostream>
+
+#include "causal/replica_map.hpp"
+#include "checker/causal_checker.hpp"
+#include "store/geo_store.hpp"
+
+using namespace ccpr;
+
+int main() {
+  // Three sites (think: Chicago, Oregon, Frankfurt) and three keys, each
+  // replicated at two of the three sites.
+  store::KeySpace keys({"alice:wall", "bob:wall", "carol:wall"});
+  auto placement = causal::ReplicaMap::even(/*sites=*/3, /*vars=*/3,
+                                            /*replicas=*/2);
+
+  store::GeoStore::Options options;
+  options.algorithm = causal::Algorithm::kOptTrack;  // the paper's headline
+  store::GeoStore store(std::move(keys), std::move(placement), options);
+
+  auto alice = store.session(0);
+  auto bob = store.session(1);
+  auto carol = store.session(2);
+
+  alice.put("alice:wall", "photo: sunset over the lake");
+  store.flush();  // wait for replication (demo only; reads never need this)
+
+  const std::string photo = bob.get("alice:wall");
+  std::cout << "bob sees: " << photo << "\n";
+  bob.put("bob:wall", "re alice: great shot!");
+  store.flush();
+
+  // Carol reads Bob's comment, then Alice's wall: causal consistency means
+  // the photo must be visible once the comment is.
+  const std::string comment = carol.get("bob:wall");
+  const std::string wall = carol.get("alice:wall");
+  std::cout << "carol sees: '" << comment << "' and '" << wall << "'\n";
+
+  const auto result = checker::check_causal_consistency(
+      store.history(), store.replica_map());
+  std::cout << "causal consistency check: "
+            << (result.ok ? "OK" : "VIOLATED") << " ("
+            << result.ops_checked << " ops, " << result.applies_checked
+            << " applies)\n";
+
+  const auto m = store.metrics();
+  std::cout << "traffic: " << m.messages_total() << " messages, "
+            << m.control_bytes << " control bytes, " << m.payload_bytes
+            << " payload bytes\n";
+  return result.ok ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+#include "causal/ahamad.hpp"
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+Ahamad::Ahamad(SiteId self, const ReplicaMap& rmap, Services svc)
+    : ProtocolBase(self, rmap, std::move(svc), /*fetch_gating=*/false),
+      n_(rmap.sites()),
+      apply_(n_, 0) {
+  CCPR_EXPECTS(rmap.fully_replicated());
+}
+
+void Ahamad::write(VarId x, std::string data) {
+  CCPR_EXPECTS(x < rmap_.vars());
+  const WriteId id = next_write_id();
+  note_write_issued(x, id);
+  ++apply_[self_];
+
+  Value v = make_value(id, std::move(data));
+  const auto payload = static_cast<std::uint32_t>(v.data.size());
+
+  net::Encoder enc;
+  enc.varint(x);
+  encode_value(enc, v);
+  for (const std::uint64_t c : apply_) enc.varint(c);
+  const auto& body = enc.buffer();
+  for (SiteId j = 0; j < n_; ++j) {
+    if (j == self_) continue;
+    net::Message msg;
+    msg.kind = net::MsgKind::kUpdate;
+    msg.src = self_;
+    msg.dst = j;
+    msg.body = body;
+    msg.payload_bytes = payload;
+    svc_.send(std::move(msg));
+  }
+
+  apply_own_write(x, std::move(v));
+  svc_.metrics->log_entries.add_sample(log_entry_count());
+  svc_.metrics->meta_state_bytes.add_sample(meta_state_bytes());
+}
+
+bool Ahamad::ready(const Update& u) const {
+  // A_ORG: deliver in happened-before order. The sender slot must be the
+  // next expected write; every other slot must already be covered.
+  if (apply_[u.sender] != u.t[u.sender] - 1) return false;
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    if (k == u.sender) continue;
+    if (apply_[k] < u.t[k]) return false;
+  }
+  return true;
+}
+
+void Ahamad::apply(Update&& u) {
+  ++apply_[u.sender];
+  apply_value(u.x, std::move(u.v), u.receipt);
+}
+
+void Ahamad::on_update(const net::Message& msg) {
+  net::Decoder dec(msg.body);
+  Update u;
+  u.x = static_cast<VarId>(dec.varint());
+  u.v = decode_value(dec);
+  u.t.resize(n_);
+  for (auto& c : u.t) c = dec.varint();
+  u.sender = msg.src;
+  u.receipt = svc_.now();
+  CCPR_ASSERT(dec.ok());
+  pending_.submit(
+      std::move(u), [this](const Update& p) { return ready(p); },
+      [this](Update&& p) { apply(std::move(p)); });
+  svc_.metrics->note_pending(pending_.size());
+}
+
+void Ahamad::encode_fetch_resp_meta(net::Encoder&, VarId) {
+  CCPR_UNREACHABLE("Ahamad requires full replication; reads are local");
+}
+
+void Ahamad::merge_fetch_resp_meta(VarId, SiteId, net::Decoder&) {
+  CCPR_UNREACHABLE("Ahamad requires full replication; reads are local");
+}
+
+
+// Coverage tokens under full replication: the Apply vector is the causal
+// frontier, and every write reaches every site, so "target has applied at
+// least what I have applied" is exactly session freshness.
+void Ahamad::encode_fetch_req_meta(net::Encoder& enc, VarId /*x*/,
+                                  SiteId /*target*/) {
+  for (const std::uint64_t a : apply_) enc.varint(a);
+}
+
+bool Ahamad::fetch_ready(VarId /*x*/, net::Decoder& meta) {
+  for (std::size_t z = 0; z < apply_.size(); ++z) {
+    const std::uint64_t need = meta.varint();
+    if (apply_[z] < need) return false;
+  }
+  CCPR_ASSERT(meta.ok());
+  return true;
+}
+
+}  // namespace ccpr::causal

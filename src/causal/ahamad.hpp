@@ -1,0 +1,62 @@
+// A_ORG baseline — causal memory per Ahamad et al. [1], tracking causality
+// with Lamport's happened-before relation instead of the ->co relation.
+//
+// The piggybacked vector clock is merged when a message is *applied* (not
+// when its value is later read), so a write issued after merely receiving an
+// unrelated update inherits a dependency on it: the "false causality" that
+// the optimal activation predicate A_OPT eliminates. Full replication only.
+// This is the ablation baseline for the activation-delay experiment (E7).
+#pragma once
+
+#include <vector>
+
+#include "causal/protocol_base.hpp"
+
+namespace ccpr::causal {
+
+class Ahamad final : public ProtocolBase {
+ public:
+  Ahamad(SiteId self, const ReplicaMap& rmap, Services svc);
+
+  void write(VarId x, std::string data) override;
+
+  std::size_t pending_update_count() const override { return pending_.size(); }
+  std::uint64_t log_entry_count() const override { return apply_.size(); }
+  std::uint64_t meta_state_bytes() const override {
+    return static_cast<std::uint64_t>(apply_.size()) * sizeof(std::uint64_t);
+  }
+  Algorithm algorithm() const override { return Algorithm::kAhamad; }
+
+  std::uint64_t applied_from(SiteId j) const { return apply_[j]; }
+
+ protected:
+  void on_update(const net::Message& msg) override;
+  void merge_on_local_read(VarId /*x*/) override {}
+  void encode_fetch_resp_meta(net::Encoder& enc, VarId x) override;
+  void merge_fetch_resp_meta(VarId x, SiteId responder,
+                             net::Decoder& dec) override;
+  void encode_fetch_req_meta(net::Encoder& enc, VarId x,
+                             SiteId target) override;
+  bool fetch_ready(VarId x, net::Decoder& meta) override;
+
+ private:
+  struct Update {
+    VarId x;
+    Value v;
+    SiteId sender;
+    std::vector<std::uint64_t> t;
+    sim::SimTime receipt;
+  };
+
+  bool ready(const Update& u) const;
+  void apply(Update&& u);
+
+  std::uint32_t n_;
+  /// apply_ doubles as the site's happened-before vector clock: after every
+  /// apply, apply_[k] >= t[k] for the applied t, so the invariant
+  /// "clock == applied counts" holds and one vector suffices.
+  std::vector<std::uint64_t> apply_;
+  PendingBuffer<Update> pending_;
+};
+
+}  // namespace ccpr::causal

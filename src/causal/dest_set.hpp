@@ -1,0 +1,87 @@
+// Destination sets for Opt-Track log entries (the `Dests` field of the KS
+// records). Represented as a sorted vector of SiteIds: destination lists are
+// small (at most p entries) and shrink monotonically under the two pruning
+// conditions, so linear merges beat any tree/bitset representation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "causal/types.hpp"
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+class DestSet {
+ public:
+  DestSet() = default;
+  DestSet(std::initializer_list<SiteId> sites)
+      : sites_(sites) {
+    normalize();
+  }
+  /// From a sorted span (e.g. a ReplicaMap list).
+  explicit DestSet(std::span<const SiteId> sorted)
+      : sites_(sorted.begin(), sorted.end()) {
+    CCPR_EXPECTS(std::is_sorted(sites_.begin(), sites_.end()));
+  }
+
+  bool empty() const noexcept { return sites_.empty(); }
+  std::size_t size() const noexcept { return sites_.size(); }
+
+  bool contains(SiteId s) const noexcept {
+    return std::binary_search(sites_.begin(), sites_.end(), s);
+  }
+
+  void insert(SiteId s) {
+    auto it = std::lower_bound(sites_.begin(), sites_.end(), s);
+    if (it == sites_.end() || *it != s) sites_.insert(it, s);
+  }
+
+  void erase(SiteId s) {
+    auto it = std::lower_bound(sites_.begin(), sites_.end(), s);
+    if (it != sites_.end() && *it == s) sites_.erase(it);
+  }
+
+  /// this := this \ other (other given as a sorted span).
+  void subtract(std::span<const SiteId> other) {
+    auto keep = sites_.begin();
+    auto ot = other.begin();
+    for (auto it = sites_.begin(); it != sites_.end(); ++it) {
+      while (ot != other.end() && *ot < *it) ++ot;
+      if (ot != other.end() && *ot == *it) continue;
+      *keep++ = *it;
+    }
+    sites_.erase(keep, sites_.end());
+  }
+
+  void subtract(const DestSet& other) { subtract(other.span()); }
+
+  /// this := this ∩ other.
+  void intersect(const DestSet& other) {
+    auto keep = sites_.begin();
+    auto ot = other.sites_.begin();
+    for (auto it = sites_.begin(); it != sites_.end(); ++it) {
+      while (ot != other.sites_.end() && *ot < *it) ++ot;
+      if (ot != other.sites_.end() && *ot == *it) *keep++ = *it;
+    }
+    sites_.erase(keep, sites_.end());
+  }
+
+  std::span<const SiteId> span() const noexcept { return sites_; }
+  const std::vector<SiteId>& items() const noexcept { return sites_; }
+
+  friend bool operator==(const DestSet&, const DestSet&) = default;
+
+ private:
+  void normalize() {
+    std::sort(sites_.begin(), sites_.end());
+    sites_.erase(std::unique(sites_.begin(), sites_.end()), sites_.end());
+  }
+
+  std::vector<SiteId> sites_;
+};
+
+}  // namespace ccpr::causal

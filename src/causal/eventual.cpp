@@ -1,0 +1,46 @@
+#include "causal/eventual.hpp"
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+Eventual::Eventual(SiteId self, const ReplicaMap& rmap, Services svc)
+    : ProtocolBase(self, rmap, std::move(svc), /*fetch_gating=*/false) {}
+
+void Eventual::write(VarId x, std::string data) {
+  CCPR_EXPECTS(x < rmap_.vars());
+  const WriteId id = next_write_id();
+  note_write_issued(x, id);
+
+  Value v = make_value(id, std::move(data));
+  const auto payload = static_cast<std::uint32_t>(v.data.size());
+
+  net::Encoder enc;
+  enc.varint(x);
+  encode_value(enc, v);
+  const auto& body = enc.buffer();
+  for (const SiteId j : rmap_.replicas(x)) {
+    if (j == self_) continue;
+    net::Message msg;
+    msg.kind = net::MsgKind::kUpdate;
+    msg.src = self_;
+    msg.dst = j;
+    msg.body = body;
+    msg.payload_bytes = payload;
+    svc_.send(std::move(msg));
+  }
+
+  if (rmap_.replicated_at(x, self_)) {
+    apply_own_write(x, std::move(v));
+  }
+}
+
+void Eventual::on_update(const net::Message& msg) {
+  net::Decoder dec(msg.body);
+  const auto x = static_cast<VarId>(dec.varint());
+  Value v = decode_value(dec);
+  CCPR_ASSERT(dec.ok());
+  apply_value(x, std::move(v), svc_.now());
+}
+
+}  // namespace ccpr::causal

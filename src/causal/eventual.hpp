@@ -1,0 +1,33 @@
+// Eventual-consistency baseline: updates are applied the moment they are
+// received, with no causality metadata at all. Supports partial replication
+// (reads fall back to RemoteFetch).
+//
+// This protocol is intentionally NOT causally consistent. It exists to
+// (a) prove the offline checker actually detects violations, and (b) bound
+// the minimum message/metadata cost any causal algorithm is paying on top.
+#pragma once
+
+#include "causal/protocol_base.hpp"
+
+namespace ccpr::causal {
+
+class Eventual final : public ProtocolBase {
+ public:
+  Eventual(SiteId self, const ReplicaMap& rmap, Services svc);
+
+  void write(VarId x, std::string data) override;
+
+  std::size_t pending_update_count() const override { return 0; }
+  std::uint64_t log_entry_count() const override { return 0; }
+  std::uint64_t meta_state_bytes() const override { return 0; }
+  Algorithm algorithm() const override { return Algorithm::kEventual; }
+
+ protected:
+  void on_update(const net::Message& msg) override;
+  void merge_on_local_read(VarId /*x*/) override {}
+  void encode_fetch_resp_meta(net::Encoder& /*enc*/, VarId /*x*/) override {}
+  void merge_fetch_resp_meta(VarId /*x*/, SiteId /*responder*/,
+                             net::Decoder& /*dec*/) override {}
+};
+
+}  // namespace ccpr::causal

@@ -1,0 +1,60 @@
+#include "causal/factory.hpp"
+
+#include "causal/ahamad.hpp"
+#include "causal/eventual.hpp"
+#include "causal/protocol_base.hpp"
+#include "causal/full_track.hpp"
+#include "causal/opt_track.hpp"
+#include "causal/opt_track_crp.hpp"
+#include "causal/optp.hpp"
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+namespace {
+
+std::unique_ptr<IProtocol> make_protocol_impl(Algorithm alg, SiteId self,
+                                              const ReplicaMap& rmap,
+                                              Services svc,
+                                              const ProtocolOptions& opts) {
+  switch (alg) {
+    case Algorithm::kFullTrack:
+      return std::make_unique<FullTrack>(
+          self, rmap, std::move(svc),
+          FullTrack::Options{.fetch_gating = opts.fetch_gating});
+    case Algorithm::kOptTrack:
+      return std::make_unique<OptTrack>(
+          self, rmap, std::move(svc),
+          OptTrack::Options{.fetch_gating = opts.fetch_gating,
+                            .prune_cond1 = opts.prune_cond1,
+                            .prune_cond2 = opts.prune_cond2,
+                            .distribute_write = opts.distribute_write,
+                            .aggressive_merge = opts.aggressive_merge});
+    case Algorithm::kOptTrackCRP:
+      return std::make_unique<OptTrackCRP>(self, rmap, std::move(svc));
+    case Algorithm::kOptP:
+      return std::make_unique<OptP>(self, rmap, std::move(svc));
+    case Algorithm::kAhamad:
+      return std::make_unique<Ahamad>(self, rmap, std::move(svc));
+    case Algorithm::kEventual:
+      return std::make_unique<Eventual>(self, rmap, std::move(svc));
+  }
+  CCPR_UNREACHABLE("unknown algorithm");
+}
+
+}  // namespace
+
+std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
+                                         const ReplicaMap& rmap, Services svc,
+                                         const ProtocolOptions& opts) {
+  auto protocol = make_protocol_impl(alg, self, rmap, std::move(svc), opts);
+  if (opts.convergent || opts.fetch_timeout_us > 0) {
+    auto* base = dynamic_cast<ProtocolBase*>(protocol.get());
+    CCPR_ASSERT(base != nullptr);
+    base->set_convergent(opts.convergent);
+    base->set_fetch_timeout(opts.fetch_timeout_us);
+  }
+  return protocol;
+}
+
+}  // namespace ccpr::causal

@@ -1,0 +1,36 @@
+// Construction of protocol instances by Algorithm tag.
+#pragma once
+
+#include <memory>
+
+#include "causal/protocol.hpp"
+#include "causal/replica_map.hpp"
+
+namespace ccpr::causal {
+
+/// Algorithm-independent superset of per-protocol options; each protocol
+/// picks out the flags it understands.
+struct ProtocolOptions {
+  /// Gate RemoteFetch responses on the reader's causal past (protocols with
+  /// non-local reads only; see DESIGN.md §6).
+  bool fetch_gating = true;
+  /// Opt-Track pruning ablation switches.
+  bool prune_cond1 = true;
+  bool prune_cond2 = true;
+  /// Opt-Track §III-B distributed-write-processing optimization.
+  bool distribute_write = false;
+  /// Opt-Track: use the paper's (unsound) Algorithm 3 MERGE verbatim.
+  bool aggressive_merge = false;
+  /// Causal+ (paper §V): converge replicas via a deterministic LWW rule at
+  /// apply time. Works with every algorithm.
+  bool convergent = false;
+  /// §V availability: RemoteFetch timeout before contacting a secondary
+  /// replica (microseconds of virtual time; 0 disables).
+  sim::SimTime fetch_timeout_us = 0;
+};
+
+std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
+                                         const ReplicaMap& rmap, Services svc,
+                                         const ProtocolOptions& opts = {});
+
+}  // namespace ccpr::causal

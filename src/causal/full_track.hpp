@@ -1,0 +1,72 @@
+// Algorithm Full-Track (paper Algorithm 1).
+//
+// Implements the optimal activation predicate A_OPT under partial
+// replication by tracking, per (writer, destination) pair, how many writes
+// are in the causal past under ->co. Piggybacked matrices are merged into
+// the local clock only when the corresponding value is *read* (not when the
+// message is received), which is exactly what prunes false causality.
+#pragma once
+
+#include <unordered_map>
+
+#include "causal/matrix_clock.hpp"
+#include "causal/protocol_base.hpp"
+
+namespace ccpr::causal {
+
+class FullTrack final : public ProtocolBase {
+ public:
+  struct Options {
+    /// Gate RemoteFetch responses on the reader's causal past (DESIGN.md §6:
+    /// prevents causally stale remote reads; the paper's pseudo-code does
+    /// not gate). Costs n varints on each fetch request.
+    bool fetch_gating = true;
+  };
+
+  FullTrack(SiteId self, const ReplicaMap& rmap, Services svc);
+  FullTrack(SiteId self, const ReplicaMap& rmap, Services svc,
+            Options options);
+
+  void write(VarId x, std::string data) override;
+
+  std::size_t pending_update_count() const override { return pending_.size(); }
+  std::uint64_t log_entry_count() const override;
+  std::uint64_t meta_state_bytes() const override;
+  Algorithm algorithm() const override { return Algorithm::kFullTrack; }
+
+  /// Test hooks.
+  const MatrixClock& write_clock() const noexcept { return write_; }
+  std::uint64_t applied_from(SiteId j) const { return apply_[j]; }
+
+ protected:
+  void on_update(const net::Message& msg) override;
+  void merge_on_local_read(VarId x) override;
+  void encode_fetch_req_meta(net::Encoder& enc, VarId x,
+                             SiteId target) override;
+  bool fetch_ready(VarId x, net::Decoder& meta) override;
+  void encode_fetch_resp_meta(net::Encoder& enc, VarId x) override;
+  void merge_fetch_resp_meta(VarId x, SiteId responder,
+                             net::Decoder& dec) override;
+  bool locally_covered() const override;
+
+ private:
+  struct Update {
+    VarId x;
+    Value v;
+    SiteId sender;
+    MatrixClock w;
+    sim::SimTime receipt;
+  };
+
+  bool ready(const Update& u) const;
+  void apply(Update&& u);
+  void sample_space();
+
+  std::uint32_t n_;
+  MatrixClock write_;
+  std::vector<std::uint64_t> apply_;
+  std::unordered_map<VarId, MatrixClock> last_write_on_;
+  PendingBuffer<Update> pending_;
+};
+
+}  // namespace ccpr::causal

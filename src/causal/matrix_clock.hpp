@@ -1,0 +1,63 @@
+// The n x n Write matrix clock of Algorithm Full-Track.
+// Write[j][k] = number of write operations by application process ap_j
+// destined to site s_k that are in the causal past under the ->co relation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+class MatrixClock {
+ public:
+  MatrixClock() = default;
+  explicit MatrixClock(std::uint32_t n)
+      : n_(n), cells_(static_cast<std::size_t>(n) * n, 0) {}
+
+  std::uint32_t n() const noexcept { return n_; }
+
+  std::uint64_t at(std::uint32_t j, std::uint32_t k) const noexcept {
+    CCPR_EXPECTS(j < n_ && k < n_);
+    return cells_[static_cast<std::size_t>(j) * n_ + k];
+  }
+
+  std::uint64_t& at(std::uint32_t j, std::uint32_t k) noexcept {
+    CCPR_EXPECTS(j < n_ && k < n_);
+    return cells_[static_cast<std::size_t>(j) * n_ + k];
+  }
+
+  /// Elementwise max — the paper's merge of a piggybacked clock into the
+  /// local clock, deferred to read time to avoid false causality.
+  void merge_max(const MatrixClock& other) noexcept {
+    CCPR_EXPECTS(n_ == other.n_);
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (other.cells_[i] > cells_[i]) cells_[i] = other.cells_[i];
+    }
+  }
+
+  void encode(net::Encoder& enc) const {
+    for (const std::uint64_t c : cells_) enc.varint(c);
+  }
+
+  static MatrixClock decode(net::Decoder& dec, std::uint32_t n) {
+    MatrixClock m(n);
+    for (auto& c : m.cells_) c = dec.varint();
+    return m;
+  }
+
+  /// In-memory footprint used for the space metric.
+  std::uint64_t byte_size() const noexcept {
+    return static_cast<std::uint64_t>(cells_.size()) * sizeof(std::uint64_t);
+  }
+
+  friend bool operator==(const MatrixClock&, const MatrixClock&) = default;
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace ccpr::causal

@@ -1,0 +1,23 @@
+// A workload operation: the unit exchanged between the workload generators
+// and the cluster drivers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causal/types.hpp"
+
+namespace ccpr::causal {
+
+struct Operation {
+  enum class Kind : std::uint8_t { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  VarId var = 0;
+  /// For writes: size of the value payload to generate.
+  std::uint32_t value_bytes = 0;
+};
+
+/// One operation sequence per application process (index == SiteId).
+using Program = std::vector<std::vector<Operation>>;
+
+}  // namespace ccpr::causal

@@ -1,0 +1,115 @@
+#include "causal/opt_log.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+void purge_log(Log& log) {
+  std::unordered_map<SiteId, std::uint64_t> newest;
+  for (const LogEntry& e : log) {
+    auto [it, inserted] = newest.try_emplace(e.sender, e.clock);
+    if (!inserted && e.clock > it->second) it->second = e.clock;
+  }
+  std::erase_if(log, [&](const LogEntry& e) {
+    return e.dests.empty() && e.clock < newest[e.sender];
+  });
+}
+
+void merge_logs(Log& local, Log incoming, MergePolicy policy) {
+  // Pairwise marking from Algorithm 3, computed via per-sender maxima over
+  // the *original* logs (equivalent because marking is simultaneous). Under
+  // the conservative policy a record is deletable this way only once its
+  // destination list is empty (a record with destinations is an unproven
+  // obligation and must survive until pruned by Condition 1/2 evidence).
+  std::unordered_map<SiteId, std::uint64_t> local_max;
+  for (const LogEntry& e : local) {
+    auto [it, inserted] = local_max.try_emplace(e.sender, e.clock);
+    if (!inserted && e.clock > it->second) it->second = e.clock;
+  }
+  std::unordered_map<SiteId, std::uint64_t> in_max;
+  for (const LogEntry& e : incoming) {
+    auto [it, inserted] = in_max.try_emplace(e.sender, e.clock);
+    if (!inserted && e.clock > it->second) it->second = e.clock;
+  }
+
+  // Same write known on both sides: intersect destination lists and drop
+  // the incoming duplicate. This runs BEFORE any deletion so the combined
+  // knowledge is applied even to records a later rule removes — each
+  // side's pruning was individually justified in its causal past, and the
+  // merging site is in the causal future of both.
+  std::erase_if(incoming, [&](const LogEntry& in) {
+    for (LogEntry& l : local) {
+      if (l.sender == in.sender && l.clock == in.clock) {
+        l.dests.intersect(in.dests);
+        return true;
+      }
+    }
+    return false;
+  });
+
+  const bool aggressive = policy == MergePolicy::kPaperAggressive;
+  std::erase_if(local, [&](const LogEntry& e) {
+    if (!aggressive && !e.dests.empty()) return false;
+    const auto it = in_max.find(e.sender);
+    return it != in_max.end() && e.clock < it->second;
+  });
+  std::erase_if(incoming, [&](const LogEntry& e) {
+    if (!aggressive && !e.dests.empty()) return false;
+    const auto it = local_max.find(e.sender);
+    return it != local_max.end() && e.clock < it->second;
+  });
+
+  local.insert(local.end(), std::make_move_iterator(incoming.begin()),
+               std::make_move_iterator(incoming.end()));
+}
+
+std::uint64_t log_byte_size(const Log& log) {
+  std::uint64_t bytes = 0;
+  for (const LogEntry& e : log) {
+    bytes += sizeof(SiteId) + sizeof(std::uint64_t) +
+             e.dests.size() * sizeof(SiteId);
+  }
+  return bytes;
+}
+
+void encode_entry(net::Encoder& enc, const LogEntry& e) {
+  enc.varint(e.sender);
+  enc.varint(e.clock);
+  enc.varint(e.dests.size());
+  for (const SiteId s : e.dests.span()) enc.varint(s);
+}
+
+LogEntry decode_entry(net::Decoder& dec) {
+  LogEntry e;
+  e.sender = static_cast<SiteId>(dec.varint());
+  e.clock = dec.varint();
+  const std::uint64_t k = dec.varint();
+  for (std::uint64_t i = 0; i < k && dec.ok(); ++i) {
+    e.dests.insert(static_cast<SiteId>(dec.varint()));
+  }
+  return e;
+}
+
+void encode_log(net::Encoder& enc, const Log& log) {
+  enc.varint(log.size());
+  for (const LogEntry& e : log) encode_entry(enc, e);
+}
+
+Log decode_log(net::Decoder& dec) {
+  Log log;
+  const std::uint64_t k = dec.varint();
+  // Never trust the count for allocation: each entry needs at least 3
+  // bytes on the wire, so a malformed count larger than that bound cannot
+  // be satisfied and must not drive a reserve().
+  log.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(k, dec.remaining() / 3)));
+  for (std::uint64_t i = 0; i < k && dec.ok(); ++i) {
+    log.push_back(decode_entry(dec));
+  }
+  return log;
+}
+
+}  // namespace ccpr::causal

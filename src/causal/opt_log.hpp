@@ -1,0 +1,66 @@
+// The Opt-Track causal log: KS-style records of recent writes with
+// progressively pruned destination lists (paper Algorithms 2 and 3).
+//
+// MERGE and PURGE are free functions over plain data so the pruning rules —
+// the subtle heart of the algorithm — are unit- and property-testable in
+// isolation from any messaging.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causal/dest_set.hpp"
+#include "causal/types.hpp"
+#include "net/wire.hpp"
+
+namespace ccpr::causal {
+
+/// One record <sender, clock, Dests>: write number `clock` by ap_sender is
+/// destined to the sites in Dests for which delivery is not yet known (to
+/// this log's holder) to be implied.
+struct LogEntry {
+  SiteId sender = kNoSite;
+  std::uint64_t clock = 0;
+  DestSet dests;
+
+  friend bool operator==(const LogEntry&, const LogEntry&) = default;
+};
+
+using Log = std::vector<LogEntry>;
+
+/// Paper PURGE: drop an empty-Dests record if a strictly newer record from
+/// the same sender exists — the newer record implicitly remembers it
+/// (Fig. 2 of the paper explains why the newest empty record must stay).
+void purge_log(Log& log);
+
+enum class MergePolicy : std::uint8_t {
+  /// Sound refinement (the default). Records of the *same* write keep the
+  /// intersection of their destination lists — each side pruned only what
+  /// its own causal past justified, and the reader is in the causal future
+  /// of both. Older records with a NON-EMPTY destination list survive: they
+  /// are unproven obligations, and deleting them merely because the other
+  /// log has a newer record from the same sender can drop the co-maximal
+  /// carrier of an obligation when two causal paths cross-justify their
+  /// prunes (see DESIGN.md §6 — the checker exposed real causality
+  /// violations under the paper's rule).
+  kConservative,
+  /// Paper Algorithm 3 verbatim: any record older than a same-sender record
+  /// in the other log is deleted. Kept for the reproduction of the defect.
+  kPaperAggressive,
+};
+
+/// Paper MERGE(LOG_i, L_w): combine the piggybacked log of a read value into
+/// the local log. Surviving incoming records are appended.
+void merge_logs(Log& local, Log incoming,
+                MergePolicy policy = MergePolicy::kConservative);
+
+/// Serialized size in bytes (also used as the space metric for logs).
+std::uint64_t log_byte_size(const Log& log);
+
+void encode_log(net::Encoder& enc, const Log& log);
+Log decode_log(net::Decoder& dec);
+
+void encode_entry(net::Encoder& enc, const LogEntry& e);
+LogEntry decode_entry(net::Decoder& dec);
+
+}  // namespace ccpr::causal

@@ -1,0 +1,154 @@
+#include "causal/opt_track_crp.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+OptTrackCRP::OptTrackCRP(SiteId self, const ReplicaMap& rmap, Services svc)
+    : ProtocolBase(self, rmap, std::move(svc), /*fetch_gating=*/false),
+      apply_(rmap.sites(), 0) {
+  CCPR_EXPECTS(rmap.fully_replicated());
+}
+
+void OptTrackCRP::write(VarId x, std::string data) {
+  CCPR_EXPECTS(x < rmap_.vars());
+  ++clock_;
+  const WriteId id = next_write_id();
+  CCPR_ASSERT(id.seq == clock_);
+  note_write_issued(x, id);
+
+  Value v = make_value(id, std::move(data));
+  const auto payload = static_cast<std::uint32_t>(v.data.size());
+
+  net::Encoder enc;
+  enc.varint(x);
+  encode_value(enc, v);
+  enc.varint(clock_);
+  enc.varint(log_.size());
+  for (const Entry& e : log_) {
+    enc.varint(e.sender);
+    enc.varint(e.clock);
+  }
+  const auto& body = enc.buffer();
+  const std::uint32_t n = rmap_.sites();
+  for (SiteId j = 0; j < n; ++j) {
+    if (j == self_) continue;
+    net::Message msg;
+    msg.kind = net::MsgKind::kUpdate;
+    msg.src = self_;
+    msg.dst = j;
+    msg.body = body;
+    msg.payload_bytes = payload;
+    svc_.send(std::move(msg));
+  }
+
+  // Fig. 3: the new write subsumes everything in the log.
+  log_.assign(1, Entry{self_, clock_});
+  apply_[self_] = clock_;
+  last_write_on_[x] = Entry{self_, clock_};
+  apply_own_write(x, std::move(v));
+  sample_space();
+}
+
+bool OptTrackCRP::ready(const Update& u) const {
+  for (const Entry& o : u.log) {
+    if (apply_[o.sender] < o.clock) return false;
+  }
+  return true;
+}
+
+void OptTrackCRP::apply(Update&& u) {
+  apply_[u.sender] = u.clock;
+  last_write_on_[u.x] = Entry{u.sender, u.clock};
+  apply_value(u.x, std::move(u.v), u.receipt);
+}
+
+void OptTrackCRP::on_update(const net::Message& msg) {
+  net::Decoder dec(msg.body);
+  Update u;
+  u.x = static_cast<VarId>(dec.varint());
+  u.v = decode_value(dec);
+  u.clock = dec.varint();
+  const std::uint64_t k = dec.varint();
+  // Bound the reserve by what the buffer could possibly hold (2+ bytes per
+  // entry) — the count is untrusted wire data.
+  u.log.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(k, dec.remaining() / 2)));
+  for (std::uint64_t i = 0; i < k && dec.ok(); ++i) {
+    const auto sender = static_cast<SiteId>(dec.varint());
+    const std::uint64_t clk = dec.varint();
+    u.log.push_back(Entry{sender, clk});
+  }
+  u.sender = msg.src;
+  u.receipt = svc_.now();
+  CCPR_ASSERT(dec.ok());
+  pending_.submit(
+      std::move(u), [this](const Update& p) { return ready(p); },
+      [this](Update&& p) { apply(std::move(p)); });
+  svc_.metrics->note_pending(pending_.size());
+  sample_space();
+}
+
+void OptTrackCRP::merge_entry(Entry e) {
+  // Alg. 4 MERGE with the obvious refinement: keep only the newest entry per
+  // sender (adding an entry older than an existing one would only re-add
+  // already-satisfied wait conditions).
+  for (auto it = log_.begin(); it != log_.end(); ++it) {
+    if (it->sender != e.sender) continue;
+    if (it->clock >= e.clock) return;
+    it->clock = e.clock;
+    return;
+  }
+  log_.push_back(e);
+}
+
+void OptTrackCRP::merge_on_local_read(VarId x) {
+  const auto it = last_write_on_.find(x);
+  if (it == last_write_on_.end()) return;  // initial value: no dependency
+  merge_entry(it->second);
+  sample_space();
+}
+
+void OptTrackCRP::encode_fetch_resp_meta(net::Encoder&, VarId) {
+  CCPR_UNREACHABLE("Opt-Track-CRP requires full replication; reads are local");
+}
+
+void OptTrackCRP::merge_fetch_resp_meta(VarId, SiteId, net::Decoder&) {
+  CCPR_UNREACHABLE("Opt-Track-CRP requires full replication; reads are local");
+}
+
+std::uint64_t OptTrackCRP::meta_state_bytes() const {
+  const std::uint64_t entry_bytes = sizeof(SiteId) + sizeof(std::uint64_t);
+  return sizeof(std::uint64_t) +
+         static_cast<std::uint64_t>(apply_.size()) * sizeof(std::uint64_t) +
+         static_cast<std::uint64_t>(log_.size()) * entry_bytes +
+         static_cast<std::uint64_t>(last_write_on_.size()) *
+             (sizeof(VarId) + entry_bytes);
+}
+
+void OptTrackCRP::sample_space() {
+  svc_.metrics->log_entries.add_sample(log_.size());
+  svc_.metrics->meta_state_bytes.add_sample(meta_state_bytes());
+}
+
+
+// Coverage tokens under full replication: the Apply vector is the causal
+// frontier, and every write reaches every site, so "target has applied at
+// least what I have applied" is exactly session freshness.
+void OptTrackCRP::encode_fetch_req_meta(net::Encoder& enc, VarId /*x*/,
+                                  SiteId /*target*/) {
+  for (const std::uint64_t a : apply_) enc.varint(a);
+}
+
+bool OptTrackCRP::fetch_ready(VarId /*x*/, net::Decoder& meta) {
+  for (std::size_t z = 0; z < apply_.size(); ++z) {
+    const std::uint64_t need = meta.varint();
+    if (apply_[z] < need) return false;
+  }
+  CCPR_ASSERT(meta.ok());
+  return true;
+}
+
+}  // namespace ccpr::causal

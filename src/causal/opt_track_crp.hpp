@@ -1,0 +1,76 @@
+// Algorithm Opt-Track-CRP (paper Algorithm 4): the full-replication
+// specialization of Opt-Track.
+//
+// Under full replication every write goes to every site, so destination
+// lists are constant and need not be carried: a log record shrinks to the
+// 2-tuple <sender, clock>. Two further structural savings (paper Fig. 3):
+//   * the local log resets to {<self, clock>} after every write — all prior
+//     records share the new write's destination set and are subsumed by
+//     Condition 2;
+//   * applying a write stores only that write's own 2-tuple as
+//     LastWriteOn<x>.
+// The log therefore holds at most d+1 entries, d = reads since the last
+// local write, which is what beats OptP's O(n) per-message overhead.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "causal/protocol_base.hpp"
+
+namespace ccpr::causal {
+
+class OptTrackCRP final : public ProtocolBase {
+ public:
+  /// Requires a fully replicated ReplicaMap (all reads are local).
+  OptTrackCRP(SiteId self, const ReplicaMap& rmap, Services svc);
+
+  void write(VarId x, std::string data) override;
+
+  std::size_t pending_update_count() const override { return pending_.size(); }
+  std::uint64_t log_entry_count() const override { return log_.size(); }
+  std::uint64_t meta_state_bytes() const override;
+  Algorithm algorithm() const override { return Algorithm::kOptTrackCRP; }
+
+  /// Test hooks.
+  struct Entry {
+    SiteId sender;
+    std::uint64_t clock;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  const std::vector<Entry>& log() const noexcept { return log_; }
+  std::uint64_t applied_clock(SiteId j) const { return apply_[j]; }
+
+ protected:
+  void on_update(const net::Message& msg) override;
+  void merge_on_local_read(VarId x) override;
+  void encode_fetch_resp_meta(net::Encoder& enc, VarId x) override;
+  void merge_fetch_resp_meta(VarId x, SiteId responder,
+                             net::Decoder& dec) override;
+  void encode_fetch_req_meta(net::Encoder& enc, VarId x,
+                             SiteId target) override;
+  bool fetch_ready(VarId x, net::Decoder& meta) override;
+
+ private:
+  struct Update {
+    VarId x;
+    Value v;
+    SiteId sender;
+    std::uint64_t clock;
+    std::vector<Entry> log;
+    sim::SimTime receipt;
+  };
+
+  bool ready(const Update& u) const;
+  void apply(Update&& u);
+  void merge_entry(Entry e);
+  void sample_space();
+
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> apply_;
+  std::vector<Entry> log_;
+  std::unordered_map<VarId, Entry> last_write_on_;
+  PendingBuffer<Update> pending_;
+};
+
+}  // namespace ccpr::causal

@@ -1,0 +1,124 @@
+#include "causal/optp.hpp"
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+OptP::OptP(SiteId self, const ReplicaMap& rmap, Services svc)
+    : ProtocolBase(self, rmap, std::move(svc), /*fetch_gating=*/false),
+      n_(rmap.sites()),
+      write_(n_, 0),
+      apply_(n_, 0) {
+  CCPR_EXPECTS(rmap.fully_replicated());
+}
+
+void OptP::write(VarId x, std::string data) {
+  CCPR_EXPECTS(x < rmap_.vars());
+  const WriteId id = next_write_id();
+  note_write_issued(x, id);
+  ++write_[self_];
+
+  Value v = make_value(id, std::move(data));
+  const auto payload = static_cast<std::uint32_t>(v.data.size());
+
+  net::Encoder enc;
+  enc.varint(x);
+  encode_value(enc, v);
+  for (const std::uint64_t c : write_) enc.varint(c);
+  const auto& body = enc.buffer();
+  for (SiteId j = 0; j < n_; ++j) {
+    if (j == self_) continue;
+    net::Message msg;
+    msg.kind = net::MsgKind::kUpdate;
+    msg.src = self_;
+    msg.dst = j;
+    msg.body = body;
+    msg.payload_bytes = payload;
+    svc_.send(std::move(msg));
+  }
+
+  ++apply_[self_];
+  last_write_on_[x] = write_;
+  apply_own_write(x, std::move(v));
+  sample_space();
+}
+
+bool OptP::ready(const Update& u) const {
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    if (k == u.sender) continue;
+    if (apply_[k] < u.w[k]) return false;
+  }
+  return apply_[u.sender] == u.w[u.sender] - 1;
+}
+
+void OptP::apply(Update&& u) {
+  ++apply_[u.sender];
+  last_write_on_[u.x] = std::move(u.w);
+  apply_value(u.x, std::move(u.v), u.receipt);
+}
+
+void OptP::on_update(const net::Message& msg) {
+  net::Decoder dec(msg.body);
+  Update u;
+  u.x = static_cast<VarId>(dec.varint());
+  u.v = decode_value(dec);
+  u.w.resize(n_);
+  for (auto& c : u.w) c = dec.varint();
+  u.sender = msg.src;
+  u.receipt = svc_.now();
+  CCPR_ASSERT(dec.ok());
+  pending_.submit(
+      std::move(u), [this](const Update& p) { return ready(p); },
+      [this](Update&& p) { apply(std::move(p)); });
+  svc_.metrics->note_pending(pending_.size());
+  sample_space();
+}
+
+void OptP::merge_on_local_read(VarId x) {
+  const auto it = last_write_on_.find(x);
+  if (it == last_write_on_.end()) return;
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    if (it->second[k] > write_[k]) write_[k] = it->second[k];
+  }
+}
+
+void OptP::encode_fetch_resp_meta(net::Encoder&, VarId) {
+  CCPR_UNREACHABLE("OptP requires full replication; reads are local");
+}
+
+void OptP::merge_fetch_resp_meta(VarId, SiteId, net::Decoder&) {
+  CCPR_UNREACHABLE("OptP requires full replication; reads are local");
+}
+
+std::uint64_t OptP::meta_state_bytes() const {
+  const std::uint64_t vec_bytes =
+      static_cast<std::uint64_t>(n_) * sizeof(std::uint64_t);
+  return 2 * vec_bytes +
+         static_cast<std::uint64_t>(last_write_on_.size()) *
+             (sizeof(VarId) + vec_bytes);
+}
+
+void OptP::sample_space() {
+  svc_.metrics->log_entries.add_sample(log_entry_count());
+  svc_.metrics->meta_state_bytes.add_sample(meta_state_bytes());
+}
+
+
+// Coverage tokens under full replication: the Apply vector is the causal
+// frontier, and every write reaches every site, so "target has applied at
+// least what I have applied" is exactly session freshness.
+void OptP::encode_fetch_req_meta(net::Encoder& enc, VarId /*x*/,
+                                  SiteId /*target*/) {
+  for (const std::uint64_t a : apply_) enc.varint(a);
+}
+
+bool OptP::fetch_ready(VarId /*x*/, net::Decoder& meta) {
+  for (std::size_t z = 0; z < apply_.size(); ++z) {
+    const std::uint64_t need = meta.varint();
+    if (apply_[z] < need) return false;
+  }
+  CCPR_ASSERT(meta.ok());
+  return true;
+}
+
+}  // namespace ccpr::causal

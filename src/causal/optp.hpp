@@ -1,0 +1,70 @@
+// Algorithm OptP — the Baldoni, Milani, Piergiovanni complete-replication
+// protocol with the optimal activation predicate, reconstructed as the
+// vector specialization of Full-Track (DESIGN.md §6: under full replication
+// every write reaches every site, so the Write matrix's columns are
+// identical and collapse into an n-entry vector).
+//
+// This is the paper's head-to-head baseline for Opt-Track-CRP (Table I):
+// O(n) control bytes per message, O(n) write/read time, O(nq) space.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "causal/protocol_base.hpp"
+
+namespace ccpr::causal {
+
+class OptP final : public ProtocolBase {
+ public:
+  /// Requires a fully replicated ReplicaMap.
+  OptP(SiteId self, const ReplicaMap& rmap, Services svc);
+
+  void write(VarId x, std::string data) override;
+
+  std::size_t pending_update_count() const override { return pending_.size(); }
+  std::uint64_t log_entry_count() const override {
+    return write_.size() +
+           static_cast<std::uint64_t>(last_write_on_.size()) * n_;
+  }
+  std::uint64_t meta_state_bytes() const override;
+  Algorithm algorithm() const override { return Algorithm::kOptP; }
+
+  /// Test hooks.
+  const std::vector<std::uint64_t>& write_clock() const noexcept {
+    return write_;
+  }
+  std::uint64_t applied_from(SiteId j) const { return apply_[j]; }
+
+ protected:
+  void on_update(const net::Message& msg) override;
+  void merge_on_local_read(VarId x) override;
+  void encode_fetch_resp_meta(net::Encoder& enc, VarId x) override;
+  void merge_fetch_resp_meta(VarId x, SiteId responder,
+                             net::Decoder& dec) override;
+  void encode_fetch_req_meta(net::Encoder& enc, VarId x,
+                             SiteId target) override;
+  bool fetch_ready(VarId x, net::Decoder& meta) override;
+
+ private:
+  struct Update {
+    VarId x;
+    Value v;
+    SiteId sender;
+    std::vector<std::uint64_t> w;
+    sim::SimTime receipt;
+  };
+
+  bool ready(const Update& u) const;
+  void apply(Update&& u);
+  void sample_space();
+
+  std::uint32_t n_;
+  /// write_[k] = number of writes by ap_k in the causal past under ->co.
+  std::vector<std::uint64_t> write_;
+  std::vector<std::uint64_t> apply_;
+  std::unordered_map<VarId, std::vector<std::uint64_t>> last_write_on_;
+  PendingBuffer<Update> pending_;
+};
+
+}  // namespace ccpr::causal

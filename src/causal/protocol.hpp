@@ -1,0 +1,99 @@
+// The protocol interface every causal-memory algorithm implements.
+//
+// A protocol instance is the per-site state machine of one algorithm. It is
+// runtime-agnostic: all side effects go through the Services struct, so the
+// same object runs on the deterministic simulator and on the threaded
+// runtime. Blocking constructs from the paper are expressed event-style:
+//   * the "wait until <activation predicate>" of an update becomes a pending
+//     buffer that is re-scanned after every apply;
+//   * the synchronous RemoteFetch becomes a continuation resumed when the
+//     fetch response message arrives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "causal/types.hpp"
+#include "net/message.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ccpr::metrics {
+struct Metrics;
+}
+namespace ccpr::checker {
+class HistoryRecorder;
+}
+
+namespace ccpr::causal {
+
+/// Everything a protocol may do to the outside world.
+struct Services {
+  /// Asynchronous message send; the protocol fills msg.src/dst.
+  std::function<void(net::Message)> send;
+  /// Current time in microseconds (virtual on the simulator, monotonic wall
+  /// time on the threaded runtime); used for latency accounting only.
+  std::function<sim::SimTime()> now;
+  /// Optional timer: run `fn` after `delay` microseconds. Enables the §V
+  /// availability feature (RemoteFetch timeout + secondary replica). Null
+  /// on runtimes without timers; the feature degrades to no-timeout.
+  std::function<void(sim::SimTime delay, std::function<void()> fn)> schedule;
+  /// Per-site metrics sink (required).
+  metrics::Metrics* metrics = nullptr;
+  /// Optional history recorder for the offline causal checker.
+  checker::HistoryRecorder* recorder = nullptr;
+};
+
+using ReadContinuation = std::function<void(const Value&)>;
+
+class IProtocol {
+ public:
+  virtual ~IProtocol() = default;
+
+  /// Perform w_i(x)v. Completes synchronously (propagation is async).
+  virtual void write(VarId x, std::string data) = 0;
+
+  /// Perform r_i(x). `k` is invoked with the value — synchronously if the
+  /// variable is locally replicated, otherwise when the RemoteFetch response
+  /// arrives. `k` may issue further operations.
+  virtual void read(VarId x, ReadContinuation k) = 0;
+
+  /// Deliver a transport message addressed to this site.
+  virtual void on_message(const net::Message& msg) = 0;
+
+  /// Inspect the locally stored value of x without generating a read event
+  /// (used by the convergence auditor and tests; not part of the paper's
+  /// operation model).
+  virtual const Value& peek(VarId x) const = 0;
+
+  // ---- session migration (client handoff between sites) ----
+  //
+  // A client that moves from site A to site B carries A's causal context;
+  // B must catch up before serving it or the client loses its session
+  // guarantees (the offline checker cannot flag this: the client's
+  // operations are recorded under two different application processes).
+  // The token is exactly the freshness requirement the RemoteFetch gating
+  // already computes: "everything in A's causal past destined to B".
+
+  /// Serialize this site's coverage requirement for `target`.
+  virtual std::vector<std::uint8_t> coverage_token(SiteId target) = 0;
+  /// Whether this site has applied everything a token requires.
+  virtual bool covered_by(const std::vector<std::uint8_t>& token) = 0;
+
+  /// Updates received but whose activation predicate is still false.
+  virtual std::size_t pending_update_count() const = 0;
+
+  /// Entries currently held in the local causal log (algorithm-specific
+  /// unit; see DESIGN.md "space" notes).
+  virtual std::uint64_t log_entry_count() const = 0;
+
+  /// Serialized footprint in bytes of all causal metadata at this site
+  /// (clocks, logs, per-variable LastWriteOn records) — the paper's space
+  /// metric, excluding the replicated values themselves.
+  virtual std::uint64_t meta_state_bytes() const = 0;
+
+  virtual Algorithm algorithm() const = 0;
+};
+
+}  // namespace ccpr::causal

@@ -1,0 +1,258 @@
+#include "causal/protocol_base.hpp"
+
+#include "checker/convergence.hpp"
+#include "checker/recorder.hpp"
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+namespace {
+const Value kInitialValue{};
+}  // namespace
+
+ProtocolBase::ProtocolBase(SiteId self, const ReplicaMap& rmap, Services svc,
+                           bool fetch_gating)
+    : self_(self), rmap_(rmap), svc_(std::move(svc)),
+      fetch_gating_(fetch_gating) {
+  CCPR_EXPECTS(self < rmap_.sites());
+  CCPR_EXPECTS(svc_.metrics != nullptr);
+  CCPR_EXPECTS(static_cast<bool>(svc_.send));
+  CCPR_EXPECTS(static_cast<bool>(svc_.now));
+}
+
+const Value& ProtocolBase::stored(VarId x) const {
+  const auto it = store_.find(x);
+  return it == store_.end() ? kInitialValue : it->second;
+}
+
+void ProtocolBase::store_value(VarId x, Value v) {
+  if (convergent_) {
+    // LWW register: keep the winner under the deterministic total order on
+    // (seq, writer); initial values always lose.
+    const auto it = store_.find(x);
+    if (it != store_.end() &&
+        &checker::lww_winner(it->second, v) == &it->second) {
+      return;
+    }
+  }
+  store_[x] = std::move(v);
+}
+
+void ProtocolBase::apply_value(VarId x, Value v, sim::SimTime receipt) {
+  const WriteId id = v.id;
+  observe_lamport(v.lamport);
+  store_value(x, std::move(v));
+  if (svc_.recorder != nullptr) svc_.recorder->on_apply(self_, id, x);
+  svc_.metrics->apply_delay_us.add(
+      static_cast<double>(svc_.now() - receipt));
+  service_pending_fetches();
+  service_deferred_reads();
+}
+
+void ProtocolBase::apply_own_write(VarId x, Value v) {
+  const WriteId id = v.id;
+  store_value(x, std::move(v));
+  if (svc_.recorder != nullptr) svc_.recorder->on_apply(self_, id, x);
+  svc_.metrics->apply_delay_us.add(0.0);
+  service_pending_fetches();
+}
+
+void ProtocolBase::note_write_issued(VarId x, WriteId id) {
+  ++svc_.metrics->writes;
+  svc_.metrics->write_latency_us.add(0.0);
+  if (svc_.recorder != nullptr) svc_.recorder->on_write(self_, id, x);
+}
+
+net::Message ProtocolBase::make_message(net::MsgKind kind, SiteId dst,
+                                        net::Encoder&& enc,
+                                        std::uint32_t payload_bytes) const {
+  net::Message msg;
+  msg.kind = kind;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.body = std::move(enc).take();
+  msg.payload_bytes = payload_bytes;
+  CCPR_ASSERT(msg.payload_bytes <= msg.body.size());
+  return msg;
+}
+
+void ProtocolBase::read(VarId x, ReadContinuation k) {
+  CCPR_EXPECTS(x < rmap_.vars());
+  ++svc_.metrics->reads;
+  const sim::SimTime issued = svc_.now();
+  if (rmap_.replicated_at(x, self_)) {
+    merge_on_local_read(x);
+    const Value& v = stored(x);
+    if (svc_.recorder != nullptr) svc_.recorder->on_read(self_, x, v.id);
+    svc_.metrics->read_latency_us.add(0.0);
+    k(v);
+    return;
+  }
+  // RemoteFetch from the pre-designated replica.
+  ++svc_.metrics->remote_reads;
+  auto pr = std::make_shared<PendingRead>();
+  pr->var = x;
+  pr->k = std::move(k);
+  pr->issued = issued;
+  start_fetch(pr);
+}
+
+void ProtocolBase::start_fetch(const std::shared_ptr<PendingRead>& pr) {
+  const SiteId target =
+      rmap_.fetch_target_ranked(pr->var, self_, pr->attempt);
+  const std::uint64_t req_id = next_req_++;
+  pr->req_ids.push_back(req_id);
+  pending_reads_.emplace(req_id, pr);
+  net::Encoder enc;
+  enc.varint(pr->var);
+  enc.varint(req_id);
+  if (fetch_gating_) encode_fetch_req_meta(enc, pr->var, target);
+  svc_.send(
+      make_message(net::MsgKind::kFetchReq, target, std::move(enc), 0));
+  if (fetch_timeout_us_ > 0 && svc_.schedule) {
+    svc_.schedule(fetch_timeout_us_,
+                  [this, req_id] { on_fetch_timeout(req_id); });
+  }
+}
+
+void ProtocolBase::on_fetch_timeout(std::uint64_t req_id) {
+  const auto it = pending_reads_.find(req_id);
+  if (it == pending_reads_.end()) return;  // read already completed
+  const std::shared_ptr<PendingRead> pr = it->second;
+  if (pr->done) return;
+  // The earlier request stays outstanding — whichever replica answers
+  // first completes the read.
+  ++pr->attempt;
+  ++svc_.metrics->fetch_retries;
+  start_fetch(pr);
+}
+
+void ProtocolBase::on_message(const net::Message& msg) {
+  switch (msg.kind) {
+    case net::MsgKind::kUpdate:
+      on_update(msg);
+      return;
+    case net::MsgKind::kFetchReq:
+      handle_fetch_req(msg);
+      return;
+    case net::MsgKind::kFetchResp:
+      handle_fetch_resp(msg);
+      return;
+  }
+  CCPR_UNREACHABLE("bad message kind");
+}
+
+void ProtocolBase::encode_fetch_req_meta(net::Encoder&, VarId, SiteId) {}
+
+bool ProtocolBase::fetch_ready(VarId, net::Decoder&) { return true; }
+
+std::vector<std::uint8_t> ProtocolBase::coverage_token(SiteId target) {
+  net::Encoder enc;
+  encode_fetch_req_meta(enc, /*x=*/0, target);
+  return std::move(enc).take();
+}
+
+bool ProtocolBase::covered_by(const std::vector<std::uint8_t>& token) {
+  net::Decoder dec(token.data(), token.size());
+  return fetch_ready(/*x=*/0, dec);
+}
+
+void ProtocolBase::handle_fetch_req(const net::Message& msg) {
+  net::Decoder dec(msg.body);
+  const auto x = static_cast<VarId>(dec.varint());
+  const std::uint64_t req_id = dec.varint();
+  CCPR_ASSERT(dec.ok());
+  CCPR_ASSERT(rmap_.replicated_at(x, self_));
+  if (fetch_gating_) {
+    // Stash the remaining bytes (gating metadata) and re-check after every
+    // local apply until the freshness condition holds.
+    std::vector<std::uint8_t> meta(msg.body.end() -
+                                       static_cast<std::ptrdiff_t>(
+                                           dec.remaining()),
+                                   msg.body.end());
+    net::Decoder meta_dec(meta.data(), meta.size());
+    if (!fetch_ready(x, meta_dec)) {
+      pending_fetches_.push_back(
+          PendingFetch{msg.src, x, req_id, std::move(meta)});
+      return;
+    }
+  }
+  serve_fetch(msg.src, x, req_id);
+}
+
+void ProtocolBase::serve_fetch(SiteId requester, VarId x,
+                               std::uint64_t req_id) {
+  const Value& v = stored(x);
+  net::Encoder enc;
+  enc.varint(req_id);
+  enc.varint(x);
+  encode_value(enc, v);
+  encode_fetch_resp_meta(enc, x);
+  svc_.send(make_message(net::MsgKind::kFetchResp, requester, std::move(enc),
+                         static_cast<std::uint32_t>(v.data.size())));
+}
+
+void ProtocolBase::service_pending_fetches() {
+  if (pending_fetches_.empty()) return;
+  for (auto it = pending_fetches_.begin(); it != pending_fetches_.end();) {
+    net::Decoder meta(it->meta.data(), it->meta.size());
+    if (fetch_ready(it->var, meta)) {
+      serve_fetch(it->requester, it->var, it->req_id);
+      it = pending_fetches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ProtocolBase::handle_fetch_resp(const net::Message& msg) {
+  net::Decoder dec(msg.body);
+  const std::uint64_t req_id = dec.varint();
+  const auto x = static_cast<VarId>(dec.varint());
+  Value v = decode_value(dec);
+  CCPR_ASSERT(dec.ok());
+  const auto it = pending_reads_.find(req_id);
+  if (it == pending_reads_.end()) {
+    // Response for a read that already completed (its aliases were erased).
+    return;
+  }
+  const std::shared_ptr<PendingRead> pr = it->second;
+  CCPR_ASSERT(pr->var == x);
+  CCPR_ASSERT(!pr->done);
+  pr->done = true;
+  for (const std::uint64_t alias : pr->req_ids) pending_reads_.erase(alias);
+  observe_lamport(v.lamport);
+  merge_fetch_resp_meta(x, msg.src, dec);
+  // The fetch may have taught this site about writes destined here that it
+  // has not applied yet; completing the read before they land would let the
+  // *next local read* observe a causally stale value. Defer until the local
+  // store covers the (just enlarged) causal past.
+  if (fetch_gating_ && !locally_covered()) {
+    deferred_reads_.push_back(
+        DeferredRead{x, std::move(v), std::move(pr->k), pr->issued});
+    return;
+  }
+  complete_read(x, v, pr->issued);
+  pr->k(v);
+}
+
+void ProtocolBase::complete_read(VarId x, const Value& v,
+                                 sim::SimTime issued) {
+  if (svc_.recorder != nullptr) svc_.recorder->on_read(self_, x, v.id);
+  svc_.metrics->read_latency_us.add(
+      static_cast<double>(svc_.now() - issued));
+}
+
+void ProtocolBase::service_deferred_reads() {
+  if (deferred_reads_.empty() || !locally_covered()) return;
+  // One apply can release every deferred read at once; take the batch out
+  // first because continuations may issue new operations.
+  std::vector<DeferredRead> ready;
+  ready.swap(deferred_reads_);
+  for (DeferredRead& dr : ready) {
+    complete_read(dr.var, dr.value, dr.issued);
+    dr.k(dr.value);
+  }
+}
+
+}  // namespace ccpr::causal

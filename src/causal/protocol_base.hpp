@@ -1,0 +1,203 @@
+// Shared machinery for all protocol implementations:
+//   * the local variable store,
+//   * the RemoteFetch request/response state machine (with optional
+//     freshness gating, see DESIGN.md §6),
+//   * value wire encoding,
+//   * apply/read bookkeeping against the metrics and the history recorder,
+//   * a pending buffer that realizes the paper's "wait until <activation
+//     predicate>" without blocking threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "causal/protocol.hpp"
+#include "causal/value_codec.hpp"
+#include "causal/replica_map.hpp"
+#include "metrics/metrics.hpp"
+#include "net/wire.hpp"
+
+namespace ccpr::causal {
+
+/// Holds updates whose activation predicate is not yet true and re-scans
+/// them after every apply until a fixpoint is reached.
+template <class Update>
+class PendingBuffer {
+ public:
+  /// Either applies `u` now (and then drains whatever it unblocked) or
+  /// buffers it. `ready(u)` must be side-effect free; `apply(u)` performs
+  /// the apply and may change state that makes other updates ready.
+  template <class Ready, class Apply>
+  void submit(Update u, Ready&& ready, Apply&& apply) {
+    if (ready(u)) {
+      apply(std::move(u));
+      drain(ready, apply);
+    } else {
+      pending_.push_back(std::move(u));
+    }
+  }
+
+  template <class Ready, class Apply>
+  void drain(Ready&& ready, Apply&& apply) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (ready(*it)) {
+          Update u = std::move(*it);
+          pending_.erase(it);
+          apply(std::move(u));
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::size_t size() const noexcept { return pending_.size(); }
+
+ private:
+  std::vector<Update> pending_;
+};
+
+class ProtocolBase : public IProtocol {
+ public:
+  void read(VarId x, ReadContinuation k) final;
+  void on_message(const net::Message& msg) final;
+  const Value& peek(VarId x) const final { return stored(x); }
+  std::vector<std::uint8_t> coverage_token(SiteId target) final;
+  bool covered_by(const std::vector<std::uint8_t>& token) final;
+
+  /// Causal+ mode (paper §V): apply writes through a deterministic
+  /// last-writer-wins register so replicas converge once updates cease.
+  /// Causal consistency is unaffected — an apply that loses LWW is exactly
+  /// a write already causally- or concurrently-overwritten locally.
+  void set_convergent(bool on) noexcept { convergent_ = on; }
+  bool convergent() const noexcept { return convergent_; }
+
+  /// §V availability: if a RemoteFetch gets no response within `us`
+  /// (virtual time), retry against the next-preferred replica. 0 disables;
+  /// requires Services::schedule (otherwise silently disabled).
+  void set_fetch_timeout(sim::SimTime us) noexcept { fetch_timeout_us_ = us; }
+
+ protected:
+  ProtocolBase(SiteId self, const ReplicaMap& rmap, Services svc,
+               bool fetch_gating);
+
+  // ---- hooks implemented by each algorithm ----
+
+  /// Handle an incoming kUpdate message.
+  virtual void on_update(const net::Message& msg) = 0;
+  /// Merge LastWriteOn<x> into the local causal state (x is locally
+  /// replicated; called before returning a local read).
+  virtual void merge_on_local_read(VarId x) = 0;
+  /// Extra metadata on fetch requests (freshness gating); default: none.
+  virtual void encode_fetch_req_meta(net::Encoder& enc, VarId x,
+                                     SiteId target);
+  /// Whether this site may answer a fetch for x given the request metadata;
+  /// default: always. Re-evaluated after every apply.
+  virtual bool fetch_ready(VarId x, net::Decoder& meta);
+  /// LastWriteOn<x> metadata piggybacked on fetch responses.
+  virtual void encode_fetch_resp_meta(net::Encoder& enc, VarId x) = 0;
+  /// Merge fetch-response metadata at the reader; `responder` is the
+  /// replica that served the fetch.
+  virtual void merge_fetch_resp_meta(VarId x, SiteId responder,
+                                     net::Decoder& dec) = 0;
+  /// Whether the local store has applied every write destined to this site
+  /// that is in the site's causal past. Always true for full-replication
+  /// protocols; partial-replication protocols override it so that a remote
+  /// read completes only once the local replicas have caught up with the
+  /// causal knowledge the fetch brought in (DESIGN.md §6 — without this,
+  /// the next *local* read can be causally stale, a gap in the paper's
+  /// pseudo-code that the checker exposed).
+  virtual bool locally_covered() const { return true; }
+
+  // ---- utilities ----
+
+  /// Current locally stored value (initial Value{} if never written).
+  const Value& stored(VarId x) const;
+  void store_value(VarId x, Value v);
+
+  /// Bookkeeping for one apply event: writes the store, notifies recorder
+  /// and metrics, and re-checks gated fetches that may now be answerable.
+  void apply_value(VarId x, Value v, sim::SimTime receipt);
+
+  /// Bookkeeping for a local write that is also locally applied.
+  void apply_own_write(VarId x, Value v);
+
+  /// Allocate this site's next WriteId (seq starts at 1).
+  WriteId next_write_id() { return {self_, ++write_seq_}; }
+  std::uint64_t write_seq() const noexcept { return write_seq_; }
+
+  /// Build the value for a local write, stamping the Lamport clock (ticked
+  /// on every write, merged from every value observed).
+  Value make_value(WriteId id, std::string data) {
+    return Value{id, ++lamport_, std::move(data)};
+  }
+  void observe_lamport(std::uint64_t l) noexcept {
+    if (l > lamport_) lamport_ = l;
+  }
+  std::uint64_t lamport_clock() const noexcept { return lamport_; }
+
+  net::Message make_message(net::MsgKind kind, SiteId dst, net::Encoder&& enc,
+                            std::uint32_t payload_bytes) const;
+
+  void note_write_issued(VarId x, WriteId id);
+
+  SiteId self_;
+  const ReplicaMap& rmap_;
+  Services svc_;
+  bool fetch_gating_;
+
+ private:
+  /// One logical remote read; multiple outstanding fetch requests (the
+  /// original plus failover retries) may point at the same state, and the
+  /// first response wins — later ones find `done` and are discarded.
+  struct PendingRead {
+    VarId var;
+    ReadContinuation k;
+    sim::SimTime issued;
+    std::uint32_t attempt = 0;  // 0 = pre-designated target, 1+ = failover
+    bool done = false;
+    std::vector<std::uint64_t> req_ids;  // aliases to clean up on completion
+  };
+  struct PendingFetch {
+    SiteId requester;
+    VarId var;
+    std::uint64_t req_id;
+    std::vector<std::uint8_t> meta;
+  };
+
+  struct DeferredRead {
+    VarId var;
+    Value value;
+    ReadContinuation k;
+    sim::SimTime issued;
+  };
+
+  void start_fetch(const std::shared_ptr<PendingRead>& pr);
+  void on_fetch_timeout(std::uint64_t req_id);
+  void handle_fetch_req(const net::Message& msg);
+  void handle_fetch_resp(const net::Message& msg);
+  void serve_fetch(SiteId requester, VarId x, std::uint64_t req_id);
+  void service_pending_fetches();
+  void complete_read(VarId x, const Value& v, sim::SimTime issued);
+  void service_deferred_reads();
+
+  std::unordered_map<VarId, Value> store_;
+  std::uint64_t write_seq_ = 0;
+  std::uint64_t lamport_ = 0;
+  bool convergent_ = false;
+  sim::SimTime fetch_timeout_us_ = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingRead>>
+      pending_reads_;
+  std::vector<PendingFetch> pending_fetches_;
+  std::vector<DeferredRead> deferred_reads_;
+  std::uint64_t next_req_ = 1;
+};
+
+}  // namespace ccpr::causal

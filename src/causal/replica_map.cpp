@@ -1,0 +1,110 @@
+#include "causal/replica_map.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+ReplicaMap::ReplicaMap(std::uint32_t n, std::vector<std::uint32_t> offsets,
+                       std::vector<SiteId> flat)
+    : n_(n), offsets_(std::move(offsets)), flat_(std::move(flat)) {}
+
+ReplicaMap ReplicaMap::even(std::uint32_t n, std::uint32_t q,
+                            std::uint32_t p) {
+  CCPR_EXPECTS(n > 0 && q > 0);
+  CCPR_EXPECTS(p >= 1 && p <= n);
+  std::vector<std::uint32_t> offsets(q + 1);
+  std::vector<SiteId> flat;
+  flat.reserve(static_cast<std::size_t>(q) * p);
+  for (VarId x = 0; x < q; ++x) {
+    offsets[x] = static_cast<std::uint32_t>(flat.size());
+    std::vector<SiteId> reps(p);
+    for (std::uint32_t k = 0; k < p; ++k) reps[k] = (x + k) % n;
+    std::sort(reps.begin(), reps.end());
+    flat.insert(flat.end(), reps.begin(), reps.end());
+  }
+  offsets[q] = static_cast<std::uint32_t>(flat.size());
+  return ReplicaMap(n, std::move(offsets), std::move(flat));
+}
+
+ReplicaMap ReplicaMap::full(std::uint32_t n, std::uint32_t q) {
+  return even(n, q, n);
+}
+
+ReplicaMap ReplicaMap::custom(std::uint32_t n,
+                              std::vector<std::vector<SiteId>> replicas) {
+  CCPR_EXPECTS(n > 0);
+  CCPR_EXPECTS(!replicas.empty());
+  std::vector<std::uint32_t> offsets(replicas.size() + 1);
+  std::vector<SiteId> flat;
+  for (std::size_t x = 0; x < replicas.size(); ++x) {
+    auto reps = replicas[x];
+    CCPR_EXPECTS(!reps.empty());
+    std::sort(reps.begin(), reps.end());
+    reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+    CCPR_EXPECTS(reps.back() < n);
+    offsets[x] = static_cast<std::uint32_t>(flat.size());
+    flat.insert(flat.end(), reps.begin(), reps.end());
+  }
+  offsets[replicas.size()] = static_cast<std::uint32_t>(flat.size());
+  return ReplicaMap(n, std::move(offsets), std::move(flat));
+}
+
+std::span<const SiteId> ReplicaMap::replicas(VarId x) const {
+  CCPR_EXPECTS(x < vars());
+  return {flat_.data() + offsets_[x], flat_.data() + offsets_[x + 1]};
+}
+
+bool ReplicaMap::replicated_at(VarId x, SiteId s) const {
+  const auto reps = replicas(x);
+  return std::binary_search(reps.begin(), reps.end(), s);
+}
+
+SiteId ReplicaMap::fetch_target(VarId x, SiteId reader) const {
+  CCPR_EXPECTS(reader < n_);
+  const auto reps = replicas(x);
+  if (std::binary_search(reps.begin(), reps.end(), reader)) return reader;
+  SiteId best = reps.front();
+  std::uint32_t best_dist = (best + n_ - reader) % n_;
+  for (const SiteId s : reps) {
+    const std::uint32_t d = (s + n_ - reader) % n_;
+    if (d < best_dist) {
+      best = s;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+SiteId ReplicaMap::fetch_target_ranked(VarId x, SiteId reader,
+                                       std::uint32_t rank) const {
+  CCPR_EXPECTS(reader < n_);
+  const auto reps = replicas(x);
+  std::vector<SiteId> ordered(reps.begin(), reps.end());
+  std::sort(ordered.begin(), ordered.end(), [&](SiteId a, SiteId b) {
+    const std::uint32_t da = (a + n_ - reader) % n_;
+    const std::uint32_t db = (b + n_ - reader) % n_;
+    return da != db ? da < db : a < b;
+  });
+  return ordered[rank % ordered.size()];
+}
+
+std::vector<VarId> ReplicaMap::vars_at(SiteId s) const {
+  CCPR_EXPECTS(s < n_);
+  std::vector<VarId> out;
+  for (VarId x = 0; x < vars(); ++x) {
+    if (replicated_at(x, s)) out.push_back(x);
+  }
+  return out;
+}
+
+double ReplicaMap::replication_factor() const {
+  return static_cast<double>(flat_.size()) / vars();
+}
+
+bool ReplicaMap::fully_replicated() const {
+  return flat_.size() == static_cast<std::size_t>(n_) * vars();
+}
+
+}  // namespace ccpr::causal

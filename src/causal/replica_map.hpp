@@ -1,0 +1,70 @@
+// Static placement of variables onto sites (the X_i sets of the paper).
+//
+// Placement is immutable for the lifetime of a run and known at every site,
+// matching the paper's model. Replica lists are stored sorted so membership
+// tests are binary searches and set algebra on them is linear merges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "causal/types.hpp"
+
+namespace ccpr::causal {
+
+class ReplicaMap {
+ public:
+  /// Ring placement: variable x is replicated at sites
+  /// {x mod n, x+1 mod n, ..., x+p-1 mod n}. Every site stores ~ p*q/n
+  /// variables, the paper's "evenly replicated" assumption.
+  static ReplicaMap even(std::uint32_t n, std::uint32_t q, std::uint32_t p);
+
+  /// Full replication (p == n); the CRP special case.
+  static ReplicaMap full(std::uint32_t n, std::uint32_t q);
+
+  /// Arbitrary placement; each inner list must be non-empty, contain valid
+  /// site ids, and will be sorted/deduplicated.
+  static ReplicaMap custom(std::uint32_t n,
+                           std::vector<std::vector<SiteId>> replicas);
+
+  std::uint32_t sites() const noexcept { return n_; }
+  std::uint32_t vars() const noexcept {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Sorted list of sites replicating x.
+  std::span<const SiteId> replicas(VarId x) const;
+
+  bool replicated_at(VarId x, SiteId s) const;
+
+  /// The pre-designated site a non-replica reader fetches x from: the
+  /// replica nearest to `reader` in ring distance, which is deterministic
+  /// and locality-friendly under `even` placement. If `reader` replicates x
+  /// it is its own target.
+  SiteId fetch_target(VarId x, SiteId reader) const;
+
+  /// The rank-th preferred fetch target (rank 0 == fetch_target). Ranks
+  /// wrap around the replica list ordered by ring distance, so retrying
+  /// with increasing ranks cycles through every replica — the paper's §V
+  /// "contact a secondary process" availability fallback.
+  SiteId fetch_target_ranked(VarId x, SiteId reader, std::uint32_t rank) const;
+
+  /// Variables replicated at site s (ascending).
+  std::vector<VarId> vars_at(SiteId s) const;
+
+  /// Average number of replicas per variable (the paper's p).
+  double replication_factor() const;
+
+  bool fully_replicated() const;
+
+ private:
+  ReplicaMap(std::uint32_t n, std::vector<std::uint32_t> offsets,
+             std::vector<SiteId> flat);
+
+  std::uint32_t n_;
+  std::vector<std::uint32_t> offsets_;  // vars()+1 entries into flat_
+  std::vector<SiteId> flat_;
+};
+
+}  // namespace ccpr::causal

@@ -1,0 +1,219 @@
+#include "causal/sim_cluster.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+namespace {
+
+std::int64_t cpu_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Routes transport deliveries into one protocol instance.
+class SimCluster::SiteSink final : public net::IMessageSink {
+ public:
+  void set_protocol(IProtocol* p) { proto_ = p; }
+  void crash() { crashed_ = true; }
+  void deliver(net::Message msg) override {
+    CCPR_ASSERT(proto_ != nullptr);
+    if (crashed_) return;  // a crashed site drops everything on the floor
+    proto_->on_message(msg);
+  }
+
+ private:
+  IProtocol* proto_ = nullptr;
+  bool crashed_ = false;
+};
+
+SimCluster::SimCluster(Algorithm alg, ReplicaMap rmap)
+    : SimCluster(alg, std::move(rmap), Options{}) {}
+
+SimCluster::SimCluster(Algorithm alg, ReplicaMap rmap, Options opts)
+    : alg_(alg),
+      rmap_(std::move(rmap)),
+      opts_(std::move(opts)),
+      latency_rng_(opts_.latency_seed) {
+  const std::uint32_t n = rmap_.sites();
+  latency_ = opts_.latency
+                 ? std::move(opts_.latency)
+                 : std::make_unique<sim::UniformLatency>(10'000, 50'000);
+  transport_ = std::make_unique<net::SimTransport>(
+      n, sched_, *latency_, latency_rng_, transport_metrics_);
+  wire_ = transport_.get();
+  if (opts_.drop_rate > 0.0 || opts_.duplicate_rate > 0.0) {
+    faulty_ = std::make_unique<net::FaultyTransport>(
+        *transport_,
+        net::FaultyTransport::Options{.drop_rate = opts_.drop_rate,
+                                      .duplicate_rate = opts_.duplicate_rate,
+                                      .seed = opts_.fault_seed});
+    reliable_ = std::make_unique<net::ReliableChannelTransport>(
+        n, *faulty_, sched_);
+    wire_ = reliable_.get();
+  }
+
+  site_metrics_.reserve(n);
+  sinks_.reserve(n);
+  protocols_.reserve(n);
+  writes_issued_.assign(n, 0);
+  for (SiteId s = 0; s < n; ++s) {
+    site_metrics_.push_back(std::make_unique<metrics::Metrics>());
+    sinks_.push_back(std::make_unique<SiteSink>());
+    wire_->connect(s, sinks_.back().get());
+
+    Services svc;
+    svc.send = [this](net::Message m) { wire_->send(std::move(m)); };
+    svc.now = [this] { return sched_.now(); };
+    svc.schedule = [this](sim::SimTime delay, std::function<void()> fn) {
+      sched_.schedule_after(delay, std::move(fn));
+    };
+    svc.metrics = site_metrics_.back().get();
+    svc.recorder = opts_.record_history ? &recorder_ : nullptr;
+    protocols_.push_back(
+        make_protocol(alg, s, rmap_, std::move(svc), opts_.protocol));
+    sinks_.back()->set_protocol(protocols_.back().get());
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+IProtocol& SimCluster::site(SiteId s) {
+  CCPR_EXPECTS(s < protocols_.size());
+  return *protocols_[s];
+}
+
+const IProtocol& SimCluster::site(SiteId s) const {
+  CCPR_EXPECTS(s < protocols_.size());
+  return *protocols_[s];
+}
+
+const metrics::Metrics& SimCluster::site_metrics(SiteId s) const {
+  CCPR_EXPECTS(s < site_metrics_.size());
+  return *site_metrics_[s];
+}
+
+std::string SimCluster::make_payload(SiteId writer, std::uint64_t nth,
+                                     std::uint32_t bytes) {
+  std::string payload = "w" + std::to_string(writer) + ":" +
+                        std::to_string(nth);
+  if (payload.size() < bytes) payload.resize(bytes, '.');
+  return payload;
+}
+
+void SimCluster::write(SiteId s, VarId x, std::string data) {
+  auto& m = *site_metrics_[s];
+  const std::int64_t t0 = cpu_now_ns();
+  site(s).write(x, std::move(data));
+  m.write_op_ns.add(static_cast<double>(cpu_now_ns() - t0));
+  ++writes_issued_[s];
+}
+
+void SimCluster::read_async(SiteId s, VarId x, ReadContinuation k) {
+  auto& m = *site_metrics_[s];
+  const std::int64_t t0 = cpu_now_ns();
+  site(s).read(x, std::move(k));
+  m.read_op_ns.add(static_cast<double>(cpu_now_ns() - t0));
+}
+
+Value SimCluster::read(SiteId s, VarId x) {
+  std::optional<Value> result;
+  read_async(s, x, [&result](const Value& v) { result = v; });
+  while (!result.has_value() && sched_.step()) {
+  }
+  CCPR_ENSURES(result.has_value());
+  return *result;
+}
+
+std::uint64_t SimCluster::run() { return sched_.run(); }
+
+void SimCluster::run_until(sim::SimTime deadline) {
+  sched_.run_until(deadline);
+}
+
+void SimCluster::execute_op(const Program& program, SiteId s, std::size_t idx,
+                            util::Rng& think_rng) {
+  const Operation& op = program[s][idx];
+  if (op.kind == Operation::Kind::kWrite) {
+    write(s, op.var,
+          make_payload(s, writes_issued_[s] + 1, op.value_bytes));
+    step_program(program, s, idx + 1, think_rng);
+  } else {
+    read_async(s, op.var, [this, &program, s, idx, &think_rng](const Value&) {
+      step_program(program, s, idx + 1, think_rng);
+    });
+  }
+}
+
+void SimCluster::step_program(const Program& program, SiteId s,
+                              std::size_t idx, util::Rng& think_rng) {
+  if (idx >= program[s].size()) {
+    ++programs_done_;
+    return;
+  }
+  const auto think = static_cast<sim::SimTime>(
+      think_rng.exponential(static_cast<double>(opts_.mean_think_us)));
+  sched_.schedule_after(think, [this, &program, s, idx, &think_rng] {
+    execute_op(program, s, idx, think_rng);
+  });
+}
+
+void SimCluster::run_program(const Program& program) {
+  CCPR_EXPECTS(program.size() == protocols_.size());
+  std::vector<util::Rng> think_rngs;
+  think_rngs.reserve(program.size());
+  for (SiteId s = 0; s < program.size(); ++s) {
+    think_rngs.emplace_back(opts_.think_seed * 0x9e3779b97f4a7c15ULL + s);
+  }
+  programs_done_ = 0;
+  for (SiteId s = 0; s < program.size(); ++s) {
+    step_program(program, s, 0, think_rngs[s]);
+  }
+  sched_.run();
+  // A shortfall here means an operation hung: a stuck activation predicate
+  // or a RemoteFetch whose gate never opened.
+  CCPR_ENSURES(programs_done_ == program.size());
+}
+
+std::uint64_t SimCluster::await_coverage(SiteId from, SiteId to) {
+  const std::vector<std::uint8_t> token = site(from).coverage_token(to);
+  std::uint64_t fired = 0;
+  while (!site(to).covered_by(token)) {
+    const bool progressed = sched_.step();
+    CCPR_ASSERT(progressed);  // otherwise the token can never be covered
+    ++fired;
+  }
+  return fired;
+}
+
+void SimCluster::crash_site(SiteId s) {
+  CCPR_EXPECTS(s < sinks_.size());
+  sinks_[s]->crash();
+}
+
+std::size_t SimCluster::pending_updates() const {
+  std::size_t total = 0;
+  for (const auto& p : protocols_) total += p->pending_update_count();
+  return total;
+}
+
+std::uint64_t SimCluster::retransmissions() const {
+  return reliable_ ? reliable_->retransmissions() : 0;
+}
+
+std::uint64_t SimCluster::messages_dropped() const {
+  return faulty_ ? faulty_->dropped() : 0;
+}
+
+metrics::Metrics SimCluster::metrics() const {
+  metrics::Metrics merged = transport_metrics_;
+  for (const auto& m : site_metrics_) merged.merge(*m);
+  return merged;
+}
+
+}  // namespace ccpr::causal

@@ -1,0 +1,135 @@
+// SimCluster: a complete simulated deployment — n sites running one causal
+// algorithm over the discrete-event transport — plus drivers for scripted
+// scenarios (the paper's figures) and generated workloads (the paper's
+// evaluation sweeps).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causal/factory.hpp"
+#include "causal/operation.hpp"
+#include "causal/replica_map.hpp"
+#include "checker/recorder.hpp"
+#include "metrics/metrics.hpp"
+#include "net/faulty_transport.hpp"
+#include "net/reliable_channel.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/latency.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::causal {
+
+class SimCluster {
+ public:
+  struct Options {
+    ProtocolOptions protocol{};
+    /// One-way delay model; defaults to Uniform(10ms, 50ms) wide-area.
+    std::unique_ptr<sim::LatencyModel> latency;
+    std::uint64_t latency_seed = 42;
+    bool record_history = true;
+    /// Mean exponential think time between a process's operations.
+    sim::SimTime mean_think_us = 5'000;
+    std::uint64_t think_seed = 7;
+    /// Optional fault injection: when either rate is non-zero the cluster
+    /// stacks FaultyTransport + ReliableChannelTransport between the
+    /// protocols and the simulated network, so the causal algorithms still
+    /// see the reliable FIFO channels the paper assumes.
+    double drop_rate = 0.0;
+    double duplicate_rate = 0.0;
+    std::uint64_t fault_seed = 0xfa17;
+  };
+
+  SimCluster(Algorithm alg, ReplicaMap rmap);
+  SimCluster(Algorithm alg, ReplicaMap rmap, Options opts);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  // ---- scripted drive (scenario tests) ----
+
+  /// Issue a write at site s now (propagation stays queued until run()).
+  void write(SiteId s, VarId x, std::string data);
+  /// Issue a read at site s; the continuation fires when the value returns.
+  void read_async(SiteId s, VarId x, ReadContinuation k);
+  /// Convenience: issue a read and run the scheduler until it completes.
+  Value read(SiteId s, VarId x);
+  /// Run all queued events to quiescence.
+  std::uint64_t run();
+  /// Run events up to the given virtual time.
+  void run_until(sim::SimTime deadline);
+
+  // ---- generated workloads ----
+
+  /// Run a whole program: process i executes program[i] sequentially with
+  /// exponential think times, then the cluster drains to quiescence.
+  void run_program(const Program& program);
+
+  // ---- inspection ----
+
+  sim::Scheduler& scheduler() noexcept { return sched_; }
+  IProtocol& site(SiteId s);
+  const IProtocol& site(SiteId s) const;
+  const ReplicaMap& replica_map() const noexcept { return rmap_; }
+  const checker::HistoryRecorder& history() const noexcept { return recorder_; }
+
+  /// Fail-stop site `s`: it silently drops every incoming message from now
+  /// on (its already-issued traffic stays in flight). Used by the §V
+  /// availability tests together with ProtocolOptions::fetch_timeout_us.
+  void crash_site(SiteId s);
+
+  /// Session migration: run the scheduler until site `to` has applied
+  /// everything in site `from`'s causal past that is destined to `to`
+  /// (the coverage token of `from` for `to`). Returns the events fired.
+  std::uint64_t await_coverage(SiteId from, SiteId to);
+
+  /// Sum of buffered (not yet applied) updates across sites; 0 after a
+  /// healthy run() (no stuck activation predicates).
+  std::size_t pending_updates() const;
+
+  /// Merged metrics: all per-site protocol metrics plus transport traffic.
+  metrics::Metrics metrics() const;
+  /// Reliability-layer counters (zero when fault injection is off).
+  std::uint64_t retransmissions() const;
+  std::uint64_t messages_dropped() const;
+  const metrics::Metrics& transport_metrics() const noexcept {
+    return transport_metrics_;
+  }
+  const metrics::Metrics& site_metrics(SiteId s) const;
+
+  /// Generates the payload string for a write (deterministic filler).
+  static std::string make_payload(SiteId writer, std::uint64_t nth,
+                                  std::uint32_t bytes);
+
+ private:
+  class SiteSink;
+
+  Algorithm alg_;
+  ReplicaMap rmap_;
+  Options opts_;
+  sim::Scheduler sched_;
+  util::Rng latency_rng_;
+  std::unique_ptr<sim::LatencyModel> latency_;
+  metrics::Metrics transport_metrics_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<net::FaultyTransport> faulty_;
+  std::unique_ptr<net::ReliableChannelTransport> reliable_;
+  net::ITransport* wire_ = nullptr;  ///< the layer protocols talk to
+  checker::HistoryRecorder recorder_;
+  std::vector<std::unique_ptr<metrics::Metrics>> site_metrics_;
+  std::vector<std::unique_ptr<SiteSink>> sinks_;
+  std::vector<std::unique_ptr<IProtocol>> protocols_;
+  std::vector<std::uint64_t> writes_issued_;
+  std::size_t programs_done_ = 0;
+
+  void step_program(const Program& program, SiteId s, std::size_t idx,
+                    util::Rng& think_rng);
+  void execute_op(const Program& program, SiteId s, std::size_t idx,
+                  util::Rng& think_rng);
+};
+
+}  // namespace ccpr::causal

@@ -1,0 +1,143 @@
+#include "causal/threaded_cluster.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+namespace {
+
+sim::SimTime wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ThreadedCluster::ThreadedCluster(Algorithm alg, ReplicaMap rmap)
+    : ThreadedCluster(alg, std::move(rmap), Options{}) {}
+
+ThreadedCluster::ThreadedCluster(Algorithm alg, ReplicaMap rmap, Options opts)
+    : rmap_(std::move(rmap)), opts_(opts) {
+  const std::uint32_t n = rmap_.sites();
+  transport_ = std::make_unique<net::ThreadTransport>(
+      n, transport_metrics_,
+      net::ThreadTransport::Options{.max_delay_us = opts_.max_delay_us,
+                                    .delay_seed = opts_.delay_seed});
+  nodes_.reserve(n);
+  for (SiteId s = 0; s < n; ++s) {
+    nodes_.push_back(std::make_unique<Node>());
+    Node& node = *nodes_.back();
+    Services svc;
+    svc.send = [this](net::Message m) { transport_->send(std::move(m)); };
+    svc.now = [] { return wall_now_us(); };
+    svc.schedule = [this, s](sim::SimTime delay, std::function<void()> fn) {
+      // Timer callbacks mutate protocol state, so they take the same
+      // per-site mutex as deliveries and application calls.
+      timers_.schedule_after(delay, [this, s, fn = std::move(fn)] {
+        Node& target = *nodes_[s];
+        {
+          std::lock_guard lk(target.mu);
+          fn();
+        }
+        target.cv.notify_all();
+      });
+    };
+    svc.metrics = &node.metrics;
+    svc.recorder = opts_.record_history ? &recorder_ : nullptr;
+    node.proto = make_protocol(alg, s, rmap_, std::move(svc), opts_.protocol);
+    transport_->connect(s, &node);
+  }
+  transport_->start();
+  timers_.start();
+}
+
+ThreadedCluster::~ThreadedCluster() {
+  // Stop timers before the transport so no callback races teardown.
+  timers_.stop();
+  transport_->stop();
+}
+
+void ThreadedCluster::write(SiteId s, VarId x, std::string data) {
+  CCPR_EXPECTS(s < nodes_.size());
+  Node& node = *nodes_[s];
+  std::lock_guard lk(node.mu);
+  node.proto->write(x, std::move(data));
+}
+
+Value ThreadedCluster::read(SiteId s, VarId x) {
+  CCPR_EXPECTS(s < nodes_.size());
+  Node& node = *nodes_[s];
+  std::unique_lock lk(node.mu);
+  std::optional<Value> result;
+  node.proto->read(x, [&result](const Value& v) { result = v; });
+  // A remote read resumes when the mailbox thread delivers the fetch
+  // response; the site mutex is released while we park.
+  node.cv.wait(lk, [&result] { return result.has_value(); });
+  return *result;
+}
+
+std::vector<Value> ThreadedCluster::read_many(
+    SiteId s, const std::vector<VarId>& vars) {
+  CCPR_EXPECTS(s < nodes_.size());
+  for (const VarId x : vars) {
+    // A remote fetch would have to release the site lock and lose
+    // atomicity; snapshot reads are a local-replica feature.
+    CCPR_EXPECTS(rmap_.replicated_at(x, s));
+  }
+  Node& node = *nodes_[s];
+  std::lock_guard lk(node.mu);
+  std::vector<Value> out;
+  out.reserve(vars.size());
+  for (const VarId x : vars) {
+    node.proto->read(x, [&out](const Value& v) { out.push_back(v); });
+  }
+  CCPR_ENSURES(out.size() == vars.size());
+  return out;
+}
+
+void ThreadedCluster::drain() { transport_->drain(); }
+
+void ThreadedCluster::await_coverage(SiteId from, SiteId to) {
+  CCPR_EXPECTS(from < nodes_.size() && to < nodes_.size());
+  std::vector<std::uint8_t> token;
+  {
+    Node& a = *nodes_[from];
+    std::lock_guard lk(a.mu);
+    token = a.proto->coverage_token(to);
+  }
+  Node& b = *nodes_[to];
+  std::unique_lock lk(b.mu);
+  // Re-checked whenever b's mailbox thread applies something (it notifies
+  // the condition variable after every delivery).
+  b.cv.wait(lk, [&] { return b.proto->covered_by(token); });
+}
+
+std::size_t ThreadedCluster::pending_updates() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) {
+    std::lock_guard lk(node->mu);
+    total += node->proto->pending_update_count();
+  }
+  return total;
+}
+
+metrics::Metrics ThreadedCluster::metrics() const {
+  metrics::Metrics merged = transport_metrics_;
+  for (const auto& node : nodes_) {
+    std::lock_guard lk(node->mu);
+    merged.merge(node->metrics);
+  }
+  return merged;
+}
+
+Value ThreadedCluster::peek(SiteId s, VarId x) const {
+  CCPR_EXPECTS(s < nodes_.size());
+  Node& node = *nodes_[s];
+  std::lock_guard lk(node.mu);
+  return node.proto->peek(x);
+}
+
+}  // namespace ccpr::causal

@@ -1,0 +1,25 @@
+#include "causal/types.hpp"
+
+#include "util/assert.hpp"
+
+namespace ccpr::causal {
+
+const char* algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kFullTrack:
+      return "Full-Track";
+    case Algorithm::kOptTrack:
+      return "Opt-Track";
+    case Algorithm::kOptTrackCRP:
+      return "Opt-Track-CRP";
+    case Algorithm::kOptP:
+      return "OptP";
+    case Algorithm::kAhamad:
+      return "Ahamad";
+    case Algorithm::kEventual:
+      return "Eventual";
+  }
+  CCPR_UNREACHABLE("unknown algorithm");
+}
+
+}  // namespace ccpr::causal

@@ -1,0 +1,55 @@
+// Core identifier and value types shared across the causal-memory protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccpr::causal {
+
+/// Site identifier. The paper colocates application process ap_i with site
+/// s_i, so a SiteId also names the application process.
+using SiteId = std::uint32_t;
+
+/// Shared-memory variable identifier (x_1 .. x_q in the paper).
+using VarId = std::uint32_t;
+
+inline constexpr SiteId kNoSite = 0xffffffffu;
+
+/// Globally unique identity of a write operation: (writer, per-writer
+/// sequence number). seq == 0 denotes "no write" (a variable's initial
+/// value). Sequence numbers start at 1 and increase with program order, so
+/// WriteIds double as per-writer FIFO positions.
+struct WriteId {
+  SiteId writer = kNoSite;
+  std::uint64_t seq = 0;
+
+  bool is_initial() const noexcept { return seq == 0; }
+
+  friend bool operator==(const WriteId&, const WriteId&) = default;
+};
+
+/// A stored value: the payload plus the identity of the write that produced
+/// it and a Lamport timestamp. The identity travels on the wire so the
+/// offline checker can rebuild the read-from relation; the Lamport clock
+/// orders writes consistently with causality and drives the causal+ LWW
+/// convergence rule (causally later => strictly larger). Both are accounted
+/// as control bytes.
+struct Value {
+  WriteId id;
+  std::uint64_t lamport = 0;
+  std::string data;
+};
+
+/// The algorithms implemented by this library.
+enum class Algorithm : std::uint8_t {
+  kFullTrack,     ///< paper Alg. 1: n x n Write matrix, optimal activation
+  kOptTrack,      ///< paper Alg. 2+3: KS-pruned logs, partial replication
+  kOptTrackCRP,   ///< paper Alg. 4: full-replication specialization
+  kOptP,          ///< Baldoni et al. baseline (full replication)
+  kAhamad,        ///< Ahamad et al. A_ORG baseline (false causality)
+  kEventual,      ///< apply-on-receipt; intentionally NOT causal
+};
+
+const char* algorithm_name(Algorithm a) noexcept;
+
+}  // namespace ccpr::causal

@@ -1,0 +1,28 @@
+// Wire codec for Value: (write identity, Lamport stamp, payload).
+// Free functions so the codec is testable without a protocol instance; the
+// identity and stamp are accounted as control bytes, the payload as data.
+#pragma once
+
+#include "causal/types.hpp"
+#include "net/wire.hpp"
+
+namespace ccpr::causal {
+
+inline void encode_value(net::Encoder& enc, const Value& v) {
+  enc.varint(v.id.writer == kNoSite ? 0 : v.id.writer + 1);
+  enc.varint(v.id.seq);
+  enc.varint(v.lamport);
+  enc.bytes(v.data);
+}
+
+inline Value decode_value(net::Decoder& dec) {
+  Value v;
+  const std::uint64_t writer = dec.varint();
+  v.id.writer = writer == 0 ? kNoSite : static_cast<SiteId>(writer - 1);
+  v.id.seq = dec.varint();
+  v.lamport = dec.varint();
+  v.data = dec.bytes();
+  return v;
+}
+
+}  // namespace ccpr::causal

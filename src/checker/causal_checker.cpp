@@ -1,0 +1,268 @@
+#include "checker/causal_checker.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace ccpr::checker {
+
+using causal::SiteId;
+using causal::VarId;
+using causal::WriteId;
+
+void CheckResult::fail(std::string msg) {
+  ok = false;
+  violations.push_back(std::move(msg));
+}
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+/// One op with its position in its process history (1-based) and its vector
+/// timestamp under ->co.
+struct TimedOp {
+  OpRecord rec;
+  std::uint32_t pos = 0;
+  std::vector<std::uint64_t> vc;
+};
+
+struct WriteInfo {
+  SiteId writer = causal::kNoSite;
+  std::uint32_t pos = 0;      ///< position in writer's history
+  VarId var = 0;
+  std::size_t op_index = 0;   ///< index into the TimedOp array
+  bool exists = false;
+};
+
+}  // namespace
+
+CheckResult check_causal_consistency(const HistoryRecorder& history,
+                                     const causal::ReplicaMap& rmap,
+                                     const CheckOptions& opts) {
+  CheckResult result;
+  const std::vector<OpRecord> ops = history.ops();
+  const std::vector<ApplyRecord> applies = history.applies();
+  const std::uint32_t n = rmap.sites();
+
+  auto fail = [&](std::string msg) {
+    if (result.violations.size() < opts.max_violations) {
+      result.fail(std::move(msg));
+    } else {
+      result.ok = false;
+    }
+  };
+
+  // ---- index writes by identity ----
+  std::unordered_map<std::uint64_t, WriteInfo> writes;  // key: writer<<40|seq
+  const auto key = [](WriteId id) {
+    return (static_cast<std::uint64_t>(id.writer) << 40) | id.seq;
+  };
+
+  std::vector<TimedOp> timed(ops.size());
+  std::vector<std::uint32_t> op_count(n, 0);
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const OpRecord& rec = ops[i];
+    CCPR_ASSERT(rec.process < n);
+    timed[i].rec = rec;
+    timed[i].pos = ++op_count[rec.process];
+    if (rec.kind == OpRecord::Kind::kWrite) {
+      WriteInfo info{rec.process, timed[i].pos, rec.var, i, true};
+      const auto [it, inserted] = writes.emplace(key(rec.write), info);
+      if (!inserted) {
+        fail(fmt("duplicate WriteId (writer=%u seq=%llu)", rec.write.writer,
+                 static_cast<unsigned long long>(rec.write.seq)));
+      }
+      if (rec.write.writer != rec.process) {
+        fail(fmt("write recorded at process %u but WriteId names writer %u",
+                 rec.process, rec.write.writer));
+      }
+    }
+  }
+
+  // ---- vector timestamps under ->co (po ∪ ro, transitively closed) ----
+  std::vector<std::size_t> last_op(n, SIZE_MAX);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    TimedOp& op = timed[i];
+    op.vc.assign(n, 0);
+    const std::size_t prev = last_op[op.rec.process];
+    if (prev != SIZE_MAX) op.vc = timed[prev].vc;
+    if (op.rec.kind == OpRecord::Kind::kRead && !op.rec.write.is_initial()) {
+      const auto it = writes.find(key(op.rec.write));
+      if (it == writes.end()) {
+        fail(fmt(
+            "read integrity: process %u read var %u from unknown write "
+            "(writer=%u seq=%llu)",
+            op.rec.process, op.rec.var, op.rec.write.writer,
+            static_cast<unsigned long long>(op.rec.write.seq)));
+      } else {
+        if (it->second.var != op.rec.var) {
+          fail(fmt("read integrity: process %u read var %u but write "
+                   "(writer=%u seq=%llu) wrote var %u",
+                   op.rec.process, op.rec.var, op.rec.write.writer,
+                   static_cast<unsigned long long>(op.rec.write.seq),
+                   it->second.var));
+        }
+        const std::vector<std::uint64_t>& wvc =
+            timed[it->second.op_index].vc;
+        for (std::uint32_t k = 0; k < n; ++k) {
+          op.vc[k] = std::max(op.vc[k], wvc[k]);
+        }
+      }
+    }
+    op.vc[op.rec.process] = op.pos;
+    last_op[op.rec.process] = i;
+  }
+  result.ops_checked = ops.size();
+
+  // w ->co o ?  (w a write by process p at position pos)
+  const auto co_before = [&](const WriteInfo& w, const TimedOp& o) {
+    const auto o_index =
+        static_cast<std::size_t>(&o - timed.data());
+    return o.vc[w.writer] >= w.pos && w.op_index != o_index;
+  };
+
+  // ---- (2) read legality ----
+  // Group writes per variable for the causal-past scan.
+  std::unordered_map<VarId, std::vector<const WriteInfo*>> writes_on;
+  for (const auto& [k, info] : writes) {
+    writes_on[info.var].push_back(&info);
+  }
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const TimedOp& op = timed[i];
+    if (op.rec.kind != OpRecord::Kind::kRead) continue;
+    const WriteInfo* w0 = nullptr;
+    if (!op.rec.write.is_initial()) {
+      const auto it = writes.find(key(op.rec.write));
+      if (it == writes.end()) continue;  // reported above
+      w0 = &it->second;
+    }
+    const auto it = writes_on.find(op.rec.var);
+    if (it == writes_on.end()) continue;
+    for (const WriteInfo* wx : it->second) {
+      if (w0 != nullptr && wx == w0) continue;
+      if (!co_before(*wx, op)) continue;
+      // wx is a write on this var in the read's causal past.
+      if (w0 == nullptr) {
+        fail(fmt("stale read: process %u read initial value of var %u but "
+                 "write (writer=%u pos=%u) is in its causal past",
+                 op.rec.process, op.rec.var, wx->writer, wx->pos));
+        break;
+      }
+      // Violation iff the returned write was overwritten by wx in the causal
+      // past: w0 ->co wx.
+      const TimedOp& wx_op = timed[wx->op_index];
+      if (wx_op.vc[w0->writer] >= w0->pos && wx->op_index != w0->op_index) {
+        fail(fmt("stale read: process %u read var %u from (writer=%u "
+                 "seq=%llu) but causally later write (writer=%u pos=%u) "
+                 "precedes the read",
+                 op.rec.process, op.rec.var, op.rec.write.writer,
+                 static_cast<unsigned long long>(op.rec.write.seq),
+                 wx->writer, wx->pos));
+        break;
+      }
+    }
+  }
+
+  // ---- (1) per-site apply order ----
+  // destined[p][s]: positions (in p's history) of p's writes destined to s,
+  // ascending (program order).
+  std::vector<std::vector<std::vector<std::uint32_t>>> destined(
+      n, std::vector<std::vector<std::uint32_t>>(n));
+  {
+    // Collect in op order so the position lists are already sorted.
+    for (const TimedOp& op : timed) {
+      if (op.rec.kind != OpRecord::Kind::kWrite) continue;
+      for (const SiteId s : rmap.replicas(op.rec.var)) {
+        destined[op.rec.process][s].push_back(op.pos);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::uint64_t>> applied_count(
+      n, std::vector<std::uint64_t>(n, 0));
+
+  for (const ApplyRecord& ar : applies) {
+    ++result.applies_checked;
+    CCPR_ASSERT(ar.site < n);
+    const auto it = writes.find(key(ar.write));
+    if (it == writes.end()) {
+      fail(fmt("apply of unknown write (writer=%u seq=%llu) at site %u",
+               ar.write.writer,
+               static_cast<unsigned long long>(ar.write.seq), ar.site));
+      continue;
+    }
+    const WriteInfo& w = it->second;
+    if (w.var != ar.var) {
+      fail(fmt("apply at site %u names var %u but the write wrote var %u",
+               ar.site, ar.var, w.var));
+    }
+    if (!rmap.replicated_at(w.var, ar.site)) {
+      fail(fmt("write to var %u applied at non-replica site %u", w.var,
+               ar.site));
+      continue;
+    }
+    const auto& expected = destined[w.writer][ar.site];
+    auto& done = applied_count[w.writer][ar.site];
+    if (done >= expected.size() || expected[done] != w.pos) {
+      fail(fmt("per-writer apply order broken at site %u: write by %u at "
+               "position %u applied out of FIFO order (slot %llu)",
+               ar.site, w.writer, w.pos,
+               static_cast<unsigned long long>(done)));
+      continue;
+    }
+    // Causal obligation: every write destined to this site in the causal
+    // past of w must already be applied here.
+    const TimedOp& wop = timed[w.op_index];
+    for (std::uint32_t p = 0; p < n; ++p) {
+      const auto& list = destined[p][ar.site];
+      auto needed = static_cast<std::uint64_t>(
+          std::upper_bound(list.begin(), list.end(), wop.vc[p]) -
+          list.begin());
+      if (p == w.writer) --needed;  // w itself
+      if (applied_count[p][ar.site] < needed) {
+        fail(fmt("causal apply violation at site %u: write (writer=%u "
+                 "pos=%u) applied before %llu/%llu causally preceding "
+                 "writes from process %u",
+                 ar.site, w.writer, w.pos,
+                 static_cast<unsigned long long>(applied_count[p][ar.site]),
+                 static_cast<unsigned long long>(needed), p));
+        break;
+      }
+    }
+    ++done;
+  }
+
+  if (opts.require_complete_delivery) {
+    for (std::uint32_t p = 0; p < n && result.violations.size() <
+                                           opts.max_violations;
+         ++p) {
+      for (std::uint32_t s = 0; s < n; ++s) {
+        if (applied_count[p][s] != destined[p][s].size()) {
+          fail(fmt("lost update: site %u applied %llu of %llu writes from "
+                   "process %u",
+                   s,
+                   static_cast<unsigned long long>(applied_count[p][s]),
+                   static_cast<unsigned long long>(destined[p][s].size()),
+                   p));
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace ccpr::checker

@@ -1,0 +1,51 @@
+// Offline causal-memory checker.
+//
+// Rebuilds the causality order ->co of the recorded history exactly as the
+// paper defines it — the transitive closure of program order and the
+// read-from order — by assigning every operation a vector timestamp, then
+// verifies the two obligations of causal memory:
+//
+//   (1) WRITE ORDER: at every site, writes are applied in an order that
+//       extends ->co restricted to the writes destined to that site, with
+//       per-writer FIFO and no duplicate/missing/foreign applies;
+//   (2) READ LEGALITY: no read returns a value that some write in the
+//       read's causal past had already overwritten (reading the initial
+//       value is legal only while no write to the variable is in the causal
+//       past), and every returned value was actually written to that
+//       variable (read integrity).
+//
+// The checker is deliberately independent of the protocol implementations:
+// it consumes only the recorded history and the replica map.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causal/replica_map.hpp"
+#include "checker/recorder.hpp"
+
+namespace ccpr::checker {
+
+struct CheckResult {
+  bool ok = true;
+  /// Human-readable violation descriptions (capped).
+  std::vector<std::string> violations;
+  /// Totals for reporting.
+  std::size_t ops_checked = 0;
+  std::size_t applies_checked = 0;
+
+  void fail(std::string msg);
+};
+
+struct CheckOptions {
+  /// Require every update to have been applied at every replica (liveness /
+  /// no lost updates). Disable for runs cut short deliberately.
+  bool require_complete_delivery = true;
+  std::size_t max_violations = 16;
+};
+
+CheckResult check_causal_consistency(const HistoryRecorder& history,
+                                     const causal::ReplicaMap& rmap,
+                                     const CheckOptions& opts = {});
+
+}  // namespace ccpr::checker

@@ -1,0 +1,29 @@
+#include "checker/convergence.hpp"
+
+namespace ccpr::checker {
+
+ConvergenceReport audit_convergence(
+    const causal::ReplicaMap& rmap,
+    const std::function<causal::Value(causal::SiteId, causal::VarId)>& peek) {
+  ConvergenceReport report;
+  for (causal::VarId x = 0; x < rmap.vars(); ++x) {
+    ++report.vars_checked;
+    const auto reps = rmap.replicas(x);
+    const causal::Value first = peek(reps.front(), x);
+    for (std::size_t i = 1; i < reps.size(); ++i) {
+      if (!(peek(reps[i], x).id == first.id)) {
+        ++report.divergent_vars;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+const causal::Value& lww_winner(const causal::Value& a,
+                                const causal::Value& b) noexcept {
+  if (a.lamport != b.lamport) return a.lamport > b.lamport ? a : b;
+  return a.id.writer >= b.id.writer ? a : b;
+}
+
+}  // namespace ccpr::checker

@@ -1,0 +1,38 @@
+// Convergence auditing for causal+ consistency (paper §V).
+//
+// Plain causal consistency does not force replicas of a variable to agree
+// once updates cease: concurrent writes may be applied in different orders
+// at different sites. The paper sketches causal+ as a post-quiescence step
+// (termination detection, then agree on a final value set). We implement the
+// measurable property: after the cluster drains, audit per-variable replica
+// agreement, and provide the deterministic last-writer-wins rule a store can
+// apply to converge (largest (seq, writer) pair — a total order consistent
+// with per-writer program order).
+#pragma once
+
+#include <functional>
+
+#include "causal/replica_map.hpp"
+#include "causal/types.hpp"
+
+namespace ccpr::checker {
+
+struct ConvergenceReport {
+  std::size_t vars_checked = 0;
+  std::size_t divergent_vars = 0;
+
+  bool converged() const noexcept { return divergent_vars == 0; }
+};
+
+/// `peek(site, var)` must return the value currently stored at a replica.
+ConvergenceReport audit_convergence(
+    const causal::ReplicaMap& rmap,
+    const std::function<causal::Value(causal::SiteId, causal::VarId)>& peek);
+
+/// Deterministic winner among two candidate final values (LWW over
+/// (lamport, writer) — the Lamport component makes the rule consistent
+/// with causality; initial values lose to any write).
+const causal::Value& lww_winner(const causal::Value& a,
+                                const causal::Value& b) noexcept;
+
+}  // namespace ccpr::checker

@@ -1,0 +1,30 @@
+#include "net/faulty_transport.hpp"
+
+#include "util/assert.hpp"
+
+namespace ccpr::net {
+
+FaultyTransport::FaultyTransport(ITransport& inner, Options options)
+    : inner_(inner), options_(options), rng_(options.seed) {
+  CCPR_EXPECTS(options.drop_rate >= 0.0 && options.drop_rate <= 1.0);
+  CCPR_EXPECTS(options.duplicate_rate >= 0.0 &&
+               options.duplicate_rate <= 1.0);
+}
+
+void FaultyTransport::connect(SiteId site, IMessageSink* sink) {
+  inner_.connect(site, sink);
+}
+
+void FaultyTransport::send(Message msg) {
+  if (rng_.chance(options_.drop_rate)) {
+    ++dropped_;
+    return;
+  }
+  if (rng_.chance(options_.duplicate_rate)) {
+    ++duplicated_;
+    inner_.send(msg);  // copy
+  }
+  inner_.send(std::move(msg));
+}
+
+}  // namespace ccpr::net

@@ -1,0 +1,41 @@
+// Fault injection: a decorator over any ITransport that drops and/or
+// duplicates messages with seeded probabilities.
+//
+// The paper assumes reliable FIFO channels; this wrapper lets us (a) prove
+// the offline checker notices when that assumption is broken (lost-update
+// detection), and (b) exercise the ReliableChannel layer that rebuilds
+// exactly-once FIFO delivery on top of a lossy network.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::net {
+
+class FaultyTransport final : public ITransport {
+ public:
+  struct Options {
+    double drop_rate = 0.0;       ///< P(message silently vanishes)
+    double duplicate_rate = 0.0;  ///< P(message delivered twice)
+    std::uint64_t seed = 0xfa17;
+  };
+
+  FaultyTransport(ITransport& inner, Options options);
+
+  void connect(SiteId site, IMessageSink* sink) override;
+  void send(Message msg) override;
+
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t duplicated() const noexcept { return duplicated_; }
+
+ private:
+  ITransport& inner_;
+  Options options_;
+  util::Rng rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+};
+
+}  // namespace ccpr::net

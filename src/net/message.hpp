@@ -1,0 +1,53 @@
+// Transport-level message envelope shared by the simulated and threaded
+// runtimes. `body` is an opaque, protocol-defined byte string; the
+// payload/control split exists purely so the metrics layer can report the
+// paper's "message size" metric net of replicated value bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ccpr::net {
+
+using SiteId = std::uint32_t;
+
+enum class MsgKind : std::uint8_t {
+  kUpdate = 1,     ///< write propagation (Multicast primitive)
+  kFetchReq = 2,   ///< RemoteFetch request
+  kFetchResp = 3,  ///< RemoteFetch response (remote return event)
+};
+
+struct Message {
+  MsgKind kind = MsgKind::kUpdate;
+  SiteId src = 0;
+  SiteId dst = 0;
+  std::vector<std::uint8_t> body;
+  /// Bytes of `body` that carry the replicated value itself; the remainder
+  /// is protocol control metadata.
+  std::uint32_t payload_bytes = 0;
+
+  std::size_t control_bytes() const noexcept {
+    return body.size() - payload_bytes;
+  }
+};
+
+/// Receives messages addressed to one site. The transport guarantees that
+/// deliveries to a single sink never overlap (they are serialized), and that
+/// messages on one (src, dst) channel arrive in FIFO order.
+class IMessageSink {
+ public:
+  virtual ~IMessageSink() = default;
+  virtual void deliver(Message msg) = 0;
+};
+
+/// Point-to-point message transport between registered sites.
+class ITransport {
+ public:
+  virtual ~ITransport() = default;
+  /// Attach the handler for messages addressed to `site`.
+  virtual void connect(SiteId site, IMessageSink* sink) = 0;
+  /// Asynchronously deliver msg to msg.dst (FIFO per channel).
+  virtual void send(Message msg) = 0;
+};
+
+}  // namespace ccpr::net

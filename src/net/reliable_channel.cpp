@@ -1,0 +1,161 @@
+#include "net/reliable_channel.hpp"
+
+#include <utility>
+
+#include "net/wire.hpp"
+#include "util/assert.hpp"
+
+namespace ccpr::net {
+
+namespace {
+
+/// Frames an application message: [kind u8][seq varint][app kind u8][body].
+Message frame_data(const Message& app, std::uint64_t seq) {
+  Encoder enc(app.body.size() + 12);
+  enc.u8(static_cast<std::uint8_t>(1));  // FrameKind::kData
+  enc.varint(seq);
+  enc.u8(static_cast<std::uint8_t>(app.kind));
+  enc.raw(app.body.data(), app.body.size());
+  Message framed;
+  framed.kind = app.kind;  // preserved for transport metrics accounting
+  framed.src = app.src;
+  framed.dst = app.dst;
+  framed.body = std::move(enc).take();
+  framed.payload_bytes = app.payload_bytes;
+  return framed;
+}
+
+}  // namespace
+
+ReliableChannelTransport::ReliableChannelTransport(std::uint32_t n,
+                                                   ITransport& inner,
+                                                   sim::Scheduler& sched,
+                                                   Options options)
+    : n_(n), inner_(inner), sched_(sched), options_(options),
+      endpoints_(n) {
+  CCPR_EXPECTS(n > 0);
+  for (auto& ep : endpoints_) {
+    ep.channels.resize(n);
+  }
+  sinks_.reserve(n);
+  for (SiteId s = 0; s < n; ++s) {
+    sinks_.push_back(std::make_unique<Sink>(*this, s));
+    inner_.connect(s, sinks_.back().get());
+  }
+}
+
+ReliableChannelTransport::ReliableChannelTransport(std::uint32_t n,
+                                                   ITransport& inner,
+                                                   sim::Scheduler& sched)
+    : ReliableChannelTransport(n, inner, sched, Options{}) {}
+
+void ReliableChannelTransport::connect(SiteId site, IMessageSink* sink) {
+  CCPR_EXPECTS(site < n_);
+  CCPR_EXPECTS(sink != nullptr);
+  CCPR_EXPECTS(endpoints_[site].app == nullptr);
+  endpoints_[site].app = sink;
+}
+
+void ReliableChannelTransport::send(Message msg) {
+  CCPR_EXPECTS(msg.src < n_ && msg.dst < n_);
+  const SiteId src = msg.src;
+  const SiteId dst = msg.dst;
+  Channel& ch = endpoints_[src].channels[dst];
+  const std::uint64_t seq = ch.next_seq++;
+  inner_.send(frame_data(msg, seq));
+  ch.unacked.emplace(seq, Pending{std::move(msg), 0});
+  arm_retransmit(src, dst, seq);
+}
+
+void ReliableChannelTransport::arm_retransmit(SiteId src, SiteId dst,
+                                              std::uint64_t seq) {
+  sched_.schedule_after(options_.retransmit_after_us, [this, src, dst, seq] {
+    Channel& ch = endpoints_[src].channels[dst];
+    const auto it = ch.unacked.find(seq);
+    if (it == ch.unacked.end()) return;  // acked meanwhile
+    ++retransmissions_;
+    ++it->second.retransmits;
+    CCPR_ASSERT(it->second.retransmits <= options_.max_retransmits);
+    inner_.send(frame_data(it->second.msg, seq));
+    arm_retransmit(src, dst, seq);
+  });
+}
+
+void ReliableChannelTransport::send_ack(SiteId self, SiteId peer,
+                                        std::uint64_t cumulative) {
+  Encoder enc(12);
+  enc.u8(static_cast<std::uint8_t>(2));  // FrameKind::kAck
+  enc.varint(cumulative);
+  Message ack;
+  ack.kind = MsgKind::kUpdate;  // metrics: control-plane message
+  ack.src = self;
+  ack.dst = peer;
+  ack.body = std::move(enc).take();
+  ack.payload_bytes = 0;
+  inner_.send(std::move(ack));
+}
+
+void ReliableChannelTransport::on_datagram(SiteId self, Message msg) {
+  Decoder dec(msg.body);
+  const auto kind = dec.u8();
+  if (kind == 2) {  // ack
+    const std::uint64_t cumulative = dec.varint();
+    CCPR_ASSERT(dec.ok());
+    // An ack received at `self` from msg.src covers the channel
+    // self -> msg.src, whose sender-side state lives at this endpoint.
+    Channel& sender_ch = endpoints_[self].channels[msg.src];
+    sender_ch.unacked.erase(sender_ch.unacked.begin(),
+                            sender_ch.unacked.upper_bound(cumulative));
+    return;
+  }
+  CCPR_ASSERT(kind == 1);  // data
+  const std::uint64_t seq = dec.varint();
+  const auto app_kind = static_cast<MsgKind>(dec.u8());
+  CCPR_ASSERT(dec.ok());
+
+  Endpoint& ep = endpoints_[self];
+  Channel& ch = ep.channels[msg.src];
+  if (seq <= ch.delivered_upto || ch.reorder.count(seq) != 0) {
+    ++duplicates_discarded_;
+    send_ack(self, msg.src, ch.delivered_upto);
+    return;
+  }
+
+  Message app;
+  app.kind = app_kind;
+  app.src = msg.src;
+  app.dst = self;
+  app.body.assign(msg.body.begin() +
+                      static_cast<std::ptrdiff_t>(msg.body.size() -
+                                                  dec.remaining()),
+                  msg.body.end());
+  app.payload_bytes = msg.payload_bytes;
+  ch.reorder.emplace(seq, std::move(app));
+  deliver_ready(ep, self, msg.src);
+  send_ack(self, msg.src, ch.delivered_upto);
+}
+
+void ReliableChannelTransport::deliver_ready(Endpoint& ep, SiteId self,
+                                             SiteId peer) {
+  CCPR_ASSERT(ep.app != nullptr);
+  Channel& ch = ep.channels[peer];
+  while (true) {
+    const auto it = ch.reorder.find(ch.delivered_upto + 1);
+    if (it == ch.reorder.end()) break;
+    Message app = std::move(it->second);
+    ch.reorder.erase(it);
+    ++ch.delivered_upto;
+    ep.app->deliver(std::move(app));
+  }
+  (void)self;
+}
+
+std::uint64_t ReliableChannelTransport::unacked() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ep : endpoints_) {
+    for (const auto& ch : ep.channels) total += ch.unacked.size();
+  }
+  return total;
+}
+
+}  // namespace ccpr::net

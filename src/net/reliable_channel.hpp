@@ -1,0 +1,109 @@
+// Reliable exactly-once FIFO delivery over a lossy, duplicating network.
+//
+// The paper's system model *assumes* FIFO reliable channels between sites;
+// this layer builds them, so the causal algorithms can run unchanged over a
+// faulty substrate. Classic go-back-N-ish design per (src, dst) channel:
+//   * every data message carries a channel sequence number;
+//   * the receiver delivers in sequence order, buffers out-of-order arrivals
+//     (bounded), discards duplicates, and acks cumulatively;
+//   * the sender retains unacked messages and retransmits them on a timer.
+// All timers run on the shared discrete-event scheduler, so runs stay
+// deterministic and seed-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ccpr::net {
+
+class ReliableChannelTransport final : public ITransport {
+ public:
+  struct Options {
+    /// Retransmit an unacked frame this long after (each) send.
+    sim::SimTime retransmit_after_us = 120'000;
+    /// Give up guard: a frame retransmitted this many times trips an
+    /// invariant failure (the fault model here never partitions forever).
+    std::uint32_t max_retransmits = 60;
+  };
+
+  /// `inner` is the (possibly faulty) datagram transport; delivery callbacks
+  /// come back through it, so connect() must go through this object.
+  ReliableChannelTransport(std::uint32_t n, ITransport& inner,
+                           sim::Scheduler& sched, Options options);
+  ReliableChannelTransport(std::uint32_t n, ITransport& inner,
+                           sim::Scheduler& sched);
+
+  void connect(SiteId site, IMessageSink* sink) override;
+  void send(Message msg) override;
+
+  /// Frames sent again because no ack arrived in time.
+  std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+  /// Duplicate or already-delivered frames discarded at receivers.
+  std::uint64_t duplicates_discarded() const noexcept {
+    return duplicates_discarded_;
+  }
+  /// Data frames currently unacknowledged across all channels.
+  std::uint64_t unacked() const noexcept;
+
+ private:
+  struct Endpoint;
+  class Peer;
+
+  // Frame header (prepended to the application message body):
+  //   u8 frame kind (data/ack), varint seq.
+  enum class FrameKind : std::uint8_t { kData = 1, kAck = 2 };
+
+  void on_datagram(SiteId self, Message msg);
+  void deliver_ready(Endpoint& ep, SiteId self, SiteId peer);
+  void arm_retransmit(SiteId src, SiteId dst, std::uint64_t seq);
+  void send_ack(SiteId self, SiteId peer, std::uint64_t cumulative);
+
+  struct Pending {
+    Message msg;  // original application message (unframed)
+    std::uint32_t retransmits = 0;
+  };
+
+  /// Per-directed-channel state, held at both ends.
+  struct Channel {
+    // Sender side.
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Pending> unacked;
+    // Receiver side.
+    std::uint64_t delivered_upto = 0;  // cumulative, in-order
+    std::map<std::uint64_t, Message> reorder;
+  };
+
+  struct Endpoint {
+    IMessageSink* app = nullptr;
+    std::vector<Channel> channels;  // indexed by peer site
+  };
+
+  class Sink final : public IMessageSink {
+   public:
+    Sink(ReliableChannelTransport& owner, SiteId self)
+        : owner_(owner), self_(self) {}
+    void deliver(Message msg) override {
+      owner_.on_datagram(self_, std::move(msg));
+    }
+
+   private:
+    ReliableChannelTransport& owner_;
+    SiteId self_;
+  };
+
+  std::uint32_t n_;
+  ITransport& inner_;
+  sim::Scheduler& sched_;
+  Options options_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t duplicates_discarded_ = 0;
+};
+
+}  // namespace ccpr::net

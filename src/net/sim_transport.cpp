@@ -1,0 +1,71 @@
+#include "net/sim_transport.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ccpr::net {
+
+SimTransport::SimTransport(std::uint32_t n, sim::Scheduler& sched,
+                           sim::LatencyModel& lat, util::Rng& rng,
+                           metrics::Metrics& metrics)
+    : n_(n),
+      sched_(sched),
+      lat_(lat),
+      rng_(rng),
+      metrics_(metrics),
+      sinks_(n, nullptr),
+      channel_front_(static_cast<std::size_t>(n) * n, 0) {
+  CCPR_EXPECTS(n > 0);
+}
+
+void SimTransport::connect(SiteId site, IMessageSink* sink) {
+  CCPR_EXPECTS(site < n_);
+  CCPR_EXPECTS(sink != nullptr);
+  CCPR_EXPECTS(sinks_[site] == nullptr);
+  sinks_[site] = sink;
+}
+
+void SimTransport::account(const Message& msg) {
+  switch (msg.kind) {
+    case MsgKind::kUpdate:
+      ++metrics_.update_msgs;
+      break;
+    case MsgKind::kFetchReq:
+      ++metrics_.fetch_req_msgs;
+      break;
+    case MsgKind::kFetchResp:
+      ++metrics_.fetch_resp_msgs;
+      break;
+  }
+  metrics_.control_bytes += msg.control_bytes();
+  metrics_.payload_bytes += msg.payload_bytes;
+}
+
+void SimTransport::send(Message msg) {
+  CCPR_EXPECTS(msg.src < n_ && msg.dst < n_);
+  CCPR_EXPECTS(msg.payload_bytes <= msg.body.size());
+  CCPR_EXPECTS(sinks_[msg.dst] != nullptr);
+  account(msg);
+
+  const sim::SimTime latency = lat_.sample(msg.src, msg.dst, rng_);
+  CCPR_ASSERT(latency >= 0);
+  const std::size_t channel =
+      static_cast<std::size_t>(msg.src) * n_ + msg.dst;
+  // FIFO clamp: never deliver before an earlier message on the same channel.
+  // Equal timestamps are fine: the scheduler fires same-time events in
+  // schedule order, which per channel equals send order.
+  sim::SimTime when = sched_.now() + latency;
+  if (when < channel_front_[channel]) when = channel_front_[channel];
+  channel_front_[channel] = when;
+
+  ++in_flight_;
+  IMessageSink* sink = sinks_[msg.dst];
+  sched_.schedule_at(
+      when, [this, sink, m = std::move(msg)]() mutable {
+        --in_flight_;
+        sink->deliver(std::move(m));
+      });
+}
+
+}  // namespace ccpr::net

@@ -1,0 +1,123 @@
+#include "net/thread_transport.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ccpr::net {
+
+ThreadTransport::ThreadTransport(std::uint32_t n, metrics::Metrics& metrics)
+    : ThreadTransport(n, metrics, Options{}) {}
+
+ThreadTransport::ThreadTransport(std::uint32_t n, metrics::Metrics& metrics,
+                                 Options options)
+    : n_(n), metrics_(metrics), options_(options), sinks_(n, nullptr) {
+  CCPR_EXPECTS(n > 0);
+  mailboxes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+ThreadTransport::~ThreadTransport() { stop(); }
+
+void ThreadTransport::connect(SiteId site, IMessageSink* sink) {
+  CCPR_EXPECTS(site < n_);
+  CCPR_EXPECTS(sink != nullptr);
+  CCPR_EXPECTS(!started_);
+  sinks_[site] = sink;
+}
+
+void ThreadTransport::start() {
+  CCPR_EXPECTS(!started_);
+  for (std::uint32_t i = 0; i < n_; ++i) CCPR_EXPECTS(sinks_[i] != nullptr);
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  threads_.reserve(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    threads_.emplace_back([this, i] { pump(i); });
+  }
+}
+
+void ThreadTransport::send(Message msg) {
+  CCPR_EXPECTS(msg.src < n_ && msg.dst < n_);
+  CCPR_EXPECTS(msg.payload_bytes <= msg.body.size());
+  {
+    std::lock_guard lk(metrics_mu_);
+    switch (msg.kind) {
+      case MsgKind::kUpdate:
+        ++metrics_.update_msgs;
+        break;
+      case MsgKind::kFetchReq:
+        ++metrics_.fetch_req_msgs;
+        break;
+      case MsgKind::kFetchResp:
+        ++metrics_.fetch_resp_msgs;
+        break;
+    }
+    metrics_.control_bytes += msg.control_bytes();
+    metrics_.payload_bytes += msg.payload_bytes;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  Mailbox& box = *mailboxes_[msg.dst];
+  {
+    std::lock_guard lk(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_one();
+}
+
+void ThreadTransport::pump(std::uint32_t site) {
+  Mailbox& box = *mailboxes_[site];
+  util::Rng rng(options_.delay_seed + site);
+  while (true) {
+    Message msg;
+    {
+      std::unique_lock lk(box.mu);
+      box.cv.wait(lk, [&] {
+        return !box.queue.empty() ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+      if (box.queue.empty()) return;  // stopping and drained
+      msg = std::move(box.queue.front());
+      box.queue.pop_front();
+    }
+    if (options_.max_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          rng.below(options_.max_delay_us + 1)));
+    }
+    sinks_[site]->deliver(std::move(msg));
+    // Decrement only after the handler returns: any messages the handler
+    // sent were counted first, so outstanding_ hitting zero really means
+    // network quiescence.
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(drain_mu_);
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadTransport::drain() {
+  std::unique_lock lk(drain_mu_);
+  drain_cv_.wait(lk, [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadTransport::stop() {
+  if (!started_) return;
+  drain();
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& box : mailboxes_) {
+    std::lock_guard lk(box->mu);
+    box->cv.notify_all();
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  started_ = false;
+}
+
+}  // namespace ccpr::net

@@ -1,0 +1,77 @@
+// Actually-concurrent in-process transport: one delivery thread per site.
+//
+// This is the second runtime behind the same IProtocol state machines; it
+// exists to show the protocol logic is runtime-agnostic and to exercise real
+// interleavings that the deterministic simulator cannot produce. Delivery to
+// one site is serialized by that site's single mailbox thread; per (src, dst)
+// FIFO follows from senders enqueueing in program order and a single
+// consumer per mailbox. An optional random delivery delay widens the
+// interleaving space for stress tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::net {
+
+class ThreadTransport final : public ITransport {
+ public:
+  struct Options {
+    /// Max artificial delivery delay in microseconds (0 = none). The delay is
+    /// applied inside the mailbox thread so channel FIFO is preserved.
+    std::uint32_t max_delay_us = 0;
+    std::uint64_t delay_seed = 0x7a57ed;
+  };
+
+  ThreadTransport(std::uint32_t n, metrics::Metrics& metrics);
+  ThreadTransport(std::uint32_t n, metrics::Metrics& metrics,
+                  Options options);
+  ~ThreadTransport() override;
+
+  ThreadTransport(const ThreadTransport&) = delete;
+  ThreadTransport& operator=(const ThreadTransport&) = delete;
+
+  void connect(SiteId site, IMessageSink* sink) override;
+  void send(Message msg) override;
+
+  /// Launch the mailbox threads. All sites must be connected first.
+  void start();
+  /// Block until every queued and in-handler message has been processed and
+  /// no new ones were produced (the network is quiescent).
+  void drain();
+  /// Stop the mailbox threads (drains first).
+  void stop();
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void pump(std::uint32_t site);
+
+  std::uint32_t n_;
+  metrics::Metrics& metrics_;
+  Options options_;
+  std::mutex metrics_mu_;
+  std::vector<IMessageSink*> sinks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool started_ = false;
+};
+
+}  // namespace ccpr::net

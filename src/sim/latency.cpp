@@ -1,0 +1,73 @@
+#include "sim/latency.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ccpr::sim {
+
+ConstantLatency::ConstantLatency(SimTime delay_us) : delay_us_(delay_us) {
+  CCPR_EXPECTS(delay_us >= 0);
+}
+
+SimTime ConstantLatency::sample(std::uint32_t /*src*/, std::uint32_t /*dst*/,
+                                util::Rng& /*rng*/) {
+  return delay_us_;
+}
+
+UniformLatency::UniformLatency(SimTime lo_us, SimTime hi_us)
+    : lo_us_(lo_us), hi_us_(hi_us) {
+  CCPR_EXPECTS(lo_us >= 0);
+  CCPR_EXPECTS(lo_us <= hi_us);
+}
+
+SimTime UniformLatency::sample(std::uint32_t /*src*/, std::uint32_t /*dst*/,
+                               util::Rng& rng) {
+  return rng.range(lo_us_, hi_us_);
+}
+
+LogNormalLatency::LogNormalLatency(double median_us, double sigma)
+    : median_us_(median_us), sigma_(sigma) {
+  CCPR_EXPECTS(median_us > 0.0);
+  CCPR_EXPECTS(sigma >= 0.0);
+}
+
+SimTime LogNormalLatency::sample(std::uint32_t /*src*/, std::uint32_t /*dst*/,
+                                 util::Rng& rng) {
+  return static_cast<SimTime>(std::llround(rng.lognormal(median_us_, sigma_)));
+}
+
+GeoLatency::GeoLatency(std::uint32_t n, std::vector<SimTime> base_us,
+                       double jitter_sigma)
+    : n_(n), base_us_(std::move(base_us)), jitter_sigma_(jitter_sigma) {
+  CCPR_EXPECTS(n_ > 0);
+  CCPR_EXPECTS(base_us_.size() == static_cast<std::size_t>(n_) * n_);
+  CCPR_EXPECTS(jitter_sigma_ >= 0.0);
+}
+
+SimTime GeoLatency::sample(std::uint32_t src, std::uint32_t dst,
+                           util::Rng& rng) {
+  CCPR_EXPECTS(src < n_ && dst < n_);
+  const SimTime base = base_us_[static_cast<std::size_t>(src) * n_ + dst];
+  if (jitter_sigma_ == 0.0) return base;
+  const double jitter = rng.lognormal(1.0, jitter_sigma_);
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(base) * jitter));
+}
+
+std::unique_ptr<GeoLatency> GeoLatency::two_tier(
+    const std::vector<std::uint32_t>& region_of, SimTime intra_us,
+    SimTime inter_us, double jitter_sigma) {
+  const auto n = static_cast<std::uint32_t>(region_of.size());
+  CCPR_EXPECTS(n > 0);
+  std::vector<SimTime> base(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      base[static_cast<std::size_t>(i) * n + j] =
+          region_of[i] == region_of[j] ? intra_us : inter_us;
+    }
+  }
+  return std::make_unique<GeoLatency>(n, std::move(base), jitter_sigma);
+}
+
+}  // namespace ccpr::sim

@@ -1,0 +1,77 @@
+// Pluggable one-way network latency models for the simulated wide-area
+// topology. All models are sampled with an externally owned Rng so a run
+// remains a pure function of its seeds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::sim {
+
+/// Samples the one-way delay in microseconds for a message src -> dst.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimTime sample(std::uint32_t src, std::uint32_t dst,
+                         util::Rng& rng) = 0;
+};
+
+/// Fixed delay for every channel (useful for analytic comparisons).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimTime delay_us);
+  SimTime sample(std::uint32_t src, std::uint32_t dst, util::Rng& rng) override;
+
+ private:
+  SimTime delay_us_;
+};
+
+/// Uniform delay in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo_us, SimTime hi_us);
+  SimTime sample(std::uint32_t src, std::uint32_t dst, util::Rng& rng) override;
+
+ private:
+  SimTime lo_us_;
+  SimTime hi_us_;
+};
+
+/// Log-normal delay: heavy-tailed, the usual fit for WAN RTT distributions.
+class LogNormalLatency final : public LatencyModel {
+ public:
+  LogNormalLatency(double median_us, double sigma);
+  SimTime sample(std::uint32_t src, std::uint32_t dst, util::Rng& rng) override;
+
+ private:
+  double median_us_;
+  double sigma_;
+};
+
+/// Explicit per-pair base delay matrix plus multiplicative log-normal jitter.
+/// Models a geo-replicated deployment where sites live in named regions.
+class GeoLatency final : public LatencyModel {
+ public:
+  /// base_us is an n*n row-major matrix of one-way delays; diagonal entries
+  /// model the local loopback (typically small but nonzero).
+  GeoLatency(std::uint32_t n, std::vector<SimTime> base_us, double jitter_sigma);
+
+  SimTime sample(std::uint32_t src, std::uint32_t dst, util::Rng& rng) override;
+
+  /// Builds a matrix from region assignments: sites in the same region are
+  /// `intra_us` apart; sites in different regions `inter_us`.
+  static std::unique_ptr<GeoLatency> two_tier(
+      const std::vector<std::uint32_t>& region_of, SimTime intra_us,
+      SimTime inter_us, double jitter_sigma);
+
+ private:
+  std::uint32_t n_;
+  std::vector<SimTime> base_us_;
+  double jitter_sigma_;
+};
+
+}  // namespace ccpr::sim

@@ -1,0 +1,102 @@
+// Deterministic discrete-event scheduler.
+//
+// The simulator stands in for the paper's geo-distributed deployment: sites
+// and channels are event-driven state machines and "time" is virtual.
+// Determinism contract: two events at the same timestamp fire in the order
+// they were scheduled (a monotone sequence number breaks ties), so a run is a
+// pure function of (workload seed, latency seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ccpr::sim {
+
+/// Virtual time in microseconds.
+using SimTime = std::int64_t;
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delay` microseconds from now.
+  void schedule_after(SimTime delay, Action action) {
+    CCPR_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Schedule `action` at absolute virtual time `when` (>= now).
+  void schedule_at(SimTime when, Action action) {
+    CCPR_EXPECTS(when >= now_);
+    queue_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  /// Run events until the queue drains. Returns the number of events fired.
+  std::uint64_t run() {
+    std::uint64_t fired = 0;
+    while (!queue_.empty()) {
+      fire_next();
+      ++fired;
+    }
+    return fired;
+  }
+
+  /// Run events with timestamp <= deadline. Events scheduled during the run
+  /// are processed if they also fall within the deadline.
+  std::uint64_t run_until(SimTime deadline) {
+    std::uint64_t fired = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+      fire_next();
+      ++fired;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return fired;
+  }
+
+  /// Run exactly one event if available. Returns false when idle.
+  bool step() {
+    if (queue_.empty()) return false;
+    fire_next();
+    return true;
+  }
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t events_fired() const noexcept { return fired_total_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire_next() {
+    // Move the event out before popping so the action may schedule more work.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    CCPR_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    ++fired_total_;
+    ev.action();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_total_ = 0;
+};
+
+}  // namespace ccpr::sim

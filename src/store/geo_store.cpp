@@ -1,0 +1,66 @@
+#include "store/geo_store.hpp"
+
+#include "util/assert.hpp"
+
+namespace ccpr::store {
+
+GeoStore::GeoStore(KeySpace keys, causal::ReplicaMap rmap)
+    : GeoStore(std::move(keys), std::move(rmap), Options{}) {}
+
+GeoStore::GeoStore(KeySpace keys, causal::ReplicaMap rmap, Options opts)
+    : keys_(std::move(keys)),
+      cluster_(opts.algorithm, std::move(rmap),
+               causal::ThreadedCluster::Options{
+                   .protocol = opts.protocol,
+                   .max_delay_us = opts.max_delay_us,
+                   .record_history = opts.record_history}) {
+  CCPR_EXPECTS(keys_.size() == cluster_.replica_map().vars());
+}
+
+GeoStore::Session GeoStore::session(causal::SiteId site) {
+  CCPR_EXPECTS(site < cluster_.replica_map().sites());
+  return Session(this, site);
+}
+
+void GeoStore::Session::put(std::string_view key, std::string value) {
+  store_->cluster_.write(site_, store_->keys_.intern(key), std::move(value));
+}
+
+std::string GeoStore::Session::get(std::string_view key) {
+  return store_->cluster_.read(site_, store_->keys_.intern(key)).data;
+}
+
+void GeoStore::Session::migrate(causal::SiteId new_site) {
+  CCPR_EXPECTS(new_site < store_->cluster_.replica_map().sites());
+  if (new_site == site_) return;
+  store_->cluster_.await_coverage(site_, new_site);
+  site_ = new_site;
+}
+
+std::vector<std::string> GeoStore::Session::snapshot_get(
+    const std::vector<std::string>& keys_to_read) {
+  std::vector<causal::VarId> vars;
+  vars.reserve(keys_to_read.size());
+  for (const auto& key : keys_to_read) {
+    vars.push_back(store_->keys_.intern(key));
+  }
+  std::vector<std::string> out;
+  out.reserve(vars.size());
+  for (auto& v : store_->cluster_.read_many(site_, vars)) {
+    out.push_back(std::move(v.data));
+  }
+  return out;
+}
+
+void GeoStore::flush() { cluster_.drain(); }
+
+checker::ConvergenceReport GeoStore::audit_convergence() {
+  flush();
+  return checker::audit_convergence(
+      cluster_.replica_map(),
+      [this](causal::SiteId s, causal::VarId x) {
+        return cluster_.peek(s, x);
+      });
+}
+
+}  // namespace ccpr::store

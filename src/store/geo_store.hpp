@@ -1,0 +1,87 @@
+// GeoStore: the user-facing geo-replicated causal KV store.
+//
+// This is the "cloud storage" product layer of the paper: string keys,
+// blob values, sessions pinned to a site (data center), causal consistency
+// across sessions, and pluggable replication (partial or full) underneath.
+// Runs on the threaded runtime — every session call is a real blocking
+// operation against live protocol instances.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "causal/threaded_cluster.hpp"
+#include "checker/convergence.hpp"
+#include "store/key_space.hpp"
+
+namespace ccpr::store {
+
+class GeoStore {
+ public:
+  struct Options {
+    causal::Algorithm algorithm = causal::Algorithm::kOptTrack;
+    causal::ProtocolOptions protocol{};
+    /// Extra random delivery delay (interleaving stress), microseconds.
+    std::uint32_t max_delay_us = 100;
+    bool record_history = true;
+  };
+
+  GeoStore(KeySpace keys, causal::ReplicaMap rmap);
+  GeoStore(KeySpace keys, causal::ReplicaMap rmap, Options opts);
+
+  /// A client connection pinned to one site. Cheap to copy.
+  class Session {
+   public:
+    /// Store `value` under `key`; causally ordered after everything this
+    /// session has read or written.
+    void put(std::string_view key, std::string value);
+    /// Fetch the current value (empty string if never written).
+    std::string get(std::string_view key);
+    causal::SiteId site() const noexcept { return site_; }
+
+    /// Move this session to another site (device roaming, failover).
+    /// Blocks until the new site has caught up with everything this
+    /// session could have observed at the old one, preserving
+    /// read-your-writes and monotonic reads across the move.
+    void migrate(causal::SiteId new_site);
+
+    /// Causally consistent multi-key snapshot: all keys must be replicated
+    /// at this session's site. The values form a causally closed cut — no
+    /// returned value can depend on a newer version of another returned
+    /// key (plain sequential gets do NOT guarantee this).
+    std::vector<std::string> snapshot_get(
+        const std::vector<std::string>& keys_to_read);
+
+   private:
+    friend class GeoStore;
+    Session(GeoStore* store, causal::SiteId site)
+        : store_(store), site_(site) {}
+    GeoStore* store_;
+    causal::SiteId site_;
+  };
+
+  Session session(causal::SiteId site);
+
+  /// Wait for all replication traffic to be processed.
+  void flush();
+
+  /// Post-quiescence replica agreement audit (causal+ discussion, §V).
+  checker::ConvergenceReport audit_convergence();
+
+  const KeySpace& keys() const noexcept { return keys_; }
+  const causal::ThreadedCluster& cluster() const noexcept { return cluster_; }
+  metrics::Metrics metrics() const { return cluster_.metrics(); }
+  const checker::HistoryRecorder& history() const {
+    return cluster_.history();
+  }
+  const causal::ReplicaMap& replica_map() const {
+    return cluster_.replica_map();
+  }
+
+ private:
+  KeySpace keys_;
+  causal::ThreadedCluster cluster_;
+};
+
+}  // namespace ccpr::store

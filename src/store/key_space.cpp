@@ -1,0 +1,31 @@
+#include "store/key_space.hpp"
+
+#include "util/assert.hpp"
+
+namespace ccpr::store {
+
+KeySpace::KeySpace(std::vector<std::string> keys) : keys_(std::move(keys)) {
+  CCPR_EXPECTS(!keys_.empty());
+  index_.reserve(keys_.size());
+  for (causal::VarId x = 0; x < keys_.size(); ++x) {
+    const auto [it, inserted] = index_.emplace(keys_[x], x);
+    CCPR_EXPECTS(inserted);  // duplicate key
+  }
+}
+
+causal::VarId KeySpace::intern(std::string_view key) const {
+  const auto it = index_.find(key);
+  CCPR_EXPECTS(it != index_.end());
+  return it->second;
+}
+
+bool KeySpace::contains(std::string_view key) const {
+  return index_.contains(key);
+}
+
+const std::string& KeySpace::name(causal::VarId x) const {
+  CCPR_EXPECTS(x < keys_.size());
+  return keys_[x];
+}
+
+}  // namespace ccpr::store

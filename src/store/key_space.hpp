@@ -1,0 +1,31 @@
+// String-keyed view over the variable space. Placement is static for a run
+// (the paper's model), so the key set is registered up front and interned to
+// dense VarIds.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "causal/replica_map.hpp"
+
+namespace ccpr::store {
+
+class KeySpace {
+ public:
+  explicit KeySpace(std::vector<std::string> keys);
+
+  causal::VarId intern(std::string_view key) const;
+  bool contains(std::string_view key) const;
+  const std::string& name(causal::VarId x) const;
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(keys_.size());
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::unordered_map<std::string_view, causal::VarId> index_;
+};
+
+}  // namespace ccpr::store

@@ -1,0 +1,65 @@
+#include "store/placement.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::store {
+
+causal::ReplicaMap hash_placement(std::uint32_t n, std::uint32_t q,
+                                  std::uint32_t p, std::uint64_t seed) {
+  CCPR_EXPECTS(p >= 1 && p <= n);
+  std::vector<std::vector<causal::SiteId>> replicas(q);
+  std::vector<causal::SiteId> all(n);
+  for (std::uint32_t s = 0; s < n; ++s) all[s] = s;
+  for (causal::VarId x = 0; x < q; ++x) {
+    // Partial Fisher-Yates with a per-variable seeded generator: the first p
+    // entries of a random permutation of the sites.
+    util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (x + 1)));
+    std::vector<causal::SiteId> pool = all;
+    for (std::uint32_t k = 0; k < p; ++k) {
+      const auto pick =
+          k + static_cast<std::uint32_t>(rng.below(n - k));
+      std::swap(pool[k], pool[pick]);
+      replicas[x].push_back(pool[k]);
+    }
+  }
+  return causal::ReplicaMap::custom(n, std::move(replicas));
+}
+
+causal::ReplicaMap region_placement(
+    const std::vector<std::uint32_t>& region_of_site,
+    const std::vector<std::uint32_t>& home_region_of_var, std::uint32_t p) {
+  const auto n = static_cast<std::uint32_t>(region_of_site.size());
+  CCPR_EXPECTS(n > 0);
+  CCPR_EXPECTS(p >= 1 && p <= n);
+
+  std::uint32_t regions = 0;
+  for (const std::uint32_t r : region_of_site) {
+    regions = std::max(regions, r + 1);
+  }
+  std::vector<std::vector<causal::SiteId>> sites_in(regions);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    sites_in[region_of_site[s]].push_back(s);
+  }
+
+  std::vector<std::vector<causal::SiteId>> replicas(
+      home_region_of_var.size());
+  for (causal::VarId x = 0; x < home_region_of_var.size(); ++x) {
+    const std::uint32_t home = home_region_of_var[x];
+    CCPR_EXPECTS(home < regions);
+    auto& reps = replicas[x];
+    // Walk regions starting at home; round-robin within each by var id.
+    for (std::uint32_t hop = 0; hop < regions && reps.size() < p; ++hop) {
+      const auto& sites = sites_in[(home + hop) % regions];
+      for (std::uint32_t k = 0; k < sites.size() && reps.size() < p; ++k) {
+        reps.push_back(sites[(x + k) % sites.size()]);
+      }
+    }
+    CCPR_ENSURES(reps.size() == p);
+  }
+  return causal::ReplicaMap::custom(n, std::move(replicas));
+}
+
+}  // namespace ccpr::store

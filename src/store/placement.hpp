@@ -1,0 +1,23 @@
+// Replica placement policies for the KV layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causal/replica_map.hpp"
+
+namespace ccpr::store {
+
+/// Pseudo-random placement: p distinct sites per variable, chosen by a
+/// seeded hash — the usual consistent-hashing style layout.
+causal::ReplicaMap hash_placement(std::uint32_t n, std::uint32_t q,
+                                  std::uint32_t p, std::uint64_t seed);
+
+/// Locality-aware placement: each variable has a home region and its p
+/// replicas are chosen round-robin among that region's sites. If the region
+/// has fewer than p sites the placement spills into the next region(s).
+causal::ReplicaMap region_placement(
+    const std::vector<std::uint32_t>& region_of_site,
+    const std::vector<std::uint32_t>& home_region_of_var, std::uint32_t p);
+
+}  // namespace ccpr::store

@@ -1,0 +1,36 @@
+// Lightweight contract-checking macros (Core Guidelines I.6 / E.something:
+// Expects/Ensures). Violations are programming errors: print and abort so the
+// failure is visible in both test and benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccpr::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace ccpr::detail
+
+#define CCPR_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::ccpr::detail::contract_failure("Precondition", #cond,         \
+                                             __FILE__, __LINE__))
+
+#define CCPR_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::ccpr::detail::contract_failure("Postcondition", #cond,        \
+                                             __FILE__, __LINE__))
+
+#define CCPR_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::ccpr::detail::contract_failure("Invariant", #cond, __FILE__,  \
+                                             __LINE__))
+
+// Marks unreachable control flow (e.g. exhaustive switch fall-through).
+#define CCPR_UNREACHABLE(msg)                                               \
+  ::ccpr::detail::contract_failure("Unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the tools and examples:
+// --key=value and --switch forms, with typed accessors and an automatic
+// usage listing. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccpr::util {
+
+class Flags {
+ public:
+  /// Parses argv; returns std::nullopt and fills `error` on malformed input
+  /// (unknown flags are collected and reported by unknown_flags()).
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// --flag or --flag=true/1/yes; --flag=false/0/no turns it off.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Names seen on the command line (for unknown-flag diagnostics).
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ccpr::util

@@ -1,0 +1,29 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ccpr::util {
+
+double Rng::exponential(double mean) noexcept {
+  CCPR_EXPECTS(mean > 0.0);
+  // Guard against log(0): uniform01() can return exactly 0.
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal() noexcept {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double Rng::lognormal(double median, double sigma) noexcept {
+  CCPR_EXPECTS(median > 0.0);
+  CCPR_EXPECTS(sigma >= 0.0);
+  return median * std::exp(sigma * normal());
+}
+
+}  // namespace ccpr::util

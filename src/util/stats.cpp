@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ccpr::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram()
+    : buckets_(static_cast<std::size_t>(kExponents) * kSubBuckets, 0) {}
+
+// Bucket layout: values in [0, kSubBuckets) map 1:1 to buckets
+// [0, kSubBuckets). A value v >= kSubBuckets with most-significant bit `msb`
+// falls in group g = msb - kSubBucketBits + 1 >= 1; within the group, the
+// kSubBucketBits bits from the msb downwards select one of kSubBuckets
+// sub-buckets: sub = (v >> (g - 1)) - kSubBuckets. Index =
+// g * kSubBuckets + sub. Relative bucket width is 1/kSubBuckets.
+std::uint32_t Histogram::index_for(double value) noexcept {
+  if (value < 0.0) value = 0.0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::uint32_t>(v);
+  const int msb = 63 - __builtin_clzll(v);
+  const int g = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::uint32_t>((v >> (g - 1)) - kSubBuckets);
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(g) * kSubBuckets + sub;
+  const auto cap = static_cast<std::uint32_t>(kExponents * kSubBuckets - 1);
+  return idx > cap ? cap : idx;
+}
+
+// Upper edge of the bucket: conservative for percentile reporting.
+double Histogram::value_for(std::uint32_t index) noexcept {
+  const std::uint32_t g = index / kSubBuckets;
+  const std::uint32_t sub = index % kSubBuckets;
+  if (g == 0) return static_cast<double>(sub);
+  return std::ldexp(static_cast<double>(kSubBuckets + sub + 1),
+                    static_cast<int>(g) - 1);
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+  ++buckets_[index_for(value)];
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  CCPR_ASSERT(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(value_for(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  max_ = std::numeric_limits<double>::lowest();
+}
+
+}  // namespace ccpr::util

@@ -1,0 +1,67 @@
+// Streaming statistics used by the metrics layer and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ccpr::util {
+
+/// Welford online mean/variance plus min/max. O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-memory percentile histogram with log-spaced buckets (HdrHistogram
+/// style, base-2 with linear sub-buckets). Values are non-negative; relative
+/// error is bounded by 1/kSubBuckets.
+class Histogram {
+ public:
+  Histogram();
+
+  void add(double value) noexcept;
+  void merge(const Histogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  double max() const noexcept { return total_ ? max_ : 0.0; }
+  /// q in [0, 1]; returns an upper bound on the q-quantile value.
+  double percentile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  static constexpr int kSubBucketBits = 5;           // 32 sub-buckets
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kExponents = 48;              // values up to ~2^48
+
+  static std::uint32_t index_for(double value) noexcept;
+  static double value_for(std::uint32_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+}  // namespace ccpr::util

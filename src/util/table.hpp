@@ -1,0 +1,40 @@
+// Plain-text table and CSV rendering for the benchmark harness. Every bench
+// binary prints paper-style tables through this so output formatting is
+// uniform and greppable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccpr::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(double value, int precision = 3);
+
+  /// Render with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with bench output).
+std::string format_double(double value, int precision);
+
+}  // namespace ccpr::util

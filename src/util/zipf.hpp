@@ -1,0 +1,37 @@
+// Zipfian sampler over [0, n) with exponent theta, matching the YCSB
+// generator's parameterization (theta = 0.99 is the YCSB default).
+//
+// Uses the Gray et al. "A billion records" closed-form approximation, which
+// samples in O(1) after O(n)-free setup — important because workloads sweep
+// the key-space size.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ccpr::util {
+
+class ZipfSampler {
+ public:
+  /// n: number of items; theta in [0, 1): skew (0 = uniform-ish, 0.99 = YCSB).
+  ZipfSampler(std::uint64_t n, double theta);
+
+  /// Draw an item rank in [0, n); rank 0 is the most popular item.
+  std::uint64_t sample(Rng& rng) const noexcept;
+
+  std::uint64_t size() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) noexcept;
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+}  // namespace ccpr::util

@@ -1,0 +1,82 @@
+#include "workload/hdfs.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::workload {
+
+using causal::Operation;
+using causal::SiteId;
+using causal::VarId;
+
+HdfsWorkload make_hdfs_workload(const HdfsSpec& spec) {
+  CCPR_EXPECTS(spec.sites >= 1);
+  CCPR_EXPECTS(spec.blocks >= 1);
+  CCPR_EXPECTS(spec.replication >= 1 && spec.replication <= spec.sites);
+  const std::uint32_t n = spec.sites;
+  util::Rng rng(spec.seed);
+
+  // Input blocks: first replica on a random site, the rest round-robin
+  // (the HDFS "random rack, then spread" policy flattened to one rack).
+  std::vector<std::vector<SiteId>> replicas;
+  replicas.reserve(spec.blocks + n);
+  for (VarId b = 0; b < spec.blocks; ++b) {
+    std::vector<SiteId> reps;
+    const auto first = static_cast<SiteId>(rng.below(n));
+    for (std::uint32_t k = 0; k < spec.replication; ++k) {
+      reps.push_back((first + k) % n);
+    }
+    replicas.push_back(std::move(reps));
+  }
+  // Output blocks: one per site, first replica local.
+  const auto output_base = static_cast<VarId>(spec.blocks);
+  for (SiteId s = 0; s < n; ++s) {
+    std::vector<SiteId> reps;
+    for (std::uint32_t k = 0; k < spec.replication; ++k) {
+      reps.push_back((s + k) % n);
+    }
+    replicas.push_back(std::move(reps));
+  }
+  causal::ReplicaMap rmap =
+      causal::ReplicaMap::custom(n, std::move(replicas));
+
+  // Pre-compute, per site, the locally replicated input blocks.
+  std::vector<std::vector<VarId>> local_blocks(n);
+  for (VarId b = 0; b < spec.blocks; ++b) {
+    for (SiteId s = 0; s < n; ++s) {
+      if (rmap.replicated_at(b, s)) local_blocks[s].push_back(b);
+    }
+  }
+
+  causal::Program program(n);
+  for (SiteId s = 0; s < n; ++s) {
+    util::Rng site_rng(spec.seed * 0x9e3779b97f4a7c15ULL + s + 1);
+    auto& ops = program[s];
+    ops.reserve(static_cast<std::size_t>(spec.tasks_per_site) *
+                (spec.reads_per_task + 1));
+    for (std::uint32_t task = 0; task < spec.tasks_per_site; ++task) {
+      for (std::uint32_t r = 0; r < spec.reads_per_task; ++r) {
+        Operation op;
+        op.kind = Operation::Kind::kRead;
+        if (!local_blocks[s].empty() && site_rng.chance(spec.locality)) {
+          op.var = local_blocks[s][site_rng.below(local_blocks[s].size())];
+        } else {
+          op.var = static_cast<VarId>(site_rng.below(spec.blocks));
+        }
+        ops.push_back(op);
+      }
+      // Emit the task's output to the site-local output block.
+      Operation out;
+      out.kind = Operation::Kind::kWrite;
+      out.var = output_base + s;
+      out.value_bytes = spec.block_bytes;
+      ops.push_back(out);
+    }
+  }
+
+  return HdfsWorkload{std::move(rmap), std::move(program), output_base};
+}
+
+}  // namespace ccpr::workload

@@ -1,0 +1,40 @@
+// HDFS + MapReduce data-locality workload (paper §V):
+// "The HDFS framework usually chooses a small constant number as the
+//  replication factor even when the size of the cluster is large.
+//  Furthermore, the MapReduce framework tries its best to satisfy data
+//  locality, i.e., assigning tasks that read only from the local machine."
+//
+// Model: q blocks, each replicated at `replication` sites (HDFS default 3).
+// Every site runs `tasks` map tasks; a task reads `reads_per_task` input
+// blocks — a block replicated locally with probability `locality` (the
+// scheduler hit rate) — and then writes one output block that is always
+// locally replicated (HDFS writes the first replica on the writer).
+#pragma once
+
+#include <cstdint>
+
+#include "causal/operation.hpp"
+#include "causal/replica_map.hpp"
+
+namespace ccpr::workload {
+
+struct HdfsSpec {
+  std::uint32_t sites = 8;
+  std::uint32_t blocks = 64;          ///< input blocks (variables)
+  std::uint32_t replication = 3;      ///< HDFS dfs.replication
+  std::uint32_t tasks_per_site = 50;  ///< map tasks scheduled per site
+  std::uint32_t reads_per_task = 4;   ///< input splits touched per task
+  double locality = 0.9;              ///< scheduler data-locality hit rate
+  std::uint32_t block_bytes = 512;    ///< modelled block payload
+  std::uint64_t seed = 2718;
+};
+
+struct HdfsWorkload {
+  causal::ReplicaMap rmap;  ///< input blocks + one output block per site
+  causal::Program program;
+  std::uint32_t output_base;  ///< VarId of site 0's output block
+};
+
+HdfsWorkload make_hdfs_workload(const HdfsSpec& spec);
+
+}  // namespace ccpr::workload

@@ -1,0 +1,86 @@
+#include "workload/social.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace ccpr::workload {
+
+using causal::Operation;
+using causal::SiteId;
+using causal::VarId;
+
+SocialWorkload make_social_workload(const SocialSpec& spec) {
+  CCPR_EXPECTS(spec.regions >= 1);
+  CCPR_EXPECTS(spec.sites_per_region >= 1);
+  CCPR_EXPECTS(spec.users >= 1);
+  const std::uint32_t n = spec.regions * spec.sites_per_region;
+  const std::uint32_t p =
+      std::min(spec.replicas_per_user, spec.sites_per_region);
+  util::Rng rng(spec.seed);
+
+  std::vector<std::uint32_t> region_of_site(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    region_of_site[s] = s / spec.sites_per_region;
+  }
+
+  // Home regions and wall placement: p consecutive sites inside the home
+  // region, offset by the user id for balance.
+  std::vector<std::uint32_t> home(spec.users);
+  std::vector<std::vector<SiteId>> replicas(spec.users);
+  for (std::uint32_t u = 0; u < spec.users; ++u) {
+    home[u] = static_cast<std::uint32_t>(rng.below(spec.regions));
+    const SiteId base = home[u] * spec.sites_per_region;
+    for (std::uint32_t k = 0; k < p; ++k) {
+      replicas[u].push_back(base + (u + k) % spec.sites_per_region);
+    }
+  }
+  causal::ReplicaMap rmap = causal::ReplicaMap::custom(n, replicas);
+
+  // Per-region popularity ranking so zipf rank r maps to a user of that
+  // region (most regional traffic hits a few regional celebrities).
+  std::vector<std::vector<VarId>> users_in_region(spec.regions);
+  for (std::uint32_t u = 0; u < spec.users; ++u) {
+    users_in_region[home[u]].push_back(u);
+  }
+  // A region could be empty if users are few; fall back to the global list.
+  std::vector<VarId> all_users(spec.users);
+  for (std::uint32_t u = 0; u < spec.users; ++u) all_users[u] = u;
+
+  util::ZipfSampler global_zipf(spec.users, spec.zipf_theta);
+
+  causal::Program program(n);
+  for (SiteId s = 0; s < n; ++s) {
+    util::Rng site_rng(spec.seed * 0x2545f4914f6cdd1dULL + s + 1);
+    const std::uint32_t region = region_of_site[s];
+    const auto& local_users = users_in_region[region].empty()
+                                  ? all_users
+                                  : users_in_region[region];
+    util::ZipfSampler local_zipf(local_users.size(), spec.zipf_theta);
+    auto& ops = program[s];
+    ops.reserve(spec.ops_per_site);
+    for (std::uint64_t i = 0; i < spec.ops_per_site; ++i) {
+      Operation op;
+      op.value_bytes = spec.value_bytes;
+      if (site_rng.chance(spec.write_rate)) {
+        // Post to the wall of a user homed here (clients write via their
+        // nearest site).
+        op.kind = Operation::Kind::kWrite;
+        op.var = local_users[local_zipf.sample(site_rng)];
+      } else {
+        op.kind = Operation::Kind::kRead;
+        op.var = site_rng.chance(spec.follow_local_prob)
+                     ? local_users[local_zipf.sample(site_rng)]
+                     : static_cast<VarId>(global_zipf.sample(site_rng));
+      }
+      ops.push_back(op);
+    }
+  }
+
+  return SocialWorkload{std::move(rmap), std::move(program),
+                        std::move(region_of_site), std::move(home)};
+}
+
+}  // namespace ccpr::workload

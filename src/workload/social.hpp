@@ -1,0 +1,41 @@
+// Social-network workload (paper §I's motivating scenario).
+//
+// Users have a home region; their wall variable is replicated only at sites
+// in that region ("user U's connections are located mostly in the Chicago
+// region and the US West coast"). Clients at a site mostly read walls of
+// users homed in their own region and occasionally follow remote users.
+// This is the E8 experiment input and the social_network example's engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causal/operation.hpp"
+#include "causal/replica_map.hpp"
+
+namespace ccpr::workload {
+
+struct SocialSpec {
+  std::uint32_t regions = 2;
+  std::uint32_t sites_per_region = 3;
+  std::uint32_t users = 120;
+  /// Replicas per wall; clamped to the region size.
+  std::uint32_t replicas_per_user = 2;
+  std::uint64_t ops_per_site = 1000;
+  double write_rate = 0.2;          ///< posting vs browsing mix
+  double follow_local_prob = 0.9;   ///< reads stay in-region with this prob
+  double zipf_theta = 0.8;          ///< user popularity skew
+  std::uint32_t value_bytes = 256;  ///< post size
+  std::uint64_t seed = 99;
+};
+
+struct SocialWorkload {
+  causal::ReplicaMap rmap;          ///< wall placement (users == variables)
+  causal::Program program;
+  std::vector<std::uint32_t> region_of_site;
+  std::vector<std::uint32_t> home_region_of_user;
+};
+
+SocialWorkload make_social_workload(const SocialSpec& spec);
+
+}  // namespace ccpr::workload

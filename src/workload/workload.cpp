@@ -1,0 +1,57 @@
+#include "workload/workload.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace ccpr::workload {
+
+using causal::Operation;
+using causal::Program;
+using causal::VarId;
+
+Program generate_program(const WorkloadSpec& spec,
+                         const causal::ReplicaMap& rmap) {
+  CCPR_EXPECTS(spec.write_rate >= 0.0 && spec.write_rate <= 1.0);
+  CCPR_EXPECTS(spec.locality >= 0.0 && spec.locality <= 1.0);
+  const std::uint32_t n = rmap.sites();
+  const std::uint32_t q = rmap.vars();
+
+  Program program(n);
+  util::ZipfSampler zipf(q, spec.dist == WorkloadSpec::KeyDist::kZipf
+                                ? spec.zipf_theta
+                                : 0.0);
+
+  for (causal::SiteId s = 0; s < n; ++s) {
+    util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + s + 1);
+    const std::vector<VarId> local = rmap.vars_at(s);
+    auto& ops = program[s];
+    ops.reserve(spec.ops_per_site);
+    for (std::uint64_t i = 0; i < spec.ops_per_site; ++i) {
+      Operation op;
+      op.kind = rng.chance(spec.write_rate) ? Operation::Kind::kWrite
+                                            : Operation::Kind::kRead;
+      if (!local.empty() && rng.chance(spec.locality)) {
+        op.var = local[rng.below(local.size())];
+      } else if (spec.dist == WorkloadSpec::KeyDist::kZipf) {
+        op.var = static_cast<VarId>(zipf.sample(rng));
+      } else {
+        op.var = static_cast<VarId>(rng.below(q));
+      }
+      op.value_bytes = spec.value_bytes;
+      ops.push_back(op);
+    }
+  }
+  return program;
+}
+
+double predicted_messages_partial(double n, double p, double writes,
+                                  double reads) {
+  return p * writes + 2.0 * reads * (n - p) / n;
+}
+
+double predicted_messages_full(double n, double writes) { return n * writes; }
+
+double crossover_write_rate(double n) { return 2.0 / (2.0 + n); }
+
+}  // namespace ccpr::workload

@@ -1,0 +1,47 @@
+// Synthetic workload generation.
+//
+// The paper's evaluation sweeps the write rate w_rate = w/(w+r) over a
+// replicated key space; this generator produces per-process operation
+// sequences for those sweeps, plus locality- and skew-controlled variants
+// for the scenario experiments (E8) and the store examples.
+#pragma once
+
+#include <cstdint>
+
+#include "causal/operation.hpp"
+#include "causal/replica_map.hpp"
+
+namespace ccpr::workload {
+
+struct WorkloadSpec {
+  std::uint64_t ops_per_site = 1000;
+  /// Probability an operation is a write: the paper's w_rate.
+  double write_rate = 0.3;
+  enum class KeyDist : std::uint8_t { kUniform, kZipf };
+  KeyDist dist = KeyDist::kUniform;
+  /// YCSB-style skew for kZipf (0.99 = YCSB default).
+  double zipf_theta = 0.99;
+  /// Probability an operation targets a variable replicated at the issuing
+  /// site (HDFS/MapReduce-style data locality, paper §V). 0 = ignore
+  /// placement entirely.
+  double locality = 0.0;
+  std::uint32_t value_bytes = 64;
+  std::uint64_t seed = 1;
+};
+
+/// One operation sequence per site. Deterministic in (spec.seed, rmap).
+causal::Program generate_program(const WorkloadSpec& spec,
+                                 const causal::ReplicaMap& rmap);
+
+/// The exact message-count predictions of the paper (§V and Fig. 4):
+/// partial replication sends p*w + 2*r*(n-p)/n messages, full replication
+/// n*w. Used by benches to overlay analytic curves on measured counts.
+double predicted_messages_partial(double n, double p, double writes,
+                                  double reads);
+double predicted_messages_full(double n, double writes);
+
+/// The paper's crossover: partial replication wins when
+/// w_rate > 2 / (2 + n).
+double crossover_write_rate(double n);
+
+}  // namespace ccpr::workload

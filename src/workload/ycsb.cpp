@@ -1,0 +1,69 @@
+#include "workload/ycsb.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace ccpr::workload {
+
+const char* ycsb_name(YcsbMix mix) noexcept {
+  switch (mix) {
+    case YcsbMix::kA:
+      return "YCSB-A";
+    case YcsbMix::kB:
+      return "YCSB-B";
+    case YcsbMix::kC:
+      return "YCSB-C";
+    case YcsbMix::kD:
+      return "YCSB-D";
+    case YcsbMix::kF:
+      return "YCSB-F";
+  }
+  CCPR_UNREACHABLE("unknown YCSB mix");
+}
+
+WorkloadSpec ycsb_spec(YcsbMix mix, WorkloadSpec base) {
+  base.dist = WorkloadSpec::KeyDist::kZipf;
+  base.zipf_theta = 0.99;
+  switch (mix) {
+    case YcsbMix::kA:
+      base.write_rate = 0.5;
+      break;
+    case YcsbMix::kB:
+    case YcsbMix::kD:
+      base.write_rate = 0.05;
+      break;
+    case YcsbMix::kC:
+      base.write_rate = 0.0;
+      break;
+    case YcsbMix::kF:
+      base.write_rate = 0.5;  // realized as read+write pairs
+      break;
+  }
+  return base;
+}
+
+causal::Program generate_ycsb(YcsbMix mix, const WorkloadSpec& base,
+                              const causal::ReplicaMap& rmap) {
+  const WorkloadSpec spec = ycsb_spec(mix, base);
+  if (mix != YcsbMix::kF) return generate_program(spec, rmap);
+
+  // Read-modify-write: each logical op is r(x) immediately followed by
+  // w(x); ops_per_site counts individual operations, so emit pairs.
+  const std::uint32_t n = rmap.sites();
+  causal::Program program(n);
+  util::ZipfSampler zipf(rmap.vars(), spec.zipf_theta);
+  for (causal::SiteId s = 0; s < n; ++s) {
+    util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + s + 1);
+    auto& ops = program[s];
+    ops.reserve(spec.ops_per_site);
+    while (ops.size() + 2 <= spec.ops_per_site) {
+      const auto x = static_cast<causal::VarId>(zipf.sample(rng));
+      ops.push_back({causal::Operation::Kind::kRead, x, 0});
+      ops.push_back({causal::Operation::Kind::kWrite, x, spec.value_bytes});
+    }
+  }
+  return program;
+}
+
+}  // namespace ccpr::workload

@@ -1,0 +1,31 @@
+// YCSB core-workload presets mapped onto WorkloadSpec.
+//
+// The standard mixes (Cooper et al., SoCC'10) give the evaluation familiar,
+// citable operation blends:
+//   A  update-heavy   50% read / 50% write, zipfian
+//   B  read-mostly    95% read /  5% write, zipfian
+//   C  read-only     100% read,             zipfian
+//   D  read-latest    95% read /  5% write (we approximate the "latest"
+//                     distribution with zipfian over the key space)
+//   F  read-modify-write: realized as alternating read/write pairs on the
+//                     same zipfian key.
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace ccpr::workload {
+
+enum class YcsbMix : std::uint8_t { kA, kB, kC, kD, kF };
+
+const char* ycsb_name(YcsbMix mix) noexcept;
+
+/// Fills rates/distribution of `base` from the preset; ops, seed, value
+/// bytes and locality are taken from `base` unchanged.
+WorkloadSpec ycsb_spec(YcsbMix mix, WorkloadSpec base = {});
+
+/// Generates the program. YCSB-F needs paired read-modify-write ops and is
+/// generated directly; the other mixes delegate to generate_program.
+causal::Program generate_ycsb(YcsbMix mix, const WorkloadSpec& base,
+                              const causal::ReplicaMap& rmap);
+
+}  // namespace ccpr::workload

@@ -1,0 +1,86 @@
+#include "causal/ahamad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+using ccpr::testing::applies_at;
+using ccpr::testing::constant_latency;
+using ccpr::testing::expect_causal;
+using ccpr::testing::index_of;
+using ccpr::testing::matrix_latency;
+
+TEST(AhamadTest, BasicReplicationAndFifo) {
+  SimCluster c(Algorithm::kAhamad, ReplicaMap::full(3, 2),
+               constant_latency(100));
+  c.write(0, 0, "a");
+  c.write(0, 1, "b");
+  c.run();
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(c.site(s).peek(0).data, "a");
+    EXPECT_EQ(c.site(s).peek(1).data, "b");
+  }
+  expect_causal(c);
+}
+
+TEST(AhamadTest, CausalChainRespected) {
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(Algorithm::kAhamad, ReplicaMap::full(3, 2), std::move(opts));
+  c.write(0, 0, "a");
+  c.run_until(5'000);
+  ASSERT_EQ(c.read(1, 0).data, "a");
+  c.write(1, 1, "b");
+  c.run();
+  const auto seq = applies_at(c.history(), 2);
+  EXPECT_LT(index_of(seq, WriteId{0, 1}), index_of(seq, WriteId{1, 1}));
+  expect_causal(c);
+}
+
+TEST(AhamadTest, ExhibitsFalseCausality) {
+  // s1 RECEIVES s0's update but never reads it, then writes. Under A_ORG
+  // the receipt still binds: s2 must wait for a before applying b — the
+  // false causality that Full-Track's A_OPT avoids (see
+  // FullTrackTest.NoFalseCausalityWithoutRead for the contrast).
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(Algorithm::kAhamad, ReplicaMap::full(3, 2), std::move(opts));
+  c.write(0, 0, "a");
+  c.run_until(5'000);  // s1 applied a; s2 did not
+  c.write(1, 1, "b");  // no read — but A_ORG still orders b after a
+  c.run();
+  const auto seq = applies_at(c.history(), 2);
+  const auto ia = index_of(seq, WriteId{0, 1});
+  const auto ib = index_of(seq, WriteId{1, 1});
+  ASSERT_GE(ia, 0);
+  ASSERT_GE(ib, 0);
+  EXPECT_LT(ia, ib);  // b waited for a: false causality
+  expect_causal(c);
+}
+
+TEST(AhamadTest, ConstantMetadataFootprint) {
+  SimCluster c(Algorithm::kAhamad, ReplicaMap::full(4, 8),
+               constant_latency(100));
+  const auto before = c.site(0).meta_state_bytes();
+  for (int i = 0; i < 20; ++i) c.write(0, static_cast<VarId>(i % 8), "v");
+  c.run();
+  EXPECT_EQ(c.site(0).meta_state_bytes(), before);  // one n-vector, always
+  expect_causal(c);
+}
+
+TEST(AhamadTest, RequiresFullReplication) {
+  EXPECT_DEATH(
+      {
+        SimCluster c(Algorithm::kAhamad, ReplicaMap::even(3, 3, 2),
+                     constant_latency(10));
+      },
+      "Precondition");
+}
+
+}  // namespace
+}  // namespace ccpr::causal

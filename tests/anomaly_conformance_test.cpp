@@ -1,0 +1,138 @@
+// Conformance against the classic causal-consistency anomalies from the
+// literature. Each test scripts a named scenario and checks that the
+// algorithms (a) PREVENT the anomalies causal consistency must prevent and
+// (b) PERMIT the behaviours it deliberately allows — over-synchronizing
+// would mean we built something stronger (and slower) than the paper.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+using ccpr::testing::applies_at;
+using ccpr::testing::expect_causal;
+using ccpr::testing::index_of;
+using ccpr::testing::matrix_latency;
+
+class AnomalyConformance : public ::testing::TestWithParam<Algorithm> {};
+
+// COPS / Lloyd et al.: the photo-ACL anomaly. Alice removes her boss from
+// the ACL, *then* posts the party photo. No site may apply the photo before
+// the ACL update, or the boss could see it.
+TEST_P(AnomalyConformance, PhotoAclOrderPreserved) {
+  // Site 2 is "far" from Alice's site 0; the photo message would overtake
+  // the ACL update on a naive store.
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(GetParam(), ReplicaMap::full(3, 2), std::move(opts));
+  const VarId acl = 0, photo = 1;
+  c.write(0, acl, "friends-only");  // slow path to site 2
+  c.write(0, photo, "party.jpg");   // same writer: program order binds them
+  c.run();
+  for (SiteId s = 1; s < 3; ++s) {
+    const auto seq = applies_at(c.history(), s);
+    EXPECT_LT(index_of(seq, WriteId{0, 1}), index_of(seq, WriteId{0, 2}))
+        << "photo visible before ACL at site " << s;
+  }
+  expect_causal(c);
+}
+
+// The comment-reply anomaly: Bob replies to Alice's post from another
+// site. Nobody may see the reply without the post.
+TEST_P(AnomalyConformance, ReplyNeverPrecedesPost) {
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(GetParam(), ReplicaMap::full(3, 2), std::move(opts));
+  c.write(0, 0, "post: lunch anyone?");
+  c.run_until(5'000);
+  ASSERT_EQ(c.read(1, 0).data, "post: lunch anyone?");
+  c.write(1, 1, "reply: yes!");
+  c.run();
+  const auto seq = applies_at(c.history(), 2);
+  EXPECT_LT(index_of(seq, WriteId{0, 1}), index_of(seq, WriteId{1, 1}));
+  expect_causal(c);
+}
+
+// Three-hop transitivity: a -> (read) -> b -> (read) -> c must be applied
+// in order at a site that receives them reversed.
+TEST_P(AnomalyConformance, TransitiveChainAcrossThreeWriters) {
+  auto opts = matrix_latency(4, {0,      1000,   1000,   150'000,   //
+                                 1000,   0,      1000,   100'000,   //
+                                 1000,   1000,   0,      50'000,    //
+                                 150'000, 100'000, 50'000, 0});
+  SimCluster c(GetParam(), ReplicaMap::full(4, 3), std::move(opts));
+  c.write(0, 0, "a");
+  c.run_until(5'000);
+  ASSERT_EQ(c.read(1, 0).data, "a");
+  c.write(1, 1, "b");
+  c.run_until(10'000);
+  ASSERT_EQ(c.read(2, 1).data, "b");
+  c.write(2, 2, "c");
+  c.run();
+  const auto seq = applies_at(c.history(), 3);
+  const auto ia = index_of(seq, WriteId{0, 1});
+  const auto ib = index_of(seq, WriteId{1, 1});
+  const auto ic = index_of(seq, WriteId{2, 1});
+  EXPECT_LT(ia, ib);
+  EXPECT_LT(ib, ic);
+  expect_causal(c);
+}
+
+// PERMITTED behaviour 1: concurrent writes may be observed in different
+// orders at different sites (causal, unlike sequential consistency, allows
+// it). Over-synchronizing here would falsify the paper's cost model.
+TEST_P(AnomalyConformance, ConcurrentWritesMayDisagreeAcrossSites) {
+  auto opts = matrix_latency(2, {0, 30'000, 30'000, 0});
+  SimCluster c(GetParam(), ReplicaMap::full(2, 1), std::move(opts));
+  c.write(0, 0, "zero");
+  c.write(1, 0, "one");  // concurrent
+  c.run();
+  // Each site applied its own write first: final values differ.
+  EXPECT_EQ(c.site(0).peek(0).data, "one");
+  EXPECT_EQ(c.site(1).peek(0).data, "zero");
+  expect_causal(c);  // ...and that is still causally consistent
+}
+
+// PERMITTED behaviour 2: the lost-update anomaly. Two sites read 0 and
+// both write their increment; causal consistency does not serialize them.
+TEST_P(AnomalyConformance, LostUpdateIsAllowed) {
+  auto opts = matrix_latency(2, {0, 20'000, 20'000, 0});
+  SimCluster c(GetParam(), ReplicaMap::full(2, 1), std::move(opts));
+  ASSERT_TRUE(c.read(0, 0).id.is_initial());
+  ASSERT_TRUE(c.read(1, 0).id.is_initial());
+  c.write(0, 0, "counter=1 (from 0)");
+  c.write(1, 0, "counter=1 (from 1)");  // both based on 0: one update lost
+  c.run();
+  expect_causal(c);  // legal under causal memory — by design
+}
+
+// PERMITTED behaviour 3: reading your own write immediately, before any
+// remote site has seen it (low latency is the paper's whole point).
+TEST_P(AnomalyConformance, LocalWriteVisibleImmediately) {
+  SimCluster c(GetParam(), ReplicaMap::full(2, 1),
+               ccpr::testing::constant_latency(1'000'000));  // 1s WAN
+  c.write(0, 0, "instant");
+  EXPECT_EQ(c.read(0, 0).data, "instant");  // no WAN round trip
+  EXPECT_TRUE(c.site(1).peek(0).data.empty());
+  c.run();
+  expect_causal(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCausalAlgorithms, AnomalyConformance,
+    ::testing::Values(Algorithm::kFullTrack, Algorithm::kOptTrack,
+                      Algorithm::kOptTrackCRP, Algorithm::kOptP,
+                      Algorithm::kAhamad),
+    [](const ::testing::TestParamInfo<Algorithm>& param_info) {
+      std::string name = algorithm_name(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ccpr::causal

@@ -1,0 +1,252 @@
+// The checker is the oracle for every integration test, so it gets its own
+// adversarial suite: hand-built histories with known verdicts.
+#include "checker/causal_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::checker {
+namespace {
+
+using causal::ReplicaMap;
+using causal::SiteId;
+using causal::VarId;
+using causal::WriteId;
+
+constexpr WriteId kInitial{};
+
+TEST(CheckerTest, EmptyHistoryIsConsistent) {
+  HistoryRecorder h;
+  const auto r = check_causal_consistency(h, ReplicaMap::full(2, 1));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.ops_checked, 0u);
+}
+
+TEST(CheckerTest, SimpleWriteReadIsConsistent) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 1);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_read(1, 0, {0, 1});
+  const auto r = check_causal_consistency(h, rmap);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(CheckerTest, ReadBeforeAnyWriteMayReturnInitial) {
+  HistoryRecorder h;
+  h.on_read(0, 0, kInitial);
+  h.on_write(1, {1, 1}, 0);
+  h.on_apply(1, {1, 1}, 0);
+  h.on_apply(0, {1, 1}, 0);
+  const auto r = check_causal_consistency(h, ReplicaMap::full(2, 1));
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(CheckerTest, DetectsStaleInitialRead) {
+  // Process 0 writes x then y; process 1 reads y (so w(x) is in its causal
+  // past) and then reads x as initial — stale.
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 2);
+  h.on_write(0, {0, 1}, 0);  // w(x)
+  h.on_apply(0, {0, 1}, 0);
+  h.on_write(0, {0, 2}, 1);  // w(y)
+  h.on_apply(0, {0, 2}, 1);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_apply(1, {0, 2}, 1);
+  h.on_read(1, 1, {0, 2});   // reads y
+  h.on_read(1, 0, kInitial);  // stale: x's write precedes causally
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("stale read"), std::string::npos);
+}
+
+TEST(CheckerTest, DetectsCausallyOverwrittenRead) {
+  // w1(x)a -> read by p1 -> w2(x)b; p2 reads b then reads a again: stale.
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(3, 1);
+  h.on_write(0, {0, 1}, 0);  // a
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_read(1, 0, {0, 1});
+  h.on_write(1, {1, 1}, 0);  // b, causally after a
+  h.on_apply(1, {1, 1}, 0);
+  h.on_apply(0, {1, 1}, 0);
+  h.on_apply(2, {0, 1}, 0);
+  h.on_apply(2, {1, 1}, 0);
+  h.on_read(2, 0, {1, 1});  // fine: reads b
+  h.on_read(2, 0, {0, 1});  // stale: a was overwritten in causal past of b
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("stale read"), std::string::npos);
+}
+
+TEST(CheckerTest, ConcurrentWritesMayBeReadEitherWay) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(3, 1);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_write(1, {1, 1}, 0);  // concurrent with 0's write
+  h.on_apply(1, {1, 1}, 0);
+  h.on_apply(0, {1, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_apply(2, {0, 1}, 0);
+  h.on_apply(2, {1, 1}, 0);
+  h.on_read(2, 0, {1, 1});
+  h.on_read(2, 0, {0, 1});  // legal: the two writes are concurrent
+  const auto r = check_causal_consistency(h, rmap);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(CheckerTest, DetectsCausalApplyOrderViolation) {
+  // w1 -> (read) -> w2, but site 2 applies w2 before w1.
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(3, 2);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_read(1, 0, {0, 1});
+  h.on_write(1, {1, 1}, 1);
+  h.on_apply(1, {1, 1}, 1);
+  h.on_apply(0, {1, 1}, 1);
+  h.on_apply(2, {1, 1}, 1);  // w2 first: violation
+  h.on_apply(2, {0, 1}, 0);
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("causal apply violation"),
+            std::string::npos);
+}
+
+TEST(CheckerTest, AllowsConcurrentAppliesInAnyOrder) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(3, 2);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_write(1, {1, 1}, 1);  // concurrent
+  h.on_apply(1, {1, 1}, 1);
+  h.on_apply(2, {1, 1}, 1);  // order differs from site 0's...
+  h.on_apply(2, {0, 1}, 0);
+  h.on_apply(0, {1, 1}, 1);
+  h.on_apply(1, {0, 1}, 0);
+  const auto r = check_causal_consistency(h, rmap);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(CheckerTest, DetectsPerWriterFifoViolation) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 1);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_write(0, {0, 2}, 0);
+  h.on_apply(0, {0, 2}, 0);
+  h.on_apply(1, {0, 2}, 0);  // second write first: FIFO violation
+  h.on_apply(1, {0, 1}, 0);
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("apply order"), std::string::npos);
+}
+
+TEST(CheckerTest, DetectsLostUpdate) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 1);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  // never applied at site 1
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("lost update"), std::string::npos);
+  CheckOptions lax;
+  lax.require_complete_delivery = false;
+  EXPECT_TRUE(check_causal_consistency(h, rmap, lax).ok);
+}
+
+TEST(CheckerTest, DetectsDuplicateApply) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 1);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);  // duplicate
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+}
+
+TEST(CheckerTest, DetectsApplyAtNonReplica) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::even(3, 3, 1);  // var 0 only at site 0
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);  // site 1 is not a replica of var 0
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("non-replica"), std::string::npos);
+}
+
+TEST(CheckerTest, DetectsReadFromUnknownWrite) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 1);
+  h.on_read(0, 0, {1, 42});  // nobody wrote this
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("unknown write"), std::string::npos);
+}
+
+TEST(CheckerTest, DetectsReadFromWrongVariable) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 2);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_read(1, 1, {0, 1});  // write was to var 0, read names var 1
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("read integrity"), std::string::npos);
+}
+
+TEST(CheckerTest, DetectsDuplicateWriteId) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 1);
+  h.on_write(0, {0, 1}, 0);
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_write(0, {0, 1}, 0);  // same id again
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+}
+
+TEST(CheckerTest, ViolationCapRespected) {
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 1);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    h.on_write(0, {0, i}, 0);
+    h.on_apply(0, {0, i}, 0);
+    // never applied at site 1 -> 100 lost updates... reported per (p, s).
+  }
+  CheckOptions opts;
+  opts.max_violations = 4;
+  const auto r = check_causal_consistency(h, rmap, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_LE(r.violations.size(), 4u);
+}
+
+TEST(CheckerTest, TransitiveCausalityThroughThirdProcess) {
+  // w0 -> read by p1 -> w1 -> read by p2 -> r2 reading x must not be initial.
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(3, 3);
+  h.on_write(0, {0, 1}, 0);  // x
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  h.on_read(1, 0, {0, 1});
+  h.on_write(1, {1, 1}, 1);  // y
+  h.on_apply(1, {1, 1}, 1);
+  h.on_apply(2, {1, 1}, 1);
+  h.on_read(2, 1, {1, 1});
+  h.on_read(2, 0, kInitial);  // transitive stale read
+  h.on_apply(2, {0, 1}, 0);
+  h.on_apply(0, {1, 1}, 1);
+  const auto r = check_causal_consistency(h, rmap);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("stale read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccpr::checker

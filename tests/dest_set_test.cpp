@@ -1,0 +1,81 @@
+#include "causal/dest_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::causal {
+namespace {
+
+TEST(DestSetTest, InitializerListNormalizes) {
+  DestSet d{3, 1, 2, 1, 3};
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.items(), (std::vector<SiteId>{1, 2, 3}));
+}
+
+TEST(DestSetTest, ContainsAndEmpty) {
+  DestSet d{5, 7};
+  EXPECT_TRUE(d.contains(5));
+  EXPECT_TRUE(d.contains(7));
+  EXPECT_FALSE(d.contains(6));
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(DestSet{}.empty());
+}
+
+TEST(DestSetTest, InsertKeepsSortedUnique) {
+  DestSet d;
+  d.insert(5);
+  d.insert(1);
+  d.insert(5);
+  d.insert(3);
+  EXPECT_EQ(d.items(), (std::vector<SiteId>{1, 3, 5}));
+}
+
+TEST(DestSetTest, EraseMissingIsNoop) {
+  DestSet d{1, 2};
+  d.erase(9);
+  EXPECT_EQ(d.size(), 2u);
+  d.erase(1);
+  EXPECT_EQ(d.items(), (std::vector<SiteId>{2}));
+}
+
+TEST(DestSetTest, SubtractSpan) {
+  DestSet d{1, 2, 3, 4, 5};
+  const SiteId other[] = {2, 4, 9};
+  d.subtract(std::span<const SiteId>(other, 3));
+  EXPECT_EQ(d.items(), (std::vector<SiteId>{1, 3, 5}));
+}
+
+TEST(DestSetTest, SubtractSelfEmpties) {
+  DestSet d{1, 2};
+  d.subtract(d.span());
+  // Subtracting a view of itself must be safe because subtract compacts in
+  // place without reallocation.
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(DestSetTest, IntersectKeepsCommon) {
+  DestSet a{1, 2, 3, 5};
+  DestSet b{2, 3, 4};
+  a.intersect(b);
+  EXPECT_EQ(a.items(), (std::vector<SiteId>{2, 3}));
+}
+
+TEST(DestSetTest, IntersectWithEmptyIsEmpty) {
+  DestSet a{1, 2};
+  a.intersect(DestSet{});
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(DestSetTest, FromSortedSpan) {
+  const SiteId sites[] = {0, 4, 8};
+  DestSet d{std::span<const SiteId>(sites, 3)};
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.contains(4));
+}
+
+TEST(DestSetTest, EqualityComparesContents) {
+  EXPECT_EQ((DestSet{1, 2}), (DestSet{2, 1}));
+  EXPECT_NE((DestSet{1}), (DestSet{1, 2}));
+}
+
+}  // namespace
+}  // namespace ccpr::causal

@@ -1,0 +1,107 @@
+// §V availability: "If a non-local read does not respond in a timeout
+// period, then a secondary process is contacted."
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/causal_checker.hpp"
+#include "test_support.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+// Var 0 replicated at {1, 2}; reader site 0 prefers site 1 (ring-nearest).
+ReplicaMap failover_rmap() { return ReplicaMap::custom(3, {{1, 2}}); }
+
+SimCluster::Options failover_options(sim::SimTime timeout_us) {
+  auto opts = ccpr::testing::constant_latency(2'000);
+  opts.protocol.fetch_timeout_us = timeout_us;
+  return opts;
+}
+
+TEST(FetchFailoverTest, RankedTargetsCycleThroughReplicas) {
+  const auto rmap = failover_rmap();
+  EXPECT_EQ(rmap.fetch_target(0, 0), 1u);
+  EXPECT_EQ(rmap.fetch_target_ranked(0, 0, 0), 1u);
+  EXPECT_EQ(rmap.fetch_target_ranked(0, 0, 1), 2u);
+  EXPECT_EQ(rmap.fetch_target_ranked(0, 0, 2), 1u);  // wraps
+}
+
+TEST(FetchFailoverTest, SecondaryAnswersWhenPrimaryIsDown) {
+  SimCluster c(Algorithm::kOptTrack, failover_rmap(),
+               failover_options(50'000));
+  c.write(2, 0, "survivor-value");
+  c.run();  // both replicas hold it
+  c.crash_site(1);  // the pre-designated target dies
+
+  const Value v = c.read(0, 0);
+  EXPECT_EQ(v.data, "survivor-value");
+  const auto m = c.metrics();
+  EXPECT_EQ(m.fetch_retries, 1u);
+  EXPECT_EQ(m.fetch_req_msgs, 2u);  // primary (lost) + secondary
+  // Simulated time advanced past the timeout.
+  EXPECT_GE(c.scheduler().now(), 50'000);
+}
+
+TEST(FetchFailoverTest, NoRetriesWhenPrimaryHealthy) {
+  SimCluster c(Algorithm::kOptTrack, failover_rmap(),
+               failover_options(50'000));
+  c.write(1, 0, "value");
+  c.run();
+  EXPECT_EQ(c.read(0, 0).data, "value");
+  const auto m = c.metrics();
+  EXPECT_EQ(m.fetch_retries, 0u);
+  EXPECT_EQ(m.fetch_req_msgs, 1u);
+}
+
+TEST(FetchFailoverTest, LateResponseAfterFailoverIsIgnored) {
+  // Primary is merely SLOW (80ms one-way), not dead: the timeout (20ms)
+  // fails over to the secondary, whose answer completes the read; the
+  // primary's late response must be discarded without effect.
+  std::vector<sim::SimTime> base{0,      80'000, 2'000,   //
+                                 80'000, 0,      2'000,   //
+                                 2'000,  2'000,  0};
+  auto opts = ccpr::testing::matrix_latency(3, std::move(base));
+  opts.protocol.fetch_timeout_us = 20'000;
+  SimCluster c(Algorithm::kOptTrack, failover_rmap(), std::move(opts));
+  c.write(2, 0, "v");
+  c.run();
+  const Value v = c.read(0, 0);
+  EXPECT_EQ(v.data, "v");
+  c.run();  // drain the straggler response: must not crash or double-fire
+  const auto m = c.metrics();
+  EXPECT_EQ(m.fetch_retries, 1u);
+  EXPECT_EQ(m.reads, 1u);
+  EXPECT_EQ(m.read_latency_us.count(), 1u);  // completed exactly once
+}
+
+TEST(FetchFailoverTest, TimeoutDisabledMeansNoRetry) {
+  SimCluster c(Algorithm::kOptTrack, failover_rmap(),
+               failover_options(0));
+  c.write(1, 0, "v");
+  c.run();
+  EXPECT_EQ(c.read(0, 0).data, "v");
+  EXPECT_EQ(c.metrics().fetch_retries, 0u);
+}
+
+TEST(FetchFailoverTest, HistoryStaysCausalUnderFailover) {
+  SimCluster c(Algorithm::kOptTrack, failover_rmap(),
+               failover_options(30'000));
+  c.write(2, 0, "a");
+  c.run();
+  c.crash_site(1);
+  ASSERT_EQ(c.read(0, 0).data, "a");
+  c.write(2, 0, "b");
+  c.run();
+  ASSERT_EQ(c.read(0, 0).data, "b");
+  checker::CheckOptions opts;
+  // Site 1 is crashed: updates destined to it are legitimately lost.
+  opts.require_complete_delivery = false;
+  const auto result =
+      checker::check_causal_consistency(c.history(), c.replica_map(), opts);
+  EXPECT_TRUE(result.ok);
+  for (const auto& v : result.violations) ADD_FAILURE() << v;
+}
+
+}  // namespace
+}  // namespace ccpr::causal

@@ -1,0 +1,99 @@
+// RemoteFetch freshness gating (DESIGN.md §6).
+//
+// The paper's pseudo-code answers a RemoteFetch from the pre-designated
+// replica immediately. If that replica lags behind the reader's causal past,
+// the returned value is causally stale. These tests construct that race
+// deterministically: with gating disabled the checker flags the stale read
+// (reproducing the gap); with gating enabled (our default) the response is
+// delayed until the replica has caught up.
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.hpp"
+#include "test_support.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+using ccpr::testing::matrix_latency;
+
+// Topology: x lives only at s1, y lives only at s2.
+//   s0: w(x)a  [slow channel s0->s1],  w(y)b  [fast channel s0->s2]
+//   s2: r(y)=b  (so w(x)a is now in s2's causal past),  r(x) via fetch to s1
+// Without gating s1 answers before a arrives: r(x) returns the initial
+// value — a causal violation.
+SimCluster::Options race_options(bool gating) {
+  auto opts = matrix_latency(3, {0, 80'000, 1000,  //
+                                 1000, 0, 1000,    //
+                                 1000, 1000, 0});
+  opts.protocol.fetch_gating = gating;
+  return opts;
+}
+
+ReplicaMap race_rmap() { return ReplicaMap::custom(3, {{1}, {2}}); }
+
+TEST(FetchGatingTest, UngatedFetchCanViolateCausality) {
+  SimCluster c(Algorithm::kOptTrack, race_rmap(), race_options(false));
+  c.write(0, 0, "a");  // x: slow to s1
+  c.write(0, 1, "b");  // y: fast to s2
+  c.run_until(10'000);
+  ASSERT_EQ(c.site(2).peek(1).data, "b");
+  ASSERT_EQ(c.read(2, 1).data, "b");      // r(y)b: w(x)a joins causal past
+  const Value stale = c.read(2, 0);       // fetch from lagging s1
+  EXPECT_TRUE(stale.id.is_initial());     // the paper-faithful behaviour
+  c.run();
+  const auto result = checker::check_causal_consistency(
+      c.history(), c.replica_map());
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violations[0].find("stale read"), std::string::npos);
+}
+
+TEST(FetchGatingTest, GatedFetchWaitsForFreshValue) {
+  SimCluster c(Algorithm::kOptTrack, race_rmap(), race_options(true));
+  c.write(0, 0, "a");
+  c.write(0, 1, "b");
+  c.run_until(10'000);
+  ASSERT_EQ(c.read(2, 1).data, "b");
+  const Value fresh = c.read(2, 0);  // blocks until s1 applies a
+  EXPECT_EQ(fresh.data, "a");
+  EXPECT_EQ(fresh.id, (WriteId{0, 1}));
+  c.run();
+  ccpr::testing::expect_causal(c);
+}
+
+TEST(FetchGatingTest, FullTrackUngatedAlsoRacy) {
+  SimCluster c(Algorithm::kFullTrack, race_rmap(), race_options(false));
+  c.write(0, 0, "a");
+  c.write(0, 1, "b");
+  c.run_until(10'000);
+  ASSERT_EQ(c.read(2, 1).data, "b");
+  EXPECT_TRUE(c.read(2, 0).id.is_initial());
+  c.run();
+  EXPECT_FALSE(
+      checker::check_causal_consistency(c.history(), c.replica_map()).ok);
+}
+
+TEST(FetchGatingTest, FullTrackGatedWaits) {
+  SimCluster c(Algorithm::kFullTrack, race_rmap(), race_options(true));
+  c.write(0, 0, "a");
+  c.write(0, 1, "b");
+  c.run_until(10'000);
+  ASSERT_EQ(c.read(2, 1).data, "b");
+  EXPECT_EQ(c.read(2, 0).data, "a");
+  c.run();
+  ccpr::testing::expect_causal(c);
+}
+
+TEST(FetchGatingTest, GatingIdleWhenNoCausalDependency) {
+  // A reader with no causal knowledge of pending writes is answered
+  // immediately even with gating on.
+  SimCluster c(Algorithm::kOptTrack, race_rmap(), race_options(true));
+  c.write(0, 0, "a");
+  c.run_until(2'000);              // a still in flight to s1
+  const Value v = c.read(2, 0);    // s2 knows nothing about a
+  EXPECT_TRUE(v.id.is_initial());  // immediate, legal answer
+  c.run();
+  ccpr::testing::expect_causal(c);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

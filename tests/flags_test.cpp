@@ -1,0 +1,68 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, KeyValueForms) {
+  const auto f = parse({"--n=10", "--write-rate=0.5", "--alg=opt-track"});
+  EXPECT_EQ(f.get_int("n", 0), 10);
+  EXPECT_DOUBLE_EQ(f.get_double("write-rate", 0.0), 0.5);
+  EXPECT_EQ(f.get_string("alg", ""), "opt-track");
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const auto f = parse({});
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.get_bool("b", false));
+  EXPECT_TRUE(f.get_bool("b", true));
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  const auto f = parse({"--check"});
+  EXPECT_TRUE(f.has("check"));
+  EXPECT_TRUE(f.get_bool("check", false));
+}
+
+TEST(FlagsTest, ExplicitBooleans) {
+  const auto f = parse({"--a=true", "--b=false", "--c=1", "--d=0",
+                        "--e=yes", "--g=no"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+  EXPECT_TRUE(f.get_bool("e", false));
+  EXPECT_FALSE(f.get_bool("g", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const auto f = parse({"input.txt", "--n=3", "out.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "out.csv");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const auto f = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(f.get_int("n", 0), 2);
+}
+
+TEST(FlagsTest, NamesListsFlags) {
+  const auto f = parse({"--b=1", "--a"});
+  const auto names = f.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace ccpr::util

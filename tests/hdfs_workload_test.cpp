@@ -1,0 +1,91 @@
+#include "workload/hdfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ccpr::workload {
+namespace {
+
+using causal::Operation;
+
+TEST(HdfsWorkloadTest, ShapeMatchesSpec) {
+  HdfsSpec spec;
+  spec.sites = 6;
+  spec.blocks = 30;
+  spec.replication = 3;
+  spec.tasks_per_site = 10;
+  spec.reads_per_task = 4;
+  const auto w = make_hdfs_workload(spec);
+  EXPECT_EQ(w.rmap.sites(), 6u);
+  EXPECT_EQ(w.rmap.vars(), 30u + 6u);  // inputs + one output per site
+  for (causal::VarId x = 0; x < w.rmap.vars(); ++x) {
+    EXPECT_EQ(w.rmap.replicas(x).size(), 3u);
+  }
+  for (causal::SiteId s = 0; s < 6; ++s) {
+    EXPECT_EQ(w.program[s].size(), 10u * (4u + 1u));
+  }
+}
+
+TEST(HdfsWorkloadTest, OutputBlocksAreLocalToTheirSite) {
+  const auto w = make_hdfs_workload(HdfsSpec{});
+  for (causal::SiteId s = 0; s < 8; ++s) {
+    EXPECT_TRUE(w.rmap.replicated_at(w.output_base + s, s));
+    for (const auto& op : w.program[s]) {
+      if (op.kind == Operation::Kind::kWrite) {
+        EXPECT_EQ(op.var, w.output_base + s);
+      }
+    }
+  }
+}
+
+TEST(HdfsWorkloadTest, HighLocalityMeansMostlyLocalReads) {
+  HdfsSpec spec;
+  spec.locality = 0.95;
+  spec.tasks_per_site = 100;
+  const auto w = make_hdfs_workload(spec);
+  std::uint64_t reads = 0, local = 0;
+  for (causal::SiteId s = 0; s < spec.sites; ++s) {
+    for (const auto& op : w.program[s]) {
+      if (op.kind != Operation::Kind::kRead) continue;
+      ++reads;
+      local += w.rmap.replicated_at(op.var, s) ? 1u : 0u;
+    }
+  }
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(reads), 0.9);
+}
+
+TEST(HdfsWorkloadTest, RunsCausallyOnOptTrack) {
+  HdfsSpec spec;
+  spec.sites = 5;
+  spec.blocks = 20;
+  spec.tasks_per_site = 15;
+  spec.seed = 5;
+  auto w = make_hdfs_workload(spec);
+  causal::SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::UniformLatency>(2'000, 20'000);
+  causal::SimCluster c(causal::Algorithm::kOptTrack, std::move(w.rmap),
+                       std::move(opts));
+  c.run_program(w.program);
+  EXPECT_EQ(c.pending_updates(), 0u);
+  ccpr::testing::expect_causal(c);
+  // The §V claim this workload exists for: with high locality and a small
+  // constant replication factor, remote reads are rare.
+  const auto m = c.metrics();
+  EXPECT_LT(static_cast<double>(m.remote_reads),
+            0.35 * static_cast<double>(m.reads));
+}
+
+TEST(HdfsWorkloadTest, DeterministicPerSeed) {
+  const auto a = make_hdfs_workload(HdfsSpec{});
+  const auto b = make_hdfs_workload(HdfsSpec{});
+  for (causal::SiteId s = 0; s < 8; ++s) {
+    ASSERT_EQ(a.program[s].size(), b.program[s].size());
+    for (std::size_t i = 0; i < a.program[s].size(); ++i) {
+      EXPECT_EQ(a.program[s][i].var, b.program[s][i].var);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccpr::workload

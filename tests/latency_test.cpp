@@ -1,0 +1,72 @@
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::sim {
+namespace {
+
+TEST(ConstantLatencyTest, AlwaysSameDelay) {
+  ConstantLatency lat(12345);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(lat.sample(0, 1, rng), 12345);
+}
+
+TEST(UniformLatencyTest, StaysWithinBounds) {
+  UniformLatency lat(100, 200);
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime d = lat.sample(0, 1, rng);
+    EXPECT_GE(d, 100);
+    EXPECT_LE(d, 200);
+  }
+}
+
+TEST(UniformLatencyTest, DegenerateRange) {
+  UniformLatency lat(50, 50);
+  util::Rng rng(3);
+  EXPECT_EQ(lat.sample(2, 3, rng), 50);
+}
+
+TEST(LogNormalLatencyTest, PositiveAndHeavyTailed) {
+  LogNormalLatency lat(10000.0, 0.8);
+  util::Rng rng(4);
+  SimTime max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime d = lat.sample(0, 1, rng);
+    EXPECT_GE(d, 0);
+    max_seen = std::max(max_seen, d);
+  }
+  EXPECT_GT(max_seen, 30000);  // the tail reaches past 3x the median
+}
+
+TEST(GeoLatencyTest, UsesMatrixEntries) {
+  // 2 sites: 0->1 is 100, 1->0 is 900, loopback 1.
+  GeoLatency lat(2, {1, 100, 900, 1}, 0.0);
+  util::Rng rng(5);
+  EXPECT_EQ(lat.sample(0, 1, rng), 100);
+  EXPECT_EQ(lat.sample(1, 0, rng), 900);
+  EXPECT_EQ(lat.sample(0, 0, rng), 1);
+}
+
+TEST(GeoLatencyTest, TwoTierSeparatesRegions) {
+  auto lat = GeoLatency::two_tier({0, 0, 1, 1}, 1000, 80000, 0.0);
+  util::Rng rng(6);
+  EXPECT_EQ(lat->sample(0, 1, rng), 1000);   // same region
+  EXPECT_EQ(lat->sample(0, 2, rng), 80000);  // cross region
+  EXPECT_EQ(lat->sample(3, 2, rng), 1000);
+}
+
+TEST(GeoLatencyTest, JitterPerturbsAroundBase) {
+  auto lat = GeoLatency::two_tier({0, 1}, 1000, 50000, 0.2);
+  util::Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime d = lat->sample(0, 1, rng);
+    EXPECT_GT(d, 10000);
+    sum += static_cast<double>(d);
+  }
+  EXPECT_NEAR(sum / 2000.0, 51000.0, 4000.0);  // E[lognormal(1,s)] slightly >1
+}
+
+}  // namespace
+}  // namespace ccpr::sim

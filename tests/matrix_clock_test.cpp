@@ -1,0 +1,80 @@
+#include "causal/matrix_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::causal {
+namespace {
+
+TEST(MatrixClockTest, StartsAtZero) {
+  MatrixClock m(4);
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    for (std::uint32_t k = 0; k < 4; ++k) EXPECT_EQ(m.at(j, k), 0u);
+  }
+}
+
+TEST(MatrixClockTest, CellUpdates) {
+  MatrixClock m(3);
+  ++m.at(1, 2);
+  m.at(0, 0) = 42;
+  EXPECT_EQ(m.at(1, 2), 1u);
+  EXPECT_EQ(m.at(0, 0), 42u);
+  EXPECT_EQ(m.at(2, 1), 0u);
+}
+
+TEST(MatrixClockTest, MergeMaxIsElementwise) {
+  MatrixClock a(2), b(2);
+  a.at(0, 0) = 5;
+  a.at(1, 1) = 1;
+  b.at(0, 0) = 3;
+  b.at(1, 1) = 9;
+  b.at(0, 1) = 2;
+  a.merge_max(b);
+  EXPECT_EQ(a.at(0, 0), 5u);
+  EXPECT_EQ(a.at(1, 1), 9u);
+  EXPECT_EQ(a.at(0, 1), 2u);
+}
+
+TEST(MatrixClockTest, MergeIsIdempotentAndMonotone) {
+  MatrixClock a(3), b(3);
+  a.at(1, 0) = 7;
+  b.at(2, 2) = 4;
+  MatrixClock before = a;
+  a.merge_max(b);
+  a.merge_max(b);
+  EXPECT_EQ(a.at(1, 0), 7u);
+  EXPECT_EQ(a.at(2, 2), 4u);
+  // Monotone: merged >= both inputs everywhere.
+  for (std::uint32_t j = 0; j < 3; ++j) {
+    for (std::uint32_t k = 0; k < 3; ++k) {
+      EXPECT_GE(a.at(j, k), before.at(j, k));
+      EXPECT_GE(a.at(j, k), b.at(j, k));
+    }
+  }
+}
+
+TEST(MatrixClockTest, WireRoundTrip) {
+  MatrixClock m(3);
+  m.at(0, 1) = 1;
+  m.at(2, 0) = 300;
+  m.at(1, 1) = 77;
+  net::Encoder enc;
+  m.encode(enc);
+  net::Decoder dec(enc.buffer());
+  const MatrixClock out = MatrixClock::decode(dec, 3);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(out, m);
+}
+
+TEST(MatrixClockTest, EncodedSizeIsCompactForSmallCounts) {
+  MatrixClock m(10);  // all zeros: 100 one-byte varints
+  net::Encoder enc;
+  m.encode(enc);
+  EXPECT_EQ(enc.size(), 100u);
+}
+
+TEST(MatrixClockTest, ByteSize) {
+  EXPECT_EQ(MatrixClock(4).byte_size(), 16u * 8u);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

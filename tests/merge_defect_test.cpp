@@ -1,0 +1,66 @@
+// Regression capture for the Algorithm 3 MERGE defect (DESIGN.md §6).
+//
+// The paper's MERGE deletes any log record that is older than a same-sender
+// record in the other log. Two causal paths can cross-justify their prunes
+// so that the co-maximal carrier of a destination obligation is deleted,
+// after which a write is applied before its causal dependencies. This
+// workload (found by the randomized integration sweep, minimized here to a
+// fixed seed) reliably reproduces the violation under the paper's rule and
+// passes under the conservative rule that ships as the default.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/causal_checker.hpp"
+#include "test_support.hpp"
+#include "workload/workload.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+checker::CheckResult run_with_merge(bool aggressive) {
+  const std::uint32_t n = 3, q = 9, p = 2;
+  workload::WorkloadSpec spec;
+  spec.ops_per_site = 150;
+  spec.write_rate = 0.5;
+  spec.dist = workload::WorkloadSpec::KeyDist::kZipf;
+  spec.zipf_theta = 0.99;
+  spec.locality = 0.5;
+  spec.value_bytes = 32;
+  spec.seed = 13;
+  const auto rmap = ReplicaMap::even(n, q, p);
+  const Program program = workload::generate_program(spec, rmap);
+
+  SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::LogNormalLatency>(20'000.0, 0.7);
+  opts.latency_seed = 13 * 31 + 1;
+  opts.mean_think_us = 2'000;
+  opts.protocol.aggressive_merge = aggressive;
+
+  SimCluster cluster(Algorithm::kOptTrack, ReplicaMap::even(n, q, p),
+                     std::move(opts));
+  cluster.run_program(program);
+  return checker::check_causal_consistency(cluster.history(),
+                                           cluster.replica_map());
+}
+
+TEST(MergeDefectTest, PaperMergeViolatesCausality) {
+  const auto result = run_with_merge(/*aggressive=*/true);
+  ASSERT_FALSE(result.ok)
+      << "expected the paper's MERGE rule to lose a destination obligation "
+         "on this workload";
+  bool apply_violation = false;
+  for (const auto& v : result.violations) {
+    apply_violation |= v.find("causal apply violation") != std::string::npos;
+  }
+  EXPECT_TRUE(apply_violation);
+}
+
+TEST(MergeDefectTest, ConservativeMergeIsCausal) {
+  const auto result = run_with_merge(/*aggressive=*/false);
+  EXPECT_TRUE(result.ok);
+  for (const auto& v : result.violations) ADD_FAILURE() << v;
+}
+
+}  // namespace
+}  // namespace ccpr::causal

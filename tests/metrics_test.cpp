@@ -1,0 +1,77 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::metrics {
+namespace {
+
+TEST(GaugeTest, TracksPeak) {
+  Gauge g;
+  g.set(5);
+  g.set(2);
+  EXPECT_EQ(g.current(), 2u);
+  EXPECT_EQ(g.peak(), 5u);
+}
+
+TEST(GaugeTest, AddSampleFeedsStats) {
+  Gauge g;
+  g.add_sample(10);
+  g.add_sample(20);
+  EXPECT_EQ(g.samples().count(), 2u);
+  EXPECT_DOUBLE_EQ(g.samples().mean(), 15.0);
+  EXPECT_EQ(g.peak(), 20u);
+}
+
+TEST(GaugeTest, MergeSumsCurrentMaxesPeak) {
+  Gauge a, b;
+  a.add_sample(10);
+  b.add_sample(30);
+  b.set(4);
+  a.merge(b);
+  EXPECT_EQ(a.current(), 14u);
+  EXPECT_EQ(a.peak(), 30u);
+  EXPECT_EQ(a.samples().count(), 2u);
+}
+
+TEST(MetricsTest, TotalsRollUp) {
+  Metrics m;
+  m.update_msgs = 3;
+  m.fetch_req_msgs = 2;
+  m.fetch_resp_msgs = 2;
+  m.control_bytes = 100;
+  m.payload_bytes = 50;
+  EXPECT_EQ(m.messages_total(), 7u);
+  EXPECT_EQ(m.bytes_total(), 150u);
+  EXPECT_NEAR(m.control_bytes_per_message(), 100.0 / 7.0, 1e-12);
+}
+
+TEST(MetricsTest, ControlBytesPerMessageZeroWhenNoMessages) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.control_bytes_per_message(), 0.0);
+}
+
+TEST(MetricsTest, MergeSumsCounters) {
+  Metrics a, b;
+  a.update_msgs = 1;
+  a.writes = 10;
+  a.apply_delay_us.add(100.0);
+  b.update_msgs = 2;
+  b.writes = 5;
+  b.apply_delay_us.add(300.0);
+  b.pending_peak = 7;
+  a.merge(b);
+  EXPECT_EQ(a.update_msgs, 3u);
+  EXPECT_EQ(a.writes, 15u);
+  EXPECT_EQ(a.apply_delay_us.count(), 2u);
+  EXPECT_EQ(a.pending_peak, 7u);
+}
+
+TEST(MetricsTest, NotePendingKeepsMax) {
+  Metrics m;
+  m.note_pending(3);
+  m.note_pending(1);
+  EXPECT_EQ(m.pending_peak, 3u);
+}
+
+}  // namespace
+}  // namespace ccpr::metrics

@@ -1,0 +1,172 @@
+// Property tests over randomized Opt-Track log histories: whatever sequence
+// of merges, prunes and purges occurs, the structural invariants of the log
+// must hold.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "causal/opt_log.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+Log random_log(util::Rng& rng, std::uint32_t n_senders,
+               std::uint64_t max_clock) {
+  Log log;
+  const std::uint64_t entries = rng.below(8);
+  std::set<std::pair<SiteId, std::uint64_t>> seen;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    LogEntry e;
+    e.sender = static_cast<SiteId>(rng.below(n_senders));
+    e.clock = 1 + rng.below(max_clock);
+    if (!seen.insert({e.sender, e.clock}).second) continue;
+    const std::uint64_t dests = rng.below(4);
+    for (std::uint64_t d = 0; d < dests; ++d) {
+      e.dests.insert(static_cast<SiteId>(rng.below(n_senders)));
+    }
+    log.push_back(std::move(e));
+  }
+  return log;
+}
+
+void expect_no_duplicate_ids(const Log& log) {
+  std::set<std::pair<SiteId, std::uint64_t>> seen;
+  for (const LogEntry& e : log) {
+    EXPECT_TRUE(seen.insert({e.sender, e.clock}).second)
+        << "duplicate record <" << e.sender << "," << e.clock << ">";
+  }
+}
+
+void expect_purged(const Log& log) {
+  std::map<SiteId, std::uint64_t> newest;
+  for (const LogEntry& e : log) {
+    auto [it, inserted] = newest.try_emplace(e.sender, e.clock);
+    if (!inserted && e.clock > it->second) it->second = e.clock;
+  }
+  for (const LogEntry& e : log) {
+    EXPECT_FALSE(e.dests.empty() && e.clock < newest[e.sender])
+        << "stale empty record survived purge";
+  }
+}
+
+class MergePolicyProperty : public ::testing::TestWithParam<MergePolicy> {};
+
+TEST_P(MergePolicyProperty, MergeNeverDuplicatesRecords) {
+  util::Rng rng(0xabc);
+  for (int round = 0; round < 500; ++round) {
+    Log local = random_log(rng, 6, 20);
+    Log incoming = random_log(rng, 6, 20);
+    merge_logs(local, std::move(incoming), GetParam());
+    expect_no_duplicate_ids(local);
+  }
+}
+
+TEST_P(MergePolicyProperty, MergeWithSelfKeepsRecordsVerbatim) {
+  util::Rng rng(0xdef);
+  for (int round = 0; round < 300; ++round) {
+    const Log before = random_log(rng, 5, 15);
+    Log log = before;
+    Log copy = before;
+    merge_logs(log, std::move(copy), GetParam());
+    purge_log(log);
+    expect_no_duplicate_ids(log);
+    expect_purged(log);
+    // Every survivor must be an original record with identical dests
+    // (intersection with itself changes nothing).
+    for (const LogEntry& e : log) {
+      bool matched = false;
+      for (const LogEntry& b : before) {
+        if (b.sender == e.sender && b.clock == e.clock) {
+          EXPECT_EQ(b.dests, e.dests);
+          matched = true;
+        }
+      }
+      EXPECT_TRUE(matched);
+    }
+  }
+}
+
+TEST_P(MergePolicyProperty, EqualClockRecordsOnlyShrinkDests) {
+  util::Rng rng(0x123);
+  for (int round = 0; round < 300; ++round) {
+    Log local = random_log(rng, 4, 8);
+    Log incoming = random_log(rng, 4, 8);
+    // Remember dests of records present in BOTH logs.
+    std::map<std::pair<SiteId, std::uint64_t>, DestSet> both;
+    for (const LogEntry& l : local) {
+      for (const LogEntry& o : incoming) {
+        if (l.sender == o.sender && l.clock == o.clock) {
+          DestSet inter = l.dests;
+          inter.intersect(o.dests);
+          both[{l.sender, l.clock}] = inter;
+        }
+      }
+    }
+    merge_logs(local, std::move(incoming), GetParam());
+    for (const LogEntry& e : local) {
+      const auto it = both.find({e.sender, e.clock});
+      if (it != both.end()) {
+        EXPECT_EQ(e.dests, it->second)
+            << "equal-clock merge must intersect destination lists";
+      }
+    }
+  }
+}
+
+TEST_P(MergePolicyProperty, PurgeIsIdempotent) {
+  util::Rng rng(0x456);
+  for (int round = 0; round < 300; ++round) {
+    Log log = random_log(rng, 5, 10);
+    purge_log(log);
+    Log once = log;
+    purge_log(log);
+    EXPECT_EQ(log, once);
+    expect_purged(log);
+  }
+}
+
+TEST(MergeConservativeProperty, NonEmptyObligationsSurviveAnyMerge) {
+  // The soundness core: a record with destinations can only lose them via
+  // equal-clock intersection, never by wholesale deletion.
+  util::Rng rng(0x789);
+  for (int round = 0; round < 500; ++round) {
+    Log local = random_log(rng, 5, 12);
+    Log incoming = random_log(rng, 5, 12);
+    // For each local record, the merge may only drop it if the incoming log
+    // carries the same (sender, clock) — deletion-by-seniority requires the
+    // record's dests to already be empty.
+    std::map<std::pair<SiteId, std::uint64_t>, bool> incoming_has;
+    for (const LogEntry& o : incoming) {
+      incoming_has[{o.sender, o.clock}] = true;
+    }
+    const Log before = local;
+    merge_logs(local, std::move(incoming));
+    for (const LogEntry& b : before) {
+      if (b.dests.empty()) continue;
+      bool found = false;
+      for (const LogEntry& a : local) {
+        if (a.sender == b.sender && a.clock == b.clock) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found || incoming_has.count({b.sender, b.clock}))
+          << "non-empty obligation <" << b.sender << "," << b.clock
+          << "> vanished without an equal-clock counterpart";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MergePolicyProperty,
+    ::testing::Values(MergePolicy::kConservative,
+                      MergePolicy::kPaperAggressive),
+    [](const ::testing::TestParamInfo<MergePolicy>& param_info) {
+      return param_info.param == MergePolicy::kConservative ? "conservative"
+                                                      : "aggressive";
+    });
+
+}  // namespace
+}  // namespace ccpr::causal

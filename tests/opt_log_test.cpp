@@ -1,0 +1,167 @@
+#include "causal/opt_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::causal {
+namespace {
+
+LogEntry entry(SiteId sender, std::uint64_t clock,
+               std::initializer_list<SiteId> dests) {
+  return LogEntry{sender, clock, DestSet(dests)};
+}
+
+TEST(PurgeLogTest, KeepsNewestEmptyRecordPerSender) {
+  // Fig. 2 of the paper: an empty-Dests record must survive while it is the
+  // newest record from its sender (it is needed to clean other sites' logs).
+  Log log{entry(1, 5, {})};
+  purge_log(log);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].clock, 5u);
+}
+
+TEST(PurgeLogTest, DropsEmptyRecordWithNewerSameSender) {
+  Log log{entry(1, 5, {}), entry(1, 7, {2})};
+  purge_log(log);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].clock, 7u);
+}
+
+TEST(PurgeLogTest, KeepsNonEmptyOldRecords) {
+  Log log{entry(1, 5, {3}), entry(1, 7, {2})};
+  purge_log(log);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(PurgeLogTest, IndependentSenders) {
+  Log log{entry(1, 5, {}), entry(2, 9, {0})};
+  purge_log(log);
+  EXPECT_EQ(log.size(), 2u);  // sender 2's newer record does not purge 1's
+}
+
+TEST(PurgeLogTest, NewerEmptyPurgesOlderEmpty) {
+  Log log{entry(1, 5, {}), entry(1, 8, {})};
+  purge_log(log);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].clock, 8u);
+}
+
+TEST(MergeLogsTest, DisjointSendersConcatenate) {
+  Log local{entry(1, 5, {2})};
+  Log incoming{entry(2, 3, {0})};
+  merge_logs(local, incoming);
+  EXPECT_EQ(local.size(), 2u);
+}
+
+TEST(MergeLogsTest, ConservativeKeepsOlderObligations) {
+  // The older record still carries an unproven obligation ({2}); the sound
+  // policy must not drop it just because a newer same-sender record exists.
+  Log local{entry(1, 5, {2})};
+  Log incoming{entry(1, 9, {0})};
+  merge_logs(local, incoming);
+  ASSERT_EQ(local.size(), 2u);
+}
+
+TEST(MergeLogsTest, ConservativeDropsOlderEmptyRecords) {
+  Log local{entry(1, 5, {})};
+  Log incoming{entry(1, 9, {0})};
+  merge_logs(local, incoming);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].clock, 9u);
+}
+
+TEST(MergeLogsTest, AggressiveNewerIncomingDeletesOlderLocal) {
+  Log local{entry(1, 5, {2})};
+  Log incoming{entry(1, 9, {0})};
+  merge_logs(local, incoming, MergePolicy::kPaperAggressive);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].clock, 9u);
+}
+
+TEST(MergeLogsTest, AggressiveNewerLocalDeletesOlderIncoming) {
+  Log local{entry(1, 9, {2})};
+  Log incoming{entry(1, 5, {0})};
+  merge_logs(local, incoming, MergePolicy::kPaperAggressive);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].clock, 9u);
+  EXPECT_TRUE(local[0].dests.contains(2));
+}
+
+TEST(MergeLogsTest, EqualClocksIntersectDests) {
+  // Each side may have independently pruned different destinations; the
+  // remaining obligation is the intersection.
+  Log local{entry(1, 5, {2, 3, 4})};
+  Log incoming{entry(1, 5, {3, 4, 6})};
+  merge_logs(local, incoming);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].dests, (DestSet{3, 4}));
+}
+
+TEST(MergeLogsTest, AggressivePairwiseMarkingAcrossMultipleRecords) {
+  // local {<z,5>, <z,7>}, incoming {<z,6>, <z,9>} -> only <z,9> survives
+  // under the paper's rule.
+  Log local{entry(1, 5, {0}), entry(1, 7, {2})};
+  Log incoming{entry(1, 6, {3}), entry(1, 9, {4})};
+  merge_logs(local, incoming, MergePolicy::kPaperAggressive);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].clock, 9u);
+}
+
+TEST(MergeLogsTest, MultipleRecordsSameSenderSurviveWithoutCounterpart) {
+  // No incoming records from sender 1: both local records stay.
+  Log local{entry(1, 5, {0}), entry(1, 7, {2})};
+  Log incoming{entry(2, 1, {0})};
+  merge_logs(local, incoming);
+  EXPECT_EQ(local.size(), 3u);
+}
+
+TEST(MergeLogsTest, EmptyIncomingIsNoop) {
+  Log local{entry(1, 5, {0})};
+  merge_logs(local, Log{});
+  EXPECT_EQ(local.size(), 1u);
+}
+
+TEST(MergeLogsTest, EmptyLocalTakesIncoming) {
+  Log local;
+  merge_logs(local, Log{entry(3, 2, {1})});
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].sender, 3u);
+}
+
+TEST(LogWireTest, EntryRoundTrip) {
+  net::Encoder enc;
+  encode_entry(enc, entry(7, 123456, {1, 5, 30}));
+  net::Decoder dec(enc.buffer());
+  const LogEntry e = decode_entry(dec);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(e.sender, 7u);
+  EXPECT_EQ(e.clock, 123456u);
+  EXPECT_EQ(e.dests, (DestSet{1, 5, 30}));
+}
+
+TEST(LogWireTest, LogRoundTrip) {
+  Log log{entry(0, 1, {}), entry(3, 99, {2, 4}), entry(1, 7, {0})};
+  net::Encoder enc;
+  encode_log(enc, log);
+  net::Decoder dec(enc.buffer());
+  const Log out = decode_log(dec);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(out, log);
+}
+
+TEST(LogWireTest, EmptyLogRoundTrip) {
+  net::Encoder enc;
+  encode_log(enc, Log{});
+  net::Decoder dec(enc.buffer());
+  EXPECT_TRUE(decode_log(dec).empty());
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(LogByteSizeTest, GrowsWithEntriesAndDests) {
+  Log small{entry(1, 5, {})};
+  Log bigger{entry(1, 5, {2, 3, 4})};
+  EXPECT_GT(log_byte_size(bigger), log_byte_size(small));
+  EXPECT_EQ(log_byte_size(Log{}), 0u);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

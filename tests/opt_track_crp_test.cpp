@@ -1,0 +1,144 @@
+#include "causal/opt_track_crp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+using ccpr::testing::applies_at;
+using ccpr::testing::constant_latency;
+using ccpr::testing::expect_causal;
+using ccpr::testing::index_of;
+using ccpr::testing::matrix_latency;
+
+const OptTrackCRP& crp(const SimCluster& c, SiteId s) {
+  return dynamic_cast<const OptTrackCRP&>(c.site(s));
+}
+
+TEST(OptTrackCRPTest, LogResetsAfterEveryWrite) {
+  // Fig. 3 of the paper: after a write the local log is exactly the write
+  // itself.
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(3, 4),
+               constant_latency(100));
+  c.write(0, 0, "a");
+  c.run();
+  ASSERT_EQ(c.read(0, 0).data, "a");  // read own var: merges <0,1>
+  c.write(0, 1, "b");
+  c.write(0, 2, "c");
+  const auto& log = crp(c, 0).log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].sender, 0u);
+  EXPECT_EQ(log[0].clock, 3u);
+  c.run();
+  expect_causal(c);
+}
+
+TEST(OptTrackCRPTest, ReadAddsAtMostOneEntryPerSender) {
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(3, 6),
+               constant_latency(100));
+  c.write(1, 0, "a");
+  c.write(1, 1, "b");
+  c.write(2, 2, "c");
+  c.run();
+  // Site 0 reads three variables written by two senders: the log holds one
+  // entry per sender it read from (the d+1 bound of the paper, d = reads
+  // since last local write).
+  ASSERT_EQ(c.read(0, 0).data, "a");
+  ASSERT_EQ(c.read(0, 1).data, "b");
+  ASSERT_EQ(c.read(0, 2).data, "c");
+  const auto& log = crp(c, 0).log();
+  EXPECT_EQ(log.size(), 2u);
+  // Reading sender 1's older value after its newer one must not regress.
+  ASSERT_EQ(c.read(0, 0).data, "a");
+  EXPECT_EQ(crp(c, 0).log().size(), 2u);
+  for (const auto& e : crp(c, 0).log()) {
+    if (e.sender == 1) {
+      EXPECT_EQ(e.clock, 2u);
+    }
+  }
+  expect_causal(c);
+}
+
+TEST(OptTrackCRPTest, CausalChainRespectedAcrossSlowChannel) {
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(3, 2),
+               std::move(opts));
+  c.write(0, 0, "a");
+  c.run_until(5'000);
+  ASSERT_EQ(c.read(1, 0).data, "a");
+  c.write(1, 1, "b");
+  c.run();
+  const auto seq = applies_at(c.history(), 2);
+  EXPECT_LT(index_of(seq, WriteId{0, 1}), index_of(seq, WriteId{1, 1}));
+  expect_causal(c);
+}
+
+TEST(OptTrackCRPTest, ConcurrentWritesNotDelayed) {
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(3, 2),
+               std::move(opts));
+  c.write(0, 0, "a");
+  c.run_until(5'000);
+  c.write(1, 1, "b");
+  c.run();
+  const auto seq = applies_at(c.history(), 2);
+  EXPECT_LT(index_of(seq, WriteId{1, 1}), index_of(seq, WriteId{0, 1}));
+  expect_causal(c);
+}
+
+TEST(OptTrackCRPTest, WriteChainThroughOwnLogEntry) {
+  // Successive writes by one site must apply in order remotely even when no
+  // reads happen: each write's log carries the previous write's 2-tuple.
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(2, 1),
+               constant_latency(100));
+  for (int i = 1; i <= 10; ++i) c.write(0, 0, "v" + std::to_string(i));
+  c.run();
+  const auto seq = applies_at(c.history(), 1);
+  ASSERT_EQ(seq.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seq[i].seq, i + 1);
+  expect_causal(c);
+}
+
+TEST(OptTrackCRPTest, MessageOverheadIsTuplesNotVectors) {
+  // One write with an empty log: control bytes per update must be O(1) —
+  // far below n * 8 for large n.
+  const std::uint32_t n = 32;
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(n, 2),
+               constant_latency(100));
+  c.write(0, 0, "x");
+  c.run();
+  const auto m = c.metrics();
+  EXPECT_EQ(m.update_msgs, n - 1);
+  const double per_msg = m.control_bytes_per_message();
+  EXPECT_LT(per_msg, 24.0);  // var + value-id + clock + log count, all tiny
+  expect_causal(c);
+}
+
+TEST(OptTrackCRPTest, RequiresFullReplication) {
+  EXPECT_DEATH(
+      {
+        SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::even(3, 3, 2),
+                     constant_latency(10));
+      },
+      "Precondition");
+}
+
+TEST(OptTrackCRPTest, ApplyAssignsSenderClock) {
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(2, 3),
+               constant_latency(100));
+  c.write(0, 0, "a");
+  c.write(0, 1, "b");
+  c.write(0, 2, "c");
+  c.run();
+  EXPECT_EQ(crp(c, 1).applied_clock(0), 3u);
+  expect_causal(c);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

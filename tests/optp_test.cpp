@@ -1,0 +1,106 @@
+#include "causal/optp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+using ccpr::testing::applies_at;
+using ccpr::testing::constant_latency;
+using ccpr::testing::expect_causal;
+using ccpr::testing::index_of;
+using ccpr::testing::matrix_latency;
+
+const OptP& op(const SimCluster& c, SiteId s) {
+  return dynamic_cast<const OptP&>(c.site(s));
+}
+
+TEST(OptPTest, BasicReplication) {
+  SimCluster c(Algorithm::kOptP, ReplicaMap::full(3, 2),
+               constant_latency(100));
+  c.write(0, 0, "hello");
+  c.run();
+  for (SiteId s = 0; s < 3; ++s) EXPECT_EQ(c.site(s).peek(0).data, "hello");
+  expect_causal(c);
+}
+
+TEST(OptPTest, WriteClockMergesOnlyAtRead) {
+  SimCluster c(Algorithm::kOptP, ReplicaMap::full(2, 2),
+               constant_latency(10));
+  c.write(0, 0, "a");
+  c.run();
+  EXPECT_EQ(op(c, 1).applied_from(0), 1u);
+  EXPECT_EQ(op(c, 1).write_clock()[0], 0u);  // receipt does not merge
+  ASSERT_EQ(c.read(1, 0).data, "a");
+  EXPECT_EQ(op(c, 1).write_clock()[0], 1u);  // read does
+  expect_causal(c);
+}
+
+TEST(OptPTest, CausalChainRespectedAcrossSlowChannel) {
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(Algorithm::kOptP, ReplicaMap::full(3, 2), std::move(opts));
+  c.write(0, 0, "a");
+  c.run_until(5'000);
+  ASSERT_EQ(c.read(1, 0).data, "a");
+  c.write(1, 1, "b");
+  c.run();
+  const auto seq = applies_at(c.history(), 2);
+  EXPECT_LT(index_of(seq, WriteId{0, 1}), index_of(seq, WriteId{1, 1}));
+  expect_causal(c);
+}
+
+TEST(OptPTest, ConcurrentWritesNotDelayed) {
+  auto opts = matrix_latency(3, {0, 1000, 90'000,    //
+                                 1000, 0, 1000,      //
+                                 90'000, 1000, 0});
+  SimCluster c(Algorithm::kOptP, ReplicaMap::full(3, 2), std::move(opts));
+  c.write(0, 0, "a");
+  c.run_until(5'000);
+  c.write(1, 1, "b");
+  c.run();
+  const auto seq = applies_at(c.history(), 2);
+  EXPECT_LT(index_of(seq, WriteId{1, 1}), index_of(seq, WriteId{0, 1}));
+  expect_causal(c);
+}
+
+TEST(OptPTest, ControlBytesScaleWithN) {
+  // OptP ships an n-entry vector on every update: control bytes per message
+  // grow linearly in n (vs Opt-Track-CRP's constants).
+  auto run_one = [](std::uint32_t n) {
+    SimCluster c(Algorithm::kOptP, ReplicaMap::full(n, 2),
+                 constant_latency(100));
+    c.write(0, 0, "x");
+    c.run();
+    return c.metrics().control_bytes_per_message();
+  };
+  const double at8 = run_one(8);
+  const double at32 = run_one(32);
+  EXPECT_GT(at32, at8 + 16.0);  // ~24 extra one-byte varints
+}
+
+TEST(OptPTest, RequiresFullReplication) {
+  EXPECT_DEATH(
+      {
+        SimCluster c(Algorithm::kOptP, ReplicaMap::even(3, 3, 2),
+                     constant_latency(10));
+      },
+      "Precondition");
+}
+
+TEST(OptPTest, PerWriterFifo) {
+  SimCluster c(Algorithm::kOptP, ReplicaMap::full(2, 1),
+               constant_latency(100));
+  for (int i = 1; i <= 15; ++i) c.write(0, 0, "v" + std::to_string(i));
+  c.run();
+  const auto seq = applies_at(c.history(), 1);
+  ASSERT_EQ(seq.size(), 15u);
+  for (std::uint64_t i = 0; i < 15; ++i) EXPECT_EQ(seq[i].seq, i + 1);
+  expect_causal(c);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

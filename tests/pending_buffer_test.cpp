@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "causal/protocol_base.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+struct Item {
+  int id;
+  int needs;  // becomes ready once level >= needs
+};
+
+struct Harness {
+  PendingBuffer<Item> buf;
+  int level = 0;
+  std::vector<int> applied;
+
+  void submit(Item item) {
+    buf.submit(
+        std::move(item), [this](const Item& i) { return level >= i.needs; },
+        [this](Item&& i) { apply(std::move(i)); });
+  }
+
+  void apply(Item&& i) {
+    applied.push_back(i.id);
+    // Applying raises the level — like an apply satisfying predicates.
+    level = std::max(level, i.id);
+  }
+
+  void raise(int to) {
+    level = std::max(level, to);
+    buf.drain([this](const Item& i) { return level >= i.needs; },
+              [this](Item&& i) { apply(std::move(i)); });
+  }
+};
+
+TEST(PendingBufferTest, ReadyItemAppliesImmediately) {
+  Harness h;
+  h.submit({1, 0});
+  EXPECT_EQ(h.applied, (std::vector<int>{1}));
+  EXPECT_EQ(h.buf.size(), 0u);
+}
+
+TEST(PendingBufferTest, NotReadyItemIsBuffered) {
+  Harness h;
+  h.submit({5, 3});
+  EXPECT_TRUE(h.applied.empty());
+  EXPECT_EQ(h.buf.size(), 1u);
+  h.raise(3);
+  EXPECT_EQ(h.applied, (std::vector<int>{5}));
+}
+
+TEST(PendingBufferTest, CascadingUnblock) {
+  // Applying item 3 raises level to 3, which unblocks 4, which unblocks 5.
+  Harness h;
+  h.submit({5, 4});
+  h.submit({4, 3});
+  EXPECT_EQ(h.buf.size(), 2u);
+  h.submit({3, 0});  // ready now; its apply raises the level
+  EXPECT_EQ(h.applied, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(h.buf.size(), 0u);
+}
+
+TEST(PendingBufferTest, ScanPrefersEarlierSubmissions) {
+  // Two items become ready at once; the earlier-submitted one applies first.
+  Harness h;
+  h.submit({10, 2});
+  h.submit({11, 2});
+  h.raise(2);
+  ASSERT_EQ(h.applied.size(), 2u);
+  EXPECT_EQ(h.applied[0], 10);
+  EXPECT_EQ(h.applied[1], 11);
+}
+
+TEST(PendingBufferTest, UnsatisfiedItemsStay) {
+  Harness h;
+  h.submit({7, 100});
+  h.raise(50);
+  EXPECT_TRUE(h.applied.empty());
+  EXPECT_EQ(h.buf.size(), 1u);
+}
+
+TEST(PendingBufferTest, MixedReadiness) {
+  Harness h;
+  h.submit({2, 1});
+  h.submit({9, 8});
+  h.submit({1, 0});  // applies, raises level to 1, unblocks 2 but not 9
+  EXPECT_EQ(h.applied, (std::vector<int>{1, 2}));
+  EXPECT_EQ(h.buf.size(), 1u);
+  h.raise(8);
+  EXPECT_EQ(h.applied, (std::vector<int>{1, 2, 9}));
+}
+
+}  // namespace
+}  // namespace ccpr::causal

@@ -1,0 +1,148 @@
+#include "net/reliable_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/faulty_transport.hpp"
+#include "net/sim_transport.hpp"
+
+namespace ccpr::net {
+namespace {
+
+struct Collector final : IMessageSink {
+  std::vector<Message> received;
+  void deliver(Message msg) override { received.push_back(std::move(msg)); }
+};
+
+Message make(MsgKind kind, SiteId src, SiteId dst, std::uint8_t tag,
+             std::uint32_t payload = 0) {
+  Message m;
+  m.kind = kind;
+  m.src = src;
+  m.dst = dst;
+  m.body = {tag, 0x11, 0x22};
+  m.payload_bytes = payload;
+  return m;
+}
+
+struct Harness {
+  sim::Scheduler sched;
+  sim::UniformLatency lat{1'000, 30'000};
+  util::Rng rng{5};
+  metrics::Metrics metrics;
+  SimTransport datagrams;
+  FaultyTransport faulty;
+  ReliableChannelTransport reliable;
+  Collector sinks[3];
+
+  explicit Harness(FaultyTransport::Options faults)
+      : datagrams(3, sched, lat, rng, metrics),
+        faulty(datagrams, faults),
+        reliable(3, faulty, sched) {
+    for (SiteId s = 0; s < 3; ++s) reliable.connect(s, &sinks[s]);
+  }
+};
+
+TEST(ReliableChannelTest, LosslessPassThrough) {
+  Harness h(FaultyTransport::Options{});
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    h.reliable.send(make(MsgKind::kUpdate, 0, 1, i));
+  }
+  h.sched.run();
+  ASSERT_EQ(h.sinks[1].received.size(), 20u);
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(h.sinks[1].received[i].body[0], i);
+    EXPECT_EQ(h.sinks[1].received[i].kind, MsgKind::kUpdate);
+  }
+  EXPECT_EQ(h.reliable.retransmissions(), 0u);
+  EXPECT_EQ(h.reliable.unacked(), 0u);
+}
+
+TEST(ReliableChannelTest, PreservesAppKindAndPayloadSplit) {
+  Harness h(FaultyTransport::Options{});
+  h.reliable.send(make(MsgKind::kFetchResp, 2, 0, 7, /*payload=*/2));
+  h.sched.run();
+  ASSERT_EQ(h.sinks[0].received.size(), 1u);
+  EXPECT_EQ(h.sinks[0].received[0].kind, MsgKind::kFetchResp);
+  EXPECT_EQ(h.sinks[0].received[0].payload_bytes, 2u);
+  EXPECT_EQ(h.sinks[0].received[0].body.size(), 3u);
+  EXPECT_EQ(h.sinks[0].received[0].src, 2u);
+}
+
+TEST(ReliableChannelTest, RecoversFromHeavyLoss) {
+  Harness h(FaultyTransport::Options{.drop_rate = 0.4, .seed = 9});
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    h.reliable.send(make(MsgKind::kUpdate, 0, 2, i));
+  }
+  h.sched.run();
+  ASSERT_EQ(h.sinks[2].received.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(h.sinks[2].received[i].body[0], i);  // exactly-once, in order
+  }
+  EXPECT_GT(h.faulty.dropped(), 0u);
+  EXPECT_GT(h.reliable.retransmissions(), 0u);
+  EXPECT_EQ(h.reliable.unacked(), 0u);
+}
+
+TEST(ReliableChannelTest, DiscardsDuplicates) {
+  Harness h(FaultyTransport::Options{.duplicate_rate = 0.5, .seed = 4});
+  for (std::uint8_t i = 0; i < 30; ++i) {
+    h.reliable.send(make(MsgKind::kUpdate, 1, 0, i));
+  }
+  h.sched.run();
+  ASSERT_EQ(h.sinks[0].received.size(), 30u);
+  EXPECT_GT(h.reliable.duplicates_discarded(), 0u);
+}
+
+TEST(ReliableChannelTest, LossAndDuplicationTogether) {
+  Harness h(FaultyTransport::Options{
+      .drop_rate = 0.3, .duplicate_rate = 0.3, .seed = 77});
+  for (std::uint8_t i = 0; i < 40; ++i) {
+    h.reliable.send(make(MsgKind::kUpdate, 0, 1, i));
+    h.reliable.send(make(MsgKind::kUpdate, 1, 0, i));
+  }
+  h.sched.run();
+  ASSERT_EQ(h.sinks[1].received.size(), 40u);
+  ASSERT_EQ(h.sinks[0].received.size(), 40u);
+  for (std::uint8_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(h.sinks[1].received[i].body[0], i);
+    EXPECT_EQ(h.sinks[0].received[i].body[0], i);
+  }
+}
+
+TEST(FaultyTransportTest, ZeroRatesAreTransparent) {
+  sim::Scheduler sched;
+  sim::ConstantLatency lat(10);
+  util::Rng rng(1);
+  metrics::Metrics metrics;
+  SimTransport inner(2, sched, lat, rng, metrics);
+  FaultyTransport faulty(inner, FaultyTransport::Options{});
+  Collector c0, c1;
+  faulty.connect(0, &c0);
+  faulty.connect(1, &c1);
+  for (int i = 0; i < 25; ++i) faulty.send(make(MsgKind::kUpdate, 0, 1, 1));
+  sched.run();
+  EXPECT_EQ(c1.received.size(), 25u);
+  EXPECT_EQ(faulty.dropped(), 0u);
+  EXPECT_EQ(faulty.duplicated(), 0u);
+}
+
+TEST(FaultyTransportTest, DropRateOneDropsEverything) {
+  sim::Scheduler sched;
+  sim::ConstantLatency lat(10);
+  util::Rng rng(1);
+  metrics::Metrics metrics;
+  SimTransport inner(2, sched, lat, rng, metrics);
+  FaultyTransport faulty(inner, FaultyTransport::Options{.drop_rate = 1.0});
+  Collector c0, c1;
+  faulty.connect(0, &c0);
+  faulty.connect(1, &c1);
+  for (int i = 0; i < 10; ++i) faulty.send(make(MsgKind::kUpdate, 0, 1, 1));
+  sched.run();
+  EXPECT_TRUE(c1.received.empty());
+  EXPECT_EQ(faulty.dropped(), 10u);
+}
+
+}  // namespace
+}  // namespace ccpr::net

@@ -1,0 +1,112 @@
+#include "causal/replica_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ccpr::causal {
+namespace {
+
+TEST(ReplicaMapTest, EvenPlacementShape) {
+  const auto rm = ReplicaMap::even(5, 20, 3);
+  EXPECT_EQ(rm.sites(), 5u);
+  EXPECT_EQ(rm.vars(), 20u);
+  EXPECT_DOUBLE_EQ(rm.replication_factor(), 3.0);
+  EXPECT_FALSE(rm.fully_replicated());
+  for (VarId x = 0; x < 20; ++x) {
+    const auto reps = rm.replicas(x);
+    EXPECT_EQ(reps.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(reps.begin(), reps.end()));
+    // Ring placement: sites x, x+1, x+2 (mod 5).
+    std::set<SiteId> expect{x % 5, (x + 1) % 5, (x + 2) % 5};
+    std::set<SiteId> got(reps.begin(), reps.end());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(ReplicaMapTest, EvenPlacementBalances) {
+  const auto rm = ReplicaMap::even(5, 100, 2);
+  for (SiteId s = 0; s < 5; ++s) {
+    EXPECT_EQ(rm.vars_at(s).size(), 100u * 2 / 5);
+  }
+}
+
+TEST(ReplicaMapTest, ReplicatedAtAgreesWithReplicas) {
+  const auto rm = ReplicaMap::even(7, 30, 3);
+  for (VarId x = 0; x < 30; ++x) {
+    const auto reps = rm.replicas(x);
+    for (SiteId s = 0; s < 7; ++s) {
+      const bool in_list =
+          std::find(reps.begin(), reps.end(), s) != reps.end();
+      EXPECT_EQ(rm.replicated_at(x, s), in_list);
+    }
+  }
+}
+
+TEST(ReplicaMapTest, FullReplicationEverySiteHolds) {
+  const auto rm = ReplicaMap::full(4, 10);
+  EXPECT_TRUE(rm.fully_replicated());
+  EXPECT_DOUBLE_EQ(rm.replication_factor(), 4.0);
+  for (VarId x = 0; x < 10; ++x) {
+    for (SiteId s = 0; s < 4; ++s) EXPECT_TRUE(rm.replicated_at(x, s));
+  }
+}
+
+TEST(ReplicaMapTest, FetchTargetIsSelfWhenReplica) {
+  const auto rm = ReplicaMap::even(5, 20, 2);
+  for (VarId x = 0; x < 20; ++x) {
+    for (const SiteId s : rm.replicas(x)) {
+      EXPECT_EQ(rm.fetch_target(x, s), s);
+    }
+  }
+}
+
+TEST(ReplicaMapTest, FetchTargetIsAReplicaAndDeterministic) {
+  const auto rm = ReplicaMap::even(6, 24, 2);
+  for (VarId x = 0; x < 24; ++x) {
+    for (SiteId s = 0; s < 6; ++s) {
+      const SiteId t1 = rm.fetch_target(x, s);
+      const SiteId t2 = rm.fetch_target(x, s);
+      EXPECT_EQ(t1, t2);
+      EXPECT_TRUE(rm.replicated_at(x, t1));
+    }
+  }
+}
+
+TEST(ReplicaMapTest, FetchTargetPrefersRingNearest) {
+  // Var 0 in even(5, q, 2) lives at sites {0, 1}. Reader 4: ring distance
+  // to 0 is 1, to 1 is 2 -> target 0.
+  const auto rm = ReplicaMap::even(5, 5, 2);
+  EXPECT_EQ(rm.fetch_target(0, 4), 0u);
+  // Reader 2: distance to 0 is 3, to 1 is 4 -> target 0.
+  EXPECT_EQ(rm.fetch_target(0, 2), 0u);
+}
+
+TEST(ReplicaMapTest, CustomPlacementSortsAndDedupes) {
+  auto rm = ReplicaMap::custom(4, {{3, 1, 3}, {0}});
+  EXPECT_EQ(rm.vars(), 2u);
+  const auto reps = rm.replicas(0);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0], 1u);
+  EXPECT_EQ(reps[1], 3u);
+  EXPECT_DOUBLE_EQ(rm.replication_factor(), 1.5);
+}
+
+TEST(ReplicaMapTest, SingleReplicaSingleSite) {
+  const auto rm = ReplicaMap::even(1, 3, 1);
+  EXPECT_TRUE(rm.fully_replicated());
+  EXPECT_EQ(rm.fetch_target(2, 0), 0u);
+}
+
+TEST(ReplicaMapTest, VarsAtListsAscending) {
+  const auto rm = ReplicaMap::even(4, 16, 2);
+  for (SiteId s = 0; s < 4; ++s) {
+    const auto vars = rm.vars_at(s);
+    EXPECT_TRUE(std::is_sorted(vars.begin(), vars.end()));
+    for (const VarId x : vars) EXPECT_TRUE(rm.replicated_at(x, s));
+  }
+}
+
+}  // namespace
+}  // namespace ccpr::causal

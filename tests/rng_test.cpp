@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ccpr::util {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000'007ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowCoversSmallRange) {
+  Rng rng(11);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[rng.below(5)];
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 expected each
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(13);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / kN, 50.0, 2.0);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, LognormalMedianApproximatelyMatches) {
+  Rng rng(41);
+  std::vector<double> vals;
+  vals.reserve(20001);
+  for (int i = 0; i < 20001; ++i) vals.push_back(rng.lognormal(100.0, 0.5));
+  std::nth_element(vals.begin(), vals.begin() + 10000, vals.end());
+  EXPECT_NEAR(vals[10000], 100.0, 5.0);
+}
+
+TEST(RngTest, LognormalZeroSigmaIsDeterministic) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(rng.lognormal(77.0, 0.0), 77.0);
+}
+
+}  // namespace
+}  // namespace ccpr::util

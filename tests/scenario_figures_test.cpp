@@ -1,0 +1,131 @@
+// Executable reproductions of the paper's explanatory figures (Figs. 1-3).
+// Each test drives exactly the depicted message pattern and asserts the
+// algorithm state the figure describes.
+#include <gtest/gtest.h>
+
+#include "causal/opt_track.hpp"
+#include "causal/opt_track_crp.hpp"
+#include "test_support.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+using ccpr::testing::constant_latency;
+using ccpr::testing::expect_causal;
+
+const OptTrack& ot(const SimCluster& c, SiteId s) {
+  return dynamic_cast<const OptTrack&>(c.site(s));
+}
+const OptTrackCRP& crp(const SimCluster& c, SiteId s) {
+  return dynamic_cast<const OptTrackCRP&>(c.site(s));
+}
+
+// ---- Fig. 1(b), Condition 1 ----
+// Once update m is applied at s2, "s2 is a destination of m" must not be
+// remembered in the causal future of apply_2(w): s2's own log and everything
+// it piggybacks from then on exclude s2.
+TEST(Fig1Scenario, Condition1DestinationForgottenAfterApply) {
+  // var 0 replicated at {0, 2}: s0's write has destination s2.
+  auto rmap = ReplicaMap::custom(3, {{0, 2}, {1, 2}});
+  SimCluster c(Algorithm::kOptTrack, std::move(rmap), constant_latency(100));
+  c.write(0, 0, "m");
+  c.run();
+  ASSERT_EQ(c.read(2, 0).data, "m");  // apply + return at s2
+  for (const LogEntry& e : ot(c, 2).log()) {
+    EXPECT_FALSE(e.dests.contains(2))
+        << "s2 still remembers itself as a destination";
+  }
+  expect_causal(c);
+}
+
+// ---- Fig. 1(b), Condition 2 ----
+// send(m) ->co send(m'), both destined to s2: after m' is sent, the sender's
+// log entry for m no longer lists s2 (the later message subsumes it).
+TEST(Fig1Scenario, Condition2LaterMessageSubsumesDestination) {
+  auto rmap = ReplicaMap::custom(3, {{0, 2}, {0, 2}});
+  SimCluster c(Algorithm::kOptTrack, std::move(rmap), constant_latency(100));
+  c.write(0, 0, "m");   // m destined to s2
+  c.write(0, 1, "m2");  // m' destined to s2, causally after m (program order)
+  const Log& log = ot(c, 0).log();
+  for (const LogEntry& e : log) {
+    if (e.clock == 1) {
+      EXPECT_TRUE(e.dests.empty())
+          << "m's destination s2 must be subsumed by m'";
+    }
+  }
+  c.run();
+  expect_causal(c);
+}
+
+// ---- Fig. 2 ----
+// A record whose destination list became empty is retained while it is the
+// newest record from its sender, because piggybacking it cleans OTHER sites'
+// logs: here s2 learns from the second read that its stale obligation
+// "<s0, 1> still destined to s1" can be dropped.
+TEST(Fig2Scenario, EmptyRecordCleansRemoteLogs) {
+  auto rmap = ReplicaMap::custom(3, {{0, 1, 2}});
+  SimCluster c(Algorithm::kOptTrack, std::move(rmap), constant_latency(100));
+  c.write(0, 0, "v1");
+  c.run();
+  ASSERT_EQ(c.read(2, 0).data, "v1");
+  // s2 now holds <s0, 1, {1}>: the delivery at s1 is the only unconfirmed
+  // obligation worth carrying (s2 itself was pruned by Condition 1 at apply
+  // time; the writer's own replica was discharged by the Apply vector that
+  // the update gossiped).
+  {
+    const Log& log = ot(c, 2).log();
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].clock, 1u);
+    EXPECT_EQ(log[0].dests, (DestSet{1}));
+  }
+  c.write(0, 0, "v2");  // subsumes write 1 everywhere
+  c.run();
+  ASSERT_EQ(c.read(2, 0).data, "v2");
+  // The merge of write 2's piggybacked log (which carries write 1's record
+  // with an empty destination list) must purge the stale obligation.
+  {
+    const Log& log = ot(c, 2).log();
+    for (const LogEntry& e : log) {
+      EXPECT_FALSE(e.clock == 1 && e.dests.contains(1))
+          << "stale obligation for write 1 survived the merge";
+    }
+  }
+  expect_causal(c);
+}
+
+// ---- Fig. 3 ----
+// Full replication: after send_3(m(w')) the local log is reset to {w'}, and
+// after receive_1(m(w')) only w' itself is remembered as LastWriteOn<x2>.
+TEST(Fig3Scenario, CrpLogResetAndSingleEntryLastWriteOn) {
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(3, 3),
+               constant_latency(100));
+  // s1 writes x1 = v (the figure's w).
+  c.write(1, 0, "v");
+  c.run();
+  // s3 (site 2 here) reads x1 then writes x2 = u (the figure's w').
+  ASSERT_EQ(c.read(2, 0).data, "v");
+  EXPECT_EQ(crp(c, 2).log().size(), 1u);  // {w}
+  c.write(2, 1, "u");
+  {
+    const auto& log = crp(c, 2).log();
+    ASSERT_EQ(log.size(), 1u);  // LOG_3 = {w'}
+    EXPECT_EQ(log[0].sender, 2u);
+    EXPECT_EQ(log[0].clock, 1u);
+  }
+  c.run();
+  // s1 (site 0) received w'; only w' itself is remembered for x2, which a
+  // read at s1 merges as a single 2-tuple.
+  ASSERT_EQ(c.read(0, 1).data, "u");
+  bool found = false;
+  for (const auto& e : crp(c, 0).log()) {
+    if (e.sender == 2) {
+      EXPECT_EQ(e.clock, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  expect_causal(c);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

@@ -1,0 +1,102 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccpr::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZeroIdle) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(SchedulerTest, FiresInTimestampOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_after(30, [&] { order.push_back(3); });
+  s.schedule_after(10, [&] { order.push_back(1); });
+  s.schedule_after(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SchedulerTest, EqualTimestampsFireInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_after(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, ActionsMayScheduleMoreWork) {
+  Scheduler s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) s.schedule_after(10, chain);
+  };
+  s.schedule_after(0, chain);
+  EXPECT_EQ(s.run(), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_after(10, [&] { order.push_back(1); });
+  s.schedule_after(20, [&] { order.push_back(2); });
+  s.schedule_after(30, [&] { order.push_back(3); });
+  s.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.run_until(1000);
+  EXPECT_EQ(s.now(), 1000);
+}
+
+TEST(SchedulerTest, StepFiresOneEvent) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(1, [&] { ++fired; });
+  s.schedule_after(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
+  Scheduler s;
+  std::int64_t seen = -1;
+  s.schedule_at(123, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(SchedulerTest, EventsFiredAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_after(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_fired(), 7u);
+  s.schedule_after(1, [] {});
+  s.run();
+  EXPECT_EQ(s.events_fired(), 8u);
+}
+
+}  // namespace
+}  // namespace ccpr::sim

@@ -1,0 +1,113 @@
+#include "causal/sim_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "workload/workload.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+using ccpr::testing::constant_latency;
+
+TEST(SimClusterTest, ScriptedWriteIsVisibleAfterRun) {
+  SimCluster c(Algorithm::kOptTrack, ReplicaMap::even(3, 3, 2),
+               constant_latency(1'000));
+  c.write(0, 0, "hello");
+  EXPECT_GT(c.scheduler().pending(), 0u);  // update in flight
+  c.run();
+  EXPECT_EQ(c.site(1).peek(0).data, "hello");
+}
+
+TEST(SimClusterTest, SyncReadDrivesSchedulerForRemoteFetch) {
+  SimCluster c(Algorithm::kOptTrack, ReplicaMap::even(3, 3, 1),
+               constant_latency(2'000));
+  c.write(1, 1, "remote-value");  // var 1 only at site 1
+  c.run();
+  const Value v = c.read(0, 1);
+  EXPECT_EQ(v.data, "remote-value");
+  EXPECT_GE(c.scheduler().now(), 4'000);  // at least one round trip
+}
+
+TEST(SimClusterTest, RunProgramExecutesEveryOperation) {
+  const auto rmap = ReplicaMap::even(4, 8, 2);
+  workload::WorkloadSpec spec;
+  spec.ops_per_site = 50;
+  spec.write_rate = 0.5;
+  spec.seed = 5;
+  const Program program = workload::generate_program(spec, rmap);
+  SimCluster c(Algorithm::kOptTrack, ReplicaMap::even(4, 8, 2),
+               constant_latency(3'000));
+  c.run_program(program);
+  const auto m = c.metrics();
+  EXPECT_EQ(m.writes + m.reads, 4u * 50u);
+}
+
+TEST(SimClusterTest, MetricsMergeAcrossSitesAndTransport) {
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(3, 3),
+               constant_latency(100));
+  c.write(0, 0, "a");
+  c.write(1, 1, "b");
+  c.run();
+  const auto m = c.metrics();
+  EXPECT_EQ(m.writes, 2u);          // summed from per-site metrics
+  EXPECT_EQ(m.update_msgs, 4u);     // counted at the transport
+  EXPECT_GT(m.control_bytes, 0u);
+  EXPECT_EQ(c.site_metrics(0).writes, 1u);
+  EXPECT_EQ(c.site_metrics(2).writes, 0u);
+}
+
+TEST(SimClusterTest, MakePayloadShapesSize) {
+  const std::string tiny = SimCluster::make_payload(1, 2, 0);
+  EXPECT_EQ(tiny, "w1:2");
+  const std::string padded = SimCluster::make_payload(1, 2, 32);
+  EXPECT_EQ(padded.size(), 32u);
+  EXPECT_EQ(padded.substr(0, 4), "w1:2");
+}
+
+TEST(SimClusterTest, ThinkTimeSpreadsOperations) {
+  const auto rmap = ReplicaMap::full(2, 2);
+  workload::WorkloadSpec spec;
+  spec.ops_per_site = 20;
+  spec.write_rate = 1.0;
+  spec.seed = 5;
+  const Program program = workload::generate_program(spec, rmap);
+
+  SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::ConstantLatency>(10);
+  opts.mean_think_us = 10'000;
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(2, 2),
+               std::move(opts));
+  c.run_program(program);
+  // 20 ops at ~10ms mean think time: virtual time far beyond the latency.
+  EXPECT_GT(c.scheduler().now(), 50'000);
+}
+
+TEST(SimClusterTest, FaultInjectionCountersExposed) {
+  SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::ConstantLatency>(1'000);
+  opts.drop_rate = 0.3;
+  opts.fault_seed = 42;
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(3, 2),
+               std::move(opts));
+  for (int i = 0; i < 20; ++i) c.write(0, 0, "v");
+  c.run();
+  EXPECT_GT(c.messages_dropped(), 0u);
+  EXPECT_GT(c.retransmissions(), 0u);
+  EXPECT_EQ(c.site(1).peek(0).data, "v");  // still delivered
+  EXPECT_EQ(c.pending_updates(), 0u);
+}
+
+TEST(SimClusterTest, NoFaultsMeansNoReliabilityLayer) {
+  SimCluster c(Algorithm::kOptTrackCRP, ReplicaMap::full(2, 2),
+               constant_latency(100));
+  c.write(0, 0, "v");
+  c.run();
+  EXPECT_EQ(c.messages_dropped(), 0u);
+  EXPECT_EQ(c.retransmissions(), 0u);
+  // Exactly one datagram: no ack/retransmit traffic on the wire.
+  EXPECT_EQ(c.metrics().messages_total(), 1u);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

@@ -1,0 +1,71 @@
+// Longer randomized soak runs — an order of magnitude more operations than
+// the integration sweep, to surface slow metadata leaks, log growth, or
+// rare activation races that short runs miss.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_support.hpp"
+#include "workload/workload.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+void soak(Algorithm alg, std::uint32_t p, double write_rate,
+          std::uint64_t seed) {
+  const std::uint32_t n = 8, q = 32;
+  workload::WorkloadSpec spec;
+  spec.ops_per_site = 1'000;
+  spec.write_rate = write_rate;
+  spec.dist = workload::WorkloadSpec::KeyDist::kZipf;
+  spec.zipf_theta = 0.8;
+  spec.locality = 0.3;
+  spec.value_bytes = 24;
+  spec.seed = seed;
+  const auto rmap = ReplicaMap::even(n, q, p);
+  const Program program = workload::generate_program(spec, rmap);
+
+  SimCluster::Options opts;
+  opts.latency = std::make_unique<sim::LogNormalLatency>(15'000.0, 0.6);
+  opts.latency_seed = seed * 13 + 1;
+  opts.mean_think_us = 1'000;
+  SimCluster cluster(alg, ReplicaMap::even(n, q, p), std::move(opts));
+  cluster.run_program(program);
+
+  EXPECT_EQ(cluster.pending_updates(), 0u);
+  const auto m = cluster.metrics();
+  EXPECT_EQ(m.writes + m.reads, static_cast<std::uint64_t>(n) * 1'000u);
+  // Metadata stays bounded by the algorithm's structural footprint — never
+  // by the number of operations (8000 here). Full-Track's unit is matrix
+  // cells: (1 + vars stored locally) * n^2; the log-based algorithms must
+  // stay in the tens of records.
+  const std::uint64_t bound =
+      alg == Algorithm::kFullTrack
+          ? (1u + q * p / n + 1u) * static_cast<std::uint64_t>(n) * n
+          : 200u;
+  EXPECT_LT(m.log_entries.peak(), bound);
+  ccpr::testing::expect_causal(cluster);
+}
+
+TEST(SoakTest, OptTrackPartialWriteHeavy) {
+  soak(Algorithm::kOptTrack, 3, 0.6, 101);
+}
+
+TEST(SoakTest, OptTrackPartialReadHeavy) {
+  soak(Algorithm::kOptTrack, 3, 0.1, 102);
+}
+
+TEST(SoakTest, FullTrackPartial) {
+  soak(Algorithm::kFullTrack, 3, 0.4, 103);
+}
+
+TEST(SoakTest, OptTrackSingleReplica) {
+  soak(Algorithm::kOptTrack, 1, 0.5, 104);
+}
+
+TEST(SoakTest, CrpFullReplication) {
+  soak(Algorithm::kOptTrackCRP, 8, 0.4, 105);
+}
+
+}  // namespace
+}  // namespace ccpr::causal

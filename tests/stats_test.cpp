@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ccpr::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVarianceMatchClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev() * s.stddev(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform01() * 100;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, SmallExactValues) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  // Values < 32 land in exact buckets.
+  EXPECT_DOUBLE_EQ(h.percentile(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.0);
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInQ) {
+  Histogram h;
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) h.add(rng.exponential(1000.0));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileBoundedRelativeError) {
+  Histogram h;
+  // A point mass at a large value: every percentile must be within the
+  // sub-bucket resolution (1/32) of it.
+  for (int i = 0; i < 100; ++i) h.add(100000.0);
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 100000.0 * (1.0 - 1.0 / 16));
+  EXPECT_LE(p50, 100000.0 * (1.0 + 1.0 / 8));
+}
+
+TEST(HistogramTest, MedianOfUniformIsCentered) {
+  Histogram h;
+  Rng rng(12);
+  for (int i = 0; i < 50000; ++i) h.add(rng.uniform01() * 10000.0);
+  EXPECT_NEAR(h.percentile(0.5), 5000.0, 600.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZeroBucket) {
+  Histogram h;
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), -5.0);  // capped by max()
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.add(10.0);
+  for (int i = 0; i < 100; ++i) b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.percentile(0.25), 10.0);
+  EXPECT_GT(a.percentile(0.9), 900.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.add(42.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace ccpr::util

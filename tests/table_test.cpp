@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccpr::util {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(std::int64_t{1});
+  t.row().cell("long-name").cell(std::int64_t{12345});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name      | value"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 12345 |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TableTest, DoubleFormattingRespectsPrecision) {
+  Table t({"x"});
+  t.row().cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.row().cell("a,b").cell("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainValuesUnquoted) {
+  Table t({"k"});
+  t.row().cell("plain");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k\nplain\n");
+}
+
+TEST(TableTest, RowCountTracksRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, FormatDoubleHelper) {
+  EXPECT_EQ(format_double(1.5, 1), "1.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.125, 3), "-0.125");
+}
+
+}  // namespace
+}  // namespace ccpr::util

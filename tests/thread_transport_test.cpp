@@ -1,0 +1,146 @@
+#include "net/thread_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <mutex>
+#include <vector>
+
+namespace ccpr::net {
+namespace {
+
+struct Collector final : IMessageSink {
+  std::mutex mu;
+  std::vector<Message> received;
+  void deliver(Message msg) override {
+    std::lock_guard lk(mu);
+    received.push_back(std::move(msg));
+  }
+};
+
+Message make(MsgKind kind, SiteId src, SiteId dst, std::uint8_t tag) {
+  Message m;
+  m.kind = kind;
+  m.src = src;
+  m.dst = dst;
+  m.body = {tag};
+  m.payload_bytes = 0;
+  return m;
+}
+
+TEST(ThreadTransportTest, DeliversAndDrains) {
+  metrics::Metrics metrics;
+  ThreadTransport t(2, metrics);
+  Collector c0, c1;
+  t.connect(0, &c0);
+  t.connect(1, &c1);
+  t.start();
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    t.send(make(MsgKind::kUpdate, 0, 1, i));
+  }
+  t.drain();
+  {
+    std::lock_guard lk(c1.mu);
+    EXPECT_EQ(c1.received.size(), 50u);
+  }
+  t.stop();
+  EXPECT_EQ(metrics.update_msgs, 50u);
+}
+
+TEST(ThreadTransportTest, ChannelFifoPreserved) {
+  metrics::Metrics metrics;
+  ThreadTransport t(2, metrics,
+                    ThreadTransport::Options{.max_delay_us = 50,
+                                             .delay_seed = 5});
+  Collector c0, c1;
+  t.connect(0, &c0);
+  t.connect(1, &c1);
+  t.start();
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    t.send(make(MsgKind::kUpdate, 0, 1, i));
+  }
+  t.drain();
+  t.stop();
+  ASSERT_EQ(c1.received.size(), 100u);
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(c1.received[i].body[0], i);
+  }
+}
+
+TEST(ThreadTransportTest, HandlerMaySendMore) {
+  // A ping-pong relay: site 1 echoes back until the tag reaches 10; drain()
+  // must wait for the whole cascade.
+  metrics::Metrics metrics;
+  ThreadTransport t(2, metrics);
+  struct Echo final : IMessageSink {
+    ThreadTransport* tr = nullptr;
+    std::atomic<int> last{0};
+    void deliver(Message msg) override {
+      last = msg.body[0];
+      if (msg.body[0] < 10) {
+        Message next = msg;
+        std::swap(next.src, next.dst);
+        ++next.body[0];
+        tr->send(std::move(next));
+      }
+    }
+  } e0, e1;
+  e0.tr = &t;
+  e1.tr = &t;
+  t.connect(0, &e0);
+  t.connect(1, &e1);
+  t.start();
+  t.send(make(MsgKind::kUpdate, 0, 1, 1));
+  t.drain();
+  t.stop();
+  EXPECT_EQ(std::max(e0.last.load(), e1.last.load()), 10);
+  EXPECT_EQ(metrics.update_msgs, 10u);
+}
+
+TEST(ThreadTransportTest, DrainOnEmptyNetworkReturnsImmediately) {
+  metrics::Metrics metrics;
+  ThreadTransport t(2, metrics);
+  Collector c0, c1;
+  t.connect(0, &c0);
+  t.connect(1, &c1);
+  t.start();
+  t.drain();
+  t.stop();
+  SUCCEED();
+}
+
+TEST(ThreadTransportTest, StopIsIdempotent) {
+  metrics::Metrics metrics;
+  ThreadTransport t(1, metrics);
+  Collector c0;
+  t.connect(0, &c0);
+  t.start();
+  t.stop();
+  t.stop();
+  SUCCEED();
+}
+
+TEST(ThreadTransportTest, ManySendersOneReceiver) {
+  metrics::Metrics metrics;
+  ThreadTransport t(4, metrics);
+  Collector sinks[4];
+  for (SiteId s = 0; s < 4; ++s) t.connect(s, &sinks[s]);
+  t.start();
+  std::vector<std::thread> senders;
+  for (SiteId s = 1; s < 4; ++s) {
+    senders.emplace_back([&t, s] {
+      for (std::uint8_t i = 0; i < 64; ++i) {
+        t.send(make(MsgKind::kUpdate, s, 0, i));
+      }
+    });
+  }
+  for (auto& th : senders) th.join();
+  t.drain();
+  t.stop();
+  EXPECT_EQ(sinks[0].received.size(), 3u * 64u);
+}
+
+}  // namespace
+}  // namespace ccpr::net

@@ -1,0 +1,92 @@
+#include "causal/value_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ccpr::causal {
+namespace {
+
+TEST(ValueCodecTest, RoundTripOrdinaryValue) {
+  Value v{{3, 42}, 99, "hello world"};
+  net::Encoder enc;
+  encode_value(enc, v);
+  net::Decoder dec(enc.buffer());
+  const Value out = decode_value(dec);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(out.id, v.id);
+  EXPECT_EQ(out.lamport, 99u);
+  EXPECT_EQ(out.data, "hello world");
+}
+
+TEST(ValueCodecTest, RoundTripInitialValue) {
+  Value v{};  // writer kNoSite, seq 0
+  net::Encoder enc;
+  encode_value(enc, v);
+  net::Decoder dec(enc.buffer());
+  const Value out = decode_value(dec);
+  EXPECT_TRUE(out.id.is_initial());
+  EXPECT_EQ(out.id.writer, kNoSite);
+  EXPECT_TRUE(out.data.empty());
+}
+
+TEST(ValueCodecTest, WriterZeroIsDistinctFromNoWriter) {
+  Value v{{0, 1}, 1, "x"};
+  net::Encoder enc;
+  encode_value(enc, v);
+  net::Decoder dec(enc.buffer());
+  const Value out = decode_value(dec);
+  EXPECT_EQ(out.id.writer, 0u);
+  EXPECT_FALSE(out.id.is_initial());
+}
+
+TEST(ValueCodecTest, BinaryPayloadSurvives) {
+  std::string blob;
+  for (int i = 0; i < 256; ++i) blob.push_back(static_cast<char>(i));
+  Value v{{1, 2}, 3, blob};
+  net::Encoder enc;
+  encode_value(enc, v);
+  net::Decoder dec(enc.buffer());
+  EXPECT_EQ(decode_value(dec).data, blob);
+}
+
+TEST(ValueCodecTest, ControlOverheadIsSmall) {
+  Value v{{7, 1000}, 2000, std::string(4096, 'p')};
+  net::Encoder enc;
+  encode_value(enc, v);
+  // identity (<=4B) + lamport (<=2B) + length prefix (2B) + payload.
+  EXPECT_LE(enc.size(), 4096u + 10u);
+}
+
+TEST(ValueCodecTest, RandomRoundTrips) {
+  util::Rng rng(0x5a1e);
+  for (int i = 0; i < 500; ++i) {
+    Value v;
+    v.id.writer = static_cast<SiteId>(rng.below(64));
+    v.id.seq = rng.below(1u << 30);
+    v.lamport = rng.below(1u << 30);
+    v.data.assign(rng.below(64), static_cast<char>('a' + rng.below(26)));
+    net::Encoder enc;
+    encode_value(enc, v);
+    net::Decoder dec(enc.buffer());
+    const Value out = decode_value(dec);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(out.id, v.id);
+    EXPECT_EQ(out.lamport, v.lamport);
+    EXPECT_EQ(out.data, v.data);
+  }
+}
+
+TEST(ValueCodecTest, TruncationFailsCleanly) {
+  Value v{{1, 2}, 3, "payload"};
+  net::Encoder enc;
+  encode_value(enc, v);
+  for (std::size_t cut = 0; cut < enc.size(); ++cut) {
+    net::Decoder dec(enc.buffer().data(), cut);
+    (void)decode_value(dec);
+    EXPECT_FALSE(dec.ok() && dec.exhausted() && cut < enc.size());
+  }
+}
+
+}  // namespace
+}  // namespace ccpr::causal

@@ -1,0 +1,116 @@
+// Robustness fuzzing of the wire decoders: random byte soup must never
+// crash, read out of bounds, or loop — the sticky error flag must trip
+// instead. (AddressSanitizer/valgrind make these tests much stronger; they
+// are still meaningful under plain builds because every read is
+// bounds-checked.)
+#include <gtest/gtest.h>
+
+#include "causal/opt_log.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::net {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(util::Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> buf(len);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+  return buf;
+}
+
+TEST(WireFuzzTest, DecoderSurvivesRandomInput) {
+  util::Rng rng(0xfeed);
+  for (int round = 0; round < 2000; ++round) {
+    const auto buf = random_bytes(rng, rng.below(64));
+    Decoder dec(buf.data(), buf.size());
+    // Exercise a random sequence of reads; none may misbehave.
+    for (int i = 0; i < 8; ++i) {
+      switch (rng.below(5)) {
+        case 0:
+          dec.u8();
+          break;
+        case 1:
+          dec.u32();
+          break;
+        case 2:
+          dec.u64();
+          break;
+        case 3:
+          dec.varint();
+          break;
+        default:
+          dec.bytes();
+          break;
+      }
+    }
+    // Either everything decoded within bounds or the error latch is set;
+    // remaining() must never underflow.
+    EXPECT_LE(dec.remaining(), buf.size());
+  }
+}
+
+TEST(WireFuzzTest, LogDecoderSurvivesRandomInput) {
+  util::Rng rng(0xbead);
+  for (int round = 0; round < 2000; ++round) {
+    const auto buf = random_bytes(rng, rng.below(96));
+    Decoder dec(buf.data(), buf.size());
+    const causal::Log log = causal::decode_log(dec);
+    if (dec.ok()) {
+      // Whatever decoded must re-encode without issue.
+      Encoder enc;
+      causal::encode_log(enc, log);
+    }
+  }
+}
+
+TEST(WireFuzzTest, TruncatedValidMessagesFailCleanly) {
+  // Build a valid log, then decode every strict prefix: all but the full
+  // buffer must either fail or decode a shorter valid structure.
+  causal::Log log{
+      causal::LogEntry{1, 12345, causal::DestSet{0, 3, 7}},
+      causal::LogEntry{2, 9, causal::DestSet{}},
+  };
+  Encoder enc;
+  causal::encode_log(enc, log);
+  const auto& buf = enc.buffer();
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    Decoder dec(buf.data(), cut);
+    const causal::Log out = causal::decode_log(dec);
+    if (cut < buf.size()) {
+      // The entry count prefix promises more than a strict prefix holds,
+      // so a successful decode of the *complete* structure is impossible.
+      EXPECT_TRUE(!dec.ok() || out.size() < log.size() ||
+                  out != log);
+    }
+  }
+  Decoder full(buf.data(), buf.size());
+  EXPECT_EQ(causal::decode_log(full), log);
+  EXPECT_TRUE(full.ok());
+}
+
+TEST(WireFuzzTest, RoundTripRandomLogs) {
+  util::Rng rng(0xc0de);
+  for (int round = 0; round < 500; ++round) {
+    causal::Log log;
+    const std::uint64_t entries = rng.below(6);
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      causal::LogEntry entry;
+      entry.sender = static_cast<causal::SiteId>(rng.below(64));
+      entry.clock = rng.below(1 << 20);
+      const std::uint64_t dests = rng.below(5);
+      for (std::uint64_t d = 0; d < dests; ++d) {
+        entry.dests.insert(static_cast<causal::SiteId>(rng.below(64)));
+      }
+      log.push_back(std::move(entry));
+    }
+    Encoder enc;
+    causal::encode_log(enc, log);
+    Decoder dec(enc.buffer());
+    EXPECT_EQ(causal::decode_log(dec), log);
+    EXPECT_TRUE(dec.ok());
+    EXPECT_TRUE(dec.exhausted());
+  }
+}
+
+}  // namespace
+}  // namespace ccpr::net

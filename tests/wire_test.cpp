@@ -1,0 +1,137 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ccpr::net {
+namespace {
+
+TEST(WireTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.u8(0xab);
+  enc.u32(0xdeadbeef);
+  enc.u64(0x0123456789abcdefULL);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.u8(), 0xab);
+  EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(WireTest, VarintRoundTripEdgeValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  0xffffffffULL,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  Encoder enc;
+  for (const auto v : values) enc.varint(v);
+  Decoder dec(enc.buffer());
+  for (const auto v : values) EXPECT_EQ(dec.varint(), v);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(WireTest, VarintSizeIsCompact) {
+  Encoder a;
+  a.varint(5);
+  EXPECT_EQ(a.size(), 1u);
+  Encoder b;
+  b.varint(300);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(WireTest, BytesRoundTrip) {
+  Encoder enc;
+  enc.bytes("hello");
+  enc.bytes("");
+  enc.bytes(std::string(1000, 'x'));
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.bytes(), "hello");
+  EXPECT_EQ(dec.bytes(), "");
+  EXPECT_EQ(dec.bytes(), std::string(1000, 'x'));
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(WireTest, BytesWithEmbeddedNul) {
+  Encoder enc;
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b";
+  enc.bytes(s);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.bytes(), s);
+}
+
+TEST(WireTest, TruncatedFixedReadSetsError) {
+  Encoder enc;
+  enc.u8(1);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.u32(), 0u);
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, TruncatedVarintSetsError) {
+  const std::uint8_t bad[] = {0x80, 0x80};  // continuation bits, no terminator
+  Decoder dec(bad, sizeof bad);
+  dec.varint();
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, OverlongVarintSetsError) {
+  std::vector<std::uint8_t> bad(11, 0x80);
+  Decoder dec(bad.data(), bad.size());
+  dec.varint();
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, BytesLengthBeyondBufferSetsError) {
+  Encoder enc;
+  enc.varint(1000);  // claims 1000 bytes follow
+  enc.u8('x');
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.bytes(), "");
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, ErrorIsSticky) {
+  Encoder enc;
+  enc.u8(1);
+  Decoder dec(enc.buffer());
+  dec.u64();  // fails
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.u8(), 0);  // still fails even though a byte exists
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, RawAppendAndRemaining) {
+  Encoder enc;
+  const char data[] = {1, 2, 3};
+  enc.raw(data, 3);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.remaining(), 3u);
+  dec.u8();
+  EXPECT_EQ(dec.remaining(), 2u);
+}
+
+TEST(WireTest, TakeMovesBuffer) {
+  Encoder enc;
+  enc.u32(7);
+  auto buf = enc.take();
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(WireTest, ReserveConstructor) {
+  Encoder enc(128);
+  EXPECT_EQ(enc.size(), 0u);
+  enc.u8(1);
+  EXPECT_EQ(enc.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccpr::net

@@ -1,0 +1,182 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/social.hpp"
+
+namespace ccpr::workload {
+namespace {
+
+using causal::Operation;
+using causal::ReplicaMap;
+
+TEST(WorkloadTest, GeneratesRequestedShape) {
+  const auto rmap = ReplicaMap::even(4, 10, 2);
+  WorkloadSpec spec;
+  spec.ops_per_site = 500;
+  spec.write_rate = 0.25;
+  spec.seed = 3;
+  const auto program = generate_program(spec, rmap);
+  ASSERT_EQ(program.size(), 4u);
+  std::uint64_t writes = 0, total = 0;
+  for (const auto& ops : program) {
+    EXPECT_EQ(ops.size(), 500u);
+    for (const auto& op : ops) {
+      EXPECT_LT(op.var, 10u);
+      total += 1;
+      writes += op.kind == Operation::Kind::kWrite ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(total), 0.25,
+              0.04);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const auto rmap = ReplicaMap::even(3, 6, 2);
+  WorkloadSpec spec;
+  spec.ops_per_site = 100;
+  spec.seed = 77;
+  const auto a = generate_program(spec, rmap);
+  const auto b = generate_program(spec, rmap);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size());
+    for (std::size_t i = 0; i < a[s].size(); ++i) {
+      EXPECT_EQ(a[s][i].kind, b[s][i].kind);
+      EXPECT_EQ(a[s][i].var, b[s][i].var);
+    }
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  const auto rmap = ReplicaMap::even(3, 6, 2);
+  WorkloadSpec spec;
+  spec.ops_per_site = 100;
+  spec.seed = 1;
+  const auto a = generate_program(spec, rmap);
+  spec.seed = 2;
+  const auto b = generate_program(spec, rmap);
+  int diffs = 0;
+  for (std::size_t i = 0; i < a[0].size(); ++i) {
+    diffs += a[0][i].var != b[0][i].var ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(WorkloadTest, FullLocalityTargetsLocalVars) {
+  const auto rmap = ReplicaMap::even(4, 16, 2);
+  WorkloadSpec spec;
+  spec.ops_per_site = 300;
+  spec.locality = 1.0;
+  spec.seed = 5;
+  const auto program = generate_program(spec, rmap);
+  for (causal::SiteId s = 0; s < 4; ++s) {
+    for (const auto& op : program[s]) {
+      EXPECT_TRUE(rmap.replicated_at(op.var, s));
+    }
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardsHotKeys) {
+  const auto rmap = ReplicaMap::even(2, 100, 1);
+  WorkloadSpec spec;
+  spec.ops_per_site = 5000;
+  spec.dist = WorkloadSpec::KeyDist::kZipf;
+  spec.zipf_theta = 0.99;
+  spec.seed = 8;
+  const auto program = generate_program(spec, rmap);
+  std::vector<int> counts(100, 0);
+  for (const auto& op : program[0]) ++counts[op.var];
+  int head = counts[0] + counts[1] + counts[2];
+  EXPECT_GT(head, 5000 / 5);
+}
+
+TEST(WorkloadTest, AnalyticFormulasMatchPaper) {
+  // Fig. 4 anchor points for n = 10.
+  EXPECT_DOUBLE_EQ(predicted_messages_full(10, 100), 1000.0);
+  EXPECT_DOUBLE_EQ(predicted_messages_partial(10, 10, 100, 0), 1000.0);
+  EXPECT_NEAR(crossover_write_rate(10), 2.0 / 12.0, 1e-12);
+  // Below the crossover full replication wins, above it partial wins.
+  const double n = 10, p = 3, ops = 1000;
+  const double w_lo = 0.1 * ops, r_lo = 0.9 * ops;
+  EXPECT_GT(predicted_messages_partial(n, p, w_lo, r_lo),
+            predicted_messages_full(n, w_lo));
+  const double w_hi = 0.3 * ops, r_hi = 0.7 * ops;
+  EXPECT_LT(predicted_messages_partial(n, p, w_hi, r_hi),
+            predicted_messages_full(n, w_hi));
+}
+
+TEST(SocialWorkloadTest, WallsPlacedInHomeRegion) {
+  SocialSpec spec;
+  spec.regions = 3;
+  spec.sites_per_region = 2;
+  spec.users = 60;
+  spec.replicas_per_user = 2;
+  spec.seed = 4;
+  const auto sw = make_social_workload(spec);
+  EXPECT_EQ(sw.rmap.sites(), 6u);
+  EXPECT_EQ(sw.rmap.vars(), 60u);
+  for (causal::VarId u = 0; u < 60; ++u) {
+    for (const auto s : sw.rmap.replicas(u)) {
+      EXPECT_EQ(sw.region_of_site[s], sw.home_region_of_user[u])
+          << "wall " << u << " replicated outside its home region";
+    }
+  }
+}
+
+TEST(SocialWorkloadTest, WritesTargetLocalUsers) {
+  SocialSpec spec;
+  spec.regions = 2;
+  spec.sites_per_region = 2;
+  spec.users = 40;
+  spec.ops_per_site = 400;
+  spec.write_rate = 0.5;
+  spec.seed = 6;
+  const auto sw = make_social_workload(spec);
+  for (causal::SiteId s = 0; s < sw.rmap.sites(); ++s) {
+    for (const auto& op : sw.program[s]) {
+      if (op.kind == Operation::Kind::kWrite) {
+        EXPECT_EQ(sw.home_region_of_user[op.var], sw.region_of_site[s]);
+      }
+    }
+  }
+}
+
+TEST(SocialWorkloadTest, MostReadsAreRegional) {
+  SocialSpec spec;
+  spec.regions = 2;
+  spec.sites_per_region = 3;
+  spec.users = 100;
+  spec.ops_per_site = 1000;
+  spec.write_rate = 0.1;
+  spec.follow_local_prob = 0.9;
+  spec.seed = 10;
+  const auto sw = make_social_workload(spec);
+  std::uint64_t reads = 0, local_reads = 0;
+  for (causal::SiteId s = 0; s < sw.rmap.sites(); ++s) {
+    for (const auto& op : sw.program[s]) {
+      if (op.kind != Operation::Kind::kRead) continue;
+      ++reads;
+      local_reads +=
+          sw.home_region_of_user[op.var] == sw.region_of_site[s] ? 1u : 0u;
+    }
+  }
+  EXPECT_GT(static_cast<double>(local_reads) / static_cast<double>(reads),
+            0.85);
+}
+
+TEST(SocialWorkloadTest, ReplicasClampedToRegionSize) {
+  SocialSpec spec;
+  spec.regions = 2;
+  spec.sites_per_region = 2;
+  spec.replicas_per_user = 5;  // bigger than a region
+  spec.users = 10;
+  spec.seed = 12;
+  const auto sw = make_social_workload(spec);
+  for (causal::VarId u = 0; u < 10; ++u) {
+    EXPECT_LE(sw.rmap.replicas(u).size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ccpr::workload

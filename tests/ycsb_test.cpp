@@ -1,0 +1,91 @@
+#include "workload/ycsb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::workload {
+namespace {
+
+using causal::Operation;
+using causal::ReplicaMap;
+
+WorkloadSpec base_spec() {
+  WorkloadSpec spec;
+  spec.ops_per_site = 1000;
+  spec.value_bytes = 100;
+  spec.seed = 3;
+  return spec;
+}
+
+double measured_write_rate(const causal::Program& program) {
+  std::uint64_t writes = 0, total = 0;
+  for (const auto& ops : program) {
+    for (const auto& op : ops) {
+      ++total;
+      writes += op.kind == Operation::Kind::kWrite ? 1 : 0;
+    }
+  }
+  return static_cast<double>(writes) / static_cast<double>(total);
+}
+
+TEST(YcsbTest, MixARoughlyHalfWrites) {
+  const auto rmap = ReplicaMap::even(4, 50, 2);
+  const auto p = generate_ycsb(YcsbMix::kA, base_spec(), rmap);
+  EXPECT_NEAR(measured_write_rate(p), 0.5, 0.05);
+}
+
+TEST(YcsbTest, MixBReadMostly) {
+  const auto rmap = ReplicaMap::even(4, 50, 2);
+  const auto p = generate_ycsb(YcsbMix::kB, base_spec(), rmap);
+  EXPECT_NEAR(measured_write_rate(p), 0.05, 0.02);
+}
+
+TEST(YcsbTest, MixCReadOnly) {
+  const auto rmap = ReplicaMap::even(4, 50, 2);
+  const auto p = generate_ycsb(YcsbMix::kC, base_spec(), rmap);
+  EXPECT_DOUBLE_EQ(measured_write_rate(p), 0.0);
+}
+
+TEST(YcsbTest, MixFAlternatesReadThenWriteOnSameKey) {
+  const auto rmap = ReplicaMap::even(4, 50, 2);
+  const auto p = generate_ycsb(YcsbMix::kF, base_spec(), rmap);
+  for (const auto& ops : p) {
+    ASSERT_EQ(ops.size() % 2, 0u);
+    for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
+      EXPECT_EQ(ops[i].kind, Operation::Kind::kRead);
+      EXPECT_EQ(ops[i + 1].kind, Operation::Kind::kWrite);
+      EXPECT_EQ(ops[i].var, ops[i + 1].var);
+    }
+  }
+}
+
+TEST(YcsbTest, AllMixesAreZipfian) {
+  // The hottest key should dominate under theta = 0.99.
+  const auto rmap = ReplicaMap::even(2, 100, 1);
+  for (const YcsbMix mix :
+       {YcsbMix::kA, YcsbMix::kB, YcsbMix::kC, YcsbMix::kD}) {
+    const auto p = generate_ycsb(mix, base_spec(), rmap);
+    std::vector<int> counts(100, 0);
+    for (const auto& op : p[0]) ++counts[op.var];
+    EXPECT_GT(counts[0] + counts[1] + counts[2], 1000 / 5)
+        << ycsb_name(mix);
+  }
+}
+
+TEST(YcsbTest, NamesAreStable) {
+  EXPECT_STREQ(ycsb_name(YcsbMix::kA), "YCSB-A");
+  EXPECT_STREQ(ycsb_name(YcsbMix::kF), "YCSB-F");
+}
+
+TEST(YcsbTest, SpecPreservesBaseFields) {
+  WorkloadSpec base = base_spec();
+  base.locality = 0.7;
+  const auto spec = ycsb_spec(YcsbMix::kB, base);
+  EXPECT_DOUBLE_EQ(spec.locality, 0.7);
+  EXPECT_EQ(spec.ops_per_site, 1000u);
+  EXPECT_EQ(spec.value_bytes, 100u);
+  EXPECT_DOUBLE_EQ(spec.write_rate, 0.05);
+  EXPECT_EQ(spec.dist, WorkloadSpec::KeyDist::kZipf);
+}
+
+}  // namespace
+}  // namespace ccpr::workload

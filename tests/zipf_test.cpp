@@ -1,0 +1,63 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccpr::util {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfSampler zipf(100, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 100u);
+}
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  ZipfSampler zipf(1, 0.5);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  ZipfSampler zipf(50, 0.99);
+  Rng rng(3);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  // Head dominates and frequency decays with rank.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0] + counts[1] + counts[2], 50000 / 4);
+}
+
+TEST(ZipfTest, ThetaZeroIsCloseToUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.03);
+  }
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfSampler mild(100, 0.3);
+  ZipfSampler hot(100, 0.95);
+  Rng rng_a(5), rng_b(5);
+  int mild_head = 0, hot_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    mild_head += mild.sample(rng_a) == 0 ? 1 : 0;
+    hot_head += hot.sample(rng_b) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(hot_head, mild_head);
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfSampler zipf(64, 0.7);
+  Rng a(6), b(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+}
+
+}  // namespace
+}  // namespace ccpr::util

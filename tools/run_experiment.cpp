@@ -1,0 +1,213 @@
+// ccpr experiment runner: one simulated run of any algorithm on a
+// parameterized workload, with a human table or a CSV row as output.
+//
+//   build/tools/run_experiment --alg=opt-track --n=10 --q=100 --p=3 \
+//       --ops=1000 --write-rate=0.4 --latency=lognormal:20000:0.7 \
+//       --seed=7 --check --csv
+//
+// Flags (defaults in brackets):
+//   --alg=full-track|opt-track|opt-track-crp|optp|ahamad|eventual [opt-track]
+//   --n=<sites> [10]  --q=<vars> [100]  --p=<replication> [3]
+//   --ops=<per site> [1000]
+//   --write-rate=<0..1> [0.3]  --dist=uniform|zipf [uniform]
+//   --zipf=<theta> [0.99]      --locality=<0..1> [0]
+//   --ycsb=a|b|c|d|f           (overrides write-rate/dist)
+//   --value-bytes=<n> [64]     --seed=<n> [1]
+//   --latency=constant:<us> | uniform:<lo>:<hi> |
+//             lognormal:<median_us>:<sigma> | geo2:<intra>:<inter>:<regions>
+//             [uniform:10000:50000]
+//   --drop-rate=<0..1> [0]     --dup-rate=<0..1> [0]
+//   --convergent               causal+ LWW mode
+//   --fetch-timeout=<us>       §V failover: retry fetches after this delay
+//   --no-gating                paper-faithful RemoteFetch (may be stale!)
+//   --aggressive-merge         paper-verbatim MERGE (unsound; see DESIGN.md)
+//   --check                    run the offline causal checker afterwards
+//   --csv                      emit one CSV row (+ header with --csv-header)
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "causal/sim_cluster.hpp"
+#include "checker/causal_checker.hpp"
+#include "checker/convergence.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace ccpr;
+
+namespace {
+
+causal::Algorithm parse_alg(const std::string& name) {
+  if (name == "full-track") return causal::Algorithm::kFullTrack;
+  if (name == "opt-track") return causal::Algorithm::kOptTrack;
+  if (name == "opt-track-crp") return causal::Algorithm::kOptTrackCRP;
+  if (name == "optp") return causal::Algorithm::kOptP;
+  if (name == "ahamad") return causal::Algorithm::kAhamad;
+  if (name == "eventual") return causal::Algorithm::kEventual;
+  std::cerr << "unknown --alg=" << name << "\n";
+  std::exit(2);
+}
+
+std::unique_ptr<sim::LatencyModel> parse_latency(const std::string& spec,
+                                                 std::uint32_t n) {
+  std::stringstream ss(spec);
+  std::string kind;
+  std::getline(ss, kind, ':');
+  auto next = [&ss]() {
+    std::string tok;
+    std::getline(ss, tok, ':');
+    return tok;
+  };
+  if (kind == "constant") {
+    return std::make_unique<sim::ConstantLatency>(std::stoll(next()));
+  }
+  if (kind == "uniform") {
+    const auto lo = std::stoll(next());
+    const auto hi = std::stoll(next());
+    return std::make_unique<sim::UniformLatency>(lo, hi);
+  }
+  if (kind == "lognormal") {
+    const double median = std::stod(next());
+    const double sigma = std::stod(next());
+    return std::make_unique<sim::LogNormalLatency>(median, sigma);
+  }
+  if (kind == "geo2") {
+    const auto intra = std::stoll(next());
+    const auto inter = std::stoll(next());
+    const std::string regions_tok = next();
+    const auto regions = static_cast<std::uint32_t>(
+        regions_tok.empty() ? 2 : std::stoul(regions_tok));
+    std::vector<std::uint32_t> region_of(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      region_of[s] = s % regions;
+    }
+    return sim::GeoLatency::two_tier(region_of, intra, inter, 0.1);
+  }
+  std::cerr << "unknown --latency=" << spec << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+
+  const auto alg = parse_alg(flags.get_string("alg", "opt-track"));
+  const auto n = static_cast<std::uint32_t>(flags.get_int("n", 10));
+  const auto q = static_cast<std::uint32_t>(flags.get_int("q", 100));
+  const auto p = static_cast<std::uint32_t>(flags.get_int("p", 3));
+
+  workload::WorkloadSpec spec;
+  spec.ops_per_site =
+      static_cast<std::uint64_t>(flags.get_int("ops", 1000));
+  spec.write_rate = flags.get_double("write-rate", 0.3);
+  spec.dist = flags.get_string("dist", "uniform") == "zipf"
+                  ? workload::WorkloadSpec::KeyDist::kZipf
+                  : workload::WorkloadSpec::KeyDist::kUniform;
+  spec.zipf_theta = flags.get_double("zipf", 0.99);
+  spec.locality = flags.get_double("locality", 0.0);
+  spec.value_bytes =
+      static_cast<std::uint32_t>(flags.get_int("value-bytes", 64));
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  const auto rmap = causal::ReplicaMap::even(n, q, p);
+  causal::Program program;
+  std::string mix_name = "custom";
+  if (flags.has("ycsb")) {
+    const std::string m = flags.get_string("ycsb", "a");
+    const workload::YcsbMix mix =
+        m == "a"   ? workload::YcsbMix::kA
+        : m == "b" ? workload::YcsbMix::kB
+        : m == "c" ? workload::YcsbMix::kC
+        : m == "d" ? workload::YcsbMix::kD
+                   : workload::YcsbMix::kF;
+    mix_name = workload::ycsb_name(mix);
+    program = workload::generate_ycsb(mix, spec, rmap);
+  } else {
+    program = workload::generate_program(spec, rmap);
+  }
+
+  causal::SimCluster::Options opts;
+  opts.latency =
+      parse_latency(flags.get_string("latency", "uniform:10000:50000"), n);
+  opts.latency_seed = spec.seed * 31 + 7;
+  opts.record_history = flags.get_bool("check", false);
+  opts.drop_rate = flags.get_double("drop-rate", 0.0);
+  opts.duplicate_rate = flags.get_double("dup-rate", 0.0);
+  opts.protocol.convergent = flags.get_bool("convergent", false);
+  opts.protocol.fetch_timeout_us =
+      static_cast<sim::SimTime>(flags.get_int("fetch-timeout", 0));
+  opts.protocol.fetch_gating = !flags.get_bool("no-gating", false);
+  opts.protocol.aggressive_merge = flags.get_bool("aggressive-merge", false);
+
+  causal::SimCluster cluster(alg, causal::ReplicaMap::even(n, q, p),
+                             std::move(opts));
+  cluster.run_program(program);
+  const auto m = cluster.metrics();
+
+  std::string verdict = "-";
+  if (flags.get_bool("check", false)) {
+    const auto result = checker::check_causal_consistency(
+        cluster.history(), cluster.replica_map());
+    verdict = result.ok ? "causal" : "VIOLATED";
+    if (!result.ok) {
+      for (const auto& v : result.violations) std::cerr << v << "\n";
+    }
+  }
+
+  if (flags.get_bool("csv", false)) {
+    if (flags.get_bool("csv-header", false)) {
+      std::cout << "alg,mix,n,q,p,write_rate,seed,messages,updates,"
+                   "fetches,ctrl_bytes,payload_bytes,remote_reads,"
+                   "apply_p99_us,read_p99_us,log_peak,space_peak,"
+                   "retransmits,verdict\n";
+    }
+    std::cout << causal::algorithm_name(alg) << ',' << mix_name << ',' << n
+              << ',' << q << ',' << p << ',' << spec.write_rate << ','
+              << spec.seed << ',' << m.messages_total() << ','
+              << m.update_msgs << ',' << m.fetch_req_msgs << ','
+              << m.control_bytes << ',' << m.payload_bytes << ','
+              << m.remote_reads << ',' << m.apply_delay_us.percentile(0.99)
+              << ',' << m.read_latency_us.percentile(0.99) << ','
+              << m.log_entries.peak() << ',' << m.meta_state_bytes.peak()
+              << ',' << cluster.retransmissions() << ',' << verdict << "\n";
+    return verdict == "VIOLATED" ? 1 : 0;
+  }
+
+  util::Table table({"metric", "value"});
+  table.row().cell("algorithm").cell(causal::algorithm_name(alg));
+  table.row().cell("workload").cell(mix_name);
+  table.row().cell("messages").cell(m.messages_total());
+  table.row().cell("  updates").cell(m.update_msgs);
+  table.row().cell("  fetch req/resp").cell(
+      std::to_string(m.fetch_req_msgs) + "/" +
+      std::to_string(m.fetch_resp_msgs));
+  table.row().cell("control bytes").cell(m.control_bytes);
+  table.row().cell("payload bytes").cell(m.payload_bytes);
+  table.row().cell("ctrl bytes/msg").cell(m.control_bytes_per_message(), 1);
+  table.row().cell("writes/reads").cell(std::to_string(m.writes) + "/" +
+                                        std::to_string(m.reads));
+  table.row().cell("remote reads").cell(m.remote_reads);
+  table.row().cell("apply delay p50/p99 us")
+      .cell(util::format_double(m.apply_delay_us.percentile(0.5), 0) + "/" +
+            util::format_double(m.apply_delay_us.percentile(0.99), 0));
+  table.row().cell("read latency p50/p99 us")
+      .cell(util::format_double(m.read_latency_us.percentile(0.5), 0) + "/" +
+            util::format_double(m.read_latency_us.percentile(0.99), 0));
+  table.row().cell("log entries mean/peak")
+      .cell(util::format_double(m.log_entries.samples().mean(), 1) + "/" +
+            std::to_string(m.log_entries.peak()));
+  table.row().cell("meta state peak B").cell(m.meta_state_bytes.peak());
+  table.row().cell("dropped/retransmitted")
+      .cell(std::to_string(cluster.messages_dropped()) + "/" +
+            std::to_string(cluster.retransmissions()));
+  table.row().cell("sim duration (s)")
+      .cell(static_cast<double>(cluster.scheduler().now()) / 1e6, 2);
+  table.row().cell("checker").cell(verdict);
+  table.print(std::cout);
+  return verdict == "VIOLATED" ? 1 : 0;
+}

@@ -1,0 +1,127 @@
+// ccpr sweep: run a (w_rate x algorithm) grid over several seeds and report
+// mean +/- stddev for the headline metrics — the statistical companion to
+// run_experiment for EXPERIMENTS.md-style claims.
+//
+//   build/tools/sweep --n=10 --q=100 --p=3 --ops=500 --seeds=5 \
+//       --algs=full-track,opt-track --rates=0.1,0.3,0.5,0.7,0.9 [--csv]
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "causal/sim_cluster.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+using namespace ccpr;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, sep)) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+causal::Algorithm parse_alg(const std::string& name) {
+  if (name == "full-track") return causal::Algorithm::kFullTrack;
+  if (name == "opt-track") return causal::Algorithm::kOptTrack;
+  if (name == "opt-track-crp") return causal::Algorithm::kOptTrackCRP;
+  if (name == "optp") return causal::Algorithm::kOptP;
+  if (name == "ahamad") return causal::Algorithm::kAhamad;
+  if (name == "eventual") return causal::Algorithm::kEventual;
+  std::cerr << "unknown algorithm: " << name << "\n";
+  std::exit(2);
+}
+
+struct CellStats {
+  util::RunningStats messages, ctrl_bytes, read_p99, apply_p99;
+};
+
+std::string mean_std(const util::RunningStats& s, int precision = 0) {
+  return util::format_double(s.mean(), precision) + "±" +
+         util::format_double(s.stddev(), precision);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto n = static_cast<std::uint32_t>(flags.get_int("n", 10));
+  const auto q = static_cast<std::uint32_t>(flags.get_int("q", 100));
+  const auto p = static_cast<std::uint32_t>(flags.get_int("p", 3));
+  const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 500));
+  const auto seeds = static_cast<std::uint64_t>(flags.get_int("seeds", 5));
+  const bool csv = flags.get_bool("csv", false);
+
+  std::vector<causal::Algorithm> algs;
+  for (const auto& name :
+       split(flags.get_string("algs", "opt-track"), ',')) {
+    algs.push_back(parse_alg(name));
+  }
+  std::vector<double> rates;
+  for (const auto& r :
+       split(flags.get_string("rates", "0.1,0.3,0.5,0.7,0.9"), ',')) {
+    rates.push_back(std::stod(r));
+  }
+
+  if (csv) {
+    std::cout << "alg,w_rate,seeds,messages_mean,messages_std,"
+                 "ctrl_bytes_mean,read_p99_mean,apply_p99_mean\n";
+  }
+
+  util::Table table({"alg", "w_rate", "messages (μ±σ)", "ctrl KB (μ±σ)",
+                     "read p99 ms", "apply p99 ms"});
+  for (const auto alg : algs) {
+    for (const double rate : rates) {
+      CellStats cell;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        workload::WorkloadSpec spec;
+        spec.ops_per_site = ops;
+        spec.write_rate = rate;
+        spec.seed = seed * 7919;
+        const auto rmap = causal::ReplicaMap::even(n, q, p);
+        const auto program = workload::generate_program(spec, rmap);
+
+        causal::SimCluster::Options opts;
+        opts.latency =
+            std::make_unique<sim::UniformLatency>(10'000, 50'000);
+        opts.latency_seed = seed * 104'729;
+        opts.record_history = false;
+        causal::SimCluster cluster(alg, causal::ReplicaMap::even(n, q, p),
+                                   std::move(opts));
+        cluster.run_program(program);
+        const auto m = cluster.metrics();
+        cell.messages.add(static_cast<double>(m.messages_total()));
+        cell.ctrl_bytes.add(static_cast<double>(m.control_bytes));
+        cell.read_p99.add(m.read_latency_us.percentile(0.99));
+        cell.apply_p99.add(m.apply_delay_us.percentile(0.99));
+      }
+      if (csv) {
+        std::cout << causal::algorithm_name(alg) << ',' << rate << ','
+                  << seeds << ',' << cell.messages.mean() << ','
+                  << cell.messages.stddev() << ','
+                  << cell.ctrl_bytes.mean() << ','
+                  << cell.read_p99.mean() << ','
+                  << cell.apply_p99.mean() << "\n";
+      } else {
+        table.row();
+        table.cell(causal::algorithm_name(alg));
+        table.cell(rate, 2);
+        table.cell(mean_std(cell.messages));
+        table.cell(mean_std(cell.ctrl_bytes, 0));
+        table.cell(cell.read_p99.mean() / 1000.0, 1);
+        table.cell(cell.apply_p99.mean() / 1000.0, 1);
+      }
+    }
+  }
+  if (!csv) table.print(std::cout);
+  return 0;
+}
