@@ -44,6 +44,33 @@ std::unique_ptr<IProtocol> make_protocol_impl(Algorithm alg, SiteId self,
 
 }  // namespace
 
+const char* algorithm_token(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kFullTrack:
+      return "full-track";
+    case Algorithm::kOptTrack:
+      return "opt-track";
+    case Algorithm::kOptTrackCRP:
+      return "opt-track-crp";
+    case Algorithm::kOptP:
+      return "optp";
+    case Algorithm::kAhamad:
+      return "ahamad";
+    case Algorithm::kEventual:
+      return "eventual";
+  }
+  CCPR_UNREACHABLE("unknown algorithm");
+}
+
+std::optional<Algorithm> algorithm_from_token(std::string_view token) {
+  for (const Algorithm a :
+       {Algorithm::kFullTrack, Algorithm::kOptTrack, Algorithm::kOptTrackCRP,
+        Algorithm::kOptP, Algorithm::kAhamad, Algorithm::kEventual}) {
+    if (token == algorithm_token(a)) return a;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
                                          const ReplicaMap& rmap, Services svc,
                                          const ProtocolOptions& opts) {

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "causal/protocol.hpp"
 #include "causal/replica_map.hpp"
@@ -32,5 +34,14 @@ struct ProtocolOptions {
 std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
                                          const ReplicaMap& rmap, Services svc,
                                          const ProtocolOptions& opts = {});
+
+/// CLI/config token for an algorithm ("opt-track", "full-track", ...), the
+/// inverse of algorithm_from_token. Distinct from algorithm_name(), which
+/// is the display name.
+const char* algorithm_token(Algorithm a) noexcept;
+
+/// Parse a CLI/config token; nullopt if unknown. Shared by the experiment
+/// tools and the cluster-config loader so they cannot drift.
+std::optional<Algorithm> algorithm_from_token(std::string_view token);
 
 }  // namespace ccpr::causal

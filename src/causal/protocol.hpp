@@ -62,6 +62,12 @@ class IProtocol {
   /// Deliver a transport message addressed to this site.
   virtual void on_message(const net::Message& msg) = 0;
 
+  /// Identity of the most recent local write (seq 0 if none yet). Lets a
+  /// serving layer report the WriteId of the write() it just performed —
+  /// e.g. the site server returns it to the client so client-side history
+  /// recording can feed the offline checker.
+  virtual WriteId last_write_id() const = 0;
+
   /// Inspect the locally stored value of x without generating a read event
   /// (used by the convergence auditor and tests; not part of the paper's
   /// operation model).

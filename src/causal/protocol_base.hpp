@@ -69,6 +69,7 @@ class ProtocolBase : public IProtocol {
   void read(VarId x, ReadContinuation k) final;
   void on_message(const net::Message& msg) final;
   const Value& peek(VarId x) const final { return stored(x); }
+  WriteId last_write_id() const final { return {self_, write_seq_}; }
   std::vector<std::uint8_t> coverage_token(SiteId target) final;
   bool covered_by(const std::vector<std::uint8_t>& token) final;
 

@@ -92,12 +92,27 @@ CheckResult check_causal_consistency(const HistoryRecorder& history,
   }
 
   // ---- vector timestamps under ->co (po ∪ ro, transitively closed) ----
-  std::vector<std::size_t> last_op(n, SIZE_MAX);
+  // The global log interleaves per-process histories in *recording* order.
+  // With per-process recorders behind one cluster mutex that order is
+  // already consistent with read-from, but a real-time recorder (e.g. the
+  // TCP client library, one recorder shared by concurrent sessions) can log
+  // a read before the cross-process write it returned. So walk per-process
+  // cursors and only process a read once its source write has a timestamp —
+  // a topological order of po ∪ ro, which is acyclic for any honest
+  // recording (a write cannot read-from-follow an op that program-order
+  // precedes it).
+  std::vector<std::vector<std::size_t>> by_proc(n);
   for (std::size_t i = 0; i < ops.size(); ++i) {
+    by_proc[ops[i].process].push_back(i);
+  }
+  std::vector<std::size_t> cursor(n, 0);
+  std::vector<char> timestamped(ops.size(), 0);
+
+  const auto assign_vc = [&](std::size_t i, bool with_ro) {
     TimedOp& op = timed[i];
     op.vc.assign(n, 0);
-    const std::size_t prev = last_op[op.rec.process];
-    if (prev != SIZE_MAX) op.vc = timed[prev].vc;
+    const std::size_t at = cursor[op.rec.process];
+    if (at > 0) op.vc = timed[by_proc[op.rec.process][at - 1]].vc;
     if (op.rec.kind == OpRecord::Kind::kRead && !op.rec.write.is_initial()) {
       const auto it = writes.find(key(op.rec.write));
       if (it == writes.end()) {
@@ -114,15 +129,58 @@ CheckResult check_causal_consistency(const HistoryRecorder& history,
                    static_cast<unsigned long long>(op.rec.write.seq),
                    it->second.var));
         }
-        const std::vector<std::uint64_t>& wvc =
-            timed[it->second.op_index].vc;
-        for (std::uint32_t k = 0; k < n; ++k) {
-          op.vc[k] = std::max(op.vc[k], wvc[k]);
+        if (with_ro) {
+          const std::vector<std::uint64_t>& wvc =
+              timed[it->second.op_index].vc;
+          for (std::uint32_t k = 0; k < n; ++k) {
+            op.vc[k] = std::max(op.vc[k], wvc[k]);
+          }
         }
       }
     }
     op.vc[op.rec.process] = op.pos;
-    last_op[op.rec.process] = i;
+    timestamped[i] = 1;
+  };
+
+  /// True when `rec`'s read-from source (if any) already has a timestamp.
+  const auto ro_ready = [&](const OpRecord& rec) {
+    if (rec.kind != OpRecord::Kind::kRead || rec.write.is_initial()) {
+      return true;
+    }
+    const auto it = writes.find(key(rec.write));
+    return it == writes.end() || timestamped[it->second.op_index] != 0;
+  };
+
+  std::size_t timed_count = 0;
+  while (timed_count < ops.size()) {
+    bool progress = false;
+    for (SiteId p = 0; p < n; ++p) {
+      while (cursor[p] < by_proc[p].size()) {
+        const std::size_t i = by_proc[p][cursor[p]];
+        if (!ro_ready(timed[i].rec)) break;
+        assign_vc(i, /*with_ro=*/true);
+        ++cursor[p];
+        ++timed_count;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      // Only a corrupt history reaches here (a read-from edge pointing into
+      // some process's program-order future). Report it, then finish the
+      // timestamps without the offending edges so later checks stay in
+      // bounds.
+      fail("corrupt history: read-from cycle with program order "
+           "(a read returned a write recorded later in its own process)");
+      for (SiteId p = 0; p < n; ++p) {
+        while (cursor[p] < by_proc[p].size()) {
+          const std::size_t i = by_proc[p][cursor[p]];
+          assign_vc(i, ro_ready(timed[i].rec));
+          ++cursor[p];
+          ++timed_count;
+        }
+      }
+      break;
+    }
   }
   result.ops_checked = ops.size();
 

@@ -1,0 +1,249 @@
+#include "client/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "causal/value_codec.hpp"
+#include "net/wire.hpp"
+#include "server/client_protocol.hpp"
+
+namespace ccpr::client {
+
+namespace {
+
+using server::ClientOp;
+using server::ClientStatus;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("ccpr client: " + what);
+}
+
+const char* status_name(ClientStatus st) {
+  switch (st) {
+    case ClientStatus::kOk: return "ok";
+    case ClientStatus::kBadRequest: return "bad request";
+    case ClientStatus::kNotReplicated: return "not replicated at site";
+    case ClientStatus::kShuttingDown: return "server shutting down";
+  }
+  return "unknown status";
+}
+
+/// Expect kOk; throw a descriptive error otherwise.
+void check_status(net::Decoder& dec, const char* op) {
+  const auto st = static_cast<ClientStatus>(dec.u8());
+  if (!dec.ok()) fail(std::string(op) + ": short response");
+  if (st != ClientStatus::kOk) {
+    fail(std::string(op) + ": " + status_name(st));
+  }
+}
+
+}  // namespace
+
+Client::Client(server::ClusterConfig config, causal::SiteId site,
+               Options opts)
+    : config_(std::move(config)),
+      keys_(config_.key_space()),
+      site_(site),
+      opts_(opts),
+      max_frame_bytes_(opts.max_frame_bytes > 0 ? opts.max_frame_bytes
+                       : config_.max_frame_bytes > 0
+                           ? config_.max_frame_bytes
+                           : net::kDefaultMaxFrameBytes) {
+  if (site_ >= config_.site_count()) fail("site id out of range");
+  sock_ = dial_site(site_, opts_.connect_timeout);
+  if (!sock_.valid()) fail("cannot connect to site " + std::to_string(site_));
+}
+
+Client::~Client() = default;
+
+void Client::close() { sock_.close(); }
+
+net::Socket Client::dial_site(causal::SiteId site,
+                              std::chrono::milliseconds timeout) {
+  const auto& addr = config_.sites[site];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  auto backoff = std::chrono::milliseconds(10);
+  while (true) {
+    net::Socket s = net::tcp_dial(addr.host, addr.client_port);
+    if (s.valid()) {
+      if (opts_.request_timeout.count() > 0) {
+        struct timeval tv;
+        tv.tv_sec = static_cast<time_t>(opts_.request_timeout.count() / 1000);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (opts_.request_timeout.count() % 1000) * 1000);
+        ::setsockopt(s.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      }
+      return s;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now + backoff > deadline) return {};
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+  }
+}
+
+std::vector<std::uint8_t> Client::roundtrip(
+    const std::vector<std::uint8_t>& req) {
+  if (!sock_.valid()) fail("connection closed");
+  if (!server::write_client_frame(sock_.fd(), req)) {
+    fail("send failed (site " + std::to_string(site_) + " unreachable?)");
+  }
+  auto resp = server::read_client_frame(sock_.fd(), max_frame_bytes_);
+  if (!resp) {
+    fail("no response (site " + std::to_string(site_) +
+         " closed the connection or timed out)");
+  }
+  return std::move(*resp);
+}
+
+causal::WriteId Client::put(causal::VarId x, std::string value) {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kPut));
+  req.varint(x);
+  req.bytes(value);
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "put");
+  causal::WriteId id;
+  const std::uint64_t writer = dec.varint();
+  id.writer = writer == 0 ? causal::kNoSite
+                          : static_cast<causal::SiteId>(writer - 1);
+  id.seq = dec.varint();
+  (void)dec.varint();  // lamport: informational
+  if (!dec.ok()) fail("put: malformed response");
+  if (opts_.recorder != nullptr) opts_.recorder->on_write(site_, id, x);
+  return id;
+}
+
+causal::Value Client::get(causal::VarId x) {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kGet));
+  req.varint(x);
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "get");
+  causal::Value v = causal::decode_value(dec);
+  if (!dec.ok()) fail("get: malformed response");
+  if (opts_.recorder != nullptr) opts_.recorder->on_read(site_, x, v.id);
+  return v;
+}
+
+std::vector<causal::Value> Client::snapshot(
+    const std::vector<causal::VarId>& xs) {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kSnapshot));
+  req.varint(xs.size());
+  for (const causal::VarId x : xs) req.varint(x);
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "snapshot");
+  const std::uint64_t count = dec.varint();
+  if (!dec.ok() || count != xs.size()) fail("snapshot: malformed response");
+  std::vector<causal::Value> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back(causal::decode_value(dec));
+    if (!dec.ok()) fail("snapshot: malformed response");
+    if (opts_.recorder != nullptr) {
+      opts_.recorder->on_read(site_, xs[i], out.back().id);
+    }
+  }
+  return out;
+}
+
+causal::WriteId Client::put_key(std::string_view key, std::string value) {
+  if (!keys_.contains(key)) fail("unknown key '" + std::string(key) + "'");
+  return put(keys_.intern(key), std::move(value));
+}
+
+std::string Client::get_key(std::string_view key) {
+  if (!keys_.contains(key)) fail("unknown key '" + std::string(key) + "'");
+  return get(keys_.intern(key)).data;
+}
+
+void Client::migrate(causal::SiteId new_site,
+                     std::chrono::milliseconds timeout) {
+  if (new_site >= config_.site_count()) fail("migrate: site out of range");
+  if (new_site == site_) return;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+
+  // 1. Ask the current site for a coverage token naming the target.
+  net::Encoder treq;
+  treq.u8(static_cast<std::uint8_t>(ClientOp::kToken));
+  treq.varint(new_site);
+  const auto tresp = roundtrip(treq.buffer());
+  net::Decoder tdec(tresp);
+  check_status(tdec, "migrate/token");
+  const std::string token = tdec.bytes();
+  if (!tdec.ok()) fail("migrate: malformed token response");
+
+  // 2. Connect to the target and poll until it covers this session's causal
+  //    past. The old connection stays usable until the handoff succeeds.
+  const auto remaining = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+  };
+  if (remaining().count() <= 0) fail("migrate: timed out");
+  net::Socket next = dial_site(new_site, remaining());
+  if (!next.valid()) {
+    fail("migrate: cannot connect to site " + std::to_string(new_site));
+  }
+  while (true) {
+    net::Encoder creq;
+    creq.u8(static_cast<std::uint8_t>(ClientOp::kCovered));
+    creq.bytes(token);
+    creq.varint(200'000);  // server-side wait per round: 200ms
+    if (!server::write_client_frame(next.fd(), creq.buffer())) {
+      fail("migrate: site " + std::to_string(new_site) + " unreachable");
+    }
+    const auto cresp = server::read_client_frame(next.fd(), max_frame_bytes_);
+    if (!cresp) {
+      fail("migrate: site " + std::to_string(new_site) + " unreachable");
+    }
+    net::Decoder cdec(*cresp);
+    check_status(cdec, "migrate/covered");
+    const bool covered = cdec.u8() != 0;
+    if (!cdec.ok()) fail("migrate: malformed covered response");
+    if (covered) break;
+    if (remaining().count() <= 0) {
+      fail("migrate: site " + std::to_string(new_site) +
+           " did not cover the session in time");
+    }
+  }
+  sock_ = std::move(next);
+  site_ = new_site;
+}
+
+ServerStatus Client::status() {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kStatus));
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "status");
+  ServerStatus st;
+  st.site = static_cast<causal::SiteId>(dec.varint());
+  st.algorithm = static_cast<causal::Algorithm>(dec.u8());
+  st.writes = dec.varint();
+  st.reads = dec.varint();
+  st.pending_updates = dec.varint();
+  st.peer_msgs_sent = dec.varint();
+  st.peer_msgs_recv = dec.varint();
+  st.peer_queued = dec.varint();
+  if (!dec.ok()) fail("status: malformed response");
+  return st;
+}
+
+void Client::ping() {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kPing));
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "ping");
+}
+
+}  // namespace ccpr::client

@@ -1,0 +1,108 @@
+// Blocking client library for the real-network runtime.
+//
+// A Client is one causal session pinned to a site: it connects to that
+// site's client port, speaks the framed request/response protocol of
+// client_protocol.hpp, and can migrate between sites with the session's
+// causal context intact (the server-side coverage_token / covered_by
+// handshake — the new site is not used until it has applied everything the
+// session could have observed at the old one).
+//
+// Optionally records its operations into a checker::HistoryRecorder (under
+// the current site's process id, matching how the in-process runtimes
+// record), so a multi-process run can be machine-verified by the offline
+// causal checker exactly like a simulated one.
+//
+// Errors (unreachable server, protocol violation, timeout) throw
+// std::runtime_error; the Client is single-threaded by design.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "causal/types.hpp"
+#include "checker/recorder.hpp"
+#include "net/socket.hpp"
+#include "server/cluster_config.hpp"
+#include "store/key_space.hpp"
+
+namespace ccpr::client {
+
+struct ServerStatus {
+  causal::SiteId site = 0;
+  causal::Algorithm algorithm = causal::Algorithm::kOptTrack;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t pending_updates = 0;
+  std::uint64_t peer_msgs_sent = 0;
+  std::uint64_t peer_msgs_recv = 0;
+  std::uint64_t peer_queued = 0;
+};
+
+class Client {
+ public:
+  struct Options {
+    /// Budget for establishing a connection (initial connect and migrate),
+    /// retried with exponential backoff + jitter within it.
+    std::chrono::milliseconds connect_timeout{5000};
+    /// Per-request receive timeout (a remote fetch can be slow; 0 = none).
+    std::chrono::milliseconds request_timeout{30000};
+    std::uint32_t max_frame_bytes = 0;  ///< 0 = the config's / default
+    /// Optional client-side history recording for the offline checker.
+    checker::HistoryRecorder* recorder = nullptr;
+  };
+
+  /// Connects immediately; throws std::runtime_error on failure.
+  Client(server::ClusterConfig config, causal::SiteId site, Options opts);
+  Client(server::ClusterConfig config, causal::SiteId site)
+      : Client(std::move(config), site, Options()) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  // ---- operations by variable id ----
+  causal::WriteId put(causal::VarId x, std::string value);
+  causal::Value get(causal::VarId x);
+  /// Causally consistent multi-key snapshot; every var must be replicated
+  /// at this session's site.
+  std::vector<causal::Value> snapshot(const std::vector<causal::VarId>& xs);
+
+  // ---- operations by key name (via the config's key space) ----
+  causal::WriteId put_key(std::string_view key, std::string value);
+  std::string get_key(std::string_view key);
+
+  /// Move this session to another site, blocking until the new site covers
+  /// this session's causal past (read-your-writes and monotonic reads
+  /// survive the move). Throws on timeout; the session then still points at
+  /// the old site.
+  void migrate(causal::SiteId new_site,
+               std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  ServerStatus status();
+  void ping();
+
+  causal::SiteId site() const noexcept { return site_; }
+  const store::KeySpace& keys() const noexcept { return keys_; }
+  void close();
+
+ private:
+  net::Socket dial_site(causal::SiteId site,
+                        std::chrono::milliseconds timeout);
+  /// One request/response round trip on the current connection.
+  std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& req);
+
+  server::ClusterConfig config_;
+  store::KeySpace keys_;
+  causal::SiteId site_;
+  Options opts_;
+  std::uint32_t max_frame_bytes_;
+  net::Socket sock_;
+};
+
+}  // namespace ccpr::client

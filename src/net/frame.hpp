@@ -1,0 +1,59 @@
+// TCP frame codec: the length-prefixed wire representation of one
+// net::Message, used by the real-network transport and by the client
+// request/response protocol's outer framing.
+//
+// Layout on the wire:
+//
+//   [u32 length]                      little-endian, bytes that follow
+//   [u8  kind][varint src][varint dst][varint seq]
+//   [varint payload_bytes][varint body_len][raw body]
+//
+// `seq` is a per-(src, dst) channel sequence number (starting at 1) that
+// lets the receiver drop duplicates after a sender-side reconnect resends a
+// possibly-already-delivered frame. The decoder is bounds-checked via
+// net::Decoder, and both sides reject frames whose declared length exceeds a
+// configurable maximum so a corrupt or hostile length prefix cannot force an
+// unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/wire.hpp"
+
+namespace ccpr::net {
+
+/// Bytes of the fixed length prefix preceding every frame.
+inline constexpr std::size_t kFrameLenBytes = 4;
+
+/// Default ceiling on the framed (post-prefix) size. Generous for protocol
+/// traffic (updates carry one value plus logs) yet small enough that a
+/// garbage length prefix cannot exhaust memory.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u * 1024 * 1024;
+
+struct Frame {
+  Message msg;
+  /// Channel sequence number assigned by the sender (1-based).
+  std::uint64_t seq = 0;
+};
+
+/// Serialize `msg` with its channel seq into a self-contained frame,
+/// including the leading u32 length prefix.
+std::vector<std::uint8_t> encode_frame(const Message& msg, std::uint64_t seq);
+
+/// Parse the u32 length prefix. Returns std::nullopt unless exactly
+/// kFrameLenBytes are supplied or the declared size exceeds `max_frame_bytes`
+/// or is zero (a frame always carries at least a kind byte).
+std::optional<std::uint32_t> decode_frame_size(const std::uint8_t* data,
+                                               std::size_t len,
+                                               std::uint32_t max_frame_bytes);
+
+/// Decode a frame body (the bytes *after* the length prefix). Returns
+/// std::nullopt on any malformed input: truncation, trailing garbage,
+/// unknown message kind, or a body larger than the enclosing frame.
+std::optional<Frame> decode_frame_body(const std::uint8_t* data,
+                                       std::size_t len);
+
+}  // namespace ccpr::net

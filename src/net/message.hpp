@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace ccpr::net {
 
 using SiteId = std::uint32_t;
@@ -27,6 +29,11 @@ struct Message {
   std::uint32_t payload_bytes = 0;
 
   std::size_t control_bytes() const noexcept {
+    // payload_bytes > body.size() is a construction bug (or a corrupt frame
+    // that slipped past validation); without the guard the subtraction
+    // underflows and poisons the byte metrics with huge values.
+    CCPR_DEBUG_ASSERT(payload_bytes <= body.size());
+    if (payload_bytes > body.size()) return 0;
     return body.size() - payload_bytes;
   }
 };

@@ -1,0 +1,136 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace ccpr::net {
+
+namespace {
+
+/// Writing to a peer that already closed raises SIGPIPE by default, which
+/// would kill the process instead of surfacing EPIPE to the reconnect
+/// logic. Ignore it once, lazily, the first time any socket is created.
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof *out);
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    out->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || res == nullptr) {
+    return false;
+  }
+  out->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port,
+                  std::uint16_t* bound_port) {
+  ignore_sigpipe_once();
+  sockaddr_in addr{};
+  if (!resolve(host, port, &addr)) return Socket{};
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Socket{};
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return Socket{};
+  }
+  if (::listen(sock.fd(), 64) != 0) return Socket{};
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      return Socket{};
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Socket tcp_dial(const std::string& host, std::uint16_t port) {
+  ignore_sigpipe_once();
+  sockaddr_in addr{};
+  if (!resolve(host.empty() ? "127.0.0.1" : host, port, &addr)) {
+    return Socket{};
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Socket{};
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return Socket{};
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace ccpr::net

@@ -1,0 +1,60 @@
+// Thin POSIX TCP socket helpers shared by the transport, the site server
+// and the client library. All functions are blocking and return -1 /false
+// on error (errno holds the cause); no exceptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccpr::net {
+
+/// RAII wrapper over a file descriptor. Closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+  /// shutdown(SHUT_RDWR): unblocks any thread parked in read/write/accept
+  /// on this fd without racing a concurrent close+reuse of the fd number.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on host:port (TCP, SO_REUSEADDR). `port` may be 0 to let
+/// the kernel pick; `bound_port` (if non-null) receives the actual port.
+Socket tcp_listen(const std::string& host, std::uint16_t port,
+                  std::uint16_t* bound_port = nullptr);
+
+/// One blocking connect attempt (TCP_NODELAY set on success).
+Socket tcp_dial(const std::string& host, std::uint16_t port);
+
+/// Write exactly `len` bytes (restarting on EINTR / partial writes).
+bool write_all(int fd, const void* data, std::size_t len);
+
+/// Read exactly `len` bytes. Returns false on EOF or error.
+bool read_all(int fd, void* data, std::size_t len);
+
+}  // namespace ccpr::net

@@ -1,0 +1,326 @@
+#include "net/tcp_transport.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::net {
+
+TcpTransport::TcpTransport(Options opts, metrics::Metrics& metrics)
+    : opts_(std::move(opts)), metrics_(metrics) {
+  CCPR_EXPECTS(opts_.max_frame_bytes > 0);
+  CCPR_EXPECTS(opts_.backoff_initial_ms > 0);
+  for (const Peer& peer : opts_.peers) {
+    if (peer.site == opts_.self) continue;
+    auto link = std::make_unique<Link>();
+    link->site = peer.site;
+    link->host = peer.host;
+    link->port = peer.port;
+    links_.push_back(std::move(link));
+  }
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::connect(SiteId site, IMessageSink* sink) {
+  CCPR_EXPECTS(site == opts_.self);
+  CCPR_EXPECTS(sink != nullptr);
+  CCPR_EXPECTS(!started_);
+  sink_ = sink;
+}
+
+bool TcpTransport::start() {
+  CCPR_EXPECTS(!started_);
+  CCPR_EXPECTS(sink_ != nullptr);
+  listen_sock_ =
+      tcp_listen(opts_.listen_host, opts_.listen_port, &listen_port_);
+  if (!listen_sock_.valid()) return false;
+  stopping_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  delivery_thread_ = std::thread([this] { delivery_loop(); });
+  for (auto& link : links_) {
+    link->thread = std::thread([this, l = link.get()] { sender_loop(l); });
+  }
+  return true;
+}
+
+void TcpTransport::send(Message msg) {
+  CCPR_EXPECTS(started_);
+  CCPR_EXPECTS(msg.src == opts_.self);
+  CCPR_EXPECTS(msg.payload_bytes <= msg.body.size());
+  {
+    std::lock_guard lk(metrics_mu_);
+    switch (msg.kind) {
+      case MsgKind::kUpdate:
+        ++metrics_.update_msgs;
+        break;
+      case MsgKind::kFetchReq:
+        ++metrics_.fetch_req_msgs;
+        break;
+      case MsgKind::kFetchResp:
+        ++metrics_.fetch_resp_msgs;
+        break;
+    }
+    metrics_.control_bytes += msg.control_bytes();
+    metrics_.payload_bytes += msg.payload_bytes;
+  }
+  if (msg.dst == opts_.self) {
+    // Loopback: straight onto the delivery queue (seq 0 bypasses dedup).
+    std::lock_guard lk(in_mu_);
+    in_queue_.push_back(std::move(msg));
+    in_cv_.notify_one();
+    return;
+  }
+  for (auto& link : links_) {
+    if (link->site != msg.dst) continue;
+    {
+      std::lock_guard lk(link->mu);
+      link->queue.push_back(Outbound{std::move(msg), ++link->next_seq});
+    }
+    link->cv.notify_all();
+    return;
+  }
+  CCPR_UNREACHABLE("send to unconfigured peer site");
+}
+
+void TcpTransport::sender_loop(Link* link) {
+  util::Rng jitter(opts_.jitter_seed ^
+                   (0x9e3779b97f4a7c15ULL * (link->site + 1)));
+  std::uint32_t backoff_ms = opts_.backoff_initial_ms;
+  while (true) {
+    Outbound out;
+    {
+      std::unique_lock lk(link->mu);
+      link->cv.wait(lk, [&] {
+        return !link->queue.empty() ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      // Leave the message at the head until it is on the wire, so a failed
+      // write retries it instead of losing it.
+      out = link->queue.front();
+    }
+    const std::vector<std::uint8_t> frame = encode_frame(out.msg, out.seq);
+    bool sent = false;
+    while (!sent && !stopping_.load(std::memory_order_relaxed)) {
+      int fd = -1;
+      {
+        std::lock_guard lk(link->mu);
+        fd = link->sock.fd();
+      }
+      if (fd < 0) {
+        Socket sock = tcp_dial(link->host, link->port);
+        if (!sock.valid()) {
+          // Exponential backoff with jitter; stop-aware sleep.
+          const auto base = static_cast<std::uint64_t>(backoff_ms);
+          const std::uint64_t wait_ms = base / 2 + jitter.below(base + 1);
+          backoff_ms = std::min(backoff_ms * 2, opts_.backoff_max_ms);
+          std::unique_lock lk(link->mu);
+          link->cv.wait_for(lk, std::chrono::milliseconds(wait_ms), [&] {
+            return stopping_.load(std::memory_order_relaxed);
+          });
+          continue;
+        }
+        std::lock_guard lk(link->mu);
+        link->sock = std::move(sock);
+        ++link->connects;
+        fd = link->sock.fd();
+        backoff_ms = opts_.backoff_initial_ms;
+      }
+      if (write_all(fd, frame.data(), frame.size())) {
+        sent = true;
+      } else {
+        // Connection lost; drop the socket and retry the same frame on a
+        // fresh one (the receiver's seq dedup absorbs a duplicate).
+        std::lock_guard lk(link->mu);
+        link->sock.close();
+      }
+    }
+    if (!sent) return;  // stopping
+    std::lock_guard lk(link->mu);
+    ++link->msgs_sent;
+    link->bytes_sent += frame.size();
+    CCPR_ASSERT(!link->queue.empty());
+    link->queue.pop_front();
+    if (link->queue.empty()) link->cv.notify_all();  // wake flush()
+  }
+}
+
+void TcpTransport::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_sock_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    auto conn = std::make_unique<InConn>();
+    conn->sock = Socket(fd);
+    InConn* raw = conn.get();
+    std::lock_guard lk(conns_mu_);
+    // Reap readers that finished (their peer disconnected) so a long-lived
+    // process does not accumulate dead threads across reconnects.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conn->thread = std::thread([this, raw] { reader_loop(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+bool TcpTransport::known_peer(SiteId site) const {
+  for (const auto& link : links_) {
+    if (link->site == site) return true;
+  }
+  return false;
+}
+
+void TcpTransport::reader_loop(InConn* conn) {
+  std::vector<std::uint8_t> buf;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::uint8_t lenbuf[kFrameLenBytes];
+    if (!read_all(conn->sock.fd(), lenbuf, sizeof lenbuf)) break;
+    const auto framed =
+        decode_frame_size(lenbuf, sizeof lenbuf, opts_.max_frame_bytes);
+    if (!framed) break;  // oversized or zero length: drop the connection
+    buf.resize(*framed);
+    if (!read_all(conn->sock.fd(), buf.data(), buf.size())) break;
+    auto frame = decode_frame_body(buf.data(), buf.size());
+    if (!frame) break;  // malformed frame: drop the connection
+    if (frame->msg.dst != opts_.self || !known_peer(frame->msg.src)) break;
+    {
+      std::lock_guard lk(in_mu_);
+      RecvStats& rs = recv_[frame->msg.src];
+      if (frame->seq != 0) {
+        if (frame->seq <= rs.last_seq) {
+          ++rs.dup_drops;
+          continue;
+        }
+        rs.last_seq = frame->seq;
+      }
+      ++rs.msgs;
+      rs.bytes += buf.size() + kFrameLenBytes;
+      in_queue_.push_back(std::move(frame->msg));
+    }
+    in_cv_.notify_one();
+  }
+  {
+    // Close eagerly so a dead peer's fd is not held until the next reap,
+    // under the conn mutex: stop() may be shutting the same socket down.
+    std::lock_guard lk(conn->mu);
+    conn->sock.close();
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+void TcpTransport::delivery_loop() {
+  while (true) {
+    Message msg;
+    {
+      std::unique_lock lk(in_mu_);
+      in_cv_.wait(lk, [&] {
+        return !in_queue_.empty() ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+      if (in_queue_.empty()) return;  // stopping and drained
+      msg = std::move(in_queue_.front());
+      in_queue_.pop_front();
+    }
+    sink_->deliver(std::move(msg));
+  }
+}
+
+bool TcpTransport::flush(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (auto& link : links_) {
+    std::unique_lock lk(link->mu);
+    const bool drained = link->cv.wait_until(lk, deadline, [&] {
+      return link->queue.empty() ||
+             stopping_.load(std::memory_order_relaxed);
+    });
+    if (!drained || !link->queue.empty()) return false;
+  }
+  return true;
+}
+
+void TcpTransport::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblock accept().
+  listen_sock_.shutdown_both();
+  // Unblock senders (parked on their cv or mid-write/backoff).
+  for (auto& link : links_) {
+    std::lock_guard lk(link->mu);
+    link->sock.shutdown_both();
+    link->cv.notify_all();
+  }
+  // Unblock readers.
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto& conn : conns_) {
+      std::lock_guard conn_lk(conn->mu);
+      conn->sock.shutdown_both();
+    }
+  }
+  in_cv_.notify_all();
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& link : links_) {
+    if (link->thread.joinable()) link->thread.join();
+    std::lock_guard lk(link->mu);
+    link->sock.close();
+  }
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  listen_sock_.close();
+  started_ = false;
+}
+
+std::vector<TcpTransport::PeerStats> TcpTransport::peer_stats() const {
+  std::vector<PeerStats> out;
+  out.reserve(links_.size());
+  for (const auto& link : links_) {
+    PeerStats ps;
+    ps.site = link->site;
+    {
+      std::lock_guard lk(link->mu);
+      ps.msgs_sent = link->msgs_sent;
+      ps.bytes_sent = link->bytes_sent;
+      ps.connects = link->connects;
+      ps.queued = link->queue.size();
+    }
+    {
+      std::lock_guard lk(in_mu_);
+      const auto it = recv_.find(link->site);
+      if (it != recv_.end()) {
+        ps.msgs_recv = it->second.msgs;
+        ps.bytes_recv = it->second.bytes;
+        ps.dup_drops = it->second.dup_drops;
+      }
+    }
+    out.push_back(ps);
+  }
+  return out;
+}
+
+metrics::Metrics TcpTransport::metrics_snapshot() const {
+  std::lock_guard lk(metrics_mu_);
+  return metrics_;
+}
+
+}  // namespace ccpr::net

@@ -1,0 +1,177 @@
+// Real-network transport: the third ITransport implementation, carrying the
+// same net::Message envelope between OS processes over TCP sockets.
+//
+// One TcpTransport instance serves exactly one site (unlike the in-process
+// transports, which host all sites): `connect()` attaches the local sink and
+// `send()` routes by msg.dst to a per-peer connection. Design:
+//
+//   * Frames are length-prefixed (net/frame.hpp), bounds-checked on decode,
+//     and capped at a configurable maximum size.
+//   * One sender thread per peer owns that peer's outbound TCP connection.
+//     Messages queue per peer; the thread dials lazily, retries with
+//     exponential backoff plus jitter, and resends the in-flight frame after
+//     a connection loss. Per-channel sequence numbers let the receiver drop
+//     the duplicate this can produce, so each (src, dst) channel stays FIFO
+//     and at-most-once for the lifetime of both endpoints.
+//   * Inbound, an accept thread spawns one reader thread per connection;
+//     readers push decoded frames onto a single delivery queue drained by a
+//     dedicated delivery thread, so deliveries to the sink never overlap.
+//   * A process crash loses whatever that process had queued or applied;
+//     messages queued toward a dead peer are retained and delivered once the
+//     peer comes back (with its state reset — the protocol layer decides
+//     what that means). See docs/RUNTIMES.md for the guarantee matrix.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "net/frame.hpp"
+#include "net/message.hpp"
+#include "net/socket.hpp"
+
+namespace ccpr::net {
+
+class TcpTransport final : public ITransport {
+ public:
+  struct Peer {
+    SiteId site = 0;
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  struct Options {
+    SiteId self = 0;
+    std::string listen_host = "127.0.0.1";
+    /// 0 lets the kernel pick; read the result from listen_port().
+    std::uint16_t listen_port = 0;
+    /// Remote sites this one may send to (entries for `self` are ignored).
+    std::vector<Peer> peers;
+    std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Reconnect backoff: initial delay, doubled per failure up to the max,
+    /// each scaled by a uniform jitter in [0.5, 1.5).
+    std::uint32_t backoff_initial_ms = 10;
+    std::uint32_t backoff_max_ms = 1000;
+    std::uint64_t jitter_seed = 0x7cb1e;
+  };
+
+  /// Per-peer wire counters (sent side from the sender thread, received
+  /// side keyed by the src field of inbound frames).
+  struct PeerStats {
+    SiteId site = 0;
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_recv = 0;
+    std::uint64_t bytes_recv = 0;
+    std::uint64_t dup_drops = 0;   ///< frames discarded by seq dedup
+    std::uint64_t connects = 0;    ///< successful dials (first + re-dials)
+    std::uint64_t queued = 0;      ///< messages currently waiting to send
+  };
+
+  TcpTransport(Options opts, metrics::Metrics& metrics);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Only the local site may attach (this transport is one endpoint).
+  void connect(SiteId site, IMessageSink* sink) override;
+  void send(Message msg) override;
+
+  /// Bind the listen socket and launch the I/O threads. Returns false if
+  /// the listen address could not be bound (the transport stays stopped).
+  bool start();
+  /// Graceful shutdown: close connections, join every thread. Messages not
+  /// yet written to a socket are dropped (call flush() first if they
+  /// matter); messages already queued for delivery are delivered.
+  void stop();
+
+  /// Wait until every outbound queue has drained into the kernel's send
+  /// buffers. Returns false on timeout (e.g. an unreachable peer).
+  bool flush(std::chrono::milliseconds timeout);
+
+  std::uint16_t listen_port() const noexcept { return listen_port_; }
+  SiteId self() const noexcept { return opts_.self; }
+  bool started() const noexcept { return started_; }
+
+  std::vector<PeerStats> peer_stats() const;
+  /// Copy of the transport-level counters, safe to call concurrently.
+  metrics::Metrics metrics_snapshot() const;
+
+ private:
+  struct Outbound {
+    Message msg;
+    std::uint64_t seq = 0;
+  };
+
+  /// State for one outbound peer connection, owned by its sender thread.
+  struct Link {
+    SiteId site = 0;
+    std::string host;
+    std::uint16_t port = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Outbound> queue;
+    std::uint64_t next_seq = 0;
+    Socket sock;  // open/close/shutdown under mu; writes from sender thread
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t connects = 0;
+    std::thread thread;
+  };
+
+  /// One accepted inbound connection and its reader thread.
+  struct InConn {
+    std::mutex mu;  ///< guards sock fd lifecycle (reader close vs stop)
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  struct RecvStats {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t dup_drops = 0;
+    std::uint64_t last_seq = 0;
+  };
+
+  void accept_loop();
+  void reader_loop(InConn* conn);
+  void sender_loop(Link* link);
+  void delivery_loop();
+  bool known_peer(SiteId site) const;
+
+  Options opts_;
+  metrics::Metrics& metrics_;
+  mutable std::mutex metrics_mu_;
+
+  IMessageSink* sink_ = nullptr;
+  std::uint16_t listen_port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  Socket listen_sock_;
+  std::thread accept_thread_;
+  std::thread delivery_thread_;
+
+  std::vector<std::unique_ptr<Link>> links_;  // fixed after construction
+
+  mutable std::mutex in_mu_;
+  std::condition_variable in_cv_;
+  std::deque<Message> in_queue_;
+  std::unordered_map<SiteId, RecvStats> recv_;  // guarded by in_mu_
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<InConn>> conns_;
+};
+
+}  // namespace ccpr::net

@@ -1,0 +1,78 @@
+// The framed request/response protocol spoken between the client library
+// and a site server's client port. Shared by src/server and src/client so
+// the two sides cannot drift.
+//
+// Every request and response is one length-prefixed frame:
+//
+//   [u32 length][body]
+//
+// Request body:  [u8 op][op-specific fields]
+// Response body: [u8 status][op-specific fields]
+//
+//   kPing      -> ok
+//   kPut       var:varint value:bytes
+//              -> ok writer+1:varint seq:varint lamport:varint
+//   kGet       var:varint
+//              -> ok value (causal::encode_value)
+//   kSnapshot  count:varint var:varint...
+//              -> ok count:varint value...   (all vars must be local)
+//   kToken     target:varint
+//              -> ok token:bytes             (coverage_token for target)
+//   kCovered   token:bytes wait_us:varint
+//              -> ok covered:u8              (waits up to wait_us first)
+//   kStatus    -> ok site:varint alg:u8 writes:varint reads:varint
+//                    pending:varint peer_msgs_sent:varint
+//                    peer_msgs_recv:varint peer_queued:varint
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace ccpr::server {
+
+enum class ClientOp : std::uint8_t {
+  kPing = 1,
+  kPut = 2,
+  kGet = 3,
+  kSnapshot = 4,
+  kToken = 5,
+  kCovered = 6,
+  kStatus = 7,
+};
+
+enum class ClientStatus : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,
+  kNotReplicated = 2,
+  kShuttingDown = 3,
+};
+
+/// Write one length-prefixed frame. Returns false on socket error.
+inline bool write_client_frame(int fd,
+                               const std::vector<std::uint8_t>& body) {
+  net::Encoder enc(body.size() + net::kFrameLenBytes);
+  enc.u32(static_cast<std::uint32_t>(body.size()));
+  enc.raw(body.data(), body.size());
+  return net::write_all(fd, enc.buffer().data(), enc.buffer().size());
+}
+
+/// Read one length-prefixed frame; nullopt on EOF, socket error, or a
+/// length prefix outside (0, max_frame_bytes].
+inline std::optional<std::vector<std::uint8_t>> read_client_frame(
+    int fd, std::uint32_t max_frame_bytes) {
+  std::uint8_t lenbuf[net::kFrameLenBytes];
+  if (!net::read_all(fd, lenbuf, sizeof lenbuf)) return std::nullopt;
+  const auto size =
+      net::decode_frame_size(lenbuf, sizeof lenbuf, max_frame_bytes);
+  if (!size) return std::nullopt;
+  std::vector<std::uint8_t> body(*size);
+  if (!net::read_all(fd, body.data(), body.size())) return std::nullopt;
+  return body;
+}
+
+}  // namespace ccpr::server

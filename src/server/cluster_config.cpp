@@ -1,0 +1,276 @@
+#include "server/cluster_config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ccpr::server {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string tok;
+  while (ss >> tok) {
+    if (tok[0] == '#') break;  // rest of the line is a comment
+    out.push_back(tok);
+  }
+  return out;
+}
+
+bool parse_u32(const std::string& tok, std::uint32_t* out) {
+  try {
+    const unsigned long v = std::stoul(tok);
+    if (v > 0xffffffffUL) return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u16(const std::string& tok, std::uint16_t* out) {
+  std::uint32_t v = 0;
+  if (!parse_u32(tok, &v) || v > 0xffff) return false;
+  *out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+bool parse_bool(const std::string& tok, bool* out) {
+  if (tok == "true" || tok == "1" || tok == "yes") {
+    *out = true;
+    return true;
+  }
+  if (tok == "false" || tok == "0" || tok == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// "0,2,5" -> {0, 2, 5}
+bool parse_site_list(const std::string& tok,
+                     std::vector<causal::SiteId>* out) {
+  std::stringstream ss(tok);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    std::uint32_t s = 0;
+    if (part.empty() || !parse_u32(part, &s)) return false;
+    out->push_back(s);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+causal::ReplicaMap ClusterConfig::replica_map() const {
+  const std::uint32_t n = site_count();
+  CCPR_EXPECTS(n > 0 && vars > 0);
+  std::vector<std::vector<causal::SiteId>> replicas(vars);
+  const std::uint32_t p = std::min(replicas_per_var, n);
+  for (causal::VarId x = 0; x < vars; ++x) {
+    for (std::uint32_t k = 0; k < p; ++k) {
+      replicas[x].push_back((x + k) % n);
+    }
+  }
+  for (const auto& [x, sites_of_x] : placement_overrides) {
+    CCPR_EXPECTS(x < vars);
+    replicas[x] = sites_of_x;
+  }
+  return causal::ReplicaMap::custom(n, std::move(replicas));
+}
+
+store::KeySpace ClusterConfig::key_space() const {
+  std::vector<std::string> keys;
+  keys.reserve(vars);
+  for (std::uint32_t i = 0; i < vars; ++i) {
+    keys.push_back("key" + std::to_string(i));
+  }
+  for (const auto& [x, name] : key_names) {
+    CCPR_EXPECTS(x < vars);
+    keys[x] = name;
+  }
+  return store::KeySpace(std::move(keys));
+}
+
+std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
+                                                  std::string* error) {
+  const auto fail = [error](std::string msg) -> std::optional<ClusterConfig> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  ClusterConfig cfg;
+  std::vector<std::pair<std::uint32_t, SiteAddress>> site_lines;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& kw = toks[0];
+    const auto want = [&](std::size_t n) { return toks.size() == n + 1; };
+    const auto where = [&] {
+      return "line " + std::to_string(lineno) + ": ";
+    };
+    if (kw == "algorithm") {
+      if (!want(1)) return fail(where() + "algorithm <token>");
+      const auto alg = causal::algorithm_from_token(toks[1]);
+      if (!alg) return fail(where() + "unknown algorithm '" + toks[1] + "'");
+      cfg.algorithm = *alg;
+    } else if (kw == "vars") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.vars) || cfg.vars == 0) {
+        return fail(where() + "vars <positive count>");
+      }
+    } else if (kw == "replicas") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.replicas_per_var) ||
+          cfg.replicas_per_var == 0) {
+        return fail(where() + "replicas <positive count>");
+      }
+    } else if (kw == "site") {
+      std::uint32_t id = 0;
+      SiteAddress addr;
+      if (!want(4) || !parse_u32(toks[1], &id) ||
+          !parse_u16(toks[3], &addr.peer_port) ||
+          !parse_u16(toks[4], &addr.client_port)) {
+        return fail(where() + "site <id> <host> <peer-port> <client-port>");
+      }
+      addr.host = toks[2];
+      site_lines.emplace_back(id, std::move(addr));
+    } else if (kw == "place") {
+      std::uint32_t x = 0;
+      std::vector<causal::SiteId> sites_of_x;
+      if (!want(2) || !parse_u32(toks[1], &x) ||
+          !parse_site_list(toks[2], &sites_of_x)) {
+        return fail(where() + "place <var> <site,site,...>");
+      }
+      cfg.placement_overrides.emplace_back(x, std::move(sites_of_x));
+    } else if (kw == "key") {
+      std::uint32_t x = 0;
+      if (!want(2) || !parse_u32(toks[1], &x)) {
+        return fail(where() + "key <var> <name>");
+      }
+      cfg.key_names.emplace_back(x, toks[2]);
+    } else if (kw == "convergent") {
+      if (!want(1) || !parse_bool(toks[1], &cfg.protocol.convergent)) {
+        return fail(where() + "convergent <bool>");
+      }
+    } else if (kw == "no-gating") {
+      bool no_gating = false;
+      if (!want(1) || !parse_bool(toks[1], &no_gating)) {
+        return fail(where() + "no-gating <bool>");
+      }
+      cfg.protocol.fetch_gating = !no_gating;
+    } else if (kw == "fetch-timeout-us") {
+      std::uint32_t us = 0;
+      if (!want(1) || !parse_u32(toks[1], &us)) {
+        return fail(where() + "fetch-timeout-us <microseconds>");
+      }
+      cfg.protocol.fetch_timeout_us = us;
+    } else if (kw == "max-frame-bytes") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.max_frame_bytes)) {
+        return fail(where() + "max-frame-bytes <bytes>");
+      }
+    } else {
+      return fail(where() + "unknown keyword '" + kw + "'");
+    }
+  }
+
+  if (site_lines.empty()) return fail("no 'site' lines");
+  if (cfg.vars == 0) return fail("missing 'vars'");
+  cfg.sites.resize(site_lines.size());
+  std::vector<bool> seen(site_lines.size(), false);
+  for (auto& [id, addr] : site_lines) {
+    if (id >= cfg.sites.size()) {
+      return fail("site ids must be dense 0..n-1 (got " +
+                  std::to_string(id) + " of " +
+                  std::to_string(cfg.sites.size()) + " sites)");
+    }
+    if (seen[id]) return fail("duplicate site id " + std::to_string(id));
+    seen[id] = true;
+    cfg.sites[id] = std::move(addr);
+  }
+  for (const auto& [x, sites_of_x] : cfg.placement_overrides) {
+    if (x >= cfg.vars) {
+      return fail("place: var " + std::to_string(x) + " out of range");
+    }
+    for (const causal::SiteId s : sites_of_x) {
+      if (s >= cfg.site_count()) {
+        return fail("place: site " + std::to_string(s) + " out of range");
+      }
+    }
+  }
+  for (const auto& [x, name] : cfg.key_names) {
+    if (x >= cfg.vars) {
+      return fail("key: var " + std::to_string(x) + " out of range");
+    }
+    (void)name;
+  }
+  return cfg;
+}
+
+std::optional<ClusterConfig> ClusterConfig::load(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), error);
+}
+
+std::string ClusterConfig::to_text() const {
+  std::ostringstream out;
+  out << "algorithm " << causal::algorithm_token(algorithm) << "\n";
+  out << "vars " << vars << "\n";
+  out << "replicas " << replicas_per_var << "\n";
+  for (std::size_t id = 0; id < sites.size(); ++id) {
+    out << "site " << id << ' ' << sites[id].host << ' '
+        << sites[id].peer_port << ' ' << sites[id].client_port << "\n";
+  }
+  for (const auto& [x, sites_of_x] : placement_overrides) {
+    out << "place " << x << ' ';
+    for (std::size_t i = 0; i < sites_of_x.size(); ++i) {
+      if (i > 0) out << ',';
+      out << sites_of_x[i];
+    }
+    out << "\n";
+  }
+  for (const auto& [x, name] : key_names) {
+    out << "key " << x << ' ' << name << "\n";
+  }
+  if (protocol.convergent) out << "convergent true\n";
+  if (!protocol.fetch_gating) out << "no-gating true\n";
+  if (protocol.fetch_timeout_us > 0) {
+    out << "fetch-timeout-us " << protocol.fetch_timeout_us << "\n";
+  }
+  if (max_frame_bytes > 0) {
+    out << "max-frame-bytes " << max_frame_bytes << "\n";
+  }
+  return out.str();
+}
+
+ClusterConfig ClusterConfig::loopback(std::uint32_t n, std::uint32_t q,
+                                      std::uint32_t p,
+                                      std::uint16_t base_port) {
+  CCPR_EXPECTS(n > 0 && q > 0 && p > 0);
+  ClusterConfig cfg;
+  cfg.vars = q;
+  cfg.replicas_per_var = p;
+  cfg.sites.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    cfg.sites[s].host = "127.0.0.1";
+    cfg.sites[s].peer_port =
+        base_port == 0 ? 0 : static_cast<std::uint16_t>(base_port + s);
+    cfg.sites[s].client_port =
+        base_port == 0 ? 0 : static_cast<std::uint16_t>(base_port + n + s);
+  }
+  return cfg;
+}
+
+}  // namespace ccpr::server

@@ -1,0 +1,76 @@
+// Cluster configuration for the real-network runtime: which sites exist,
+// where they listen, how variables are placed on them, which algorithm
+// runs, and the protocol options. One file describes the whole cluster;
+// every server and client loads the same file.
+//
+// Text format (line-oriented, '#' comments, whitespace-separated tokens):
+//
+//   algorithm opt-track          # full-track|opt-track|opt-track-crp|...
+//   vars 12                      # number of variables (keys)
+//   replicas 2                   # even ring placement x..x+p-1 (mod n)
+//   site 0 127.0.0.1 7100 7200   # id host peer-port client-port
+//   site 1 127.0.0.1 7101 7201
+//   site 2 127.0.0.1 7102 7202
+//   place 4 0,2                  # optional per-var placement override
+//   key 0 alice:wall             # optional key naming (default key<i>)
+//   convergent true              # optional ProtocolOptions overrides
+//   fetch-timeout-us 250000
+//   no-gating true
+//   max-frame-bytes 16777216
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "causal/factory.hpp"
+#include "causal/replica_map.hpp"
+#include "store/key_space.hpp"
+
+namespace ccpr::server {
+
+struct SiteAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t peer_port = 0;    ///< site-to-site protocol traffic
+  std::uint16_t client_port = 0;  ///< client request/response traffic
+};
+
+struct ClusterConfig {
+  causal::Algorithm algorithm = causal::Algorithm::kOptTrack;
+  std::uint32_t vars = 0;
+  /// Even ring placement factor; per-var `place` overrides win.
+  std::uint32_t replicas_per_var = 1;
+  std::vector<SiteAddress> sites;
+  std::vector<std::pair<causal::VarId, std::vector<causal::SiteId>>>
+      placement_overrides;
+  std::vector<std::pair<causal::VarId, std::string>> key_names;
+  causal::ProtocolOptions protocol{};
+  std::uint32_t max_frame_bytes = 0;  ///< 0 = transport default
+
+  std::uint32_t site_count() const noexcept {
+    return static_cast<std::uint32_t>(sites.size());
+  }
+
+  /// Materialize the placement (even ring + overrides).
+  causal::ReplicaMap replica_map() const;
+  /// Key naming: explicit `key` lines, "key<i>" for the rest.
+  store::KeySpace key_space() const;
+
+  /// Parse from config text; nullopt + *error on malformed input.
+  static std::optional<ClusterConfig> parse(const std::string& text,
+                                            std::string* error);
+  static std::optional<ClusterConfig> load(const std::string& path,
+                                           std::string* error);
+  /// Serialize back to the text format (round-trips through parse()).
+  std::string to_text() const;
+
+  /// An n-site loopback cluster on consecutive ports starting at
+  /// `base_port` (peer ports) and `base_port + n` (client ports); handy for
+  /// tests and examples. Pass base_port 0 only if the caller fills ports in.
+  static ClusterConfig loopback(std::uint32_t n, std::uint32_t q,
+                                std::uint32_t p, std::uint16_t base_port);
+};
+
+}  // namespace ccpr::server

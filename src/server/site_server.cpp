@@ -1,0 +1,336 @@
+#include "server/site_server.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "causal/value_codec.hpp"
+#include "server/client_protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ccpr::server {
+
+namespace {
+
+sim::SimTime wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SiteServer::SiteServer(ClusterConfig config, causal::SiteId self)
+    : config_(std::move(config)),
+      self_(self),
+      rmap_(config_.replica_map()),
+      max_frame_bytes_(config_.max_frame_bytes > 0
+                           ? config_.max_frame_bytes
+                           : net::kDefaultMaxFrameBytes) {
+  CCPR_EXPECTS(self_ < config_.site_count());
+  net::TcpTransport::Options topts;
+  topts.self = self_;
+  topts.listen_host = config_.sites[self_].host;
+  topts.listen_port = config_.sites[self_].peer_port;
+  topts.max_frame_bytes = max_frame_bytes_;
+  topts.jitter_seed = 0xcc9e0000u + self_;
+  for (causal::SiteId s = 0; s < config_.site_count(); ++s) {
+    if (s == self_) continue;
+    topts.peers.push_back(net::TcpTransport::Peer{
+        s, config_.sites[s].host, config_.sites[s].peer_port});
+  }
+  transport_ =
+      std::make_unique<net::TcpTransport>(std::move(topts), transport_metrics_);
+  transport_->connect(self_, this);
+
+  causal::Services svc;
+  svc.send = [this](net::Message m) { transport_->send(std::move(m)); };
+  svc.now = [] { return wall_now_us(); };
+  svc.schedule = [this](sim::SimTime delay, std::function<void()> fn) {
+    timers_.schedule_after(delay, [this, fn = std::move(fn)] {
+      {
+        std::lock_guard lk(mu_);
+        fn();
+      }
+      cv_.notify_all();
+    });
+  };
+  svc.metrics = &proto_metrics_;
+  proto_ = causal::make_protocol(config_.algorithm, self_, rmap_,
+                                 std::move(svc), config_.protocol);
+}
+
+SiteServer::~SiteServer() { stop(); }
+
+bool SiteServer::start() {
+  CCPR_EXPECTS(!started_);
+  stopping_.store(false, std::memory_order_relaxed);
+  if (!transport_->start()) return false;
+  client_listen_ = net::tcp_listen(config_.sites[self_].host,
+                                   config_.sites[self_].client_port,
+                                   &client_port_);
+  if (!client_listen_.valid()) {
+    transport_->stop();
+    return false;
+  }
+  timers_.start();
+  client_accept_thread_ = std::thread([this] { accept_clients(); });
+  started_ = true;
+  return true;
+}
+
+void SiteServer::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Stop taking new clients and unblock the ones parked in reads/waits.
+  client_listen_.shutdown_both();
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto& conn : conns_) conn->sock.shutdown_both();
+  }
+  cv_.notify_all();
+  if (client_accept_thread_.joinable()) client_accept_thread_.join();
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  client_listen_.close();
+  timers_.stop();
+  // Best effort: let queued protocol traffic reach live peers before the
+  // sockets close. A dead peer's queue is dropped (it would be stale for
+  // the peer's fresh state anyway).
+  transport_->flush(std::chrono::milliseconds(250));
+  transport_->stop();
+  started_ = false;
+}
+
+void SiteServer::deliver(net::Message msg) {
+  {
+    std::lock_guard lk(mu_);
+    proto_->on_message(msg);
+  }
+  cv_.notify_all();
+}
+
+void SiteServer::accept_clients() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(client_listen_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    auto conn = std::make_unique<ClientConn>();
+    conn->sock = net::Socket(fd);
+    ClientConn* raw = conn.get();
+    std::lock_guard lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conn->thread = std::thread([this, raw] { serve_client(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void SiteServer::serve_client(ClientConn* conn) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const auto req = read_client_frame(conn->sock.fd(), max_frame_bytes_);
+    if (!req) break;
+    net::Decoder dec(req->data(), req->size());
+    net::Encoder resp;
+    handle_request(dec, resp);
+    if (!write_client_frame(conn->sock.fd(), resp.buffer())) break;
+  }
+  conn->sock.close();
+  conn->done.store(true, std::memory_order_release);
+}
+
+void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
+  const auto status = [&resp](ClientStatus st) {
+    resp.u8(static_cast<std::uint8_t>(st));
+  };
+  const std::uint8_t op = req.u8();
+  if (!req.ok()) {
+    status(ClientStatus::kBadRequest);
+    return;
+  }
+  switch (static_cast<ClientOp>(op)) {
+    case ClientOp::kPing: {
+      status(ClientStatus::kOk);
+      return;
+    }
+    case ClientOp::kPut: {
+      const auto x = static_cast<causal::VarId>(req.varint());
+      std::string data = req.bytes();
+      if (!req.ok() || x >= rmap_.vars()) {
+        status(ClientStatus::kBadRequest);
+        return;
+      }
+      causal::WriteId id;
+      std::uint64_t lamport = 0;
+      {
+        std::lock_guard lk(mu_);
+        proto_->write(x, std::move(data));
+        id = proto_->last_write_id();
+        if (rmap_.replicated_at(x, self_)) lamport = proto_->peek(x).lamport;
+      }
+      cv_.notify_all();  // a local apply may have unblocked covered_by waits
+      status(ClientStatus::kOk);
+      resp.varint(id.writer + 1);
+      resp.varint(id.seq);
+      resp.varint(lamport);
+      return;
+    }
+    case ClientOp::kGet: {
+      const auto x = static_cast<causal::VarId>(req.varint());
+      if (!req.ok() || x >= rmap_.vars()) {
+        status(ClientStatus::kBadRequest);
+        return;
+      }
+      // Shared state so a continuation that fires after a shutdown-aborted
+      // wait writes into live memory, not this frame's stack.
+      auto result = std::make_shared<std::optional<causal::Value>>();
+      {
+        std::unique_lock lk(mu_);
+        proto_->read(x, [result](const causal::Value& v) { *result = v; });
+        cv_.wait(lk, [&] {
+          return result->has_value() ||
+                 stopping_.load(std::memory_order_relaxed);
+        });
+        if (!result->has_value()) {
+          status(ClientStatus::kShuttingDown);
+          return;
+        }
+        status(ClientStatus::kOk);
+        causal::encode_value(resp, **result);
+      }
+      return;
+    }
+    case ClientOp::kSnapshot: {
+      const std::uint64_t count = req.varint();
+      std::vector<causal::VarId> vars;
+      for (std::uint64_t i = 0; i < count && req.ok(); ++i) {
+        vars.push_back(static_cast<causal::VarId>(req.varint()));
+      }
+      if (!req.ok() || count == 0 || count > rmap_.vars()) {
+        status(ClientStatus::kBadRequest);
+        return;
+      }
+      for (const causal::VarId x : vars) {
+        if (x >= rmap_.vars() || !rmap_.replicated_at(x, self_)) {
+          status(ClientStatus::kNotReplicated);
+          return;
+        }
+      }
+      status(ClientStatus::kOk);
+      resp.varint(vars.size());
+      {
+        // One critical section: the values form a causally consistent cut
+        // exactly as in ThreadedCluster::read_many.
+        std::lock_guard lk(mu_);
+        for (const causal::VarId x : vars) {
+          proto_->read(x, [&resp](const causal::Value& v) {
+            causal::encode_value(resp, v);
+          });
+        }
+      }
+      return;
+    }
+    case ClientOp::kToken: {
+      const auto target = static_cast<causal::SiteId>(req.varint());
+      if (!req.ok() || target >= rmap_.sites()) {
+        status(ClientStatus::kBadRequest);
+        return;
+      }
+      std::vector<std::uint8_t> token;
+      {
+        std::lock_guard lk(mu_);
+        token = proto_->coverage_token(target);
+      }
+      status(ClientStatus::kOk);
+      resp.varint(token.size());
+      resp.raw(token.data(), token.size());
+      return;
+    }
+    case ClientOp::kCovered: {
+      const std::string token_str = req.bytes();
+      // Clamp so a garbage wait cannot park the connection for hours (the
+      // client polls in bounded rounds anyway).
+      const std::uint64_t wait_us =
+          std::min<std::uint64_t>(req.varint(), 10'000'000);
+      if (!req.ok()) {
+        status(ClientStatus::kBadRequest);
+        return;
+      }
+      const std::vector<std::uint8_t> token(token_str.begin(),
+                                            token_str.end());
+      bool covered = false;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait_for(lk, std::chrono::microseconds(wait_us), [&] {
+          return proto_->covered_by(token) ||
+                 stopping_.load(std::memory_order_relaxed);
+        });
+        covered = proto_->covered_by(token);
+      }
+      status(ClientStatus::kOk);
+      resp.u8(covered ? 1 : 0);
+      return;
+    }
+    case ClientOp::kStatus: {
+      std::uint64_t writes = 0;
+      std::uint64_t reads = 0;
+      std::uint64_t pending = 0;
+      {
+        std::lock_guard lk(mu_);
+        writes = proto_metrics_.writes;
+        reads = proto_metrics_.reads;
+        pending = proto_->pending_update_count();
+      }
+      std::uint64_t sent = 0;
+      std::uint64_t recv = 0;
+      std::uint64_t queued = 0;
+      for (const auto& ps : transport_->peer_stats()) {
+        sent += ps.msgs_sent;
+        recv += ps.msgs_recv;
+        queued += ps.queued;
+      }
+      status(ClientStatus::kOk);
+      resp.varint(self_);
+      resp.u8(static_cast<std::uint8_t>(config_.algorithm));
+      resp.varint(writes);
+      resp.varint(reads);
+      resp.varint(pending);
+      resp.varint(sent);
+      resp.varint(recv);
+      resp.varint(queued);
+      return;
+    }
+  }
+  status(ClientStatus::kBadRequest);
+}
+
+metrics::Metrics SiteServer::metrics() const {
+  metrics::Metrics merged = transport_->metrics_snapshot();
+  std::lock_guard lk(mu_);
+  merged.merge(proto_metrics_);
+  return merged;
+}
+
+std::size_t SiteServer::pending_updates() const {
+  std::lock_guard lk(mu_);
+  return proto_->pending_update_count();
+}
+
+}  // namespace ccpr::server

@@ -1,0 +1,95 @@
+// SiteServer: the daemon hosting one site of a real-network cluster.
+//
+// It wires together the third runtime: a TcpTransport toward the peer
+// sites, one protocol state machine built by the existing factory, a timer
+// thread for RemoteFetch failover, and a client listener serving the framed
+// request/response protocol of client_protocol.hpp. The protocol instance
+// is guarded by one mutex exactly like the in-process runtimes: client
+// requests, peer message deliveries and timer callbacks interleave but
+// never overlap.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "causal/factory.hpp"
+#include "metrics/metrics.hpp"
+#include "net/tcp_transport.hpp"
+#include "server/cluster_config.hpp"
+#include "util/timer_thread.hpp"
+
+namespace ccpr::server {
+
+class SiteServer : net::IMessageSink {
+ public:
+  SiteServer(ClusterConfig config, causal::SiteId self);
+  ~SiteServer() override;
+
+  SiteServer(const SiteServer&) = delete;
+  SiteServer& operator=(const SiteServer&) = delete;
+
+  /// Bind both listen ports and start serving. Returns false (with the
+  /// server stopped) if either port cannot be bound.
+  bool start();
+  /// Graceful shutdown: stop accepting, finish in-flight client requests,
+  /// flush outbound peer queues briefly, tear the transport down.
+  void stop();
+
+  causal::SiteId self() const noexcept { return self_; }
+  /// Actual bound ports (useful when the config used port 0).
+  std::uint16_t peer_port() const noexcept { return transport_->listen_port(); }
+  std::uint16_t client_port() const noexcept { return client_port_; }
+
+  const ClusterConfig& config() const noexcept { return config_; }
+  const causal::ReplicaMap& replica_map() const noexcept { return rmap_; }
+
+  /// Site metrics: protocol counters merged with the transport counters.
+  metrics::Metrics metrics() const;
+  std::size_t pending_updates() const;
+  std::vector<net::TcpTransport::PeerStats> peer_stats() const {
+    return transport_->peer_stats();
+  }
+
+ private:
+  struct ClientConn {
+    net::Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void deliver(net::Message msg) override;
+  void accept_clients();
+  void serve_client(ClientConn* conn);
+  /// Execute one decoded request, appending the response body to `resp`.
+  void handle_request(net::Decoder& req, net::Encoder& resp);
+
+  ClusterConfig config_;
+  causal::SiteId self_;
+  causal::ReplicaMap rmap_;
+  std::uint32_t max_frame_bytes_;
+
+  metrics::Metrics transport_metrics_;
+  std::unique_ptr<net::TcpTransport> transport_;
+  util::TimerThread timers_;
+
+  mutable std::mutex mu_;  ///< guards proto_ (and its metrics)
+  std::condition_variable cv_;
+  std::unique_ptr<causal::IProtocol> proto_;
+  metrics::Metrics proto_metrics_;
+
+  net::Socket client_listen_;
+  std::uint16_t client_port_ = 0;
+  std::thread client_accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<ClientConn>> conns_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace ccpr::server

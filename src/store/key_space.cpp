@@ -13,6 +13,16 @@ KeySpace::KeySpace(std::vector<std::string> keys) : keys_(std::move(keys)) {
   }
 }
 
+KeySpace KeySpace::numbered(std::uint32_t q) {
+  CCPR_EXPECTS(q > 0);
+  std::vector<std::string> keys;
+  keys.reserve(q);
+  for (std::uint32_t i = 0; i < q; ++i) {
+    keys.push_back("key" + std::to_string(i));
+  }
+  return KeySpace(std::move(keys));
+}
+
 causal::VarId KeySpace::intern(std::string_view key) const {
   const auto it = index_.find(key);
   CCPR_EXPECTS(it != index_.end());

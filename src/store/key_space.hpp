@@ -16,6 +16,10 @@ class KeySpace {
  public:
   explicit KeySpace(std::vector<std::string> keys);
 
+  /// q synthetic keys "key0".."key<q-1>" — the default naming used by the
+  /// cluster config when no explicit key list is given.
+  static KeySpace numbered(std::uint32_t q);
+
   causal::VarId intern(std::string_view key) const;
   bool contains(std::string_view key) const;
   const std::string& name(causal::VarId x) const;

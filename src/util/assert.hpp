@@ -34,3 +34,12 @@ namespace ccpr::detail {
 // Marks unreachable control flow (e.g. exhaustive switch fall-through).
 #define CCPR_UNREACHABLE(msg)                                               \
   ::ccpr::detail::contract_failure("Unreachable", msg, __FILE__, __LINE__)
+
+// Debug-only invariant: aborts in debug builds, compiles to nothing under
+// NDEBUG. For checks on hot paths or where release builds must degrade
+// gracefully instead of dying (the caller handles the bad case).
+#ifndef NDEBUG
+#define CCPR_DEBUG_ASSERT(cond) CCPR_ASSERT(cond)
+#else
+#define CCPR_DEBUG_ASSERT(cond) static_cast<void>(0)
+#endif

@@ -248,5 +248,56 @@ TEST(CheckerTest, TransitiveCausalityThroughThirdProcess) {
   EXPECT_NE(r.violations[0].find("stale read"), std::string::npos);
 }
 
+TEST(CheckerTest, ReadRecordedBeforeItsCrossProcessWrite) {
+  // A real-time recorder (e.g. concurrent TCP client sessions sharing one
+  // recorder) can log a read *before* the cross-process write it returned:
+  // the server applied the write and served the read while the writer's
+  // session had not yet recorded its own put. The checker must treat the
+  // log as per-process program orders joined by read-from, not as one
+  // causally sorted sequence. Regression: this interleaving used to read a
+  // not-yet-assigned vector timestamp out of bounds.
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 2);
+  h.on_read(1, 0, {0, 1});   // recorded first...
+  h.on_write(0, {0, 1}, 0);  // ...though the write of course happened first
+  h.on_apply(0, {0, 1}, 0);
+  h.on_apply(1, {0, 1}, 0);
+  const auto r = check_causal_consistency(h, rmap);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(CheckerTest, TransitivityHoldsAcrossReorderedRecording) {
+  // Same real-time-recorder caveat, plus a transitive chain: p1 reads w0,
+  // then writes w1; p2 reads w1 then stale-reads x. The stale read must
+  // still be detected even though w0's record appears last in the log.
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(3, 3);
+  CheckOptions opts;
+  opts.require_complete_delivery = false;
+  h.on_read(1, 0, {0, 1});
+  h.on_write(1, {1, 1}, 1);
+  h.on_read(2, 1, {1, 1});
+  h.on_read(2, 0, kInitial);  // stale: w0 is in p2's causal past
+  h.on_write(0, {0, 1}, 0);
+  const auto r = check_causal_consistency(h, rmap, opts);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("stale read"), std::string::npos);
+}
+
+TEST(CheckerTest, CorruptReadFromFutureOfOwnProcess) {
+  // A read returning a write that program-order-follows it in the *same*
+  // process is impossible in an honest recording; the checker must flag it
+  // rather than loop or crash.
+  HistoryRecorder h;
+  const auto rmap = ReplicaMap::full(2, 2);
+  h.on_read(0, 0, {0, 1});
+  h.on_write(0, {0, 1}, 0);
+  CheckOptions opts;
+  opts.require_complete_delivery = false;
+  const auto r = check_causal_consistency(h, rmap, opts);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("corrupt history"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccpr::checker

@@ -1,0 +1,126 @@
+// Cluster config parser tests: the text format, derived replica map / key
+// space, validation diagnostics, and text round-tripping.
+#include "server/cluster_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccpr::server {
+namespace {
+
+constexpr const char* kBasic = R"(
+# three sites, six vars, two replicas each
+algorithm opt-track
+vars 6
+replicas 2
+site 0 127.0.0.1 9000 9100
+site 1 127.0.0.1 9001 9101
+site 2 10.0.0.3 9002 9102   # a remote site
+place 4 0,2
+key 0 alpha
+key 5 omega
+fetch-timeout-us 250000
+)";
+
+TEST(ClusterConfigTest, ParsesBasicConfig) {
+  std::string error;
+  const auto cfg = ClusterConfig::parse(kBasic, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->algorithm, causal::Algorithm::kOptTrack);
+  EXPECT_EQ(cfg->vars, 6u);
+  EXPECT_EQ(cfg->replicas_per_var, 2u);
+  ASSERT_EQ(cfg->site_count(), 3u);
+  EXPECT_EQ(cfg->sites[2].host, "10.0.0.3");
+  EXPECT_EQ(cfg->sites[2].peer_port, 9002);
+  EXPECT_EQ(cfg->sites[2].client_port, 9102);
+  EXPECT_EQ(cfg->protocol.fetch_timeout_us, 250000u);
+}
+
+TEST(ClusterConfigTest, ReplicaMapUsesRingPlusOverrides) {
+  std::string error;
+  const auto cfg = ClusterConfig::parse(kBasic, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto rmap = cfg->replica_map();
+  EXPECT_EQ(rmap.sites(), 3u);
+  EXPECT_EQ(rmap.vars(), 6u);
+  // Ring placement: var x lives at sites x, x+1 (mod 3)...
+  EXPECT_TRUE(rmap.replicated_at(0, 0));
+  EXPECT_TRUE(rmap.replicated_at(0, 1));
+  EXPECT_FALSE(rmap.replicated_at(0, 2));
+  // ...except var 4, whose placement was overridden to {0, 2}.
+  EXPECT_TRUE(rmap.replicated_at(4, 0));
+  EXPECT_FALSE(rmap.replicated_at(4, 1));
+  EXPECT_TRUE(rmap.replicated_at(4, 2));
+}
+
+TEST(ClusterConfigTest, KeySpaceMixesDefaultsAndOverrides) {
+  std::string error;
+  const auto cfg = ClusterConfig::parse(kBasic, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto keys = cfg->key_space();
+  EXPECT_EQ(keys.size(), 6u);
+  EXPECT_EQ(keys.name(0), "alpha");
+  EXPECT_EQ(keys.name(1), "key1");
+  EXPECT_EQ(keys.name(5), "omega");
+  EXPECT_EQ(keys.intern("alpha"), 0u);
+}
+
+TEST(ClusterConfigTest, TextRoundTrip) {
+  std::string error;
+  const auto cfg = ClusterConfig::parse(kBasic, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto again = ClusterConfig::parse(cfg->to_text(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_text(), cfg->to_text());
+  EXPECT_EQ(again->vars, cfg->vars);
+  EXPECT_EQ(again->sites.size(), cfg->sites.size());
+  EXPECT_EQ(again->placement_overrides, cfg->placement_overrides);
+}
+
+TEST(ClusterConfigTest, AllAlgorithmTokensParse) {
+  for (const char* token :
+       {"full-track", "opt-track", "opt-track-crp", "optp", "ahamad",
+        "eventual"}) {
+    const std::string text = std::string("algorithm ") + token +
+                             "\nvars 2\nsite 0 127.0.0.1 1 2\n";
+    std::string error;
+    const auto cfg = ClusterConfig::parse(text, &error);
+    ASSERT_TRUE(cfg.has_value()) << token << ": " << error;
+    EXPECT_STREQ(causal::algorithm_token(cfg->algorithm), token);
+  }
+}
+
+TEST(ClusterConfigTest, RejectsMalformedInput) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"", "no 'site' lines"},
+      {"vars 4\nsite 0 h 1 2\nsite 0 h 3 4\n", "duplicate"},
+      {"vars 4\nsite 1 h 1 2\n", "dense"},
+      {"vars 4\nsite 0 h 1 2\nbogus 1\n", "unknown keyword"},
+      {"vars 4\nsite 0 h 1 2\nalgorithm nope\n", "unknown algorithm"},
+      {"vars 0\nsite 0 h 1 2\n", "vars"},
+      {"vars 4\nsite 0 h 1 2\nplace 9 0\n", "out of range"},
+      {"vars 4\nsite 0 h 1 2\nplace 1 0,7\n", "out of range"},
+      {"vars 4\nsite 0 h 1 2\nkey 9 x\n", "out of range"},
+      {"vars 4\nsite 0 h 99999 2\n", "site"},
+  };
+  for (const auto& [text, needle] : cases) {
+    std::string error;
+    EXPECT_FALSE(ClusterConfig::parse(text, &error).has_value()) << text;
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "error for {" << text << "} was: " << error;
+  }
+}
+
+TEST(ClusterConfigTest, LoopbackHelper) {
+  const auto cfg = ClusterConfig::loopback(4, 10, 2, 6200);
+  EXPECT_EQ(cfg.site_count(), 4u);
+  EXPECT_EQ(cfg.vars, 10u);
+  EXPECT_EQ(cfg.sites[3].host, "127.0.0.1");
+  EXPECT_EQ(cfg.sites[3].peer_port, 6203);
+  EXPECT_EQ(cfg.sites[3].client_port, 6207);
+  // base_port 0 = kernel-assigned everywhere.
+  const auto anon = ClusterConfig::loopback(2, 4, 2, 0);
+  EXPECT_EQ(anon.sites[1].peer_port, 0);
+}
+
+}  // namespace
+}  // namespace ccpr::server

@@ -1,0 +1,285 @@
+// TcpTransport tests over real loopback sockets: FIFO delivery, lazy dial
+// with backoff (peer not yet listening), reconnect after a peer restart,
+// loopback fast path, flush, and per-peer stats.
+#include "net/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccpr::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Reserve n distinct loopback ports by briefly binding port 0. The sockets
+/// are closed before use; SO_REUSEADDR makes the rebind reliable in practice.
+std::vector<std::uint16_t> pick_ports(std::size_t n) {
+  std::vector<Socket> held;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint16_t port = 0;
+    held.push_back(tcp_listen("127.0.0.1", 0, &port));
+    EXPECT_TRUE(held.back().valid());
+    ports.push_back(port);
+  }
+  return ports;  // listeners close here
+}
+
+class CollectSink : public IMessageSink {
+ public:
+  void deliver(Message msg) override {
+    std::lock_guard lk(mu_);
+    msgs_.push_back(std::move(msg));
+  }
+
+  std::vector<Message> snapshot() const {
+    std::lock_guard lk(mu_);
+    return msgs_;
+  }
+
+  std::size_t count() const {
+    std::lock_guard lk(mu_);
+    return msgs_.size();
+  }
+
+  bool wait_for_count(std::size_t n,
+                      std::chrono::milliseconds timeout = 5s) const {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (count() < n) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(2ms);
+    }
+    return true;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Message> msgs_;
+};
+
+Message make_msg(SiteId src, SiteId dst, std::uint8_t tag) {
+  Message m;
+  m.kind = MsgKind::kUpdate;
+  m.src = src;
+  m.dst = dst;
+  m.body = {tag, 0x5a};
+  m.payload_bytes = 1;
+  return m;
+}
+
+TcpTransport::Options options_for(SiteId self,
+                                  const std::vector<std::uint16_t>& ports) {
+  TcpTransport::Options opts;
+  opts.self = self;
+  opts.listen_port = ports[self];
+  for (SiteId s = 0; s < ports.size(); ++s) {
+    if (s != self) opts.peers.push_back({s, "127.0.0.1", ports[s]});
+  }
+  opts.jitter_seed = 0x7e57 + self;
+  return opts;
+}
+
+TEST(TcpTransportTest, PairExchangesFifo) {
+  const auto ports = pick_ports(2);
+  metrics::Metrics ma, mb;
+  CollectSink sa, sb;
+  TcpTransport a(options_for(0, ports), ma);
+  TcpTransport b(options_for(1, ports), mb);
+  a.connect(0, &sa);
+  b.connect(1, &sb);
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+
+  constexpr std::size_t kEach = 200;
+  for (std::size_t i = 0; i < kEach; ++i) {
+    a.send(make_msg(0, 1, static_cast<std::uint8_t>(i)));
+    b.send(make_msg(1, 0, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_TRUE(a.flush(5s));
+  EXPECT_TRUE(b.flush(5s));
+  ASSERT_TRUE(sb.wait_for_count(kEach));
+  ASSERT_TRUE(sa.wait_for_count(kEach));
+
+  // FIFO per channel: tags arrive in send order on both directions.
+  const auto at_b = sb.snapshot();
+  const auto at_a = sa.snapshot();
+  for (std::size_t i = 0; i < kEach; ++i) {
+    EXPECT_EQ(at_b[i].body[0], static_cast<std::uint8_t>(i));
+    EXPECT_EQ(at_b[i].src, 0u);
+    EXPECT_EQ(at_a[i].body[0], static_cast<std::uint8_t>(i));
+  }
+
+  const auto stats = a.peer_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, 1u);
+  EXPECT_EQ(stats[0].msgs_sent, kEach);
+  EXPECT_EQ(stats[0].msgs_recv, kEach);
+  EXPECT_GE(stats[0].connects, 1u);
+  EXPECT_EQ(stats[0].queued, 0u);
+  EXPECT_GT(stats[0].bytes_sent, kEach);  // framed: > 1 byte per message
+
+  // Transport metrics counted the sends by kind and split the bytes.
+  EXPECT_EQ(a.metrics_snapshot().update_msgs, kEach);
+  EXPECT_EQ(a.metrics_snapshot().payload_bytes, kEach);
+  EXPECT_EQ(a.metrics_snapshot().control_bytes, kEach);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(TcpTransportTest, LoopbackDeliversWithoutSockets) {
+  const auto ports = pick_ports(1);
+  metrics::Metrics m;
+  CollectSink sink;
+  TcpTransport t(options_for(0, ports), m);
+  t.connect(0, &sink);
+  ASSERT_TRUE(t.start());
+  t.send(make_msg(0, 0, 0xaa));
+  ASSERT_TRUE(sink.wait_for_count(1));
+  EXPECT_EQ(sink.snapshot()[0].body[0], 0xaa);
+  t.stop();
+}
+
+TEST(TcpTransportTest, QueuesUntilPeerComesUp) {
+  const auto ports = pick_ports(2);
+  metrics::Metrics ma, mb;
+  CollectSink sa, sb;
+  TcpTransport a(options_for(0, ports), ma);
+  a.connect(0, &sa);
+  ASSERT_TRUE(a.start());
+
+  // Peer 1 is not listening yet: sends must queue, the sender thread
+  // retrying its dial with backoff.
+  constexpr std::size_t kEach = 50;
+  for (std::size_t i = 0; i < kEach; ++i) {
+    a.send(make_msg(0, 1, static_cast<std::uint8_t>(i)));
+  }
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(a.peer_stats()[0].msgs_sent, 0u);
+  EXPECT_GE(a.peer_stats()[0].queued, 1u);
+
+  TcpTransport b(options_for(1, ports), mb);
+  b.connect(1, &sb);
+  ASSERT_TRUE(b.start());
+  ASSERT_TRUE(sb.wait_for_count(kEach));
+  const auto at_b = sb.snapshot();
+  for (std::size_t i = 0; i < kEach; ++i) {
+    EXPECT_EQ(at_b[i].body[0], static_cast<std::uint8_t>(i));
+  }
+  a.stop();
+  b.stop();
+}
+
+TEST(TcpTransportTest, ReconnectsAfterPeerRestart) {
+  const auto ports = pick_ports(2);
+  metrics::Metrics ma;
+  CollectSink sa;
+  TcpTransport a(options_for(0, ports), ma);
+  a.connect(0, &sa);
+  ASSERT_TRUE(a.start());
+
+  std::size_t tag = 0;
+  {
+    metrics::Metrics mb;
+    CollectSink sb;
+    TcpTransport b(options_for(1, ports), mb);
+    b.connect(1, &sb);
+    ASSERT_TRUE(b.start());
+    for (int i = 0; i < 10; ++i) {
+      a.send(make_msg(0, 1, static_cast<std::uint8_t>(tag++)));
+    }
+    ASSERT_TRUE(sb.wait_for_count(10));
+    b.stop();  // peer goes away (state lost, port freed)
+  }
+
+  // A TCP sender only discovers a dead peer when a write fails, and a few
+  // writes can land in the kernel buffer of a reset socket before the RST
+  // is processed (those bytes are lost — the documented crash window). Feed
+  // probe messages until the sender's queue stalls, which means the death
+  // was detected and everything queued from now on survives.
+  std::this_thread::sleep_for(50ms);
+  const auto probe_deadline = std::chrono::steady_clock::now() + 5s;
+  while (a.peer_stats()[0].queued == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), probe_deadline);
+    a.send(make_msg(0, 1, 0xfe));
+    std::this_thread::sleep_for(10ms);
+  }
+
+  for (int i = 0; i < 10; ++i) {
+    a.send(make_msg(0, 1, static_cast<std::uint8_t>(tag++)));
+  }
+  metrics::Metrics mb2;
+  CollectSink sb2;
+  TcpTransport b2(options_for(1, ports), mb2);
+  b2.connect(1, &sb2);
+  ASSERT_TRUE(b2.start());
+  // Wait for the batch's last tag, then check the batch arrived in order
+  // (ignoring surviving probes).
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (true) {
+    const auto msgs = sb2.snapshot();
+    if (!msgs.empty() && msgs.back().body[0] == 19) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(2ms);
+  }
+  std::vector<std::uint8_t> batch_tags;
+  for (const auto& m : sb2.snapshot()) {
+    if (m.body[0] != 0xfe) batch_tags.push_back(m.body[0]);
+  }
+  ASSERT_EQ(batch_tags.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch_tags[i], static_cast<std::uint8_t>(10 + i));
+  }
+  EXPECT_GE(a.peer_stats()[0].connects, 2u);
+  a.stop();
+  b2.stop();
+}
+
+TEST(TcpTransportTest, FlushTimesOutTowardDeadPeer) {
+  const auto ports = pick_ports(2);
+  metrics::Metrics ma;
+  CollectSink sa;
+  TcpTransport a(options_for(0, ports), ma);
+  a.connect(0, &sa);
+  ASSERT_TRUE(a.start());
+  a.send(make_msg(0, 1, 1));
+  EXPECT_FALSE(a.flush(50ms));
+  a.stop();
+}
+
+TEST(TcpTransportTest, OversizedFrameDropsConnectionNotProcess) {
+  const auto ports = pick_ports(2);
+  metrics::Metrics ma, mb;
+  CollectSink sa, sb;
+  auto aopts = options_for(0, ports);
+  TcpTransport a(aopts, ma);
+  auto bopts = options_for(1, ports);
+  bopts.max_frame_bytes = 64;  // receiver-side cap
+  TcpTransport b(bopts, mb);
+  a.connect(0, &sa);
+  b.connect(1, &sb);
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+
+  Message big = make_msg(0, 1, 0xff);
+  big.body.assign(1000, 0xee);
+  big.payload_bytes = 1000;
+  a.send(std::move(big));
+  EXPECT_TRUE(a.flush(5s));  // writes fine; receiver rejects and disconnects
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(sb.count(), 0u);
+
+  // The receiver is still alive: a small frame on a fresh connection works.
+  a.send(make_msg(0, 1, 0x01));
+  ASSERT_TRUE(sb.wait_for_count(1));
+  EXPECT_EQ(sb.snapshot()[0].body[0], 0x01);
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace ccpr::net

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "causal/opt_log.hpp"
+#include "net/frame.hpp"
 #include "net/wire.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +110,95 @@ TEST(WireFuzzTest, RoundTripRandomLogs) {
     EXPECT_EQ(causal::decode_log(dec), log);
     EXPECT_TRUE(dec.ok());
     EXPECT_TRUE(dec.exhausted());
+  }
+}
+
+TEST(WireFuzzTest, FrameSizePrefixRejectsGarbage) {
+  util::Rng rng(0xf7a3e);
+  std::size_t accepted = 0;
+  for (int round = 0; round < 4000; ++round) {
+    // Mixed diet: pure byte soup (a random u32 almost always exceeds the
+    // cap) plus crafted in-range prefixes so the accept path is exercised
+    // too. Only exactly kFrameLenBytes with a value in (0, max] may decode,
+    // and the decoded size must echo the little-endian u32 so the reader
+    // allocates exactly what was declared.
+    const std::uint32_t max = 1 + static_cast<std::uint32_t>(rng.below(1024));
+    auto buf = random_bytes(rng, rng.below(8));
+    if (rng.chance(0.5)) {
+      const auto v = 1 + static_cast<std::uint32_t>(rng.below(2 * max));
+      buf.assign({static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                  static_cast<std::uint8_t>(v >> 16),
+                  static_cast<std::uint8_t>(v >> 24)});
+    }
+    const auto size = decode_frame_size(buf.data(), buf.size(), max);
+    if (size.has_value()) {
+      ++accepted;
+      ASSERT_EQ(buf.size(), kFrameLenBytes);
+      EXPECT_GT(*size, 0u);
+      EXPECT_LE(*size, max);
+      std::uint32_t echo = 0;
+      for (std::size_t i = 0; i < kFrameLenBytes; ++i) {
+        echo |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+      }
+      EXPECT_EQ(*size, echo);
+    }
+  }
+  EXPECT_GT(accepted, 0u);  // the fuzz must exercise the accept path too
+}
+
+TEST(WireFuzzTest, FrameSizePrefixCapIsConfigurable) {
+  // 0x00010000 = 65536 little-endian.
+  const std::uint8_t prefix[kFrameLenBytes] = {0x00, 0x00, 0x01, 0x00};
+  EXPECT_FALSE(decode_frame_size(prefix, sizeof prefix, 65535).has_value());
+  ASSERT_TRUE(decode_frame_size(prefix, sizeof prefix, 65536).has_value());
+  EXPECT_EQ(*decode_frame_size(prefix, sizeof prefix, 65536), 65536u);
+  // An all-ones prefix must be rejected even by the default generous cap
+  // rather than turning into a ~4 GiB allocation.
+  const std::uint8_t huge[kFrameLenBytes] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_FALSE(
+      decode_frame_size(huge, sizeof huge, kDefaultMaxFrameBytes).has_value());
+}
+
+TEST(WireFuzzTest, FrameBodySurvivesRandomInput) {
+  util::Rng rng(0xfa7e);
+  for (int round = 0; round < 4000; ++round) {
+    const auto buf = random_bytes(rng, rng.below(128));
+    const auto frame = decode_frame_body(buf.data(), buf.size());
+    if (frame.has_value()) {
+      // Anything accepted must satisfy the envelope invariants and
+      // re-encode to the same bytes (prefix included).
+      EXPECT_LE(frame->msg.payload_bytes, frame->msg.body.size());
+      const auto wire = encode_frame(frame->msg, frame->seq);
+      ASSERT_GE(wire.size(), kFrameLenBytes);
+      EXPECT_TRUE(std::equal(wire.begin() + kFrameLenBytes, wire.end(),
+                             buf.begin(), buf.end()));
+    }
+  }
+}
+
+TEST(WireFuzzTest, FrameCorruptionNeverMisdecodesSilently) {
+  // Flip every single byte of a valid frame body in turn: each mutant must
+  // either be rejected or decode to something internally consistent — never
+  // crash or produce an envelope whose payload exceeds its body.
+  util::Rng rng(0x5eed5);
+  Message msg;
+  msg.kind = MsgKind::kUpdate;
+  msg.src = 5;
+  msg.dst = 1;
+  msg.body = random_bytes(rng, 24);
+  msg.payload_bytes = 10;
+  const auto wire = encode_frame(msg, 1234567);
+  for (std::size_t i = kFrameLenBytes; i < wire.size(); ++i) {
+    for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80},
+                                    std::uint8_t{0xff}}) {
+      auto mutant = wire;
+      mutant[i] = static_cast<std::uint8_t>(mutant[i] ^ flip);
+      const auto frame = decode_frame_body(mutant.data() + kFrameLenBytes,
+                                           mutant.size() - kFrameLenBytes);
+      if (frame.has_value()) {
+        EXPECT_LE(frame->msg.payload_bytes, frame->msg.body.size());
+      }
+    }
   }
 }
 

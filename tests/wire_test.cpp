@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/message.hpp"
+
 #include <limits>
 
 namespace ccpr::net {
@@ -131,6 +133,29 @@ TEST(WireTest, ReserveConstructor) {
   EXPECT_EQ(enc.size(), 0u);
   enc.u8(1);
   EXPECT_EQ(enc.size(), 1u);
+}
+
+TEST(WireTest, MessageControlBytesSplit) {
+  Message msg;
+  msg.body = {1, 2, 3, 4, 5};
+  msg.payload_bytes = 2;
+  EXPECT_EQ(msg.control_bytes(), 3u);
+  msg.payload_bytes = 5;
+  EXPECT_EQ(msg.control_bytes(), 0u);
+}
+
+TEST(WireTest, MessageControlBytesGuardsUnderflow) {
+  // payload_bytes > body.size() is a construction bug; regression for the
+  // unguarded `body.size() - payload_bytes`, which underflowed to ~2^64 and
+  // poisoned the byte metrics. Debug builds assert; release builds clamp.
+  Message msg;
+  msg.body = {1, 2, 3};
+  msg.payload_bytes = 7;
+#ifdef NDEBUG
+  EXPECT_EQ(msg.control_bytes(), 0u);
+#else
+  EXPECT_DEATH((void)msg.control_bytes(), "payload_bytes");
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// ccpr_client: command-line client for a running cluster.
+//
+//   build/tools/ccpr_client --config=cluster.conf --site=0 put mykey hello
+//   build/tools/ccpr_client --config=cluster.conf --site=1 get mykey
+//   build/tools/ccpr_client --config=cluster.conf --site=0 snapshot k1 k2
+//   build/tools/ccpr_client --config=cluster.conf --site=2 status
+//   build/tools/ccpr_client --config=cluster.conf --site=0 bench \
+//       --ops=1000 --write-rate=0.3 --seed=1
+//
+// Commands (first positional argument):
+//   ping                     round-trip check
+//   put <key> <value>        write, prints the WriteId
+//   get <key>                read, prints the value
+//   snapshot <key>...        causally consistent multi-key read
+//   status                   server-side counters
+//   bench                    seeded read/write loop, prints ops/sec
+//                            (--ops, --write-rate, --value-bytes, --seed)
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+using namespace ccpr;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ccpr_client --config=<path> --site=<id> "
+               "ping|put|get|snapshot|status|bench ...\n";
+  return 2;
+}
+
+int run_bench(client::Client& cli, const util::Flags& flags) {
+  const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 1000));
+  const double write_rate = flags.get_double("write-rate", 0.3);
+  const auto value_bytes =
+      static_cast<std::size_t>(flags.get_int("value-bytes", 64));
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const std::uint32_t q = cli.keys().size();
+
+  std::uint64_t writes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto x = static_cast<causal::VarId>(rng.below(q));
+    if (rng.chance(write_rate)) {
+      std::string value(value_bytes, 'a');
+      cli.put(x, std::move(value));
+      ++writes;
+    } else {
+      (void)cli.get(x);
+    }
+  }
+  const auto dt = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0);
+  std::printf("ops=%llu writes=%llu elapsed=%.3fs throughput=%.0f ops/s\n",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(writes), dt.count(),
+              static_cast<double>(ops) / dt.count());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const std::string config_path = flags.get_string("config", "");
+  const auto site_id = flags.get_int("site", -1);
+  const auto& args = flags.positional();
+  if (config_path.empty() || site_id < 0 || args.empty()) return usage();
+
+  std::string error;
+  const auto config = server::ClusterConfig::load(config_path, &error);
+  if (!config) {
+    std::cerr << "ccpr_client: " << error << "\n";
+    return 2;
+  }
+
+  try {
+    client::Client cli(*config, static_cast<causal::SiteId>(site_id));
+    const std::string& cmd = args[0];
+    if (cmd == "ping") {
+      cli.ping();
+      std::printf("ok\n");
+    } else if (cmd == "put") {
+      if (args.size() != 3) return usage();
+      const auto id = cli.put_key(args[1], args[2]);
+      std::printf("ok write=(%u,%llu)\n", id.writer,
+                  static_cast<unsigned long long>(id.seq));
+    } else if (cmd == "get") {
+      if (args.size() != 2) return usage();
+      std::printf("%s\n", cli.get_key(args[1]).c_str());
+    } else if (cmd == "snapshot") {
+      if (args.size() < 2) return usage();
+      std::vector<causal::VarId> xs;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (!cli.keys().contains(args[i])) {
+          std::cerr << "ccpr_client: unknown key '" << args[i] << "'\n";
+          return 2;
+        }
+        xs.push_back(cli.keys().intern(args[i]));
+      }
+      const auto values = cli.snapshot(xs);
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::printf("%s=%s\n", cli.keys().name(xs[i]).c_str(),
+                    values[i].data.c_str());
+      }
+    } else if (cmd == "status") {
+      const auto st = cli.status();
+      std::printf(
+          "site=%u alg=%s writes=%llu reads=%llu pending=%llu "
+          "peer_sent=%llu peer_recv=%llu peer_queued=%llu\n",
+          st.site, causal::algorithm_token(st.algorithm),
+          static_cast<unsigned long long>(st.writes),
+          static_cast<unsigned long long>(st.reads),
+          static_cast<unsigned long long>(st.pending_updates),
+          static_cast<unsigned long long>(st.peer_msgs_sent),
+          static_cast<unsigned long long>(st.peer_msgs_recv),
+          static_cast<unsigned long long>(st.peer_queued));
+    } else if (cmd == "bench") {
+      return run_bench(cli, flags);
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -42,12 +42,7 @@ using namespace ccpr;
 namespace {
 
 causal::Algorithm parse_alg(const std::string& name) {
-  if (name == "full-track") return causal::Algorithm::kFullTrack;
-  if (name == "opt-track") return causal::Algorithm::kOptTrack;
-  if (name == "opt-track-crp") return causal::Algorithm::kOptTrackCRP;
-  if (name == "optp") return causal::Algorithm::kOptP;
-  if (name == "ahamad") return causal::Algorithm::kAhamad;
-  if (name == "eventual") return causal::Algorithm::kEventual;
+  if (const auto alg = causal::algorithm_from_token(name)) return *alg;
   std::cerr << "unknown --alg=" << name << "\n";
   std::exit(2);
 }

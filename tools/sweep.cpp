@@ -31,12 +31,7 @@ std::vector<std::string> split(const std::string& s, char sep) {
 }
 
 causal::Algorithm parse_alg(const std::string& name) {
-  if (name == "full-track") return causal::Algorithm::kFullTrack;
-  if (name == "opt-track") return causal::Algorithm::kOptTrack;
-  if (name == "opt-track-crp") return causal::Algorithm::kOptTrackCRP;
-  if (name == "optp") return causal::Algorithm::kOptP;
-  if (name == "ahamad") return causal::Algorithm::kAhamad;
-  if (name == "eventual") return causal::Algorithm::kEventual;
+  if (const auto alg = causal::algorithm_from_token(name)) return *alg;
   std::cerr << "unknown algorithm: " << name << "\n";
   std::exit(2);
 }
