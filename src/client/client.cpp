@@ -90,11 +90,18 @@ net::Socket Client::dial_site(causal::SiteId site,
 std::vector<std::uint8_t> Client::roundtrip(
     const std::vector<std::uint8_t>& req) {
   if (!sock_.valid()) fail("connection closed");
+  // Any failure past this point leaves the stream desynchronized — in
+  // particular a request timeout, where the late response would otherwise
+  // be read as the answer to the *next* request (frames carry no
+  // correlation id). Close the connection so a caller that catches the
+  // exception cannot accidentally reuse it.
   if (!server::write_client_frame(sock_.fd(), req)) {
+    sock_.close();
     fail("send failed (site " + std::to_string(site_) + " unreachable?)");
   }
   auto resp = server::read_client_frame(sock_.fd(), max_frame_bytes_);
   if (!resp) {
+    sock_.close();
     fail("no response (site " + std::to_string(site_) +
          " closed the connection or timed out)");
   }

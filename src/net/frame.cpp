@@ -3,12 +3,14 @@
 namespace ccpr::net {
 
 std::vector<std::uint8_t> encode_frame(const Message& msg,
+                                       std::uint64_t incarnation,
                                        std::uint64_t seq) {
-  Encoder enc(msg.body.size() + 24);
+  Encoder enc(msg.body.size() + 32);
   enc.u32(0);  // placeholder for the length prefix, patched below
   enc.u8(static_cast<std::uint8_t>(msg.kind));
   enc.varint(msg.src);
   enc.varint(msg.dst);
+  enc.varint(incarnation);
   enc.varint(seq);
   enc.varint(msg.payload_bytes);
   enc.varint(msg.body.size());
@@ -49,6 +51,7 @@ std::optional<Frame> decode_frame_body(const std::uint8_t* data,
   }
   frame.msg.src = static_cast<SiteId>(dec.varint());
   frame.msg.dst = static_cast<SiteId>(dec.varint());
+  frame.incarnation = dec.varint();
   frame.seq = dec.varint();
   frame.msg.payload_bytes = static_cast<std::uint32_t>(dec.varint());
   const std::uint64_t body_len = dec.varint();

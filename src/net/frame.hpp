@@ -5,15 +5,19 @@
 // Layout on the wire:
 //
 //   [u32 length]                      little-endian, bytes that follow
-//   [u8  kind][varint src][varint dst][varint seq]
+//   [u8  kind][varint src][varint dst][varint incarnation][varint seq]
 //   [varint payload_bytes][varint body_len][raw body]
 //
 // `seq` is a per-(src, dst) channel sequence number (starting at 1) that
 // lets the receiver drop duplicates after a sender-side reconnect resends a
-// possibly-already-delivered frame. The decoder is bounds-checked via
-// net::Decoder, and both sides reject frames whose declared length exceeds a
-// configurable maximum so a corrupt or hostile length prefix cannot force an
-// unbounded allocation.
+// possibly-already-delivered frame. `incarnation` is a nonzero nonce drawn
+// once per sender *process instance*: seq watermarks are only comparable
+// within one incarnation, so when a site restarts (and its seq space resets
+// to 1) receivers see the new incarnation and reset their dedup watermark
+// instead of silently dropping every frame from the fresh process. The
+// decoder is bounds-checked via net::Decoder, and both sides reject frames
+// whose declared length exceeds a configurable maximum so a corrupt or
+// hostile length prefix cannot force an unbounded allocation.
 #pragma once
 
 #include <cstdint>
@@ -35,13 +39,17 @@ inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u * 1024 * 1024;
 
 struct Frame {
   Message msg;
+  /// Sender process-instance nonce (nonzero for real senders).
+  std::uint64_t incarnation = 0;
   /// Channel sequence number assigned by the sender (1-based).
   std::uint64_t seq = 0;
 };
 
-/// Serialize `msg` with its channel seq into a self-contained frame,
-/// including the leading u32 length prefix.
-std::vector<std::uint8_t> encode_frame(const Message& msg, std::uint64_t seq);
+/// Serialize `msg` with its sender incarnation and channel seq into a
+/// self-contained frame, including the leading u32 length prefix.
+std::vector<std::uint8_t> encode_frame(const Message& msg,
+                                       std::uint64_t incarnation,
+                                       std::uint64_t seq);
 
 /// Parse the u32 length prefix. Returns std::nullopt unless exactly
 /// kFrameLenBytes are supplied or the declared size exceeds `max_frame_bytes`

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <random>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -10,10 +11,27 @@
 
 namespace ccpr::net {
 
+namespace {
+
+/// Nonzero per-process-instance nonce. Entropy comes from the OS, not the
+/// clock, so two sites started in the same tick still differ.
+std::uint64_t draw_incarnation() {
+  std::random_device rd;
+  std::uint64_t nonce = 0;
+  do {
+    nonce = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  } while (nonce == 0);
+  return nonce;
+}
+
+}  // namespace
+
 TcpTransport::TcpTransport(Options opts, metrics::Metrics& metrics)
     : opts_(std::move(opts)), metrics_(metrics) {
   CCPR_EXPECTS(opts_.max_frame_bytes > 0);
   CCPR_EXPECTS(opts_.backoff_initial_ms > 0);
+  incarnation_ =
+      opts_.incarnation != 0 ? opts_.incarnation : draw_incarnation();
   for (const Peer& peer : opts_.peers) {
     if (peer.site == opts_.self) continue;
     auto link = std::make_unique<Link>();
@@ -40,6 +58,10 @@ bool TcpTransport::start() {
       tcp_listen(opts_.listen_host, opts_.listen_port, &listen_port_);
   if (!listen_sock_.valid()) return false;
   stopping_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(in_mu_);
+    in_closed_ = false;
+  }
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   delivery_thread_ = std::thread([this] { delivery_loop(); });
@@ -105,7 +127,21 @@ void TcpTransport::sender_loop(Link* link) {
       // write retries it instead of losing it.
       out = link->queue.front();
     }
-    const std::vector<std::uint8_t> frame = encode_frame(out.msg, out.seq);
+    const std::vector<std::uint8_t> frame =
+        encode_frame(out.msg, incarnation_, out.seq);
+    // Exponential backoff with jitter; stop-aware sleep. Applied on any
+    // iteration that makes no progress — a failed dial, but also a failed
+    // write (a peer mid-restart can accept and immediately reset, which
+    // would otherwise spin dial/write/close at full speed).
+    const auto backoff_sleep = [&] {
+      const auto base = static_cast<std::uint64_t>(backoff_ms);
+      const std::uint64_t wait_ms = base / 2 + jitter.below(base + 1);
+      backoff_ms = std::min(backoff_ms * 2, opts_.backoff_max_ms);
+      std::unique_lock lk(link->mu);
+      link->cv.wait_for(lk, std::chrono::milliseconds(wait_ms), [&] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
+    };
     bool sent = false;
     while (!sent && !stopping_.load(std::memory_order_relaxed)) {
       int fd = -1;
@@ -116,29 +152,27 @@ void TcpTransport::sender_loop(Link* link) {
       if (fd < 0) {
         Socket sock = tcp_dial(link->host, link->port);
         if (!sock.valid()) {
-          // Exponential backoff with jitter; stop-aware sleep.
-          const auto base = static_cast<std::uint64_t>(backoff_ms);
-          const std::uint64_t wait_ms = base / 2 + jitter.below(base + 1);
-          backoff_ms = std::min(backoff_ms * 2, opts_.backoff_max_ms);
-          std::unique_lock lk(link->mu);
-          link->cv.wait_for(lk, std::chrono::milliseconds(wait_ms), [&] {
-            return stopping_.load(std::memory_order_relaxed);
-          });
+          backoff_sleep();
           continue;
         }
         std::lock_guard lk(link->mu);
         link->sock = std::move(sock);
         ++link->connects;
         fd = link->sock.fd();
-        backoff_ms = opts_.backoff_initial_ms;
       }
       if (write_all(fd, frame.data(), frame.size())) {
         sent = true;
+        // Only a frame on the wire counts as progress; a successful dial
+        // alone does not reset the backoff.
+        backoff_ms = opts_.backoff_initial_ms;
       } else {
         // Connection lost; drop the socket and retry the same frame on a
         // fresh one (the receiver's seq dedup absorbs a duplicate).
-        std::lock_guard lk(link->mu);
-        link->sock.close();
+        {
+          std::lock_guard lk(link->mu);
+          link->sock.close();
+        }
+        backoff_sleep();
       }
     }
     if (!sent) return;  // stopping
@@ -156,6 +190,8 @@ void TcpTransport::accept_loop() {
     const int fd = ::accept(listen_sock_.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_relaxed)) return;
+      // A persistent errno (e.g. EMFILE) must not become a busy spin.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
     auto conn = std::make_unique<InConn>();
@@ -201,6 +237,14 @@ void TcpTransport::reader_loop(InConn* conn) {
       std::lock_guard lk(in_mu_);
       RecvStats& rs = recv_[frame->msg.src];
       if (frame->seq != 0) {
+        if (frame->incarnation != rs.incarnation) {
+          // New sender process instance: its seq space restarted, so the
+          // old watermark is meaningless. Reset rather than dropping the
+          // restarted site's traffic as "duplicates".
+          if (rs.incarnation != 0) ++rs.incarnation_resets;
+          rs.incarnation = frame->incarnation;
+          rs.last_seq = 0;
+        }
         if (frame->seq <= rs.last_seq) {
           ++rs.dup_drops;
           continue;
@@ -227,11 +271,11 @@ void TcpTransport::delivery_loop() {
     Message msg;
     {
       std::unique_lock lk(in_mu_);
-      in_cv_.wait(lk, [&] {
-        return !in_queue_.empty() ||
-               stopping_.load(std::memory_order_relaxed);
-      });
-      if (in_queue_.empty()) return;  // stopping and drained
+      // Exit only once stop() has joined every producer (readers and the
+      // loopback path) and the queue is drained, so a message that made it
+      // into the queue is always delivered.
+      in_cv_.wait(lk, [&] { return !in_queue_.empty() || in_closed_; });
+      if (in_queue_.empty()) return;  // closed and drained
       msg = std::move(in_queue_.front());
       in_queue_.pop_front();
     }
@@ -255,29 +299,17 @@ bool TcpTransport::flush(std::chrono::milliseconds timeout) {
 void TcpTransport::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_relaxed);
-  // Unblock accept().
+  // Unblock and join accept() first so no new reader can appear.
   listen_sock_.shutdown_both();
-  // Unblock senders (parked on their cv or mid-write/backoff).
-  for (auto& link : links_) {
-    std::lock_guard lk(link->mu);
-    link->sock.shutdown_both();
-    link->cv.notify_all();
-  }
-  // Unblock readers.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock and join the readers. They are the inbound producers, so only
+  // after this point is the delivery queue complete.
   {
     std::lock_guard lk(conns_mu_);
     for (auto& conn : conns_) {
       std::lock_guard conn_lk(conn->mu);
       conn->sock.shutdown_both();
     }
-  }
-  in_cv_.notify_all();
-
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& link : links_) {
-    if (link->thread.joinable()) link->thread.join();
-    std::lock_guard lk(link->mu);
-    link->sock.close();
   }
   {
     std::lock_guard lk(conns_mu_);
@@ -286,6 +318,25 @@ void TcpTransport::stop() {
     }
     conns_.clear();
   }
+  // Unblock senders (parked on their cv or mid-write/backoff) and join.
+  for (auto& link : links_) {
+    std::lock_guard lk(link->mu);
+    link->sock.shutdown_both();
+    link->cv.notify_all();
+  }
+  for (auto& link : links_) {
+    if (link->thread.joinable()) link->thread.join();
+    std::lock_guard lk(link->mu);
+    link->sock.close();
+  }
+  // Every producer is gone: close the delivery queue so the delivery thread
+  // drains what is queued and exits — messages that reached the queue are
+  // delivered, never dropped.
+  {
+    std::lock_guard lk(in_mu_);
+    in_closed_ = true;
+  }
+  in_cv_.notify_all();
   if (delivery_thread_.joinable()) delivery_thread_.join();
   listen_sock_.close();
   started_ = false;
@@ -311,6 +362,7 @@ std::vector<TcpTransport::PeerStats> TcpTransport::peer_stats() const {
         ps.msgs_recv = it->second.msgs;
         ps.bytes_recv = it->second.bytes;
         ps.dup_drops = it->second.dup_drops;
+        ps.incarnation_resets = it->second.incarnation_resets;
       }
     }
     out.push_back(ps);

@@ -12,7 +12,11 @@
 //     exponential backoff plus jitter, and resends the in-flight frame after
 //     a connection loss. Per-channel sequence numbers let the receiver drop
 //     the duplicate this can produce, so each (src, dst) channel stays FIFO
-//     and at-most-once for the lifetime of both endpoints.
+//     and at-most-once for the lifetime of both endpoints. Each frame also
+//     carries the sender's per-process incarnation nonce; a receiver resets
+//     its seq watermark when the incarnation changes, so a restarted peer
+//     (whose seq space restarts at 1) is not mistaken for a duplicate
+//     stream and rejoins cleanly.
 //   * Inbound, an accept thread spawns one reader thread per connection;
 //     readers push decoded frames onto a single delivery queue drained by a
 //     dedicated delivery thread, so deliveries to the sink never overlap.
@@ -62,6 +66,11 @@ class TcpTransport final : public ITransport {
     std::uint32_t backoff_initial_ms = 10;
     std::uint32_t backoff_max_ms = 1000;
     std::uint64_t jitter_seed = 0x7cb1e;
+    /// Per-process-instance nonce stamped into every outbound frame so
+    /// receivers can tell a restarted sender from a duplicate stream.
+    /// 0 (the default) draws a random nonzero nonce at construction;
+    /// set explicitly only in tests that need determinism.
+    std::uint64_t incarnation = 0;
   };
 
   /// Per-peer wire counters (sent side from the sender thread, received
@@ -75,6 +84,7 @@ class TcpTransport final : public ITransport {
     std::uint64_t dup_drops = 0;   ///< frames discarded by seq dedup
     std::uint64_t connects = 0;    ///< successful dials (first + re-dials)
     std::uint64_t queued = 0;      ///< messages currently waiting to send
+    std::uint64_t incarnation_resets = 0;  ///< peer restarts observed
   };
 
   TcpTransport(Options opts, metrics::Metrics& metrics);
@@ -141,7 +151,13 @@ class TcpTransport final : public ITransport {
     std::uint64_t msgs = 0;
     std::uint64_t bytes = 0;
     std::uint64_t dup_drops = 0;
+    /// Watermark of the highest seq seen, valid only within `incarnation`:
+    /// when a frame arrives from a new sender incarnation the watermark
+    /// resets, so a restarted peer's fresh seq space is not deduplicated
+    /// against the dead process's.
     std::uint64_t last_seq = 0;
+    std::uint64_t incarnation = 0;
+    std::uint64_t incarnation_resets = 0;
   };
 
   void accept_loop();
@@ -165,8 +181,11 @@ class TcpTransport final : public ITransport {
 
   std::vector<std::unique_ptr<Link>> links_;  // fixed after construction
 
+  std::uint64_t incarnation_ = 0;  // fixed after construction, nonzero
+
   mutable std::mutex in_mu_;
   std::condition_variable in_cv_;
+  bool in_closed_ = false;  ///< set once no producer can enqueue again
   std::deque<Message> in_queue_;
   std::unordered_map<SiteId, RecvStats> recv_;  // guarded by in_mu_
 

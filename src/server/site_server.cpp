@@ -124,6 +124,8 @@ void SiteServer::accept_clients() {
     const int fd = ::accept(client_listen_.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_relaxed)) return;
+      // A persistent errno (e.g. EMFILE) must not become a busy spin.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
     auto conn = std::make_unique<ClientConn>();

@@ -25,7 +25,7 @@ TEST(FrameTest, RoundTripAllKinds) {
        {MsgKind::kUpdate, MsgKind::kFetchReq, MsgKind::kFetchResp}) {
     const Message msg =
         make_msg(kind, 3, 7, {0xde, 0xad, 0xbe, 0xef, 0x01}, 2);
-    const auto wire = encode_frame(msg, 42);
+    const auto wire = encode_frame(msg, 0xabcd, 42);
 
     const auto size =
         decode_frame_size(wire.data(), kFrameLenBytes, kDefaultMaxFrameBytes);
@@ -40,13 +40,14 @@ TEST(FrameTest, RoundTripAllKinds) {
     EXPECT_EQ(frame->msg.dst, 7u);
     EXPECT_EQ(frame->msg.body, msg.body);
     EXPECT_EQ(frame->msg.payload_bytes, 2u);
+    EXPECT_EQ(frame->incarnation, 0xabcdu);
     EXPECT_EQ(frame->seq, 42u);
   }
 }
 
 TEST(FrameTest, RoundTripEmptyBody) {
   const Message msg = make_msg(MsgKind::kFetchReq, 0, 1, {}, 0);
-  const auto wire = encode_frame(msg, 1);
+  const auto wire = encode_frame(msg, 1, 1);
   const auto frame = decode_frame_body(wire.data() + kFrameLenBytes,
                                        wire.size() - kFrameLenBytes);
   ASSERT_TRUE(frame.has_value());
@@ -54,15 +55,17 @@ TEST(FrameTest, RoundTripEmptyBody) {
   EXPECT_EQ(frame->seq, 1u);
 }
 
-TEST(FrameTest, LargeSeqAndSiteIds) {
+TEST(FrameTest, LargeSeqIncarnationAndSiteIds) {
   const Message msg = make_msg(MsgKind::kUpdate, 0xfffffffeu, 0x12345678u,
                                std::vector<std::uint8_t>(1000, 0x5a), 1000);
-  const auto wire = encode_frame(msg, 0xffffffffffffffffULL);
+  const auto wire =
+      encode_frame(msg, 0xdeadbeefcafef00dULL, 0xffffffffffffffffULL);
   const auto frame = decode_frame_body(wire.data() + kFrameLenBytes,
                                        wire.size() - kFrameLenBytes);
   ASSERT_TRUE(frame.has_value());
   EXPECT_EQ(frame->msg.src, 0xfffffffeu);
   EXPECT_EQ(frame->msg.dst, 0x12345678u);
+  EXPECT_EQ(frame->incarnation, 0xdeadbeefcafef00dULL);
   EXPECT_EQ(frame->seq, 0xffffffffffffffffULL);
 }
 
@@ -90,7 +93,7 @@ TEST(FrameTest, SizeRejectsShortPrefix) {
 TEST(FrameTest, BodyRejectsTruncation) {
   const Message msg =
       make_msg(MsgKind::kUpdate, 1, 2, {1, 2, 3, 4, 5, 6, 7, 8}, 4);
-  const auto wire = encode_frame(msg, 9);
+  const auto wire = encode_frame(msg, 6, 9);
   const std::uint8_t* body = wire.data() + kFrameLenBytes;
   const std::size_t body_len = wire.size() - kFrameLenBytes;
   // Every strict prefix of a valid frame body must be rejected.
@@ -102,7 +105,7 @@ TEST(FrameTest, BodyRejectsTruncation) {
 
 TEST(FrameTest, BodyRejectsTrailingGarbage) {
   const Message msg = make_msg(MsgKind::kUpdate, 1, 2, {1, 2, 3}, 0);
-  auto wire = encode_frame(msg, 5);
+  auto wire = encode_frame(msg, 6, 5);
   wire.push_back(0x00);
   EXPECT_FALSE(decode_frame_body(wire.data() + kFrameLenBytes,
                                  wire.size() - kFrameLenBytes)
@@ -111,7 +114,7 @@ TEST(FrameTest, BodyRejectsTrailingGarbage) {
 
 TEST(FrameTest, BodyRejectsUnknownKind) {
   const Message msg = make_msg(MsgKind::kUpdate, 1, 2, {1, 2, 3}, 0);
-  auto wire = encode_frame(msg, 5);
+  auto wire = encode_frame(msg, 6, 5);
   wire[kFrameLenBytes] = 0x7f;  // kind byte
   EXPECT_FALSE(decode_frame_body(wire.data() + kFrameLenBytes,
                                  wire.size() - kFrameLenBytes)
@@ -124,10 +127,10 @@ TEST(FrameTest, BodyRejectsUnknownKind) {
 
 TEST(FrameTest, BodyRejectsPayloadLargerThanBody) {
   const Message msg = make_msg(MsgKind::kUpdate, 1, 2, {1, 2, 3}, 3);
-  auto wire = encode_frame(msg, 5);
-  // Locate the payload_bytes varint: kind(1) + src(1) + dst(1) + seq(1)
-  // for these small values; bump it beyond body_len.
-  wire[kFrameLenBytes + 4] = 0x04;
+  auto wire = encode_frame(msg, 6, 5);
+  // Locate the payload_bytes varint: kind(1) + src(1) + dst(1) +
+  // incarnation(1) + seq(1) for these small values; bump it beyond body_len.
+  wire[kFrameLenBytes + 5] = 0x04;
   EXPECT_FALSE(decode_frame_body(wire.data() + kFrameLenBytes,
                                  wire.size() - kFrameLenBytes)
                    .has_value());
@@ -137,7 +140,7 @@ TEST(FrameTest, EncodedPrefixMatchesBodyLength) {
   const Message msg =
       make_msg(MsgKind::kFetchResp, 9, 4, std::vector<std::uint8_t>(300, 7),
                128);
-  const auto wire = encode_frame(msg, 77);
+  const auto wire = encode_frame(msg, 88, 77);
   std::uint32_t declared = 0;
   std::memcpy(&declared, wire.data(), kFrameLenBytes);
   // Encoder writes little-endian; this test assumes a little-endian host

@@ -189,6 +189,33 @@ TEST(TcpClusterTest, KillAndRestartSurvivesCausalCheck) {
     for (auto& t : sessions) t.join();
   }
 
+  // The inbound probe above only proves peers can reach site 2. Also prove
+  // the reverse: a write accepted by the restarted site must propagate, i.e.
+  // the peers must accept site 2's fresh (seq-reset) outbound stream rather
+  // than deduplicating it against the dead incarnation's watermark. Runs
+  // after the recorded phases and unrecorded, because the restarted site's
+  // write ids restart too and would collide with phase-1 recordings.
+  {
+    const auto rmap = cfg.replica_map();
+    causal::VarId shared = cfg.vars;
+    for (causal::VarId x = 0; x < cfg.vars; ++x) {
+      if (rmap.replicated_at(x, 0) && rmap.replicated_at(x, 2)) {
+        shared = x;
+        break;
+      }
+    }
+    ASSERT_LT(shared, cfg.vars) << "config has no var replicated at 0 and 2";
+    client::Client writer(cfg, 2);
+    writer.put(shared, "from-restarted-site");
+    client::Client reader(cfg, 0);
+    const auto deadline = std::chrono::steady_clock::now() + 20s;
+    while (reader.get(shared).data != "from-restarted-site") {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "restarted site's outbound updates never reached site 0";
+      std::this_thread::sleep_for(20ms);
+    }
+  }
+
   for (auto& srv : servers) srv.terminate();
   ::unlink(path);
 

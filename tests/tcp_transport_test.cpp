@@ -239,6 +239,54 @@ TEST(TcpTransportTest, ReconnectsAfterPeerRestart) {
   b2.stop();
 }
 
+TEST(TcpTransportTest, RestartedSenderIsNotDroppedAsDuplicate) {
+  const auto ports = pick_ports(2);
+  metrics::Metrics mb;
+  CollectSink sb;
+  TcpTransport b(options_for(1, ports), mb);
+  b.connect(1, &sb);
+  ASSERT_TRUE(b.start());
+
+  // First incarnation of site 0 pushes b's seq watermark for the channel
+  // up to 10, then dies.
+  {
+    metrics::Metrics ma;
+    CollectSink sa;
+    TcpTransport a(options_for(0, ports), ma);
+    a.connect(0, &sa);
+    ASSERT_TRUE(a.start());
+    for (int i = 0; i < 10; ++i) {
+      a.send(make_msg(0, 1, static_cast<std::uint8_t>(i)));
+    }
+    ASSERT_TRUE(sb.wait_for_count(10));
+    a.stop();
+  }
+
+  // Restarted site 0: a fresh process whose seq space restarts at 1. Its
+  // frames carry a new incarnation, so b must reset the watermark and
+  // deliver them instead of dropping them as duplicates of seqs 1..10.
+  metrics::Metrics ma2;
+  CollectSink sa2;
+  TcpTransport a2(options_for(0, ports), ma2);
+  a2.connect(0, &sa2);
+  ASSERT_TRUE(a2.start());
+  for (int i = 0; i < 5; ++i) {
+    a2.send(make_msg(0, 1, static_cast<std::uint8_t>(100 + i)));
+  }
+  ASSERT_TRUE(sb.wait_for_count(15))
+      << "restarted sender's frames were dropped by the stale seq watermark";
+  const auto msgs = sb.snapshot();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(msgs[10 + i].body[0], static_cast<std::uint8_t>(100 + i));
+  }
+  const auto stats = b.peer_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].incarnation_resets, 1u);
+  EXPECT_EQ(stats[0].dup_drops, 0u);
+  a2.stop();
+  b.stop();
+}
+
 TEST(TcpTransportTest, FlushTimesOutTowardDeadPeer) {
   const auto ports = pick_ports(2);
   metrics::Metrics ma;

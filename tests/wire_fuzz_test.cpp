@@ -168,7 +168,8 @@ TEST(WireFuzzTest, FrameBodySurvivesRandomInput) {
       // Anything accepted must satisfy the envelope invariants and
       // re-encode to the same bytes (prefix included).
       EXPECT_LE(frame->msg.payload_bytes, frame->msg.body.size());
-      const auto wire = encode_frame(frame->msg, frame->seq);
+      const auto wire =
+          encode_frame(frame->msg, frame->incarnation, frame->seq);
       ASSERT_GE(wire.size(), kFrameLenBytes);
       EXPECT_TRUE(std::equal(wire.begin() + kFrameLenBytes, wire.end(),
                              buf.begin(), buf.end()));
@@ -187,7 +188,7 @@ TEST(WireFuzzTest, FrameCorruptionNeverMisdecodesSilently) {
   msg.dst = 1;
   msg.body = random_bytes(rng, 24);
   msg.payload_bytes = 10;
-  const auto wire = encode_frame(msg, 1234567);
+  const auto wire = encode_frame(msg, 0x1ca51, 1234567);
   for (std::size_t i = kFrameLenBytes; i < wire.size(); ++i) {
     for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80},
                                     std::uint8_t{0xff}}) {
