@@ -11,7 +11,7 @@ Ahamad::Ahamad(SiteId self, const ReplicaMap& rmap, Services svc)
   CCPR_EXPECTS(rmap.fully_replicated());
 }
 
-void Ahamad::write(VarId x, std::string data) {
+void Ahamad::do_write(VarId x, std::string data) {
   CCPR_EXPECTS(x < rmap_.vars());
   const WriteId id = next_write_id();
   note_write_issued(x, id);

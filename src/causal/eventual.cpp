@@ -7,7 +7,7 @@ namespace ccpr::causal {
 Eventual::Eventual(SiteId self, const ReplicaMap& rmap, Services svc)
     : ProtocolBase(self, rmap, std::move(svc), /*fetch_gating=*/false) {}
 
-void Eventual::write(VarId x, std::string data) {
+void Eventual::do_write(VarId x, std::string data) {
   CCPR_EXPECTS(x < rmap_.vars());
   const WriteId id = next_write_id();
   note_write_issued(x, id);

@@ -15,7 +15,7 @@ class Eventual final : public ProtocolBase {
  public:
   Eventual(SiteId self, const ReplicaMap& rmap, Services svc);
 
-  void write(VarId x, std::string data) override;
+  void do_write(VarId x, std::string data) override;
 
   std::size_t pending_update_count() const override { return 0; }
   std::uint64_t log_entry_count() const override { return 0; }

@@ -14,7 +14,7 @@ FullTrack::FullTrack(SiteId self, const ReplicaMap& rmap, Services svc,
       write_(n_),
       apply_(n_, 0) {}
 
-void FullTrack::write(VarId x, std::string data) {
+void FullTrack::do_write(VarId x, std::string data) {
   CCPR_EXPECTS(x < rmap_.vars());
   const WriteId id = next_write_id();
   note_write_issued(x, id);

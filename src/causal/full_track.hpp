@@ -27,7 +27,7 @@ class FullTrack final : public ProtocolBase {
   FullTrack(SiteId self, const ReplicaMap& rmap, Services svc,
             Options options);
 
-  void write(VarId x, std::string data) override;
+  void do_write(VarId x, std::string data) override;
 
   std::size_t pending_update_count() const override { return pending_.size(); }
   std::uint64_t log_entry_count() const override;

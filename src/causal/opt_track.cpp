@@ -49,7 +49,7 @@ MergePolicy OptTrack::merge_policy() const {
                                    : MergePolicy::kConservative;
 }
 
-void OptTrack::write(VarId x, std::string data) {
+void OptTrack::do_write(VarId x, std::string data) {
   CCPR_EXPECTS(x < rmap_.vars());
   ++clock_;
   const WriteId id{self_, clock_};

@@ -52,7 +52,7 @@ class OptTrack final : public ProtocolBase {
   OptTrack(SiteId self, const ReplicaMap& rmap, Services svc,
            Options options);
 
-  void write(VarId x, std::string data) override;
+  void do_write(VarId x, std::string data) override;
 
   std::size_t pending_update_count() const override { return pending_.size(); }
   std::uint64_t log_entry_count() const override { return log_.size(); }

@@ -12,7 +12,7 @@ OptTrackCRP::OptTrackCRP(SiteId self, const ReplicaMap& rmap, Services svc)
   CCPR_EXPECTS(rmap.fully_replicated());
 }
 
-void OptTrackCRP::write(VarId x, std::string data) {
+void OptTrackCRP::do_write(VarId x, std::string data) {
   CCPR_EXPECTS(x < rmap_.vars());
   ++clock_;
   const WriteId id = next_write_id();

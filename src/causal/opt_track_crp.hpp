@@ -25,7 +25,7 @@ class OptTrackCRP final : public ProtocolBase {
   /// Requires a fully replicated ReplicaMap (all reads are local).
   OptTrackCRP(SiteId self, const ReplicaMap& rmap, Services svc);
 
-  void write(VarId x, std::string data) override;
+  void do_write(VarId x, std::string data) override;
 
   std::size_t pending_update_count() const override { return pending_.size(); }
   std::uint64_t log_entry_count() const override { return log_.size(); }

@@ -12,7 +12,7 @@ OptP::OptP(SiteId self, const ReplicaMap& rmap, Services svc)
   CCPR_EXPECTS(rmap.fully_replicated());
 }
 
-void OptP::write(VarId x, std::string data) {
+void OptP::do_write(VarId x, std::string data) {
   CCPR_EXPECTS(x < rmap_.vars());
   const WriteId id = next_write_id();
   note_write_issued(x, id);

@@ -77,6 +77,7 @@ net::Message ProtocolBase::make_message(net::MsgKind kind, SiteId dst,
 }
 
 void ProtocolBase::read(VarId x, ReadContinuation k) {
+  SingleCallerGuard::Scope scope(guard_);
   CCPR_EXPECTS(x < rmap_.vars());
   ++svc_.metrics->reads;
   const sim::SimTime issued = svc_.now();
@@ -128,6 +129,7 @@ void ProtocolBase::on_fetch_timeout(std::uint64_t req_id) {
 }
 
 void ProtocolBase::on_message(const net::Message& msg) {
+  SingleCallerGuard::Scope scope(guard_);
   switch (msg.kind) {
     case net::MsgKind::kUpdate:
       on_update(msg);
@@ -147,12 +149,14 @@ void ProtocolBase::encode_fetch_req_meta(net::Encoder&, VarId, SiteId) {}
 bool ProtocolBase::fetch_ready(VarId, net::Decoder&) { return true; }
 
 std::vector<std::uint8_t> ProtocolBase::coverage_token(SiteId target) {
+  SingleCallerGuard::Scope scope(guard_);
   net::Encoder enc;
   encode_fetch_req_meta(enc, /*x=*/0, target);
   return std::move(enc).take();
 }
 
 bool ProtocolBase::covered_by(const std::vector<std::uint8_t>& token) {
+  SingleCallerGuard::Scope scope(guard_);
   net::Decoder dec(token.data(), token.size());
   return fetch_ready(/*x=*/0, dec);
 }

@@ -8,9 +8,11 @@
 //     predicate>" without blocking threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -20,8 +22,48 @@
 #include "causal/replica_map.hpp"
 #include "metrics/metrics.hpp"
 #include "net/wire.hpp"
+#include "util/assert.hpp"
 
 namespace ccpr::causal {
+
+/// Enforces the Services single-writer contract (see protocol.hpp): at most
+/// one thread may be inside the protocol at a time. Same-thread re-entry is
+/// legal (a read continuation issuing further operations); a second thread
+/// entering while another is inside aborts. Sequential handoff between
+/// threads (e.g. mutex-serialized callers) is fine — the guard only rejects
+/// genuine overlap.
+class SingleCallerGuard {
+ public:
+  class Scope {
+   public:
+    explicit Scope(SingleCallerGuard& g) : g_(g) {
+      const std::thread::id me = std::this_thread::get_id();
+      if (g_.owner_.load(std::memory_order_relaxed) == me) {
+        ++g_.depth_;
+        return;
+      }
+      std::thread::id none{};
+      CCPR_ASSERT(g_.owner_.compare_exchange_strong(
+          none, me, std::memory_order_acquire) &&
+          "concurrent IProtocol access violates the single-writer contract");
+      g_.depth_ = 1;
+    }
+    ~Scope() {
+      if (--g_.depth_ == 0) {
+        g_.owner_.store(std::thread::id{}, std::memory_order_release);
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SingleCallerGuard& g_;
+  };
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+  int depth_ = 0;  ///< touched only by the owning thread
+};
 
 /// Holds updates whose activation predicate is not yet true and re-scans
 /// them after every apply until a fixpoint is reached.
@@ -66,6 +108,13 @@ class PendingBuffer {
 
 class ProtocolBase : public IProtocol {
  public:
+  // Every entry point takes a SingleCallerGuard scope so a runtime that
+  // breaks the contract in protocol.hpp dies loudly instead of corrupting
+  // causal state.
+  void write(VarId x, std::string data) final {
+    SingleCallerGuard::Scope scope(guard_);
+    do_write(x, std::move(data));
+  }
   void read(VarId x, ReadContinuation k) final;
   void on_message(const net::Message& msg) final;
   const Value& peek(VarId x) const final { return stored(x); }
@@ -91,6 +140,8 @@ class ProtocolBase : public IProtocol {
 
   // ---- hooks implemented by each algorithm ----
 
+  /// Perform w_i(x)v; invoked by write() with the caller guard held.
+  virtual void do_write(VarId x, std::string data) = 0;
   /// Handle an incoming kUpdate message.
   virtual void on_update(const net::Message& msg) = 0;
   /// Merge LastWriteOn<x> into the local causal state (x is locally
@@ -153,6 +204,7 @@ class ProtocolBase : public IProtocol {
   const ReplicaMap& rmap_;
   Services svc_;
   bool fetch_gating_;
+  SingleCallerGuard guard_;  ///< asserts the single-writer contract
 
  private:
   /// One logical remote read; multiple outstanding fetch requests (the

@@ -245,6 +245,17 @@ ServerStatus Client::status() {
   return st;
 }
 
+std::string Client::metrics_text() {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kMetrics));
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "metrics");
+  std::string text = dec.bytes();
+  if (!dec.ok()) fail("metrics: malformed response");
+  return text;
+}
+
 void Client::ping() {
   net::Encoder req;
   req.u8(static_cast<std::uint8_t>(ClientOp::kPing));

@@ -85,6 +85,9 @@ class Client {
                std::chrono::milliseconds timeout = std::chrono::seconds(30));
 
   ServerStatus status();
+  /// Prometheus exposition text for the session's site (merged protocol +
+  /// transport counters, engine queue depths, per-peer wire stats).
+  std::string metrics_text();
   void ping();
 
   causal::SiteId site() const noexcept { return site_; }

@@ -15,7 +15,9 @@
 
 namespace ccpr::metrics {
 
-/// Monotone counter with peak tracking for gauge-style use.
+/// Last-value gauge with peak tracking: set() moves `current` both up and
+/// down (it is a level, not a counter); only `peak` is monotone, recording
+/// the high-water mark across all samples.
 class Gauge {
  public:
   void set(std::uint64_t v) noexcept {

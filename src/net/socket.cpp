@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -114,6 +115,38 @@ bool write_all(int fd, const void* data, std::size_t len) {
     if (n == 0) return false;
     p += n;
     len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all_vec(int fd, const WriteSpan* spans, std::size_t count) {
+  constexpr std::size_t kMaxIov = 64;  // well under any IOV_MAX
+  struct iovec iov[kMaxIov];
+  std::size_t next = 0;  // first span not yet fully written
+  std::size_t offset = 0;  // bytes of spans[next] already written
+  while (next < count) {
+    std::size_t iovcnt = 0;
+    for (std::size_t i = next; i < count && iovcnt < kMaxIov; ++i) {
+      const std::size_t skip = (i == next) ? offset : 0;
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(
+          static_cast<const std::uint8_t*>(spans[i].data) + skip);
+      iov[iovcnt].iov_len = spans[i].len - skip;
+      ++iovcnt;
+    }
+    const ssize_t n = ::writev(fd, iov, static_cast<int>(iovcnt));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    std::size_t written = static_cast<std::size_t>(n);
+    // Advance past fully written spans, then note the partial one.
+    while (next < count && written >= spans[next].len - offset) {
+      written -= spans[next].len - offset;
+      offset = 0;
+      ++next;
+    }
+    offset += written;
   }
   return true;
 }

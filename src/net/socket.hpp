@@ -54,6 +54,15 @@ Socket tcp_dial(const std::string& host, std::uint16_t port);
 /// Write exactly `len` bytes (restarting on EINTR / partial writes).
 bool write_all(int fd, const void* data, std::size_t len);
 
+/// One gather-write span: `data`/`len` pairs are coalesced into as few
+/// writev() syscalls as possible (chunked to IOV_MAX, restarted on EINTR
+/// and partial writes). Returns false on the first unrecoverable error.
+struct WriteSpan {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
+bool write_all_vec(int fd, const WriteSpan* spans, std::size_t count);
+
 /// Read exactly `len` bytes. Returns false on EOF or error.
 bool read_all(int fd, void* data, std::size_t len);
 

@@ -30,6 +30,8 @@ TcpTransport::TcpTransport(Options opts, metrics::Metrics& metrics)
     : opts_(std::move(opts)), metrics_(metrics) {
   CCPR_EXPECTS(opts_.max_frame_bytes > 0);
   CCPR_EXPECTS(opts_.backoff_initial_ms > 0);
+  if (opts_.max_batch_bytes == 0) opts_.max_batch_bytes = 1;
+  if (opts_.max_batch_msgs == 0) opts_.max_batch_msgs = 1;
   incarnation_ =
       opts_.incarnation != 0 ? opts_.incarnation : draw_incarnation();
   for (const Peer& peer : opts_.peers) {
@@ -101,7 +103,19 @@ void TcpTransport::send(Message msg) {
   for (auto& link : links_) {
     if (link->site != msg.dst) continue;
     {
-      std::lock_guard lk(link->mu);
+      std::unique_lock lk(link->mu);
+      if (opts_.max_queue_msgs > 0 &&
+          link->queue.size() >= opts_.max_queue_msgs) {
+        // Backpressure: block the producer until the sender drains below
+        // the cap. stop() unblocks us; the message is then dropped (the
+        // process is going away with everything else it queued).
+        ++link->send_blocks;
+        link->cv.wait(lk, [&] {
+          return link->queue.size() < opts_.max_queue_msgs ||
+                 stopping_.load(std::memory_order_relaxed);
+        });
+        if (stopping_.load(std::memory_order_relaxed)) return;
+      }
       link->queue.push_back(Outbound{std::move(msg), ++link->next_seq});
     }
     link->cv.notify_all();
@@ -114,8 +128,18 @@ void TcpTransport::sender_loop(Link* link) {
   util::Rng jitter(opts_.jitter_seed ^
                    (0x9e3779b97f4a7c15ULL * (link->site + 1)));
   std::uint32_t backoff_ms = opts_.backoff_initial_ms;
+  std::vector<std::vector<std::uint8_t>> frames;  // the in-flight batch
+  std::vector<const Outbound*> head;              // stable queue-head view
+  std::vector<WriteSpan> spans;
   while (true) {
-    Outbound out;
+    // Gather a batch from the queue head. Only stable element pointers are
+    // taken under the lock: deque references survive concurrent push_back
+    // and only this thread pops, so the head is immutable until the erase
+    // below. Encoding happens outside the critical section — holding the
+    // lock across a 64-frame encode would stall every producer (the apply
+    // thread above all) for the whole batch.
+    frames.clear();
+    head.clear();
     {
       std::unique_lock lk(link->mu);
       link->cv.wait(lk, [&] {
@@ -123,12 +147,24 @@ void TcpTransport::sender_loop(Link* link) {
                stopping_.load(std::memory_order_relaxed);
       });
       if (stopping_.load(std::memory_order_relaxed)) return;
-      // Leave the message at the head until it is on the wire, so a failed
-      // write retries it instead of losing it.
-      out = link->queue.front();
+      const std::size_t n =
+          std::min<std::size_t>(link->queue.size(), opts_.max_batch_msgs);
+      for (std::size_t i = 0; i < n; ++i) head.push_back(&link->queue[i]);
     }
-    const std::vector<std::uint8_t> frame =
-        encode_frame(out.msg, incarnation_, out.seq);
+    std::size_t batch_bytes = 0;
+    for (const Outbound* out : head) {
+      if (!frames.empty() && batch_bytes >= opts_.max_batch_bytes) break;
+      frames.push_back(encode_frame(out->msg, incarnation_, out->seq));
+      batch_bytes += frames.back().size();
+    }
+    // The batch stays at the queue head until it is on the wire, so a
+    // failed write retries it instead of losing it.
+    spans.clear();
+    std::size_t batch_wire_bytes = 0;
+    for (const auto& f : frames) {
+      spans.push_back(WriteSpan{f.data(), f.size()});
+      batch_wire_bytes += f.size();
+    }
     // Exponential backoff with jitter; stop-aware sleep. Applied on any
     // iteration that makes no progress — a failed dial, but also a failed
     // write (a peer mid-restart can accept and immediately reset, which
@@ -160,14 +196,15 @@ void TcpTransport::sender_loop(Link* link) {
         ++link->connects;
         fd = link->sock.fd();
       }
-      if (write_all(fd, frame.data(), frame.size())) {
+      if (write_all_vec(fd, spans.data(), spans.size())) {
         sent = true;
-        // Only a frame on the wire counts as progress; a successful dial
+        // Only frames on the wire count as progress; a successful dial
         // alone does not reset the backoff.
         backoff_ms = opts_.backoff_initial_ms;
       } else {
-        // Connection lost; drop the socket and retry the same frame on a
-        // fresh one (the receiver's seq dedup absorbs a duplicate).
+        // Connection lost; drop the socket and retry the whole batch on a
+        // fresh one. A prefix of it may have reached the peer — the
+        // receiver's seq dedup absorbs the duplicates.
         {
           std::lock_guard lk(link->mu);
           link->sock.close();
@@ -177,11 +214,15 @@ void TcpTransport::sender_loop(Link* link) {
     }
     if (!sent) return;  // stopping
     std::lock_guard lk(link->mu);
-    ++link->msgs_sent;
-    link->bytes_sent += frame.size();
-    CCPR_ASSERT(!link->queue.empty());
-    link->queue.pop_front();
-    if (link->queue.empty()) link->cv.notify_all();  // wake flush()
+    link->msgs_sent += frames.size();
+    link->bytes_sent += batch_wire_bytes;
+    ++link->batches_sent;
+    CCPR_ASSERT(link->queue.size() >= frames.size());
+    link->queue.erase(link->queue.begin(),
+                      link->queue.begin() +
+                          static_cast<std::ptrdiff_t>(frames.size()));
+    // Wake flush() when drained and any producer blocked on the cap.
+    link->cv.notify_all();
   }
 }
 
@@ -348,12 +389,15 @@ std::vector<TcpTransport::PeerStats> TcpTransport::peer_stats() const {
   for (const auto& link : links_) {
     PeerStats ps;
     ps.site = link->site;
+    ps.queue_cap = opts_.max_queue_msgs;
     {
       std::lock_guard lk(link->mu);
       ps.msgs_sent = link->msgs_sent;
       ps.bytes_sent = link->bytes_sent;
       ps.connects = link->connects;
       ps.queued = link->queue.size();
+      ps.batches_sent = link->batches_sent;
+      ps.send_blocks = link->send_blocks;
     }
     {
       std::lock_guard lk(in_mu_);

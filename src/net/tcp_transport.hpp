@@ -8,15 +8,24 @@
 //   * Frames are length-prefixed (net/frame.hpp), bounds-checked on decode,
 //     and capped at a configurable maximum size.
 //   * One sender thread per peer owns that peer's outbound TCP connection.
-//     Messages queue per peer; the thread dials lazily, retries with
-//     exponential backoff plus jitter, and resends the in-flight frame after
-//     a connection loss. Per-channel sequence numbers let the receiver drop
-//     the duplicate this can produce, so each (src, dst) channel stays FIFO
-//     and at-most-once for the lifetime of both endpoints. Each frame also
-//     carries the sender's per-process incarnation nonce; a receiver resets
-//     its seq watermark when the incarnation changes, so a restarted peer
-//     (whose seq space restarts at 1) is not mistaken for a duplicate
-//     stream and rejoins cleanly.
+//     Messages queue per peer; each wakeup the thread drains as much of the
+//     queue as fits the batch limits (max_batch_bytes / max_batch_msgs) and
+//     flushes the coalesced frames with one writev, so a backlog costs one
+//     syscall per batch instead of one per frame. The thread dials lazily,
+//     retries with exponential backoff plus jitter, and resends the
+//     in-flight batch after a connection loss. Per-channel sequence numbers
+//     let the receiver drop the duplicates this can produce, so each
+//     (src, dst) channel stays FIFO and at-most-once for the lifetime of
+//     both endpoints. Each frame also carries the sender's per-process
+//     incarnation nonce; a receiver resets its seq watermark when the
+//     incarnation changes, so a restarted peer (whose seq space restarts
+//     at 1) is not mistaken for a duplicate stream and rejoins cleanly.
+//   * Per-peer queues are capped (max_queue_msgs): a producer calling
+//     send() toward a full queue blocks until the sender drains it —
+//     backpressure rather than unbounded memory. The inbound delivery
+//     queue stays unbounded on purpose: readers must never block, or two
+//     saturated sites could deadlock through their full kernel buffers
+//     (see docs/RUNTIMES.md, threading model).
 //   * Inbound, an accept thread spawns one reader thread per connection;
 //     readers push decoded frames onto a single delivery queue drained by a
 //     dedicated delivery thread, so deliveries to the sink never overlap.
@@ -71,6 +80,15 @@ class TcpTransport final : public ITransport {
     /// 0 (the default) draws a random nonzero nonce at construction;
     /// set explicitly only in tests that need determinism.
     std::uint64_t incarnation = 0;
+    /// Sender batching: coalesce queued frames into one writev flush up to
+    /// this many bytes (a single frame always goes out regardless of its
+    /// size). 1 effectively disables batching — one frame per syscall.
+    std::uint32_t max_batch_bytes = 256 * 1024;
+    /// Upper bound on frames per writev flush.
+    std::uint32_t max_batch_msgs = 64;
+    /// Cap on messages queued per peer; send() blocks while the queue is
+    /// at the cap (backpressure). 0 = unbounded.
+    std::uint32_t max_queue_msgs = 65536;
   };
 
   /// Per-peer wire counters (sent side from the sender thread, received
@@ -85,6 +103,9 @@ class TcpTransport final : public ITransport {
     std::uint64_t connects = 0;    ///< successful dials (first + re-dials)
     std::uint64_t queued = 0;      ///< messages currently waiting to send
     std::uint64_t incarnation_resets = 0;  ///< peer restarts observed
+    std::uint64_t batches_sent = 0;  ///< writev flushes (≥1 frame each)
+    std::uint64_t send_blocks = 0;   ///< sends that hit the queue cap
+    std::uint64_t queue_cap = 0;     ///< configured cap (0 = unbounded)
   };
 
   TcpTransport(Options opts, metrics::Metrics& metrics);
@@ -136,6 +157,8 @@ class TcpTransport final : public ITransport {
     std::uint64_t msgs_sent = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t connects = 0;
+    std::uint64_t batches_sent = 0;
+    std::uint64_t send_blocks = 0;
     std::thread thread;
   };
 

@@ -23,6 +23,9 @@
 //   kStatus    -> ok site:varint alg:u8 writes:varint reads:varint
 //                    pending:varint peer_msgs_sent:varint
 //                    peer_msgs_recv:varint peer_queued:varint
+//   kMetrics   -> ok text:bytes              (Prometheus exposition text:
+//                    merged protocol+transport counters, engine queue
+//                    depths, per-peer wire stats)
 #pragma once
 
 #include <cstdint>
@@ -43,6 +46,7 @@ enum class ClientOp : std::uint8_t {
   kToken = 5,
   kCovered = 6,
   kStatus = 7,
+  kMetrics = 8,
 };
 
 enum class ClientStatus : std::uint8_t {

@@ -174,6 +174,18 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
       if (!want(1) || !parse_u32(toks[1], &cfg.max_frame_bytes)) {
         return fail(where() + "max-frame-bytes <bytes>");
       }
+    } else if (kw == "sender-batch-bytes") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.sender_batch_bytes)) {
+        return fail(where() + "sender-batch-bytes <bytes>");
+      }
+    } else if (kw == "peer-queue-cap") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.peer_queue_cap)) {
+        return fail(where() + "peer-queue-cap <messages>");
+      }
+    } else if (kw == "engine-queue-cap") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.engine_queue_cap)) {
+        return fail(where() + "engine-queue-cap <commands>");
+      }
     } else {
       return fail(where() + "unknown keyword '" + kw + "'");
     }
@@ -251,6 +263,13 @@ std::string ClusterConfig::to_text() const {
   }
   if (max_frame_bytes > 0) {
     out << "max-frame-bytes " << max_frame_bytes << "\n";
+  }
+  if (sender_batch_bytes > 0) {
+    out << "sender-batch-bytes " << sender_batch_bytes << "\n";
+  }
+  if (peer_queue_cap > 0) out << "peer-queue-cap " << peer_queue_cap << "\n";
+  if (engine_queue_cap > 0) {
+    out << "engine-queue-cap " << engine_queue_cap << "\n";
   }
   return out.str();
 }

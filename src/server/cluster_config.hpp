@@ -17,6 +17,9 @@
 //   fetch-timeout-us 250000
 //   no-gating true
 //   max-frame-bytes 16777216
+//   sender-batch-bytes 262144    # writev coalescing limit (1 = no batching)
+//   peer-queue-cap 65536         # outbound msgs/peer before send() blocks
+//   engine-queue-cap 4096        # protocol commands before producers block
 #pragma once
 
 #include <cstdint>
@@ -48,6 +51,10 @@ struct ClusterConfig {
   std::vector<std::pair<causal::VarId, std::string>> key_names;
   causal::ProtocolOptions protocol{};
   std::uint32_t max_frame_bytes = 0;  ///< 0 = transport default
+  /// I/O-path tuning; 0 means "use the runtime default" for each.
+  std::uint32_t sender_batch_bytes = 0;  ///< writev coalescing limit
+  std::uint32_t peer_queue_cap = 0;      ///< outbound per-peer queue cap
+  std::uint32_t engine_queue_cap = 0;    ///< protocol-engine command cap
 
   std::uint32_t site_count() const noexcept {
     return static_cast<std::uint32_t>(sites.size());

@@ -1,0 +1,162 @@
+#include "server/metrics_text.hpp"
+
+#include <sstream>
+
+namespace ccpr::server {
+
+namespace {
+
+/// One "# HELP/# TYPE" preamble plus a sample line with a site label.
+class Renderer {
+ public:
+  explicit Renderer(causal::SiteId site) : site_(site) {}
+
+  void counter(const char* name, const char* help, std::uint64_t v) {
+    preamble(name, help, "counter");
+    sample(name, "", static_cast<double>(v));
+  }
+  void gauge(const char* name, const char* help, double v) {
+    preamble(name, help, "gauge");
+    sample(name, "", v);
+  }
+  /// Prometheus summary without a _sum timeline: we expose the quantiles
+  /// the bench cares about plus _count/_sum from the histogram.
+  void summary(const char* name, const char* help,
+               const util::Histogram& h) {
+    preamble(name, help, "summary");
+    sample(name, R"(quantile="0.5")", h.percentile(0.5));
+    sample(name, R"(quantile="0.9")", h.percentile(0.9));
+    sample(name, R"(quantile="0.99")", h.percentile(0.99));
+    sample((std::string(name) + "_sum").c_str(), "",
+           h.mean() * static_cast<double>(h.count()));
+    sample((std::string(name) + "_count").c_str(), "",
+           static_cast<double>(h.count()));
+  }
+  void labeled(const char* name, const std::string& labels, double v) {
+    sample(name, labels, v);
+  }
+  void preamble(const char* name, const char* help, const char* type) {
+    out_ << "# HELP " << name << ' ' << help << "\n# TYPE " << name << ' '
+         << type << '\n';
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void sample(const char* name, const std::string& extra_labels, double v) {
+    out_ << name << "{site=\"" << site_ << '"';
+    if (!extra_labels.empty()) out_ << ',' << extra_labels;
+    out_ << "} ";
+    // Integral values print without a fraction; Prometheus accepts both.
+    if (v == static_cast<double>(static_cast<std::uint64_t>(v >= 0 ? v : 0)) &&
+        v >= 0) {
+      out_ << static_cast<std::uint64_t>(v);
+    } else {
+      out_ << v;
+    }
+    out_ << '\n';
+  }
+
+  causal::SiteId site_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string render_metrics_text(
+    causal::SiteId site, const metrics::Metrics& merged,
+    const ProtocolEngine::QueueStats& engine,
+    const std::vector<net::TcpTransport::PeerStats>& peers,
+    std::uint64_t pending_updates) {
+  Renderer r(site);
+
+  // ---- protocol + transport counters (the paper's Table I metrics) ----
+  r.counter("ccpr_update_msgs_total", "Write-propagation messages",
+            merged.update_msgs);
+  r.counter("ccpr_fetch_req_msgs_total", "RemoteFetch requests",
+            merged.fetch_req_msgs);
+  r.counter("ccpr_fetch_resp_msgs_total", "RemoteFetch responses",
+            merged.fetch_resp_msgs);
+  r.counter("ccpr_control_bytes_total", "Causal-metadata bytes on the wire",
+            merged.control_bytes);
+  r.counter("ccpr_payload_bytes_total", "Replicated value bytes on the wire",
+            merged.payload_bytes);
+  r.counter("ccpr_writes_total", "Store-level write operations",
+            merged.writes);
+  r.counter("ccpr_reads_total", "Store-level read operations", merged.reads);
+  r.counter("ccpr_remote_reads_total", "Reads served via RemoteFetch",
+            merged.remote_reads);
+  r.counter("ccpr_fetch_retries_total", "RemoteFetch failovers",
+            merged.fetch_retries);
+  r.gauge("ccpr_pending_updates", "Updates buffered awaiting activation",
+          static_cast<double>(pending_updates));
+  r.gauge("ccpr_log_entries", "Entries in the local causal log",
+          static_cast<double>(merged.log_entries.current()));
+  r.gauge("ccpr_meta_state_bytes", "Serialized causal-metadata footprint",
+          static_cast<double>(merged.meta_state_bytes.current()));
+  r.summary("ccpr_read_latency_us", "Read issue to value returned (us)",
+            merged.read_latency_us);
+  r.summary("ccpr_apply_delay_us", "Update receipt to activation (us)",
+            merged.apply_delay_us);
+
+  // ---- protocol-engine queue ----
+  r.gauge("ccpr_engine_queue_depth", "Commands waiting for the apply thread",
+          static_cast<double>(engine.depth));
+  r.gauge("ccpr_engine_queue_capacity", "Engine command-queue bound",
+          static_cast<double>(engine.capacity));
+  r.gauge("ccpr_engine_queue_peak_depth", "Deepest the command queue has been",
+          static_cast<double>(engine.peak_depth));
+  r.counter("ccpr_engine_producer_waits_total",
+            "Enqueues that blocked on the queue bound", engine.producer_waits);
+  r.preamble("ccpr_engine_commands_total",
+             "Commands admitted to the apply thread, by kind", "counter");
+  for (std::size_t k = 0; k < ProtocolEngine::kCmdKinds; ++k) {
+    r.labeled("ccpr_engine_commands_total",
+              std::string("kind=\"") +
+                  ProtocolEngine::kind_name(
+                      static_cast<ProtocolEngine::CmdKind>(k)) +
+                  '"',
+              static_cast<double>(engine.enqueued[k]));
+  }
+
+  // ---- per-peer wire stats ----
+  r.preamble("ccpr_peer_msgs_sent_total", "Messages sent to a peer",
+             "counter");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_msgs_sent_total",
+              "peer=\"" + std::to_string(p.site) + '"',
+              static_cast<double>(p.msgs_sent));
+  }
+  r.preamble("ccpr_peer_msgs_recv_total", "Messages received from a peer",
+             "counter");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_msgs_recv_total",
+              "peer=\"" + std::to_string(p.site) + '"',
+              static_cast<double>(p.msgs_recv));
+  }
+  r.preamble("ccpr_peer_batches_sent_total", "writev flushes toward a peer",
+             "counter");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_batches_sent_total",
+              "peer=\"" + std::to_string(p.site) + '"',
+              static_cast<double>(p.batches_sent));
+  }
+  r.preamble("ccpr_peer_send_blocks_total",
+             "Sends that blocked on the per-peer queue cap", "counter");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_send_blocks_total",
+              "peer=\"" + std::to_string(p.site) + '"',
+              static_cast<double>(p.send_blocks));
+  }
+  r.preamble("ccpr_peer_queue_depth", "Messages queued toward a peer",
+             "gauge");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_queue_depth",
+              "peer=\"" + std::to_string(p.site) + '"',
+              static_cast<double>(p.queued));
+  }
+
+  return r.str();
+}
+
+}  // namespace ccpr::server

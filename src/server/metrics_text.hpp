@@ -1,0 +1,27 @@
+// Prometheus text exposition (version 0.0.4) for one site server.
+//
+// One function renders everything a scrape wants: the merged
+// protocol+transport metrics::Metrics, the protocol-engine queue stats, and
+// the per-peer wire counters. All series carry a `site` label so outputs
+// from several sites concatenate into one cluster view; per-peer series add
+// a `peer` label. Only the plain-text renderer lives here — the server ships
+// the result over the client protocol (kMetrics), it does not speak HTTP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causal/types.hpp"
+#include "metrics/metrics.hpp"
+#include "net/tcp_transport.hpp"
+#include "server/protocol_engine.hpp"
+
+namespace ccpr::server {
+
+std::string render_metrics_text(
+    causal::SiteId site, const metrics::Metrics& merged,
+    const ProtocolEngine::QueueStats& engine,
+    const std::vector<net::TcpTransport::PeerStats>& peers,
+    std::uint64_t pending_updates);
+
+}  // namespace ccpr::server

@@ -1,0 +1,294 @@
+#include "server/protocol_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ccpr::server {
+
+const char* ProtocolEngine::kind_name(CmdKind k) noexcept {
+  switch (k) {
+    case CmdKind::kWrite: return "write";
+    case CmdKind::kRead: return "read";
+    case CmdKind::kSnapshot: return "snapshot";
+    case CmdKind::kToken: return "token";
+    case CmdKind::kCovered: return "covered";
+    case CmdKind::kStatus: return "status";
+    case CmdKind::kApplyUpdate: return "apply_update";
+    case CmdKind::kTimer: return "timer";
+    case CmdKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+ProtocolEngine::ProtocolEngine(Options opts) : opts_(opts) {
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+}
+
+ProtocolEngine::~ProtocolEngine() { stop(); }
+
+void ProtocolEngine::adopt_protocol(std::unique_ptr<causal::IProtocol> proto,
+                                    metrics::Metrics* proto_metrics) {
+  CCPR_EXPECTS(proto_ == nullptr && proto != nullptr);
+  CCPR_EXPECTS(proto_metrics != nullptr);
+  proto_ = std::move(proto);
+  proto_metrics_ = proto_metrics;
+}
+
+void ProtocolEngine::start() {
+  CCPR_EXPECTS(proto_ != nullptr);
+  std::lock_guard lk(mu_);
+  CCPR_EXPECTS(!running_);
+  stop_requested_ = false;
+  running_ = true;
+  apply_thread_ = std::thread([this] { loop(); });
+}
+
+void ProtocolEngine::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_ && !stop_requested_) return;
+    stop_requested_ = true;
+  }
+  cv_consume_.notify_all();
+  cv_produce_.notify_all();
+  if (apply_thread_.joinable()) apply_thread_.join();
+  std::lock_guard lk(mu_);
+  running_ = false;
+}
+
+bool ProtocolEngine::running() const noexcept {
+  std::lock_guard lk(mu_);
+  return running_ && !stop_requested_;
+}
+
+bool ProtocolEngine::enqueue(CmdKind kind, std::function<void()> run) {
+  std::unique_lock lk(mu_);
+  if (queue_.size() >= opts_.queue_capacity && !stop_requested_) {
+    ++producer_waits_;
+    cv_produce_.wait(lk, [&] {
+      return queue_.size() < opts_.queue_capacity || stop_requested_;
+    });
+  }
+  if (stop_requested_ || !running_) return false;
+  queue_.push_back(Cmd{kind, std::move(run)});
+  ++enqueued_[static_cast<std::size_t>(kind)];
+  if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+  lk.unlock();
+  cv_consume_.notify_one();
+  return true;
+}
+
+std::optional<ProtocolEngine::WriteResult> ProtocolEngine::write(
+    causal::VarId x, std::string data, bool local_replica) {
+  auto comp = std::make_shared<Completion<WriteResult>>();
+  const bool ok = enqueue(
+      CmdKind::kWrite,
+      [this, comp, x, data = std::move(data), local_replica]() mutable {
+        proto_->write(x, std::move(data));
+        WriteResult r;
+        r.id = proto_->last_write_id();
+        if (local_replica) r.lamport = proto_->peek(x).lamport;
+        comp->fulfill(r);
+      });
+  if (!ok) return std::nullopt;
+  return comp->wait();
+}
+
+std::optional<causal::Value> ProtocolEngine::read(causal::VarId x) {
+  auto comp = std::make_shared<Completion<causal::Value>>();
+  const bool ok = enqueue(CmdKind::kRead, [this, comp, x] {
+    proto_->read(x, [comp](const causal::Value& v) { comp->fulfill(v); });
+    // A RemoteFetch in flight leaves the continuation pending; park the
+    // completion so stop() can abort it if the response never arrives.
+    if (!comp->settled()) parked_reads_.push_back(comp);
+  });
+  if (!ok) return std::nullopt;
+  return comp->wait();
+}
+
+std::optional<std::vector<causal::Value>> ProtocolEngine::snapshot(
+    const std::vector<causal::VarId>& xs) {
+  auto comp = std::make_shared<Completion<std::vector<causal::Value>>>();
+  const bool ok = enqueue(CmdKind::kSnapshot, [this, comp, xs] {
+    // One apply slot => the values form a causally consistent cut. All vars
+    // are locally replicated (caller-validated), so every continuation runs
+    // synchronously.
+    std::vector<causal::Value> out;
+    out.reserve(xs.size());
+    for (const causal::VarId x : xs) {
+      proto_->read(x, [&out](const causal::Value& v) { out.push_back(v); });
+    }
+    CCPR_ASSERT(out.size() == xs.size());
+    comp->fulfill(std::move(out));
+  });
+  if (!ok) return std::nullopt;
+  return comp->wait();
+}
+
+std::optional<std::vector<std::uint8_t>> ProtocolEngine::coverage_token(
+    causal::SiteId target) {
+  auto comp = std::make_shared<Completion<std::vector<std::uint8_t>>>();
+  const bool ok = enqueue(CmdKind::kToken, [this, comp, target] {
+    comp->fulfill(proto_->coverage_token(target));
+  });
+  if (!ok) return std::nullopt;
+  return comp->wait();
+}
+
+std::optional<bool> ProtocolEngine::wait_covered(
+    std::vector<std::uint8_t> token, std::uint64_t wait_us) {
+  auto comp = std::make_shared<Completion<bool>>();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(wait_us);
+  const bool ok = enqueue(
+      CmdKind::kCovered,
+      [this, comp, token = std::move(token), deadline]() mutable {
+        if (proto_->covered_by(token)) {
+          comp->fulfill(true);
+          return;
+        }
+        covered_waiters_.push_back(
+            CoveredWaiter{std::move(token), deadline, comp});
+      });
+  if (!ok) return std::nullopt;
+  return comp->wait();
+}
+
+std::optional<ProtocolEngine::StatusSnapshot> ProtocolEngine::status() {
+  auto comp = std::make_shared<Completion<StatusSnapshot>>();
+  const bool ok = enqueue(CmdKind::kStatus, [this, comp] {
+    StatusSnapshot s;
+    s.writes = proto_metrics_->writes;
+    s.reads = proto_metrics_->reads;
+    s.pending_updates = proto_->pending_update_count();
+    comp->fulfill(s);
+  });
+  if (!ok) {
+    // Stopped-and-joined engines are quiescent; tests read post-mortem
+    // state this way. A stop() still in flight reports nullopt instead.
+    if (!quiescent()) return std::nullopt;
+    StatusSnapshot s;
+    s.writes = proto_metrics_->writes;
+    s.reads = proto_metrics_->reads;
+    s.pending_updates = proto_->pending_update_count();
+    return s;
+  }
+  return comp->wait();
+}
+
+std::optional<metrics::Metrics> ProtocolEngine::protocol_metrics() {
+  auto comp = std::make_shared<Completion<metrics::Metrics>>();
+  const bool ok = enqueue(CmdKind::kStatus, [this, comp] {
+    metrics::Metrics m = *proto_metrics_;
+    m.log_entries.set(proto_->log_entry_count());
+    m.meta_state_bytes.set(proto_->meta_state_bytes());
+    comp->fulfill(std::move(m));
+  });
+  if (!ok) {
+    if (!quiescent()) return std::nullopt;
+    metrics::Metrics m = *proto_metrics_;
+    m.log_entries.set(proto_->log_entry_count());
+    m.meta_state_bytes.set(proto_->meta_state_bytes());
+    return m;
+  }
+  return comp->wait();
+}
+
+bool ProtocolEngine::quiescent() const {
+  std::lock_guard lk(mu_);
+  return proto_ != nullptr && !running_;
+}
+
+void ProtocolEngine::apply_message(net::Message msg) {
+  enqueue(CmdKind::kApplyUpdate,
+          [this, msg = std::move(msg)] { proto_->on_message(msg); });
+}
+
+void ProtocolEngine::post_timer(std::function<void()> fn) {
+  enqueue(CmdKind::kTimer, std::move(fn));
+}
+
+ProtocolEngine::QueueStats ProtocolEngine::queue_stats() const {
+  std::lock_guard lk(mu_);
+  QueueStats s;
+  s.depth = queue_.size();
+  s.capacity = opts_.queue_capacity;
+  s.peak_depth = peak_depth_;
+  s.producer_waits = producer_waits_;
+  for (std::size_t i = 0; i < kCmdKinds; ++i) s.enqueued[i] = enqueued_[i];
+  return s;
+}
+
+void ProtocolEngine::loop() {
+  std::deque<Cmd> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock lk(mu_);
+      const auto ready = [&] { return !queue_.empty() || stop_requested_; };
+      if (!ready()) {
+        if (covered_waiters_.empty()) {
+          cv_consume_.wait(lk, ready);
+        } else {
+          auto deadline = covered_waiters_.front().deadline;
+          for (const CoveredWaiter& w : covered_waiters_) {
+            deadline = std::min(deadline, w.deadline);
+          }
+          cv_consume_.wait_until(lk, deadline, ready);
+        }
+      }
+      if (queue_.empty() && stop_requested_) break;
+      batch.swap(queue_);
+      cv_produce_.notify_all();
+    }
+
+    bool coverage_dirty = false;
+    for (Cmd& cmd : batch) {
+      cmd.run();
+      // Local writes, peer applies and timer callbacks can all advance the
+      // applied frontier that covered_by inspects.
+      coverage_dirty = coverage_dirty || cmd.kind == CmdKind::kWrite ||
+                       cmd.kind == CmdKind::kApplyUpdate ||
+                       cmd.kind == CmdKind::kTimer;
+    }
+    if (!parked_reads_.empty()) {
+      parked_reads_.erase(
+          std::remove_if(parked_reads_.begin(), parked_reads_.end(),
+                         [](const auto& c) { return c->settled(); }),
+          parked_reads_.end());
+    }
+    if (!covered_waiters_.empty()) recheck_covered_waiters(!coverage_dirty);
+  }
+  abort_parked();
+}
+
+void ProtocolEngine::recheck_covered_waiters(bool expire_only) {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = covered_waiters_.begin(); it != covered_waiters_.end();) {
+    const bool expired = now >= it->deadline;
+    if (expired || !expire_only) {
+      if (proto_->covered_by(it->token)) {
+        it->done->fulfill(true);
+        it = covered_waiters_.erase(it);
+        continue;
+      }
+      if (expired) {
+        it->done->fulfill(false);
+        it = covered_waiters_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+void ProtocolEngine::abort_parked() {
+  for (const auto& c : parked_reads_) c->abort();
+  parked_reads_.clear();
+  for (const CoveredWaiter& w : covered_waiters_) w.done->abort();
+  covered_waiters_.clear();
+}
+
+}  // namespace ccpr::server

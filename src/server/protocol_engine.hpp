@@ -1,0 +1,229 @@
+// ProtocolEngine: the single-writer core of a site server.
+//
+// One apply thread owns the causal::IProtocol instance exclusively; nothing
+// else ever touches it (the protocols assert this — see the Services
+// re-entrancy contract in causal/protocol.hpp). Everything that used to
+// contend on SiteServer's big mutex is now a *producer*: client-connection
+// threads, the transport delivery thread and the timer thread enqueue typed
+// commands onto one bounded MPSC queue and, for request/response commands,
+// block on a per-command completion until the apply thread has executed it.
+//
+// Why this shape scales: protocol work is short and strictly serial anyway
+// (causal metadata has no exploitable intra-site parallelism), so the old
+// mutex bought no concurrency — it only bought contention, with every
+// producer paying wake-up/convoy costs on the protocol's critical path. The
+// queue turns that into a hand-off: producers pay one short queue-lock
+// critical section, the apply thread drains whole batches per wakeup, and
+// the queue bound gives admission control (a slow site pushes back on its
+// clients instead of buffering unboundedly).
+//
+// Blocking semantics recovered without holding locks across protocol calls:
+//   * reads that RemoteFetch complete later — the continuation fires on the
+//     apply thread during a subsequent message apply and fulfills the
+//     waiting producer's completion;
+//   * covered_by waits — waiters are parked engine-side and re-checked
+//     after every coverage-changing command, with a deadline.
+// On stop() every parked waiter and never-completed read is aborted, and
+// producers get std::nullopt (the server maps that to kShuttingDown).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causal/protocol.hpp"
+#include "metrics/metrics.hpp"
+#include "net/message.hpp"
+
+namespace ccpr::server {
+
+class ProtocolEngine {
+ public:
+  /// Command classes, for queue accounting (and because the mix is what a
+  /// metrics scrape wants to see).
+  enum class CmdKind : std::uint8_t {
+    kWrite = 0,
+    kRead,
+    kSnapshot,
+    kToken,
+    kCovered,
+    kStatus,
+    kApplyUpdate,
+    kTimer,
+    kKindCount  // sentinel
+  };
+  static constexpr std::size_t kCmdKinds =
+      static_cast<std::size_t>(CmdKind::kKindCount);
+  static const char* kind_name(CmdKind k) noexcept;
+
+  struct Options {
+    /// Commands admitted before producers block (admission control).
+    std::size_t queue_capacity = 4096;
+  };
+
+  struct QueueStats {
+    std::uint64_t depth = 0;        ///< commands waiting right now
+    std::uint64_t capacity = 0;
+    std::uint64_t peak_depth = 0;
+    std::uint64_t producer_waits = 0;  ///< enqueues that hit the bound
+    std::uint64_t enqueued[kCmdKinds] = {};  ///< per-kind admission counts
+    std::uint64_t enqueued_total() const noexcept {
+      std::uint64_t t = 0;
+      for (const auto v : enqueued) t += v;
+      return t;
+    }
+  };
+
+  struct WriteResult {
+    causal::WriteId id;
+    std::uint64_t lamport = 0;  ///< 0 when the var is not locally replicated
+  };
+
+  struct StatusSnapshot {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t pending_updates = 0;
+  };
+
+  explicit ProtocolEngine(Options opts);
+  ~ProtocolEngine();
+
+  ProtocolEngine(const ProtocolEngine&) = delete;
+  ProtocolEngine& operator=(const ProtocolEngine&) = delete;
+
+  /// The engine takes exclusive ownership of the protocol; `proto_metrics`
+  /// is the sink the protocol's Services points at (read only on the apply
+  /// thread from here on). Must be called once, before start(); nobody else
+  /// may touch either afterwards.
+  void adopt_protocol(std::unique_ptr<causal::IProtocol> proto,
+                      metrics::Metrics* proto_metrics);
+
+  /// Launch the apply thread. The protocol must already be adopted.
+  void start();
+  /// Drain queued commands, abort parked reads/waiters, join the apply
+  /// thread. Producers blocked in enqueue or on completions observe
+  /// std::nullopt. Idempotent.
+  void stop();
+  bool running() const noexcept;
+
+  // ---- blocking producer API (client-connection threads) ----
+  // Every call returns std::nullopt iff the engine is (or goes) stopped.
+
+  /// `local_replica` tells the engine whether peek(x) is meaningful here
+  /// (the caller owns the replica map; the engine stays protocol-only).
+  std::optional<WriteResult> write(causal::VarId x, std::string data,
+                                   bool local_replica);
+  std::optional<causal::Value> read(causal::VarId x);
+  /// Causally consistent multi-key cut; all vars must be locally replicated
+  /// (the caller validates — the engine just executes in one apply slot).
+  std::optional<std::vector<causal::Value>> snapshot(
+      const std::vector<causal::VarId>& xs);
+  std::optional<std::vector<std::uint8_t>> coverage_token(
+      causal::SiteId target);
+  /// Wait until the protocol covers `token`, up to `wait_us`. Returns the
+  /// final covered verdict (false on timeout).
+  std::optional<bool> wait_covered(std::vector<std::uint8_t> token,
+                                   std::uint64_t wait_us);
+  std::optional<StatusSnapshot> status();
+  /// Copy of the protocol-side metrics (taken on the apply thread, so it is
+  /// a consistent snapshot).
+  std::optional<metrics::Metrics> protocol_metrics();
+
+  // ---- non-blocking producer API ----
+
+  /// Transport delivery: enqueue a peer message apply. Blocks only on the
+  /// queue bound; drops the message if the engine is stopped (shutdown
+  /// races only — a live engine never drops).
+  void apply_message(net::Message msg);
+  /// Timer thread: marshal a Services::schedule callback onto the apply
+  /// thread. Dropped if the engine is stopped.
+  void post_timer(std::function<void()> fn);
+
+  QueueStats queue_stats() const;
+
+ private:
+  struct Cmd {
+    CmdKind kind;
+    std::function<void()> run;  ///< executes on the apply thread
+  };
+
+  /// One blocking producer's rendezvous with the apply thread.
+  template <class T>
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+    bool aborted = false;
+
+    void fulfill(T v) {
+      {
+        std::lock_guard lk(mu);
+        value = std::move(v);
+      }
+      cv.notify_all();
+    }
+    void abort() {
+      {
+        std::lock_guard lk(mu);
+        aborted = true;
+      }
+      cv.notify_all();
+    }
+    std::optional<T> wait() {
+      std::unique_lock lk(mu);
+      cv.wait(lk, [&] { return value.has_value() || aborted; });
+      return std::move(value);
+    }
+    bool settled() {
+      std::lock_guard lk(mu);
+      return value.has_value() || aborted;
+    }
+  };
+
+  struct CoveredWaiter {
+    std::vector<std::uint8_t> token;
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<Completion<bool>> done;
+  };
+
+  /// Enqueue; returns false if the engine is stopped (command not queued).
+  bool enqueue(CmdKind kind, std::function<void()> run);
+  /// True iff the apply thread is gone for good (stopped and joined, or
+  /// never started) — direct protocol reads are then race-free.
+  bool quiescent() const;
+  void loop();
+  void recheck_covered_waiters(bool expire_only);
+  void abort_parked();
+
+  Options opts_;
+  std::unique_ptr<causal::IProtocol> proto_;
+  metrics::Metrics* proto_metrics_ = nullptr;  ///< apply-thread-only reads
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_produce_;  ///< queue has room
+  std::condition_variable cv_consume_;  ///< queue non-empty / stopping
+  std::deque<Cmd> queue_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::uint64_t peak_depth_ = 0;
+  std::uint64_t producer_waits_ = 0;
+  std::uint64_t enqueued_[kCmdKinds] = {};
+
+  std::thread apply_thread_;
+
+  // ---- apply-thread-private state (no locks needed) ----
+  /// Reads whose continuation has not fired yet (RemoteFetch in flight).
+  std::vector<std::shared_ptr<Completion<causal::Value>>> parked_reads_;
+  /// covered_by waiters parked until coverage or deadline.
+  std::vector<CoveredWaiter> covered_waiters_;
+};
+
+}  // namespace ccpr::server

@@ -6,10 +6,12 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "causal/value_codec.hpp"
 #include "server/client_protocol.hpp"
+#include "server/metrics_text.hpp"
 #include "util/assert.hpp"
 
 namespace ccpr::server {
@@ -38,6 +40,12 @@ SiteServer::SiteServer(ClusterConfig config, causal::SiteId self)
   topts.listen_port = config_.sites[self_].peer_port;
   topts.max_frame_bytes = max_frame_bytes_;
   topts.jitter_seed = 0xcc9e0000u + self_;
+  if (config_.sender_batch_bytes > 0) {
+    topts.max_batch_bytes = config_.sender_batch_bytes;
+  }
+  if (config_.peer_queue_cap > 0) {
+    topts.max_queue_msgs = config_.peer_queue_cap;
+  }
   for (causal::SiteId s = 0; s < config_.site_count(); ++s) {
     if (s == self_) continue;
     topts.peers.push_back(net::TcpTransport::Peer{
@@ -47,21 +55,28 @@ SiteServer::SiteServer(ClusterConfig config, causal::SiteId self)
       std::make_unique<net::TcpTransport>(std::move(topts), transport_metrics_);
   transport_->connect(self_, this);
 
+  ProtocolEngine::Options eopts;
+  if (config_.engine_queue_cap > 0) {
+    eopts.queue_capacity = config_.engine_queue_cap;
+  }
+  engine_ = std::make_unique<ProtocolEngine>(eopts);
+
   causal::Services svc;
+  // send runs on the engine's apply thread (from inside protocol calls);
+  // schedule callbacks are marshalled back onto it as timer commands —
+  // both sides of the Services re-entrancy contract are discharged by the
+  // engine's single apply thread.
   svc.send = [this](net::Message m) { transport_->send(std::move(m)); };
   svc.now = [] { return wall_now_us(); };
   svc.schedule = [this](sim::SimTime delay, std::function<void()> fn) {
-    timers_.schedule_after(delay, [this, fn = std::move(fn)] {
-      {
-        std::lock_guard lk(mu_);
-        fn();
-      }
-      cv_.notify_all();
-    });
+    timers_.schedule_after(
+        delay, [this, fn = std::move(fn)] { engine_->post_timer(fn); });
   };
   svc.metrics = &proto_metrics_;
-  proto_ = causal::make_protocol(config_.algorithm, self_, rmap_,
-                                 std::move(svc), config_.protocol);
+  engine_->adopt_protocol(
+      causal::make_protocol(config_.algorithm, self_, rmap_, std::move(svc),
+                            config_.protocol),
+      &proto_metrics_);
 }
 
 SiteServer::~SiteServer() { stop(); }
@@ -69,12 +84,18 @@ SiteServer::~SiteServer() { stop(); }
 bool SiteServer::start() {
   CCPR_EXPECTS(!started_);
   stopping_.store(false, std::memory_order_relaxed);
-  if (!transport_->start()) return false;
+  // The engine must accept commands before the transport can deliver.
+  engine_->start();
+  if (!transport_->start()) {
+    engine_->stop();
+    return false;
+  }
   client_listen_ = net::tcp_listen(config_.sites[self_].host,
                                    config_.sites[self_].client_port,
                                    &client_port_);
   if (!client_listen_.valid()) {
     transport_->stop();
+    engine_->stop();
     return false;
   }
   timers_.start();
@@ -86,13 +107,15 @@ bool SiteServer::start() {
 void SiteServer::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_relaxed);
-  // Stop taking new clients and unblock the ones parked in reads/waits.
+  // Stop taking new clients and unblock the ones parked in socket reads.
   client_listen_.shutdown_both();
   {
     std::lock_guard lk(conns_mu_);
     for (auto& conn : conns_) conn->sock.shutdown_both();
   }
-  cv_.notify_all();
+  // Drain queued commands and abort parked reads / covered waits, so every
+  // client thread blocked on a completion observes kShuttingDown.
+  engine_->stop();
   if (client_accept_thread_.joinable()) client_accept_thread_.join();
   {
     std::lock_guard lk(conns_mu_);
@@ -112,11 +135,10 @@ void SiteServer::stop() {
 }
 
 void SiteServer::deliver(net::Message msg) {
-  {
-    std::lock_guard lk(mu_);
-    proto_->on_message(msg);
-  }
-  cv_.notify_all();
+  // Pure producer: the delivery thread never touches the protocol. It may
+  // block on the engine's queue bound (the transport's inbound queue is
+  // unbounded precisely so this backpressure cannot deadlock peers).
+  engine_->apply_message(std::move(msg));
 }
 
 void SiteServer::accept_clients() {
@@ -154,7 +176,11 @@ void SiteServer::serve_client(ClientConn* conn) {
     handle_request(dec, resp);
     if (!write_client_frame(conn->sock.fd(), resp.buffer())) break;
   }
-  conn->sock.close();
+  // Shut the connection down but do not close() here: releasing the fd
+  // number from this thread would race stop()'s shutdown_both() over a
+  // concurrently reused fd. The fd is closed by ~ClientConn once the reaper
+  // in accept_clients() (or stop()) has joined this thread.
+  conn->sock.shutdown_both();
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -179,19 +205,16 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         status(ClientStatus::kBadRequest);
         return;
       }
-      causal::WriteId id;
-      std::uint64_t lamport = 0;
-      {
-        std::lock_guard lk(mu_);
-        proto_->write(x, std::move(data));
-        id = proto_->last_write_id();
-        if (rmap_.replicated_at(x, self_)) lamport = proto_->peek(x).lamport;
+      const auto r = engine_->write(x, std::move(data),
+                                    rmap_.replicated_at(x, self_));
+      if (!r) {
+        status(ClientStatus::kShuttingDown);
+        return;
       }
-      cv_.notify_all();  // a local apply may have unblocked covered_by waits
       status(ClientStatus::kOk);
-      resp.varint(id.writer + 1);
-      resp.varint(id.seq);
-      resp.varint(lamport);
+      resp.varint(r->id.writer + 1);
+      resp.varint(r->id.seq);
+      resp.varint(r->lamport);
       return;
     }
     case ClientOp::kGet: {
@@ -200,23 +223,13 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         status(ClientStatus::kBadRequest);
         return;
       }
-      // Shared state so a continuation that fires after a shutdown-aborted
-      // wait writes into live memory, not this frame's stack.
-      auto result = std::make_shared<std::optional<causal::Value>>();
-      {
-        std::unique_lock lk(mu_);
-        proto_->read(x, [result](const causal::Value& v) { *result = v; });
-        cv_.wait(lk, [&] {
-          return result->has_value() ||
-                 stopping_.load(std::memory_order_relaxed);
-        });
-        if (!result->has_value()) {
-          status(ClientStatus::kShuttingDown);
-          return;
-        }
-        status(ClientStatus::kOk);
-        causal::encode_value(resp, **result);
+      const auto v = engine_->read(x);
+      if (!v) {
+        status(ClientStatus::kShuttingDown);
+        return;
       }
+      status(ClientStatus::kOk);
+      causal::encode_value(resp, *v);
       return;
     }
     case ClientOp::kSnapshot: {
@@ -235,18 +248,16 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
           return;
         }
       }
-      status(ClientStatus::kOk);
-      resp.varint(vars.size());
-      {
-        // One critical section: the values form a causally consistent cut
-        // exactly as in ThreadedCluster::read_many.
-        std::lock_guard lk(mu_);
-        for (const causal::VarId x : vars) {
-          proto_->read(x, [&resp](const causal::Value& v) {
-            causal::encode_value(resp, v);
-          });
-        }
+      // One engine command: the values form a causally consistent cut
+      // exactly as in ThreadedCluster::read_many.
+      const auto values = engine_->snapshot(vars);
+      if (!values) {
+        status(ClientStatus::kShuttingDown);
+        return;
       }
+      status(ClientStatus::kOk);
+      resp.varint(values->size());
+      for (const causal::Value& v : *values) causal::encode_value(resp, v);
       return;
     }
     case ClientOp::kToken: {
@@ -255,14 +266,14 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         status(ClientStatus::kBadRequest);
         return;
       }
-      std::vector<std::uint8_t> token;
-      {
-        std::lock_guard lk(mu_);
-        token = proto_->coverage_token(target);
+      const auto token = engine_->coverage_token(target);
+      if (!token) {
+        status(ClientStatus::kShuttingDown);
+        return;
       }
       status(ClientStatus::kOk);
-      resp.varint(token.size());
-      resp.raw(token.data(), token.size());
+      resp.varint(token->size());
+      resp.raw(token->data(), token->size());
       return;
     }
     case ClientOp::kCovered: {
@@ -275,30 +286,21 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         status(ClientStatus::kBadRequest);
         return;
       }
-      const std::vector<std::uint8_t> token(token_str.begin(),
-                                            token_str.end());
-      bool covered = false;
-      {
-        std::unique_lock lk(mu_);
-        cv_.wait_for(lk, std::chrono::microseconds(wait_us), [&] {
-          return proto_->covered_by(token) ||
-                 stopping_.load(std::memory_order_relaxed);
-        });
-        covered = proto_->covered_by(token);
+      std::vector<std::uint8_t> token(token_str.begin(), token_str.end());
+      const auto covered = engine_->wait_covered(std::move(token), wait_us);
+      if (!covered) {
+        status(ClientStatus::kShuttingDown);
+        return;
       }
       status(ClientStatus::kOk);
-      resp.u8(covered ? 1 : 0);
+      resp.u8(*covered ? 1 : 0);
       return;
     }
     case ClientOp::kStatus: {
-      std::uint64_t writes = 0;
-      std::uint64_t reads = 0;
-      std::uint64_t pending = 0;
-      {
-        std::lock_guard lk(mu_);
-        writes = proto_metrics_.writes;
-        reads = proto_metrics_.reads;
-        pending = proto_->pending_update_count();
+      const auto s = engine_->status();
+      if (!s) {
+        status(ClientStatus::kShuttingDown);
+        return;
       }
       std::uint64_t sent = 0;
       std::uint64_t recv = 0;
@@ -311,12 +313,17 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       status(ClientStatus::kOk);
       resp.varint(self_);
       resp.u8(static_cast<std::uint8_t>(config_.algorithm));
-      resp.varint(writes);
-      resp.varint(reads);
-      resp.varint(pending);
+      resp.varint(s->writes);
+      resp.varint(s->reads);
+      resp.varint(s->pending_updates);
       resp.varint(sent);
       resp.varint(recv);
       resp.varint(queued);
+      return;
+    }
+    case ClientOp::kMetrics: {
+      status(ClientStatus::kOk);
+      resp.bytes(metrics_text());
       return;
     }
   }
@@ -325,14 +332,20 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
 
 metrics::Metrics SiteServer::metrics() const {
   metrics::Metrics merged = transport_->metrics_snapshot();
-  std::lock_guard lk(mu_);
-  merged.merge(proto_metrics_);
+  if (const auto proto = engine_->protocol_metrics()) merged.merge(*proto);
   return merged;
 }
 
 std::size_t SiteServer::pending_updates() const {
-  std::lock_guard lk(mu_);
-  return proto_->pending_update_count();
+  const auto s = engine_->status();
+  return s ? static_cast<std::size_t>(s->pending_updates) : 0;
+}
+
+std::string SiteServer::metrics_text() const {
+  const auto s = engine_->status();
+  return render_metrics_text(self_, metrics(), engine_->queue_stats(),
+                             transport_->peer_stats(),
+                             s ? s->pending_updates : 0);
 }
 
 }  // namespace ccpr::server

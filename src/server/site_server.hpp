@@ -3,14 +3,17 @@
 // It wires together the third runtime: a TcpTransport toward the peer
 // sites, one protocol state machine built by the existing factory, a timer
 // thread for RemoteFetch failover, and a client listener serving the framed
-// request/response protocol of client_protocol.hpp. The protocol instance
-// is guarded by one mutex exactly like the in-process runtimes: client
-// requests, peer message deliveries and timer callbacks interleave but
-// never overlap.
+// request/response protocol of client_protocol.hpp.
+//
+// Threading model (docs/RUNTIMES.md has the full picture): the protocol
+// instance is owned exclusively by the ProtocolEngine's apply thread.
+// Client-connection threads, the transport delivery thread and the timer
+// thread never touch it — they enqueue commands on the engine's bounded
+// queue and (for request/response work) block on per-command completions.
+// There is no mutex around the protocol anywhere in this file.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,6 +24,7 @@
 #include "metrics/metrics.hpp"
 #include "net/tcp_transport.hpp"
 #include "server/cluster_config.hpp"
+#include "server/protocol_engine.hpp"
 #include "util/timer_thread.hpp"
 
 namespace ccpr::server {
@@ -36,7 +40,7 @@ class SiteServer : net::IMessageSink {
   /// Bind both listen ports and start serving. Returns false (with the
   /// server stopped) if either port cannot be bound.
   bool start();
-  /// Graceful shutdown: stop accepting, finish in-flight client requests,
+  /// Graceful shutdown: stop accepting, abort in-flight client requests,
   /// flush outbound peer queues briefly, tear the transport down.
   void stop();
 
@@ -51,9 +55,14 @@ class SiteServer : net::IMessageSink {
   /// Site metrics: protocol counters merged with the transport counters.
   metrics::Metrics metrics() const;
   std::size_t pending_updates() const;
+  ProtocolEngine::QueueStats engine_stats() const {
+    return engine_->queue_stats();
+  }
   std::vector<net::TcpTransport::PeerStats> peer_stats() const {
     return transport_->peer_stats();
   }
+  /// The Prometheus exposition the kMetrics client op serves.
+  std::string metrics_text() const;
 
  private:
   struct ClientConn {
@@ -77,9 +86,9 @@ class SiteServer : net::IMessageSink {
   std::unique_ptr<net::TcpTransport> transport_;
   util::TimerThread timers_;
 
-  mutable std::mutex mu_;  ///< guards proto_ (and its metrics)
-  std::condition_variable cv_;
-  std::unique_ptr<causal::IProtocol> proto_;
+  /// Exclusive owner of the protocol and its metrics sink. The sink object
+  /// itself lives here so its address is stable across engine restarts.
+  std::unique_ptr<ProtocolEngine> engine_;
   metrics::Metrics proto_metrics_;
 
   net::Socket client_listen_;

@@ -76,6 +76,33 @@ TEST(ClusterConfigTest, TextRoundTrip) {
   EXPECT_EQ(again->placement_overrides, cfg->placement_overrides);
 }
 
+TEST(ClusterConfigTest, IoTuningKeysParseAndRoundTrip) {
+  const std::string text = std::string(kBasic) +
+                           "sender-batch-bytes 131072\n"
+                           "peer-queue-cap 8192\n"
+                           "engine-queue-cap 512\n";
+  std::string error;
+  const auto cfg = ClusterConfig::parse(text, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->sender_batch_bytes, 131072u);
+  EXPECT_EQ(cfg->peer_queue_cap, 8192u);
+  EXPECT_EQ(cfg->engine_queue_cap, 512u);
+  const auto again = ClusterConfig::parse(cfg->to_text(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->sender_batch_bytes, 131072u);
+  EXPECT_EQ(again->peer_queue_cap, 8192u);
+  EXPECT_EQ(again->engine_queue_cap, 512u);
+  EXPECT_EQ(again->to_text(), cfg->to_text());
+
+  // Omitted keys mean "runtime default" and must not serialize.
+  const auto base = ClusterConfig::parse(kBasic, &error);
+  ASSERT_TRUE(base.has_value()) << error;
+  EXPECT_EQ(base->sender_batch_bytes, 0u);
+  EXPECT_EQ(base->peer_queue_cap, 0u);
+  EXPECT_EQ(base->engine_queue_cap, 0u);
+  EXPECT_EQ(base->to_text().find("sender-batch-bytes"), std::string::npos);
+}
+
 TEST(ClusterConfigTest, AllAlgorithmTokensParse) {
   for (const char* token :
        {"full-track", "opt-track", "opt-track-crp", "optp", "ahamad",

@@ -13,6 +13,25 @@ TEST(GaugeTest, TracksPeak) {
   EXPECT_EQ(g.peak(), 5u);
 }
 
+TEST(GaugeTest, CurrentIsALevelPeakIsMonotone) {
+  // A gauge is a level, not a counter: set() must move current both ways,
+  // while peak only ever ratchets up.
+  Gauge g;
+  g.set(8);
+  g.set(3);
+  EXPECT_EQ(g.current(), 3u);
+  EXPECT_EQ(g.peak(), 8u);
+  g.set(12);
+  EXPECT_EQ(g.current(), 12u);
+  EXPECT_EQ(g.peak(), 12u);
+  g.add_sample(1);  // add_sample is set() + stats; same level semantics
+  EXPECT_EQ(g.current(), 1u);
+  EXPECT_EQ(g.peak(), 12u);
+  g.set(0);
+  EXPECT_EQ(g.current(), 0u);
+  EXPECT_EQ(g.peak(), 12u);
+}
+
 TEST(GaugeTest, AddSampleFeedsStats) {
   Gauge g;
   g.add_sample(10);

@@ -4,8 +4,8 @@
 //   build/tools/ccpr_client --config=cluster.conf --site=1 get mykey
 //   build/tools/ccpr_client --config=cluster.conf --site=0 snapshot k1 k2
 //   build/tools/ccpr_client --config=cluster.conf --site=2 status
-//   build/tools/ccpr_client --config=cluster.conf --site=0 bench \
-//       --ops=1000 --write-rate=0.3 --seed=1
+//   build/tools/ccpr_client --config=cluster.conf --site=0 bench
+//       --ops=1000 --write-rate=0.3 --seed=1 [--json]
 //
 // Commands (first positional argument):
 //   ping                     round-trip check
@@ -13,8 +13,11 @@
 //   get <key>                read, prints the value
 //   snapshot <key>...        causally consistent multi-key read
 //   status                   server-side counters
-//   bench                    seeded read/write loop, prints ops/sec
-//                            (--ops, --write-rate, --value-bytes, --seed)
+//   metrics                  Prometheus exposition text from the site
+//   bench                    seeded read/write loop; reports throughput,
+//                            per-op latency p50/p90/p99 and the site's
+//                            peer-message rate (--ops, --write-rate,
+//                            --value-bytes, --seed, --json)
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -24,6 +27,7 @@
 #include "client/client.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 using namespace ccpr;
 
@@ -31,7 +35,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ccpr_client --config=<path> --site=<id> "
-               "ping|put|get|snapshot|status|bench ...\n";
+               "ping|put|get|snapshot|status|metrics|bench ...\n";
   return 2;
 }
 
@@ -40,13 +44,20 @@ int run_bench(client::Client& cli, const util::Flags& flags) {
   const double write_rate = flags.get_double("write-rate", 0.3);
   const auto value_bytes =
       static_cast<std::size_t>(flags.get_int("value-bytes", 64));
+  const bool json = flags.get_bool("json", false);
   util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
   const std::uint32_t q = cli.keys().size();
 
+  // Peer-message rate comes from the server's own counters, bracketed
+  // around the loop, so it reflects the whole site (all clients + protocol
+  // propagation), not just this session.
+  const auto st0 = cli.status();
+  util::Histogram latency_us;
   std::uint64_t writes = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < ops; ++i) {
     const auto x = static_cast<causal::VarId>(rng.below(q));
+    const auto op0 = std::chrono::steady_clock::now();
     if (rng.chance(write_rate)) {
       std::string value(value_bytes, 'a');
       cli.put(x, std::move(value));
@@ -54,13 +65,40 @@ int run_bench(client::Client& cli, const util::Flags& flags) {
     } else {
       (void)cli.get(x);
     }
+    latency_us.add(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - op0)
+                       .count());
   }
   const auto dt = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - t0);
-  std::printf("ops=%llu writes=%llu elapsed=%.3fs throughput=%.0f ops/s\n",
-              static_cast<unsigned long long>(ops),
-              static_cast<unsigned long long>(writes), dt.count(),
-              static_cast<double>(ops) / dt.count());
+  const auto st1 = cli.status();
+
+  const double ops_per_s = static_cast<double>(ops) / dt.count();
+  const std::uint64_t peer_msgs = (st1.peer_msgs_sent - st0.peer_msgs_sent) +
+                                  (st1.peer_msgs_recv - st0.peer_msgs_recv);
+  const double msgs_per_s = static_cast<double>(peer_msgs) / dt.count();
+  if (json) {
+    std::printf(
+        "{\"ops\": %llu, \"writes\": %llu, \"elapsed_s\": %.6f, "
+        "\"ops_per_s\": %.1f, \"peer_msgs\": %llu, \"msgs_per_s\": %.1f, "
+        "\"latency_us\": {\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, "
+        "\"mean\": %.1f, \"max\": %.1f}}\n",
+        static_cast<unsigned long long>(ops),
+        static_cast<unsigned long long>(writes), dt.count(), ops_per_s,
+        static_cast<unsigned long long>(peer_msgs), msgs_per_s,
+        latency_us.percentile(0.5), latency_us.percentile(0.9),
+        latency_us.percentile(0.99), latency_us.mean(), latency_us.max());
+  } else {
+    std::printf(
+        "ops=%llu writes=%llu elapsed=%.3fs throughput=%.0f ops/s "
+        "peer_msgs=%llu (%.0f msgs/s)\n"
+        "latency p50=%.1fus p90=%.1fus p99=%.1fus mean=%.1fus max=%.1fus\n",
+        static_cast<unsigned long long>(ops),
+        static_cast<unsigned long long>(writes), dt.count(), ops_per_s,
+        static_cast<unsigned long long>(peer_msgs), msgs_per_s,
+        latency_us.percentile(0.5), latency_us.percentile(0.9),
+        latency_us.percentile(0.99), latency_us.mean(), latency_us.max());
+  }
   return 0;
 }
 
@@ -121,6 +159,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(st.peer_msgs_sent),
           static_cast<unsigned long long>(st.peer_msgs_recv),
           static_cast<unsigned long long>(st.peer_queued));
+    } else if (cmd == "metrics") {
+      std::fputs(cli.metrics_text().c_str(), stdout);
     } else if (cmd == "bench") {
       return run_bench(cli, flags);
     } else {
