@@ -103,18 +103,23 @@ void TcpTransport::send(Message msg) {
   for (auto& link : links_) {
     if (link->site != msg.dst) continue;
     {
-      std::unique_lock lk(link->mu);
+      std::lock_guard lk(link->mu);
       if (opts_.max_queue_msgs > 0 &&
           link->queue.size() >= opts_.max_queue_msgs) {
-        // Backpressure: block the producer until the sender drains below
-        // the cap. stop() unblocks us; the message is then dropped (the
-        // process is going away with everything else it queued).
-        ++link->send_blocks;
-        link->cv.wait(lk, [&] {
-          return link->queue.size() < opts_.max_queue_msgs ||
-                 stopping_.load(std::memory_order_relaxed);
-        });
-        if (stopping_.load(std::memory_order_relaxed)) return;
+        // Overflow: drop the oldest queued message instead of blocking the
+        // producer. The producer is the apply thread; parking it on a peer
+        // that is not draining (dead or partitioned) would freeze every
+        // client op and inbound apply on this site, and deadlock stop(),
+        // which joins the apply thread before the transport shuts down.
+        // The dropped update is lost to that peer — within the crash model
+        // (no persistence yet: a peer down that long rejoins empty under a
+        // fresh incarnation) — and the drop is counted.
+        const std::size_t excess =
+            link->queue.size() - opts_.max_queue_msgs + 1;
+        link->queue.erase(
+            link->queue.begin(),
+            link->queue.begin() + static_cast<std::ptrdiff_t>(excess));
+        link->overflow_drops += excess;
       }
       link->queue.push_back(Outbound{std::move(msg), ++link->next_seq});
     }
@@ -128,18 +133,20 @@ void TcpTransport::sender_loop(Link* link) {
   util::Rng jitter(opts_.jitter_seed ^
                    (0x9e3779b97f4a7c15ULL * (link->site + 1)));
   std::uint32_t backoff_ms = opts_.backoff_initial_ms;
-  std::vector<std::vector<std::uint8_t>> frames;  // the in-flight batch
-  std::vector<const Outbound*> head;              // stable queue-head view
+  std::vector<Outbound> batch;                    // owned in-flight batch
+  std::vector<std::vector<std::uint8_t>> frames;  // encoded batch
   std::vector<WriteSpan> spans;
   while (true) {
-    // Gather a batch from the queue head. Only stable element pointers are
-    // taken under the lock: deque references survive concurrent push_back
-    // and only this thread pops, so the head is immutable until the erase
-    // below. Encoding happens outside the critical section — holding the
-    // lock across a 64-frame encode would stall every producer (the apply
-    // thread above all) for the whole batch.
+    // Pop a batch off the queue head. The batch is *owned* by this thread
+    // from here on — send()'s drop-oldest overflow may erase queue
+    // elements at any time, so no reference into the queue can outlive the
+    // lock. A failed write retries the owned batch, never losing it.
+    // Batch sizing uses the body length plus a fixed header allowance as a
+    // frame-size proxy: close enough to bound the writev, and it keeps the
+    // 64-frame encode out of the critical section (holding the lock across
+    // it would stall every producer, the apply thread above all).
+    batch.clear();
     frames.clear();
-    head.clear();
     {
       std::unique_lock lk(link->mu);
       link->cv.wait(lk, [&] {
@@ -147,20 +154,20 @@ void TcpTransport::sender_loop(Link* link) {
                stopping_.load(std::memory_order_relaxed);
       });
       if (stopping_.load(std::memory_order_relaxed)) return;
-      const std::size_t n =
-          std::min<std::size_t>(link->queue.size(), opts_.max_batch_msgs);
-      for (std::size_t i = 0; i < n; ++i) head.push_back(&link->queue[i]);
+      std::size_t est_bytes = 0;
+      while (!link->queue.empty() && batch.size() < opts_.max_batch_msgs &&
+             (batch.empty() || est_bytes < opts_.max_batch_bytes)) {
+        est_bytes += link->queue.front().msg.body.size() + 48;
+        batch.push_back(std::move(link->queue.front()));
+        link->queue.pop_front();
+      }
+      link->inflight = batch.size();
     }
-    std::size_t batch_bytes = 0;
-    for (const Outbound* out : head) {
-      if (!frames.empty() && batch_bytes >= opts_.max_batch_bytes) break;
-      frames.push_back(encode_frame(out->msg, incarnation_, out->seq));
-      batch_bytes += frames.back().size();
-    }
-    // The batch stays at the queue head until it is on the wire, so a
-    // failed write retries it instead of losing it.
     spans.clear();
     std::size_t batch_wire_bytes = 0;
+    for (const Outbound& out : batch) {
+      frames.push_back(encode_frame(out.msg, incarnation_, out.seq));
+    }
     for (const auto& f : frames) {
       spans.push_back(WriteSpan{f.data(), f.size()});
       batch_wire_bytes += f.size();
@@ -212,17 +219,19 @@ void TcpTransport::sender_loop(Link* link) {
         backoff_sleep();
       }
     }
-    if (!sent) return;  // stopping
-    std::lock_guard lk(link->mu);
-    link->msgs_sent += frames.size();
-    link->bytes_sent += batch_wire_bytes;
-    ++link->batches_sent;
-    CCPR_ASSERT(link->queue.size() >= frames.size());
-    link->queue.erase(link->queue.begin(),
-                      link->queue.begin() +
-                          static_cast<std::ptrdiff_t>(frames.size()));
-    // Wake flush() when drained and any producer blocked on the cap.
+    {
+      std::lock_guard lk(link->mu);
+      link->inflight = 0;
+      if (sent) {
+        link->msgs_sent += frames.size();
+        link->bytes_sent += batch_wire_bytes;
+        ++link->batches_sent;
+      }
+    }
+    // Wake flush() when the in-flight batch is resolved (on the wire, or
+    // abandoned because the process is stopping).
     link->cv.notify_all();
+    if (!sent) return;  // stopping
   }
 }
 
@@ -329,10 +338,12 @@ bool TcpTransport::flush(std::chrono::milliseconds timeout) {
   for (auto& link : links_) {
     std::unique_lock lk(link->mu);
     const bool drained = link->cv.wait_until(lk, deadline, [&] {
-      return link->queue.empty() ||
+      return (link->queue.empty() && link->inflight == 0) ||
              stopping_.load(std::memory_order_relaxed);
     });
-    if (!drained || !link->queue.empty()) return false;
+    if (!drained || !link->queue.empty() || link->inflight != 0) {
+      return false;
+    }
   }
   return true;
 }
@@ -395,9 +406,9 @@ std::vector<TcpTransport::PeerStats> TcpTransport::peer_stats() const {
       ps.msgs_sent = link->msgs_sent;
       ps.bytes_sent = link->bytes_sent;
       ps.connects = link->connects;
-      ps.queued = link->queue.size();
+      ps.queued = link->queue.size() + link->inflight;
       ps.batches_sent = link->batches_sent;
-      ps.send_blocks = link->send_blocks;
+      ps.overflow_drops = link->overflow_drops;
     }
     {
       std::lock_guard lk(in_mu_);

@@ -20,9 +20,14 @@
 //     incarnation nonce; a receiver resets its seq watermark when the
 //     incarnation changes, so a restarted peer (whose seq space restarts
 //     at 1) is not mistaken for a duplicate stream and rejoins cleanly.
-//   * Per-peer queues are capped (max_queue_msgs): a producer calling
-//     send() toward a full queue blocks until the sender drains it —
-//     backpressure rather than unbounded memory. The inbound delivery
+//   * Per-peer queues are capped (max_queue_msgs) with a drop-oldest
+//     overflow policy: send() never blocks. The producer is the site's
+//     apply thread, so parking it on a peer that is not draining (dead or
+//     partitioned) would freeze the whole site — every client op and every
+//     inbound apply — and deadlock shutdown, which joins the apply thread
+//     before tearing the transport down. At the cap the oldest queued
+//     message is dropped and counted (PeerStats::overflow_drops): the cap
+//     bounds memory and staleness, not delivery. The inbound delivery
 //     queue stays unbounded on purpose: readers must never block, or two
 //     saturated sites could deadlock through their full kernel buffers
 //     (see docs/RUNTIMES.md, threading model).
@@ -30,9 +35,13 @@
 //     readers push decoded frames onto a single delivery queue drained by a
 //     dedicated delivery thread, so deliveries to the sink never overlap.
 //   * A process crash loses whatever that process had queued or applied;
-//     messages queued toward a dead peer are retained and delivered once the
-//     peer comes back (with its state reset — the protocol layer decides
-//     what that means). See docs/RUNTIMES.md for the guarantee matrix.
+//     messages queued toward a dead peer are retained up to the queue cap
+//     and delivered once the peer comes back (with its state reset — the
+//     protocol layer decides what that means). A peer down long enough to
+//     overflow its queue misses the dropped updates — within the crash
+//     model, since without persistence a restarted site returns empty and
+//     rejoins under a fresh incarnation anyway. See docs/RUNTIMES.md for
+//     the guarantee matrix.
 #pragma once
 
 #include <atomic>
@@ -86,8 +95,9 @@ class TcpTransport final : public ITransport {
     std::uint32_t max_batch_bytes = 256 * 1024;
     /// Upper bound on frames per writev flush.
     std::uint32_t max_batch_msgs = 64;
-    /// Cap on messages queued per peer; send() blocks while the queue is
-    /// at the cap (backpressure). 0 = unbounded.
+    /// Cap on messages queued per peer. send() never blocks: at the cap
+    /// the oldest queued message is dropped and counted (see the overflow
+    /// policy in the header comment). 0 = unbounded.
     std::uint32_t max_queue_msgs = 65536;
   };
 
@@ -104,7 +114,7 @@ class TcpTransport final : public ITransport {
     std::uint64_t queued = 0;      ///< messages currently waiting to send
     std::uint64_t incarnation_resets = 0;  ///< peer restarts observed
     std::uint64_t batches_sent = 0;  ///< writev flushes (≥1 frame each)
-    std::uint64_t send_blocks = 0;   ///< sends that hit the queue cap
+    std::uint64_t overflow_drops = 0;  ///< oldest msgs dropped at the cap
     std::uint64_t queue_cap = 0;     ///< configured cap (0 = unbounded)
   };
 
@@ -152,13 +162,17 @@ class TcpTransport final : public ITransport {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Outbound> queue;
+    /// Messages the sender thread has popped off the queue and owns while
+    /// it writes (and retries) them. Guarded by mu; counted into the
+    /// `queued` stat and awaited by flush().
+    std::size_t inflight = 0;
     std::uint64_t next_seq = 0;
     Socket sock;  // open/close/shutdown under mu; writes from sender thread
     std::uint64_t msgs_sent = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t connects = 0;
     std::uint64_t batches_sent = 0;
-    std::uint64_t send_blocks = 0;
+    std::uint64_t overflow_drops = 0;
     std::thread thread;
   };
 

@@ -141,12 +141,13 @@ std::string render_metrics_text(
               "peer=\"" + std::to_string(p.site) + '"',
               static_cast<double>(p.batches_sent));
   }
-  r.preamble("ccpr_peer_send_blocks_total",
-             "Sends that blocked on the per-peer queue cap", "counter");
+  r.preamble("ccpr_peer_overflow_drops_total",
+             "Oldest queued messages dropped at the per-peer queue cap",
+             "counter");
   for (const auto& p : peers) {
-    r.labeled("ccpr_peer_send_blocks_total",
+    r.labeled("ccpr_peer_overflow_drops_total",
               "peer=\"" + std::to_string(p.site) + '"',
-              static_cast<double>(p.send_blocks));
+              static_cast<double>(p.overflow_drops));
   }
   r.preamble("ccpr_peer_queue_depth", "Messages queued toward a peer",
              "gauge");

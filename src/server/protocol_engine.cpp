@@ -37,6 +37,7 @@ void ProtocolEngine::adopt_protocol(std::unique_ptr<causal::IProtocol> proto,
 }
 
 void ProtocolEngine::start() {
+  std::lock_guard lifecycle(lifecycle_mu_);
   CCPR_EXPECTS(proto_ != nullptr);
   std::lock_guard lk(mu_);
   CCPR_EXPECTS(!running_);
@@ -46,6 +47,10 @@ void ProtocolEngine::start() {
 }
 
 void ProtocolEngine::stop() {
+  // lifecycle_mu_ serializes concurrent stop() calls: without it both could
+  // pass the joinable() check and join the same thread twice. The apply
+  // thread never takes it, so holding it across the join cannot deadlock.
+  std::lock_guard lifecycle(lifecycle_mu_);
   {
     std::lock_guard lk(mu_);
     if (!running_ && !stop_requested_) return;
@@ -168,6 +173,10 @@ std::optional<ProtocolEngine::StatusSnapshot> ProtocolEngine::status() {
   if (!ok) {
     // Stopped-and-joined engines are quiescent; tests read post-mortem
     // state this way. A stop() still in flight reports nullopt instead.
+    // lifecycle_mu_ keeps the protocol quiescent for the whole read — a
+    // concurrent start() would otherwise revive the apply thread between
+    // the check and the reads.
+    std::lock_guard lifecycle(lifecycle_mu_);
     if (!quiescent()) return std::nullopt;
     StatusSnapshot s;
     s.writes = proto_metrics_->writes;
@@ -187,6 +196,7 @@ std::optional<metrics::Metrics> ProtocolEngine::protocol_metrics() {
     comp->fulfill(std::move(m));
   });
   if (!ok) {
+    std::lock_guard lifecycle(lifecycle_mu_);
     if (!quiescent()) return std::nullopt;
     metrics::Metrics m = *proto_metrics_;
     m.log_entries.set(proto_->log_entry_count());

@@ -207,6 +207,11 @@ class ProtocolEngine {
   std::unique_ptr<causal::IProtocol> proto_;
   metrics::Metrics* proto_metrics_ = nullptr;  ///< apply-thread-only reads
 
+  /// Serializes start()/stop() against each other (two concurrent stop()s
+  /// must not both reach the join) and against the quiescent-fallback
+  /// protocol reads in status()/protocol_metrics(). Lock order:
+  /// lifecycle_mu_ before mu_; never taken on the apply thread.
+  mutable std::mutex lifecycle_mu_;
   mutable std::mutex mu_;
   std::condition_variable cv_produce_;  ///< queue has room
   std::condition_variable cv_consume_;  ///< queue non-empty / stopping

@@ -107,8 +107,13 @@ bool SiteServer::start() {
 void SiteServer::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_relaxed);
-  // Stop taking new clients and unblock the ones parked in socket reads.
+  // Stop taking new clients: shut the listener down and join the accept
+  // thread *before* sweeping conns_, so no connection accepted at the last
+  // moment can be inserted after the sweep (accept_clients holds conns_mu_
+  // only for the insert) and then sit in a socket read forever.
   client_listen_.shutdown_both();
+  if (client_accept_thread_.joinable()) client_accept_thread_.join();
+  // Unblock every client thread parked in a socket read.
   {
     std::lock_guard lk(conns_mu_);
     for (auto& conn : conns_) conn->sock.shutdown_both();
@@ -116,7 +121,6 @@ void SiteServer::stop() {
   // Drain queued commands and abort parked reads / covered waits, so every
   // client thread blocked on a completion observes kShuttingDown.
   engine_->stop();
-  if (client_accept_thread_.joinable()) client_accept_thread_.join();
   {
     std::lock_guard lk(conns_mu_);
     for (auto& conn : conns_) {

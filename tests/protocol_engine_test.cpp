@@ -285,5 +285,32 @@ TEST(ProtocolEngineTest, MetricsSnapshotReadableAfterStop) {
   EXPECT_EQ(st->writes, 1u);
 }
 
+// Two threads racing stop() must not both join the apply thread (a second
+// join on an already-joined std::thread throws), and post-mortem quiescent
+// reads must serialize against the lifecycle, not crash.
+TEST(ProtocolEngineTest, ConcurrentStopsAndPostMortemReadsAreSafe) {
+  const auto rmap = causal::ReplicaMap::full(1, 1);
+  EngineSite site(0, rmap);
+  ASSERT_TRUE(site.engine->write(0, "v", true).has_value());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] { site.engine->stop(); });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      // During the stop race these may see nullopt (stop in flight) or the
+      // quiescent fallback value; either way they must not crash or race.
+      (void)site.engine->status();
+      (void)site.engine->protocol_metrics();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto st = site.engine->status();
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->writes, 1u);
+}
+
 }  // namespace
 }  // namespace ccpr::server

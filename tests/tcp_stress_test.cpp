@@ -189,5 +189,38 @@ TEST(TcpStressTest, ParallelClientsSurviveCausalCheck) {
   EXPECT_GT(result.ops_checked, 0u);
 }
 
+// Regression test for the dead-peer availability hole: with a blocking
+// per-peer queue cap, the apply thread would park in transport send() once
+// a crashed peer's queue filled — freezing every client op — and stop()
+// (which joins the apply thread before stopping the transport) would then
+// deadlock. The drop-oldest overflow policy must keep the site serving and
+// let stop() return.
+TEST(TcpStressTest, DeadPeerOverflowDoesNotWedgeSiteOrStop) {
+  const auto ports = pick_ports(4);
+  auto cfg = server::ClusterConfig::loopback(2, 4, 2, 0);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    cfg.sites[s].peer_port = ports[s];
+    cfg.sites[s].client_port = ports[2 + s];
+  }
+  cfg.algorithm = causal::Algorithm::kOptTrack;
+  cfg.peer_queue_cap = 8;  // overflow toward the dead peer quickly
+
+  // Site 1 never starts. Every put broadcasts an update toward it; the 9th
+  // would previously wedge the apply thread for good.
+  server::SiteServer s0(cfg, 0);
+  ASSERT_TRUE(s0.start());
+  {
+    client::Client cli(cfg, 0);
+    for (int i = 0; i < 200; ++i) {
+      cli.put(static_cast<causal::VarId>(i % 4), "v" + std::to_string(i));
+    }
+    EXPECT_FALSE(cli.get(0).data.empty());
+  }
+  std::uint64_t drops = 0;
+  for (const auto& ps : s0.peer_stats()) drops += ps.overflow_drops;
+  EXPECT_GT(drops, 0u);
+  s0.stop();  // must return: nothing can be parked in transport send()
+}
+
 }  // namespace
 }  // namespace ccpr

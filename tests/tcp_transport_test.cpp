@@ -287,6 +287,33 @@ TEST(TcpTransportTest, RestartedSenderIsNotDroppedAsDuplicate) {
   b.stop();
 }
 
+TEST(TcpTransportTest, OverflowDropsOldestInsteadOfBlocking) {
+  const auto ports = pick_ports(2);
+  metrics::Metrics ma;
+  CollectSink sa;
+  auto opts = options_for(0, ports);
+  opts.max_queue_msgs = 8;
+  opts.max_batch_msgs = 4;
+  TcpTransport a(opts, ma);
+  a.connect(0, &sa);
+  ASSERT_TRUE(a.start());
+
+  // Peer 1 never listens. With a blocking cap this loop would park forever
+  // at the 9th send; the drop-oldest policy must complete it, retaining at
+  // most cap + one in-flight batch and counting the rest as drops.
+  constexpr std::size_t kSends = 100;
+  for (std::size_t i = 0; i < kSends; ++i) {
+    a.send(make_msg(0, 1, static_cast<std::uint8_t>(i)));
+  }
+  const auto stats = a.peer_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_LE(stats[0].queued, opts.max_queue_msgs + opts.max_batch_msgs);
+  EXPECT_GE(stats[0].overflow_drops,
+            kSends - opts.max_queue_msgs - opts.max_batch_msgs);
+  EXPECT_EQ(stats[0].queue_cap, opts.max_queue_msgs);
+  a.stop();  // must return promptly: nothing can be parked in send()
+}
+
 TEST(TcpTransportTest, FlushTimesOutTowardDeadPeer) {
   const auto ports = pick_ports(2);
   metrics::Metrics ma;
