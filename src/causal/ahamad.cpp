@@ -73,6 +73,39 @@ void Ahamad::on_update(const net::Message& msg) {
   svc_.metrics->note_pending(pending_.size());
 }
 
+void Ahamad::serialize_meta(net::Encoder& enc) const {
+  for (const std::uint64_t a : apply_) enc.varint(a);
+  const auto& pend = pending_.items();
+  enc.varint(pend.size());
+  for (const Update& u : pend) {
+    enc.varint(u.x);
+    encode_value(enc, u.v);
+    enc.varint(u.sender);
+    for (const std::uint64_t c : u.t) enc.varint(c);
+  }
+}
+
+bool Ahamad::restore_meta(net::Decoder& dec) {
+  for (std::uint64_t& a : apply_) a = dec.varint();
+  const std::uint64_t np = dec.varint();
+  if (!dec.ok()) return false;
+  std::vector<Update> pend;
+  pend.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    Update u;
+    u.x = static_cast<VarId>(dec.varint());
+    u.v = decode_value(dec);
+    u.sender = static_cast<SiteId>(dec.varint());
+    u.t.resize(n_);
+    for (std::uint64_t& c : u.t) c = dec.varint();
+    u.receipt = svc_.now();
+    if (!dec.ok()) return false;
+    pend.push_back(std::move(u));
+  }
+  pending_.restore(std::move(pend));
+  return dec.ok();
+}
+
 void Ahamad::encode_fetch_resp_meta(net::Encoder&, VarId) {
   CCPR_UNREACHABLE("Ahamad requires full replication; reads are local");
 }

@@ -38,6 +38,9 @@ class Ahamad final : public ProtocolBase {
   void encode_fetch_req_meta(net::Encoder& enc, VarId x,
                              SiteId target) override;
   bool fetch_ready(VarId x, net::Decoder& meta) override;
+  void serialize_meta(net::Encoder& enc) const override;
+  bool restore_meta(net::Decoder& dec) override;
+  // seal_local_meta: base no-op is exact — merge_on_local_read is empty.
 
  private:
   struct Update {

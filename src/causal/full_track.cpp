@@ -132,6 +132,56 @@ bool FullTrack::locally_covered() const {
   return true;
 }
 
+void FullTrack::serialize_meta(net::Encoder& enc) const {
+  write_.encode(enc);
+  for (std::uint32_t k = 0; k < n_; ++k) enc.varint(apply_[k]);
+  enc.varint(last_write_on_.size());
+  for (const auto& [x, m] : last_write_on_) {
+    enc.varint(x);
+    m.encode(enc);
+  }
+  const auto& pend = pending_.items();
+  enc.varint(pend.size());
+  for (const Update& u : pend) {
+    enc.varint(u.x);
+    encode_value(enc, u.v);
+    enc.varint(u.sender);
+    u.w.encode(enc);
+  }
+}
+
+bool FullTrack::restore_meta(net::Decoder& dec) {
+  write_ = MatrixClock::decode(dec, n_);
+  for (std::uint32_t k = 0; k < n_; ++k) apply_[k] = dec.varint();
+  const std::uint64_t lw = dec.varint();
+  if (!dec.ok()) return false;
+  last_write_on_.clear();
+  for (std::uint64_t i = 0; i < lw; ++i) {
+    const auto x = static_cast<VarId>(dec.varint());
+    last_write_on_[x] = MatrixClock::decode(dec, n_);
+  }
+  const std::uint64_t np = dec.varint();
+  if (!dec.ok()) return false;
+  std::vector<Update> pend;
+  pend.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    Update u;
+    u.x = static_cast<VarId>(dec.varint());
+    u.v = decode_value(dec);
+    u.sender = static_cast<SiteId>(dec.varint());
+    u.w = MatrixClock::decode(dec, n_);
+    u.receipt = svc_.now();
+    if (!dec.ok()) return false;
+    pend.push_back(std::move(u));
+  }
+  pending_.restore(std::move(pend));
+  return dec.ok();
+}
+
+void FullTrack::seal_local_meta() {
+  for (const auto& [x, m] : last_write_on_) write_.merge_max(m);
+}
+
 std::uint64_t FullTrack::log_entry_count() const {
   // Matrix cells held locally: the Write clock plus one matrix per locally
   // replicated, written variable.

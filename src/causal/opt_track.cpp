@@ -272,6 +272,73 @@ bool OptTrack::locally_covered() const {
   return true;
 }
 
+void OptTrack::serialize_meta(net::Encoder& enc) const {
+  enc.varint(clock_);
+  for (const std::uint64_t a : apply_) enc.varint(a);
+  for (const std::uint64_t a : known_apply_) enc.varint(a);
+  encode_log(enc, log_);
+  enc.varint(last_write_on_.size());
+  for (const auto& [x, lw] : last_write_on_) {
+    enc.varint(x);
+    encode_log(enc, lw);
+  }
+  const auto& pend = pending_.items();
+  enc.varint(pend.size());
+  for (const Update& u : pend) {
+    enc.varint(u.x);
+    encode_value(enc, u.v);
+    enc.varint(u.sender);
+    enc.varint(u.clock);
+    enc.varint(u.replicas.size());
+    for (const SiteId s : u.replicas.span()) enc.varint(s);
+    encode_log(enc, u.log);
+  }
+}
+
+bool OptTrack::restore_meta(net::Decoder& dec) {
+  clock_ = dec.varint();
+  for (std::uint64_t& a : apply_) a = dec.varint();
+  for (std::uint64_t& a : known_apply_) a = dec.varint();
+  log_ = decode_log(dec);
+  const std::uint64_t lw = dec.varint();
+  if (!dec.ok()) return false;
+  last_write_on_.clear();
+  for (std::uint64_t i = 0; i < lw; ++i) {
+    const auto x = static_cast<VarId>(dec.varint());
+    last_write_on_[x] = decode_log(dec);
+  }
+  const std::uint64_t np = dec.varint();
+  if (!dec.ok()) return false;
+  std::vector<Update> pend;
+  pend.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    Update u;
+    u.x = static_cast<VarId>(dec.varint());
+    u.v = decode_value(dec);
+    u.sender = static_cast<SiteId>(dec.varint());
+    u.clock = dec.varint();
+    const std::uint64_t k = dec.varint();
+    for (std::uint64_t j = 0; j < k && dec.ok(); ++j) {
+      u.replicas.insert(static_cast<SiteId>(dec.varint()));
+    }
+    u.log = decode_log(dec);
+    u.receipt = svc_.now();
+    if (!dec.ok()) return false;
+    pend.push_back(std::move(u));
+  }
+  pending_.restore(std::move(pend));
+  return dec.ok();
+}
+
+void OptTrack::seal_local_meta() {
+  for (const auto& [x, lw] : last_write_on_) {
+    merge_logs(log_, lw, merge_policy());
+  }
+  discharge_log(log_);
+  purge_log(log_);
+  sample_space();
+}
+
 std::uint64_t OptTrack::meta_state_bytes() const {
   std::uint64_t bytes =
       sizeof(std::uint64_t) +

@@ -74,6 +74,9 @@ class OptTrack final : public ProtocolBase {
   void merge_fetch_resp_meta(VarId x, SiteId responder,
                              net::Decoder& dec) override;
   bool locally_covered() const override;
+  void serialize_meta(net::Encoder& enc) const override;
+  bool restore_meta(net::Decoder& dec) override;
+  void seal_local_meta() override;
 
  private:
   struct Update {

@@ -119,6 +119,84 @@ void OptTrackCRP::merge_fetch_resp_meta(VarId, SiteId, net::Decoder&) {
   CCPR_UNREACHABLE("Opt-Track-CRP requires full replication; reads are local");
 }
 
+void OptTrackCRP::serialize_meta(net::Encoder& enc) const {
+  enc.varint(clock_);
+  for (const std::uint64_t a : apply_) enc.varint(a);
+  enc.varint(log_.size());
+  for (const Entry& e : log_) {
+    enc.varint(e.sender);
+    enc.varint(e.clock);
+  }
+  enc.varint(last_write_on_.size());
+  for (const auto& [x, e] : last_write_on_) {
+    enc.varint(x);
+    enc.varint(e.sender);
+    enc.varint(e.clock);
+  }
+  const auto& pend = pending_.items();
+  enc.varint(pend.size());
+  for (const Update& u : pend) {
+    enc.varint(u.x);
+    encode_value(enc, u.v);
+    enc.varint(u.sender);
+    enc.varint(u.clock);
+    enc.varint(u.log.size());
+    for (const Entry& e : u.log) {
+      enc.varint(e.sender);
+      enc.varint(e.clock);
+    }
+  }
+}
+
+bool OptTrackCRP::restore_meta(net::Decoder& dec) {
+  clock_ = dec.varint();
+  for (std::uint64_t& a : apply_) a = dec.varint();
+  const std::uint64_t nl = dec.varint();
+  if (!dec.ok()) return false;
+  log_.clear();
+  for (std::uint64_t i = 0; i < nl && dec.ok(); ++i) {
+    const auto sender = static_cast<SiteId>(dec.varint());
+    const std::uint64_t clk = dec.varint();
+    log_.push_back(Entry{sender, clk});
+  }
+  const std::uint64_t lw = dec.varint();
+  if (!dec.ok()) return false;
+  last_write_on_.clear();
+  for (std::uint64_t i = 0; i < lw && dec.ok(); ++i) {
+    const auto x = static_cast<VarId>(dec.varint());
+    const auto sender = static_cast<SiteId>(dec.varint());
+    const std::uint64_t clk = dec.varint();
+    last_write_on_[x] = Entry{sender, clk};
+  }
+  const std::uint64_t np = dec.varint();
+  if (!dec.ok()) return false;
+  std::vector<Update> pend;
+  pend.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    Update u;
+    u.x = static_cast<VarId>(dec.varint());
+    u.v = decode_value(dec);
+    u.sender = static_cast<SiteId>(dec.varint());
+    u.clock = dec.varint();
+    const std::uint64_t k = dec.varint();
+    for (std::uint64_t j = 0; j < k && dec.ok(); ++j) {
+      const auto sender = static_cast<SiteId>(dec.varint());
+      const std::uint64_t clk = dec.varint();
+      u.log.push_back(Entry{sender, clk});
+    }
+    u.receipt = svc_.now();
+    if (!dec.ok()) return false;
+    pend.push_back(std::move(u));
+  }
+  pending_.restore(std::move(pend));
+  return dec.ok();
+}
+
+void OptTrackCRP::seal_local_meta() {
+  for (const auto& [x, e] : last_write_on_) merge_entry(e);
+  sample_space();
+}
+
 std::uint64_t OptTrackCRP::meta_state_bytes() const {
   const std::uint64_t entry_bytes = sizeof(SiteId) + sizeof(std::uint64_t);
   return sizeof(std::uint64_t) +

@@ -90,6 +90,63 @@ void OptP::merge_fetch_resp_meta(VarId, SiteId, net::Decoder&) {
   CCPR_UNREACHABLE("OptP requires full replication; reads are local");
 }
 
+void OptP::serialize_meta(net::Encoder& enc) const {
+  for (const std::uint64_t c : write_) enc.varint(c);
+  for (const std::uint64_t a : apply_) enc.varint(a);
+  enc.varint(last_write_on_.size());
+  for (const auto& [x, w] : last_write_on_) {
+    enc.varint(x);
+    for (const std::uint64_t c : w) enc.varint(c);
+  }
+  const auto& pend = pending_.items();
+  enc.varint(pend.size());
+  for (const Update& u : pend) {
+    enc.varint(u.x);
+    encode_value(enc, u.v);
+    enc.varint(u.sender);
+    for (const std::uint64_t c : u.w) enc.varint(c);
+  }
+}
+
+bool OptP::restore_meta(net::Decoder& dec) {
+  for (std::uint64_t& c : write_) c = dec.varint();
+  for (std::uint64_t& a : apply_) a = dec.varint();
+  const std::uint64_t lw = dec.varint();
+  if (!dec.ok()) return false;
+  last_write_on_.clear();
+  for (std::uint64_t i = 0; i < lw && dec.ok(); ++i) {
+    const auto x = static_cast<VarId>(dec.varint());
+    std::vector<std::uint64_t> w(n_, 0);
+    for (std::uint64_t& c : w) c = dec.varint();
+    last_write_on_[x] = std::move(w);
+  }
+  const std::uint64_t np = dec.varint();
+  if (!dec.ok()) return false;
+  std::vector<Update> pend;
+  pend.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    Update u;
+    u.x = static_cast<VarId>(dec.varint());
+    u.v = decode_value(dec);
+    u.sender = static_cast<SiteId>(dec.varint());
+    u.w.resize(n_);
+    for (std::uint64_t& c : u.w) c = dec.varint();
+    u.receipt = svc_.now();
+    if (!dec.ok()) return false;
+    pend.push_back(std::move(u));
+  }
+  pending_.restore(std::move(pend));
+  return dec.ok();
+}
+
+void OptP::seal_local_meta() {
+  for (const auto& [x, w] : last_write_on_) {
+    for (std::uint32_t k = 0; k < n_; ++k) {
+      if (w[k] > write_[k]) write_[k] = w[k];
+    }
+  }
+}
+
 std::uint64_t OptP::meta_state_bytes() const {
   const std::uint64_t vec_bytes =
       static_cast<std::uint64_t>(n_) * sizeof(std::uint64_t);

@@ -45,6 +45,9 @@ class OptP final : public ProtocolBase {
   void encode_fetch_req_meta(net::Encoder& enc, VarId x,
                              SiteId target) override;
   bool fetch_ready(VarId x, net::Decoder& meta) override;
+  void serialize_meta(net::Encoder& enc) const override;
+  bool restore_meta(net::Decoder& dec) override;
+  void seal_local_meta() override;
 
  private:
   struct Update {

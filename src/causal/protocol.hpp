@@ -17,6 +17,7 @@
 
 #include "causal/types.hpp"
 #include "net/message.hpp"
+#include "net/wire.hpp"
 #include "sim/scheduler.hpp"
 
 namespace ccpr::metrics {
@@ -59,6 +60,14 @@ struct Services {
   metrics::Metrics* metrics = nullptr;
   /// Optional history recorder for the offline causal checker.
   checker::HistoryRecorder* recorder = nullptr;
+  /// Optional durability hook: invoked synchronously just before a
+  /// fetch-response metadata merge with the raw metadata bytes, so a
+  /// write-ahead log can record the merge for replay (fetch merges are the
+  /// one causal-state mutation not reconstructible from logged writes and
+  /// updates). Same obligations as `send`: must not re-enter the protocol.
+  std::function<void(VarId x, SiteId responder, const std::uint8_t* data,
+                     std::size_t len)>
+      persist_meta_merge;
 };
 
 using ReadContinuation = std::function<void(const Value&)>;
@@ -102,6 +111,40 @@ class IProtocol {
   virtual std::vector<std::uint8_t> coverage_token(SiteId target) = 0;
   /// Whether this site has applied everything a token requires.
   virtual bool covered_by(const std::vector<std::uint8_t>& token) = 0;
+
+  // ---- durability (WAL checkpoints + crash recovery; TCP runtime) ----
+  //
+  // The four hooks below exist so a runtime with a write-ahead log can
+  // checkpoint a protocol's complete state and rebuild it after a crash.
+  // Defaults are no-ops so runtimes (and protocols) without persistence
+  // are unaffected.
+
+  /// Serialize the complete protocol state — store, causal metadata,
+  /// pending (not yet activated) updates — into `enc`.
+  virtual void serialize_state(net::Encoder& enc) const { (void)enc; }
+  /// Restore state produced by serialize_state on a freshly constructed
+  /// instance. Returns false on a malformed buffer; the instance is then
+  /// unusable and must be discarded.
+  virtual bool restore_state(net::Decoder& dec) {
+    (void)dec;
+    return true;
+  }
+  /// Replay a fetch-response metadata merge previously recorded via
+  /// Services::persist_meta_merge (same bytes, same responder).
+  virtual void replay_meta_merge(VarId x, SiteId responder,
+                                 const std::uint8_t* data, std::size_t len) {
+    (void)x;
+    (void)responder;
+    (void)data;
+    (void)len;
+  }
+  /// Conservatively fold every per-variable LastWriteOn record into the
+  /// site's main causal clock/log. Recovery calls this before replaying a
+  /// logged local write: the original write's metadata may have absorbed
+  /// read-path merges that were never logged, and sealing first makes the
+  /// regenerated metadata a superset — which can only delay activation at
+  /// peers, never violate causality.
+  virtual void merge_all_local_meta() {}
 
   /// Updates received but whose activation predicate is still false.
   virtual std::size_t pending_update_count() const = 0;

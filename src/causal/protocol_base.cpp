@@ -148,6 +148,55 @@ void ProtocolBase::encode_fetch_req_meta(net::Encoder&, VarId, SiteId) {}
 
 bool ProtocolBase::fetch_ready(VarId, net::Decoder&) { return true; }
 
+void ProtocolBase::serialize_meta(net::Encoder&) const {}
+
+bool ProtocolBase::restore_meta(net::Decoder&) { return true; }
+
+void ProtocolBase::seal_local_meta() {}
+
+void ProtocolBase::serialize_state(net::Encoder& enc) const {
+  enc.u8(1);  // layout version
+  enc.varint(write_seq_);
+  enc.varint(lamport_);
+  enc.varint(store_.size());
+  for (const auto& [x, v] : store_) {
+    enc.varint(x);
+    encode_value(enc, v);
+  }
+  serialize_meta(enc);
+}
+
+bool ProtocolBase::restore_state(net::Decoder& dec) {
+  SingleCallerGuard::Scope scope(guard_);
+  if (dec.u8() != 1 || !dec.ok()) return false;
+  write_seq_ = dec.varint();
+  lamport_ = dec.varint();
+  const std::uint64_t n = dec.varint();
+  if (!dec.ok()) return false;
+  store_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto x = static_cast<VarId>(dec.varint());
+    Value v = decode_value(dec);
+    if (!dec.ok()) return false;
+    // Exact-state restore: bypass store_value's LWW filter on purpose.
+    store_[x] = std::move(v);
+  }
+  return restore_meta(dec) && dec.ok();
+}
+
+void ProtocolBase::replay_meta_merge(VarId x, SiteId responder,
+                                     const std::uint8_t* data,
+                                     std::size_t len) {
+  SingleCallerGuard::Scope scope(guard_);
+  net::Decoder dec(data, len);
+  merge_fetch_resp_meta(x, responder, dec);
+}
+
+void ProtocolBase::merge_all_local_meta() {
+  SingleCallerGuard::Scope scope(guard_);
+  seal_local_meta();
+}
+
 std::vector<std::uint8_t> ProtocolBase::coverage_token(SiteId target) {
   SingleCallerGuard::Scope scope(guard_);
   net::Encoder enc;
@@ -226,6 +275,13 @@ void ProtocolBase::handle_fetch_resp(const net::Message& msg) {
   pr->done = true;
   for (const std::uint64_t alias : pr->req_ids) pending_reads_.erase(alias);
   observe_lamport(v.lamport);
+  if (svc_.persist_meta_merge) {
+    // Hand the WAL the exact metadata bytes the merge below consumes, so
+    // recovery can replay the merge verbatim (replay_meta_merge).
+    const std::size_t meta_off = msg.body.size() - dec.remaining();
+    svc_.persist_meta_merge(x, msg.src, msg.body.data() + meta_off,
+                            dec.remaining());
+  }
   merge_fetch_resp_meta(x, msg.src, dec);
   // The fetch may have taught this site about writes destined here that it
   // has not applied yet; completing the read before they land would let the

@@ -102,6 +102,11 @@ class PendingBuffer {
 
   std::size_t size() const noexcept { return pending_.size(); }
 
+  /// Checkpoint support: expose / reinstate the buffered updates verbatim
+  /// (still-pending updates are part of a protocol's durable state).
+  const std::vector<Update>& items() const noexcept { return pending_; }
+  void restore(std::vector<Update> items) { pending_ = std::move(items); }
+
  private:
   std::vector<Update> pending_;
 };
@@ -121,6 +126,16 @@ class ProtocolBase : public IProtocol {
   WriteId last_write_id() const final { return {self_, write_seq_}; }
   std::vector<std::uint8_t> coverage_token(SiteId target) final;
   bool covered_by(const std::vector<std::uint8_t>& token) final;
+
+  // ---- durability (see protocol.hpp) ----
+  // The base serializes what it owns (store, write/Lamport counters) and
+  // delegates algorithm metadata to the serialize_meta/restore_meta hooks;
+  // final here so algorithms extend via the hooks, not by re-wrapping.
+  void serialize_state(net::Encoder& enc) const final;
+  bool restore_state(net::Decoder& dec) final;
+  void replay_meta_merge(VarId x, SiteId responder, const std::uint8_t* data,
+                         std::size_t len) final;
+  void merge_all_local_meta() final;
 
   /// Causal+ mode (paper §V): apply writes through a deterministic
   /// last-writer-wins register so replicas converge once updates cease.
@@ -167,6 +182,17 @@ class ProtocolBase : public IProtocol {
   /// the next *local* read can be causally stale, a gap in the paper's
   /// pseudo-code that the checker exposed).
   virtual bool locally_covered() const { return true; }
+
+  /// Serialize the algorithm's causal metadata (clocks, logs, LastWriteOn
+  /// records, pending updates) for a WAL checkpoint. Default: none.
+  virtual void serialize_meta(net::Encoder& enc) const;
+  /// Restore metadata written by serialize_meta. Returns false on a
+  /// malformed buffer. Default: nothing to restore.
+  virtual bool restore_meta(net::Decoder& dec);
+  /// Fold every LastWriteOn record into the main clock/log (conservative
+  /// over-approximation; see IProtocol::merge_all_local_meta). Default:
+  /// no-op — correct for protocols whose merge_on_local_read is a no-op.
+  virtual void seal_local_meta();
 
   // ---- utilities ----
 

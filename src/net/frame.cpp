@@ -12,6 +12,8 @@ std::vector<std::uint8_t> encode_frame(const Message& msg,
   enc.varint(msg.dst);
   enc.varint(incarnation);
   enc.varint(seq);
+  enc.varint(msg.chan_epoch);
+  enc.varint(msg.chan_seq);
   enc.varint(msg.payload_bytes);
   enc.varint(msg.body.size());
   enc.raw(msg.body.data(), msg.body.size());
@@ -44,6 +46,8 @@ std::optional<Frame> decode_frame_body(const std::uint8_t* data,
     case static_cast<std::uint8_t>(MsgKind::kUpdate):
     case static_cast<std::uint8_t>(MsgKind::kFetchReq):
     case static_cast<std::uint8_t>(MsgKind::kFetchResp):
+    case static_cast<std::uint8_t>(MsgKind::kCatchupReq):
+    case static_cast<std::uint8_t>(MsgKind::kCatchupResp):
       frame.msg.kind = static_cast<MsgKind>(kind);
       break;
     default:
@@ -53,6 +57,8 @@ std::optional<Frame> decode_frame_body(const std::uint8_t* data,
   frame.msg.dst = static_cast<SiteId>(dec.varint());
   frame.incarnation = dec.varint();
   frame.seq = dec.varint();
+  frame.msg.chan_epoch = dec.varint();
+  frame.msg.chan_seq = dec.varint();
   frame.msg.payload_bytes = static_cast<std::uint32_t>(dec.varint());
   const std::uint64_t body_len = dec.varint();
   if (!dec.ok() || body_len != dec.remaining()) return std::nullopt;

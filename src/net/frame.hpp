@@ -6,7 +6,13 @@
 //
 //   [u32 length]                      little-endian, bytes that follow
 //   [u8  kind][varint src][varint dst][varint incarnation][varint seq]
+//   [varint chan_epoch][varint chan_seq]
 //   [varint payload_bytes][varint body_len][raw body]
+//
+// `chan_epoch`/`chan_seq` are the *durable* update-channel stamps carried in
+// Message itself (see message.hpp): assigned by the sending site server,
+// persisted across restarts, and used by the anti-entropy catch-up path.
+// Both are 0 (one byte each) on non-update traffic.
 //
 // `seq` is a per-(src, dst) channel sequence number (starting at 1) that
 // lets the receiver drop duplicates after a sender-side reconnect resends a

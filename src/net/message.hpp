@@ -14,9 +14,11 @@ namespace ccpr::net {
 using SiteId = std::uint32_t;
 
 enum class MsgKind : std::uint8_t {
-  kUpdate = 1,     ///< write propagation (Multicast primitive)
-  kFetchReq = 2,   ///< RemoteFetch request
-  kFetchResp = 3,  ///< RemoteFetch response (remote return event)
+  kUpdate = 1,      ///< write propagation (Multicast primitive)
+  kFetchReq = 2,    ///< RemoteFetch request
+  kFetchResp = 3,   ///< RemoteFetch response (remote return event)
+  kCatchupReq = 4,  ///< anti-entropy: durable watermark announcement
+  kCatchupResp = 5, ///< anti-entropy: responder's retention bounds
 };
 
 struct Message {
@@ -27,6 +29,15 @@ struct Message {
   /// Bytes of `body` that carry the replicated value itself; the remainder
   /// is protocol control metadata.
   std::uint32_t payload_bytes = 0;
+  /// Durable per-(src, dst) update channel stamps, assigned by the sending
+  /// site server for kUpdate messages (0 on other kinds and on runtimes
+  /// without persistence). Unlike the transport-level incarnation/seq pair —
+  /// which restarts with the process and exists only to dedup reconnect
+  /// resends — chan_epoch survives restarts via the WAL and chan_seq is
+  /// dense per applied update, so receivers can detect gaps (updates lost
+  /// while they were down) and request catch-up.
+  std::uint64_t chan_epoch = 0;
+  std::uint64_t chan_seq = 0;
 
   std::size_t control_bytes() const noexcept {
     // payload_bytes > body.size() is a construction bug (or a corrupt frame

@@ -1,5 +1,6 @@
 #include "server/cluster_config.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -20,15 +21,17 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
+// Strict full-token parse: unlike std::stoul, trailing garbage ("80x80"),
+// a leading sign, whitespace and empty tokens are all rejected, and
+// overflow reports failure instead of throwing.
 bool parse_u32(const std::string& tok, std::uint32_t* out) {
-  try {
-    const unsigned long v = std::stoul(tok);
-    if (v > 0xffffffffUL) return false;
-    *out = static_cast<std::uint32_t>(v);
-    return true;
-  } catch (...) {
-    return false;
-  }
+  std::uint32_t v = 0;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v, 10);
+  if (ec != std::errc() || ptr != last || first == last) return false;
+  *out = v;
+  return true;
 }
 
 bool parse_u16(const std::string& tok, std::uint16_t* out) {
@@ -50,7 +53,8 @@ bool parse_bool(const std::string& tok, bool* out) {
   return false;
 }
 
-/// "0,2,5" -> {0, 2, 5}
+/// "0,2,5" -> {0, 2, 5}. Duplicate ids are rejected: a replica set is a
+/// set, and a doubled site would silently skew the placement quorum.
 bool parse_site_list(const std::string& tok,
                      std::vector<causal::SiteId>* out) {
   std::stringstream ss(tok);
@@ -58,6 +62,9 @@ bool parse_site_list(const std::string& tok,
   while (std::getline(ss, part, ',')) {
     std::uint32_t s = 0;
     if (part.empty() || !parse_u32(part, &s)) return false;
+    for (const causal::SiteId prev : *out) {
+      if (prev == s) return false;
+    }
     out->push_back(s);
   }
   return !out->empty();
@@ -186,13 +193,28 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
       if (!want(1) || !parse_u32(toks[1], &cfg.engine_queue_cap)) {
         return fail(where() + "engine-queue-cap <commands>");
       }
+    } else if (kw == "catchup-retain") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.catchup_retain)) {
+        return fail(where() + "catchup-retain <messages>");
+      }
+    } else if (kw == "catchup-interval-ms") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.catchup_interval_ms)) {
+        return fail(where() + "catchup-interval-ms <milliseconds>");
+      }
+    } else if (kw == "catchup-timeout-ms") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.catchup_timeout_ms)) {
+        return fail(where() + "catchup-timeout-ms <milliseconds>");
+      }
+    } else if (kw == "checkpoint-every") {
+      if (!want(1) || !parse_u32(toks[1], &cfg.checkpoint_every)) {
+        return fail(where() + "checkpoint-every <records>");
+      }
     } else {
       return fail(where() + "unknown keyword '" + kw + "'");
     }
   }
 
   if (site_lines.empty()) return fail("no 'site' lines");
-  if (cfg.vars == 0) return fail("missing 'vars'");
   cfg.sites.resize(site_lines.size());
   std::vector<bool> seen(site_lines.size(), false);
   for (auto& [id, addr] : site_lines) {
@@ -205,23 +227,47 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
     seen[id] = true;
     cfg.sites[id] = std::move(addr);
   }
-  for (const auto& [x, sites_of_x] : cfg.placement_overrides) {
-    if (x >= cfg.vars) {
+  std::string verr;
+  if (!cfg.validate(&verr)) return fail(std::move(verr));
+  return cfg;
+}
+
+bool ClusterConfig::validate(std::string* error) const {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (sites.empty()) return fail("no sites");
+  if (vars == 0) return fail("missing 'vars'");
+  if (replicas_per_var == 0) return fail("replicas must be positive");
+  for (const auto& [x, sites_of_x] : placement_overrides) {
+    if (x >= vars) {
       return fail("place: var " + std::to_string(x) + " out of range");
     }
-    for (const causal::SiteId s : sites_of_x) {
-      if (s >= cfg.site_count()) {
-        return fail("place: site " + std::to_string(s) + " out of range");
+    if (sites_of_x.empty()) {
+      return fail("place: var " + std::to_string(x) + " has no sites");
+    }
+    for (std::size_t i = 0; i < sites_of_x.size(); ++i) {
+      if (sites_of_x[i] >= site_count()) {
+        return fail("place: site " + std::to_string(sites_of_x[i]) +
+                    " out of range");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (sites_of_x[j] == sites_of_x[i]) {
+          return fail("place: var " + std::to_string(x) +
+                      " lists site " + std::to_string(sites_of_x[i]) +
+                      " twice");
+        }
       }
     }
   }
-  for (const auto& [x, name] : cfg.key_names) {
-    if (x >= cfg.vars) {
+  for (const auto& [x, name] : key_names) {
+    if (x >= vars) {
       return fail("key: var " + std::to_string(x) + " out of range");
     }
     (void)name;
   }
-  return cfg;
+  return true;
 }
 
 std::optional<ClusterConfig> ClusterConfig::load(const std::string& path,
@@ -270,6 +316,16 @@ std::string ClusterConfig::to_text() const {
   if (peer_queue_cap > 0) out << "peer-queue-cap " << peer_queue_cap << "\n";
   if (engine_queue_cap > 0) {
     out << "engine-queue-cap " << engine_queue_cap << "\n";
+  }
+  if (catchup_retain > 0) out << "catchup-retain " << catchup_retain << "\n";
+  if (catchup_interval_ms > 0) {
+    out << "catchup-interval-ms " << catchup_interval_ms << "\n";
+  }
+  if (catchup_timeout_ms > 0) {
+    out << "catchup-timeout-ms " << catchup_timeout_ms << "\n";
+  }
+  if (checkpoint_every > 0) {
+    out << "checkpoint-every " << checkpoint_every << "\n";
   }
   return out.str();
 }

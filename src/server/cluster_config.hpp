@@ -20,6 +20,10 @@
 //   sender-batch-bytes 262144    # writev coalescing limit (1 = no batching)
 //   peer-queue-cap 65536         # outbound msgs/peer before send() blocks
 //   engine-queue-cap 4096        # protocol commands before producers block
+//   catchup-retain 8192          # stamped updates retained per peer
+//   catchup-interval-ms 500      # anti-entropy round period
+//   catchup-timeout-ms 2000      # restart waits this long for catch-up
+//   checkpoint-every 4096        # WAL records between checkpoints
 #pragma once
 
 #include <cstdint>
@@ -55,6 +59,11 @@ struct ClusterConfig {
   std::uint32_t sender_batch_bytes = 0;  ///< writev coalescing limit
   std::uint32_t peer_queue_cap = 0;      ///< outbound per-peer queue cap
   std::uint32_t engine_queue_cap = 0;    ///< protocol-engine command cap
+  /// Durability / anti-entropy tuning; 0 = runtime default for each.
+  std::uint32_t catchup_retain = 0;       ///< retained updates per peer
+  std::uint32_t catchup_interval_ms = 0;  ///< anti-entropy round period
+  std::uint32_t catchup_timeout_ms = 0;   ///< restart catch-up gate bound
+  std::uint32_t checkpoint_every = 0;     ///< WAL records per checkpoint
 
   std::uint32_t site_count() const noexcept {
     return static_cast<std::uint32_t>(sites.size());
@@ -72,6 +81,13 @@ struct ClusterConfig {
                                            std::string* error);
   /// Serialize back to the text format (round-trips through parse()).
   std::string to_text() const;
+
+  /// Semantic checks shared by parse() and programmatically built configs:
+  /// non-empty site list, positive vars/replicas, placement overrides in
+  /// range with no duplicate sites, key names in range. parse() additionally
+  /// enforces dense site ids (the vector representation makes that
+  /// structural here).
+  bool validate(std::string* error) const;
 
   /// An n-site loopback cluster on consecutive ports starting at
   /// `base_port` (peer ports) and `base_port + n` (client ports); handy for

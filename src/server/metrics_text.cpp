@@ -67,7 +67,7 @@ std::string render_metrics_text(
     causal::SiteId site, const metrics::Metrics& merged,
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
-    std::uint64_t pending_updates) {
+    std::uint64_t pending_updates, const Durability::Stats& durability) {
   Renderer r(site);
 
   // ---- protocol + transport counters (the paper's Table I metrics) ----
@@ -118,6 +118,46 @@ std::string render_metrics_text(
                   '"',
               static_cast<double>(engine.enqueued[k]));
   }
+
+  // ---- durability: WAL + anti-entropy catch-up ----
+  r.gauge("ccpr_wal_enabled", "1 when this site runs with a write-ahead log",
+          durability.wal_enabled ? 1.0 : 0.0);
+  r.counter("ccpr_wal_records_total", "Records appended to the WAL",
+            durability.wal.records_appended);
+  r.counter("ccpr_wal_bytes_total", "Bytes appended to the WAL (framed)",
+            durability.wal.bytes_appended);
+  r.counter("ccpr_wal_fsyncs_total", "fsync calls issued by the WAL",
+            durability.wal.fsyncs);
+  r.counter("ccpr_wal_checkpoints_total", "WAL generation rotations",
+            durability.wal.checkpoints);
+  r.counter("ccpr_wal_recovered_records",
+            "Records replayed from the WAL at the last startup",
+            durability.wal.recovered_records);
+  r.counter("ccpr_wal_truncated_bytes",
+            "Torn-tail bytes discarded at the last startup",
+            durability.wal.truncated_bytes);
+  r.counter("ccpr_catchup_updates_total",
+            "Updates applied under an announced catch-up target",
+            durability.catchup_updates);
+  r.counter("ccpr_catchup_resent_total",
+            "Retained updates re-sent to a catching-up peer",
+            durability.catchup_resent);
+  r.counter("ccpr_catchup_requests_sent_total",
+            "Watermark announcements sent", durability.catchup_reqs_sent);
+  r.counter("ccpr_catchup_requests_recv_total",
+            "Watermark announcements received", durability.catchup_reqs_recv);
+  r.counter("ccpr_catchup_skipped_updates_total",
+            "Updates fast-forwarded past because retention aged them out",
+            durability.skipped);
+  r.counter("ccpr_chan_dup_drops_total",
+            "Channel duplicates dropped at the inbound watermark",
+            durability.dup_drops);
+  r.counter("ccpr_chan_gap_drops_total",
+            "Out-of-order updates dropped pending catch-up",
+            durability.gap_drops);
+  r.gauge("ccpr_catchup_retained_msgs",
+          "Stamped updates retained for catch-up across all peers",
+          static_cast<double>(durability.retained_msgs));
 
   // ---- per-peer wire stats ----
   r.preamble("ccpr_peer_msgs_sent_total", "Messages sent to a peer",

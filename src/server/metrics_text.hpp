@@ -14,6 +14,7 @@
 #include "causal/types.hpp"
 #include "metrics/metrics.hpp"
 #include "net/tcp_transport.hpp"
+#include "server/durability.hpp"
 #include "server/protocol_engine.hpp"
 
 namespace ccpr::server {
@@ -22,6 +23,6 @@ std::string render_metrics_text(
     causal::SiteId site, const metrics::Metrics& merged,
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
-    std::uint64_t pending_updates);
+    std::uint64_t pending_updates, const Durability::Stats& durability);
 
 }  // namespace ccpr::server

@@ -17,6 +17,7 @@ const char* ProtocolEngine::kind_name(CmdKind k) noexcept {
     case CmdKind::kStatus: return "status";
     case CmdKind::kApplyUpdate: return "apply_update";
     case CmdKind::kTimer: return "timer";
+    case CmdKind::kCatchup: return "catchup";
     case CmdKind::kKindCount: break;
   }
   return "unknown";
@@ -34,6 +35,26 @@ void ProtocolEngine::adopt_protocol(std::unique_ptr<causal::IProtocol> proto,
   CCPR_EXPECTS(proto_metrics != nullptr);
   proto_ = std::move(proto);
   proto_metrics_ = proto_metrics;
+}
+
+void ProtocolEngine::configure_durability(
+    Durability::Options opts, std::function<void(net::Message)> transport_send) {
+  CCPR_EXPECTS(durability_ == nullptr);
+  std::lock_guard lk(mu_);
+  CCPR_EXPECTS(!running_);
+  durability_ =
+      std::make_unique<Durability>(std::move(opts), std::move(transport_send));
+}
+
+bool ProtocolEngine::recover(std::string* err) {
+  std::lock_guard lifecycle(lifecycle_mu_);
+  CCPR_EXPECTS(proto_ != nullptr);
+  {
+    std::lock_guard lk(mu_);
+    CCPR_EXPECTS(!running_);
+  }
+  if (!durability_) return true;
+  return durability_->recover(proto_.get(), err);
 }
 
 void ProtocolEngine::start() {
@@ -91,11 +112,16 @@ std::optional<ProtocolEngine::WriteResult> ProtocolEngine::write(
   const bool ok = enqueue(
       CmdKind::kWrite,
       [this, comp, x, data = std::move(data), local_replica]() mutable {
+        // Write-ahead: the WAL record lands before the protocol mutates, so
+        // a crash between the two replays the write instead of losing it
+        // (the client may not have been acked — that is allowed).
+        if (durability_) durability_->on_local_write(x, data);
         proto_->write(x, std::move(data));
         WriteResult r;
         r.id = proto_->last_write_id();
         if (local_replica) r.lamport = proto_->peek(x).lamport;
         comp->fulfill(r);
+        if (durability_) durability_->maybe_checkpoint(proto_.get());
       });
   if (!ok) return std::nullopt;
   return comp->wait();
@@ -212,12 +238,65 @@ bool ProtocolEngine::quiescent() const {
 }
 
 void ProtocolEngine::apply_message(net::Message msg) {
-  enqueue(CmdKind::kApplyUpdate,
-          [this, msg = std::move(msg)] { proto_->on_message(msg); });
+  const CmdKind kind = (msg.kind == net::MsgKind::kCatchupReq ||
+                        msg.kind == net::MsgKind::kCatchupResp)
+                           ? CmdKind::kCatchup
+                           : CmdKind::kApplyUpdate;
+  enqueue(kind, [this, msg = std::move(msg)]() mutable {
+    if (durability_) {
+      durability_->on_inbound(proto_.get(), std::move(msg));
+    } else {
+      proto_->on_message(msg);
+    }
+  });
 }
 
 void ProtocolEngine::post_timer(std::function<void()> fn) {
   enqueue(CmdKind::kTimer, std::move(fn));
+}
+
+void ProtocolEngine::post_catchup_tick() {
+  if (!durability_) return;
+  enqueue(CmdKind::kCatchup, [this] { durability_->tick(proto_.get()); });
+}
+
+void ProtocolEngine::protocol_send(net::Message msg) {
+  CCPR_EXPECTS(durability_ != nullptr);
+  durability_->on_protocol_send(std::move(msg));
+}
+
+void ProtocolEngine::persist_meta_merge(causal::VarId x,
+                                        causal::SiteId responder,
+                                        const std::uint8_t* data,
+                                        std::size_t len) {
+  if (durability_) durability_->on_meta_merge(x, responder, data, len);
+}
+
+std::optional<Durability::Stats> ProtocolEngine::durability_stats() {
+  if (!durability_) return Durability::Stats{};
+  auto comp = std::make_shared<Completion<Durability::Stats>>();
+  const bool ok = enqueue(
+      CmdKind::kStatus, [this, comp] { comp->fulfill(durability_->stats()); });
+  if (!ok) {
+    std::lock_guard lifecycle(lifecycle_mu_);
+    if (!quiescent()) return std::nullopt;
+    return durability_->stats();
+  }
+  return comp->wait();
+}
+
+std::optional<Durability::CatchupProgress> ProtocolEngine::catchup_progress() {
+  if (!durability_) return Durability::CatchupProgress{};
+  auto comp = std::make_shared<Completion<Durability::CatchupProgress>>();
+  const bool ok = enqueue(CmdKind::kStatus, [this, comp] {
+    comp->fulfill(durability_->progress());
+  });
+  if (!ok) {
+    std::lock_guard lifecycle(lifecycle_mu_);
+    if (!quiescent()) return std::nullopt;
+    return durability_->progress();
+  }
+  return comp->wait();
 }
 
 ProtocolEngine::QueueStats ProtocolEngine::queue_stats() const {

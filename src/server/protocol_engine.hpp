@@ -42,6 +42,7 @@
 #include "causal/protocol.hpp"
 #include "metrics/metrics.hpp"
 #include "net/message.hpp"
+#include "server/durability.hpp"
 
 namespace ccpr::server {
 
@@ -58,6 +59,7 @@ class ProtocolEngine {
     kStatus,
     kApplyUpdate,
     kTimer,
+    kCatchup,  ///< anti-entropy control traffic (kCatchupReq/Resp)
     kKindCount  // sentinel
   };
   static constexpr std::size_t kCmdKinds =
@@ -106,6 +108,16 @@ class ProtocolEngine {
   void adopt_protocol(std::unique_ptr<causal::IProtocol> proto,
                       metrics::Metrics* proto_metrics);
 
+  /// Attach the durability layer (WAL + durable channels + catch-up).
+  /// `transport_send` is where stamped outbound traffic ultimately goes.
+  /// Must be called before recover()/start(); at most once.
+  void configure_durability(Durability::Options opts,
+                            std::function<void(net::Message)> transport_send);
+  /// Replay the WAL through the adopted protocol. Runs on the calling
+  /// thread; must precede start(). No-op without configure_durability().
+  /// Returns false (engine unusable) with `*err` set on failure.
+  bool recover(std::string* err);
+
   /// Launch the apply thread. The protocol must already be adopted.
   void start();
   /// Drain queued commands, abort parked reads/waiters, join the apply
@@ -146,8 +158,25 @@ class ProtocolEngine {
   /// Timer thread: marshal a Services::schedule callback onto the apply
   /// thread. Dropped if the engine is stopped.
   void post_timer(std::function<void()> fn);
+  /// Enqueue one anti-entropy round (watermark announcements, batch-policy
+  /// WAL sync, checkpoint-if-due). Dropped if the engine is stopped.
+  void post_catchup_tick();
+
+  // ---- apply-thread entry points (Services callbacks) ----
+
+  /// Services::send target: runs *inside* protocol calls on the apply
+  /// thread (or the recovering thread during replay) — never enqueues.
+  /// Stamps/retains updates and forwards to the transport.
+  void protocol_send(net::Message msg);
+  /// Services::persist_meta_merge target (same threading contract).
+  void persist_meta_merge(causal::VarId x, causal::SiteId responder,
+                          const std::uint8_t* data, std::size_t len);
 
   QueueStats queue_stats() const;
+  /// Snapshot of WAL/catch-up counters; defaults when no durability layer.
+  std::optional<Durability::Stats> durability_stats();
+  /// Catch-up gate view for SiteServer::start (see Durability).
+  std::optional<Durability::CatchupProgress> catchup_progress();
 
  private:
   struct Cmd {
@@ -206,6 +235,9 @@ class ProtocolEngine {
   Options opts_;
   std::unique_ptr<causal::IProtocol> proto_;
   metrics::Metrics* proto_metrics_ = nullptr;  ///< apply-thread-only reads
+  /// Apply-thread-only after recover(); null when the server runs without
+  /// persistence or catch-up (e.g. unit-test engines).
+  std::unique_ptr<Durability> durability_;
 
   /// Serializes start()/stop() against each other (two concurrent stop()s
   /// must not both reach the join) and against the quiescent-fallback

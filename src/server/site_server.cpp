@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,8 +28,12 @@ sim::SimTime wall_now_us() {
 }  // namespace
 
 SiteServer::SiteServer(ClusterConfig config, causal::SiteId self)
+    : SiteServer(std::move(config), self, Options{}) {}
+
+SiteServer::SiteServer(ClusterConfig config, causal::SiteId self, Options opts)
     : config_(std::move(config)),
       self_(self),
+      opts_(std::move(opts)),
       rmap_(config_.replica_map()),
       max_frame_bytes_(config_.max_frame_bytes > 0
                            ? config_.max_frame_bytes
@@ -61,12 +66,35 @@ SiteServer::SiteServer(ClusterConfig config, causal::SiteId self)
   }
   engine_ = std::make_unique<ProtocolEngine>(eopts);
 
+  Durability::Options dopts;
+  dopts.data_dir = opts_.data_dir;
+  dopts.wal_sync = opts_.wal_sync;
+  dopts.self = self_;
+  dopts.sites = config_.site_count();
+  if (config_.catchup_retain > 0) dopts.catchup_retain = config_.catchup_retain;
+  if (config_.checkpoint_every > 0) {
+    dopts.checkpoint_every = config_.checkpoint_every;
+  }
+  // Resend chunks must fit under the per-peer outbound queue cap, or the
+  // queue's drop-oldest overflow policy discards the front of every chunk.
+  if (config_.peer_queue_cap > 0) {
+    dopts.catchup_burst = std::min<std::uint32_t>(
+        dopts.catchup_burst, std::max<std::uint32_t>(config_.peer_queue_cap / 2, 1));
+  }
+  engine_->configure_durability(
+      dopts, [this](net::Message m) { transport_->send(std::move(m)); });
+
   causal::Services svc;
   // send runs on the engine's apply thread (from inside protocol calls);
   // schedule callbacks are marshalled back onto it as timer commands —
   // both sides of the Services re-entrancy contract are discharged by the
-  // engine's single apply thread.
-  svc.send = [this](net::Message m) { transport_->send(std::move(m)); };
+  // engine's single apply thread. Sends route through the durability layer
+  // so outbound updates get their durable channel stamps.
+  svc.send = [this](net::Message m) { engine_->protocol_send(std::move(m)); };
+  svc.persist_meta_merge = [this](causal::VarId x, causal::SiteId responder,
+                                  const std::uint8_t* data, std::size_t len) {
+    engine_->persist_meta_merge(x, responder, data, len);
+  };
   svc.now = [] { return wall_now_us(); };
   svc.schedule = [this](sim::SimTime delay, std::function<void()> fn) {
     timers_.schedule_after(
@@ -84,24 +112,63 @@ SiteServer::~SiteServer() { stop(); }
 bool SiteServer::start() {
   CCPR_EXPECTS(!started_);
   stopping_.store(false, std::memory_order_relaxed);
+  // Recovery replays the WAL on this thread before anything concurrent
+  // exists; a failure here means the durable state is unusable and the
+  // operator must intervene (delete the WAL to restart empty).
+  std::string err;
+  if (!engine_->recover(&err)) {
+    std::fprintf(stderr, "ccpr_server: site %u recovery failed: %s\n", self_,
+                 err.c_str());
+    return false;
+  }
   // The engine must accept commands before the transport can deliver.
   engine_->start();
   if (!transport_->start()) {
     engine_->stop();
     return false;
   }
+  timers_.start();
+  engine_->post_catchup_tick();  // announce watermarks immediately
+  schedule_catchup_tick();
+  // Catch-up gate: a site restarting from a WAL answers clients only after
+  // every peer has streamed the updates it missed (bounded by the timeout —
+  // a dead peer must not wedge the restart forever).
+  const auto progress = engine_->catchup_progress();
+  if (progress && progress->recovered) {
+    const std::uint32_t timeout_ms = config_.catchup_timeout_ms > 0
+                                         ? config_.catchup_timeout_ms
+                                         : 2000;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto p = engine_->catchup_progress();
+      if (!p || p->complete) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
   client_listen_ = net::tcp_listen(config_.sites[self_].host,
                                    config_.sites[self_].client_port,
                                    &client_port_);
   if (!client_listen_.valid()) {
+    timers_.stop();
     transport_->stop();
     engine_->stop();
     return false;
   }
-  timers_.start();
   client_accept_thread_ = std::thread([this] { accept_clients(); });
   started_ = true;
   return true;
+}
+
+void SiteServer::schedule_catchup_tick() {
+  const std::uint32_t interval_ms =
+      config_.catchup_interval_ms > 0 ? config_.catchup_interval_ms : 500;
+  timers_.schedule_after(
+      static_cast<std::int64_t>(interval_ms) * 1000, [this] {
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        engine_->post_catchup_tick();
+        schedule_catchup_tick();
+      });
 }
 
 void SiteServer::stop() {
@@ -347,9 +414,11 @@ std::size_t SiteServer::pending_updates() const {
 
 std::string SiteServer::metrics_text() const {
   const auto s = engine_->status();
+  const auto d = engine_->durability_stats();
   return render_metrics_text(self_, metrics(), engine_->queue_stats(),
                              transport_->peer_stats(),
-                             s ? s->pending_updates : 0);
+                             s ? s->pending_updates : 0,
+                             d ? *d : Durability::Stats{});
 }
 
 }  // namespace ccpr::server

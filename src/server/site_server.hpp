@@ -31,7 +31,17 @@ namespace ccpr::server {
 
 class SiteServer : net::IMessageSink {
  public:
+  /// Per-process (not cluster-wide) durability knobs, set from the command
+  /// line. The catch-up machinery itself is always on; an empty data_dir
+  /// just means nothing survives a restart of *this* process.
+  struct Options {
+    /// Directory for this site's write-ahead log; empty = no persistence.
+    std::string data_dir;
+    Wal::Sync wal_sync = Wal::Sync::kAlways;
+  };
+
   SiteServer(ClusterConfig config, causal::SiteId self);
+  SiteServer(ClusterConfig config, causal::SiteId self, Options opts);
   ~SiteServer() override;
 
   SiteServer(const SiteServer&) = delete;
@@ -72,6 +82,8 @@ class SiteServer : net::IMessageSink {
   };
 
   void deliver(net::Message msg) override;
+  /// Self-rescheduling periodic anti-entropy round on the timer thread.
+  void schedule_catchup_tick();
   void accept_clients();
   void serve_client(ClientConn* conn);
   /// Execute one decoded request, appending the response body to `resp`.
@@ -79,6 +91,7 @@ class SiteServer : net::IMessageSink {
 
   ClusterConfig config_;
   causal::SiteId self_;
+  Options opts_;
   causal::ReplicaMap rmap_;
   std::uint32_t max_frame_bytes_;
 

@@ -1,0 +1,400 @@
+#include "server/wal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace ccpr::server {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc32
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+std::string site_prefix(causal::SiteId site) {
+  return "site-" + std::to_string(site) + ".";
+}
+
+std::string wal_name(causal::SiteId site, std::uint64_t gen) {
+  return site_prefix(site) + std::to_string(gen) + ".wal";
+}
+
+std::string current_name(causal::SiteId site) {
+  return site_prefix(site) + "CURRENT";
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out, std::string* err) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (err) *err = path + ": " + std::strerror(errno);
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (err) *err = path + ": " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+/// Atomically replace `path` with `contents` (tmp + fsync + rename).
+bool write_file_atomic(const std::string& dir, const std::string& name,
+                       std::string_view contents, std::string* err) {
+  const std::string tmp = join(dir, name + ".tmp");
+  const std::string path = join(dir, name);
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (err) *err = tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  if (!write_all(fd, contents.data(), contents.size()) || ::fsync(fd) != 0) {
+    if (err) *err = tmp + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (err) *err = path + ": " + std::strerror(errno);
+    return false;
+  }
+  fsync_dir(dir);
+  return true;
+}
+
+/// Parse the generation out of "site-<id>.<gen>.wal"; false on mismatch.
+bool parse_generation(const std::string& name, causal::SiteId site,
+                      std::uint64_t* gen) {
+  const std::string prefix = site_prefix(site);
+  const std::string suffix = ".wal";
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  const std::string mid =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (mid.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : mid) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *gen = v;
+  return true;
+}
+
+/// Scan `data` front to back; append whole valid frames to `out` and return
+/// the byte offset of the first bad frame (== data.size() if none).
+std::size_t scan_records(std::string_view data, std::vector<Wal::Record>* out) {
+  std::size_t off = 0;
+  while (off + kFrameHeader <= data.size()) {
+    const std::uint32_t len = get_u32(data.data() + off);
+    const std::uint32_t crc = get_u32(data.data() + off + 4);
+    if (len < 1 || len > kMaxRecordBytes) break;
+    if (off + kFrameHeader + len > data.size()) break;
+    const std::string_view body(data.data() + off + kFrameHeader, len);
+    if (wal_crc32(body) != crc) break;
+    Wal::Record r;
+    r.type = static_cast<std::uint8_t>(body[0]);
+    r.payload.assign(body.substr(1));
+    out->push_back(std::move(r));
+    off += kFrameHeader + len;
+  }
+  return off;
+}
+
+/// Delete tmp files and WAL generations other than `keep` for this site.
+void remove_stale(const std::string& dir, causal::SiteId site,
+                  const std::string& keep) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  const std::string prefix = site_prefix(site);
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name == keep || name == current_name(site)) continue;
+    std::uint64_t gen = 0;
+    const bool is_wal = parse_generation(name, site, &gen);
+    const bool is_tmp =
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if (is_wal || is_tmp) ::unlink(join(dir, name).c_str());
+  }
+  ::closedir(d);
+}
+
+}  // namespace
+
+std::uint32_t wal_crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::unique_ptr<Wal> Wal::open(const Options& opts, OpenResult* out,
+                               std::string* err) {
+  CCPR_EXPECTS(out != nullptr);
+  out->records.clear();
+  out->created = false;
+  if (::mkdir(opts.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (err) *err = opts.dir + ": " + std::strerror(errno);
+    return nullptr;
+  }
+
+  auto wal = std::unique_ptr<Wal>(new Wal());
+  wal->dir_ = opts.dir;
+  wal->site_ = opts.site;
+  wal->sync_ = opts.sync;
+
+  const std::string cur_path = join(opts.dir, current_name(opts.site));
+  std::string cur;
+  const bool have_current = read_file(cur_path, &cur, nullptr);
+  if (have_current) {
+    // Strip a trailing newline so a hand-edited CURRENT still resolves.
+    while (!cur.empty() && (cur.back() == '\n' || cur.back() == '\r')) {
+      cur.pop_back();
+    }
+    if (!parse_generation(cur, opts.site, &wal->generation_)) {
+      if (err) *err = cur_path + ": unparseable contents '" + cur + "'";
+      return nullptr;
+    }
+    wal->path_ = join(opts.dir, cur);
+    wal->fd_ = ::open(wal->path_.c_str(), O_RDWR | O_CLOEXEC);
+    if (wal->fd_ < 0) {
+      if (err) *err = wal->path_ + ": " + std::strerror(errno);
+      return nullptr;
+    }
+    std::string data;
+    if (!read_file(wal->path_, &data, err)) return nullptr;
+    const std::size_t valid = scan_records(data, &out->records);
+    if (valid < data.size()) {
+      wal->stats_.truncated_bytes = data.size() - valid;
+      if (::ftruncate(wal->fd_, static_cast<off_t>(valid)) != 0 ||
+          ::fsync(wal->fd_) != 0) {
+        if (err) *err = wal->path_ + ": truncate: " + std::strerror(errno);
+        return nullptr;
+      }
+    }
+    if (::lseek(wal->fd_, 0, SEEK_END) < 0) {
+      if (err) *err = wal->path_ + ": " + std::strerror(errno);
+      return nullptr;
+    }
+    wal->stats_.recovered_records = out->records.size();
+    // A crash between writing a new generation and flipping CURRENT can
+    // leave a stale newer file; anything not pointed at is dead.
+    remove_stale(opts.dir, opts.site, cur);
+  } else {
+    out->created = true;
+    wal->generation_ = 0;
+    const std::string name = wal_name(opts.site, 0);
+    wal->path_ = join(opts.dir, name);
+    wal->fd_ = ::open(wal->path_.c_str(),
+                      O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (wal->fd_ < 0) {
+      if (err) *err = wal->path_ + ": " + std::strerror(errno);
+      return nullptr;
+    }
+    if (!write_file_atomic(opts.dir, current_name(opts.site), name, err)) {
+      return nullptr;
+    }
+    remove_stale(opts.dir, opts.site, name);
+  }
+  return wal;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+bool Wal::write_frame(std::uint8_t type, std::string_view payload) {
+  CCPR_EXPECTS(payload.size() + 1 <= kMaxRecordBytes);
+  std::string frame;
+  frame.reserve(kFrameHeader + 1 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(1 + payload.size()));
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  put_u32(frame, wal_crc32(body));
+  frame.append(body);
+  if (!write_all(fd_, frame.data(), frame.size())) return false;
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+  return true;
+}
+
+bool Wal::fsync_now() {
+  if (::fsync(fd_) != 0) return false;
+  ++stats_.fsyncs;
+  return true;
+}
+
+bool Wal::append(RecordType type, std::string_view payload) {
+  if (fd_ < 0) return false;
+  if (!write_frame(type, payload)) return false;
+  if (sync_ == Sync::kAlways) return fsync_now();
+  return true;
+}
+
+bool Wal::sync() {
+  if (fd_ < 0) return false;
+  return fsync_now();
+}
+
+bool Wal::checkpoint(std::string_view payload) {
+  if (fd_ < 0) return false;
+  const std::uint64_t next_gen = generation_ + 1;
+  const std::string name = wal_name(site_, next_gen);
+  const std::string tmp = join(dir_, name + ".tmp");
+  const std::string path = join(dir_, name);
+  const int fd =
+      ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+
+  // Write the checkpoint into the new generation through a temporary fd so
+  // a crash at any point leaves either the old generation current or the
+  // new one fully formed.
+  const int old_fd = fd_;
+  fd_ = fd;
+  const bool wrote = write_frame(kCheckpoint, payload) && fsync_now();
+  if (!wrote) {
+    ::close(fd);
+    fd_ = old_fd;
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0 || !fsync_dir(dir_)) {
+    ::close(fd);
+    fd_ = old_fd;
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (!write_file_atomic(dir_, current_name(site_), name, nullptr)) {
+    // CURRENT still points at the old generation; keep using it.
+    ::close(fd);
+    fd_ = old_fd;
+    ::unlink(path.c_str());
+    return false;
+  }
+  const std::string old_path = path_;
+  ::close(old_fd);
+  ::unlink(old_path.c_str());
+  generation_ = next_gen;
+  path_ = path;
+  ++stats_.checkpoints;
+  return true;
+}
+
+bool Wal::inspect(const std::string& dir, causal::SiteId site,
+                  InspectResult* out, std::string* err) {
+  CCPR_EXPECTS(out != nullptr);
+  *out = InspectResult{};
+  const std::string cur_path = join(dir, current_name(site));
+  std::string cur;
+  if (!read_file(cur_path, &cur, err)) return false;
+  while (!cur.empty() && (cur.back() == '\n' || cur.back() == '\r')) {
+    cur.pop_back();
+  }
+  if (!parse_generation(cur, site, &out->generation)) {
+    if (err) *err = cur_path + ": unparseable contents '" + cur + "'";
+    return false;
+  }
+  out->file = join(dir, cur);
+  std::string data;
+  if (!read_file(out->file, &data, err)) return false;
+  out->bytes = data.size();
+  std::vector<Record> records;
+  const std::size_t valid = scan_records(data, &records);
+  out->truncated_bytes = data.size() - valid;
+  out->records = records.size();
+  for (Record& r : records) {
+    if (r.type < sizeof(out->counts_by_type) / sizeof(out->counts_by_type[0])) {
+      ++out->counts_by_type[r.type];
+    }
+    if (r.type == kCheckpoint) {
+      out->checkpoint_bytes = r.payload.size();
+      out->checkpoint_payload = r.payload;
+      out->tail_after_checkpoint.clear();
+    } else if (r.type == kEpoch) {
+      out->epoch_payload = r.payload;
+    } else {
+      out->tail_after_checkpoint.push_back(std::move(r));
+    }
+  }
+  return true;
+}
+
+}  // namespace ccpr::server

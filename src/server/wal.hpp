@@ -1,0 +1,136 @@
+// Per-site write-ahead log for the TCP runtime.
+//
+// Append-only file of CRC32-framed records:
+//
+//   [u32 len][u32 crc32][u8 type][payload...]
+//
+// `len` counts the type byte plus the payload; the CRC covers the same
+// bytes. Little-endian on the wire, matching net/frame. A record is only
+// as durable as the sync policy makes it:
+//
+//   * kAlways — fsync after every append. Survives power loss.
+//   * kBatch  — the write() syscall is still issued per append (so a
+//     SIGKILL of the process loses nothing the kernel accepted), but
+//     fsync only happens on checkpoints and explicit sync() calls; a
+//     whole-machine power cut can lose the un-synced tail.
+//
+// Recovery scans the current generation file front to back and *truncates
+// at the first bad frame* (short header, short body, length out of range,
+// CRC mismatch): a torn tail from a crash mid-append is expected damage,
+// not corruption, and everything before it is intact by construction.
+//
+// Checkpoints bound replay: checkpoint(payload) starts a *new generation
+// file* whose first record is the checkpoint, flips the CURRENT pointer
+// file to it (write-tmp + fsync + rename, so the flip is atomic), and
+// deletes older generations. Recovery therefore reads exactly one file:
+// an optional leading kEpoch/kCheckpoint record plus the tail to replay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "causal/types.hpp"
+
+namespace ccpr::server {
+
+class Wal {
+ public:
+  enum class Sync : std::uint8_t { kAlways, kBatch };
+
+  /// Record types. Values are on-disk format; never renumber.
+  enum RecordType : std::uint8_t {
+    kCheckpoint = 1,  ///< full engine + protocol state; first record of a gen
+    kLocalWrite = 2,  ///< a client write applied at this site
+    kPeerUpdate = 3,  ///< a peer kUpdate admitted by the inbound channel
+    kMetaMerge = 4,   ///< causal metadata merged from a fetch response
+    kEpoch = 5,       ///< this site's channel epoch; first record of gen 0
+  };
+
+  struct Record {
+    std::uint8_t type = 0;
+    std::string payload;
+  };
+
+  struct Stats {
+    std::uint64_t records_appended = 0;
+    std::uint64_t bytes_appended = 0;  ///< frame bytes, headers included
+    std::uint64_t fsyncs = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t recovered_records = 0;  ///< records read back at open()
+    std::uint64_t truncated_bytes = 0;    ///< torn tail discarded at open()
+  };
+
+  struct OpenResult {
+    std::vector<Record> records;  ///< current generation, append order
+    bool created = false;         ///< no prior WAL existed for this site
+  };
+
+  /// Offline summary for `ccpr_client wal-stat`.
+  struct InspectResult {
+    std::string file;
+    std::uint64_t generation = 0;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t truncated_bytes = 0;
+    std::uint64_t counts_by_type[6] = {};  ///< indexed by RecordType
+    std::string checkpoint_payload;        ///< empty when none
+    std::uint64_t checkpoint_bytes = 0;
+    std::string epoch_payload;                 ///< empty when none
+    std::vector<Record> tail_after_checkpoint;  ///< for watermark recomputation
+  };
+
+  struct Options {
+    std::string dir;
+    causal::SiteId site = 0;
+    Sync sync = Sync::kAlways;
+  };
+
+  /// Open (creating if necessary) the WAL for `opts.site` under `opts.dir`.
+  /// Surviving records of the current generation land in `out`; on
+  /// unrecoverable I/O errors returns nullptr with a message in `err`.
+  static std::unique_ptr<Wal> open(const Options& opts, OpenResult* out,
+                                   std::string* err);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Append one record (fsyncs under Sync::kAlways).
+  bool append(RecordType type, std::string_view payload);
+  /// Force the file contents to stable storage (batch-policy callers).
+  bool sync();
+  /// Rotate to a new generation whose first record is `payload`, flip
+  /// CURRENT, delete older generations. Always fsyncs.
+  bool checkpoint(std::string_view payload);
+
+  const Stats& stats() const noexcept { return stats_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Read-only summary of the WAL for one site under `dir` (resolved via
+  /// its CURRENT file). No locks are taken: inspecting a live WAL sees
+  /// some prefix of it, which is fine for debugging.
+  static bool inspect(const std::string& dir, causal::SiteId site,
+                      InspectResult* out, std::string* err);
+
+ private:
+  Wal() = default;
+
+  bool write_frame(std::uint8_t type, std::string_view payload);
+  bool fsync_now();
+
+  std::string dir_;
+  causal::SiteId site_ = 0;
+  Sync sync_ = Sync::kAlways;
+  int fd_ = -1;
+  std::uint64_t generation_ = 0;
+  std::string path_;
+  Stats stats_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Exposed for tests.
+std::uint32_t wal_crc32(std::string_view data);
+
+}  // namespace ccpr::server

@@ -64,11 +64,15 @@ std::uint32_t Histogram::index_for(double value) noexcept {
   return idx > cap ? cap : idx;
 }
 
-// Upper edge of the bucket: conservative for percentile reporting.
+// Upper edge of the bucket: conservative for percentile reporting. Group 0
+// bucket `sub` holds values in [sub, sub+1), so its upper edge is sub + 1 —
+// same convention as every other group (returning the lower edge there, as
+// an earlier version did, under-reported small-value percentiles and broke
+// the invariant value_for(index_for(v)) >= v).
 double Histogram::value_for(std::uint32_t index) noexcept {
   const std::uint32_t g = index / kSubBuckets;
   const std::uint32_t sub = index % kSubBuckets;
-  if (g == 0) return static_cast<double>(sub);
+  if (g == 0) return static_cast<double>(sub + 1);
   return std::ldexp(static_cast<double>(kSubBuckets + sub + 1),
                     static_cast<int>(g) - 1);
 }

@@ -137,6 +137,113 @@ TEST(ClusterConfigTest, RejectsMalformedInput) {
   }
 }
 
+TEST(ClusterConfigTest, NumbersAreParsedStrictly) {
+  // "80x80" used to parse as 80 via std::stoul's prefix rule; the strict
+  // parser rejects trailing garbage, signs, and empty fields, and the
+  // diagnostic names the offending line.
+  const char* bad_numbers[] = {
+      "vars 4\nsite 0 h 80x80 2\n",
+      "vars 4\nsite 0 h 1 2x\n",
+      "vars 4x\nsite 0 h 1 2\n",
+      "vars +4\nsite 0 h 1 2\n",
+      "vars -4\nsite 0 h 1 2\n",
+      "vars 99999999999999999999\nsite 0 h 1 2\n",
+      "vars 4\nsite 0 h 1 2\nfetch-timeout-us 250000us\n",
+  };
+  for (const char* text : bad_numbers) {
+    std::string error;
+    EXPECT_FALSE(ClusterConfig::parse(text, &error).has_value()) << text;
+    EXPECT_NE(error.find("line "), std::string::npos)
+        << "error for {" << text << "} lacks a line number: " << error;
+  }
+  // Exact values still parse, including the extremes.
+  std::string error;
+  const auto cfg =
+      ClusterConfig::parse("vars 4294967295\nsite 0 h 65535 1\n", &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->vars, 4294967295u);
+  EXPECT_EQ(cfg->sites[0].peer_port, 65535);
+}
+
+TEST(ClusterConfigTest, PlacementRejectsDuplicateSites) {
+  std::string error;
+  EXPECT_FALSE(
+      ClusterConfig::parse(
+          "vars 4\nsite 0 h 1 2\nsite 1 h 3 4\nplace 1 0,1,0\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+
+  // The same rule guards programmatic configs through validate().
+  auto cfg = ClusterConfig::loopback(3, 6, 2, 0);
+  cfg.placement_overrides.emplace_back(
+      1, std::vector<causal::SiteId>{2, 2});
+  EXPECT_FALSE(cfg.validate(&error));
+  EXPECT_NE(error.find("twice"), std::string::npos) << error;
+
+  cfg.placement_overrides.back().second = {2, 0};
+  EXPECT_TRUE(cfg.validate(&error)) << error;
+}
+
+TEST(ClusterConfigTest, ValidateCatchesBadProgrammaticConfigs) {
+  std::string error;
+  {
+    auto cfg = ClusterConfig::loopback(2, 4, 2, 0);
+    EXPECT_TRUE(cfg.validate(&error)) << error;
+  }
+  {
+    auto cfg = ClusterConfig::loopback(2, 4, 2, 0);
+    cfg.vars = 0;
+    EXPECT_FALSE(cfg.validate(&error));
+  }
+  {
+    auto cfg = ClusterConfig::loopback(2, 4, 2, 0);
+    cfg.replicas_per_var = 0;
+    EXPECT_FALSE(cfg.validate(&error));
+  }
+  {
+    auto cfg = ClusterConfig::loopback(2, 4, 2, 0);
+    cfg.placement_overrides.emplace_back(
+        9, std::vector<causal::SiteId>{0});  // var out of range
+    EXPECT_FALSE(cfg.validate(&error));
+  }
+  {
+    auto cfg = ClusterConfig::loopback(2, 4, 2, 0);
+    cfg.placement_overrides.emplace_back(
+        1, std::vector<causal::SiteId>{5});  // site out of range
+    EXPECT_FALSE(cfg.validate(&error));
+  }
+  {
+    auto cfg = ClusterConfig::loopback(2, 4, 2, 0);
+    cfg.key_names.emplace_back(9, "ghost");  // var out of range
+    EXPECT_FALSE(cfg.validate(&error));
+  }
+}
+
+TEST(ClusterConfigTest, DurabilityKeysParseAndRoundTrip) {
+  const std::string text = std::string(kBasic) +
+                           "catchup-retain 1024\n"
+                           "catchup-interval-ms 250\n"
+                           "catchup-timeout-ms 5000\n"
+                           "checkpoint-every 2048\n";
+  std::string error;
+  const auto cfg = ClusterConfig::parse(text, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->catchup_retain, 1024u);
+  EXPECT_EQ(cfg->catchup_interval_ms, 250u);
+  EXPECT_EQ(cfg->catchup_timeout_ms, 5000u);
+  EXPECT_EQ(cfg->checkpoint_every, 2048u);
+  const auto again = ClusterConfig::parse(cfg->to_text(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_text(), cfg->to_text());
+  EXPECT_EQ(again->checkpoint_every, 2048u);
+
+  // Omitted keys mean "runtime default" and must not serialize.
+  const auto base = ClusterConfig::parse(kBasic, &error);
+  ASSERT_TRUE(base.has_value()) << error;
+  EXPECT_EQ(base->catchup_retain, 0u);
+  EXPECT_EQ(base->to_text().find("catchup-"), std::string::npos);
+}
+
 TEST(ClusterConfigTest, LoopbackHelper) {
   const auto cfg = ClusterConfig::loopback(4, 10, 2, 6200);
   EXPECT_EQ(cfg.site_count(), 4u);

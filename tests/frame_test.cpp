@@ -22,9 +22,11 @@ Message make_msg(MsgKind kind, SiteId src, SiteId dst,
 
 TEST(FrameTest, RoundTripAllKinds) {
   for (const MsgKind kind :
-       {MsgKind::kUpdate, MsgKind::kFetchReq, MsgKind::kFetchResp}) {
-    const Message msg =
-        make_msg(kind, 3, 7, {0xde, 0xad, 0xbe, 0xef, 0x01}, 2);
+       {MsgKind::kUpdate, MsgKind::kFetchReq, MsgKind::kFetchResp,
+        MsgKind::kCatchupReq, MsgKind::kCatchupResp}) {
+    Message msg = make_msg(kind, 3, 7, {0xde, 0xad, 0xbe, 0xef, 0x01}, 2);
+    msg.chan_epoch = 0x1234567;
+    msg.chan_seq = 99;
     const auto wire = encode_frame(msg, 0xabcd, 42);
 
     const auto size =
@@ -42,6 +44,8 @@ TEST(FrameTest, RoundTripAllKinds) {
     EXPECT_EQ(frame->msg.payload_bytes, 2u);
     EXPECT_EQ(frame->incarnation, 0xabcdu);
     EXPECT_EQ(frame->seq, 42u);
+    EXPECT_EQ(frame->msg.chan_epoch, 0x1234567u);
+    EXPECT_EQ(frame->msg.chan_seq, 99u);
   }
 }
 
@@ -129,8 +133,9 @@ TEST(FrameTest, BodyRejectsPayloadLargerThanBody) {
   const Message msg = make_msg(MsgKind::kUpdate, 1, 2, {1, 2, 3}, 3);
   auto wire = encode_frame(msg, 6, 5);
   // Locate the payload_bytes varint: kind(1) + src(1) + dst(1) +
-  // incarnation(1) + seq(1) for these small values; bump it beyond body_len.
-  wire[kFrameLenBytes + 5] = 0x04;
+  // incarnation(1) + seq(1) + chan_epoch(1) + chan_seq(1) for these small
+  // values; bump it beyond body_len.
+  wire[kFrameLenBytes + 7] = 0x04;
   EXPECT_FALSE(decode_frame_body(wire.data() + kFrameLenBytes,
                                  wire.size() - kFrameLenBytes)
                    .has_value());

@@ -77,8 +77,9 @@ TEST(HistogramTest, SmallExactValues) {
   EXPECT_EQ(h.count(), 10u);
   EXPECT_DOUBLE_EQ(h.mean(), 4.5);
   EXPECT_DOUBLE_EQ(h.max(), 9.0);
-  // Values < 32 land in exact buckets.
-  EXPECT_DOUBLE_EQ(h.percentile(0.1), 0.0);
+  // Values < 32 land in unit-wide buckets; the reported value is the
+  // bucket's *upper* edge (capped by max), same as every other group.
+  EXPECT_DOUBLE_EQ(h.percentile(0.1), 1.0);
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.0);
 }
 
@@ -124,8 +125,33 @@ TEST(HistogramTest, MergeAddsCounts) {
   for (int i = 0; i < 100; ++i) b.add(1000.0);
   a.merge(b);
   EXPECT_EQ(a.count(), 200u);
-  EXPECT_DOUBLE_EQ(a.percentile(0.25), 10.0);
+  // Upper edge of the [10, 11) bucket.
+  EXPECT_DOUBLE_EQ(a.percentile(0.25), 11.0);
   EXPECT_GT(a.percentile(0.9), 900.0);
+}
+
+TEST(HistogramTest, BucketEdgeIsUpperBoundForEveryValue) {
+  // Property: the edge a bucket reports must bound every value that maps
+  // into it — value_for(index_for(v)) >= v — uniformly across groups. The
+  // group-0 buckets used to report the lower edge, under-reporting small
+  // percentiles. Exercised through the public API: with a sentinel sample
+  // far above v, percentile(0.5) returns v's bucket edge un-clamped.
+  const auto edge_of = [](double v) {
+    Histogram h;
+    h.add(v);
+    h.add(1e14);  // keeps max() above the edge so the cap cannot hide a bug
+    return h.percentile(0.5);
+  };
+  for (double v :
+       {0.0, 0.5, 1.0, 1.5, 2.0, 31.0, 31.9, 32.0, 33.0, 47.5, 63.0, 64.0,
+        65.0, 127.0, 128.0, 1000.0, 123456.0, 98765432.1}) {
+    EXPECT_GE(edge_of(v), v) << "value " << v;
+  }
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.exponential(1.0e6);
+    EXPECT_GE(edge_of(v), v) << "value " << v;
+  }
 }
 
 TEST(HistogramTest, ResetClears) {

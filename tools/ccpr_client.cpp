@@ -18,6 +18,10 @@
 //                            per-op latency p50/p90/p99 and the site's
 //                            peer-message rate (--ops, --write-rate,
 //                            --value-bytes, --seed, --json)
+//   wal-stat                 offline WAL summary (record counts, checkpoint
+//                            position, per-peer durable watermarks); needs
+//                            --data-dir=<path> --site=<id> but no running
+//                            server and no --config
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "client/client.hpp"
+#include "server/durability.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -35,8 +40,27 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ccpr_client --config=<path> --site=<id> "
-               "ping|put|get|snapshot|status|metrics|bench ...\n";
+               "ping|put|get|snapshot|status|metrics|bench ...\n"
+               "       ccpr_client --data-dir=<path> --site=<id> wal-stat\n";
   return 2;
+}
+
+int run_wal_stat(const util::Flags& flags) {
+  const std::string data_dir = flags.get_string("data-dir", "");
+  const auto site_id = flags.get_int("site", -1);
+  if (data_dir.empty() || site_id < 0) {
+    std::cerr << "usage: ccpr_client --data-dir=<path> --site=<id> wal-stat\n";
+    return 2;
+  }
+  std::string text;
+  std::string error;
+  if (!server::Durability::describe_wal(
+          data_dir, static_cast<causal::SiteId>(site_id), &text, &error)) {
+    std::cerr << "ccpr_client: " << error << "\n";
+    return 1;
+  }
+  std::fputs(text.c_str(), stdout);
+  return 0;
 }
 
 int run_bench(client::Client& cli, const util::Flags& flags) {
@@ -109,6 +133,8 @@ int main(int argc, char** argv) {
   const std::string config_path = flags.get_string("config", "");
   const auto site_id = flags.get_int("site", -1);
   const auto& args = flags.positional();
+  // wal-stat reads the on-disk log directly — no cluster, no config.
+  if (!args.empty() && args[0] == "wal-stat") return run_wal_stat(flags);
   if (config_path.empty() || site_id < 0 || args.empty()) return usage();
 
   std::string error;

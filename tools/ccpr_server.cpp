@@ -3,9 +3,13 @@
 //   build/tools/ccpr_server --config=cluster.conf --site=0
 //
 // Flags:
-//   --config=<path>   cluster config file (see docs/RUNTIMES.md)
-//   --site=<id>       which site of the config this process hosts
-//   --print-config    echo the parsed config and exit
+//   --config=<path>    cluster config file (see docs/RUNTIMES.md)
+//   --site=<id>        which site of the config this process hosts
+//   --data-dir=<path>  write-ahead log directory; omit for no persistence
+//   --wal-sync=always|batch
+//                      fsync every append (power-loss safe) or only at
+//                      checkpoints/anti-entropy rounds (kill-safe)
+//   --print-config     echo the parsed config and exit
 //
 // The process serves until SIGINT/SIGTERM, then shuts down gracefully
 // (drains client requests, flushes outbound peer queues). On startup it
@@ -53,6 +57,18 @@ int main(int argc, char** argv) {
   }
   const auto site = static_cast<causal::SiteId>(site_id);
 
+  server::SiteServer::Options sopts;
+  sopts.data_dir = flags.get_string("data-dir", "");
+  const std::string wal_sync = flags.get_string("wal-sync", "always");
+  if (wal_sync == "always") {
+    sopts.wal_sync = server::Wal::Sync::kAlways;
+  } else if (wal_sync == "batch") {
+    sopts.wal_sync = server::Wal::Sync::kBatch;
+  } else {
+    std::cerr << "ccpr_server: --wal-sync must be 'always' or 'batch'\n";
+    return 2;
+  }
+
   // Block the shutdown signals before starting so none can slip into the
   // window between the g_stop check and sigsuspend below.
   sigset_t stop_set;
@@ -64,10 +80,10 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  server::SiteServer srv(*config, site);
+  server::SiteServer srv(*config, site, sopts);
   if (!srv.start()) {
     std::cerr << "ccpr_server: site " << site
-              << ": cannot bind listen ports\n";
+              << ": cannot start (ports or WAL recovery)\n";
     return 1;
   }
   std::printf("ccpr_server site=%u alg=%s peer_port=%u client_port=%u\n",
