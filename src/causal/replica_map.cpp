@@ -61,17 +61,40 @@ bool ReplicaMap::replicated_at(VarId x, SiteId s) const {
   return std::binary_search(reps.begin(), reps.end(), s);
 }
 
+void ReplicaMap::set_site_distances(std::vector<std::uint32_t> dist) {
+  CCPR_EXPECTS(dist.size() == static_cast<std::size_t>(n_) * n_);
+  dist_ = std::move(dist);
+}
+
+std::uint32_t ReplicaMap::site_distance(SiteId from, SiteId to) const {
+  CCPR_EXPECTS(from < n_ && to < n_);
+  if (dist_.empty()) return (to + n_ - from) % n_;  // ring distance
+  return dist_[static_cast<std::size_t>(from) * n_ + to];
+}
+
+/// Nearness key for fetch routing: plugged site distance first (0 == ring
+/// distance when no matrix is set), ring distance and site id as
+/// deterministic tie-breaks so equidistant intra-region replicas still
+/// spread load around the ring.
+std::tuple<std::uint32_t, std::uint32_t, SiteId> ReplicaMap::nearness(
+    SiteId reader, SiteId s) const {
+  const std::uint32_t ring = (s + n_ - reader) % n_;
+  const std::uint32_t d =
+      dist_.empty() ? ring : dist_[static_cast<std::size_t>(reader) * n_ + s];
+  return {d, ring, s};
+}
+
 SiteId ReplicaMap::fetch_target(VarId x, SiteId reader) const {
   CCPR_EXPECTS(reader < n_);
   const auto reps = replicas(x);
   if (std::binary_search(reps.begin(), reps.end(), reader)) return reader;
   SiteId best = reps.front();
-  std::uint32_t best_dist = (best + n_ - reader) % n_;
+  auto best_key = nearness(reader, best);
   for (const SiteId s : reps) {
-    const std::uint32_t d = (s + n_ - reader) % n_;
-    if (d < best_dist) {
+    const auto key = nearness(reader, s);
+    if (key < best_key) {
       best = s;
-      best_dist = d;
+      best_key = key;
     }
   }
   return best;
@@ -83,9 +106,7 @@ SiteId ReplicaMap::fetch_target_ranked(VarId x, SiteId reader,
   const auto reps = replicas(x);
   std::vector<SiteId> ordered(reps.begin(), reps.end());
   std::sort(ordered.begin(), ordered.end(), [&](SiteId a, SiteId b) {
-    const std::uint32_t da = (a + n_ - reader) % n_;
-    const std::uint32_t db = (b + n_ - reader) % n_;
-    return da != db ? da < db : a < b;
+    return nearness(reader, a) < nearness(reader, b);
   });
   return ordered[rank % ordered.size()];
 }

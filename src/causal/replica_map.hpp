@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "causal/types.hpp"
@@ -38,16 +39,27 @@ class ReplicaMap {
 
   bool replicated_at(VarId x, SiteId s) const;
 
+  /// Pluggable site distance: an n*n row-major matrix of abstract
+  /// inter-site distances (e.g. one-way link latencies from a
+  /// server::Topology). When set, fetch targets prefer the replica at
+  /// minimum distance from the reader — intra-region before WAN — with
+  /// ring distance then site id as deterministic tie-breaks. Without a
+  /// matrix the classic ring distance applies.
+  void set_site_distances(std::vector<std::uint32_t> dist);
+  bool has_site_distances() const noexcept { return !dist_.empty(); }
+  std::uint32_t site_distance(SiteId from, SiteId to) const;
+
   /// The pre-designated site a non-replica reader fetches x from: the
-  /// replica nearest to `reader` in ring distance, which is deterministic
-  /// and locality-friendly under `even` placement. If `reader` replicates x
-  /// it is its own target.
+  /// replica nearest to `reader` (site distance when plugged, else ring
+  /// distance), which is deterministic and locality-friendly. If `reader`
+  /// replicates x it is its own target.
   SiteId fetch_target(VarId x, SiteId reader) const;
 
   /// The rank-th preferred fetch target (rank 0 == fetch_target). Ranks
-  /// wrap around the replica list ordered by ring distance, so retrying
-  /// with increasing ranks cycles through every replica — the paper's §V
-  /// "contact a secondary process" availability fallback.
+  /// wrap around the replica list ordered by nearness, so retrying with
+  /// increasing ranks cycles through every replica — the paper's §V
+  /// "contact a secondary process" availability fallback — crossing into
+  /// farther regions only after the near ones are exhausted.
   SiteId fetch_target_ranked(VarId x, SiteId reader, std::uint32_t rank) const;
 
   /// Variables replicated at site s (ascending).
@@ -62,9 +74,13 @@ class ReplicaMap {
   ReplicaMap(std::uint32_t n, std::vector<std::uint32_t> offsets,
              std::vector<SiteId> flat);
 
+  std::tuple<std::uint32_t, std::uint32_t, SiteId> nearness(SiteId reader,
+                                                            SiteId s) const;
+
   std::uint32_t n_;
   std::vector<std::uint32_t> offsets_;  // vars()+1 entries into flat_
   std::vector<SiteId> flat_;
+  std::vector<std::uint32_t> dist_;  // empty, or n_*n_ site distances
 };
 
 }  // namespace ccpr::causal

@@ -226,6 +226,24 @@ void Client::migrate(causal::SiteId new_site,
   site_ = new_site;
 }
 
+causal::SiteId Client::nearest_site(const server::ClusterConfig& config,
+                                    std::string_view region) {
+  if (config.topology.empty()) {
+    throw std::runtime_error("nearest_site: cluster has no geo topology");
+  }
+  const auto r = config.topology.region_id(region);
+  if (!r) {
+    throw std::runtime_error("nearest_site: unknown region '" +
+                             std::string(region) + "'");
+  }
+  const auto sites = config.topology.sites_in_region(*r);
+  if (sites.empty()) {
+    throw std::runtime_error("nearest_site: region '" + std::string(region) +
+                             "' has no sites");
+  }
+  return sites.front();
+}
+
 ServerStatus Client::status() {
   net::Encoder req;
   req.u8(static_cast<std::uint8_t>(ClientOp::kStatus));
@@ -241,6 +259,15 @@ ServerStatus Client::status() {
   st.peer_msgs_sent = dec.varint();
   st.peer_msgs_recv = dec.varint();
   st.peer_queued = dec.varint();
+  st.region = dec.bytes();
+  const std::uint64_t regions = dec.varint();
+  for (std::uint64_t r = 0; dec.ok() && r < regions; ++r) {
+    ServerStatus::RegionPeers rp;
+    rp.region = dec.bytes();
+    rp.peers = dec.varint();
+    rp.connected = dec.varint();
+    st.region_peers.push_back(std::move(rp));
+  }
   if (!dec.ok()) fail("status: malformed response");
   return st;
 }

@@ -40,6 +40,16 @@ struct ServerStatus {
   std::uint64_t peer_msgs_sent = 0;
   std::uint64_t peer_msgs_recv = 0;
   std::uint64_t peer_queued = 0;
+  /// The site's region name; empty when the cluster has no geo topology.
+  std::string region;
+  /// Per-region peer health as seen from this site (its own region
+  /// included; the site itself is not a peer so it is not counted).
+  struct RegionPeers {
+    std::string region;
+    std::uint64_t peers = 0;      ///< peers located in this region
+    std::uint64_t connected = 0;  ///< of those, with a live outbound link
+  };
+  std::vector<RegionPeers> region_peers;
 };
 
 class Client {
@@ -83,6 +93,13 @@ class Client {
   /// the old site.
   void migrate(causal::SiteId new_site,
                std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  /// Nearest-site selection for geo clusters: the lowest-id site in
+  /// `region`, i.e. where a client physically in that region should open
+  /// its session so reads stay intra-region. Throws std::runtime_error on
+  /// an unknown region, a region with no sites, or a flat cluster.
+  static causal::SiteId nearest_site(const server::ClusterConfig& config,
+                                     std::string_view region);
 
   ServerStatus status();
   /// Prometheus exposition text for the session's site (merged protocol +

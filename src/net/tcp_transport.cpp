@@ -409,6 +409,7 @@ std::vector<TcpTransport::PeerStats> TcpTransport::peer_stats() const {
       ps.queued = link->queue.size() + link->inflight;
       ps.batches_sent = link->batches_sent;
       ps.overflow_drops = link->overflow_drops;
+      ps.connected = link->sock.valid();
     }
     {
       std::lock_guard lk(in_mu_);

@@ -116,6 +116,7 @@ class TcpTransport final : public ITransport {
     std::uint64_t batches_sent = 0;  ///< writev flushes (≥1 frame each)
     std::uint64_t overflow_drops = 0;  ///< oldest msgs dropped at the cap
     std::uint64_t queue_cap = 0;     ///< configured cap (0 = unbounded)
+    bool connected = false;  ///< outbound socket currently established
   };
 
   TcpTransport(Options opts, metrics::Metrics& metrics);

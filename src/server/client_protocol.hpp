@@ -23,6 +23,11 @@
 //   kStatus    -> ok site:varint alg:u8 writes:varint reads:varint
 //                    pending:varint peer_msgs_sent:varint
 //                    peer_msgs_recv:varint peer_queued:varint
+//                    region:bytes                 (empty = no topology)
+//                    regions:varint {name:bytes peers:varint up:varint}...
+//                    (per-region peer health; `up` counts peers with an
+//                    established outbound connection. The flat-cluster
+//                    response is region:"" regions:0.)
 //   kMetrics   -> ok text:bytes              (Prometheus exposition text:
 //                    merged protocol+transport counters, engine queue
 //                    depths, per-peer wire stats)

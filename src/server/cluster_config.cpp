@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "store/placement.hpp"
 #include "util/assert.hpp"
 
 namespace ccpr::server {
@@ -53,6 +54,45 @@ bool parse_bool(const std::string& tok, bool* out) {
   return false;
 }
 
+/// Latency class token: a number with a mandatory unit — "80ms", "500us",
+/// "1s" — parsed to one-way microseconds. Unit-less numbers are rejected so
+/// a config cannot silently mean the wrong scale.
+bool parse_duration_us(const std::string& tok, std::uint32_t* out) {
+  std::size_t unit = tok.size();
+  while (unit > 0 && !(tok[unit - 1] >= '0' && tok[unit - 1] <= '9')) {
+    --unit;
+  }
+  const std::string digits = tok.substr(0, unit);
+  const std::string suffix = tok.substr(unit);
+  std::uint32_t v = 0;
+  if (!parse_u32(digits, &v)) return false;
+  std::uint64_t us = 0;
+  if (suffix == "us") {
+    us = v;
+  } else if (suffix == "ms") {
+    us = static_cast<std::uint64_t>(v) * 1'000;
+  } else if (suffix == "s") {
+    us = static_cast<std::uint64_t>(v) * 1'000'000;
+  } else {
+    return false;
+  }
+  if (us > 0xffffffffULL) return false;
+  *out = static_cast<std::uint32_t>(us);
+  return true;
+}
+
+/// Render microseconds in the largest exact unit, the inverse of
+/// parse_duration_us (to_text round-trips through it).
+std::string format_duration_us(std::uint32_t us) {
+  if (us >= 1'000'000 && us % 1'000'000 == 0) {
+    return std::to_string(us / 1'000'000) + "s";
+  }
+  if (us >= 1'000 && us % 1'000 == 0) {
+    return std::to_string(us / 1'000) + "ms";
+  }
+  return std::to_string(us) + "us";
+}
+
 /// "0,2,5" -> {0, 2, 5}. Duplicate ids are rejected: a replica set is a
 /// set, and a doubled site would silently skew the placement quorum.
 bool parse_site_list(const std::string& tok,
@@ -72,21 +112,56 @@ bool parse_site_list(const std::string& tok,
 
 }  // namespace
 
+const char* placement_token(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRing: return "ring";
+    case PlacementPolicy::kHash: return "hash";
+    case PlacementPolicy::kRegion: return "region";
+  }
+  return "ring";
+}
+
 causal::ReplicaMap ClusterConfig::replica_map() const {
   const std::uint32_t n = site_count();
   CCPR_EXPECTS(n > 0 && vars > 0);
-  std::vector<std::vector<causal::SiteId>> replicas(vars);
   const std::uint32_t p = std::min(replicas_per_var, n);
-  for (causal::VarId x = 0; x < vars; ++x) {
-    for (std::uint32_t k = 0; k < p; ++k) {
-      replicas[x].push_back((x + k) % n);
+  std::vector<std::vector<causal::SiteId>> replicas(vars);
+  switch (placement) {
+    case PlacementPolicy::kRing:
+      for (causal::VarId x = 0; x < vars; ++x) {
+        for (std::uint32_t k = 0; k < p; ++k) {
+          replicas[x].push_back((x + k) % n);
+        }
+      }
+      break;
+    case PlacementPolicy::kHash: {
+      const auto base = store::hash_placement(n, vars, p, placement_seed);
+      for (causal::VarId x = 0; x < vars; ++x) {
+        const auto reps = base.replicas(x);
+        replicas[x].assign(reps.begin(), reps.end());
+      }
+      break;
+    }
+    case PlacementPolicy::kRegion: {
+      CCPR_EXPECTS(!topology.empty());
+      const auto base = store::region_placement(
+          topology.region_of_site, topology.home_region_of_var(vars), p);
+      for (causal::VarId x = 0; x < vars; ++x) {
+        const auto reps = base.replicas(x);
+        replicas[x].assign(reps.begin(), reps.end());
+      }
+      break;
     }
   }
   for (const auto& [x, sites_of_x] : placement_overrides) {
     CCPR_EXPECTS(x < vars);
     replicas[x] = sites_of_x;
   }
-  return causal::ReplicaMap::custom(n, std::move(replicas));
+  auto rmap = causal::ReplicaMap::custom(n, std::move(replicas));
+  if (!topology.empty()) {
+    rmap.set_site_distances(topology.site_distance_matrix());
+  }
+  return rmap;
 }
 
 store::KeySpace ClusterConfig::key_space() const {
@@ -111,6 +186,15 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
 
   ClusterConfig cfg;
   std::vector<std::pair<std::uint32_t, SiteAddress>> site_lines;
+  // Region names on site/link lines resolve after the whole file is read,
+  // so declaration order does not matter.
+  std::vector<std::pair<std::size_t, std::string>> site_regions;  // by line
+  struct LinkLine {
+    std::size_t lineno;
+    std::string a, b;
+    std::uint32_t us;
+  };
+  std::vector<LinkLine> link_lines;
   std::istringstream in(text);
   std::string line;
   std::size_t lineno = 0;
@@ -140,13 +224,53 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
     } else if (kw == "site") {
       std::uint32_t id = 0;
       SiteAddress addr;
-      if (!want(4) || !parse_u32(toks[1], &id) ||
+      if ((!want(4) && !want(5)) || !parse_u32(toks[1], &id) ||
           !parse_u16(toks[3], &addr.peer_port) ||
           !parse_u16(toks[4], &addr.client_port)) {
-        return fail(where() + "site <id> <host> <peer-port> <client-port>");
+        return fail(where() +
+                    "site <id> <host> <peer-port> <client-port> [region]");
       }
       addr.host = toks[2];
+      if (want(5)) {
+        site_regions.emplace_back(site_lines.size(), toks[5]);
+      }
       site_lines.emplace_back(id, std::move(addr));
+    } else if (kw == "region") {
+      std::uint32_t intra = Topology::kDefaultIntraUs;
+      if ((!want(1) && !want(2)) ||
+          (want(2) && !parse_duration_us(toks[2], &intra))) {
+        return fail(where() + "region <name> [intra-latency, e.g. 2ms]");
+      }
+      if (cfg.topology.region_id(toks[1]).has_value()) {
+        return fail(where() + "duplicate region '" + toks[1] + "'");
+      }
+      cfg.topology.region_names.push_back(toks[1]);
+      cfg.topology.intra_us.push_back(intra);
+    } else if (kw == "link") {
+      std::uint32_t us = 0;
+      if (!want(3) || !parse_duration_us(toks[3], &us)) {
+        return fail(where() + "link <region> <region> <latency, e.g. 80ms>");
+      }
+      link_lines.push_back(LinkLine{lineno, toks[1], toks[2], us});
+    } else if (kw == "placement") {
+      if (!want(1) && !want(2)) {
+        return fail(where() + "placement ring|hash|region [hash-seed]");
+      }
+      if (toks[1] == "ring") {
+        cfg.placement = PlacementPolicy::kRing;
+      } else if (toks[1] == "hash") {
+        cfg.placement = PlacementPolicy::kHash;
+      } else if (toks[1] == "region") {
+        cfg.placement = PlacementPolicy::kRegion;
+      } else {
+        return fail(where() + "unknown placement '" + toks[1] + "'");
+      }
+      if (want(2)) {
+        if (cfg.placement != PlacementPolicy::kHash ||
+            !parse_u32(toks[2], &cfg.placement_seed)) {
+          return fail(where() + "placement seed is for 'hash' only");
+        }
+      }
     } else if (kw == "place") {
       std::uint32_t x = 0;
       std::vector<causal::SiteId> sites_of_x;
@@ -217,7 +341,9 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
   if (site_lines.empty()) return fail("no 'site' lines");
   cfg.sites.resize(site_lines.size());
   std::vector<bool> seen(site_lines.size(), false);
-  for (auto& [id, addr] : site_lines) {
+  std::vector<std::string> region_by_id(site_lines.size());
+  for (std::size_t i = 0; i < site_lines.size(); ++i) {
+    auto& [id, addr] = site_lines[i];
     if (id >= cfg.sites.size()) {
       return fail("site ids must be dense 0..n-1 (got " +
                   std::to_string(id) + " of " +
@@ -226,6 +352,33 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
     if (seen[id]) return fail("duplicate site id " + std::to_string(id));
     seen[id] = true;
     cfg.sites[id] = std::move(addr);
+    for (const auto& [line_index, name] : site_regions) {
+      if (line_index == i) region_by_id[id] = name;
+    }
+  }
+  if (!cfg.topology.empty() || !site_regions.empty()) {
+    cfg.topology.region_of_site.resize(cfg.sites.size());
+    for (std::size_t id = 0; id < cfg.sites.size(); ++id) {
+      if (region_by_id[id].empty()) {
+        return fail("site " + std::to_string(id) +
+                    ": missing region (regions are declared)");
+      }
+      const auto r = cfg.topology.region_id(region_by_id[id]);
+      if (!r) {
+        return fail("site " + std::to_string(id) + ": unknown region '" +
+                    region_by_id[id] + "'");
+      }
+      cfg.topology.region_of_site[id] = *r;
+    }
+  }
+  for (const auto& ll : link_lines) {
+    const auto a = cfg.topology.region_id(ll.a);
+    const auto b = cfg.topology.region_id(ll.b);
+    if (!a || !b) {
+      return fail("line " + std::to_string(ll.lineno) +
+                  ": link names an unknown region");
+    }
+    cfg.topology.links.push_back(Topology::Link{*a, *b, ll.us});
   }
   std::string verr;
   if (!cfg.validate(&verr)) return fail(std::move(verr));
@@ -267,6 +420,14 @@ bool ClusterConfig::validate(std::string* error) const {
     }
     (void)name;
   }
+  if (placement == PlacementPolicy::kRegion && topology.empty()) {
+    return fail("placement region requires declared regions");
+  }
+  if (placement_seed != 0 && placement != PlacementPolicy::kHash) {
+    return fail("placement seed is for 'hash' only");
+  }
+  std::string terr;
+  if (!topology.validate(site_count(), &terr)) return fail(std::move(terr));
   return true;
 }
 
@@ -287,9 +448,27 @@ std::string ClusterConfig::to_text() const {
   out << "algorithm " << causal::algorithm_token(algorithm) << "\n";
   out << "vars " << vars << "\n";
   out << "replicas " << replicas_per_var << "\n";
+  if (placement != PlacementPolicy::kRing || placement_seed != 0) {
+    out << "placement " << placement_token(placement);
+    if (placement_seed != 0) out << ' ' << placement_seed;
+    out << "\n";
+  }
+  for (std::size_t r = 0; r < topology.region_names.size(); ++r) {
+    out << "region " << topology.region_names[r] << ' '
+        << format_duration_us(topology.intra_us[r]) << "\n";
+  }
+  for (const auto& link : topology.links) {
+    out << "link " << topology.region_names[link.a] << ' '
+        << topology.region_names[link.b] << ' '
+        << format_duration_us(link.us) << "\n";
+  }
   for (std::size_t id = 0; id < sites.size(); ++id) {
     out << "site " << id << ' ' << sites[id].host << ' '
-        << sites[id].peer_port << ' ' << sites[id].client_port << "\n";
+        << sites[id].peer_port << ' ' << sites[id].client_port;
+    if (id < topology.region_of_site.size()) {
+      out << ' ' << topology.region_names[topology.region_of_site[id]];
+    }
+    out << "\n";
   }
   for (const auto& [x, sites_of_x] : placement_overrides) {
     out << "place " << x << ' ';

@@ -7,10 +7,16 @@
 //
 //   algorithm opt-track          # full-track|opt-track|opt-track-crp|...
 //   vars 12                      # number of variables (keys)
-//   replicas 2                   # even ring placement x..x+p-1 (mod n)
-//   site 0 127.0.0.1 7100 7200   # id host peer-port client-port
-//   site 1 127.0.0.1 7101 7201
-//   site 2 127.0.0.1 7102 7202
+//   replicas 2                   # replicas per variable (p)
+//   placement region             # ring|hash|region (hash takes a seed:
+//                                #   "placement hash 42"); default ring
+//   region eu 2ms                # geo topology: declare a region; optional
+//   region us 2ms                #   intra-region one-way latency (1ms)
+//   link eu us 80ms              # inter-region one-way latency (50ms when
+//                                #   unlisted); symmetric
+//   site 0 127.0.0.1 7100 7200 eu  # id host peer-port client-port [region]
+//   site 1 127.0.0.1 7101 7201 eu
+//   site 2 127.0.0.1 7102 7202 us
 //   place 4 0,2                  # optional per-var placement override
 //   key 0 alice:wall             # optional key naming (default key<i>)
 //   convergent true              # optional ProtocolOptions overrides
@@ -34,6 +40,7 @@
 
 #include "causal/factory.hpp"
 #include "causal/replica_map.hpp"
+#include "server/topology.hpp"
 #include "store/key_space.hpp"
 
 namespace ccpr::server {
@@ -44,12 +51,28 @@ struct SiteAddress {
   std::uint16_t client_port = 0;  ///< client request/response traffic
 };
 
+/// Which base placement policy maps variables onto sites (per-var `place`
+/// overrides always win on top).
+enum class PlacementPolicy : std::uint8_t {
+  kRing = 0,    ///< x..x+p-1 (mod n), the paper's even placement
+  kHash = 1,    ///< seeded pseudo-random p-subset (store::hash_placement)
+  kRegion = 2,  ///< home-region round-robin (store::region_placement);
+                ///< requires a topology
+};
+
+const char* placement_token(PlacementPolicy policy);
+
 struct ClusterConfig {
   causal::Algorithm algorithm = causal::Algorithm::kOptTrack;
   std::uint32_t vars = 0;
-  /// Even ring placement factor; per-var `place` overrides win.
+  /// Replicas per variable (p); per-var `place` overrides win.
   std::uint32_t replicas_per_var = 1;
+  PlacementPolicy placement = PlacementPolicy::kRing;
+  std::uint32_t placement_seed = 0;  ///< hash placement only
   std::vector<SiteAddress> sites;
+  /// Geo topology (regions, site assignment, link classes). Empty = the
+  /// classic flat cluster.
+  Topology topology;
   std::vector<std::pair<causal::VarId, std::vector<causal::SiteId>>>
       placement_overrides;
   std::vector<std::pair<causal::VarId, std::string>> key_names;
@@ -69,7 +92,9 @@ struct ClusterConfig {
     return static_cast<std::uint32_t>(sites.size());
   }
 
-  /// Materialize the placement (even ring + overrides).
+  /// Materialize the placement: the configured policy, then per-var
+  /// overrides. With a topology the map also carries the site-distance
+  /// matrix, so fetch routing prefers intra-region replicas.
   causal::ReplicaMap replica_map() const;
   /// Key naming: explicit `key` lines, "key<i>" for the rest.
   store::KeySpace key_space() const;

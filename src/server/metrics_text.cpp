@@ -67,8 +67,24 @@ std::string render_metrics_text(
     causal::SiteId site, const metrics::Metrics& merged,
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
-    std::uint64_t pending_updates, const Durability::Stats& durability) {
+    std::uint64_t pending_updates, const Durability::Stats& durability,
+    const std::vector<std::string>& site_regions) {
   Renderer r(site);
+  // peer="<id>" plus region="<peer's region>" when the cluster is geo.
+  const auto peer_label = [&site_regions](causal::SiteId peer) {
+    std::string l = "peer=\"" + std::to_string(peer) + '"';
+    if (peer < site_regions.size()) {
+      l += ",region=\"" + site_regions[peer] + '"';
+    }
+    return l;
+  };
+  if (site < site_regions.size()) {
+    r.preamble("ccpr_site_region",
+               "Constant 1; the region label names this site's region",
+               "gauge");
+    r.labeled("ccpr_site_region", "region=\"" + site_regions[site] + '"',
+              1.0);
+  }
 
   // ---- protocol + transport counters (the paper's Table I metrics) ----
   r.counter("ccpr_update_msgs_total", "Write-propagation messages",
@@ -163,38 +179,40 @@ std::string render_metrics_text(
   r.preamble("ccpr_peer_msgs_sent_total", "Messages sent to a peer",
              "counter");
   for (const auto& p : peers) {
-    r.labeled("ccpr_peer_msgs_sent_total",
-              "peer=\"" + std::to_string(p.site) + '"',
+    r.labeled("ccpr_peer_msgs_sent_total", peer_label(p.site),
               static_cast<double>(p.msgs_sent));
   }
   r.preamble("ccpr_peer_msgs_recv_total", "Messages received from a peer",
              "counter");
   for (const auto& p : peers) {
-    r.labeled("ccpr_peer_msgs_recv_total",
-              "peer=\"" + std::to_string(p.site) + '"',
+    r.labeled("ccpr_peer_msgs_recv_total", peer_label(p.site),
               static_cast<double>(p.msgs_recv));
   }
   r.preamble("ccpr_peer_batches_sent_total", "writev flushes toward a peer",
              "counter");
   for (const auto& p : peers) {
-    r.labeled("ccpr_peer_batches_sent_total",
-              "peer=\"" + std::to_string(p.site) + '"',
+    r.labeled("ccpr_peer_batches_sent_total", peer_label(p.site),
               static_cast<double>(p.batches_sent));
   }
   r.preamble("ccpr_peer_overflow_drops_total",
              "Oldest queued messages dropped at the per-peer queue cap",
              "counter");
   for (const auto& p : peers) {
-    r.labeled("ccpr_peer_overflow_drops_total",
-              "peer=\"" + std::to_string(p.site) + '"',
+    r.labeled("ccpr_peer_overflow_drops_total", peer_label(p.site),
               static_cast<double>(p.overflow_drops));
   }
   r.preamble("ccpr_peer_queue_depth", "Messages queued toward a peer",
              "gauge");
   for (const auto& p : peers) {
-    r.labeled("ccpr_peer_queue_depth",
-              "peer=\"" + std::to_string(p.site) + '"',
+    r.labeled("ccpr_peer_queue_depth", peer_label(p.site),
               static_cast<double>(p.queued));
+  }
+  r.preamble("ccpr_peer_connected",
+             "1 when the outbound connection to a peer is established",
+             "gauge");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_connected", peer_label(p.site),
+              p.connected ? 1.0 : 0.0);
   }
 
   return r.str();

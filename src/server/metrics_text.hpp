@@ -4,8 +4,10 @@
 // protocol+transport metrics::Metrics, the protocol-engine queue stats, and
 // the per-peer wire counters. All series carry a `site` label so outputs
 // from several sites concatenate into one cluster view; per-peer series add
-// a `peer` label. Only the plain-text renderer lives here — the server ships
-// the result over the client protocol (kMetrics), it does not speak HTTP.
+// a `peer` label, plus a `region` label when the cluster has a geo
+// topology (so dashboards can split intra- from cross-region traffic).
+// Only the plain-text renderer lives here — the server ships the result
+// over the client protocol (kMetrics), it does not speak HTTP.
 #pragma once
 
 #include <string>
@@ -19,10 +21,14 @@
 
 namespace ccpr::server {
 
+/// `site_regions` maps site id -> region name (empty when the cluster has
+/// no topology). When present it adds `region=` labels to every
+/// `ccpr_peer_*` series and a `ccpr_site_region` info gauge for this site.
 std::string render_metrics_text(
     causal::SiteId site, const metrics::Metrics& merged,
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
-    std::uint64_t pending_updates, const Durability::Stats& durability);
+    std::uint64_t pending_updates, const Durability::Stats& durability,
+    const std::vector<std::string>& site_regions = {});
 
 }  // namespace ccpr::server

@@ -373,10 +373,11 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         status(ClientStatus::kShuttingDown);
         return;
       }
+      const auto stats = transport_->peer_stats();
       std::uint64_t sent = 0;
       std::uint64_t recv = 0;
       std::uint64_t queued = 0;
-      for (const auto& ps : transport_->peer_stats()) {
+      for (const auto& ps : stats) {
         sent += ps.msgs_sent;
         recv += ps.msgs_recv;
         queued += ps.queued;
@@ -390,6 +391,28 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       resp.varint(sent);
       resp.varint(recv);
       resp.varint(queued);
+      // Geo extension: this site's region plus per-region peer health
+      // (flat clusters answer region:"" regions:0).
+      const auto& topo = config_.topology;
+      if (topo.empty()) {
+        resp.bytes(std::string{});
+        resp.varint(0);
+      } else {
+        resp.bytes(topo.region_name_of(self_));
+        resp.varint(topo.region_count());
+        for (std::uint32_t reg = 0; reg < topo.region_count(); ++reg) {
+          resp.bytes(topo.region_names[reg]);
+          std::uint64_t total = 0;
+          std::uint64_t up = 0;
+          for (const auto& ps : stats) {
+            if (topo.region_of(ps.site) != reg) continue;
+            ++total;
+            if (ps.connected) ++up;
+          }
+          resp.varint(total);
+          resp.varint(up);
+        }
+      }
       return;
     }
     case ClientOp::kMetrics: {
@@ -415,10 +438,17 @@ std::size_t SiteServer::pending_updates() const {
 std::string SiteServer::metrics_text() const {
   const auto s = engine_->status();
   const auto d = engine_->durability_stats();
+  std::vector<std::string> site_regions;
+  if (!config_.topology.empty()) {
+    site_regions.reserve(config_.sites.size());
+    for (causal::SiteId peer = 0; peer < config_.site_count(); ++peer) {
+      site_regions.push_back(config_.topology.region_name_of(peer));
+    }
+  }
   return render_metrics_text(self_, metrics(), engine_->queue_stats(),
                              transport_->peer_stats(),
                              s ? s->pending_updates : 0,
-                             d ? *d : Durability::Stats{});
+                             d ? *d : Durability::Stats{}, site_regions);
 }
 
 }  // namespace ccpr::server

@@ -1,0 +1,151 @@
+#include "server/topology.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ccpr::server {
+
+std::optional<std::uint32_t> Topology::region_id(
+    std::string_view name) const {
+  for (std::uint32_t r = 0; r < region_names.size(); ++r) {
+    if (region_names[r] == name) return r;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Topology::region_of(causal::SiteId s) const {
+  CCPR_EXPECTS(s < region_of_site.size());
+  return region_of_site[s];
+}
+
+const std::string& Topology::region_name_of(causal::SiteId s) const {
+  return region_names[region_of(s)];
+}
+
+std::uint32_t Topology::link_us(std::uint32_t ra, std::uint32_t rb) const {
+  CCPR_EXPECTS(ra < region_count() && rb < region_count());
+  if (ra == rb) {
+    return ra < intra_us.size() ? intra_us[ra] : kDefaultIntraUs;
+  }
+  for (const Link& l : links) {
+    if ((l.a == ra && l.b == rb) || (l.a == rb && l.b == ra)) return l.us;
+  }
+  return kDefaultInterUs;
+}
+
+std::uint32_t Topology::site_distance_us(causal::SiteId a,
+                                         causal::SiteId b) const {
+  if (a == b) return 0;
+  return link_us(region_of(a), region_of(b));
+}
+
+std::vector<std::uint32_t> Topology::site_distance_matrix() const {
+  const std::uint32_t n = site_count();
+  std::vector<std::uint32_t> d(static_cast<std::size_t>(n) * n);
+  for (causal::SiteId i = 0; i < n; ++i) {
+    for (causal::SiteId j = 0; j < n; ++j) {
+      d[static_cast<std::size_t>(i) * n + j] = site_distance_us(i, j);
+    }
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> Topology::home_region_of_var(
+    std::uint32_t vars) const {
+  const std::uint32_t n = site_count();
+  CCPR_EXPECTS(n > 0);
+  std::vector<std::uint32_t> home(vars);
+  for (std::uint32_t x = 0; x < vars; ++x) {
+    home[x] = region_of_site[x % n];
+  }
+  return home;
+}
+
+std::vector<sim::SimTime> Topology::latency_matrix() const {
+  const std::uint32_t n = site_count();
+  std::vector<sim::SimTime> base(static_cast<std::size_t>(n) * n);
+  for (causal::SiteId i = 0; i < n; ++i) {
+    for (causal::SiteId j = 0; j < n; ++j) {
+      // Diagonal models the local loopback: the intra-region class, i.e. a
+      // site's messages to itself cost one intra hop, never zero.
+      const std::uint32_t us =
+          i == j ? link_us(region_of(i), region_of(i)) : site_distance_us(i, j);
+      base[static_cast<std::size_t>(i) * n + j] =
+          static_cast<sim::SimTime>(us);
+    }
+  }
+  return base;
+}
+
+std::unique_ptr<sim::GeoLatency> Topology::make_latency(
+    double jitter_sigma) const {
+  CCPR_EXPECTS(!empty() && site_count() > 0);
+  return std::make_unique<sim::GeoLatency>(site_count(), latency_matrix(),
+                                           jitter_sigma);
+}
+
+std::vector<causal::SiteId> Topology::sites_in_region(std::uint32_t r) const {
+  std::vector<causal::SiteId> out;
+  for (causal::SiteId s = 0; s < region_of_site.size(); ++s) {
+    if (region_of_site[s] == r) out.push_back(s);
+  }
+  return out;
+}
+
+bool Topology::validate(std::uint32_t sites, std::string* error) const {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (empty()) {
+    if (!region_of_site.empty() || !links.empty() || !intra_us.empty()) {
+      return fail("topology: region data without 'region' declarations");
+    }
+    return true;
+  }
+  for (std::size_t r = 0; r < region_names.size(); ++r) {
+    if (region_names[r].empty()) return fail("topology: empty region name");
+    for (std::size_t q = 0; q < r; ++q) {
+      if (region_names[q] == region_names[r]) {
+        return fail("topology: duplicate region '" + region_names[r] + "'");
+      }
+    }
+  }
+  if (intra_us.size() != region_names.size()) {
+    return fail("topology: intra latency list does not match regions");
+  }
+  if (region_of_site.size() != sites) {
+    return fail("topology: every site needs a region when regions are "
+                "declared (" +
+                std::to_string(region_of_site.size()) + " of " +
+                std::to_string(sites) + " assigned)");
+  }
+  for (std::size_t s = 0; s < region_of_site.size(); ++s) {
+    if (region_of_site[s] >= region_count()) {
+      return fail("topology: site " + std::to_string(s) +
+                  " names an unknown region");
+    }
+  }
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const Link& l = links[i];
+    if (l.a >= region_count() || l.b >= region_count()) {
+      return fail("topology: link names an unknown region");
+    }
+    if (l.a == l.b) {
+      return fail("topology: link " + region_names[l.a] +
+                  "-" + region_names[l.b] +
+                  " is intra-region (set it on the 'region' line)");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      const Link& m = links[j];
+      if ((m.a == l.a && m.b == l.b) || (m.a == l.b && m.b == l.a)) {
+        return fail("topology: duplicate link " + region_names[l.a] + "-" +
+                    region_names[l.b]);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ccpr::server

@@ -1,0 +1,100 @@
+// First-class geo topology for a cluster: named regions, the site->region
+// assignment, and one-way latency classes per region pair.
+//
+// One Topology, parsed from the same cluster config file every daemon and
+// client loads, drives all four layers that care about geography:
+//   * placement  — store::region_placement via ClusterConfig::replica_map()
+//   * routing    — ReplicaMap site distances, so RemoteFetch prefers
+//                  intra-region replicas before spilling over the WAN
+//   * clients    — client::Client::nearest_site proximity selection
+//   * simulation — sim::GeoLatency built from the same link classes, so the
+//                  discrete-event sim and the TCP cluster model the same
+//                  deployment (apples-to-apples comparisons)
+//
+// An empty Topology (no `region` lines in the config) means the classic
+// flat cluster: uniform distances, ring-nearest routing, no region labels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "causal/types.hpp"
+#include "sim/latency.hpp"
+
+namespace ccpr::server {
+
+struct Topology {
+  /// Latency classes when a config declares regions but no explicit values:
+  /// 1ms within a region, 50ms across regions (one-way).
+  static constexpr std::uint32_t kDefaultIntraUs = 1'000;
+  static constexpr std::uint32_t kDefaultInterUs = 50'000;
+
+  /// An explicit inter-region link class (`link eu us 80ms`). Stored
+  /// sparsely and symmetrically; unlisted pairs use kDefaultInterUs.
+  struct Link {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t us = kDefaultInterUs;  ///< one-way latency
+    bool operator==(const Link&) const = default;
+  };
+
+  /// Region id == declaration order in the config file.
+  std::vector<std::string> region_names;
+  /// Intra-region one-way latency per region (`region eu 2ms`).
+  std::vector<std::uint32_t> intra_us;
+  /// Region of each site; same length as the cluster's site list (empty in
+  /// a flat topology).
+  std::vector<std::uint32_t> region_of_site;
+  std::vector<Link> links;
+
+  bool operator==(const Topology&) const = default;
+
+  /// True for the classic flat cluster (no `region` lines).
+  bool empty() const noexcept { return region_names.empty(); }
+  std::uint32_t region_count() const noexcept {
+    return static_cast<std::uint32_t>(region_names.size());
+  }
+  std::uint32_t site_count() const noexcept {
+    return static_cast<std::uint32_t>(region_of_site.size());
+  }
+
+  std::optional<std::uint32_t> region_id(std::string_view name) const;
+  std::uint32_t region_of(causal::SiteId s) const;
+  const std::string& region_name_of(causal::SiteId s) const;
+
+  /// One-way latency between two regions: intra class on the diagonal, the
+  /// declared link class (either order) or kDefaultInterUs off it.
+  std::uint32_t link_us(std::uint32_t ra, std::uint32_t rb) const;
+
+  /// One-way latency between two sites; 0 for a site and itself.
+  std::uint32_t site_distance_us(causal::SiteId a, causal::SiteId b) const;
+
+  /// n*n row-major matrix of site_distance_us — the pluggable distance
+  /// ReplicaMap::set_site_distances consumes for proximity fetch routing.
+  std::vector<std::uint32_t> site_distance_matrix() const;
+
+  /// Home region per variable for region placement: var x is anchored at
+  /// the region of site (x mod n), mirroring the ring policy's anchor, so
+  /// variables spread across regions in proportion to their site counts.
+  std::vector<std::uint32_t> home_region_of_var(std::uint32_t vars) const;
+
+  /// n*n one-way delay matrix (microseconds) for the simulated runtime.
+  std::vector<sim::SimTime> latency_matrix() const;
+  /// Sim latency model from the same link classes that describe the real
+  /// deployment; jitter_sigma as in sim::GeoLatency.
+  std::unique_ptr<sim::GeoLatency> make_latency(double jitter_sigma) const;
+
+  /// Sites in region r, ascending.
+  std::vector<causal::SiteId> sites_in_region(std::uint32_t r) const;
+
+  /// Structural checks: region ids in range, every site assigned when any
+  /// is, intra/link vectors consistent, no duplicate names or link pairs.
+  /// `site_count` is the cluster's site list length.
+  bool validate(std::uint32_t sites, std::string* error) const;
+};
+
+}  // namespace ccpr::server

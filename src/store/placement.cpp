@@ -33,7 +33,10 @@ causal::ReplicaMap region_placement(
     const std::vector<std::uint32_t>& home_region_of_var, std::uint32_t p) {
   const auto n = static_cast<std::uint32_t>(region_of_site.size());
   CCPR_EXPECTS(n > 0);
-  CCPR_EXPECTS(p >= 1 && p <= n);
+  CCPR_EXPECTS(p >= 1);
+  // A p beyond the cluster degrades to full replication instead of
+  // aborting, matching ClusterConfig::replica_map's ring policy.
+  const std::uint32_t want = std::min(p, n);
 
   std::uint32_t regions = 0;
   for (const std::uint32_t r : region_of_site) {
@@ -51,13 +54,17 @@ causal::ReplicaMap region_placement(
     CCPR_EXPECTS(home < regions);
     auto& reps = replicas[x];
     // Walk regions starting at home; round-robin within each by var id.
-    for (std::uint32_t hop = 0; hop < regions && reps.size() < p; ++hop) {
+    // Regions with zero sites (every id below the max must exist but may be
+    // empty) contribute nothing and the walk spills past them. Visiting all
+    // `regions` hops visits every site once, so `want` is always reached.
+    for (std::uint32_t hop = 0; hop < regions && reps.size() < want; ++hop) {
       const auto& sites = sites_in[(home + hop) % regions];
-      for (std::uint32_t k = 0; k < sites.size() && reps.size() < p; ++k) {
+      for (std::uint32_t k = 0; k < sites.size() && reps.size() < want;
+           ++k) {
         reps.push_back(sites[(x + k) % sites.size()]);
       }
     }
-    CCPR_ENSURES(reps.size() == p);
+    CCPR_ENSURES(reps.size() == want);
   }
   return causal::ReplicaMap::custom(n, std::move(replicas));
 }

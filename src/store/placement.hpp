@@ -15,7 +15,9 @@ causal::ReplicaMap hash_placement(std::uint32_t n, std::uint32_t q,
 
 /// Locality-aware placement: each variable has a home region and its p
 /// replicas are chosen round-robin among that region's sites. If the region
-/// has fewer than p sites the placement spills into the next region(s).
+/// has fewer than p sites the placement spills into the next region(s);
+/// regions with zero sites are skipped. p > total sites clamps to full
+/// replication, and every variable gets exactly min(p, sites) replicas.
 causal::ReplicaMap region_placement(
     const std::vector<std::uint32_t>& region_of_site,
     const std::vector<std::uint32_t>& home_region_of_var, std::uint32_t p);

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace ccpr::server {
 namespace {
 
@@ -242,6 +247,220 @@ TEST(ClusterConfigTest, DurabilityKeysParseAndRoundTrip) {
   ASSERT_TRUE(base.has_value()) << error;
   EXPECT_EQ(base->catchup_retain, 0u);
   EXPECT_EQ(base->to_text().find("catchup-"), std::string::npos);
+}
+
+constexpr const char* kGeo = R"(
+algorithm opt-track
+vars 6
+replicas 2
+placement region
+region eu 2ms
+region us            # default intra latency
+link eu us 80ms
+site 0 127.0.0.1 9000 9100 eu
+site 1 127.0.0.1 9001 9101 eu
+site 2 127.0.0.1 9002 9102 us
+site 3 127.0.0.1 9003 9103 us
+)";
+
+TEST(ClusterConfigTest, ParsesGeoTopology) {
+  std::string error;
+  const auto cfg = ClusterConfig::parse(kGeo, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->placement, PlacementPolicy::kRegion);
+  const auto& topo = cfg->topology;
+  ASSERT_EQ(topo.region_count(), 2u);
+  EXPECT_EQ(topo.region_names[0], "eu");
+  EXPECT_EQ(topo.region_names[1], "us");
+  EXPECT_EQ(topo.intra_us[0], 2'000u);
+  EXPECT_EQ(topo.intra_us[1], Topology::kDefaultIntraUs);
+  ASSERT_EQ(topo.region_of_site.size(), 4u);
+  EXPECT_EQ(topo.region_name_of(0), "eu");
+  EXPECT_EQ(topo.region_name_of(3), "us");
+  EXPECT_EQ(topo.link_us(0, 1), 80'000u);
+  EXPECT_EQ(topo.link_us(1, 0), 80'000u);  // symmetric
+  EXPECT_EQ(topo.site_distance_us(0, 1), 2'000u);
+  EXPECT_EQ(topo.site_distance_us(0, 0), 0u);
+  EXPECT_EQ(topo.site_distance_us(1, 2), 80'000u);
+}
+
+TEST(ClusterConfigTest, GeoTopologyRoundTrips) {
+  std::string error;
+  const auto cfg = ClusterConfig::parse(kGeo, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto again = ClusterConfig::parse(cfg->to_text(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->topology, cfg->topology);
+  EXPECT_EQ(again->placement, cfg->placement);
+  EXPECT_EQ(again->to_text(), cfg->to_text());
+}
+
+TEST(ClusterConfigTest, DurationTokensParse) {
+  const std::pair<const char*, std::uint32_t> cases[] = {
+      {"750us", 750u}, {"80ms", 80'000u}, {"1s", 1'000'000u}, {"0us", 0u},
+  };
+  for (const auto& [tok, us] : cases) {
+    const std::string text = std::string("vars 1\nregion eu ") + tok +
+                             "\nsite 0 h 1 2 eu\n";
+    std::string error;
+    const auto cfg = ClusterConfig::parse(text, &error);
+    ASSERT_TRUE(cfg.has_value()) << tok << ": " << error;
+    EXPECT_EQ(cfg->topology.intra_us[0], us) << tok;
+  }
+}
+
+TEST(ClusterConfigTest, RejectsMalformedGeoInput) {
+  const std::pair<const char*, const char*> cases[] = {
+      // Unit-less or garbage latency classes.
+      {"vars 1\nregion eu 80\nsite 0 h 1 2 eu\n", "region"},
+      {"vars 1\nregion eu 80m\nsite 0 h 1 2 eu\n", "region"},
+      {"vars 1\nregion eu 2ms\nregion eu 3ms\nsite 0 h 1 2 eu\n",
+       "duplicate region"},
+      // A site naming an undeclared region.
+      {"vars 1\nsite 0 h 1 2 mars\n", "unknown region"},
+      // Regions declared but a site left unassigned.
+      {"vars 1\nregion eu\nsite 0 h 1 2\n", "missing region"},
+      // Links: unknown region, intra link, duplicate (either order).
+      {"vars 1\nregion eu\nlink eu mars 80ms\nsite 0 h 1 2 eu\n",
+       "unknown region"},
+      {"vars 1\nregion eu\nlink eu eu 80ms\nsite 0 h 1 2 eu\n",
+       "intra-region"},
+      {"vars 1\nregion eu\nregion us\nlink eu us 80ms\nlink us eu 90ms\n"
+       "site 0 h 1 2 eu\nsite 1 h 3 4 us\n",
+       "duplicate link"},
+      // Placement: unknown policy, seed on the wrong policy, region
+      // placement without regions.
+      {"vars 1\nsite 0 h 1 2\nplacement zigzag\n", "unknown placement"},
+      {"vars 1\nsite 0 h 1 2\nplacement ring 7\n", "seed"},
+      {"vars 1\nsite 0 h 1 2\nplacement region\n", "requires"},
+      {"vars 1\nregion eu\nlink eu us 80ms\nsite 0 h 1 2 eu\n",
+       "unknown region"},
+  };
+  for (const auto& [text, needle] : cases) {
+    std::string error;
+    EXPECT_FALSE(ClusterConfig::parse(text, &error).has_value()) << text;
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "error for {" << text << "} was: " << error;
+  }
+}
+
+/// Random valid config touching EVERY serializable field; to_text() must
+/// parse back to an identical config (and identical re-serialization).
+ClusterConfig random_config(util::Rng& rng) {
+  ClusterConfig cfg;
+  const char* algs[] = {"full-track", "opt-track", "opt-track-crp",
+                        "optp",       "ahamad",    "eventual"};
+  cfg.algorithm = *causal::algorithm_from_token(
+      algs[rng.below(std::size(algs))]);
+  const auto n = static_cast<std::uint32_t>(1 + rng.below(6));
+  cfg.vars = static_cast<std::uint32_t>(1 + rng.below(12));
+  cfg.replicas_per_var = static_cast<std::uint32_t>(1 + rng.below(n + 2));
+  cfg.sites.resize(n);
+  const char* hosts[] = {"127.0.0.1", "10.1.2.3", "node.example.com",
+                         "host-7"};
+  for (auto& site : cfg.sites) {
+    site.host = hosts[rng.below(std::size(hosts))];
+    site.peer_port = static_cast<std::uint16_t>(1 + rng.below(65535));
+    site.client_port = static_cast<std::uint16_t>(1 + rng.below(65535));
+  }
+  const bool geo = rng.chance(0.7);
+  if (geo) {
+    const auto regions = static_cast<std::uint32_t>(1 + rng.below(3));
+    const char* names[] = {"eu", "us-east", "ap1"};
+    for (std::uint32_t r = 0; r < regions; ++r) {
+      cfg.topology.region_names.push_back(names[r]);
+      cfg.topology.intra_us.push_back(
+          static_cast<std::uint32_t>(rng.below(5'000'000)));
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      cfg.topology.region_of_site.push_back(
+          static_cast<std::uint32_t>(rng.below(regions)));
+    }
+    for (std::uint32_t a = 0; a < regions; ++a) {
+      for (std::uint32_t b = a + 1; b < regions; ++b) {
+        if (rng.chance(0.5)) {
+          cfg.topology.links.push_back(Topology::Link{
+              a, b, static_cast<std::uint32_t>(rng.below(500'000'000))});
+        }
+      }
+    }
+  }
+  const auto policy = rng.below(geo ? 3 : 2);
+  cfg.placement = static_cast<PlacementPolicy>(policy);
+  if (cfg.placement == PlacementPolicy::kHash && rng.chance(0.7)) {
+    cfg.placement_seed = static_cast<std::uint32_t>(1 + rng.below(1u << 30));
+  }
+  if (rng.chance(0.5)) {
+    const auto x = static_cast<causal::VarId>(rng.below(cfg.vars));
+    std::vector<causal::SiteId> sites_of_x;
+    for (causal::SiteId s = 0; s < n; ++s) {
+      if (sites_of_x.empty() || rng.chance(0.4)) sites_of_x.push_back(s);
+    }
+    cfg.placement_overrides.emplace_back(x, std::move(sites_of_x));
+  }
+  if (rng.chance(0.5)) {
+    const auto x = static_cast<causal::VarId>(rng.below(cfg.vars));
+    cfg.key_names.emplace_back(x, "name" + std::to_string(x));
+  }
+  cfg.protocol.convergent = rng.chance(0.5);
+  cfg.protocol.fetch_gating = !rng.chance(0.3);
+  const auto opt_u32 = [&rng](double p) {
+    return rng.chance(p) ? static_cast<std::uint32_t>(1 + rng.below(1u << 24))
+                         : 0u;
+  };
+  cfg.protocol.fetch_timeout_us = opt_u32(0.5);
+  cfg.max_frame_bytes = opt_u32(0.5);
+  cfg.sender_batch_bytes = opt_u32(0.5);
+  cfg.peer_queue_cap = opt_u32(0.5);
+  cfg.engine_queue_cap = opt_u32(0.5);
+  cfg.catchup_retain = opt_u32(0.5);
+  cfg.catchup_interval_ms = opt_u32(0.5);
+  cfg.catchup_timeout_ms = opt_u32(0.5);
+  cfg.checkpoint_every = opt_u32(0.5);
+  return cfg;
+}
+
+TEST(ClusterConfigTest, EveryFieldRoundTripsProperty) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    util::Rng rng(seed);
+    const auto cfg = random_config(rng);
+    std::string error;
+    ASSERT_TRUE(cfg.validate(&error)) << "seed " << seed << ": " << error;
+    const auto text = cfg.to_text();
+    const auto back = ClusterConfig::parse(text, &error);
+    ASSERT_TRUE(back.has_value())
+        << "seed " << seed << ": " << error << "\n" << text;
+    EXPECT_EQ(back->algorithm, cfg.algorithm) << text;
+    EXPECT_EQ(back->vars, cfg.vars) << text;
+    EXPECT_EQ(back->replicas_per_var, cfg.replicas_per_var) << text;
+    EXPECT_EQ(back->placement, cfg.placement) << text;
+    EXPECT_EQ(back->placement_seed, cfg.placement_seed) << text;
+    ASSERT_EQ(back->sites.size(), cfg.sites.size()) << text;
+    for (std::size_t s = 0; s < cfg.sites.size(); ++s) {
+      EXPECT_EQ(back->sites[s].host, cfg.sites[s].host) << text;
+      EXPECT_EQ(back->sites[s].peer_port, cfg.sites[s].peer_port) << text;
+      EXPECT_EQ(back->sites[s].client_port, cfg.sites[s].client_port)
+          << text;
+    }
+    EXPECT_EQ(back->topology, cfg.topology) << text;
+    EXPECT_EQ(back->placement_overrides, cfg.placement_overrides) << text;
+    EXPECT_EQ(back->key_names, cfg.key_names) << text;
+    EXPECT_EQ(back->protocol.convergent, cfg.protocol.convergent) << text;
+    EXPECT_EQ(back->protocol.fetch_gating, cfg.protocol.fetch_gating)
+        << text;
+    EXPECT_EQ(back->protocol.fetch_timeout_us, cfg.protocol.fetch_timeout_us)
+        << text;
+    EXPECT_EQ(back->max_frame_bytes, cfg.max_frame_bytes) << text;
+    EXPECT_EQ(back->sender_batch_bytes, cfg.sender_batch_bytes) << text;
+    EXPECT_EQ(back->peer_queue_cap, cfg.peer_queue_cap) << text;
+    EXPECT_EQ(back->engine_queue_cap, cfg.engine_queue_cap) << text;
+    EXPECT_EQ(back->catchup_retain, cfg.catchup_retain) << text;
+    EXPECT_EQ(back->catchup_interval_ms, cfg.catchup_interval_ms) << text;
+    EXPECT_EQ(back->catchup_timeout_ms, cfg.catchup_timeout_ms) << text;
+    EXPECT_EQ(back->checkpoint_every, cfg.checkpoint_every) << text;
+    // And serialization is a fixed point.
+    EXPECT_EQ(back->to_text(), text);
+  }
 }
 
 TEST(ClusterConfigTest, LoopbackHelper) {

@@ -75,6 +75,46 @@ TEST(RegionPlacementTest, SpillsWhenRegionTooSmall) {
   EXPECT_TRUE(std::find(reps.begin(), reps.end(), 0u) != reps.end());
 }
 
+TEST(RegionPlacementTest, ClampsWhenPExceedsTotalSites) {
+  // p beyond the cluster degrades to full replication (every site once),
+  // matching the ring policy's clamp instead of aborting.
+  const std::vector<std::uint32_t> region_of_site{0, 1, 1};
+  const std::vector<std::uint32_t> home{0, 1};
+  const auto rmap = region_placement(region_of_site, home, 7);
+  for (causal::VarId x = 0; x < 2; ++x) {
+    EXPECT_EQ(rmap.replicas(x).size(), 3u);
+  }
+  EXPECT_TRUE(rmap.fully_replicated());
+}
+
+TEST(RegionPlacementTest, SkipsZeroSiteRegions) {
+  // Region 1 exists (home of var 1) but holds no sites; its vars spill to
+  // the next regions and every var still gets exactly p replicas.
+  const std::vector<std::uint32_t> region_of_site{0, 0, 2, 2};
+  const std::vector<std::uint32_t> home{0, 1, 2};
+  const auto rmap = region_placement(region_of_site, home, 2);
+  for (causal::VarId x = 0; x < 3; ++x) {
+    EXPECT_EQ(rmap.replicas(x).size(), 2u);
+  }
+  // Var 1's walk starts at empty region 1 and lands in region 2.
+  for (const auto s : rmap.replicas(1)) {
+    EXPECT_EQ(region_of_site[s], 2u);
+  }
+}
+
+TEST(RegionPlacementTest, SingleRegionIsRoundRobin) {
+  const std::vector<std::uint32_t> region_of_site{0, 0, 0, 0};
+  const std::vector<std::uint32_t> home{0, 0, 0, 0, 0};
+  const auto rmap = region_placement(region_of_site, home, 2);
+  for (causal::VarId x = 0; x < 5; ++x) {
+    const auto reps = rmap.replicas(x);
+    ASSERT_EQ(reps.size(), 2u);
+    // Round-robin by var id: {x mod 4, x+1 mod 4} within the one region.
+    EXPECT_TRUE(rmap.replicated_at(x, x % 4));
+    EXPECT_TRUE(rmap.replicated_at(x, (x + 1) % 4));
+  }
+}
+
 TEST(GeoStoreTest, PutThenGetSameSession) {
   GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2));
   auto s = store.session(0);

@@ -99,6 +99,64 @@ TEST(ReplicaMapTest, SingleReplicaSingleSite) {
   EXPECT_EQ(rm.fetch_target(2, 0), 0u);
 }
 
+// 4 sites in two "regions" {0,1} and {2,3}: near = 1, far = 100.
+std::vector<std::uint32_t> two_region_distances() {
+  const auto same = [](SiteId a, SiteId b) { return (a < 2) == (b < 2); };
+  std::vector<std::uint32_t> d(16);
+  for (SiteId i = 0; i < 4; ++i) {
+    for (SiteId j = 0; j < 4; ++j) {
+      d[i * 4 + j] = i == j ? 0 : (same(i, j) ? 1 : 100);
+    }
+  }
+  return d;
+}
+
+TEST(ReplicaMapTest, PluggedDistancesRedirectFetchTarget) {
+  // Var 0 at {1, 2}. Ring routing from reader 3 picks site 1 (ring
+  // distance 2 vs 3); with the two-region matrix site 2 is near (same
+  // region as 3) and wins.
+  auto rm = ReplicaMap::custom(4, {{1, 2}});
+  EXPECT_EQ(rm.fetch_target(0, 3), 1u);
+  rm.set_site_distances(two_region_distances());
+  EXPECT_TRUE(rm.has_site_distances());
+  EXPECT_EQ(rm.site_distance(3, 2), 1u);
+  EXPECT_EQ(rm.fetch_target(0, 3), 2u);
+  // Reader 0 is in the other region: site 1 is its intra-region replica.
+  EXPECT_EQ(rm.fetch_target(0, 0), 1u);
+}
+
+TEST(ReplicaMapTest, PluggedDistancesSelfStillWins) {
+  auto rm = ReplicaMap::custom(4, {{1, 2}});
+  rm.set_site_distances(two_region_distances());
+  EXPECT_EQ(rm.fetch_target(0, 1), 1u);
+  EXPECT_EQ(rm.fetch_target(0, 2), 2u);
+}
+
+TEST(ReplicaMapTest, RankedTargetsCycleNearFirst) {
+  // Var 0 at {0, 1, 2}; reader 3 (region of {2,3}). Nearest is 2, then the
+  // far replicas by ring distance from 3: site 0 (ring 1) before 1 (ring 2).
+  auto rm = ReplicaMap::custom(4, {{0, 1, 2}});
+  rm.set_site_distances(two_region_distances());
+  EXPECT_EQ(rm.fetch_target_ranked(0, 3, 0), 2u);
+  EXPECT_EQ(rm.fetch_target_ranked(0, 3, 1), 0u);
+  EXPECT_EQ(rm.fetch_target_ranked(0, 3, 2), 1u);
+  // Ranks wrap: every replica stays reachable under failover.
+  EXPECT_EQ(rm.fetch_target_ranked(0, 3, 3), 2u);
+  std::set<SiteId> seen;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    seen.insert(rm.fetch_target_ranked(0, 3, r));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ReplicaMapTest, EqualDistanceFallsBackToRingOrder) {
+  // All distances equal: plugged routing must degrade to the classic ring
+  // preference, not to site-id order.
+  auto rm = ReplicaMap::custom(5, {{0, 1}});
+  rm.set_site_distances(std::vector<std::uint32_t>(25, 7));
+  EXPECT_EQ(rm.fetch_target(0, 4), 0u);  // ring distance 1 beats 2
+}
+
 TEST(ReplicaMapTest, VarsAtListsAscending) {
   const auto rm = ReplicaMap::even(4, 16, 2);
   for (SiteId s = 0; s < 4; ++s) {

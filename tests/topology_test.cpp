@@ -1,0 +1,212 @@
+// server::Topology semantics: region/link resolution, the site-distance
+// matrix it exports into ReplicaMap routing, the sim latency matrix, and
+// the `placement region` <-> store::region_placement equivalence.
+#include "server/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "server/cluster_config.hpp"
+#include "store/placement.hpp"
+#include "util/rng.hpp"
+
+namespace ccpr::server {
+namespace {
+
+/// eu{0,1,2} us{3,4} ap{5}; eu-us 40ms, eu-ap 90ms, us-ap defaulted.
+Topology sample_topology() {
+  Topology topo;
+  topo.region_names = {"eu", "us", "ap"};
+  topo.intra_us = {2'000, 3'000, 4'000};
+  topo.region_of_site = {0, 0, 0, 1, 1, 2};
+  topo.links = {Topology::Link{0, 1, 40'000}, Topology::Link{0, 2, 90'000}};
+  return topo;
+}
+
+TEST(TopologyTest, RegionLookupsAndDefaults) {
+  const auto topo = sample_topology();
+  EXPECT_EQ(topo.region_count(), 3u);
+  EXPECT_EQ(topo.site_count(), 6u);
+  EXPECT_EQ(topo.region_id("us"), 1u);
+  EXPECT_FALSE(topo.region_id("mars").has_value());
+  EXPECT_EQ(topo.region_of(4), 1u);
+  EXPECT_EQ(topo.region_name_of(5), "ap");
+  EXPECT_EQ(topo.link_us(0, 1), 40'000u);
+  EXPECT_EQ(topo.link_us(1, 0), 40'000u);  // either order
+  EXPECT_EQ(topo.link_us(1, 2), Topology::kDefaultInterUs);  // unlisted
+  EXPECT_EQ(topo.link_us(1, 1), 3'000u);  // diagonal = intra class
+  EXPECT_EQ(topo.sites_in_region(1), (std::vector<causal::SiteId>{3, 4}));
+  EXPECT_TRUE(topo.sites_in_region(0).size() == 3);
+}
+
+TEST(TopologyTest, SiteDistanceMatrixShape) {
+  const auto topo = sample_topology();
+  const auto d = topo.site_distance_matrix();
+  ASSERT_EQ(d.size(), 36u);
+  for (causal::SiteId i = 0; i < 6; ++i) {
+    for (causal::SiteId j = 0; j < 6; ++j) {
+      EXPECT_EQ(d[i * 6 + j], topo.site_distance_us(i, j));
+      EXPECT_EQ(d[i * 6 + j], d[j * 6 + i]);  // symmetric
+    }
+    EXPECT_EQ(d[i * 6 + i], 0u);  // self-distance
+  }
+  EXPECT_EQ(topo.site_distance_us(0, 1), 2'000u);   // intra eu
+  EXPECT_EQ(topo.site_distance_us(0, 3), 40'000u);  // eu -> us
+  EXPECT_EQ(topo.site_distance_us(3, 5), Topology::kDefaultInterUs);
+}
+
+TEST(TopologyTest, LatencyMatrixDiagonalIsIntraHop) {
+  // Unlike the routing distance matrix, the sim latency matrix never says a
+  // message is free: a site's loopback costs one intra-region hop.
+  const auto topo = sample_topology();
+  const auto m = topo.latency_matrix();
+  ASSERT_EQ(m.size(), 36u);
+  EXPECT_EQ(m[0], 2'000);           // site 0 to itself: eu intra
+  EXPECT_EQ(m[5 * 6 + 5], 4'000);   // site 5 to itself: ap intra
+  EXPECT_EQ(m[0 * 6 + 3], 40'000);  // eu -> us
+}
+
+TEST(TopologyTest, MakeLatencyIsTopologyDriven) {
+  const auto topo = sample_topology();
+  // jitter 0: samples are exactly the base matrix.
+  auto model = topo.make_latency(0.0);
+  util::Rng rng(7);
+  EXPECT_EQ(model->sample(0, 1, rng), 2'000);
+  EXPECT_EQ(model->sample(0, 3, rng), 40'000);
+  EXPECT_EQ(model->sample(3, 5, rng),
+            static_cast<sim::SimTime>(Topology::kDefaultInterUs));
+}
+
+TEST(TopologyTest, HomeRegionAnchorsAtRingSite) {
+  const auto topo = sample_topology();
+  const auto home = topo.home_region_of_var(8);
+  ASSERT_EQ(home.size(), 8u);
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(home[x], topo.region_of(x % 6));
+  }
+}
+
+TEST(TopologyTest, ValidateCatchesInconsistencies) {
+  std::string error;
+  EXPECT_TRUE(sample_topology().validate(6, &error)) << error;
+  EXPECT_TRUE(Topology{}.validate(6, &error)) << error;  // flat cluster
+  {
+    auto topo = sample_topology();
+    topo.region_of_site.pop_back();
+    EXPECT_FALSE(topo.validate(6, &error));
+    EXPECT_NE(error.find("every site"), std::string::npos) << error;
+  }
+  {
+    auto topo = sample_topology();
+    topo.links.push_back(Topology::Link{1, 1, 5});
+    EXPECT_FALSE(topo.validate(6, &error));
+    EXPECT_NE(error.find("intra-region"), std::string::npos) << error;
+  }
+  {
+    auto topo = sample_topology();
+    topo.links.push_back(Topology::Link{1, 0, 5});  // reversed duplicate
+    EXPECT_FALSE(topo.validate(6, &error));
+    EXPECT_NE(error.find("duplicate link"), std::string::npos) << error;
+  }
+  {
+    auto topo = sample_topology();
+    topo.intra_us.pop_back();
+    EXPECT_FALSE(topo.validate(6, &error));
+  }
+  {
+    auto topo = sample_topology();
+    topo.region_names[2] = "eu";
+    EXPECT_FALSE(topo.validate(6, &error));
+    EXPECT_NE(error.find("duplicate region"), std::string::npos) << error;
+  }
+  {
+    Topology topo;  // region data without declarations
+    topo.region_of_site = {0};
+    EXPECT_FALSE(topo.validate(1, &error));
+  }
+}
+
+ClusterConfig geo_config() {
+  ClusterConfig cfg;
+  cfg.vars = 12;
+  cfg.replicas_per_var = 2;
+  cfg.placement = PlacementPolicy::kRegion;
+  cfg.sites.resize(6);
+  cfg.topology = sample_topology();
+  return cfg;
+}
+
+TEST(TopologyTest, RegionPlacementMatchesStoreLayer) {
+  // Acceptance check: `placement region` through ClusterConfig must equal
+  // calling store::region_placement directly with the topology's region
+  // assignment and home-region rule.
+  const auto cfg = geo_config();
+  const auto via_config = cfg.replica_map();
+  const auto direct = store::region_placement(
+      cfg.topology.region_of_site, cfg.topology.home_region_of_var(cfg.vars),
+      cfg.replicas_per_var);
+  ASSERT_EQ(via_config.vars(), direct.vars());
+  for (causal::VarId x = 0; x < cfg.vars; ++x) {
+    const auto a = via_config.replicas(x);
+    const auto b = direct.replicas(x);
+    ASSERT_EQ(a.size(), b.size()) << "var " << x;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "var " << x;
+    }
+  }
+}
+
+TEST(TopologyTest, ConfigReplicaMapCarriesDistances) {
+  const auto rmap = geo_config().replica_map();
+  ASSERT_TRUE(rmap.has_site_distances());
+  EXPECT_EQ(rmap.site_distance(0, 1), 2'000u);
+  EXPECT_EQ(rmap.site_distance(0, 3), 40'000u);
+}
+
+TEST(TopologyTest, IntraRegionReaderNeverRoutedCrossRegion) {
+  // Acceptance check: whenever a variable has a replica in the reader's
+  // region, the fetch target stays in that region; only vars with no
+  // regional replica cross the WAN.
+  const auto cfg = geo_config();
+  const auto rmap = cfg.replica_map();
+  const auto& topo = cfg.topology;
+  for (causal::VarId x = 0; x < cfg.vars; ++x) {
+    for (causal::SiteId reader = 0; reader < 6; ++reader) {
+      bool regional_replica = false;
+      for (const auto s : rmap.replicas(x)) {
+        if (topo.region_of(s) == topo.region_of(reader)) {
+          regional_replica = true;
+        }
+      }
+      const auto target = rmap.fetch_target(x, reader);
+      EXPECT_TRUE(rmap.replicated_at(x, target));
+      EXPECT_EQ(topo.region_of(target) == topo.region_of(reader),
+                regional_replica)
+          << "var " << x << " reader " << reader << " -> " << target;
+    }
+  }
+}
+
+TEST(TopologyTest, RankedFallbackStillCyclesAllReplicas) {
+  const auto cfg = geo_config();
+  const auto rmap = cfg.replica_map();
+  for (causal::VarId x = 0; x < cfg.vars; ++x) {
+    const auto reps = rmap.replicas(x);
+    for (causal::SiteId reader = 0; reader < 6; ++reader) {
+      std::set<causal::SiteId> seen;
+      for (std::uint32_t rank = 0;
+           rank < static_cast<std::uint32_t>(reps.size()); ++rank) {
+        seen.insert(rmap.fetch_target_ranked(x, reader, rank));
+      }
+      EXPECT_EQ(seen.size(), reps.size())
+          << "var " << x << " reader " << reader;
+      // Rank 0 is the plain fetch target and nearest replicas come first.
+      EXPECT_EQ(rmap.fetch_target_ranked(x, reader, 0),
+                rmap.fetch_target(x, reader));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccpr::server

@@ -4,6 +4,7 @@
 //   build/tools/ccpr_client --config=cluster.conf --site=1 get mykey
 //   build/tools/ccpr_client --config=cluster.conf --site=0 snapshot k1 k2
 //   build/tools/ccpr_client --config=cluster.conf --site=2 status
+//   build/tools/ccpr_client --config=cluster.conf --region=eu get mykey
 //   build/tools/ccpr_client --config=cluster.conf --site=0 bench
 //       --ops=1000 --write-rate=0.3 --seed=1 [--json]
 //
@@ -41,7 +42,10 @@ namespace {
 int usage() {
   std::cerr << "usage: ccpr_client --config=<path> --site=<id> "
                "ping|put|get|snapshot|status|metrics|bench ...\n"
-               "       ccpr_client --data-dir=<path> --site=<id> wal-stat\n";
+               "       ccpr_client --config=<path> --region=<name> <cmd> ...\n"
+               "       ccpr_client --data-dir=<path> --site=<id> wal-stat\n"
+               "(--region picks the nearest site of a geo config; --site "
+               "wins when both are given)\n";
   return 2;
 }
 
@@ -131,11 +135,14 @@ int run_bench(client::Client& cli, const util::Flags& flags) {
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   const std::string config_path = flags.get_string("config", "");
-  const auto site_id = flags.get_int("site", -1);
+  auto site_id = flags.get_int("site", -1);
+  const std::string region = flags.get_string("region", "");
   const auto& args = flags.positional();
   // wal-stat reads the on-disk log directly — no cluster, no config.
   if (!args.empty() && args[0] == "wal-stat") return run_wal_stat(flags);
-  if (config_path.empty() || site_id < 0 || args.empty()) return usage();
+  if (config_path.empty() || (site_id < 0 && region.empty()) || args.empty()) {
+    return usage();
+  }
 
   std::string error;
   const auto config = server::ClusterConfig::load(config_path, &error);
@@ -145,6 +152,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (site_id < 0) {
+      site_id = static_cast<int>(client::Client::nearest_site(*config, region));
+    }
     client::Client cli(*config, static_cast<causal::SiteId>(site_id));
     const std::string& cmd = args[0];
     if (cmd == "ping") {
@@ -176,15 +186,22 @@ int main(int argc, char** argv) {
     } else if (cmd == "status") {
       const auto st = cli.status();
       std::printf(
-          "site=%u alg=%s writes=%llu reads=%llu pending=%llu "
+          "site=%u%s%s alg=%s writes=%llu reads=%llu pending=%llu "
           "peer_sent=%llu peer_recv=%llu peer_queued=%llu\n",
-          st.site, causal::algorithm_token(st.algorithm),
+          st.site, st.region.empty() ? "" : " region=",
+          st.region.c_str(), causal::algorithm_token(st.algorithm),
           static_cast<unsigned long long>(st.writes),
           static_cast<unsigned long long>(st.reads),
           static_cast<unsigned long long>(st.pending_updates),
           static_cast<unsigned long long>(st.peer_msgs_sent),
           static_cast<unsigned long long>(st.peer_msgs_recv),
           static_cast<unsigned long long>(st.peer_queued));
+      for (const auto& rp : st.region_peers) {
+        std::printf("region %s: peers=%llu connected=%llu\n",
+                    rp.region.c_str(),
+                    static_cast<unsigned long long>(rp.peers),
+                    static_cast<unsigned long long>(rp.connected));
+      }
     } else if (cmd == "metrics") {
       std::fputs(cli.metrics_text().c_str(), stdout);
     } else if (cmd == "bench") {

@@ -10,6 +10,9 @@
 //                      fsync every append (power-loss safe) or only at
 //                      checkpoints/anti-entropy rounds (kill-safe)
 //   --print-config     echo the parsed config and exit
+//   --check-config     parse + validate, print the resolved topology and
+//                      exit 0; any config error exits non-zero (CI lints
+//                      every examples/*.conf with this)
 //
 // The process serves until SIGINT/SIGTERM, then shuts down gracefully
 // (drains client requests, flushes outbound peer queues). On startup it
@@ -47,6 +50,31 @@ int main(int argc, char** argv) {
   }
   if (flags.get_bool("print-config", false)) {
     std::cout << config->to_text();
+    return 0;
+  }
+  if (flags.get_bool("check-config", false)) {
+    // load() already ran parse() + validate(); print what was resolved.
+    std::printf("%s: OK (%u sites, %u vars, replicas %u, placement %s)\n",
+                config_path.c_str(), config->site_count(), config->vars,
+                config->replicas_per_var,
+                server::placement_token(config->placement));
+    const auto& topo = config->topology;
+    if (topo.empty()) {
+      std::printf("flat cluster (no regions)\n");
+      return 0;
+    }
+    for (std::uint32_t r = 0; r < topo.region_count(); ++r) {
+      std::printf("region %s: intra %uus, sites", topo.region_names[r].c_str(),
+                  topo.intra_us[r]);
+      for (const auto s : topo.sites_in_region(r)) std::printf(" %u", s);
+      std::printf("\n");
+    }
+    for (std::uint32_t a = 0; a < topo.region_count(); ++a) {
+      for (std::uint32_t b = a + 1; b < topo.region_count(); ++b) {
+        std::printf("link %s-%s: %uus\n", topo.region_names[a].c_str(),
+                    topo.region_names[b].c_str(), topo.link_us(a, b));
+      }
+    }
     return 0;
   }
   const auto site_id = flags.get_int("site", -1);
