@@ -68,6 +68,12 @@ struct Services {
   std::function<void(VarId x, SiteId responder, const std::uint8_t* data,
                      std::size_t len)>
       persist_meta_merge;
+  /// Optional failure-detector view: returns true while the runtime
+  /// suspects `site` unreachable. Fetch routing ranks suspected replicas
+  /// behind healthy ones (ReplicaMap::fetch_target_ranked overload). Null =
+  /// no failure detector, every site presumed healthy. Called on the
+  /// protocol thread; must be cheap and non-blocking (e.g. an atomic load).
+  std::function<bool(SiteId)> peer_suspected;
 };
 
 using ReadContinuation = std::function<void(const Value&)>;

@@ -99,8 +99,13 @@ void ProtocolBase::read(VarId x, ReadContinuation k) {
 }
 
 void ProtocolBase::start_fetch(const std::shared_ptr<PendingRead>& pr) {
-  const SiteId target =
-      rmap_.fetch_target_ranked(pr->var, self_, pr->attempt);
+  // With a failure detector plugged in, suspected replicas rank behind
+  // healthy ones, so the first attempt goes to a live site instead of
+  // burning a fetch timeout against a dead one.
+  std::uint32_t suspect_skips = 0;
+  const SiteId target = rmap_.fetch_target_ranked(
+      pr->var, self_, pr->attempt, svc_.peer_suspected, &suspect_skips);
+  svc_.metrics->fetch_suspect_skips += suspect_skips;
   const std::uint64_t req_id = next_req_++;
   pr->req_ids.push_back(req_id);
   pending_reads_.emplace(req_id, pr);

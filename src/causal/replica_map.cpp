@@ -111,6 +111,31 @@ SiteId ReplicaMap::fetch_target_ranked(VarId x, SiteId reader,
   return ordered[rank % ordered.size()];
 }
 
+SiteId ReplicaMap::fetch_target_ranked(
+    VarId x, SiteId reader, std::uint32_t rank,
+    const std::function<bool(SiteId)>& suspected,
+    std::uint32_t* suspect_skips) const {
+  if (suspect_skips != nullptr) *suspect_skips = 0;
+  if (!suspected) return fetch_target_ranked(x, reader, rank);
+  CCPR_EXPECTS(reader < n_);
+  const auto reps = replicas(x);
+  std::vector<SiteId> ordered(reps.begin(), reps.end());
+  std::sort(ordered.begin(), ordered.end(), [&](SiteId a, SiteId b) {
+    return nearness(reader, a) < nearness(reader, b);
+  });
+  // Healthy replicas first, suspected behind, nearness order within each
+  // group. stable_partition keeps the sort's tie-breaks deterministic.
+  const auto first_suspected = std::stable_partition(
+      ordered.begin(), ordered.end(),
+      [&](SiteId s) { return s == reader || !suspected(s); });
+  const auto demoted =
+      static_cast<std::uint32_t>(ordered.end() - first_suspected);
+  if (suspect_skips != nullptr && first_suspected != ordered.begin()) {
+    *suspect_skips = demoted;
+  }
+  return ordered[rank % ordered.size()];
+}
+
 std::vector<VarId> ReplicaMap::vars_at(SiteId s) const {
   CCPR_EXPECTS(s < n_);
   std::vector<VarId> out;

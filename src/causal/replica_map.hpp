@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <tuple>
 #include <vector>
@@ -61,6 +62,18 @@ class ReplicaMap {
   /// "contact a secondary process" availability fallback — crossing into
   /// farther regions only after the near ones are exhausted.
   SiteId fetch_target_ranked(VarId x, SiteId reader, std::uint32_t rank) const;
+
+  /// fetch_target_ranked with a failure-detector view: replicas the
+  /// predicate suspects are ranked behind every healthy one (each group
+  /// still ordered by nearness), so retries burn timeouts on likely-dead
+  /// sites only after exhausting the likely-alive ones. When every replica
+  /// is suspected the ranking degrades to the plain nearness order.
+  /// `suspect_skips`, when non-null, receives the number of suspected
+  /// replicas demoted behind a healthy one (0 when none, or all, are
+  /// suspected) — the signal behind ccpr_fetch_suspect_skips_total.
+  SiteId fetch_target_ranked(VarId x, SiteId reader, std::uint32_t rank,
+                             const std::function<bool(SiteId)>& suspected,
+                             std::uint32_t* suspect_skips) const;
 
   /// Variables replicated at site s (ascending).
   std::vector<VarId> vars_at(SiteId s) const;

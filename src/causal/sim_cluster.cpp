@@ -47,12 +47,21 @@ SimCluster::SimCluster(Algorithm alg, ReplicaMap rmap, Options opts)
   transport_ = std::make_unique<net::SimTransport>(
       n, sched_, *latency_, latency_rng_, transport_metrics_);
   wire_ = transport_.get();
-  if (opts_.drop_rate > 0.0 || opts_.duplicate_rate > 0.0) {
-    faulty_ = std::make_unique<net::FaultyTransport>(
-        *transport_,
-        net::FaultyTransport::Options{.drop_rate = opts_.drop_rate,
-                                      .duplicate_rate = opts_.duplicate_rate,
-                                      .seed = opts_.fault_seed});
+  if (opts_.drop_rate > 0.0 || opts_.duplicate_rate > 0.0 ||
+      opts_.delay_rate > 0.0 || opts_.reorder_rate > 0.0) {
+    net::FaultyTransport::Options fopts;
+    fopts.drop_rate = opts_.drop_rate;
+    fopts.duplicate_rate = opts_.duplicate_rate;
+    fopts.delay_rate = opts_.delay_rate;
+    fopts.delay_min_us = opts_.delay_min_us;
+    fopts.delay_max_us = opts_.delay_max_us;
+    fopts.reorder_rate = opts_.reorder_rate;
+    fopts.seed = opts_.fault_seed;
+    fopts.defer = [this](std::uint64_t us, std::function<void()> fn) {
+      sched_.schedule_after(static_cast<sim::SimTime>(us), std::move(fn));
+    };
+    faulty_ = std::make_unique<net::FaultyTransport>(*transport_,
+                                                     std::move(fopts));
     reliable_ = std::make_unique<net::ReliableChannelTransport>(
         n, *faulty_, sched_);
     wire_ = reliable_.get();
@@ -208,6 +217,14 @@ std::uint64_t SimCluster::retransmissions() const {
 
 std::uint64_t SimCluster::messages_dropped() const {
   return faulty_ ? faulty_->dropped() : 0;
+}
+
+std::uint64_t SimCluster::messages_delayed() const {
+  return faulty_ ? faulty_->delayed() : 0;
+}
+
+std::uint64_t SimCluster::messages_reordered() const {
+  return faulty_ ? faulty_->reordered() : 0;
 }
 
 metrics::Metrics SimCluster::metrics() const {

@@ -34,12 +34,18 @@ class SimCluster {
     /// Mean exponential think time between a process's operations.
     sim::SimTime mean_think_us = 5'000;
     std::uint64_t think_seed = 7;
-    /// Optional fault injection: when either rate is non-zero the cluster
+    /// Optional fault injection: when any rate is non-zero the cluster
     /// stacks FaultyTransport + ReliableChannelTransport between the
     /// protocols and the simulated network, so the causal algorithms still
-    /// see the reliable FIFO channels the paper assumes.
+    /// see the reliable FIFO channels the paper assumes. The fault classes
+    /// mirror the TCP runtime's net::ChaosRule (drop / delay / reorder),
+    /// with delays served by the virtual-time scheduler.
     double drop_rate = 0.0;
     double duplicate_rate = 0.0;
+    double delay_rate = 0.0;
+    std::uint64_t delay_min_us = 1'000;
+    std::uint64_t delay_max_us = 20'000;
+    double reorder_rate = 0.0;
     std::uint64_t fault_seed = 0xfa17;
   };
 
@@ -96,6 +102,8 @@ class SimCluster {
   /// Reliability-layer counters (zero when fault injection is off).
   std::uint64_t retransmissions() const;
   std::uint64_t messages_dropped() const;
+  std::uint64_t messages_delayed() const;
+  std::uint64_t messages_reordered() const;
   const metrics::Metrics& transport_metrics() const noexcept {
     return transport_metrics_;
   }

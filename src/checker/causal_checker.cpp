@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -72,11 +73,21 @@ CheckResult check_causal_consistency(const HistoryRecorder& history,
   std::vector<TimedOp> timed(ops.size());
   std::vector<std::uint32_t> op_count(n, 0);
 
+  // Variables touched by a kWriteMaybe: a put whose response was lost may
+  // have executed without ever being confirmed to the client, so a read (or
+  // apply) naming an unknown write id on these variables is indeterminate,
+  // not a violation.
+  std::unordered_set<VarId> maybe_vars;
+
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const OpRecord& rec = ops[i];
     CCPR_ASSERT(rec.process < n);
     timed[i].rec = rec;
     timed[i].pos = ++op_count[rec.process];
+    if (rec.kind == OpRecord::Kind::kWriteMaybe) {
+      maybe_vars.insert(rec.var);
+      ++result.indeterminate_writes;
+    }
     if (rec.kind == OpRecord::Kind::kWrite) {
       WriteInfo info{rec.process, timed[i].pos, rec.var, i, true};
       const auto [it, inserted] = writes.emplace(key(rec.write), info);
@@ -116,11 +127,18 @@ CheckResult check_causal_consistency(const HistoryRecorder& history,
     if (op.rec.kind == OpRecord::Kind::kRead && !op.rec.write.is_initial()) {
       const auto it = writes.find(key(op.rec.write));
       if (it == writes.end()) {
-        fail(fmt(
-            "read integrity: process %u read var %u from unknown write "
-            "(writer=%u seq=%llu)",
-            op.rec.process, op.rec.var, op.rec.write.writer,
-            static_cast<unsigned long long>(op.rec.write.seq)));
+        if (maybe_vars.count(op.rec.var) != 0) {
+          // Plausibly the value of an indeterminate put; no ro edge to
+          // merge (the phantom write's causal past is unknowable), which
+          // only weakens — never falsifies — the downstream checks.
+          ++result.indeterminate_reads;
+        } else {
+          fail(fmt(
+              "read integrity: process %u read var %u from unknown write "
+              "(writer=%u seq=%llu)",
+              op.rec.process, op.rec.var, op.rec.write.writer,
+              static_cast<unsigned long long>(op.rec.write.seq)));
+        }
       } else {
         if (it->second.var != op.rec.var) {
           fail(fmt("read integrity: process %u read var %u but write "
@@ -257,9 +275,13 @@ CheckResult check_causal_consistency(const HistoryRecorder& history,
     CCPR_ASSERT(ar.site < n);
     const auto it = writes.find(key(ar.write));
     if (it == writes.end()) {
-      fail(fmt("apply of unknown write (writer=%u seq=%llu) at site %u",
-               ar.write.writer,
-               static_cast<unsigned long long>(ar.write.seq), ar.site));
+      if (maybe_vars.count(ar.var) != 0) {
+        ++result.indeterminate_applies;
+      } else {
+        fail(fmt("apply of unknown write (writer=%u seq=%llu) at site %u",
+                 ar.write.writer,
+                 static_cast<unsigned long long>(ar.write.seq), ar.site));
+      }
       continue;
     }
     const WriteInfo& w = it->second;

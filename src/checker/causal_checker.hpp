@@ -33,6 +33,13 @@ struct CheckResult {
   /// Totals for reporting.
   std::size_t ops_checked = 0;
   std::size_t applies_checked = 0;
+  /// Indeterminate-fate writes in the history (OpRecord::Kind::kWriteMaybe:
+  /// a client put whose response was lost). Reads and applies naming a
+  /// write id no confirmed write produced are tolerated on those variables
+  /// instead of failing read/apply integrity, and counted here.
+  std::size_t indeterminate_writes = 0;
+  std::size_t indeterminate_reads = 0;
+  std::size_t indeterminate_applies = 0;
 
   void fail(std::string msg);
 };

@@ -14,7 +14,17 @@ namespace ccpr::checker {
 
 /// One operation in a process's local history h_i.
 struct OpRecord {
-  enum class Kind : std::uint8_t { kWrite, kRead };
+  enum class Kind : std::uint8_t {
+    kWrite,
+    kRead,
+    /// A write whose fate is unknown to the issuing client: the request
+    /// may have executed server-side but the response was lost (timeout,
+    /// crash mid-call) and the retry's outcome does not disambiguate.
+    /// Recorded so the checker can tolerate — rather than flag — reads
+    /// that return a write id no confirmed write produced. `write` is
+    /// empty; only `var` is meaningful.
+    kWriteMaybe,
+  };
   Kind kind;
   causal::SiteId process;   ///< ap_i that performed the op
   causal::VarId var;
@@ -40,6 +50,12 @@ class HistoryRecorder {
   void on_read(causal::SiteId process, causal::VarId x, causal::WriteId from) {
     std::lock_guard lk(mu_);
     ops_.push_back({OpRecord::Kind::kRead, process, x, from});
+  }
+
+  /// A put whose execution is indeterminate (see OpRecord::Kind::kWriteMaybe).
+  void on_write_maybe(causal::SiteId process, causal::VarId x) {
+    std::lock_guard lk(mu_);
+    ops_.push_back({OpRecord::Kind::kWriteMaybe, process, x, {}});
   }
 
   void on_apply(causal::SiteId site, causal::WriteId id, causal::VarId x) {

@@ -7,12 +7,25 @@
 // handshake — the new site is not used until it has applied everything the
 // session could have observed at the old one).
 //
+// Resilience: every operation runs under Options::retry. Transient
+// failures (connection loss, timeouts, a server answering "shutting down"
+// or "unavailable") are retried with exponential backoff and jitter inside
+// a per-operation deadline; with `failover` enabled the session moves to
+// the next-nearest reachable site instead of hammering a dead one,
+// carrying its causal past via coverage tokens the servers piggyback on
+// ordinary responses. Puts are made idempotent across retries by a
+// client-generated request id the server dedups, so "retry after a lost
+// response" cannot double-write.
+//
 // Optionally records its operations into a checker::HistoryRecorder (under
 // the current site's process id, matching how the in-process runtimes
 // record), so a multi-process run can be machine-verified by the offline
-// causal checker exactly like a simulated one.
+// causal checker exactly like a simulated one. A put whose outcome is
+// unknowable (the connection died after the request hit the wire and no
+// retry confirmed it) is recorded via on_write_maybe so the checker stays
+// sound.
 //
-// Errors (unreachable server, protocol violation, timeout) throw
+// Errors throw client::Error (see error.hpp), which still derives from
 // std::runtime_error; the Client is single-threaded by design.
 #pragma once
 
@@ -20,11 +33,15 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "causal/replica_map.hpp"
 #include "causal/types.hpp"
 #include "checker/recorder.hpp"
+#include "client/error.hpp"
+#include "net/chaos.hpp"
 #include "net/socket.hpp"
 #include "server/cluster_config.hpp"
 #include "store/key_space.hpp"
@@ -50,10 +67,31 @@ struct ServerStatus {
     std::uint64_t connected = 0;  ///< of those, with a live outbound link
   };
   std::vector<RegionPeers> region_peers;
+  /// Peers this site's failure detector currently suspects (empty when
+  /// the server predates the detector or everything is healthy).
+  std::vector<causal::SiteId> suspected_peers;
 };
 
 class Client {
  public:
+  /// Client-side resilience knobs. Attempts are bounded three ways: by
+  /// count (max_attempts), by wall clock (op_deadline), and per round by
+  /// the socket timeouts in Options.
+  struct RetryPolicy {
+    bool enabled = true;
+    /// Move the session to the next-nearest site when the current one
+    /// looks dead, instead of only retrying in place. Requires servers
+    /// that piggyback coverage tokens (kReqWantTokens) for the causal
+    /// session to survive the move.
+    bool failover = false;
+    std::uint32_t max_attempts = 4;
+    std::chrono::milliseconds initial_backoff{20};
+    std::chrono::milliseconds max_backoff{400};
+    /// Hard wall-clock budget per operation; an op either succeeds or
+    /// throws a typed Error within roughly this bound.
+    std::chrono::milliseconds op_deadline{10000};
+  };
+
   struct Options {
     /// Budget for establishing a connection (initial connect and migrate),
     /// retried with exponential backoff + jitter within it.
@@ -63,9 +101,10 @@ class Client {
     std::uint32_t max_frame_bytes = 0;  ///< 0 = the config's / default
     /// Optional client-side history recording for the offline checker.
     checker::HistoryRecorder* recorder = nullptr;
+    RetryPolicy retry;
   };
 
-  /// Connects immediately; throws std::runtime_error on failure.
+  /// Connects immediately; throws client::Error on failure.
   Client(server::ClusterConfig config, causal::SiteId site, Options opts);
   Client(server::ClusterConfig config, causal::SiteId site)
       : Client(std::move(config), site, Options()) {}
@@ -96,8 +135,8 @@ class Client {
 
   /// Nearest-site selection for geo clusters: the lowest-id site in
   /// `region`, i.e. where a client physically in that region should open
-  /// its session so reads stay intra-region. Throws std::runtime_error on
-  /// an unknown region, a region with no sites, or a flat cluster.
+  /// its session so reads stay intra-region. Throws client::Error on an
+  /// unknown region, a region with no sites, or a flat cluster.
   static causal::SiteId nearest_site(const server::ClusterConfig& config,
                                      std::string_view region);
 
@@ -107,22 +146,71 @@ class Client {
   std::string metrics_text();
   void ping();
 
+  // ---- chaos administration (net/chaos.hpp over the wire) ----
+  /// Install `rule` on the connected server's link toward `peer`, or
+  /// toward every peer when peer == causal::kNoSite.
+  void chaos_set(const net::ChaosRule& rule,
+                 causal::SiteId peer = causal::kNoSite);
+  /// Remove every chaos rule on the connected server.
+  void chaos_clear();
+
   causal::SiteId site() const noexcept { return site_; }
   const store::KeySpace& keys() const noexcept { return keys_; }
+  /// Resilience observability for tests: same-site retry rounds and
+  /// completed site failovers performed so far by this session.
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t failovers() const noexcept { return failovers_; }
   void close();
 
  private:
   net::Socket dial_site(causal::SiteId site,
                         std::chrono::milliseconds timeout);
-  /// One request/response round trip on the current connection.
+  /// One request/response round trip on the current connection. Throws
+  /// Error(kConnect) before the request is on the wire, Error(kTimeout,
+  /// indeterminate) after.
   std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& req);
+  /// Run one pre-encoded request under the retry policy; returns the raw
+  /// ok response. `maybe_sites`, when non-null, collects the serving site
+  /// of every attempt whose execution is indeterminate (puts only).
+  std::vector<std::uint8_t> transact(const char* op,
+                                     const std::vector<std::uint8_t>& req,
+                                     std::vector<causal::SiteId>* maybe_sites);
+  /// The trailing [opts] the retry layer appends to put/get/snapshot
+  /// requests; 0 = append nothing (legacy format).
+  std::uint8_t request_opts(bool is_put) const;
+  /// Consume the response's trailing flags/tokens (present iff the request
+  /// carried an opts byte), caching piggybacked coverage tokens.
+  void absorb_response_tail(net::Decoder& dec, std::uint8_t opts,
+                            const char* op);
+  /// Try to move the session to `target` within `deadline`, replaying the
+  /// cached coverage token so causality survives. Returns false (session
+  /// unchanged) if the site cannot be reached or covered in time.
+  bool failover_to(causal::SiteId target,
+                   std::chrono::steady_clock::time_point deadline);
+  /// Failover candidates from `from`, nearest first (excludes `from`).
+  std::vector<causal::SiteId> failover_candidates(causal::SiteId from) const;
+  /// kCovered poll loop on `s`: 1 covered, 0 deadline passed, -1 error.
+  int covered_poll(net::Socket& s, const std::string& token,
+                   std::chrono::steady_clock::time_point deadline);
 
   server::ClusterConfig config_;
   store::KeySpace keys_;
+  causal::ReplicaMap rmap_;
   causal::SiteId site_;
   Options opts_;
   std::uint32_t max_frame_bytes_;
   net::Socket sock_;
+
+  /// Session identity for server-side put dedup (random, nonzero) and the
+  /// per-put request id counter.
+  std::uint64_t session_id_ = 0;
+  std::uint64_t next_req_id_ = 1;
+  /// Freshest coverage token per remote site, piggybacked by servers on
+  /// ordinary responses; the failover "luggage".
+  std::unordered_map<causal::SiteId, std::string> tokens_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t backoff_rng_ = 0;
 };
 
 }  // namespace ccpr::client

@@ -1,0 +1,62 @@
+// Typed client errors.
+//
+// Every failure the client library surfaces is a client::Error, which
+// still derives from std::runtime_error so existing catch sites keep
+// working, but carries three machine-readable facts the retry layer (and
+// callers building their own) need:
+//
+//   kind          what broke — the connection, the clock, the server, or
+//                 the wire format.
+//   retryable     whether re-issuing the operation can possibly help.
+//                 Protocol errors and rejected requests are not retryable;
+//                 connection loss and timeouts are.
+//   indeterminate whether the server may have EXECUTED the operation even
+//                 though we never saw the response. A put that dies after
+//                 the request hit the socket is indeterminate: retrying it
+//                 is only safe because the server dedups request ids, and
+//                 a checker must treat the write as "maybe happened"
+//                 (Recorder::on_write_maybe) if the retry never lands.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccpr::client {
+
+enum class ErrorKind : std::uint8_t {
+  kConnect = 0,   ///< dial failed or the connection dropped before send
+  kTimeout = 1,   ///< request sent, no response within the request timeout
+  kServer = 2,    ///< server answered with a non-ok status
+  kProtocol = 3,  ///< malformed frame; the wire formats disagree
+};
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, bool retryable, bool indeterminate,
+        const std::string& what)
+      : std::runtime_error("ccpr client: " + what),
+        kind_(kind),
+        retryable_(retryable),
+        indeterminate_(indeterminate) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  bool retryable() const noexcept { return retryable_; }
+  bool indeterminate() const noexcept { return indeterminate_; }
+
+  const char* kind_name() const noexcept {
+    switch (kind_) {
+      case ErrorKind::kConnect: return "connect";
+      case ErrorKind::kTimeout: return "timeout";
+      case ErrorKind::kServer: return "server";
+      case ErrorKind::kProtocol: return "protocol";
+    }
+    return "unknown";
+  }
+
+ private:
+  ErrorKind kind_;
+  bool retryable_;
+  bool indeterminate_;
+};
+
+}  // namespace ccpr::client

@@ -69,6 +69,9 @@ struct Metrics {
   std::uint64_t reads = 0;
   std::uint64_t remote_reads = 0;  ///< reads served by RemoteFetch
   std::uint64_t fetch_retries = 0; ///< failovers to a secondary replica
+  /// Suspected replicas demoted in fetch-target ranking (failure detector
+  /// steered a remote read away from a likely-dead site).
+  std::uint64_t fetch_suspect_skips = 0;
 
   // ---- simulated-time latencies (microseconds) ----
   util::Histogram apply_delay_us;   ///< receipt -> activation-predicate true
@@ -106,6 +109,7 @@ struct Metrics {
     reads += other.reads;
     remote_reads += other.remote_reads;
     fetch_retries += other.fetch_retries;
+    fetch_suspect_skips += other.fetch_suspect_skips;
     apply_delay_us.merge(other.apply_delay_us);
     read_latency_us.merge(other.read_latency_us);
     write_latency_us.merge(other.write_latency_us);

@@ -1,14 +1,24 @@
 #include "net/faulty_transport.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace ccpr::net {
 
+namespace {
+bool valid_rate(double r) { return r >= 0.0 && r <= 1.0; }
+}  // namespace
+
 FaultyTransport::FaultyTransport(ITransport& inner, Options options)
-    : inner_(inner), options_(options), rng_(options.seed) {
-  CCPR_EXPECTS(options.drop_rate >= 0.0 && options.drop_rate <= 1.0);
-  CCPR_EXPECTS(options.duplicate_rate >= 0.0 &&
-               options.duplicate_rate <= 1.0);
+    : inner_(inner), options_(std::move(options)), rng_(options_.seed) {
+  CCPR_EXPECTS(valid_rate(options_.drop_rate));
+  CCPR_EXPECTS(valid_rate(options_.duplicate_rate));
+  CCPR_EXPECTS(valid_rate(options_.delay_rate));
+  CCPR_EXPECTS(valid_rate(options_.reorder_rate));
+  CCPR_EXPECTS(options_.delay_max_us >= options_.delay_min_us);
+  CCPR_EXPECTS(options_.delay_rate == 0.0 || options_.defer != nullptr);
 }
 
 void FaultyTransport::connect(SiteId site, IMessageSink* sink) {
@@ -20,11 +30,41 @@ void FaultyTransport::send(Message msg) {
     ++dropped_;
     return;
   }
+  // Reorder: stash this message; it departs right after the next one, an
+  // adjacent transposition. If traffic stops while a message is stashed it
+  // looks like a drop until the next send — ReliableChannel's
+  // retransmission recovers it, same as a real loss.
+  // The rate guard is not just an optimisation: chance() consumes an RNG
+  // draw, so skipping it keeps the seeded fault stream of drop/duplicate
+  // configs identical to what it was before reorder faults existed.
+  if (options_.reorder_rate > 0.0 && !held_.has_value() &&
+      rng_.chance(options_.reorder_rate)) {
+    held_ = std::move(msg);
+    ++reordered_;
+    return;
+  }
   if (rng_.chance(options_.duplicate_rate)) {
     ++duplicated_;
     inner_.send(msg);  // copy
   }
-  inner_.send(std::move(msg));
+  // Delay: park the message on the runtime's timer; anything sent in the
+  // meantime overtakes it.
+  if (options_.delay_rate > 0.0 && rng_.chance(options_.delay_rate)) {
+    const std::uint64_t span = options_.delay_max_us - options_.delay_min_us;
+    const std::uint64_t d =
+        options_.delay_min_us +
+        (span > 0 ? rng_.below(static_cast<std::uint32_t>(span + 1)) : 0);
+    ++delayed_;
+    auto parked = std::make_shared<Message>(std::move(msg));
+    options_.defer(d, [this, parked] { inner_.send(std::move(*parked)); });
+  } else {
+    inner_.send(std::move(msg));
+  }
+  if (held_.has_value()) {
+    Message swapped = std::move(*held_);
+    held_.reset();
+    inner_.send(std::move(swapped));
+  }
 }
 
 }  // namespace ccpr::net

@@ -1,13 +1,20 @@
-// Fault injection: a decorator over any ITransport that drops and/or
-// duplicates messages with seeded probabilities.
+// Fault injection: a decorator over any ITransport that drops, duplicates,
+// delays and/or reorders messages with seeded probabilities — the same
+// fault classes the TCP runtime's net::ChaosRule injects on real links
+// (drop / one-way delay / rate-limit-induced skew), so simulated sweeps
+// and real-network chaos tests exercise matching failure modes.
 //
 // The paper assumes reliable FIFO channels; this wrapper lets us (a) prove
 // the offline checker notices when that assumption is broken (lost-update
 // detection), and (b) exercise the ReliableChannel layer that rebuilds
-// exactly-once FIFO delivery on top of a lossy network.
+// exactly-once FIFO delivery on top of a lossy network. Delay and reorder
+// additionally break FIFO *ordering* without losing payloads, which is
+// exactly the gap ReliableChannel's sequence numbers must close.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 
 #include "net/message.hpp"
 #include "util/rng.hpp"
@@ -19,7 +26,19 @@ class FaultyTransport final : public ITransport {
   struct Options {
     double drop_rate = 0.0;       ///< P(message silently vanishes)
     double duplicate_rate = 0.0;  ///< P(message delivered twice)
+    /// P(message held back and re-sent delay_min..delay_max_us later).
+    /// Needs `defer` (the runtime's timer); a delayed message overtaken by
+    /// later traffic arrives out of order, like a chaos-delayed TCP link.
+    double delay_rate = 0.0;
+    std::uint64_t delay_min_us = 1'000;
+    std::uint64_t delay_max_us = 20'000;
+    /// P(message swapped with the next message sent): a minimal adjacent
+    /// transposition, deterministic given the seed.
+    double reorder_rate = 0.0;
     std::uint64_t seed = 0xfa17;
+    /// Timer hook for delay injection: run `fn` after `us` microseconds.
+    /// The simulated runtime passes Scheduler::schedule_after.
+    std::function<void(std::uint64_t us, std::function<void()> fn)> defer;
   };
 
   FaultyTransport(ITransport& inner, Options options);
@@ -29,6 +48,8 @@ class FaultyTransport final : public ITransport {
 
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t duplicated() const noexcept { return duplicated_; }
+  std::uint64_t delayed() const noexcept { return delayed_; }
+  std::uint64_t reordered() const noexcept { return reordered_; }
 
  private:
   ITransport& inner_;
@@ -36,6 +57,10 @@ class FaultyTransport final : public ITransport {
   util::Rng rng_;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t reordered_ = 0;
+  /// The message a reorder fault is holding until the next send.
+  std::optional<Message> held_;
 };
 
 }  // namespace ccpr::net

@@ -48,6 +48,8 @@ std::optional<Frame> decode_frame_body(const std::uint8_t* data,
     case static_cast<std::uint8_t>(MsgKind::kFetchResp):
     case static_cast<std::uint8_t>(MsgKind::kCatchupReq):
     case static_cast<std::uint8_t>(MsgKind::kCatchupResp):
+    case static_cast<std::uint8_t>(MsgKind::kHeartbeat):
+    case static_cast<std::uint8_t>(MsgKind::kHeartbeatAck):
       frame.msg.kind = static_cast<MsgKind>(kind);
       break;
     default:

@@ -19,6 +19,8 @@ enum class MsgKind : std::uint8_t {
   kFetchResp = 3,   ///< RemoteFetch response (remote return event)
   kCatchupReq = 4,  ///< anti-entropy: durable watermark announcement
   kCatchupResp = 5, ///< anti-entropy: responder's retention bounds
+  kHeartbeat = 6,   ///< failure detector ping (body: sender steady-clock us)
+  kHeartbeatAck = 7,///< failure detector pong (body echoed verbatim)
 };
 
 struct Message {

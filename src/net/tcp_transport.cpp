@@ -40,6 +40,8 @@ TcpTransport::TcpTransport(Options opts, metrics::Metrics& metrics)
     link->site = peer.site;
     link->host = peer.host;
     link->port = peer.port;
+    link->chaos_rng = util::Rng(opts_.chaos_seed ^
+                                (0x9e3779b97f4a7c15ULL * (peer.site + 1)));
     links_.push_back(std::move(link));
   }
 }
@@ -89,6 +91,8 @@ void TcpTransport::send(Message msg) {
       case MsgKind::kFetchResp:
         ++metrics_.fetch_resp_msgs;
         break;
+      default:
+        break;  // heartbeats / catch-up count only into the byte totals
     }
     metrics_.control_bytes += msg.control_bytes();
     metrics_.payload_bytes += msg.payload_bytes;
@@ -104,6 +108,33 @@ void TcpTransport::send(Message msg) {
     if (link->site != msg.dst) continue;
     {
       std::lock_guard lk(link->mu);
+      auto due = std::chrono::steady_clock::time_point{};
+      if (link->chaos.active()) {
+        // Lossy link: the message vanishes at enqueue, like on the wire.
+        if (link->chaos.drop_milli != 0 &&
+            link->chaos_rng.below(1000) < link->chaos.drop_milli) {
+          ++link->chaos_drops;
+          return;
+        }
+        // Slow link: push the flush time into the future. Clamped monotone
+        // per link — reordering a channel would make the receiver's seq
+        // dedup discard the late frames as duplicates.
+        auto now = std::chrono::steady_clock::now();
+        due = now;
+        if (link->chaos.delay_us != 0) {
+          due += std::chrono::microseconds(link->chaos.delay_us);
+        }
+        if (link->chaos.rate_per_s != 0) {
+          const auto gap =
+              std::chrono::microseconds(1'000'000 / link->chaos.rate_per_s);
+          due = std::max(due, link->last_due + gap);
+        }
+        due = std::max(due, link->last_due);
+        link->last_due = due;
+        if (due > now) ++link->chaos_delayed;
+        // Partition holds the queue at the sender loop, not here: traffic
+        // keeps queueing (and overflow-dropping) as against a dead peer.
+      }
       if (opts_.max_queue_msgs > 0 &&
           link->queue.size() >= opts_.max_queue_msgs) {
         // Overflow: drop the oldest queued message instead of blocking the
@@ -121,7 +152,7 @@ void TcpTransport::send(Message msg) {
             link->queue.begin() + static_cast<std::ptrdiff_t>(excess));
         link->overflow_drops += excess;
       }
-      link->queue.push_back(Outbound{std::move(msg), ++link->next_seq});
+      link->queue.push_back(Outbound{std::move(msg), ++link->next_seq, due});
     }
     link->cv.notify_all();
     return;
@@ -149,14 +180,28 @@ void TcpTransport::sender_loop(Link* link) {
     frames.clear();
     {
       std::unique_lock lk(link->mu);
-      link->cv.wait(lk, [&] {
-        return !link->queue.empty() ||
-               stopping_.load(std::memory_order_relaxed);
-      });
-      if (stopping_.load(std::memory_order_relaxed)) return;
+      for (;;) {
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        // A partition rule parks the sender with the queue intact — the
+        // link behaves like TCP into a blackhole until the rule is lifted.
+        if (link->queue.empty() || link->chaos.partition) {
+          link->cv.wait(lk);
+          continue;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (link->queue.front().due > now) {
+          // Chaos delay / rate pacing: nothing is due yet. wait_until
+          // returns on heal/stop notifications too; re-evaluate then.
+          link->cv.wait_until(lk, link->queue.front().due);
+          continue;
+        }
+        break;
+      }
+      const auto now = std::chrono::steady_clock::now();
       std::size_t est_bytes = 0;
       while (!link->queue.empty() && batch.size() < opts_.max_batch_msgs &&
-             (batch.empty() || est_bytes < opts_.max_batch_bytes)) {
+             (batch.empty() || est_bytes < opts_.max_batch_bytes) &&
+             link->queue.front().due <= now) {
         est_bytes += link->queue.front().msg.body.size() + 48;
         batch.push_back(std::move(link->queue.front()));
         link->queue.pop_front();
@@ -270,6 +315,44 @@ bool TcpTransport::known_peer(SiteId site) const {
   return false;
 }
 
+TcpTransport::Link* TcpTransport::link_for(SiteId site) const {
+  for (const auto& link : links_) {
+    if (link->site == site) return link.get();
+  }
+  return nullptr;
+}
+
+void TcpTransport::set_chaos(SiteId peer, const ChaosRule& rule) {
+  Link* link = link_for(peer);
+  if (link == nullptr) return;
+  {
+    std::lock_guard lk(link->mu);
+    link->chaos = rule;
+    if (!rule.active()) link->last_due = {};
+  }
+  // Wake the sender: a lifted partition releases held traffic, a changed
+  // delay re-evaluates the front due time.
+  link->cv.notify_all();
+}
+
+void TcpTransport::clear_chaos() {
+  for (auto& link : links_) {
+    {
+      std::lock_guard lk(link->mu);
+      link->chaos = ChaosRule{};
+      link->last_due = {};
+    }
+    link->cv.notify_all();
+  }
+}
+
+ChaosRule TcpTransport::chaos_rule(SiteId peer) const {
+  Link* link = link_for(peer);
+  if (link == nullptr) return {};
+  std::lock_guard lk(link->mu);
+  return link->chaos;
+}
+
 void TcpTransport::reader_loop(InConn* conn) {
   std::vector<std::uint8_t> buf;
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -283,6 +366,16 @@ void TcpTransport::reader_loop(InConn* conn) {
     auto frame = decode_frame_body(buf.data(), buf.size());
     if (!frame) break;  // malformed frame: drop the connection
     if (frame->msg.dst != opts_.self || !known_peer(frame->msg.src)) break;
+    if (Link* link = link_for(frame->msg.src)) {
+      // Chaos partition blackholes the link from this site's point of
+      // view: frames from the partitioned peer are read off the socket and
+      // discarded before the seq-dedup bookkeeping, as if never received.
+      std::lock_guard lk(link->mu);
+      if (link->chaos.partition) {
+        ++link->chaos_rx_drops;
+        continue;
+      }
+    }
     {
       std::lock_guard lk(in_mu_);
       RecvStats& rs = recv_[frame->msg.src];
@@ -410,6 +503,11 @@ std::vector<TcpTransport::PeerStats> TcpTransport::peer_stats() const {
       ps.batches_sent = link->batches_sent;
       ps.overflow_drops = link->overflow_drops;
       ps.connected = link->sock.valid();
+      ps.chaos_drops = link->chaos_drops;
+      ps.chaos_rx_drops = link->chaos_rx_drops;
+      ps.chaos_delayed = link->chaos_delayed;
+      ps.chaos_active = link->chaos.active();
+      ps.chaos_partitioned = link->chaos.partition;
     }
     {
       std::lock_guard lk(in_mu_);

@@ -57,9 +57,11 @@
 #include <vector>
 
 #include "metrics/metrics.hpp"
+#include "net/chaos.hpp"
 #include "net/frame.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
+#include "util/rng.hpp"
 
 namespace ccpr::net {
 
@@ -99,6 +101,10 @@ class TcpTransport final : public ITransport {
     /// the oldest queued message is dropped and counted (see the overflow
     /// policy in the header comment). 0 = unbounded.
     std::uint32_t max_queue_msgs = 65536;
+    /// Seed for chaos-injection drop decisions (net/chaos.hpp). Per-link
+    /// streams are derived from it, so a run is deterministic given the
+    /// same send sequence.
+    std::uint64_t chaos_seed = 0xc4a05;
   };
 
   /// Per-peer wire counters (sent side from the sender thread, received
@@ -117,6 +123,11 @@ class TcpTransport final : public ITransport {
     std::uint64_t overflow_drops = 0;  ///< oldest msgs dropped at the cap
     std::uint64_t queue_cap = 0;     ///< configured cap (0 = unbounded)
     bool connected = false;  ///< outbound socket currently established
+    std::uint64_t chaos_drops = 0;     ///< outbound msgs dropped by chaos
+    std::uint64_t chaos_rx_drops = 0;  ///< inbound frames dropped by chaos
+    std::uint64_t chaos_delayed = 0;   ///< msgs assigned a future due time
+    bool chaos_active = false;  ///< a chaos rule is installed on this link
+    bool chaos_partitioned = false;  ///< that rule blackholes the link
   };
 
   TcpTransport(Options opts, metrics::Metrics& metrics);
@@ -149,10 +160,23 @@ class TcpTransport final : public ITransport {
   /// Copy of the transport-level counters, safe to call concurrently.
   metrics::Metrics metrics_snapshot() const;
 
+  /// Install a chaos rule on the link to `peer` (replacing any previous
+  /// rule; a default-constructed rule clears it). Thread-safe; takes effect
+  /// on subsequent sends and, for partition, on queued traffic immediately.
+  /// Unknown / self peer ids are ignored.
+  void set_chaos(SiteId peer, const ChaosRule& rule);
+  /// Remove every installed chaos rule and release held traffic.
+  void clear_chaos();
+  /// The rule currently installed toward `peer` ({} if none/unknown).
+  ChaosRule chaos_rule(SiteId peer) const;
+
  private:
   struct Outbound {
     Message msg;
     std::uint64_t seq = 0;
+    /// Earliest flush time, pushed into the future by chaos delay / rate
+    /// pacing. Monotone non-decreasing within one queue (FIFO preserved).
+    std::chrono::steady_clock::time_point due{};
   };
 
   /// State for one outbound peer connection, owned by its sender thread.
@@ -174,6 +198,15 @@ class TcpTransport final : public ITransport {
     std::uint64_t connects = 0;
     std::uint64_t batches_sent = 0;
     std::uint64_t overflow_drops = 0;
+    // Chaos injection (guarded by mu). `chaos_rx_drops` counts inbound
+    // frames from this peer discarded while partitioned — written by reader
+    // threads, so it shares the same lock.
+    ChaosRule chaos;
+    util::Rng chaos_rng{0};
+    std::chrono::steady_clock::time_point last_due{};
+    std::uint64_t chaos_drops = 0;
+    std::uint64_t chaos_rx_drops = 0;
+    std::uint64_t chaos_delayed = 0;
     std::thread thread;
   };
 
@@ -203,6 +236,7 @@ class TcpTransport final : public ITransport {
   void sender_loop(Link* link);
   void delivery_loop();
   bool known_peer(SiteId site) const;
+  Link* link_for(SiteId site) const;
 
   Options opts_;
   metrics::Metrics& metrics_;

@@ -10,12 +10,26 @@
 // Response body: [u8 status][op-specific fields]
 //
 //   kPing      -> ok
-//   kPut       var:varint value:bytes
+//   kPut       var:varint value:bytes [opts:u8 [session:varint req:varint]]
 //              -> ok writer+1:varint seq:varint lamport:varint
-//   kGet       var:varint
-//              -> ok value (causal::encode_value)
-//   kSnapshot  count:varint var:varint...
-//              -> ok count:varint value...   (all vars must be local)
+//                 [flags:u8 [tokens]]
+//   kGet       var:varint [opts:u8]
+//              -> ok value (causal::encode_value) [flags:u8 [tokens]]
+//   kSnapshot  count:varint var:varint... [opts:u8]
+//              -> ok count:varint value... [flags:u8 [tokens]]
+//                                            (all vars must be local)
+//
+//   The trailing opts byte on kPut/kGet/kSnapshot is optional (old clients
+//   omit it; the response then ends after the op-specific fields, exactly
+//   as before). opts bit0 (kWantTokens) asks the server to append coverage
+//   tokens for every remote site so the client can fail over without a
+//   round-trip to a possibly-dead home site. opts bit1 (kHasRequestId) on
+//   kPut says session/req follow: the server remembers the last request id
+//   per session and replays the stored result instead of re-executing, so
+//   a put retried after a lost response stays idempotent. When the request
+//   carried an opts byte the response carries a flags byte: bit0 = this
+//   put was a dedup replay, bit1 = tokens follow as
+//   count:varint {site:varint token:bytes}...
 //   kToken     target:varint
 //              -> ok token:bytes             (coverage_token for target)
 //   kCovered   token:bytes wait_us:varint
@@ -31,6 +45,16 @@
 //   kMetrics   -> ok text:bytes              (Prometheus exposition text:
 //                    merged protocol+transport counters, engine queue
 //                    depths, per-peer wire stats)
+//   kChaos     action:u8 (0 = clear all rules, 1 = set rule)
+//              [peer+1:varint drop_milli:varint delay_us:varint
+//               rate_per_s:varint partition:u8]   (set only; peer+1 = 0
+//                    installs the rule toward every peer)
+//              -> ok                          (admin: net/chaos.hpp fault
+//                    injection on this site's transport links)
+//
+//   kStatus additionally ends with suspected:varint {site:varint}... — the
+//   peers this site's failure detector currently believes unreachable
+//   (missing on pre-detector servers; decoders treat absence as none).
 #pragma once
 
 #include <cstdint>
@@ -52,6 +76,7 @@ enum class ClientOp : std::uint8_t {
   kCovered = 6,
   kStatus = 7,
   kMetrics = 8,
+  kChaos = 9,
 };
 
 enum class ClientStatus : std::uint8_t {
@@ -59,7 +84,19 @@ enum class ClientStatus : std::uint8_t {
   kBadRequest = 1,
   kNotReplicated = 2,
   kShuttingDown = 3,
+  /// Served to reads that would park on a fetch no suspected replica can
+  /// answer: every replica of the variable is currently believed down, so
+  /// the server fails fast instead of burning the fetch timeout.
+  kUnavailable = 4,
 };
+
+/// Request-side opts bits (trailing u8 on kPut/kGet/kSnapshot).
+inline constexpr std::uint8_t kReqWantTokens = 0x1;
+inline constexpr std::uint8_t kReqHasRequestId = 0x2;
+
+/// Response-side flags bits (present iff the request carried opts).
+inline constexpr std::uint8_t kRespDupReplay = 0x1;
+inline constexpr std::uint8_t kRespHasTokens = 0x2;
 
 /// Write one length-prefixed frame. Returns false on socket error.
 inline bool write_client_frame(int fd,

@@ -333,6 +333,16 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
       if (!want(1) || !parse_u32(toks[1], &cfg.checkpoint_every)) {
         return fail(where() + "checkpoint-every <records>");
       }
+    } else if (kw == "heartbeat-interval") {
+      if (!want(1) || !parse_duration_us(toks[1], &cfg.heartbeat_interval_us) ||
+          cfg.heartbeat_interval_us == 0) {
+        return fail(where() + "heartbeat-interval <duration, e.g. 250ms>");
+      }
+    } else if (kw == "suspect-after") {
+      if (!want(1) || !parse_duration_us(toks[1], &cfg.suspect_after_us) ||
+          cfg.suspect_after_us == 0) {
+        return fail(where() + "suspect-after <duration, e.g. 1s>");
+      }
     } else {
       return fail(where() + "unknown keyword '" + kw + "'");
     }
@@ -506,7 +516,18 @@ std::string ClusterConfig::to_text() const {
   if (checkpoint_every > 0) {
     out << "checkpoint-every " << checkpoint_every << "\n";
   }
+  if (heartbeat_interval_us > 0) {
+    out << "heartbeat-interval " << format_duration_us(heartbeat_interval_us)
+        << "\n";
+  }
+  if (suspect_after_us > 0) {
+    out << "suspect-after " << format_duration_us(suspect_after_us) << "\n";
+  }
   return out.str();
+}
+
+bool parse_duration_token(const std::string& tok, std::uint32_t* out) {
+  return parse_duration_us(tok, out);
 }
 
 ClusterConfig ClusterConfig::loopback(std::uint32_t n, std::uint32_t q,

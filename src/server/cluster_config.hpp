@@ -62,6 +62,11 @@ enum class PlacementPolicy : std::uint8_t {
 
 const char* placement_token(PlacementPolicy policy);
 
+/// The config grammar's duration token — a number with a mandatory unit
+/// ("80ms", "500us", "1s") parsed to microseconds — exposed for CLI flags
+/// that share the grammar (e.g. `ccpr_client chaos --delay=50ms`).
+bool parse_duration_token(const std::string& tok, std::uint32_t* out);
+
 struct ClusterConfig {
   causal::Algorithm algorithm = causal::Algorithm::kOptTrack;
   std::uint32_t vars = 0;
@@ -87,6 +92,12 @@ struct ClusterConfig {
   std::uint32_t catchup_interval_ms = 0;  ///< anti-entropy round period
   std::uint32_t catchup_timeout_ms = 0;   ///< restart catch-up gate bound
   std::uint32_t checkpoint_every = 0;     ///< WAL records per checkpoint
+  /// Failure detector (TCP runtime); 0 = runtime default for each.
+  /// `heartbeat-interval <duration>`: ping period per peer.
+  /// `suspect-after <duration>`: floor on silence before a peer is
+  /// suspected (the effective timeout also scales with the RTT EWMA).
+  std::uint32_t heartbeat_interval_us = 0;
+  std::uint32_t suspect_after_us = 0;
 
   std::uint32_t site_count() const noexcept {
     return static_cast<std::uint32_t>(sites.size());

@@ -68,7 +68,7 @@ std::string render_metrics_text(
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
     std::uint64_t pending_updates, const Durability::Stats& durability,
-    const std::vector<std::string>& site_regions) {
+    const std::vector<std::string>& site_regions, const HealthStats& health) {
   Renderer r(site);
   // peer="<id>" plus region="<peer's region>" when the cluster is geo.
   const auto peer_label = [&site_regions](causal::SiteId peer) {
@@ -104,6 +104,12 @@ std::string render_metrics_text(
             merged.remote_reads);
   r.counter("ccpr_fetch_retries_total", "RemoteFetch failovers",
             merged.fetch_retries);
+  r.counter("ccpr_fetch_suspect_skips_total",
+            "Suspected replicas demoted in fetch-target ranking",
+            merged.fetch_suspect_skips);
+  r.counter("ccpr_reads_fast_failed_total",
+            "Remote reads failed fast: every replica suspected",
+            health.reads_fast_failed);
   r.gauge("ccpr_pending_updates", "Updates buffered awaiting activation",
           static_cast<double>(pending_updates));
   r.gauge("ccpr_log_entries", "Entries in the local causal log",
@@ -213,6 +219,68 @@ std::string render_metrics_text(
   for (const auto& p : peers) {
     r.labeled("ccpr_peer_connected", peer_label(p.site),
               p.connected ? 1.0 : 0.0);
+  }
+
+  // ---- chaos injection (zero everywhere unless rules are installed) ----
+  r.preamble("ccpr_peer_chaos_active",
+             "1 when a chaos rule is installed toward a peer "
+             "(2 when it is a partition)",
+             "gauge");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_chaos_active", peer_label(p.site),
+              p.chaos_partitioned ? 2.0 : (p.chaos_active ? 1.0 : 0.0));
+  }
+  r.preamble("ccpr_peer_chaos_drops_total",
+             "Outbound messages dropped by chaos injection", "counter");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_chaos_drops_total", peer_label(p.site),
+              static_cast<double>(p.chaos_drops));
+  }
+  r.preamble("ccpr_peer_chaos_rx_drops_total",
+             "Inbound frames discarded while chaos-partitioned", "counter");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_chaos_rx_drops_total", peer_label(p.site),
+              static_cast<double>(p.chaos_rx_drops));
+  }
+  r.preamble("ccpr_peer_chaos_delayed_total",
+             "Outbound messages held past their natural send time",
+             "counter");
+  for (const auto& p : peers) {
+    r.labeled("ccpr_peer_chaos_delayed_total", peer_label(p.site),
+              static_cast<double>(p.chaos_delayed));
+  }
+
+  // ---- failure detector ----
+  r.preamble("ccpr_peer_suspected",
+             "1 while the failure detector believes a peer unreachable",
+             "gauge");
+  for (const auto& p : health.peers) {
+    r.labeled("ccpr_peer_suspected", peer_label(p.site),
+              p.suspected ? 1.0 : 0.0);
+  }
+  r.preamble("ccpr_peer_rtt_ewma_us",
+             "Exponentially-weighted heartbeat round-trip time", "gauge");
+  for (const auto& p : health.peers) {
+    r.labeled("ccpr_peer_rtt_ewma_us", peer_label(p.site),
+              static_cast<double>(p.rtt_ewma_us));
+  }
+  r.preamble("ccpr_peer_suspect_events_total",
+             "Alive-to-suspected transitions observed for a peer", "counter");
+  for (const auto& p : health.peers) {
+    r.labeled("ccpr_peer_suspect_events_total", peer_label(p.site),
+              static_cast<double>(p.suspect_events));
+  }
+  r.preamble("ccpr_peer_heartbeats_sent_total",
+             "Failure-detector pings sent to a peer", "counter");
+  for (const auto& p : health.peers) {
+    r.labeled("ccpr_peer_heartbeats_sent_total", peer_label(p.site),
+              static_cast<double>(p.heartbeats_sent));
+  }
+  r.preamble("ccpr_peer_heartbeat_acks_total",
+             "Failure-detector acks received from a peer", "counter");
+  for (const auto& p : health.peers) {
+    r.labeled("ccpr_peer_heartbeat_acks_total", peer_label(p.site),
+              static_cast<double>(p.acks_received));
   }
 
   return r.str();

@@ -21,6 +21,22 @@
 
 namespace ccpr::server {
 
+/// Per-peer failure-detector view for the scrape, snapshotted by the site
+/// server from its heartbeat state.
+struct HealthStats {
+  struct Peer {
+    causal::SiteId site = 0;
+    bool suspected = false;
+    std::uint64_t rtt_ewma_us = 0;
+    std::uint64_t suspect_events = 0;   ///< alive->suspected transitions
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t acks_received = 0;
+  };
+  std::vector<Peer> peers;
+  /// Remote reads failed fast because every replica was suspected.
+  std::uint64_t reads_fast_failed = 0;
+};
+
 /// `site_regions` maps site id -> region name (empty when the cluster has
 /// no topology). When present it adds `region=` labels to every
 /// `ccpr_peer_*` series and a `ccpr_site_region` info gauge for this site.
@@ -29,6 +45,7 @@ std::string render_metrics_text(
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
     std::uint64_t pending_updates, const Durability::Stats& durability,
-    const std::vector<std::string>& site_regions = {});
+    const std::vector<std::string>& site_regions = {},
+    const HealthStats& health = {});
 
 }  // namespace ccpr::server

@@ -101,10 +101,20 @@ SiteServer::SiteServer(ClusterConfig config, causal::SiteId self, Options opts)
         delay, [this, fn = std::move(fn)] { engine_->post_timer(fn); });
   };
   svc.metrics = &proto_metrics_;
+  // Lock-free atomic read; safe from the apply thread at any point in the
+  // server's lifetime (health_ is sized once, below).
+  svc.peer_suspected = [this](causal::SiteId s) { return peer_suspected(s); };
   engine_->adopt_protocol(
       causal::make_protocol(config_.algorithm, self_, rmap_, std::move(svc),
                             config_.protocol),
       &proto_metrics_);
+
+  health_ = std::vector<PeerHealth>(config_.site_count());
+  hb_interval_us_ = config_.heartbeat_interval_us > 0
+                        ? config_.heartbeat_interval_us
+                        : 250'000;
+  suspect_floor_us_ =
+      config_.suspect_after_us > 0 ? config_.suspect_after_us : 1'000'000;
 }
 
 SiteServer::~SiteServer() { stop(); }
@@ -130,6 +140,15 @@ bool SiteServer::start() {
   timers_.start();
   engine_->post_catchup_tick();  // announce watermarks immediately
   schedule_catchup_tick();
+  // Arm the failure detector with a clean slate: no peer is suspected
+  // until it has been silent for the full window from *this* start.
+  hb_epoch_us_.store(static_cast<std::uint64_t>(wall_now_us()),
+                     std::memory_order_relaxed);
+  for (auto& h : health_) {
+    h.last_ack_us.store(0, std::memory_order_relaxed);
+    h.suspected.store(false, std::memory_order_relaxed);
+  }
+  schedule_heartbeat_tick();
   // Catch-up gate: a site restarting from a WAL answers clients only after
   // every peer has streamed the updates it missed (bounded by the timeout —
   // a dead peer must not wedge the restart forever).
@@ -171,6 +190,48 @@ void SiteServer::schedule_catchup_tick() {
       });
 }
 
+void SiteServer::schedule_heartbeat_tick() {
+  timers_.schedule_after(static_cast<std::int64_t>(hb_interval_us_), [this] {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    heartbeat_tick();
+    schedule_heartbeat_tick();
+  });
+}
+
+void SiteServer::heartbeat_tick() {
+  // Runs on the timer thread. Sends go straight to the transport (enqueue
+  // only, never blocking); suspicion flips here, recovery flips in
+  // deliver() the moment an ack arrives.
+  const auto now = static_cast<std::uint64_t>(wall_now_us());
+  for (causal::SiteId s = 0; s < config_.site_count(); ++s) {
+    if (s == self_) continue;
+    PeerHealth& h = health_[s];
+    net::Message ping;
+    ping.kind = net::MsgKind::kHeartbeat;
+    ping.src = self_;
+    ping.dst = s;
+    net::Encoder enc;
+    enc.varint(now);
+    ping.body = enc.take();
+    transport_->send(std::move(ping));
+    h.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+
+    const std::uint64_t last = h.last_ack_us.load(std::memory_order_relaxed);
+    const std::uint64_t base =
+        last != 0 ? last : hb_epoch_us_.load(std::memory_order_relaxed);
+    // The silence budget scales with the observed RTT so a slow WAN link
+    // is not flapped into suspicion, with the configured floor as the
+    // minimum (suspect-after).
+    const std::uint64_t rtt = h.rtt_ewma_us.load(std::memory_order_relaxed);
+    const std::uint64_t window =
+        std::max<std::uint64_t>(suspect_floor_us_, 4 * rtt + 2 * hb_interval_us_);
+    if (now > base + window &&
+        !h.suspected.exchange(true, std::memory_order_relaxed)) {
+      h.suspect_events.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 void SiteServer::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_relaxed);
@@ -206,6 +267,43 @@ void SiteServer::stop() {
 }
 
 void SiteServer::deliver(net::Message msg) {
+  // Failure-detector traffic is handled right here on the delivery thread —
+  // it must not queue behind protocol commands, or a backlogged engine
+  // would read as a dead peer.
+  if (msg.kind == net::MsgKind::kHeartbeat) {
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      net::Message ack;
+      ack.kind = net::MsgKind::kHeartbeatAck;
+      ack.src = self_;
+      ack.dst = msg.src;
+      ack.body = std::move(msg.body);  // echo the sender's timestamp
+      transport_->send(std::move(ack));
+    }
+    return;
+  }
+  if (msg.kind == net::MsgKind::kHeartbeatAck) {
+    if (msg.src >= health_.size()) return;
+    PeerHealth& h = health_[msg.src];
+    const auto now = static_cast<std::uint64_t>(wall_now_us());
+    net::Decoder dec(msg.body.data(), msg.body.size());
+    const std::uint64_t echoed = dec.varint();
+    if (dec.ok() && now >= echoed) {
+      const std::uint64_t rtt = now - echoed;
+      // An ack proves the peer is reachable *now* regardless of the
+      // echoed timestamp's age, but a stale echo (a ping that sat in a
+      // healed partition's queue) is not an RTT sample.
+      if (rtt <= 4 * suspect_floor_us_ + 4 * hb_interval_us_) {
+        const std::uint64_t prev =
+            h.rtt_ewma_us.load(std::memory_order_relaxed);
+        h.rtt_ewma_us.store(prev == 0 ? rtt : (prev * 7 + rtt) / 8,
+                            std::memory_order_relaxed);
+      }
+    }
+    h.last_ack_us.store(now, std::memory_order_relaxed);
+    h.acks_received.fetch_add(1, std::memory_order_relaxed);
+    h.suspected.store(false, std::memory_order_relaxed);
+    return;
+  }
   // Pure producer: the delivery thread never touches the protocol. It may
   // block on the engine's queue bound (the transport's inbound queue is
   // unbounded precisely so this backpressure cannot deadlock peers).
@@ -276,8 +374,44 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         status(ClientStatus::kBadRequest);
         return;
       }
-      const auto r = engine_->write(x, std::move(data),
-                                    rmap_.replicated_at(x, self_));
+      // Trailing opts (absent from old clients): retry metadata.
+      std::uint8_t opts = 0;
+      std::uint64_t session = 0;
+      std::uint64_t req_id = 0;
+      const bool has_opts = req.remaining() > 0;
+      if (has_opts) {
+        opts = req.u8();
+        if ((opts & kReqHasRequestId) != 0) {
+          session = req.varint();
+          req_id = req.varint();
+        }
+        if (!req.ok()) {
+          status(ClientStatus::kBadRequest);
+          return;
+        }
+      }
+      const bool dedup = (opts & kReqHasRequestId) != 0 && session != 0;
+      std::optional<ProtocolEngine::WriteResult> r;
+      bool replayed = false;
+      if (dedup) {
+        std::lock_guard lk(dedup_mu_);
+        const auto it = put_dedup_.find(session);
+        if (it != put_dedup_.end() && it->second.req_id == req_id) {
+          r = it->second.result;
+          replayed = true;
+        }
+      }
+      if (!replayed) {
+        r = engine_->write(x, std::move(data), rmap_.replicated_at(x, self_));
+        if (r && dedup) {
+          std::lock_guard lk(dedup_mu_);
+          if (put_dedup_.size() >= kDedupSessionCap &&
+              put_dedup_.count(session) == 0) {
+            put_dedup_.erase(put_dedup_.begin());
+          }
+          put_dedup_[session] = PutDedup{req_id, *r};
+        }
+      }
       if (!r) {
         status(ClientStatus::kShuttingDown);
         return;
@@ -286,6 +420,9 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       resp.varint(r->id.writer + 1);
       resp.varint(r->id.seq);
       resp.varint(r->lamport);
+      if (has_opts) {
+        append_response_flags(resp, (opts & kReqWantTokens) != 0, replayed);
+      }
       return;
     }
     case ClientOp::kGet: {
@@ -294,6 +431,25 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         status(ClientStatus::kBadRequest);
         return;
       }
+      const bool has_opts = req.remaining() > 0;
+      const std::uint8_t opts = has_opts ? req.u8() : 0;
+      if (!rmap_.replicated_at(x, self_)) {
+        // The read would park on a RemoteFetch; if the failure detector
+        // believes every replica of x is down, fail fast with a typed
+        // status instead of burning the whole fetch timeout.
+        bool any_alive = false;
+        for (const causal::SiteId s : rmap_.replicas(x)) {
+          if (!peer_suspected(s)) {
+            any_alive = true;
+            break;
+          }
+        }
+        if (!any_alive) {
+          reads_fast_failed_.fetch_add(1, std::memory_order_relaxed);
+          status(ClientStatus::kUnavailable);
+          return;
+        }
+      }
       const auto v = engine_->read(x);
       if (!v) {
         status(ClientStatus::kShuttingDown);
@@ -301,6 +457,9 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       }
       status(ClientStatus::kOk);
       causal::encode_value(resp, *v);
+      if (has_opts) {
+        append_response_flags(resp, (opts & kReqWantTokens) != 0, false);
+      }
       return;
     }
     case ClientOp::kSnapshot: {
@@ -319,6 +478,8 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
           return;
         }
       }
+      const bool has_opts = req.remaining() > 0;
+      const std::uint8_t sopts = has_opts ? req.u8() : 0;
       // One engine command: the values form a causally consistent cut
       // exactly as in ThreadedCluster::read_many.
       const auto values = engine_->snapshot(vars);
@@ -329,6 +490,9 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       status(ClientStatus::kOk);
       resp.varint(values->size());
       for (const causal::Value& v : *values) causal::encode_value(resp, v);
+      if (has_opts) {
+        append_response_flags(resp, (sopts & kReqWantTokens) != 0, false);
+      }
       return;
     }
     case ClientOp::kToken: {
@@ -413,6 +577,14 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
           resp.varint(up);
         }
       }
+      // Failure-detector extension: the peers this site currently
+      // suspects unreachable.
+      std::vector<causal::SiteId> suspected;
+      for (causal::SiteId peer = 0; peer < config_.site_count(); ++peer) {
+        if (peer != self_ && peer_suspected(peer)) suspected.push_back(peer);
+      }
+      resp.varint(suspected.size());
+      for (const causal::SiteId peer : suspected) resp.varint(peer);
       return;
     }
     case ClientOp::kMetrics: {
@@ -420,8 +592,85 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       resp.bytes(metrics_text());
       return;
     }
+    case ClientOp::kChaos: {
+      const std::uint8_t action = req.u8();
+      if (!req.ok() || action > 1) {
+        status(ClientStatus::kBadRequest);
+        return;
+      }
+      if (action == 0) {
+        transport_->clear_chaos();
+        status(ClientStatus::kOk);
+        return;
+      }
+      const std::uint64_t peer_plus1 = req.varint();
+      net::ChaosRule rule;
+      rule.drop_milli = static_cast<std::uint32_t>(req.varint());
+      rule.delay_us = static_cast<std::uint32_t>(req.varint());
+      rule.rate_per_s = static_cast<std::uint32_t>(req.varint());
+      rule.partition = req.u8() != 0;
+      if (!req.ok() || rule.drop_milli > 1000 ||
+          peer_plus1 > config_.site_count() ||
+          (peer_plus1 != 0 && peer_plus1 - 1 == self_)) {
+        status(ClientStatus::kBadRequest);
+        return;
+      }
+      for (causal::SiteId peer = 0; peer < config_.site_count(); ++peer) {
+        if (peer == self_) continue;
+        if (peer_plus1 != 0 && peer != peer_plus1 - 1) continue;
+        transport_->set_chaos(peer, rule);
+      }
+      status(ClientStatus::kOk);
+      return;
+    }
   }
   status(ClientStatus::kBadRequest);
+}
+
+void SiteServer::append_response_flags(net::Encoder& resp, bool want_tokens,
+                                       bool dup_replay) {
+  std::uint8_t flags = dup_replay ? kRespDupReplay : 0;
+  std::vector<std::pair<causal::SiteId, std::vector<std::uint8_t>>> tokens;
+  if (want_tokens) {
+    // Coverage tokens for every other site, computed after the op: the
+    // token covers at least the session's causal past (tokens are
+    // target-specific and monotone in this site's state), so presenting it
+    // at the target preserves the session guarantees across a failover —
+    // even one this site never hears about.
+    for (causal::SiteId target = 0; target < config_.site_count(); ++target) {
+      if (target == self_) continue;
+      auto token = engine_->coverage_token(target);
+      if (token) tokens.emplace_back(target, std::move(*token));
+    }
+    if (!tokens.empty()) flags |= kRespHasTokens;
+  }
+  resp.u8(flags);
+  if ((flags & kRespHasTokens) != 0) {
+    resp.varint(tokens.size());
+    for (const auto& [target, token] : tokens) {
+      resp.varint(target);
+      resp.varint(token.size());
+      resp.raw(token.data(), token.size());
+    }
+  }
+}
+
+HealthStats SiteServer::health_stats() const {
+  HealthStats out;
+  out.reads_fast_failed = reads_fast_failed_.load(std::memory_order_relaxed);
+  for (causal::SiteId peer = 0; peer < health_.size(); ++peer) {
+    if (peer == self_) continue;
+    const PeerHealth& h = health_[peer];
+    HealthStats::Peer p;
+    p.site = peer;
+    p.suspected = h.suspected.load(std::memory_order_relaxed);
+    p.rtt_ewma_us = h.rtt_ewma_us.load(std::memory_order_relaxed);
+    p.suspect_events = h.suspect_events.load(std::memory_order_relaxed);
+    p.heartbeats_sent = h.heartbeats_sent.load(std::memory_order_relaxed);
+    p.acks_received = h.acks_received.load(std::memory_order_relaxed);
+    out.peers.push_back(p);
+  }
+  return out;
 }
 
 metrics::Metrics SiteServer::metrics() const {
@@ -448,7 +697,8 @@ std::string SiteServer::metrics_text() const {
   return render_metrics_text(self_, metrics(), engine_->queue_stats(),
                              transport_->peer_stats(),
                              s ? s->pending_updates : 0,
-                             d ? *d : Durability::Stats{}, site_regions);
+                             d ? *d : Durability::Stats{}, site_regions,
+                             health_stats());
 }
 
 }  // namespace ccpr::server

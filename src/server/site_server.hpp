@@ -18,12 +18,15 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "causal/factory.hpp"
 #include "metrics/metrics.hpp"
+#include "net/chaos.hpp"
 #include "net/tcp_transport.hpp"
 #include "server/cluster_config.hpp"
+#include "server/metrics_text.hpp"
 #include "server/protocol_engine.hpp"
 #include "util/timer_thread.hpp"
 
@@ -74,6 +77,22 @@ class SiteServer : net::IMessageSink {
   /// The Prometheus exposition the kMetrics client op serves.
   std::string metrics_text() const;
 
+  /// Chaos injection on this site's transport links (also reachable over
+  /// the wire via the kChaos admin op).
+  void set_chaos(causal::SiteId peer, const net::ChaosRule& rule) {
+    transport_->set_chaos(peer, rule);
+  }
+  void clear_chaos() { transport_->clear_chaos(); }
+
+  /// Failure-detector verdict for one peer (lock-free; also fed to the
+  /// protocol's fetch-target ranking via Services::peer_suspected).
+  bool peer_suspected(causal::SiteId peer) const {
+    return peer < health_.size() &&
+           health_[peer].suspected.load(std::memory_order_relaxed);
+  }
+  /// Snapshot of the per-peer heartbeat state for metrics/status.
+  HealthStats health_stats() const;
+
  private:
   struct ClientConn {
     net::Socket sock;
@@ -81,13 +100,34 @@ class SiteServer : net::IMessageSink {
     std::atomic<bool> done{false};
   };
 
+  /// Per-peer failure-detector state. All fields are atomics so the tick
+  /// (timer thread), ack handling (delivery thread), suspicion queries
+  /// (apply thread via Services::peer_suspected) and scrapes (client
+  /// threads) need no lock.
+  struct PeerHealth {
+    std::atomic<std::uint64_t> last_ack_us{0};  ///< steady us; 0 = never
+    std::atomic<std::uint64_t> rtt_ewma_us{0};
+    std::atomic<bool> suspected{false};
+    std::atomic<std::uint64_t> suspect_events{0};
+    std::atomic<std::uint64_t> heartbeats_sent{0};
+    std::atomic<std::uint64_t> acks_received{0};
+  };
+
   void deliver(net::Message msg) override;
   /// Self-rescheduling periodic anti-entropy round on the timer thread.
   void schedule_catchup_tick();
+  /// Self-rescheduling heartbeat round: ping every peer, re-evaluate
+  /// suspicion from ack ages. Runs on the timer thread.
+  void schedule_heartbeat_tick();
+  void heartbeat_tick();
   void accept_clients();
   void serve_client(ClientConn* conn);
   /// Execute one decoded request, appending the response body to `resp`.
   void handle_request(net::Decoder& req, net::Encoder& resp);
+  /// Append the response flags byte and, when requested, per-target
+  /// coverage tokens (the client's failover luggage).
+  void append_response_flags(net::Encoder& resp, bool want_tokens,
+                             bool dup_replay);
 
   ClusterConfig config_;
   causal::SiteId self_;
@@ -112,6 +152,27 @@ class SiteServer : net::IMessageSink {
 
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+
+  // ---- failure detector ----
+  std::vector<PeerHealth> health_;  // indexed by site id; self unused
+  std::uint64_t hb_interval_us_ = 0;
+  std::uint64_t suspect_floor_us_ = 0;
+  std::atomic<std::uint64_t> hb_epoch_us_{0};  ///< detector start time
+  std::atomic<std::uint64_t> reads_fast_failed_{0};
+
+  // ---- idempotent put dedup ----
+  // Last request id and result per client session, so a put retried after
+  // a lost response replays the stored result instead of re-executing.
+  // Bounded: at the cap an arbitrary idle session is evicted (a client
+  // retries within seconds; eviction only risks re-execution for sessions
+  // that went silent long ago).
+  struct PutDedup {
+    std::uint64_t req_id = 0;
+    ProtocolEngine::WriteResult result;
+  };
+  std::mutex dedup_mu_;
+  std::unordered_map<std::uint64_t, PutDedup> put_dedup_;
+  static constexpr std::size_t kDedupSessionCap = 4096;
 };
 
 }  // namespace ccpr::server

@@ -53,6 +53,8 @@ struct FaultSweepParam {
   std::uint32_t p;
   double drop;
   double dup;
+  double delay = 0.0;
+  double reorder = 0.0;
   const char* name;
 };
 
@@ -70,6 +72,10 @@ TEST_P(FaultSweep, CausalOverLossyNetworkWithReliableChannels) {
   opts.mean_think_us = 2'000;
   opts.drop_rate = param.drop;
   opts.duplicate_rate = param.dup;
+  opts.delay_rate = param.delay;
+  opts.delay_min_us = 5'000;
+  opts.delay_max_us = 60'000;
+  opts.reorder_rate = param.reorder;
   opts.fault_seed = 1234;
 
   SimCluster cluster(param.alg, ReplicaMap::even(n, q, param.p),
@@ -81,23 +87,94 @@ TEST_P(FaultSweep, CausalOverLossyNetworkWithReliableChannels) {
     EXPECT_GT(cluster.messages_dropped(), 0u);
     EXPECT_GT(cluster.retransmissions(), 0u);
   }
+  if (param.delay > 0) EXPECT_GT(cluster.messages_delayed(), 0u);
+  if (param.reorder > 0) EXPECT_GT(cluster.messages_reordered(), 0u);
   ccpr::testing::expect_causal(cluster);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     LossyNetworks, FaultSweep,
     ::testing::Values(
-        FaultSweepParam{Algorithm::kOptTrack, 2, 0.25, 0.0, "OptTrack_drop"},
-        FaultSweepParam{Algorithm::kOptTrack, 2, 0.0, 0.3, "OptTrack_dup"},
-        FaultSweepParam{Algorithm::kOptTrack, 2, 0.2, 0.2,
+        FaultSweepParam{Algorithm::kOptTrack, 2, 0.25, 0.0, 0.0, 0.0,
+                        "OptTrack_drop"},
+        FaultSweepParam{Algorithm::kOptTrack, 2, 0.0, 0.3, 0.0, 0.0,
+                        "OptTrack_dup"},
+        FaultSweepParam{Algorithm::kOptTrack, 2, 0.2, 0.2, 0.0, 0.0,
                         "OptTrack_drop_dup"},
-        FaultSweepParam{Algorithm::kFullTrack, 2, 0.25, 0.0,
+        FaultSweepParam{Algorithm::kOptTrack, 2, 0.0, 0.0, 0.3, 0.0,
+                        "OptTrack_delay"},
+        FaultSweepParam{Algorithm::kOptTrack, 2, 0.0, 0.0, 0.0, 0.3,
+                        "OptTrack_reorder"},
+        FaultSweepParam{Algorithm::kFullTrack, 2, 0.25, 0.0, 0.0, 0.0,
                         "FullTrack_drop"},
-        FaultSweepParam{Algorithm::kOptTrackCRP, 4, 0.25, 0.1, "CRP_mixed"},
-        FaultSweepParam{Algorithm::kOptP, 4, 0.25, 0.1, "OptP_mixed"}),
+        FaultSweepParam{Algorithm::kFullTrack, 2, 0.15, 0.1, 0.2, 0.2,
+                        "FullTrack_all_faults"},
+        FaultSweepParam{Algorithm::kOptTrackCRP, 4, 0.25, 0.1, 0.0, 0.0,
+                        "CRP_mixed"},
+        FaultSweepParam{Algorithm::kOptTrackCRP, 4, 0.1, 0.0, 0.25, 0.15,
+                        "CRP_delay_reorder"},
+        FaultSweepParam{Algorithm::kOptP, 4, 0.25, 0.1, 0.0, 0.0,
+                        "OptP_mixed"}),
     [](const ::testing::TestParamInfo<FaultSweepParam>& param_info) {
       return param_info.param.name;
     });
+
+// Deterministic unit-level check of the new fault classes against a stub
+// transport: with a fixed seed the decorator's delay defer hook and
+// adjacent-transposition reorder are observable and exactly counted.
+TEST(FaultInjectionTest, DelayAndReorderAreDeterministic) {
+  struct StubTransport final : net::ITransport {
+    void connect(net::SiteId, net::IMessageSink*) override {}
+    void send(net::Message msg) override { sent.push_back(msg.chan_seq); }
+    std::vector<std::uint64_t> sent;
+  };
+  struct Deferred {
+    std::uint64_t us;
+    std::function<void()> fn;
+  };
+
+  // Reorder only: every message swapped with its successor.
+  {
+    StubTransport stub;
+    net::FaultyTransport::Options fopts;
+    fopts.reorder_rate = 1.0;
+    fopts.seed = 9;
+    net::FaultyTransport faulty(stub, std::move(fopts));
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      net::Message m;
+      m.chan_seq = i;
+      faulty.send(std::move(m));
+    }
+    // 1 stashed; 2 flushes it (2,1); 3 stashed; 4 flushes it (4,3).
+    EXPECT_EQ(stub.sent, (std::vector<std::uint64_t>{2, 1, 4, 3}));
+    EXPECT_EQ(faulty.reordered(), 2u);
+  }
+
+  // Delay only: messages land on the defer hook, not the wire, until the
+  // fake timer fires them.
+  {
+    StubTransport stub;
+    std::vector<Deferred> timers;
+    net::FaultyTransport::Options fopts;
+    fopts.delay_rate = 1.0;
+    fopts.delay_min_us = 500;
+    fopts.delay_max_us = 500;
+    fopts.seed = 9;
+    fopts.defer = [&timers](std::uint64_t us, std::function<void()> fn) {
+      timers.push_back({us, std::move(fn)});
+    };
+    net::FaultyTransport faulty(stub, std::move(fopts));
+    net::Message m;
+    m.chan_seq = 42;
+    faulty.send(std::move(m));
+    EXPECT_TRUE(stub.sent.empty());
+    ASSERT_EQ(timers.size(), 1u);
+    EXPECT_EQ(timers[0].us, 500u);
+    EXPECT_EQ(faulty.delayed(), 1u);
+    timers[0].fn();
+    EXPECT_EQ(stub.sent, (std::vector<std::uint64_t>{42}));
+  }
+}
 
 }  // namespace
 }  // namespace ccpr::causal

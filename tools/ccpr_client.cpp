@@ -23,6 +23,16 @@
 //                            position, per-peer durable watermarks); needs
 //                            --data-dir=<path> --site=<id> but no running
 //                            server and no --config
+//   chaos clear              remove every fault-injection rule on the site
+//   chaos set <peer|all>     install a fault rule on the site's link(s):
+//       [--drop=<p>]         drop probability (0.25 or permille like 250)
+//       [--delay=<dur>]      one-way delay, duration token (50ms, 1s)
+//       [--rate=<n>]         cap the link at n messages/second
+//       [--partition]        blackhole the link until cleared
+//
+// Resilience flags (any command): --no-retry disables the client retry
+// loop, --failover lets the session move to the next-nearest site when its
+// home looks dead, --op-deadline-ms=<n> bounds each operation's wall clock.
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -41,12 +51,67 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ccpr_client --config=<path> --site=<id> "
-               "ping|put|get|snapshot|status|metrics|bench ...\n"
+               "ping|put|get|snapshot|status|metrics|bench|chaos ...\n"
                "       ccpr_client --config=<path> --region=<name> <cmd> ...\n"
                "       ccpr_client --data-dir=<path> --site=<id> wal-stat\n"
                "(--region picks the nearest site of a geo config; --site "
-               "wins when both are given)\n";
+               "wins when both are given)\n"
+               "resilience: --no-retry --failover --op-deadline-ms=<n>\n"
+               "chaos: chaos clear | chaos set <peer|all> [--drop=<p>] "
+               "[--delay=<dur>] [--rate=<n>] [--partition]\n";
   return 2;
+}
+
+/// Drop probability: a fraction ("0.25") or a permille count ("250").
+bool parse_drop(const std::string& s, std::uint32_t* out) {
+  try {
+    if (s.find('.') != std::string::npos) {
+      const double f = std::stod(s);
+      if (f < 0.0 || f > 1.0) return false;
+      *out = static_cast<std::uint32_t>(f * 1000.0 + 0.5);
+    } else {
+      const long v = std::stol(s);
+      if (v < 0 || v > 1000) return false;
+      *out = static_cast<std::uint32_t>(v);
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+int run_chaos(client::Client& cli, const std::vector<std::string>& args,
+              const util::Flags& flags) {
+  if (args.size() >= 2 && args[1] == "clear") {
+    cli.chaos_clear();
+    std::printf("ok\n");
+    return 0;
+  }
+  if (args.size() < 3 || args[1] != "set") return usage();
+  causal::SiteId peer = causal::kNoSite;  // "all"
+  if (args[2] != "all") {
+    try {
+      peer = static_cast<causal::SiteId>(std::stoul(args[2]));
+    } catch (const std::exception&) {
+      return usage();
+    }
+  }
+  net::ChaosRule rule;
+  const std::string drop = flags.get_string("drop", "");
+  if (!drop.empty() && !parse_drop(drop, &rule.drop_milli)) {
+    std::cerr << "ccpr_client: bad --drop value '" << drop << "'\n";
+    return 2;
+  }
+  const std::string delay = flags.get_string("delay", "");
+  if (!delay.empty() && !server::parse_duration_token(delay, &rule.delay_us)) {
+    std::cerr << "ccpr_client: bad --delay duration '" << delay << "'\n";
+    return 2;
+  }
+  rule.rate_per_s = static_cast<std::uint32_t>(flags.get_int("rate", 0));
+  rule.partition = flags.get_bool("partition", false);
+  cli.chaos_set(rule, peer);
+  std::printf("ok\n");
+  return 0;
 }
 
 int run_wal_stat(const util::Flags& flags) {
@@ -155,7 +220,14 @@ int main(int argc, char** argv) {
     if (site_id < 0) {
       site_id = static_cast<int>(client::Client::nearest_site(*config, region));
     }
-    client::Client cli(*config, static_cast<causal::SiteId>(site_id));
+    client::Client::Options copts;
+    copts.retry.enabled = !flags.get_bool("no-retry", false);
+    copts.retry.failover = flags.get_bool("failover", false);
+    const auto deadline_ms = flags.get_int("op-deadline-ms", 0);
+    if (deadline_ms > 0) {
+      copts.retry.op_deadline = std::chrono::milliseconds(deadline_ms);
+    }
+    client::Client cli(*config, static_cast<causal::SiteId>(site_id), copts);
     const std::string& cmd = args[0];
     if (cmd == "ping") {
       cli.ping();
@@ -202,10 +274,17 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(rp.peers),
                     static_cast<unsigned long long>(rp.connected));
       }
+      if (!st.suspected_peers.empty()) {
+        std::printf("suspected:");
+        for (const auto p : st.suspected_peers) std::printf(" %u", p);
+        std::printf("\n");
+      }
     } else if (cmd == "metrics") {
       std::fputs(cli.metrics_text().c_str(), stdout);
     } else if (cmd == "bench") {
       return run_bench(cli, flags);
+    } else if (cmd == "chaos") {
+      return run_chaos(cli, args, flags);
     } else {
       return usage();
     }
