@@ -1,0 +1,234 @@
+// Value-store engine q-sweep: MapEngine vs CompactEngine at the key counts
+// the paper's partial-replication regime implies (q up to 10^6), across
+// value sizes from fully-inlined 16 B to out-of-line 4 KiB blobs.
+//
+//   build/bench/store_engine [--quick] [--out=BENCH_store_engine.json]
+//
+// For every (engine, q, value_bytes) cell the bench loads q keys, then runs
+// a seeded read loop, and reports:
+//
+//   * put/get throughput (ops/s) and per-get latency p50/p99,
+//   * resident bytes per key (the engine's own stats() estimate — the
+//     number the compact engine exists to shrink),
+//   * borrow-get vs copy-get throughput: the delta the const Value&
+//     read-path fix buys over the old copy-out accessors,
+//   * index health (mean probe length, slot count).
+//
+// Cells whose raw payload exceeds kMaxCellBytes are skipped (and listed in
+// the JSON) so the full sweep stays runnable on CI machines; --quick
+// trims the grid to the cells CI asserts on (q=10^6 @ 16 B must show the
+// compact engine >= 2x denser than the map) plus one small row per size.
+//
+// Output is one JSON document, BENCH_store_engine.json by default — the
+// first of the repo's BENCH_*.json perf-trajectory snapshots.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "store/engine/value_engine.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace ccpr;
+
+namespace {
+
+constexpr std::uint64_t kMaxCellBytes = 256ull << 20;  // raw payload cap
+
+struct CellResult {
+  store::EngineKind engine;
+  std::uint32_t q = 0;
+  std::uint32_t value_bytes = 0;
+  double put_ops_per_s = 0.0;
+  double get_ops_per_s = 0.0;
+  double get_p50_us = 0.0;
+  double get_p99_us = 0.0;
+  double copy_get_ops_per_s = 0.0;
+  double borrow_get_ops_per_s = 0.0;
+  std::uint64_t resident_bytes = 0;
+  double resident_bytes_per_key = 0.0;
+  double mean_probe = 0.0;
+  std::uint64_t index_slots = 0;
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic value payload for key x: size bytes, content varies per
+/// key so arena records are not trivially compressible/self-similar.
+std::string payload_for(causal::VarId x, std::uint32_t size) {
+  std::string data(size, 'x');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>('a' + ((x * 131 + i * 31) & 15));
+  }
+  return data;
+}
+
+CellResult run_cell(store::EngineKind kind, std::uint32_t q,
+                    std::uint32_t value_bytes, std::uint32_t get_ops) {
+  store::EngineOptions opts;
+  opts.kind = kind;
+  auto engine = store::make_engine(opts);
+
+  CellResult r;
+  r.engine = kind;
+  r.q = q;
+  r.value_bytes = value_bytes;
+
+  // ---- load phase: one put per key, engine-timed in bulk ----
+  const double put_t0 = now_s();
+  for (causal::VarId x = 0; x < q; ++x) {
+    causal::Value v;
+    v.id = causal::WriteId{0, x + 1};
+    v.lamport = x + 1;
+    v.data = payload_for(x, value_bytes);
+    engine->put(x, std::move(v));
+    if ((x & 0x3ff) == 0) engine->maintain();
+  }
+  engine->maintain();
+  r.put_ops_per_s = static_cast<double>(q) / (now_s() - put_t0);
+
+  // ---- read phase: seeded uniform gets, per-op latency ----
+  util::Rng rng(0x5eedull + q + value_bytes);
+  util::Histogram lat_us;
+  volatile std::uint64_t sink = 0;  // keep the borrow observable
+  const double get_t0 = now_s();
+  for (std::uint32_t i = 0; i < get_ops; ++i) {
+    const auto x = static_cast<causal::VarId>(rng.below(q));
+    const auto op0 = std::chrono::steady_clock::now();
+    const causal::Value* v = engine->find(x);
+    sink += v->lamport;
+    lat_us.add(std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - op0)
+                   .count());
+  }
+  const double get_dt = now_s() - get_t0;
+  r.get_ops_per_s = static_cast<double>(get_ops) / get_dt;
+  r.get_p50_us = lat_us.percentile(0.5);
+  r.get_p99_us = lat_us.percentile(0.99);
+
+  // ---- accessor-fix measurement: copy-out get vs borrowed get ----
+  // The copy loop materializes each value into a caller-owned string (what
+  // the pre-fix read path did on every hop); the borrow loop touches the
+  // value in place through the const Value* the engine hands out.
+  const std::uint32_t acc_ops = get_ops;
+  std::string copy_buf;
+  const double copy_t0 = now_s();
+  for (std::uint32_t i = 0; i < acc_ops; ++i) {
+    const auto x = static_cast<causal::VarId>(rng.below(q));
+    copy_buf.assign(engine->find(x)->data);
+    sink += copy_buf.size();
+  }
+  r.copy_get_ops_per_s = static_cast<double>(acc_ops) / (now_s() - copy_t0);
+  const double borrow_t0 = now_s();
+  for (std::uint32_t i = 0; i < acc_ops; ++i) {
+    const auto x = static_cast<causal::VarId>(rng.below(q));
+    const causal::Value* v = engine->find(x);
+    sink += v->data.size() + static_cast<std::size_t>(v->data[0]);
+  }
+  r.borrow_get_ops_per_s =
+      static_cast<double>(acc_ops) / (now_s() - borrow_t0);
+
+  const auto stats = engine->stats();
+  r.resident_bytes = stats.resident_bytes;
+  r.resident_bytes_per_key =
+      static_cast<double>(stats.resident_bytes) / static_cast<double>(q);
+  r.mean_probe = stats.mean_probe_length();
+  r.index_slots = stats.index_slots;
+  return r;
+}
+
+void append_json(std::string& out, const CellResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "    {\"engine\": \"%s\", \"q\": %u, \"value_bytes\": %u, "
+      "\"put_ops_per_s\": %.0f, \"get_ops_per_s\": %.0f, "
+      "\"get_p50_us\": %.3f, \"get_p99_us\": %.3f, "
+      "\"copy_get_ops_per_s\": %.0f, \"borrow_get_ops_per_s\": %.0f, "
+      "\"resident_bytes\": %llu, \"resident_bytes_per_key\": %.1f, "
+      "\"mean_probe\": %.3f, \"index_slots\": %llu}",
+      store::engine_kind_token(r.engine), r.q, r.value_bytes,
+      r.put_ops_per_s, r.get_ops_per_s, r.get_p50_us, r.get_p99_us,
+      r.copy_get_ops_per_s, r.borrow_get_ops_per_s,
+      static_cast<unsigned long long>(r.resident_bytes),
+      r.resident_bytes_per_key, r.mean_probe,
+      static_cast<unsigned long long>(r.index_slots));
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const std::string out_path =
+      flags.get_string("out", "BENCH_store_engine.json");
+
+  const std::uint32_t qs[] = {10'000, 100'000, 1'000'000};
+  const std::uint32_t sizes[] = {16, 256, 4096};
+
+  std::vector<CellResult> results;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> skipped;
+  for (const std::uint32_t q : qs) {
+    for (const std::uint32_t size : sizes) {
+      const std::uint64_t raw =
+          static_cast<std::uint64_t>(q) * static_cast<std::uint64_t>(size);
+      if (raw > kMaxCellBytes) {
+        std::printf("skip q=%u value_bytes=%u (raw payload %llu MB > cap)\n",
+                    q, size,
+                    static_cast<unsigned long long>(raw >> 20));
+        skipped.emplace_back(q, size);
+        continue;
+      }
+      // Quick mode: the q=10^6 @ 16 B cell CI asserts on, plus the small-q
+      // row so every value size still gets one sample.
+      const bool quick_keep =
+          q == 10'000 || (size == 16 && q == 1'000'000);
+      if (quick && !quick_keep) continue;
+      const std::uint32_t get_ops = std::min<std::uint32_t>(q, 200'000);
+      for (const auto kind :
+           {store::EngineKind::kMap, store::EngineKind::kCompact}) {
+        const auto r = run_cell(kind, q, size, get_ops);
+        std::printf(
+            "%-7s q=%-8u vsize=%-5u put=%.2fM/s get=%.2fM/s p99=%.2fus "
+            "resident/key=%.1fB probe=%.2f copy=%.2fM/s borrow=%.2fM/s\n",
+            store::engine_kind_token(kind), q, size,
+            r.put_ops_per_s / 1e6, r.get_ops_per_s / 1e6, r.get_p99_us,
+            r.resident_bytes_per_key, r.mean_probe,
+            r.copy_get_ops_per_s / 1e6, r.borrow_get_ops_per_s / 1e6);
+        results.push_back(r);
+      }
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"store_engine\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_json(json, results[i]);
+    json += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"skipped\": [";
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s{\"q\": %u, \"value_bytes\": %u}",
+                  i == 0 ? "" : ", ", skipped[i].first, skipped[i].second);
+    json += buf;
+  }
+  json += "]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "store_engine: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu cells, %zu skipped)\n", out_path.c_str(),
+              results.size(), skipped.size());
+  return 0;
+}

@@ -75,11 +75,15 @@ std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
                                          const ReplicaMap& rmap, Services svc,
                                          const ProtocolOptions& opts) {
   auto protocol = make_protocol_impl(alg, self, rmap, std::move(svc), opts);
-  if (opts.convergent || opts.fetch_timeout_us > 0) {
+  if (opts.convergent || opts.fetch_timeout_us > 0 ||
+      opts.store_engine.kind != store::EngineKind::kMap) {
     auto* base = dynamic_cast<ProtocolBase*>(protocol.get());
     CCPR_ASSERT(base != nullptr);
     base->set_convergent(opts.convergent);
     base->set_fetch_timeout(opts.fetch_timeout_us);
+    if (opts.store_engine.kind != store::EngineKind::kMap) {
+      base->configure_store_engine(opts.store_engine);
+    }
   }
   return protocol;
 }

@@ -29,6 +29,10 @@ struct ProtocolOptions {
   /// §V availability: RemoteFetch timeout before contacting a secondary
   /// replica (microseconds of virtual time; 0 disables).
   sim::SimTime fetch_timeout_us = 0;
+  /// Which value-store engine backs the local variable store, plus its
+  /// tuning (shards, inline threshold, cold-value spill). Defaults to the
+  /// reference MapEngine.
+  store::EngineOptions store_engine{};
 };
 
 std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,

@@ -19,6 +19,7 @@
 #include "net/message.hpp"
 #include "net/wire.hpp"
 #include "sim/scheduler.hpp"
+#include "store/engine/value_engine.hpp"
 
 namespace ccpr::metrics {
 struct Metrics;
@@ -151,6 +152,17 @@ class IProtocol {
   /// regenerated metadata a superset — which can only delay activation at
   /// peers, never violate causality.
   virtual void merge_all_local_meta() {}
+
+  /// The durability layer finished a WAL checkpoint for generation `gen`.
+  /// Lets the value engine rotate disk-backed state (cold-value spill
+  /// segments) in step with checkpoint generations. Counts as a protocol
+  /// entry point (single-writer contract applies). Default: no-op.
+  virtual void on_durable_checkpoint(std::uint64_t gen) { (void)gen; }
+
+  /// Value-engine statistics for this site's local store (keys, resident
+  /// bytes, probe lengths, spill traffic). Zeroed stats by default so
+  /// non-ProtocolBase implementations need not care.
+  virtual store::EngineStats store_stats() const { return {}; }
 
   /// Updates received but whose activation predicate is still false.
   virtual std::size_t pending_update_count() const = 0;

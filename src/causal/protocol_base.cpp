@@ -13,29 +13,36 @@ const Value kInitialValue{};
 ProtocolBase::ProtocolBase(SiteId self, const ReplicaMap& rmap, Services svc,
                            bool fetch_gating)
     : self_(self), rmap_(rmap), svc_(std::move(svc)),
-      fetch_gating_(fetch_gating) {
+      fetch_gating_(fetch_gating),
+      store_(store::make_engine(store::EngineOptions{})) {
   CCPR_EXPECTS(self < rmap_.sites());
   CCPR_EXPECTS(svc_.metrics != nullptr);
   CCPR_EXPECTS(static_cast<bool>(svc_.send));
   CCPR_EXPECTS(static_cast<bool>(svc_.now));
 }
 
+void ProtocolBase::configure_store_engine(const store::EngineOptions& opts) {
+  SingleCallerGuard::Scope scope(guard_);
+  CCPR_EXPECTS(store_->size() == 0 &&
+               "engine must be selected before the store is populated");
+  store_ = store::make_engine(opts);
+}
+
 const Value& ProtocolBase::stored(VarId x) const {
-  const auto it = store_.find(x);
-  return it == store_.end() ? kInitialValue : it->second;
+  const Value* v = store_->find(x);
+  return v == nullptr ? kInitialValue : *v;
 }
 
 void ProtocolBase::store_value(VarId x, Value v) {
   if (convergent_) {
     // LWW register: keep the winner under the deterministic total order on
     // (seq, writer); initial values always lose.
-    const auto it = store_.find(x);
-    if (it != store_.end() &&
-        &checker::lww_winner(it->second, v) == &it->second) {
+    const Value* cur = store_->find(x);
+    if (cur != nullptr && &checker::lww_winner(*cur, v) == cur) {
       return;
     }
   }
-  store_[x] = std::move(v);
+  store_->put(x, std::move(v));
 }
 
 void ProtocolBase::apply_value(VarId x, Value v, sim::SimTime receipt) {
@@ -78,6 +85,11 @@ net::Message ProtocolBase::make_message(net::MsgKind kind, SiteId dst,
 
 void ProtocolBase::read(VarId x, ReadContinuation k) {
   SingleCallerGuard::Scope scope(guard_);
+  read_impl(x, std::move(k));
+  if (scope.outermost()) store_->maintain();
+}
+
+void ProtocolBase::read_impl(VarId x, ReadContinuation k) {
   CCPR_EXPECTS(x < rmap_.vars());
   ++svc_.metrics->reads;
   const sim::SimTime issued = svc_.now();
@@ -138,15 +150,17 @@ void ProtocolBase::on_message(const net::Message& msg) {
   switch (msg.kind) {
     case net::MsgKind::kUpdate:
       on_update(msg);
-      return;
+      break;
     case net::MsgKind::kFetchReq:
       handle_fetch_req(msg);
-      return;
+      break;
     case net::MsgKind::kFetchResp:
       handle_fetch_resp(msg);
-      return;
+      break;
+    default:
+      CCPR_UNREACHABLE("bad message kind");
   }
-  CCPR_UNREACHABLE("bad message kind");
+  if (scope.outermost()) store_->maintain();
 }
 
 void ProtocolBase::encode_fetch_req_meta(net::Encoder&, VarId, SiteId) {}
@@ -163,11 +177,11 @@ void ProtocolBase::serialize_state(net::Encoder& enc) const {
   enc.u8(1);  // layout version
   enc.varint(write_seq_);
   enc.varint(lamport_);
-  enc.varint(store_.size());
-  for (const auto& [x, v] : store_) {
+  enc.varint(store_->size());
+  store_->for_each([&enc](VarId x, const Value& v) {
     enc.varint(x);
     encode_value(enc, v);
-  }
+  });
   serialize_meta(enc);
 }
 
@@ -178,14 +192,17 @@ bool ProtocolBase::restore_state(net::Decoder& dec) {
   lamport_ = dec.varint();
   const std::uint64_t n = dec.varint();
   if (!dec.ok()) return false;
-  store_.clear();
+  store_->clear();
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto x = static_cast<VarId>(dec.varint());
     Value v = decode_value(dec);
     if (!dec.ok()) return false;
     // Exact-state restore: bypass store_value's LWW filter on purpose.
-    store_[x] = std::move(v);
+    store_->put(x, std::move(v));
   }
+  // A restored store may exceed the engine's resident budget wholesale;
+  // let it re-establish its invariants (spill, compaction) immediately.
+  store_->maintain();
   return restore_meta(dec) && dec.ok();
 }
 

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "store/engine/value_engine.hpp"
+
 #include "causal/protocol.hpp"
 #include "causal/value_codec.hpp"
 #include "causal/replica_map.hpp"
@@ -48,6 +50,10 @@ class SingleCallerGuard {
           "concurrent IProtocol access violates the single-writer contract");
       g_.depth_ = 1;
     }
+    /// True when this scope is the outermost protocol entry on the owning
+    /// thread — the only point where no engine borrow can be live, hence
+    /// where store maintenance (compaction/spill) is legal.
+    bool outermost() const noexcept { return g_.depth_ == 1; }
     ~Scope() {
       if (--g_.depth_ == 0) {
         g_.owner_.store(std::thread::id{}, std::memory_order_release);
@@ -119,6 +125,7 @@ class ProtocolBase : public IProtocol {
   void write(VarId x, std::string data) final {
     SingleCallerGuard::Scope scope(guard_);
     do_write(x, std::move(data));
+    if (scope.outermost()) store_->maintain();
   }
   void read(VarId x, ReadContinuation k) final;
   void on_message(const net::Message& msg) final;
@@ -148,6 +155,16 @@ class ProtocolBase : public IProtocol {
   /// (virtual time), retry against the next-preferred replica. 0 disables;
   /// requires Services::schedule (otherwise silently disabled).
   void set_fetch_timeout(sim::SimTime us) noexcept { fetch_timeout_us_ = us; }
+
+  /// Swap the value engine (factory/runtime wiring). Must run before any
+  /// value lands in the store — engines do not migrate state.
+  void configure_store_engine(const store::EngineOptions& opts);
+
+  store::EngineStats store_stats() const final { return store_->stats(); }
+  void on_durable_checkpoint(std::uint64_t gen) final {
+    SingleCallerGuard::Scope scope(guard_);
+    store_->on_checkpoint(gen);
+  }
 
  protected:
   ProtocolBase(SiteId self, const ReplicaMap& rmap, Services svc,
@@ -258,6 +275,7 @@ class ProtocolBase : public IProtocol {
     sim::SimTime issued;
   };
 
+  void read_impl(VarId x, ReadContinuation k);
   void start_fetch(const std::shared_ptr<PendingRead>& pr);
   void on_fetch_timeout(std::uint64_t req_id);
   void handle_fetch_req(const net::Message& msg);
@@ -267,7 +285,11 @@ class ProtocolBase : public IProtocol {
   void complete_read(VarId x, const Value& v, sim::SimTime issued);
   void service_deferred_reads();
 
-  std::unordered_map<VarId, Value> store_;
+  // The local variable store, behind the pluggable engine interface.
+  // unique_ptr constness does not propagate, so const accessors (peek,
+  // serialize_state) may still call the engine's logically-const but
+  // physically mutating reads — safe under the single-writer contract.
+  std::unique_ptr<store::ValueEngine> store_;
   std::uint64_t write_seq_ = 0;
   std::uint64_t lamport_ = 0;
   bool convergent_ = false;

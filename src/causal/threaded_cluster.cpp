@@ -1,6 +1,7 @@
 #include "causal/threaded_cluster.hpp"
 
 #include <chrono>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -72,11 +73,14 @@ Value ThreadedCluster::read(SiteId s, VarId x) {
   Node& node = *nodes_[s];
   std::unique_lock lk(node.mu);
   std::optional<Value> result;
+  // The continuation's borrow dies with the protocol entry, so one copy
+  // into the optional is unavoidable; moving it out below keeps it the
+  // only copy on this path.
   node.proto->read(x, [&result](const Value& v) { result = v; });
   // A remote read resumes when the mailbox thread delivers the fetch
   // response; the site mutex is released while we park.
   node.cv.wait(lk, [&result] { return result.has_value(); });
-  return *result;
+  return std::move(*result);
 }
 
 std::vector<Value> ThreadedCluster::read_many(

@@ -577,6 +577,28 @@ std::string Client::metrics_text() {
   return text;
 }
 
+store::EngineStats Client::store_stat() {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kStoreStat));
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "store-stat");
+  store::EngineStats st;
+  st.kind = static_cast<store::EngineKind>(dec.u8());
+  st.keys = dec.varint();
+  st.resident_bytes = dec.varint();
+  st.index_slots = dec.varint();
+  st.lookups = dec.varint();
+  st.probes = dec.varint();
+  st.spilled_keys = dec.varint();
+  st.spill_segment_bytes = dec.varint();
+  st.spill_reads = dec.varint();
+  st.spill_writes = dec.varint();
+  st.compactions = dec.varint();
+  if (!dec.ok()) fail_protocol("store-stat: malformed response");
+  return st;
+}
+
 void Client::ping() {
   net::Encoder req;
   req.u8(static_cast<std::uint8_t>(ClientOp::kPing));

@@ -144,6 +144,9 @@ class Client {
   /// Prometheus exposition text for the session's site (merged protocol +
   /// transport counters, engine queue depths, per-peer wire stats).
   std::string metrics_text();
+  /// The site's value-store engine counters (kStoreStat): engine kind,
+  /// resident footprint, probe statistics, spill activity.
+  store::EngineStats store_stat();
   void ping();
 
   // ---- chaos administration (net/chaos.hpp over the wire) ----

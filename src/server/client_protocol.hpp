@@ -45,6 +45,12 @@
 //   kMetrics   -> ok text:bytes              (Prometheus exposition text:
 //                    merged protocol+transport counters, engine queue
 //                    depths, per-peer wire stats)
+//   kStoreStat -> ok engine:u8 keys:varint resident_bytes:varint
+//                    index_slots:varint lookups:varint probes:varint
+//                    spilled_keys:varint spill_segment_bytes:varint
+//                    spill_reads:varint spill_writes:varint
+//                    compactions:varint (the value-store engine's counter
+//                    snapshot, taken on the apply thread)
 //   kChaos     action:u8 (0 = clear all rules, 1 = set rule)
 //              [peer+1:varint drop_milli:varint delay_us:varint
 //               rate_per_s:varint partition:u8]   (set only; peer+1 = 0
@@ -77,6 +83,7 @@ enum class ClientOp : std::uint8_t {
   kStatus = 7,
   kMetrics = 8,
   kChaos = 9,
+  kStoreStat = 10,
 };
 
 enum class ClientStatus : std::uint8_t {

@@ -35,6 +35,16 @@ bool parse_u32(const std::string& tok, std::uint32_t* out) {
   return true;
 }
 
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v, 10);
+  if (ec != std::errc() || ptr != last || first == last) return false;
+  *out = v;
+  return true;
+}
+
 bool parse_u16(const std::string& tok, std::uint16_t* out) {
   std::uint32_t v = 0;
   if (!parse_u32(tok, &v) || v > 0xffff) return false;
@@ -333,6 +343,28 @@ std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
       if (!want(1) || !parse_u32(toks[1], &cfg.checkpoint_every)) {
         return fail(where() + "checkpoint-every <records>");
       }
+    } else if (kw == "store-engine") {
+      if (!want(1) ||
+          !store::parse_engine_kind(toks[1], &cfg.protocol.store_engine.kind)) {
+        return fail(where() + "store-engine map|compact");
+      }
+    } else if (kw == "store-shards") {
+      if (!want(1) ||
+          !parse_u32(toks[1], &cfg.protocol.store_engine.shards) ||
+          cfg.protocol.store_engine.shards == 0) {
+        return fail(where() + "store-shards <count>");
+      }
+    } else if (kw == "store-inline-max") {
+      if (!want(1) ||
+          !parse_u32(toks[1], &cfg.protocol.store_engine.inline_max)) {
+        return fail(where() + "store-inline-max <bytes>");
+      }
+    } else if (kw == "store-spill-budget-bytes") {
+      if (!want(1) ||
+          !parse_u64(toks[1],
+                     &cfg.protocol.store_engine.spill_budget_bytes)) {
+        return fail(where() + "store-spill-budget-bytes <bytes>");
+      }
     } else if (kw == "heartbeat-interval") {
       if (!want(1) || !parse_duration_us(toks[1], &cfg.heartbeat_interval_us) ||
           cfg.heartbeat_interval_us == 0) {
@@ -515,6 +547,20 @@ std::string ClusterConfig::to_text() const {
   }
   if (checkpoint_every > 0) {
     out << "checkpoint-every " << checkpoint_every << "\n";
+  }
+  if (protocol.store_engine.kind != store::EngineKind::kMap) {
+    out << "store-engine "
+        << store::engine_kind_token(protocol.store_engine.kind) << "\n";
+  }
+  if (protocol.store_engine.shards != store::EngineOptions{}.shards) {
+    out << "store-shards " << protocol.store_engine.shards << "\n";
+  }
+  if (protocol.store_engine.inline_max != store::EngineOptions{}.inline_max) {
+    out << "store-inline-max " << protocol.store_engine.inline_max << "\n";
+  }
+  if (protocol.store_engine.spill_budget_bytes > 0) {
+    out << "store-spill-budget-bytes "
+        << protocol.store_engine.spill_budget_bytes << "\n";
   }
   if (heartbeat_interval_us > 0) {
     out << "heartbeat-interval " << format_duration_us(heartbeat_interval_us)

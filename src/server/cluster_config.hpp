@@ -30,6 +30,13 @@
 //   catchup-interval-ms 500      # anti-entropy round period
 //   catchup-timeout-ms 2000      # restart waits this long for catch-up
 //   checkpoint-every 4096        # WAL records between checkpoints
+//   store-engine compact         # value-store engine: map (default)|compact
+//   store-shards 8               # compact engine: index shard count
+//   store-inline-max 256         # compact engine: max arena-inlined value
+//   store-spill-budget-bytes 67108864
+//                                # compact engine: resident value budget;
+//                                #   cold values spill to disk under
+//                                #   --data-dir (0 = never spill)
 #pragma once
 
 #include <cstdint>

@@ -451,6 +451,10 @@ void Durability::maybe_checkpoint(causal::IProtocol* proto) {
   if (records_since_checkpoint_ < opts_.checkpoint_every) return;
   if (wal_->checkpoint(encode_checkpoint(proto))) {
     records_since_checkpoint_ = 0;
+    // The WAL just rotated to a new generation; let the value store rotate
+    // its spill segment in step so every on-disk artifact belongs to the
+    // generation that can recover it.
+    proto->on_durable_checkpoint(wal_->generation());
   }
 }
 

@@ -68,7 +68,8 @@ std::string render_metrics_text(
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
     std::uint64_t pending_updates, const Durability::Stats& durability,
-    const std::vector<std::string>& site_regions, const HealthStats& health) {
+    const std::vector<std::string>& site_regions, const HealthStats& health,
+    const store::EngineStats& engine_stats) {
   Renderer r(site);
   // peer="<id>" plus region="<peer's region>" when the cluster is geo.
   const auto peer_label = [&site_regions](causal::SiteId peer) {
@@ -180,6 +181,40 @@ std::string render_metrics_text(
   r.gauge("ccpr_catchup_retained_msgs",
           "Stamped updates retained for catch-up across all peers",
           static_cast<double>(durability.retained_msgs));
+
+  // ---- value-store engine ----
+  r.preamble("ccpr_store_engine_info",
+             "Constant 1; the engine label names the value-store engine",
+             "gauge");
+  r.labeled("ccpr_store_engine_info",
+            std::string("engine=\"") +
+                store::engine_kind_token(engine_stats.kind) + '"',
+            1.0);
+  r.gauge("ccpr_store_keys", "Keys resident in the value store",
+          static_cast<double>(engine_stats.keys));
+  r.gauge("ccpr_store_resident_bytes",
+          "Estimated RAM attributable to the value store",
+          static_cast<double>(engine_stats.resident_bytes));
+  r.gauge("ccpr_store_index_slots", "Allocated index slots across shards",
+          static_cast<double>(engine_stats.index_slots));
+  r.counter("ccpr_store_lookups_total", "Index lookups (gets and puts)",
+            engine_stats.lookups);
+  r.counter("ccpr_store_probes_total",
+            "Index slots inspected across all lookups", engine_stats.probes);
+  r.gauge("ccpr_store_mean_probe_length",
+          "Lifetime mean probes per lookup", engine_stats.mean_probe_length());
+  r.gauge("ccpr_store_spilled_keys", "Keys currently spilled to disk",
+          static_cast<double>(engine_stats.spilled_keys));
+  r.gauge("ccpr_store_spill_segment_bytes",
+          "Size of the on-disk spill segment",
+          static_cast<double>(engine_stats.spill_segment_bytes));
+  r.counter("ccpr_store_spill_reads_total",
+            "Values promoted back from the spill segment",
+            engine_stats.spill_reads);
+  r.counter("ccpr_store_spill_writes_total",
+            "Values demoted to the spill segment", engine_stats.spill_writes);
+  r.counter("ccpr_store_compactions_total",
+            "Arena/segment compaction passes", engine_stats.compactions);
 
   // ---- per-peer wire stats ----
   r.preamble("ccpr_peer_msgs_sent_total", "Messages sent to a peer",

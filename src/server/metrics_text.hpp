@@ -40,12 +40,15 @@ struct HealthStats {
 /// `site_regions` maps site id -> region name (empty when the cluster has
 /// no topology). When present it adds `region=` labels to every
 /// `ccpr_peer_*` series and a `ccpr_site_region` info gauge for this site.
+/// `engine_stats` is the value-store engine's counter snapshot, rendered as
+/// the ccpr_store_engine_* family (the engine kind becomes a label).
 std::string render_metrics_text(
     causal::SiteId site, const metrics::Metrics& merged,
     const ProtocolEngine::QueueStats& engine,
     const std::vector<net::TcpTransport::PeerStats>& peers,
     std::uint64_t pending_updates, const Durability::Stats& durability,
     const std::vector<std::string>& site_regions = {},
-    const HealthStats& health = {});
+    const HealthStats& health = {},
+    const store::EngineStats& engine_stats = {});
 
 }  // namespace ccpr::server

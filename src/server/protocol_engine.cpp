@@ -232,6 +232,18 @@ std::optional<metrics::Metrics> ProtocolEngine::protocol_metrics() {
   return comp->wait();
 }
 
+std::optional<store::EngineStats> ProtocolEngine::store_stats() {
+  auto comp = std::make_shared<Completion<store::EngineStats>>();
+  const bool ok = enqueue(CmdKind::kStatus,
+                          [this, comp] { comp->fulfill(proto_->store_stats()); });
+  if (!ok) {
+    std::lock_guard lifecycle(lifecycle_mu_);
+    if (!quiescent()) return std::nullopt;
+    return proto_->store_stats();
+  }
+  return comp->wait();
+}
+
 bool ProtocolEngine::quiescent() const {
   std::lock_guard lk(mu_);
   return proto_ != nullptr && !running_;

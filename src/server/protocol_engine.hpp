@@ -148,6 +148,8 @@ class ProtocolEngine {
   /// Copy of the protocol-side metrics (taken on the apply thread, so it is
   /// a consistent snapshot).
   std::optional<metrics::Metrics> protocol_metrics();
+  /// Value-store engine counters (same apply-thread snapshot discipline).
+  std::optional<store::EngineStats> store_stats();
 
   // ---- non-blocking producer API ----
 

@@ -104,9 +104,22 @@ SiteServer::SiteServer(ClusterConfig config, causal::SiteId self, Options opts)
   // Lock-free atomic read; safe from the apply thread at any point in the
   // server's lifetime (health_ is sized once, below).
   svc.peer_suspected = [this](causal::SiteId s) { return peer_suspected(s); };
+  causal::ProtocolOptions popts = config_.protocol;
+  if (opts_.store_engine.has_value()) {
+    popts.store_engine.kind = *opts_.store_engine;
+  }
+  // The spill segment lives next to this site's WAL; without a data dir
+  // there is nowhere durable to put it, so the budget degrades to
+  // "never spill" rather than scribbling on the CWD.
+  if (!opts_.data_dir.empty()) {
+    popts.store_engine.spill_dir =
+        opts_.data_dir + "/spill-site-" + std::to_string(self_);
+  } else {
+    popts.store_engine.spill_budget_bytes = 0;
+  }
   engine_->adopt_protocol(
       causal::make_protocol(config_.algorithm, self_, rmap_, std::move(svc),
-                            config_.protocol),
+                            popts),
       &proto_metrics_);
 
   health_ = std::vector<PeerHealth>(config_.site_count());
@@ -592,6 +605,26 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       resp.bytes(metrics_text());
       return;
     }
+    case ClientOp::kStoreStat: {
+      const auto stats = engine_->store_stats();
+      if (!stats) {
+        status(ClientStatus::kShuttingDown);
+        return;
+      }
+      status(ClientStatus::kOk);
+      resp.u8(static_cast<std::uint8_t>(stats->kind));
+      resp.varint(stats->keys);
+      resp.varint(stats->resident_bytes);
+      resp.varint(stats->index_slots);
+      resp.varint(stats->lookups);
+      resp.varint(stats->probes);
+      resp.varint(stats->spilled_keys);
+      resp.varint(stats->spill_segment_bytes);
+      resp.varint(stats->spill_reads);
+      resp.varint(stats->spill_writes);
+      resp.varint(stats->compactions);
+      return;
+    }
     case ClientOp::kChaos: {
       const std::uint8_t action = req.u8();
       if (!req.ok() || action > 1) {
@@ -694,11 +727,13 @@ std::string SiteServer::metrics_text() const {
       site_regions.push_back(config_.topology.region_name_of(peer));
     }
   }
+  const auto eng = engine_->store_stats();
   return render_metrics_text(self_, metrics(), engine_->queue_stats(),
                              transport_->peer_stats(),
                              s ? s->pending_updates : 0,
                              d ? *d : Durability::Stats{}, site_regions,
-                             health_stats());
+                             health_stats(),
+                             eng ? *eng : store::EngineStats{});
 }
 
 }  // namespace ccpr::server

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -39,8 +40,13 @@ class SiteServer : net::IMessageSink {
   /// just means nothing survives a restart of *this* process.
   struct Options {
     /// Directory for this site's write-ahead log; empty = no persistence.
+    /// Also hosts the compact engine's spill segment (in a per-site
+    /// subdirectory); with no data dir the spill budget is forced to 0.
     std::string data_dir;
     Wal::Sync wal_sync = Wal::Sync::kAlways;
+    /// Command-line override of the cluster config's `store-engine` line
+    /// (--store-engine); unset = use the config.
+    std::optional<store::EngineKind> store_engine;
   };
 
   SiteServer(ClusterConfig config, causal::SiteId self);

@@ -108,6 +108,10 @@ class Wal {
 
   const Stats& stats() const noexcept { return stats_; }
   const std::string& path() const noexcept { return path_; }
+  /// Current generation number; bumps on every checkpoint() rotation.
+  /// Spill segments stamp this into their file names so a store engine can
+  /// tell its own generation's segments from stale ones.
+  std::uint64_t generation() const noexcept { return generation_; }
 
   /// Read-only summary of the WAL for one site under `dir` (resolved via
   /// its CURRENT file). No locks are taken: inspecting a live WAL sees

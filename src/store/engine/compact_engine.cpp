@@ -1,0 +1,688 @@
+#include "store/engine/compact_engine.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/assert.hpp"
+
+namespace ccpr::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Arena records and block-tail sentinels share one byte space: a record
+// starts with varint(var + 1), so its first byte is never 0x00.
+constexpr std::uint8_t kPadSentinel = 0;
+
+// Fixed spill record header: var, raw writer, seq, lamport, payload len.
+constexpr std::uint64_t kSpillHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::size_t put_varint(std::uint8_t* p, std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    p[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  p[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+const std::uint8_t* get_varint(const std::uint8_t* p, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*p & 0x80) {
+    v |= static_cast<std::uint64_t>(*p++ & 0x7f) << shift;
+    shift += 7;
+  }
+  v |= static_cast<std::uint64_t>(*p++) << shift;
+  *out = v;
+  return p;
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Heap bytes a std::string holds beyond the object itself. A default-
+// constructed string's capacity is the implementation's SSO limit.
+std::uint64_t string_heap_bytes(const std::string& s) {
+  static const std::uint64_t sso_capacity = std::string().capacity();
+  return s.capacity() > sso_capacity ? s.capacity() + 1 : 0;
+}
+
+std::uint64_t extern_value_bytes(const causal::Value& v) {
+  return sizeof(causal::Value) + string_heap_bytes(v.data);
+}
+
+struct ParsedRecord {
+  causal::VarId var;
+  causal::Value value;      // filled only when `decode` is set
+  std::uint64_t total = 0;  // header + payload bytes
+};
+
+// Parse the arena record at `p`. When decode is false only var/total are
+// computed (the overwrite and compaction paths need sizes, not payloads).
+void parse_record(const std::uint8_t* p, bool decode, ParsedRecord* out) {
+  const std::uint8_t* start = p;
+  std::uint64_t var1, writer1, seq, lamport, len;
+  p = get_varint(p, &var1);
+  p = get_varint(p, &writer1);
+  p = get_varint(p, &seq);
+  p = get_varint(p, &lamport);
+  p = get_varint(p, &len);
+  out->var = static_cast<causal::VarId>(var1 - 1);
+  out->total = static_cast<std::uint64_t>(p - start) + len;
+  if (decode) {
+    out->value.id.writer = writer1 == 0
+                               ? causal::kNoSite
+                               : static_cast<causal::SiteId>(writer1 - 1);
+    out->value.id.seq = seq;
+    out->value.lamport = lamport;
+    out->value.data.assign(reinterpret_cast<const char*>(p), len);
+  }
+}
+
+}  // namespace
+
+CompactEngine::CompactEngine(EngineOptions opts) : opts_(std::move(opts)) {
+  shard_count_ = round_up_pow2(opts_.shards == 0 ? 1 : opts_.shards);
+  shards_.resize(shard_count_);
+  for (auto& sh : shards_) sh.slots.resize(kInitialSlots);
+  // inline_max above one block would let a single record overflow a block;
+  // clamp well below that.
+  if (opts_.inline_max > kBlockBytes / 4) {
+    opts_.inline_max = static_cast<std::uint32_t>(kBlockBytes / 4);
+  }
+  spill_enabled_ = opts_.spill_budget_bytes > 0 && !opts_.spill_dir.empty();
+  if (spill_enabled_) {
+    std::error_code ec;
+    fs::create_directories(opts_.spill_dir, ec);
+    // Spill segments never outlive their incarnation: recovery rebuilds
+    // the full store from the WAL checkpoint + tail, so anything left on
+    // disk is stale cache from a previous process.
+    for (const auto& entry : fs::directory_iterator(opts_.spill_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("spill-", 0) == 0 &&
+          name.size() > 4 && name.substr(name.size() - 4) == ".seg") {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+}
+
+CompactEngine::~CompactEngine() {
+  close_spill_file();
+  if (spill_enabled_ && !spill_path_.empty()) {
+    std::error_code ec;
+    fs::remove(spill_path_, ec);
+  }
+}
+
+causal::Value& CompactEngine::next_scratch() {
+  causal::Value& v = scratch_[scratch_next_];
+  scratch_next_ = (scratch_next_ + 1) % kScratchSlots;
+  return v;
+}
+
+CompactEngine::Shard& CompactEngine::shard_for(causal::VarId x,
+                                               std::uint64_t* hash_out) {
+  const std::uint64_t h = mix64(x);
+  *hash_out = h;
+  return shards_[(h >> 32) & (shard_count_ - 1)];
+}
+
+std::uint32_t CompactEngine::probe(Shard& sh, causal::VarId x,
+                                   std::uint64_t h) {
+  const std::uint32_t mask =
+      static_cast<std::uint32_t>(sh.slots.size()) - 1;
+  std::uint32_t i = static_cast<std::uint32_t>(h) & mask;
+  std::uint64_t steps = 1;
+  while (sh.slots[i].key != kEmptyKey && sh.slots[i].key != x) {
+    i = (i + 1) & mask;
+    ++steps;
+  }
+  probes_ += steps;
+  return i;
+}
+
+void CompactEngine::grow(Shard& sh) {
+  std::vector<Slot> old;
+  old.swap(sh.slots);
+  sh.slots.resize(old.size() * 2);
+  const std::uint32_t mask =
+      static_cast<std::uint32_t>(sh.slots.size()) - 1;
+  for (const Slot& s : old) {
+    if (s.key == kEmptyKey) continue;
+    std::uint32_t i = static_cast<std::uint32_t>(mix64(s.key)) & mask;
+    while (sh.slots[i].key != kEmptyKey) i = (i + 1) & mask;
+    sh.slots[i] = s;
+  }
+}
+
+std::uint64_t CompactEngine::arena_append(Shard& sh, causal::VarId x,
+                                          const causal::Value& v) {
+  std::uint8_t hdr[40];
+  std::size_t n = put_varint(hdr, static_cast<std::uint64_t>(x) + 1);
+  n += put_varint(hdr + n,
+                  v.id.writer == causal::kNoSite
+                      ? 0
+                      : static_cast<std::uint64_t>(v.id.writer) + 1);
+  n += put_varint(hdr + n, v.id.seq);
+  n += put_varint(hdr + n, v.lamport);
+  n += put_varint(hdr + n, v.data.size());
+  const std::uint64_t need = n + v.data.size();
+  CCPR_ASSERT(need <= kBlockBytes);
+  std::uint64_t within = sh.arena_tail & (kBlockBytes - 1);
+  if (sh.arena_tail >= sh.blocks.size() * kBlockBytes ||
+      within + need > kBlockBytes) {
+    if (!sh.blocks.empty() && within != 0) {
+      // Unusable tail: sentinel the first byte so walkers skip the block
+      // remainder, and account it dead so compaction can reclaim it.
+      sh.blocks.back()[within] = kPadSentinel;
+      sh.dead_bytes += kBlockBytes - within;
+      sh.arena_tail += kBlockBytes - within;
+    }
+    sh.blocks.push_back(std::make_unique<std::uint8_t[]>(kBlockBytes));
+    within = 0;
+  }
+  const std::uint64_t off = sh.arena_tail;
+  std::uint8_t* dst = sh.blocks[off >> kBlockShift].get() + within;
+  std::memcpy(dst, hdr, n);
+  std::memcpy(dst + n, v.data.data(), v.data.size());
+  sh.arena_tail += need;
+  sh.live_bytes += need;
+  return off;
+}
+
+const causal::Value* CompactEngine::decode_arena(const Shard& sh,
+                                                 std::uint64_t off) {
+  const std::uint8_t* p =
+      sh.blocks[off >> kBlockShift].get() + (off & (kBlockBytes - 1));
+  ParsedRecord rec;
+  causal::Value& out = next_scratch();
+  rec.value = std::move(out);  // reuse the scratch string's capacity
+  parse_record(p, /*decode=*/true, &rec);
+  out = std::move(rec.value);
+  return &out;
+}
+
+void CompactEngine::release_location(Shard& sh, Slot& s) {
+  switch (s.tag) {
+    case kArena: {
+      const std::uint8_t* p = sh.blocks[s.loc() >> kBlockShift].get() +
+                              (s.loc() & (kBlockBytes - 1));
+      ParsedRecord rec;
+      parse_record(p, /*decode=*/false, &rec);
+      sh.live_bytes -= rec.total;
+      sh.dead_bytes += rec.total;
+      return;
+    }
+    case kExtern: {
+      const std::uint32_t idx = s.lo;
+      sh.extern_bytes -= extern_value_bytes(*sh.extern_vals[idx]);
+      // A borrow from a prior find() may still point here; defer the free
+      // to maintain(), which runs only when no borrow can be live.
+      retired_.push_back(std::move(sh.extern_vals[idx]));
+      sh.extern_free.push_back(idx);
+      return;
+    }
+    case kSpilled: {
+      std::uint8_t hdr[kSpillHeaderBytes];
+      if (::pread(spill_fd_, hdr, sizeof hdr,
+                  static_cast<off_t>(s.loc())) ==
+          static_cast<ssize_t>(sizeof hdr)) {
+        const std::uint64_t total = kSpillHeaderBytes + get_u32(hdr + 24);
+        spill_live_bytes_ -= total;
+        spill_dead_bytes_ += total;
+      }
+      --spilled_keys_;
+      return;
+    }
+  }
+  CCPR_UNREACHABLE("bad slot tag");
+}
+
+void CompactEngine::place_resident(Shard& sh, Slot& s, causal::Value v) {
+  if (v.data.size() <= opts_.inline_max) {
+    s.tag = kArena;
+    s.set_loc(arena_append(sh, s.key, v));
+    return;
+  }
+  std::uint32_t idx;
+  if (!sh.extern_free.empty()) {
+    idx = sh.extern_free.back();
+    sh.extern_free.pop_back();
+    sh.extern_vals[idx] =
+        std::make_unique<causal::Value>(std::move(v));
+  } else {
+    idx = static_cast<std::uint32_t>(sh.extern_vals.size());
+    sh.extern_vals.push_back(
+        std::make_unique<causal::Value>(std::move(v)));
+  }
+  sh.extern_bytes += extern_value_bytes(*sh.extern_vals[idx]);
+  s.tag = kExtern;
+  s.set_loc(idx);
+}
+
+void CompactEngine::put(causal::VarId x, causal::Value v) {
+  CCPR_EXPECTS(x != kEmptyKey);
+  ++lookups_;  // a put probes the index exactly like a find
+  std::uint64_t h;
+  Shard& sh = shard_for(x, &h);
+  if ((sh.used + 1) * 10 > sh.slots.size() * 7) grow(sh);
+  const std::uint32_t i = probe(sh, x, h);
+  Slot& s = sh.slots[i];
+  if (s.key == kEmptyKey) {
+    s.key = x;
+    ++sh.used;
+    ++keys_;
+  } else {
+    release_location(sh, s);
+  }
+  place_resident(sh, s, std::move(v));
+  s.flags |= kReferenced;
+}
+
+const causal::Value* CompactEngine::find(causal::VarId x) {
+  ++lookups_;
+  std::uint64_t h;
+  Shard& sh = shard_for(x, &h);
+  const std::uint32_t i = probe(sh, x, h);
+  Slot& s = sh.slots[i];
+  if (s.key == kEmptyKey) return nullptr;
+  s.flags |= kReferenced;
+  switch (s.tag) {
+    case kExtern:
+      return sh.extern_vals[s.lo].get();
+    case kArena:
+      return decode_arena(sh, s.loc());
+    case kSpilled: {
+      // Promote on read: spilled keys proved warm again become resident;
+      // the file bytes turn dead and compact away at the next rotation.
+      causal::Value v;
+      const bool ok = read_spill(s.loc(), x, &v);
+      CCPR_ASSERT(ok && "spill segment corrupt or truncated");
+      const std::uint64_t total = kSpillHeaderBytes + v.data.size();
+      spill_live_bytes_ -= total;
+      spill_dead_bytes_ += total;
+      --spilled_keys_;
+      place_resident(sh, s, std::move(v));
+      return s.tag == kExtern ? sh.extern_vals[s.lo].get()
+                              : decode_arena(sh, s.loc());
+    }
+  }
+  CCPR_UNREACHABLE("bad slot tag");
+}
+
+void CompactEngine::for_each(
+    const std::function<void(causal::VarId, const causal::Value&)>& fn) {
+  causal::Value tmp;
+  for (Shard& sh : shards_) {
+    for (Slot& s : sh.slots) {
+      if (s.key == kEmptyKey) continue;
+      switch (s.tag) {
+        case kExtern:
+          fn(s.key, *sh.extern_vals[s.lo]);
+          break;
+        case kArena: {
+          const std::uint8_t* p =
+              sh.blocks[s.loc() >> kBlockShift].get() +
+              (s.loc() & (kBlockBytes - 1));
+          ParsedRecord rec;
+          rec.value = std::move(tmp);
+          parse_record(p, /*decode=*/true, &rec);
+          tmp = std::move(rec.value);
+          fn(s.key, tmp);
+          break;
+        }
+        case kSpilled: {
+          const bool ok = read_spill(s.loc(), s.key, &tmp);
+          CCPR_ASSERT(ok && "spill segment corrupt or truncated");
+          fn(s.key, tmp);
+          break;
+        }
+        default:
+          CCPR_UNREACHABLE("bad slot tag");
+      }
+    }
+  }
+}
+
+void CompactEngine::clear() {
+  for (Shard& sh : shards_) {
+    sh.slots.assign(kInitialSlots, Slot{});
+    sh.used = 0;
+    sh.blocks.clear();
+    sh.arena_tail = 0;
+    sh.live_bytes = 0;
+    sh.dead_bytes = 0;
+    sh.extern_vals.clear();
+    sh.extern_free.clear();
+    sh.extern_bytes = 0;
+  }
+  keys_ = 0;
+  retired_.clear();
+  clock_shard_ = 0;
+  clock_slot_ = 0;
+  spilled_keys_ = 0;
+  spill_live_bytes_ = 0;
+  spill_dead_bytes_ = 0;
+  if (spill_fd_ >= 0) {
+    if (::ftruncate(spill_fd_, 0) != 0) {
+      close_spill_file();
+    }
+    spill_tail_ = 0;
+  }
+}
+
+std::uint64_t CompactEngine::resident_value_bytes() const {
+  std::uint64_t total = 0;
+  for (const Shard& sh : shards_) {
+    total += sh.blocks.size() * kBlockBytes + sh.extern_bytes;
+  }
+  return total;
+}
+
+void CompactEngine::maintain() {
+  retired_.clear();
+  if (spill_enabled_ &&
+      resident_value_bytes() > opts_.spill_budget_bytes) {
+    clock_spill();
+  }
+  for (Shard& sh : shards_) {
+    // Rewrite once garbage dominates; the floor keeps tiny shards from
+    // compacting on every overwrite.
+    if (sh.dead_bytes > kBlockBytes && sh.dead_bytes > sh.live_bytes) {
+      compact_shard(sh);
+    }
+  }
+  if (spill_dead_bytes_ > (1u << 20) &&
+      spill_dead_bytes_ > spill_live_bytes_) {
+    compact_spill();
+  }
+}
+
+void CompactEngine::clock_spill() {
+  // Two full revolutions bound the sweep: the first clears referenced
+  // bits, the second is then guaranteed to find victims.
+  std::uint64_t budget_slots = 0;
+  for (const Shard& sh : shards_) budget_slots += sh.slots.size();
+  budget_slots *= 2;
+  while (budget_slots-- > 0 &&
+         resident_value_bytes() > opts_.spill_budget_bytes) {
+    Shard& sh = shards_[clock_shard_];
+    if (clock_slot_ >= sh.slots.size()) {
+      clock_slot_ = 0;
+      clock_shard_ = (clock_shard_ + 1) % shard_count_;
+      continue;
+    }
+    Slot& s = sh.slots[clock_slot_++];
+    if (s.key == kEmptyKey || s.tag == kSpilled) continue;
+    if (s.flags & kReferenced) {
+      s.flags &= static_cast<std::uint8_t>(~kReferenced);
+      continue;
+    }
+    spill_slot(sh, s);
+  }
+  // Spilling only marks arena bytes dead; compaction releases the blocks.
+  for (Shard& sh : shards_) {
+    if (sh.dead_bytes > 0 && sh.dead_bytes >= sh.live_bytes / 2) {
+      compact_shard(sh);
+    }
+  }
+}
+
+bool CompactEngine::spill_slot(Shard& sh, Slot& s) {
+  ensure_spill_file();
+  if (spill_fd_ < 0) return false;
+  causal::Value v;
+  std::uint64_t extern_est = 0;
+  if (s.tag == kArena) {
+    const std::uint8_t* p = sh.blocks[s.loc() >> kBlockShift].get() +
+                            (s.loc() & (kBlockBytes - 1));
+    ParsedRecord rec;
+    parse_record(p, /*decode=*/true, &rec);
+    v = std::move(rec.value);
+  } else {
+    extern_est = extern_value_bytes(*sh.extern_vals[s.lo]);
+    v = std::move(*sh.extern_vals[s.lo]);
+  }
+  std::string buf;
+  buf.resize(kSpillHeaderBytes + v.data.size());
+  auto* b = reinterpret_cast<std::uint8_t*>(buf.data());
+  put_u32(b, s.key);
+  put_u32(b + 4, v.id.writer);
+  put_u64(b + 8, v.id.seq);
+  put_u64(b + 16, v.lamport);
+  put_u32(b + 24, static_cast<std::uint32_t>(v.data.size()));
+  std::memcpy(b + kSpillHeaderBytes, v.data.data(), v.data.size());
+  if (::pwrite(spill_fd_, buf.data(), buf.size(),
+               static_cast<off_t>(spill_tail_)) !=
+      static_cast<ssize_t>(buf.size())) {
+    // Disk refused (full, IO error): keep the value resident rather than
+    // lose it; the caller's budget simply won't be met.
+    if (s.tag == kExtern) *sh.extern_vals[s.lo] = std::move(v);
+    return false;
+  }
+  if (s.tag == kArena) {
+    ParsedRecord rec;
+    parse_record(sh.blocks[s.loc() >> kBlockShift].get() +
+                     (s.loc() & (kBlockBytes - 1)),
+                 /*decode=*/false, &rec);
+    sh.live_bytes -= rec.total;
+    sh.dead_bytes += rec.total;
+  } else {
+    // Runs only from maintain(), so no borrow can reference the extern
+    // value — free it directly instead of parking it in retired_.
+    sh.extern_bytes -= extern_est;
+    sh.extern_vals[s.lo].reset();
+    sh.extern_free.push_back(s.lo);
+  }
+  ++spilled_keys_;
+  s.tag = kSpilled;
+  s.set_loc(spill_tail_);
+  spill_tail_ += buf.size();
+  spill_live_bytes_ += buf.size();
+  ++spill_writes_;
+  return true;
+}
+
+bool CompactEngine::read_spill(std::uint64_t off, causal::VarId expect,
+                               causal::Value* out) {
+  std::uint8_t hdr[kSpillHeaderBytes];
+  if (::pread(spill_fd_, hdr, sizeof hdr, static_cast<off_t>(off)) !=
+      static_cast<ssize_t>(sizeof hdr)) {
+    return false;
+  }
+  if (get_u32(hdr) != expect) return false;
+  out->id.writer = get_u32(hdr + 4);
+  out->id.seq = get_u64(hdr + 8);
+  out->lamport = get_u64(hdr + 16);
+  const std::uint32_t len = get_u32(hdr + 24);
+  out->data.resize(len);
+  if (len > 0 &&
+      ::pread(spill_fd_, out->data.data(), len,
+              static_cast<off_t>(off + kSpillHeaderBytes)) !=
+          static_cast<ssize_t>(len)) {
+    return false;
+  }
+  ++spill_reads_;
+  return true;
+}
+
+void CompactEngine::compact_shard(Shard& sh) {
+  std::vector<std::unique_ptr<std::uint8_t[]>> old_blocks;
+  old_blocks.swap(sh.blocks);
+  const std::uint64_t old_tail = sh.arena_tail;
+  sh.arena_tail = 0;
+  sh.live_bytes = 0;
+  sh.dead_bytes = 0;
+  const std::uint32_t mask =
+      static_cast<std::uint32_t>(sh.slots.size()) - 1;
+  std::uint64_t off = 0;
+  ParsedRecord rec;
+  while (off < old_tail) {
+    const std::uint64_t within = off & (kBlockBytes - 1);
+    const std::uint8_t* p =
+        old_blocks[off >> kBlockShift].get() + within;
+    if (*p == kPadSentinel) {
+      off = (off & ~(kBlockBytes - 1)) + kBlockBytes;  // skip block tail
+      continue;
+    }
+    parse_record(p, /*decode=*/true, &rec);
+    // Live iff the index still points at this exact record.
+    std::uint32_t i = static_cast<std::uint32_t>(mix64(rec.var)) & mask;
+    while (sh.slots[i].key != kEmptyKey && sh.slots[i].key != rec.var) {
+      i = (i + 1) & mask;
+    }
+    Slot& s = sh.slots[i];
+    if (s.key == rec.var && s.tag == kArena && s.loc() == off) {
+      s.set_loc(arena_append(sh, rec.var, rec.value));
+    }
+    off += rec.total;
+  }
+  ++compactions_;
+}
+
+void CompactEngine::compact_spill() {
+  if (spill_fd_ < 0 || spilled_keys_ == 0) {
+    // Nothing live on disk: drop the segment entirely.
+    if (spill_fd_ >= 0) {
+      close_spill_file();
+      std::error_code ec;
+      fs::remove(spill_path_, ec);
+      spill_path_.clear();
+    }
+    spill_tail_ = 0;
+    spill_live_bytes_ = 0;
+    spill_dead_bytes_ = 0;
+    return;
+  }
+  const int old_fd = spill_fd_;
+  const std::string old_path = spill_path_;
+  spill_fd_ = -1;
+  spill_path_.clear();
+  spill_tail_ = 0;
+  spill_live_bytes_ = 0;
+  spill_dead_bytes_ = 0;
+  const std::uint64_t live_before = spilled_keys_;
+  causal::Value v;
+  for (Shard& sh : shards_) {
+    for (Slot& s : sh.slots) {
+      if (s.key == kEmptyKey || s.tag != kSpilled) continue;
+      std::uint8_t hdr[kSpillHeaderBytes];
+      bool ok = ::pread(old_fd, hdr, sizeof hdr,
+                        static_cast<off_t>(s.loc())) ==
+                static_cast<ssize_t>(sizeof hdr);
+      std::uint32_t len = ok ? get_u32(hdr + 24) : 0;
+      std::string payload;
+      if (ok && len > 0) {
+        payload.resize(len);
+        ok = ::pread(old_fd, payload.data(), len,
+                     static_cast<off_t>(s.loc() + kSpillHeaderBytes)) ==
+             static_cast<ssize_t>(len);
+      }
+      CCPR_ASSERT(ok && "spill segment corrupt during compaction");
+      ensure_spill_file();
+      CCPR_ASSERT(spill_fd_ >= 0);
+      std::string buf;
+      buf.reserve(kSpillHeaderBytes + len);
+      buf.append(reinterpret_cast<const char*>(hdr), kSpillHeaderBytes);
+      buf.append(payload);
+      const bool wrote =
+          ::pwrite(spill_fd_, buf.data(), buf.size(),
+                   static_cast<off_t>(spill_tail_)) ==
+          static_cast<ssize_t>(buf.size());
+      CCPR_ASSERT(wrote && "spill rewrite failed");
+      s.set_loc(spill_tail_);
+      spill_tail_ += buf.size();
+      spill_live_bytes_ += buf.size();
+    }
+  }
+  CCPR_ASSERT(spilled_keys_ == live_before);
+  ::close(old_fd);
+  std::error_code ec;
+  fs::remove(old_path, ec);
+  ++compactions_;
+}
+
+void CompactEngine::on_checkpoint(std::uint64_t gen) {
+  last_checkpoint_gen_ = gen;
+  if (!spill_enabled_) return;
+  // Rotate the segment when it carries garbage, so on-disk state tracks
+  // checkpoint generations: after this returns, at most one live segment
+  // exists and it is stamped with the current generation.
+  if (spill_dead_bytes_ > 0) compact_spill();
+}
+
+void CompactEngine::ensure_spill_file() {
+  if (spill_fd_ >= 0 || !spill_enabled_) return;
+  spill_path_ = opts_.spill_dir + "/spill-g" +
+                std::to_string(last_checkpoint_gen_) + "-" +
+                std::to_string(spill_file_seq_++) + ".seg";
+  spill_fd_ = ::open(spill_path_.c_str(),
+                     O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  spill_tail_ = 0;
+}
+
+void CompactEngine::close_spill_file() {
+  if (spill_fd_ >= 0) {
+    ::close(spill_fd_);
+    spill_fd_ = -1;
+  }
+}
+
+EngineStats CompactEngine::stats() const {
+  EngineStats st;
+  st.kind = EngineKind::kCompact;
+  st.keys = keys_;
+  st.lookups = lookups_;
+  st.probes = probes_;
+  st.spilled_keys = spilled_keys_;
+  st.spill_segment_bytes = spill_tail_;
+  st.spill_reads = spill_reads_;
+  st.spill_writes = spill_writes_;
+  st.compactions = compactions_;
+  std::uint64_t resident = resident_value_bytes();
+  for (const Shard& sh : shards_) {
+    st.index_slots += sh.slots.size();
+    resident += sh.slots.size() * sizeof(Slot);
+    resident += sh.extern_vals.capacity() * sizeof(void*);
+  }
+  for (const causal::Value& v : scratch_) {
+    resident += string_heap_bytes(v.data);
+  }
+  st.resident_bytes = resident;
+  return st;
+}
+
+}  // namespace ccpr::store

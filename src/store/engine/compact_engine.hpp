@@ -1,0 +1,149 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/engine/value_engine.hpp"
+
+namespace ccpr::store {
+
+// Memory-lean engine for the q=10^6 regime.
+//
+// Layout, per shard (shard chosen by hashing the VarId):
+//
+//   index   open-addressing linear-probe table of 12-byte slots
+//           { key, 48-bit location, tag, flags }, power-of-two capacity,
+//           grown at 70% load. No deletes, so no tombstones.
+//   arena   append-only 64 KiB blocks of varint-encoded records
+//           [var+1][writer+1][seq][lamport][len][payload] for values with
+//           payload <= inline_max. Overwrites mark the old record dead;
+//           maintain() rewrites a shard once dead bytes dominate. A 0x00
+//           byte marks an unusable block tail (var+1 is never 0).
+//   extern  larger payloads live as individually heap-allocated Values
+//           with stable addresses, so find() returns them without copying.
+//
+// Cold-value spill (optional): when resident value bytes exceed
+// `spill_budget_bytes`, maintain() runs a CLOCK hand over the slots —
+// finds set a referenced bit, the hand clears it, and an unreferenced
+// value is appended to a disk segment file, its slot retagged kSpilled
+// with the file offset. A find() on a spilled key promotes it back to
+// resident. Segment files are named after the WAL checkpoint generation
+// current at creation (`spill-g<gen>-<n>.seg`); on_checkpoint() compacts
+// out dead spill bytes into a fresh generation-stamped segment, and the
+// constructor deletes stale segments from earlier incarnations — spill
+// files are an incarnation-scoped overflow area, never a recovery source
+// (checkpoints serialize spilled values back in through for_each()).
+//
+// Arena/spilled reads materialize into a ring of kScratchSlots reusable
+// Values; see the reference-stability contract in value_engine.hpp.
+class CompactEngine final : public ValueEngine {
+ public:
+  explicit CompactEngine(EngineOptions opts);
+  ~CompactEngine() override;
+
+  void put(causal::VarId x, causal::Value v) override;
+  const causal::Value* find(causal::VarId x) override;
+  std::uint64_t size() const override { return keys_; }
+  void for_each(const std::function<void(causal::VarId, const causal::Value&)>&
+                    fn) override;
+  void clear() override;
+  void maintain() override;
+  void on_checkpoint(std::uint64_t gen) override;
+  EngineStats stats() const override;
+  EngineKind kind() const override { return EngineKind::kCompact; }
+
+  static constexpr std::uint32_t kScratchSlots = 8;
+
+ private:
+  enum Tag : std::uint8_t { kArena = 1, kExtern = 2, kSpilled = 3 };
+  enum Flag : std::uint8_t { kReferenced = 1 };
+  static constexpr causal::VarId kEmptyKey = 0xffffffffu;
+  static constexpr std::uint32_t kBlockShift = 16;  // 64 KiB arena blocks
+  static constexpr std::uint64_t kBlockBytes = 1ull << kBlockShift;
+  static constexpr std::uint32_t kInitialSlots = 64;
+
+  struct Slot {
+    causal::VarId key = kEmptyKey;
+    std::uint32_t lo = 0;   // location bits [0,32)
+    std::uint16_t hi = 0;   // location bits [32,48)
+    std::uint8_t tag = 0;
+    std::uint8_t flags = 0;
+
+    std::uint64_t loc() const {
+      return static_cast<std::uint64_t>(hi) << 32 | lo;
+    }
+    void set_loc(std::uint64_t v) {
+      lo = static_cast<std::uint32_t>(v);
+      hi = static_cast<std::uint16_t>(v >> 32);
+    }
+  };
+  static_assert(sizeof(Slot) == 12, "slot packing regressed");
+
+  struct Shard {
+    std::vector<Slot> slots;
+    std::uint64_t used = 0;
+    std::vector<std::unique_ptr<std::uint8_t[]>> blocks;
+    std::uint64_t arena_tail = 0;  // logical offset of the next free byte
+    std::uint64_t live_bytes = 0;  // arena record bytes the index points at
+    std::uint64_t dead_bytes = 0;  // superseded records + block-tail waste
+    std::vector<std::unique_ptr<causal::Value>> extern_vals;
+    std::vector<std::uint32_t> extern_free;
+    std::uint64_t extern_bytes = 0;
+  };
+
+  Shard& shard_for(causal::VarId x, std::uint64_t* hash_out);
+  std::uint32_t probe(Shard& sh, causal::VarId x, std::uint64_t h);
+  void grow(Shard& sh);
+  std::uint64_t arena_append(Shard& sh, causal::VarId x,
+                             const causal::Value& v);
+  const causal::Value* decode_arena(const Shard& sh, std::uint64_t off);
+  void release_location(Shard& sh, Slot& s);
+  void place_resident(Shard& sh, Slot& s, causal::Value v);
+  void compact_shard(Shard& sh);
+  std::uint64_t resident_value_bytes() const;
+  void clock_spill();
+  bool spill_slot(Shard& sh, Slot& s);
+  void compact_spill();
+  bool read_spill(std::uint64_t off, causal::VarId expect,
+                  causal::Value* out);
+  void ensure_spill_file();
+  void close_spill_file();
+  causal::Value& next_scratch();
+
+  EngineOptions opts_;
+  std::uint32_t shard_count_;  // power of two
+  std::vector<Shard> shards_;
+  std::uint64_t keys_ = 0;
+
+  std::array<causal::Value, kScratchSlots> scratch_;
+  std::uint32_t scratch_next_ = 0;
+  // Out-of-line values displaced while a borrow may still reference them;
+  // freed at the next maintain() (outermost entry, no live borrows).
+  std::vector<std::unique_ptr<causal::Value>> retired_;
+
+  // CLOCK hand position for the spill sweep.
+  std::uint32_t clock_shard_ = 0;
+  std::uint32_t clock_slot_ = 0;
+
+  bool spill_enabled_ = false;
+  int spill_fd_ = -1;
+  std::string spill_path_;
+  std::uint64_t spill_tail_ = 0;
+  std::uint64_t spill_live_bytes_ = 0;
+  std::uint64_t spill_dead_bytes_ = 0;
+  std::uint64_t last_checkpoint_gen_ = 0;
+  std::uint64_t spill_file_seq_ = 0;
+
+  // Lifetime counters for stats().
+  std::uint64_t lookups_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t spilled_keys_ = 0;
+  std::uint64_t spill_reads_ = 0;
+  std::uint64_t spill_writes_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace ccpr::store

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "store/engine/value_engine.hpp"
+
+namespace ccpr::store {
+
+// The original ProtocolBase container, extracted verbatim: a plain
+// unordered_map. Simple, reference-stable across rehash, and the oracle
+// the differential tests hold CompactEngine against. Its stats() report
+// an honest estimate of what that simplicity costs per key.
+class MapEngine final : public ValueEngine {
+ public:
+  void put(causal::VarId x, causal::Value v) override {
+    ++lookups_;  // keep probe stats comparable with CompactEngine's
+    store_[x] = std::move(v);
+  }
+
+  const causal::Value* find(causal::VarId x) override {
+    ++lookups_;
+    const auto it = store_.find(x);
+    return it == store_.end() ? nullptr : &it->second;
+  }
+
+  std::uint64_t size() const override { return store_.size(); }
+
+  void for_each(const std::function<void(causal::VarId, const causal::Value&)>&
+                    fn) override {
+    for (const auto& [x, v] : store_) fn(x, v);
+  }
+
+  void clear() override { store_.clear(); }
+
+  void maintain() override {}
+  void on_checkpoint(std::uint64_t) override {}
+
+  EngineStats stats() const override;
+  EngineKind kind() const override { return EngineKind::kMap; }
+
+ private:
+  std::unordered_map<causal::VarId, causal::Value> store_;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace ccpr::store

@@ -1,0 +1,71 @@
+#include "store/engine/value_engine.hpp"
+
+#include "store/engine/compact_engine.hpp"
+#include "store/engine/map_engine.hpp"
+#include "util/assert.hpp"
+
+namespace ccpr::store {
+
+const char* engine_kind_token(EngineKind k) {
+  switch (k) {
+    case EngineKind::kMap:
+      return "map";
+    case EngineKind::kCompact:
+      return "compact";
+  }
+  CCPR_UNREACHABLE("bad engine kind");
+}
+
+bool parse_engine_kind(const std::string& text, EngineKind* out) {
+  if (text == "map") {
+    *out = EngineKind::kMap;
+    return true;
+  }
+  if (text == "compact") {
+    *out = EngineKind::kCompact;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<ValueEngine> make_engine(const EngineOptions& opts) {
+  switch (opts.kind) {
+    case EngineKind::kMap:
+      return std::make_unique<MapEngine>();
+    case EngineKind::kCompact:
+      return std::make_unique<CompactEngine>(opts);
+  }
+  CCPR_UNREACHABLE("bad engine kind");
+}
+
+EngineStats MapEngine::stats() const {
+  EngineStats st;
+  st.kind = EngineKind::kMap;
+  st.keys = store_.size();
+  st.index_slots = store_.bucket_count();
+  st.lookups = lookups_;
+  st.probes = lookups_;  // hashed direct hit, by construction
+  // Estimate what the node-based map actually costs per key: the bucket
+  // array, one heap node per entry (next pointer + pair + allocator
+  // header), and the value string's heap block when it outgrew SSO.
+  constexpr std::uint64_t kNodeBytes =
+      sizeof(void*) + sizeof(std::pair<const causal::VarId, causal::Value>);
+  constexpr std::uint64_t kMallocHeader = 16;
+  std::uint64_t resident =
+      store_.bucket_count() * sizeof(void*) +
+      store_.size() * (kNodeBytes + kMallocHeader);
+  // A default-constructed string's capacity is exactly the running
+  // implementation's SSO limit (15 on libstdc++, 22 on libc++); anything
+  // above it lives in its own heap block.
+  const std::uint64_t sso_capacity = std::string().capacity();
+  for (const auto& [x, v] : store_) {
+    (void)x;
+    if (v.data.capacity() > sso_capacity) {
+      resident += v.data.capacity() + 1 + kMallocHeader;
+    }
+  }
+  st.resident_bytes = resident;
+  return st;
+}
+
+}  // namespace ccpr::store

@@ -27,7 +27,8 @@ void GeoStore::Session::put(std::string_view key, std::string value) {
 }
 
 std::string GeoStore::Session::get(std::string_view key) {
-  return store_->cluster_.read(site_, store_->keys_.intern(key)).data;
+  auto v = store_->cluster_.read(site_, store_->keys_.intern(key));
+  return std::move(v.data);
 }
 
 void GeoStore::Session::migrate(causal::SiteId new_site) {

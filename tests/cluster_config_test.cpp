@@ -249,6 +249,45 @@ TEST(ClusterConfigTest, DurabilityKeysParseAndRoundTrip) {
   EXPECT_EQ(base->to_text().find("catchup-"), std::string::npos);
 }
 
+TEST(ClusterConfigTest, StoreEngineKeysParseAndRoundTrip) {
+  const std::string text = std::string(kBasic) +
+                           "store-engine compact\n"
+                           "store-shards 16\n"
+                           "store-inline-max 128\n"
+                           "store-spill-budget-bytes 67108864\n";
+  std::string error;
+  const auto cfg = ClusterConfig::parse(text, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto& eng = cfg->protocol.store_engine;
+  EXPECT_EQ(eng.kind, store::EngineKind::kCompact);
+  EXPECT_EQ(eng.shards, 16u);
+  EXPECT_EQ(eng.inline_max, 128u);
+  EXPECT_EQ(eng.spill_budget_bytes, 67108864u);
+  const auto again = ClusterConfig::parse(cfg->to_text(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_text(), cfg->to_text());
+  EXPECT_EQ(again->protocol.store_engine.kind, store::EngineKind::kCompact);
+
+  // The default engine is implicit: no store-* keys in serialized output.
+  const auto base = ClusterConfig::parse(kBasic, &error);
+  ASSERT_TRUE(base.has_value()) << error;
+  EXPECT_EQ(base->protocol.store_engine.kind, store::EngineKind::kMap);
+  EXPECT_EQ(base->to_text().find("store-"), std::string::npos);
+
+  // Malformed values are rejected with the offending keyword named.
+  const char* bad[] = {
+      "store-engine lsm\n",
+      "store-shards 0\n",
+      "store-inline-max many\n",
+      "store-spill-budget-bytes -1\n",
+  };
+  for (const auto* line : bad) {
+    EXPECT_FALSE(
+        ClusterConfig::parse(std::string(kBasic) + line, &error).has_value())
+        << line;
+  }
+}
+
 constexpr const char* kGeo = R"(
 algorithm opt-track
 vars 6
@@ -417,6 +456,20 @@ ClusterConfig random_config(util::Rng& rng) {
   cfg.catchup_interval_ms = opt_u32(0.5);
   cfg.catchup_timeout_ms = opt_u32(0.5);
   cfg.checkpoint_every = opt_u32(0.5);
+  if (rng.chance(0.5)) {
+    cfg.protocol.store_engine.kind = store::EngineKind::kCompact;
+  }
+  if (rng.chance(0.4)) {
+    cfg.protocol.store_engine.shards =
+        static_cast<std::uint32_t>(1 + rng.below(64));
+  }
+  if (rng.chance(0.4)) {
+    cfg.protocol.store_engine.inline_max =
+        static_cast<std::uint32_t>(rng.below(4096));
+  }
+  if (rng.chance(0.4)) {
+    cfg.protocol.store_engine.spill_budget_bytes = 1 + rng.below(1u << 28);
+  }
   return cfg;
 }
 
@@ -458,6 +511,18 @@ TEST(ClusterConfigTest, EveryFieldRoundTripsProperty) {
     EXPECT_EQ(back->catchup_interval_ms, cfg.catchup_interval_ms) << text;
     EXPECT_EQ(back->catchup_timeout_ms, cfg.catchup_timeout_ms) << text;
     EXPECT_EQ(back->checkpoint_every, cfg.checkpoint_every) << text;
+    EXPECT_EQ(back->protocol.store_engine.kind,
+              cfg.protocol.store_engine.kind)
+        << text;
+    EXPECT_EQ(back->protocol.store_engine.shards,
+              cfg.protocol.store_engine.shards)
+        << text;
+    EXPECT_EQ(back->protocol.store_engine.inline_max,
+              cfg.protocol.store_engine.inline_max)
+        << text;
+    EXPECT_EQ(back->protocol.store_engine.spill_budget_bytes,
+              cfg.protocol.store_engine.spill_budget_bytes)
+        << text;
     // And serialization is a fixed point.
     EXPECT_EQ(back->to_text(), text);
   }

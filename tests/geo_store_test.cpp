@@ -18,6 +18,24 @@ KeySpace three_keys() {
   return KeySpace({"alice:wall", "bob:wall", "carol:wall"});
 }
 
+// GeoStore behavior must be engine-independent: every test below runs once
+// per value-store engine, selected through ProtocolOptions.
+class GeoStoreTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  GeoStore::Options with_engine(GeoStore::Options opts = {}) const {
+    opts.protocol.store_engine.kind = GetParam();
+    opts.protocol.store_engine.shards = 2;  // tiny tables, more edge cases
+    return opts;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Engines, GeoStoreTest,
+                         ::testing::Values(EngineKind::kMap,
+                                           EngineKind::kCompact),
+                         [](const auto& info) {
+                           return std::string(engine_kind_token(info.param));
+                         });
+
 TEST(KeySpaceTest, InternsRegisteredKeys) {
   const KeySpace ks({"a", "b", "c"});
   EXPECT_EQ(ks.size(), 3u);
@@ -115,16 +133,16 @@ TEST(RegionPlacementTest, SingleRegionIsRoundRobin) {
   }
 }
 
-TEST(GeoStoreTest, PutThenGetSameSession) {
-  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2));
+TEST_P(GeoStoreTest, PutThenGetSameSession) {
+  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2), with_engine());
   auto s = store.session(0);
   s.put("alice:wall", "first post!");
   EXPECT_EQ(s.get("alice:wall"), "first post!");
   store.flush();
 }
 
-TEST(GeoStoreTest, CrossSessionVisibilityAfterFlush) {
-  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2));
+TEST_P(GeoStoreTest, CrossSessionVisibilityAfterFlush) {
+  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2), with_engine());
   auto a = store.session(0);
   auto b = store.session(2);
   a.put("alice:wall", "hello from 0");
@@ -132,17 +150,17 @@ TEST(GeoStoreTest, CrossSessionVisibilityAfterFlush) {
   EXPECT_EQ(b.get("alice:wall"), "hello from 0");
 }
 
-TEST(GeoStoreTest, UnwrittenKeyReadsEmpty) {
-  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2));
+TEST_P(GeoStoreTest, UnwrittenKeyReadsEmpty) {
+  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2), with_engine());
   EXPECT_EQ(store.session(1).get("bob:wall"), "");
 }
 
-TEST(GeoStoreTest, CausalAcrossKeysAndSessions) {
+TEST_P(GeoStoreTest, CausalAcrossKeysAndSessions) {
   // The classic comment-after-post pattern, checked end to end.
   GeoStore::Options opts;
   opts.algorithm = Algorithm::kOptTrack;
   opts.max_delay_us = 200;
-  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2), opts);
+  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 2), with_engine(opts));
   auto alice = store.session(0);
   auto bob = store.session(1);
   alice.put("alice:wall", "photo");
@@ -157,8 +175,8 @@ TEST(GeoStoreTest, CausalAcrossKeysAndSessions) {
   for (const auto& v : result.violations) ADD_FAILURE() << v;
 }
 
-TEST(GeoStoreTest, ConvergenceAuditAfterQuiescence) {
-  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 3));
+TEST_P(GeoStoreTest, ConvergenceAuditAfterQuiescence) {
+  GeoStore store(three_keys(), ReplicaMap::even(3, 3, 3), with_engine());
   store.session(0).put("alice:wall", "a");
   store.session(1).put("bob:wall", "b");
   store.flush();
@@ -167,13 +185,13 @@ TEST(GeoStoreTest, ConvergenceAuditAfterQuiescence) {
   EXPECT_TRUE(report.converged());
 }
 
-TEST(GeoStoreTest, ConcurrentSessionsRemainCausal) {
+TEST_P(GeoStoreTest, ConcurrentSessionsRemainCausal) {
   GeoStore::Options opts;
   opts.algorithm = Algorithm::kOptTrack;
   opts.max_delay_us = 300;
   std::vector<std::string> keys;
   for (int i = 0; i < 8; ++i) keys.push_back("k" + std::to_string(i));
-  GeoStore store(KeySpace(keys), ReplicaMap::even(4, 8, 2), opts);
+  GeoStore store(KeySpace(keys), ReplicaMap::even(4, 8, 2), with_engine(opts));
   std::vector<std::thread> clients;
   for (causal::SiteId s = 0; s < 4; ++s) {
     clients.emplace_back([&store, s] {

@@ -39,6 +39,7 @@
 #include "net/socket.hpp"
 #include "server/cluster_config.hpp"
 #include "server/durability.hpp"
+#include "store/engine/value_engine.hpp"
 #include "util/rng.hpp"
 
 namespace ccpr {
@@ -150,6 +151,32 @@ void run_session(const server::ClusterConfig& cfg, causal::SiteId site,
   }
 }
 
+// The whole durability path must be engine-independent: each test runs
+// once per value-store engine. The compact runs use deliberately hostile
+// tuning — tiny shards, a 1-byte spill budget (every cold value spills)
+// and frequent checkpoints — so kill/restart recovery exercises the WAL
+// and the spill segment together.
+class TcpPersistenceTest : public ::testing::TestWithParam<store::EngineKind> {
+ protected:
+  void apply_engine(server::ClusterConfig& cfg) const {
+    cfg.protocol.store_engine.kind = GetParam();
+    if (GetParam() == store::EngineKind::kCompact) {
+      cfg.protocol.store_engine.shards = 2;
+      cfg.protocol.store_engine.inline_max = 32;
+      cfg.protocol.store_engine.spill_budget_bytes = 1;
+      cfg.checkpoint_every = 64;  // frequent spill-segment rotations
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Engines, TcpPersistenceTest,
+                         ::testing::Values(store::EngineKind::kMap,
+                                           store::EngineKind::kCompact),
+                         [](const auto& info) {
+                           return std::string(
+                               store::engine_kind_token(info.param));
+                         });
+
 /// Value of a counter/gauge sample (`name{labels} value`) in Prometheus
 /// exposition text, or -1 when absent.
 double parse_metric(const std::string& text, const std::string& name) {
@@ -169,7 +196,7 @@ double parse_metric(const std::string& text, const std::string& name) {
   return -1.0;
 }
 
-TEST(TcpPersistenceTest, KillRestartCatchesUpAndConverges) {
+TEST_P(TcpPersistenceTest, KillRestartCatchesUpAndConverges) {
   const auto ports = pick_ports(6);
   // 13 vars, but workload sessions write only vars [0, 12): var 12 is a
   // sentinel reserved for the pre-kill durability probe, placed at the
@@ -200,6 +227,7 @@ TEST(TcpPersistenceTest, KillRestartCatchesUpAndConverges) {
   // Client-paced live traffic keeps queue depth near 1, so the cap never
   // binds while all sites are up.
   cfg.peer_queue_cap = 32;
+  apply_engine(cfg);
 
   char path[] = "/tmp/ccpr_persist_cfg_XXXXXX";
   const int cfd = ::mkstemp(path);
@@ -292,6 +320,16 @@ TEST(TcpPersistenceTest, KillRestartCatchesUpAndConverges) {
     }
     EXPECT_GT(caught_up, 0.0);
     EXPECT_EQ(parse_metric(probe.metrics_text(), "ccpr_wal_enabled"), 1.0);
+
+    // The kStoreStat admin op reflects the configured engine, and WAL
+    // recovery repopulated it. Under the 1-byte spill budget the compact
+    // engine must have demoted recovered values to its spill segment.
+    const auto st = probe.store_stat();
+    EXPECT_EQ(st.kind, GetParam());
+    EXPECT_GT(st.keys, 0u);
+    if (GetParam() == store::EngineKind::kCompact) {
+      EXPECT_GT(st.spill_writes, 0u);
+    }
   }
 
   // Phase 3: all three sites take recorded traffic again — including the
@@ -353,12 +391,13 @@ TEST(TcpPersistenceTest, KillRestartCatchesUpAndConverges) {
   EXPECT_NE(text.find("records"), std::string::npos);
 }
 
-TEST(TcpPersistenceTest, BatchSyncSurvivesSigkill) {
+TEST_P(TcpPersistenceTest, BatchSyncSurvivesSigkill) {
   const auto ports = pick_ports(2);
   auto cfg = server::ClusterConfig::loopback(1, 4, 1, 0);
   cfg.sites[0].peer_port = ports[0];
   cfg.sites[0].client_port = ports[1];
   cfg.algorithm = causal::Algorithm::kOptTrack;
+  apply_engine(cfg);
 
   char path[] = "/tmp/ccpr_persist_cfg_XXXXXX";
   const int cfd = ::mkstemp(path);

@@ -23,6 +23,9 @@
 //                            position, per-peer durable watermarks); needs
 //                            --data-dir=<path> --site=<id> but no running
 //                            server and no --config
+//   store-stat               the site's value-store engine counters:
+//                            engine kind, keys, resident bytes, probe
+//                            length, spill activity (live server query)
 //   chaos clear              remove every fault-injection rule on the site
 //   chaos set <peer|all>     install a fault rule on the site's link(s):
 //       [--drop=<p>]         drop probability (0.25 or permille like 250)
@@ -51,7 +54,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ccpr_client --config=<path> --site=<id> "
-               "ping|put|get|snapshot|status|metrics|bench|chaos ...\n"
+               "ping|put|get|snapshot|status|metrics|store-stat|bench|"
+               "chaos ...\n"
                "       ccpr_client --config=<path> --region=<name> <cmd> ...\n"
                "       ccpr_client --data-dir=<path> --site=<id> wal-stat\n"
                "(--region picks the nearest site of a geo config; --site "
@@ -281,6 +285,23 @@ int main(int argc, char** argv) {
       }
     } else if (cmd == "metrics") {
       std::fputs(cli.metrics_text().c_str(), stdout);
+    } else if (cmd == "store-stat") {
+      const auto st = cli.store_stat();
+      std::printf(
+          "engine=%s keys=%llu resident_bytes=%llu index_slots=%llu "
+          "mean_probe=%.2f\n"
+          "spilled_keys=%llu spill_segment_bytes=%llu spill_reads=%llu "
+          "spill_writes=%llu compactions=%llu\n",
+          store::engine_kind_token(st.kind),
+          static_cast<unsigned long long>(st.keys),
+          static_cast<unsigned long long>(st.resident_bytes),
+          static_cast<unsigned long long>(st.index_slots),
+          st.mean_probe_length(),
+          static_cast<unsigned long long>(st.spilled_keys),
+          static_cast<unsigned long long>(st.spill_segment_bytes),
+          static_cast<unsigned long long>(st.spill_reads),
+          static_cast<unsigned long long>(st.spill_writes),
+          static_cast<unsigned long long>(st.compactions));
     } else if (cmd == "bench") {
       return run_bench(cli, flags);
     } else if (cmd == "chaos") {

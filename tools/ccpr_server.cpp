@@ -9,6 +9,9 @@
 //   --wal-sync=always|batch
 //                      fsync every append (power-loss safe) or only at
 //                      checkpoints/anti-entropy rounds (kill-safe)
+//   --store-engine=map|compact
+//                      value-store engine override; omit to use the
+//                      config's `store-engine` line (default map)
 //   --print-config     echo the parsed config and exit
 //   --check-config     parse + validate, print the resolved topology and
 //                      exit 0; any config error exits non-zero (CI lints
@@ -95,6 +98,15 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "ccpr_server: --wal-sync must be 'always' or 'batch'\n";
     return 2;
+  }
+  const std::string engine = flags.get_string("store-engine", "");
+  if (!engine.empty()) {
+    store::EngineKind kind;
+    if (!store::parse_engine_kind(engine, &kind)) {
+      std::cerr << "ccpr_server: --store-engine must be 'map' or 'compact'\n";
+      return 2;
+    }
+    sopts.store_engine = kind;
   }
 
   // Block the shutdown signals before starting so none can slip into the
