@@ -1,0 +1,207 @@
+// Shard-scaling sweep: apply throughput and put latency of one TCP site
+// vs engine-shard count × concurrent client sessions.
+//
+//   build/bench/shard_scale [--quick] [--out=BENCH_shard_scale.json]
+//
+// Every cell boots a 2-site in-process loopback cluster with
+// engine-shards = S, pins C client sessions (one thread each) to site 0
+// and hammers puts over a keyspace wide enough to spread across every
+// shard. Since each put is admitted, applied and acked by site 0's apply
+// path, aggregate put throughput *is* the site's apply throughput — the
+// number the per-shard engine split exists to scale. Reported per cell:
+//
+//   * aggregate put throughput (ops/s) and per-put latency p50/p99,
+//   * per-shard apply (write) counts from the kEngineStat admin op — the
+//     spread is the evidence that ShardMap actually distributed the load,
+//   * cross-shard envelope gauges (parked/malformed) — both should be
+//     tiny/zero on a healthy loopback run.
+//
+// --quick trims the grid to {1, 4} shards × one client count so CI can
+// assert the snapshot's shape on every push; the full grid sweeps
+// {1, 2, 4, 8} shards × {4, 16} clients for the scaling curve in
+// EXPERIMENTS.md. Output is one JSON document, BENCH_shard_scale.json by
+// default, uploaded by CI next to the other BENCH_*.json snapshots.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.hpp"
+#include "net/socket.hpp"
+#include "server/cluster_config.hpp"
+#include "server/site_server.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+using namespace ccpr;
+
+namespace {
+
+struct CellResult {
+  std::uint32_t shards = 0;
+  std::uint32_t clients = 0;
+  std::uint64_t puts = 0;
+  double put_ops_per_s = 0.0;
+  double put_p50_us = 0.0;
+  double put_p99_us = 0.0;
+  std::vector<std::uint64_t> shard_writes;  // site 0, per shard
+  std::uint64_t parked_envelopes = 0;
+  std::uint64_t malformed_envelopes = 0;
+};
+
+double percentile_us(std::vector<double>& us, double p) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  return us[static_cast<std::size_t>(p * static_cast<double>(us.size() - 1))];
+}
+
+CellResult run_cell(std::uint32_t shards, std::uint32_t clients,
+                    std::uint32_t ops_per_client) {
+  const std::uint32_t n = 2, q = 4096, p = 2;
+  auto cfg = server::ClusterConfig::loopback(n, q, p, 0);
+  {
+    // Bind ephemeral listeners first so concurrent bench runs never race
+    // on fixed ports; the sockets close when `held` goes out of scope.
+    std::vector<net::Socket> held;
+    for (std::uint32_t s = 0; s < 2 * n; ++s) {
+      std::uint16_t port = 0;
+      held.push_back(net::tcp_listen("127.0.0.1", 0, &port));
+      if (s < n) {
+        cfg.sites[s].peer_port = port;
+      } else {
+        cfg.sites[s - n].client_port = port;
+      }
+    }
+  }
+  cfg.protocol.engine_shards = shards;
+
+  std::vector<std::unique_ptr<server::SiteServer>> servers;
+  for (causal::SiteId s = 0; s < n; ++s) {
+    servers.push_back(std::make_unique<server::SiteServer>(cfg, s));
+    if (!servers.back()->start()) {
+      std::fprintf(stderr, "shard_scale: site %u failed to start\n", s);
+      std::exit(1);
+    }
+  }
+
+  // One warm session per thread, created before the clock starts so
+  // connect cost stays out of the throughput window.
+  std::vector<std::unique_ptr<client::Client>> sessions;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    sessions.push_back(std::make_unique<client::Client>(cfg, 0));
+  }
+
+  std::vector<std::vector<double>> lat_us(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      util::Rng rng(0xbe9cull + c * 977 + shards);
+      auto& lats = lat_us[c];
+      lats.reserve(ops_per_client);
+      std::string value(64, 'v');
+      for (std::uint32_t i = 0; i < ops_per_client; ++i) {
+        const auto x = static_cast<causal::VarId>(rng.below(q));
+        const auto op0 = std::chrono::steady_clock::now();
+        sessions[c]->put(x, value);
+        lats.push_back(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - op0)
+                .count()));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  CellResult r;
+  r.shards = shards;
+  r.clients = clients;
+  r.puts = static_cast<std::uint64_t>(clients) * ops_per_client;
+  r.put_ops_per_s = static_cast<double>(r.puts) / dt;
+  std::vector<double> all;
+  for (auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
+  r.put_p50_us = percentile_us(all, 0.5);
+  r.put_p99_us = percentile_us(all, 0.99);
+
+  const client::EngineStat es = sessions[0]->engine_stat();
+  for (const auto& sh : es.shards) r.shard_writes.push_back(sh.writes);
+  r.parked_envelopes = es.parked_envelopes;
+  r.malformed_envelopes = es.malformed_envelopes;
+
+  sessions.clear();
+  for (auto& s : servers) s->stop();
+  return r;
+}
+
+void append_json(std::string& out, const CellResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "    {\"shards\": %u, \"clients\": %u, \"puts\": %llu, "
+                "\"put_ops_per_s\": %.0f, \"put_p50_us\": %.1f, "
+                "\"put_p99_us\": %.1f, \"parked_envelopes\": %llu, "
+                "\"malformed_envelopes\": %llu, \"shard_writes\": [",
+                r.shards, r.clients,
+                static_cast<unsigned long long>(r.puts), r.put_ops_per_s,
+                r.put_p50_us, r.put_p99_us,
+                static_cast<unsigned long long>(r.parked_envelopes),
+                static_cast<unsigned long long>(r.malformed_envelopes));
+  out += buf;
+  for (std::size_t i = 0; i < r.shard_writes.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s%llu", i == 0 ? "" : ", ",
+                  static_cast<unsigned long long>(r.shard_writes[i]));
+    out += buf;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const std::string out_path = flags.get_string("out", "BENCH_shard_scale.json");
+
+  const std::vector<std::uint32_t> shard_counts =
+      quick ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4, 8};
+  const std::vector<std::uint32_t> client_counts =
+      quick ? std::vector<std::uint32_t>{8} : std::vector<std::uint32_t>{4, 16};
+  const std::uint32_t ops_per_client = quick ? 400 : 1500;
+
+  std::vector<CellResult> results;
+  for (const std::uint32_t shards : shard_counts) {
+    for (const std::uint32_t clients : client_counts) {
+      const auto r = run_cell(shards, clients, ops_per_client);
+      std::printf(
+          "shards=%-2u clients=%-3u puts=%-6llu put=%.1fk/s p50=%.0fus "
+          "p99=%.0fus parked=%llu\n",
+          r.shards, r.clients, static_cast<unsigned long long>(r.puts),
+          r.put_ops_per_s / 1e3, r.put_p50_us, r.put_p99_us,
+          static_cast<unsigned long long>(r.parked_envelopes));
+      results.push_back(r);
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"shard_scale\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_json(json, results[i]);
+    json += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "shard_scale: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu cells)\n", out_path.c_str(), results.size());
+  return 0;
+}

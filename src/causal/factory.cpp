@@ -3,6 +3,7 @@
 #include "causal/ahamad.hpp"
 #include "causal/eventual.hpp"
 #include "causal/protocol_base.hpp"
+#include "causal/shard_group.hpp"
 #include "causal/full_track.hpp"
 #include "causal/opt_track.hpp"
 #include "causal/opt_track_crp.hpp"
@@ -71,12 +72,15 @@ std::optional<Algorithm> algorithm_from_token(std::string_view token) {
   return std::nullopt;
 }
 
-std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
-                                         const ReplicaMap& rmap, Services svc,
-                                         const ProtocolOptions& opts) {
+namespace {
+
+std::unique_ptr<IProtocol> make_single(Algorithm alg, SiteId self,
+                                       const ReplicaMap& rmap, Services svc,
+                                       const ProtocolOptions& opts) {
   auto protocol = make_protocol_impl(alg, self, rmap, std::move(svc), opts);
   if (opts.convergent || opts.fetch_timeout_us > 0 ||
-      opts.store_engine.kind != store::EngineKind::kMap) {
+      opts.store_engine.kind != store::EngineKind::kMap ||
+      opts.write_seq_stride > 1) {
     auto* base = dynamic_cast<ProtocolBase*>(protocol.get());
     CCPR_ASSERT(base != nullptr);
     base->set_convergent(opts.convergent);
@@ -84,8 +88,40 @@ std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
     if (opts.store_engine.kind != store::EngineKind::kMap) {
       base->configure_store_engine(opts.store_engine);
     }
+    if (opts.write_seq_stride > 1) {
+      base->set_write_id_space(opts.write_seq_offset, opts.write_seq_stride);
+    }
   }
   return protocol;
+}
+
+}  // namespace
+
+std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,
+                                         const ReplicaMap& rmap, Services svc,
+                                         const ProtocolOptions& opts) {
+  if (opts.engine_shards <= 1) {
+    return make_single(alg, self, rmap, std::move(svc), opts);
+  }
+  // Sharded site: a ShardGroup of single-shard instances. Each inner gets
+  // the full ReplicaMap (causal metadata is per-site, so partitioning the
+  // keyspace never changes who tracks whom) and, when the store engine
+  // spills to disk, its own spill directory.
+  return std::make_unique<ShardGroup>(
+      opts.engine_shards, self, std::move(svc),
+      [alg, self, &rmap, &opts](std::uint32_t k, Services sk) {
+        ProtocolOptions single = opts;
+        single.engine_shards = 1;
+        // Disjoint WriteId seq spaces: without this, two shards of one site
+        // would both issue (self, 1), (self, 2), ... and WriteIds — the
+        // checker's globally unique write identities — would collide.
+        single.write_seq_offset = k;
+        single.write_seq_stride = opts.engine_shards;
+        if (!single.store_engine.spill_dir.empty() && k > 0) {
+          single.store_engine.spill_dir += "/shard-" + std::to_string(k);
+        }
+        return make_single(alg, self, rmap, std::move(sk), single);
+      });
 }
 
 }  // namespace ccpr::causal

@@ -33,6 +33,19 @@ struct ProtocolOptions {
   /// tuning (shards, inline threshold, cold-value spill). Defaults to the
   /// reference MapEngine.
   store::EngineOptions store_engine{};
+  /// Partition the site's keyspace over this many independent engine
+  /// shards (causal::ShardGroup; cluster-wide — every site must agree).
+  /// 1 = unsharded, byte-identical to the pre-sharding behavior. The TCP
+  /// runtime implements sharding in server::ShardedEngine instead and
+  /// always builds single-shard protocols.
+  std::uint32_t engine_shards = 1;
+  /// Carve the per-writer WriteId sequence space: the protocol issues seqs
+  /// offset+1, offset+1+stride, offset+1+2*stride, ... Shard k of N uses
+  /// (k, N) so the shards of one site never collide on (writer, seq) — the
+  /// checker treats WriteIds as globally unique identities. The defaults
+  /// are the dense unsharded space 1, 2, 3, ...
+  std::uint64_t write_seq_offset = 0;
+  std::uint64_t write_seq_stride = 1;
 };
 
 std::unique_ptr<IProtocol> make_protocol(Algorithm alg, SiteId self,

@@ -51,13 +51,12 @@ MergePolicy OptTrack::merge_policy() const {
 
 void OptTrack::do_write(VarId x, std::string data) {
   CCPR_EXPECTS(x < rmap_.vars());
-  ++clock_;
-  const WriteId id{self_, clock_};
-  // Keep the ProtocolBase write counter in lockstep with clock_ so WriteId
-  // sequence numbers equal protocol clocks (the checker relies on per-writer
-  // seq == program order of writes, which both provide).
-  const WriteId base_id = next_write_id();
-  CCPR_ASSERT(base_id == id);
+  // clock_ mirrors the WriteId seq so protocol clocks equal write ids on
+  // the wire. On a sharded site the seq space is strided (disjoint per
+  // shard) — fine, because ready()/discharge_log()/purge_log() only ever
+  // compare clocks by threshold, never by successor.
+  const WriteId id = next_write_id();
+  clock_ = id.seq;
   note_write_issued(x, id);
 
   const auto reps = rmap_.replicas(x);

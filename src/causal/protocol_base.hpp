@@ -156,6 +156,19 @@ class ProtocolBase : public IProtocol {
   /// requires Services::schedule (otherwise silently disabled).
   void set_fetch_timeout(sim::SimTime us) noexcept { fetch_timeout_us_ = us; }
 
+  /// Carve this writer's WriteId seq space for a sharded site: shard k of N
+  /// passes (k, N) so each shard issues a disjoint arithmetic progression
+  /// and (writer, seq) stays unique site-wide. Protocol clocks that mirror
+  /// seqs (Opt-Track, Opt-Track-CRP) tolerate the gaps because every
+  /// activation predicate is a threshold test, never a successor test.
+  /// Must run before the first local write.
+  void set_write_id_space(std::uint64_t offset, std::uint64_t stride) {
+    CCPR_EXPECTS(stride >= 1 && offset < stride);
+    CCPR_EXPECTS(write_seq_ == 0);
+    seq_offset_ = offset;
+    seq_stride_ = stride;
+  }
+
   /// Swap the value engine (factory/runtime wiring). Must run before any
   /// value lands in the store — engines do not migrate state.
   void configure_store_engine(const store::EngineOptions& opts);
@@ -224,8 +237,12 @@ class ProtocolBase : public IProtocol {
   /// Bookkeeping for a local write that is also locally applied.
   void apply_own_write(VarId x, Value v);
 
-  /// Allocate this site's next WriteId (seq starts at 1).
-  WriteId next_write_id() { return {self_, ++write_seq_}; }
+  /// Allocate this site's next WriteId. Seqs run offset+1, offset+1+stride,
+  /// ... (the dense 1, 2, 3, ... by default); see set_write_id_space.
+  WriteId next_write_id() {
+    write_seq_ = write_seq_ == 0 ? seq_offset_ + 1 : write_seq_ + seq_stride_;
+    return {self_, write_seq_};
+  }
   std::uint64_t write_seq() const noexcept { return write_seq_; }
 
   /// Build the value for a local write, stamping the Lamport clock (ticked
@@ -291,6 +308,8 @@ class ProtocolBase : public IProtocol {
   // physically mutating reads — safe under the single-writer contract.
   std::unique_ptr<store::ValueEngine> store_;
   std::uint64_t write_seq_ = 0;
+  std::uint64_t seq_offset_ = 0;  ///< see set_write_id_space
+  std::uint64_t seq_stride_ = 1;
   std::uint64_t lamport_ = 0;
   bool convergent_ = false;
   sim::SimTime fetch_timeout_us_ = 0;

@@ -1,0 +1,98 @@
+#include "causal/shard_map.hpp"
+
+#include "net/wire.hpp"
+
+namespace ccpr::causal {
+
+net::Message wrap_shard_envelope(std::uint32_t shard,
+                                 const std::vector<ShardToken>& tokens,
+                                 const net::Message& inner) {
+  net::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(inner.kind));
+  enc.varint(shard);
+  enc.varint(tokens.size());
+  for (const ShardToken& t : tokens) {
+    enc.varint(t.shard);
+    enc.varint(t.token.size());
+    enc.raw(t.token.data(), t.token.size());
+  }
+  enc.raw(inner.body.data(), inner.body.size());
+
+  net::Message env;
+  env.kind = net::MsgKind::kShardEnvelope;
+  env.src = inner.src;
+  env.dst = inner.dst;
+  env.body = enc.take();
+  env.payload_bytes = inner.payload_bytes;
+  env.chan_epoch = inner.chan_epoch;
+  env.chan_seq = inner.chan_seq;
+  return env;
+}
+
+std::optional<ShardEnvelope> unwrap_shard_envelope(const net::Message& env) {
+  if (env.kind != net::MsgKind::kShardEnvelope || env.body.empty()) {
+    return std::nullopt;
+  }
+  net::Decoder dec(env.body);
+  const std::uint8_t inner_kind = dec.u8();
+  if (inner_kind < static_cast<std::uint8_t>(net::MsgKind::kUpdate) ||
+      inner_kind >= static_cast<std::uint8_t>(net::MsgKind::kShardEnvelope)) {
+    return std::nullopt;  // nested envelopes are not a thing
+  }
+  ShardEnvelope out;
+  out.shard = static_cast<std::uint32_t>(dec.varint());
+  const std::uint64_t ntokens = dec.varint();
+  if (!dec.ok() || ntokens > env.body.size()) return std::nullopt;
+  out.tokens.reserve(static_cast<std::size_t>(ntokens));
+  for (std::uint64_t i = 0; i < ntokens; ++i) {
+    ShardToken t;
+    t.shard = static_cast<std::uint32_t>(dec.varint());
+    const std::uint64_t len = dec.varint();
+    if (!dec.ok() || len > dec.remaining()) return std::nullopt;
+    const std::string raw = dec.raw(static_cast<std::size_t>(len));
+    t.token.assign(raw.begin(), raw.end());
+    out.tokens.push_back(std::move(t));
+  }
+  if (!dec.ok()) return std::nullopt;
+  out.inner.kind = static_cast<net::MsgKind>(inner_kind);
+  out.inner.src = env.src;
+  out.inner.dst = env.dst;
+  const std::string rest = dec.raw(dec.remaining());
+  out.inner.body.assign(rest.begin(), rest.end());
+  out.inner.payload_bytes = env.payload_bytes;
+  out.inner.chan_epoch = env.chan_epoch;
+  out.inner.chan_seq = env.chan_seq;
+  return out;
+}
+
+std::vector<std::uint8_t> combine_shard_tokens(
+    const std::vector<std::vector<std::uint8_t>>& per_shard) {
+  if (per_shard.size() == 1) return per_shard[0];
+  net::Encoder enc;
+  enc.varint(per_shard.size());
+  for (const auto& t : per_shard) {
+    enc.varint(t.size());
+    enc.raw(t.data(), t.size());
+  }
+  return enc.take();
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> split_shard_tokens(
+    const std::vector<std::uint8_t>& combined, std::uint32_t shards) {
+  if (shards <= 1) return std::vector<std::vector<std::uint8_t>>{combined};
+  net::Decoder dec(combined);
+  const std::uint64_t n = dec.varint();
+  if (!dec.ok() || n != shards) return std::nullopt;
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    const std::uint64_t len = dec.varint();
+    if (!dec.ok() || len > dec.remaining()) return std::nullopt;
+    const std::string raw = dec.raw(static_cast<std::size_t>(len));
+    out.emplace_back(raw.begin(), raw.end());
+  }
+  if (!dec.ok() || !dec.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace ccpr::causal

@@ -563,6 +563,30 @@ ServerStatus Client::status() {
     }
     if (!dec.ok()) fail_protocol("status: malformed suspected list");
   }
+  // Trailing engine-shard extension; absent on pre-sharding servers, in
+  // which case the totals above are the one (unlabeled) shard.
+  if (dec.remaining() > 0) {
+    const std::uint64_t shards = dec.varint();
+    for (std::uint64_t k = 0; dec.ok() && k < shards; ++k) {
+      ServerStatus::ShardRow row;
+      row.writes = dec.varint();
+      row.reads = dec.varint();
+      row.pending_updates = dec.varint();
+      row.queue_depth = dec.varint();
+      row.queue_capacity = dec.varint();
+      row.parked_reads = dec.varint();
+      row.covered_waiters = dec.varint();
+      st.shards.push_back(row);
+    }
+    if (!dec.ok()) fail_protocol("status: malformed shard rows");
+  }
+  if (st.shards.empty()) {
+    ServerStatus::ShardRow row;
+    row.writes = st.writes;
+    row.reads = st.reads;
+    row.pending_updates = st.pending_updates;
+    st.shards.push_back(row);
+  }
   return st;
 }
 
@@ -596,6 +620,34 @@ store::EngineStats Client::store_stat() {
   st.spill_writes = dec.varint();
   st.compactions = dec.varint();
   if (!dec.ok()) fail_protocol("store-stat: malformed response");
+  return st;
+}
+
+EngineStat Client::engine_stat() {
+  net::Encoder req;
+  req.u8(static_cast<std::uint8_t>(ClientOp::kEngineStat));
+  const auto resp = roundtrip(req.buffer());
+  net::Decoder dec(resp);
+  check_status(dec, "engine-stat");
+  EngineStat st;
+  const std::uint64_t shards = dec.varint();
+  st.parked_envelopes = dec.varint();
+  st.malformed_envelopes = dec.varint();
+  for (std::uint64_t k = 0; dec.ok() && k < shards; ++k) {
+    EngineStat::Shard row;
+    row.writes = dec.varint();
+    row.reads = dec.varint();
+    row.pending_updates = dec.varint();
+    row.queue_depth = dec.varint();
+    row.queue_capacity = dec.varint();
+    row.queue_peak_depth = dec.varint();
+    row.producer_waits = dec.varint();
+    row.parked_reads = dec.varint();
+    row.covered_waiters = dec.varint();
+    row.commands_total = dec.varint();
+    st.shards.push_back(row);
+  }
+  if (!dec.ok()) fail_protocol("engine-stat: malformed response");
   return st;
 }
 

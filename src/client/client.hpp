@@ -70,6 +70,41 @@ struct ServerStatus {
   /// Peers this site's failure detector currently suspects (empty when
   /// the server predates the detector or everything is healthy).
   std::vector<causal::SiteId> suspected_peers;
+  /// Per-engine-shard activity (one row on an unsharded site; a single
+  /// synthesized row aggregating the totals when the server predates
+  /// sharding and omits the extension).
+  struct ShardRow {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t pending_updates = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t queue_capacity = 0;
+    std::uint64_t parked_reads = 0;
+    std::uint64_t covered_waiters = 0;
+  };
+  std::vector<ShardRow> shards;
+};
+
+/// kEngineStat: the full per-shard engine-queue counters plus the
+/// cross-shard envelope-admission gauges (see sharded_engine.hpp).
+struct EngineStat {
+  struct Shard {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t pending_updates = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t queue_capacity = 0;
+    std::uint64_t queue_peak_depth = 0;
+    std::uint64_t producer_waits = 0;
+    std::uint64_t parked_reads = 0;
+    std::uint64_t covered_waiters = 0;
+    std::uint64_t commands_total = 0;
+  };
+  std::vector<Shard> shards;
+  /// Inbound peer envelopes currently parked on unmet cross-shard tokens.
+  std::uint64_t parked_envelopes = 0;
+  /// Envelopes dropped because their wrapping did not decode.
+  std::uint64_t malformed_envelopes = 0;
 };
 
 class Client {
@@ -147,6 +182,8 @@ class Client {
   /// The site's value-store engine counters (kStoreStat): engine kind,
   /// resident footprint, probe statistics, spill activity.
   store::EngineStats store_stat();
+  /// The site's per-shard protocol-engine counters (kEngineStat).
+  EngineStat engine_stat();
   void ping();
 
   // ---- chaos administration (net/chaos.hpp over the wire) ----

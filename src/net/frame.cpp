@@ -50,6 +50,7 @@ std::optional<Frame> decode_frame_body(const std::uint8_t* data,
     case static_cast<std::uint8_t>(MsgKind::kCatchupResp):
     case static_cast<std::uint8_t>(MsgKind::kHeartbeat):
     case static_cast<std::uint8_t>(MsgKind::kHeartbeatAck):
+    case static_cast<std::uint8_t>(MsgKind::kShardEnvelope):
       frame.msg.kind = static_cast<MsgKind>(kind);
       break;
     default:

@@ -21,6 +21,12 @@ enum class MsgKind : std::uint8_t {
   kCatchupResp = 5, ///< anti-entropy: responder's retention bounds
   kHeartbeat = 6,   ///< failure detector ping (body: sender steady-clock us)
   kHeartbeatAck = 7,///< failure detector pong (body echoed verbatim)
+  /// Sharded-engine wrapper: [u8 inner_kind][varint shard][varint ntokens]
+  /// {[varint shard_j][varint len][token]}*[inner body]. Carries a protocol
+  /// message addressed to one engine shard plus the sending site's
+  /// cross-shard coverage tokens (see causal/shard_map.hpp). Only emitted
+  /// when `engine-shards > 1`.
+  kShardEnvelope = 8,
 };
 
 struct Message {
@@ -50,6 +56,14 @@ struct Message {
     return body.size() - payload_bytes;
   }
 };
+
+/// The kind used for transport metric classification: a shard envelope
+/// counts as its inner message's kind (first body byte), so the paper's
+/// update/fetch message counters stay meaningful when `engine-shards > 1`.
+inline MsgKind classify_kind(const Message& msg) noexcept {
+  if (msg.kind != MsgKind::kShardEnvelope || msg.body.empty()) return msg.kind;
+  return static_cast<MsgKind>(msg.body[0]);
+}
 
 /// Receives messages addressed to one site. The transport guarantees that
 /// deliveries to a single sink never overlap (they are serialized), and that

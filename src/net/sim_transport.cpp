@@ -27,7 +27,7 @@ void SimTransport::connect(SiteId site, IMessageSink* sink) {
 }
 
 void SimTransport::account(const Message& msg) {
-  switch (msg.kind) {
+  switch (classify_kind(msg)) {
     case MsgKind::kUpdate:
       ++metrics_.update_msgs;
       break;
@@ -36,6 +36,8 @@ void SimTransport::account(const Message& msg) {
       break;
     case MsgKind::kFetchResp:
       ++metrics_.fetch_resp_msgs;
+      break;
+    default:
       break;
   }
   metrics_.control_bytes += msg.control_bytes();

@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -50,6 +51,24 @@ bool resolve(const std::string& host, std::uint16_t port, sockaddr_in* out) {
 
 }  // namespace
 
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want == flags) return true;
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+bool set_reuseaddr(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) == 0;
+}
+
+bool set_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) == 0;
+}
+
 void Socket::close() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -68,8 +87,7 @@ Socket tcp_listen(const std::string& host, std::uint16_t port,
   if (!resolve(host, port, &addr)) return Socket{};
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) return Socket{};
-  const int one = 1;
-  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  set_reuseaddr(sock.fd());
   if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
       0) {
     return Socket{};
@@ -99,9 +117,37 @@ Socket tcp_dial(const std::string& host, std::uint16_t port) {
       0) {
     return Socket{};
   }
-  const int one = 1;
-  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_nodelay(sock.fd());
   return sock;
+}
+
+AcceptResult tcp_accept(int listen_fd, Socket* out) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) {
+    set_nodelay(fd);
+    *out = Socket(fd);
+    return AcceptResult::kOk;
+  }
+  switch (errno) {
+    case EINTR:
+    case ECONNABORTED:  // peer gave up while queued; next one may be fine
+#ifdef EPROTO
+    case EPROTO:
+#endif
+      return AcceptResult::kRetryNow;
+#if EAGAIN != EWOULDBLOCK
+    case EWOULDBLOCK:
+#endif
+    case EAGAIN:
+      return AcceptResult::kWouldBlock;
+    case EMFILE:   // per-process fd limit
+    case ENFILE:   // system-wide fd limit
+    case ENOBUFS:
+    case ENOMEM:
+      return AcceptResult::kFdExhausted;
+    default:
+      return AcceptResult::kFatal;
+  }
 }
 
 bool write_all(int fd, const void* data, std::size_t len) {

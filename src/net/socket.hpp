@@ -43,6 +43,18 @@ class Socket {
   int fd_ = -1;
 };
 
+// ---- socket-option helpers (the ONE place these options get set; every
+//      listen/dial/accept path below goes through them) ----
+
+/// O_NONBLOCK on/off. Returns false on error (errno set).
+bool set_nonblocking(int fd, bool on = true);
+/// SO_REUSEADDR (listeners only — lets a restarted site rebind its port
+/// while old connections sit in TIME_WAIT).
+bool set_reuseaddr(int fd);
+/// TCP_NODELAY (every connected socket — the protocol is request/response
+/// with small frames; Nagle would add RTTs for nothing).
+bool set_nodelay(int fd);
+
 /// Bind + listen on host:port (TCP, SO_REUSEADDR). `port` may be 0 to let
 /// the kernel pick; `bound_port` (if non-null) receives the actual port.
 Socket tcp_listen(const std::string& host, std::uint16_t port,
@@ -50,6 +62,22 @@ Socket tcp_listen(const std::string& host, std::uint16_t port,
 
 /// One blocking connect attempt (TCP_NODELAY set on success).
 Socket tcp_dial(const std::string& host, std::uint16_t port);
+
+/// Outcome classification for one accept() attempt, so callers share a
+/// single audited errno policy instead of each growing its own.
+enum class AcceptResult {
+  kOk,           ///< *out holds a connected socket (TCP_NODELAY set)
+  kRetryNow,     ///< transient (EINTR, ECONNABORTED, EPROTO): try again
+  kWouldBlock,   ///< EAGAIN on a non-blocking listener: nothing pending
+  kFdExhausted,  ///< EMFILE/ENFILE/ENOBUFS/ENOMEM: back off, do NOT spin —
+                 ///< the pending connection stays queued and accept() will
+                 ///< keep failing until an fd frees up (accept storm)
+  kFatal,        ///< listener is broken (EBADF, EINVAL, ...)
+};
+
+/// One accept() attempt on `listen_fd`. Never blocks if the listener is
+/// non-blocking; sets TCP_NODELAY on the accepted socket.
+AcceptResult tcp_accept(int listen_fd, Socket* out);
 
 /// Write exactly `len` bytes (restarting on EINTR / partial writes).
 bool write_all(int fd, const void* data, std::size_t len);

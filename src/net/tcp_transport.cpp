@@ -81,7 +81,7 @@ void TcpTransport::send(Message msg) {
   CCPR_EXPECTS(msg.payload_bytes <= msg.body.size());
   {
     std::lock_guard lk(metrics_mu_);
-    switch (msg.kind) {
+    switch (classify_kind(msg)) {
       case MsgKind::kUpdate:
         ++metrics_.update_msgs;
         break;

@@ -45,7 +45,7 @@ void ThreadTransport::send(Message msg) {
   CCPR_EXPECTS(msg.payload_bytes <= msg.body.size());
   {
     std::lock_guard lk(metrics_mu_);
-    switch (msg.kind) {
+    switch (classify_kind(msg)) {
       case MsgKind::kUpdate:
         ++metrics_.update_msgs;
         break;
@@ -54,6 +54,8 @@ void ThreadTransport::send(Message msg) {
         break;
       case MsgKind::kFetchResp:
         ++metrics_.fetch_resp_msgs;
+        break;
+      default:
         break;
     }
     metrics_.control_bytes += msg.control_bytes();

@@ -106,6 +106,15 @@ class Decoder {
     return v;
   }
 
+  /// Read `n` raw bytes (no length prefix; caller frames it). Empty string
+  /// and sticky error on underrun.
+  std::string raw(std::size_t n) noexcept {
+    if (!need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
   std::string bytes() noexcept {
     const std::uint64_t n = varint();
     if (!ok_ || !need(n)) {

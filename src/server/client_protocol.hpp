@@ -61,6 +61,21 @@
 //   kStatus additionally ends with suspected:varint {site:varint}... — the
 //   peers this site's failure detector currently believes unreachable
 //   (missing on pre-detector servers; decoders treat absence as none).
+//
+//   kStatus finally ends with the engine-shard extension (missing on
+//   pre-sharding servers; decoders treat absence as one unlabeled shard):
+//     shards:varint {writes:varint reads:varint pending:varint
+//                    qdepth:varint qcap:varint parked_reads:varint
+//                    covered_waiters:varint}...
+//
+//   kEngineStat -> ok shards:varint parked_envelopes:varint
+//                     malformed_envelopes:varint
+//                     {writes:varint reads:varint pending:varint
+//                      depth:varint capacity:varint peak:varint
+//                      producer_waits:varint parked_reads:varint
+//                      covered_waiters:varint enqueued_total:varint}...
+//                  (admin: one row per engine shard plus the cross-shard
+//                  envelope-admission gauges)
 #pragma once
 
 #include <cstdint>
@@ -84,6 +99,7 @@ enum class ClientOp : std::uint8_t {
   kMetrics = 8,
   kChaos = 9,
   kStoreStat = 10,
+  kEngineStat = 11,
 };
 
 enum class ClientStatus : std::uint8_t {

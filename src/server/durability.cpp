@@ -244,6 +244,12 @@ void Durability::on_protocol_send(net::Message msg) {
     ChannelOut& o = out_[msg.dst];
     msg.chan_epoch = epoch_;
     msg.chan_seq = ++o.next_seq;
+    // Wrap before retention so re-sends carry the original-send envelope
+    // (see Options::wrap_update). During replay the shard token caches are
+    // empty, so replay-retained envelopes carry no cross-shard demands —
+    // deliberately: replay-time frontiers could reference writes retained
+    // *after* this one and deadlock the receiver.
+    if (opts_.wrap_update) msg = opts_.wrap_update(std::move(msg));
     o.retained.push_back(msg);
     if (o.retained.size() > opts_.catchup_retain) {
       o.retained.pop_front();

@@ -77,6 +77,16 @@ class Durability {
     /// the oldest = next-needed messages). The requester streams a large
     /// backlog by re-requesting as each chunk completes.
     std::uint32_t catchup_burst = 64;
+    /// Applied to every stamped kUpdate after channel stamping and before
+    /// retention (sharded sites wrap it in a cross-shard coverage envelope
+    /// here). Wrapping must happen at this point, not in `send`: catch-up
+    /// re-sends replay the retained copy verbatim, and a re-send that
+    /// re-wrapped with *current* tokens could demand coverage of writes
+    /// that are themselves still parked behind this one at the receiver —
+    /// a cross-shard deadlock. Original-send tokens only ever reference
+    /// writes sent earlier, so the dependency order stays acyclic.
+    /// Null = identity.
+    std::function<net::Message(net::Message)> wrap_update;
   };
 
   struct Stats {

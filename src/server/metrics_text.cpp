@@ -65,11 +65,26 @@ class Renderer {
 
 std::string render_metrics_text(
     causal::SiteId site, const metrics::Metrics& merged,
-    const ProtocolEngine::QueueStats& engine,
+    const std::vector<ProtocolEngine::QueueStats>& engine_shards,
     const std::vector<net::TcpTransport::PeerStats>& peers,
     std::uint64_t pending_updates, const Durability::Stats& durability,
     const std::vector<std::string>& site_regions, const HealthStats& health,
-    const store::EngineStats& engine_stats) {
+    const store::EngineStats& engine_stats, std::uint64_t parked_envelopes,
+    std::uint64_t malformed_envelopes) {
+  // Shard-aggregated view feeds the classic unlabeled series so existing
+  // dashboards keep working whatever the shard count is.
+  ProtocolEngine::QueueStats engine;
+  for (const auto& s : engine_shards) {
+    engine.depth += s.depth;
+    engine.capacity += s.capacity;
+    engine.peak_depth += s.peak_depth;
+    engine.producer_waits += s.producer_waits;
+    engine.parked_reads += s.parked_reads;
+    engine.covered_waiters += s.covered_waiters;
+    for (std::size_t k = 0; k < ProtocolEngine::kCmdKinds; ++k) {
+      engine.enqueued[k] += s.enqueued[k];
+    }
+  }
   Renderer r(site);
   // peer="<id>" plus region="<peer's region>" when the cluster is geo.
   const auto peer_label = [&site_regions](causal::SiteId peer) {
@@ -131,6 +146,12 @@ std::string render_metrics_text(
           static_cast<double>(engine.peak_depth));
   r.counter("ccpr_engine_producer_waits_total",
             "Enqueues that blocked on the queue bound", engine.producer_waits);
+  r.gauge("ccpr_engine_parked_reads",
+          "Reads parked on an in-flight RemoteFetch",
+          static_cast<double>(engine.parked_reads));
+  r.gauge("ccpr_engine_covered_waiters",
+          "covered_by waits parked for coverage or deadline",
+          static_cast<double>(engine.covered_waiters));
   r.preamble("ccpr_engine_commands_total",
              "Commands admitted to the apply thread, by kind", "counter");
   for (std::size_t k = 0; k < ProtocolEngine::kCmdKinds; ++k) {
@@ -140,6 +161,52 @@ std::string render_metrics_text(
                       static_cast<ProtocolEngine::CmdKind>(k)) +
                   '"',
               static_cast<double>(engine.enqueued[k]));
+  }
+
+  // ---- per-shard engine view (sharded sites only) ----
+  r.gauge("ccpr_engine_shards", "Engine shards on this site",
+          static_cast<double>(engine_shards.size()));
+  if (engine_shards.size() > 1) {
+    const auto shard_label = [](std::size_t k) {
+      return "shard=\"" + std::to_string(k) + '"';
+    };
+    r.preamble("ccpr_engine_shard_queue_depth",
+               "Commands waiting for one shard's apply thread", "gauge");
+    for (std::size_t k = 0; k < engine_shards.size(); ++k) {
+      r.labeled("ccpr_engine_shard_queue_depth", shard_label(k),
+                static_cast<double>(engine_shards[k].depth));
+    }
+    r.preamble("ccpr_engine_shard_commands_total",
+               "Commands admitted to one shard's apply thread", "counter");
+    for (std::size_t k = 0; k < engine_shards.size(); ++k) {
+      r.labeled("ccpr_engine_shard_commands_total", shard_label(k),
+                static_cast<double>(engine_shards[k].enqueued_total()));
+    }
+    r.preamble("ccpr_engine_shard_producer_waits_total",
+               "Enqueues that blocked on one shard's queue bound", "counter");
+    for (std::size_t k = 0; k < engine_shards.size(); ++k) {
+      r.labeled("ccpr_engine_shard_producer_waits_total", shard_label(k),
+                static_cast<double>(engine_shards[k].producer_waits));
+    }
+    r.preamble("ccpr_engine_shard_parked_reads",
+               "Reads parked on an in-flight RemoteFetch, per shard",
+               "gauge");
+    for (std::size_t k = 0; k < engine_shards.size(); ++k) {
+      r.labeled("ccpr_engine_shard_parked_reads", shard_label(k),
+                static_cast<double>(engine_shards[k].parked_reads));
+    }
+    r.preamble("ccpr_engine_shard_covered_waiters",
+               "Parked covered_by waits, per shard", "gauge");
+    for (std::size_t k = 0; k < engine_shards.size(); ++k) {
+      r.labeled("ccpr_engine_shard_covered_waiters", shard_label(k),
+                static_cast<double>(engine_shards[k].covered_waiters));
+    }
+    r.gauge("ccpr_shard_parked_envelopes",
+            "Peer envelopes parked on unmet cross-shard tokens",
+            static_cast<double>(parked_envelopes));
+    r.counter("ccpr_shard_malformed_envelopes_total",
+              "Peer messages dropped by envelope admission",
+              malformed_envelopes);
   }
 
   // ---- durability: WAL + anti-entropy catch-up ----

@@ -42,13 +42,22 @@ struct HealthStats {
 /// `ccpr_peer_*` series and a `ccpr_site_region` info gauge for this site.
 /// `engine_stats` is the value-store engine's counter snapshot, rendered as
 /// the ccpr_store_engine_* family (the engine kind becomes a label).
+///
+/// `engine_shards` holds one QueueStats per engine shard (a single-element
+/// vector on an unsharded site). The classic unlabeled ccpr_engine_* series
+/// stay and carry shard-aggregated values; when the site runs more than one
+/// shard every queue/parked gauge is additionally emitted with a
+/// shard="<k>" label, and the cross-shard envelope admission exports
+/// `parked_envelopes` / `malformed_envelopes`.
 std::string render_metrics_text(
     causal::SiteId site, const metrics::Metrics& merged,
-    const ProtocolEngine::QueueStats& engine,
+    const std::vector<ProtocolEngine::QueueStats>& engine_shards,
     const std::vector<net::TcpTransport::PeerStats>& peers,
     std::uint64_t pending_updates, const Durability::Stats& durability,
     const std::vector<std::string>& site_regions = {},
     const HealthStats& health = {},
-    const store::EngineStats& engine_stats = {});
+    const store::EngineStats& engine_stats = {},
+    std::uint64_t parked_envelopes = 0,
+    std::uint64_t malformed_envelopes = 0);
 
 }  // namespace ccpr::server

@@ -57,6 +57,13 @@ bool ProtocolEngine::recover(std::string* err) {
   return durability_->recover(proto_.get(), err);
 }
 
+void ProtocolEngine::set_batch_end_hook(BatchEndHook hook) {
+  CCPR_EXPECTS(!batch_end_hook_);
+  std::lock_guard lk(mu_);
+  CCPR_EXPECTS(!running_);
+  batch_end_hook_ = std::move(hook);
+}
+
 void ProtocolEngine::start() {
   std::lock_guard lifecycle(lifecycle_mu_);
   CCPR_EXPECTS(proto_ != nullptr);
@@ -89,9 +96,10 @@ bool ProtocolEngine::running() const noexcept {
   return running_ && !stop_requested_;
 }
 
-bool ProtocolEngine::enqueue(CmdKind kind, std::function<void()> run) {
+bool ProtocolEngine::enqueue(CmdKind kind, std::function<void()> run,
+                             bool bounded) {
   std::unique_lock lk(mu_);
-  if (queue_.size() >= opts_.queue_capacity && !stop_requested_) {
+  if (bounded && queue_.size() >= opts_.queue_capacity && !stop_requested_) {
     ++producer_waits_;
     cv_produce_.wait(lk, [&] {
       return queue_.size() < opts_.queue_capacity || stop_requested_;
@@ -106,12 +114,25 @@ bool ProtocolEngine::enqueue(CmdKind kind, std::function<void()> run) {
   return true;
 }
 
-std::optional<ProtocolEngine::WriteResult> ProtocolEngine::write(
-    causal::VarId x, std::string data, bool local_replica) {
-  auto comp = std::make_shared<Completion<WriteResult>>();
+void ProtocolEngine::defer(std::function<void()> fn) {
+  // Apply-thread-only (command lambdas, read continuations, the hook's
+  // aftermath); outside a batch — e.g. abort paths — run immediately.
+  if (in_batch_) {
+    deferred_.push_back(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+// ---- command builders (shared by the blocking and async front doors) ----
+
+void ProtocolEngine::submit_write(causal::VarId x, std::string data,
+                                  bool local_replica, WriteCb cb,
+                                  bool bounded) {
+  auto cbp = std::make_shared<WriteCb>(std::move(cb));
   const bool ok = enqueue(
       CmdKind::kWrite,
-      [this, comp, x, data = std::move(data), local_replica]() mutable {
+      [this, cbp, x, data = std::move(data), local_replica]() mutable {
         // Write-ahead: the WAL record lands before the protocol mutates, so
         // a crash between the two replays the write instead of losing it
         // (the client may not have been acked — that is allowed).
@@ -120,51 +141,135 @@ std::optional<ProtocolEngine::WriteResult> ProtocolEngine::write(
         WriteResult r;
         r.id = proto_->last_write_id();
         if (local_replica) r.lamport = proto_->peek(x).lamport;
-        comp->fulfill(r);
+        defer([cbp, r] { (*cbp)(r); });
         if (durability_) durability_->maybe_checkpoint(proto_.get());
-      });
-  if (!ok) return std::nullopt;
+      },
+      bounded);
+  if (!ok) (*cbp)(std::nullopt);
+}
+
+void ProtocolEngine::submit_read(causal::VarId x, ReadCb cb, bool bounded) {
+  auto st = std::make_shared<ReadState>();
+  st->cb = std::move(cb);
+  const bool ok = enqueue(
+      CmdKind::kRead,
+      [this, st, x] {
+        proto_->read(x, [this, st](const causal::Value& v) {
+          st->fired = true;
+          defer([st, v] { st->cb(v); });
+        });
+        // A RemoteFetch in flight leaves the continuation pending; park the
+        // state so stop() can abort it if the response never arrives.
+        if (!st->fired) parked_reads_.push_back(st);
+      },
+      bounded);
+  if (!ok) st->cb(std::nullopt);
+}
+
+void ProtocolEngine::submit_snapshot(std::vector<causal::VarId> xs,
+                                     SnapshotCb cb, bool bounded) {
+  auto cbp = std::make_shared<SnapshotCb>(std::move(cb));
+  const bool ok = enqueue(
+      CmdKind::kSnapshot,
+      [this, cbp, xs = std::move(xs)] {
+        // One apply slot => the values form a causally consistent cut. All
+        // vars are locally replicated (caller-validated), so every
+        // continuation runs synchronously.
+        std::vector<causal::Value> out;
+        out.reserve(xs.size());
+        for (const causal::VarId x : xs) {
+          proto_->read(x, [&out](const causal::Value& v) { out.push_back(v); });
+        }
+        CCPR_ASSERT(out.size() == xs.size());
+        defer([cbp, out = std::move(out)]() mutable {
+          (*cbp)(std::move(out));
+        });
+      },
+      bounded);
+  if (!ok) (*cbp)(std::nullopt);
+}
+
+void ProtocolEngine::submit_token(causal::SiteId target, TokenCb cb,
+                                  bool bounded) {
+  auto cbp = std::make_shared<TokenCb>(std::move(cb));
+  const bool ok = enqueue(
+      CmdKind::kToken,
+      [this, cbp, target] {
+        auto token = proto_->coverage_token(target);
+        defer([cbp, token = std::move(token)]() mutable {
+          (*cbp)(std::move(token));
+        });
+      },
+      bounded);
+  if (!ok) (*cbp)(std::nullopt);
+}
+
+void ProtocolEngine::submit_covered(
+    std::vector<std::uint8_t> token, bool has_deadline,
+    std::chrono::steady_clock::time_point deadline, CoveredCb cb,
+    bool bounded) {
+  auto cbp = std::make_shared<CoveredCb>(std::move(cb));
+  const bool ok = enqueue(
+      CmdKind::kCovered,
+      [this, cbp, token = std::move(token), has_deadline,
+       deadline]() mutable {
+        if (proto_->covered_by(token)) {
+          defer([cbp] { (*cbp)(true); });
+          return;
+        }
+        if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+          defer([cbp] { (*cbp)(false); });
+          return;
+        }
+        covered_waiters_.push_back(
+            CoveredWaiter{std::move(token), has_deadline, deadline, cbp});
+      },
+      bounded);
+  if (!ok) (*cbp)(std::nullopt);
+}
+
+// ---- blocking producer API ----
+
+namespace {
+template <class T, class Comp>
+std::function<void(std::optional<T>)> completion_cb(std::shared_ptr<Comp> c) {
+  return [c](std::optional<T> v) {
+    if (v.has_value()) {
+      c->fulfill(std::move(*v));
+    } else {
+      c->abort();
+    }
+  };
+}
+}  // namespace
+
+std::optional<ProtocolEngine::WriteResult> ProtocolEngine::write(
+    causal::VarId x, std::string data, bool local_replica) {
+  auto comp = std::make_shared<Completion<WriteResult>>();
+  submit_write(x, std::move(data), local_replica,
+               completion_cb<WriteResult>(comp), /*bounded=*/true);
   return comp->wait();
 }
 
 std::optional<causal::Value> ProtocolEngine::read(causal::VarId x) {
   auto comp = std::make_shared<Completion<causal::Value>>();
-  const bool ok = enqueue(CmdKind::kRead, [this, comp, x] {
-    proto_->read(x, [comp](const causal::Value& v) { comp->fulfill(v); });
-    // A RemoteFetch in flight leaves the continuation pending; park the
-    // completion so stop() can abort it if the response never arrives.
-    if (!comp->settled()) parked_reads_.push_back(comp);
-  });
-  if (!ok) return std::nullopt;
+  submit_read(x, completion_cb<causal::Value>(comp), /*bounded=*/true);
   return comp->wait();
 }
 
 std::optional<std::vector<causal::Value>> ProtocolEngine::snapshot(
     const std::vector<causal::VarId>& xs) {
   auto comp = std::make_shared<Completion<std::vector<causal::Value>>>();
-  const bool ok = enqueue(CmdKind::kSnapshot, [this, comp, xs] {
-    // One apply slot => the values form a causally consistent cut. All vars
-    // are locally replicated (caller-validated), so every continuation runs
-    // synchronously.
-    std::vector<causal::Value> out;
-    out.reserve(xs.size());
-    for (const causal::VarId x : xs) {
-      proto_->read(x, [&out](const causal::Value& v) { out.push_back(v); });
-    }
-    CCPR_ASSERT(out.size() == xs.size());
-    comp->fulfill(std::move(out));
-  });
-  if (!ok) return std::nullopt;
+  submit_snapshot(xs, completion_cb<std::vector<causal::Value>>(comp),
+                  /*bounded=*/true);
   return comp->wait();
 }
 
 std::optional<std::vector<std::uint8_t>> ProtocolEngine::coverage_token(
     causal::SiteId target) {
   auto comp = std::make_shared<Completion<std::vector<std::uint8_t>>>();
-  const bool ok = enqueue(CmdKind::kToken, [this, comp, target] {
-    comp->fulfill(proto_->coverage_token(target));
-  });
-  if (!ok) return std::nullopt;
+  submit_token(target, completion_cb<std::vector<std::uint8_t>>(comp),
+               /*bounded=*/true);
   return comp->wait();
 }
 
@@ -173,29 +278,60 @@ std::optional<bool> ProtocolEngine::wait_covered(
   auto comp = std::make_shared<Completion<bool>>();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::microseconds(wait_us);
-  const bool ok = enqueue(
-      CmdKind::kCovered,
-      [this, comp, token = std::move(token), deadline]() mutable {
-        if (proto_->covered_by(token)) {
-          comp->fulfill(true);
-          return;
-        }
-        covered_waiters_.push_back(
-            CoveredWaiter{std::move(token), deadline, comp});
-      });
-  if (!ok) return std::nullopt;
+  submit_covered(std::move(token), /*has_deadline=*/true, deadline,
+                 completion_cb<bool>(comp), /*bounded=*/true);
   return comp->wait();
 }
 
+// ---- async producer API ----
+
+void ProtocolEngine::async_write(causal::VarId x, std::string data,
+                                 bool local_replica, WriteCb cb) {
+  submit_write(x, std::move(data), local_replica, std::move(cb),
+               /*bounded=*/false);
+}
+
+void ProtocolEngine::async_read(causal::VarId x, ReadCb cb) {
+  submit_read(x, std::move(cb), /*bounded=*/false);
+}
+
+void ProtocolEngine::async_snapshot(std::vector<causal::VarId> xs,
+                                    SnapshotCb cb) {
+  submit_snapshot(std::move(xs), std::move(cb), /*bounded=*/false);
+}
+
+void ProtocolEngine::async_token(causal::SiteId target, TokenCb cb) {
+  submit_token(target, std::move(cb), /*bounded=*/false);
+}
+
+void ProtocolEngine::async_covered(std::vector<std::uint8_t> token,
+                                   std::uint64_t wait_us, CoveredCb cb) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(wait_us);
+  submit_covered(std::move(token), /*has_deadline=*/true, deadline,
+                 std::move(cb), /*bounded=*/false);
+}
+
+void ProtocolEngine::post_covered_callback(std::vector<std::uint8_t> token,
+                                           CoveredCb cb, bool bounded) {
+  submit_covered(std::move(token), /*has_deadline=*/false, {}, std::move(cb),
+                 bounded);
+}
+
+// ---- status / metrics ----
+
 std::optional<ProtocolEngine::StatusSnapshot> ProtocolEngine::status() {
   auto comp = std::make_shared<Completion<StatusSnapshot>>();
-  const bool ok = enqueue(CmdKind::kStatus, [this, comp] {
-    StatusSnapshot s;
-    s.writes = proto_metrics_->writes;
-    s.reads = proto_metrics_->reads;
-    s.pending_updates = proto_->pending_update_count();
-    comp->fulfill(s);
-  });
+  const bool ok = enqueue(
+      CmdKind::kStatus,
+      [this, comp] {
+        StatusSnapshot s;
+        s.writes = proto_metrics_->writes;
+        s.reads = proto_metrics_->reads;
+        s.pending_updates = proto_->pending_update_count();
+        comp->fulfill(s);
+      },
+      /*bounded=*/true);
   if (!ok) {
     // Stopped-and-joined engines are quiescent; tests read post-mortem
     // state this way. A stop() still in flight reports nullopt instead.
@@ -215,12 +351,15 @@ std::optional<ProtocolEngine::StatusSnapshot> ProtocolEngine::status() {
 
 std::optional<metrics::Metrics> ProtocolEngine::protocol_metrics() {
   auto comp = std::make_shared<Completion<metrics::Metrics>>();
-  const bool ok = enqueue(CmdKind::kStatus, [this, comp] {
-    metrics::Metrics m = *proto_metrics_;
-    m.log_entries.set(proto_->log_entry_count());
-    m.meta_state_bytes.set(proto_->meta_state_bytes());
-    comp->fulfill(std::move(m));
-  });
+  const bool ok = enqueue(
+      CmdKind::kStatus,
+      [this, comp] {
+        metrics::Metrics m = *proto_metrics_;
+        m.log_entries.set(proto_->log_entry_count());
+        m.meta_state_bytes.set(proto_->meta_state_bytes());
+        comp->fulfill(std::move(m));
+      },
+      /*bounded=*/true);
   if (!ok) {
     std::lock_guard lifecycle(lifecycle_mu_);
     if (!quiescent()) return std::nullopt;
@@ -234,8 +373,9 @@ std::optional<metrics::Metrics> ProtocolEngine::protocol_metrics() {
 
 std::optional<store::EngineStats> ProtocolEngine::store_stats() {
   auto comp = std::make_shared<Completion<store::EngineStats>>();
-  const bool ok = enqueue(CmdKind::kStatus,
-                          [this, comp] { comp->fulfill(proto_->store_stats()); });
+  const bool ok = enqueue(
+      CmdKind::kStatus, [this, comp] { comp->fulfill(proto_->store_stats()); },
+      /*bounded=*/true);
   if (!ok) {
     std::lock_guard lifecycle(lifecycle_mu_);
     if (!quiescent()) return std::nullopt;
@@ -249,27 +389,32 @@ bool ProtocolEngine::quiescent() const {
   return proto_ != nullptr && !running_;
 }
 
-void ProtocolEngine::apply_message(net::Message msg) {
+void ProtocolEngine::apply_message(net::Message msg, bool bounded) {
   const CmdKind kind = (msg.kind == net::MsgKind::kCatchupReq ||
                         msg.kind == net::MsgKind::kCatchupResp)
                            ? CmdKind::kCatchup
                            : CmdKind::kApplyUpdate;
-  enqueue(kind, [this, msg = std::move(msg)]() mutable {
-    if (durability_) {
-      durability_->on_inbound(proto_.get(), std::move(msg));
-    } else {
-      proto_->on_message(msg);
-    }
-  });
+  enqueue(
+      kind,
+      [this, msg = std::move(msg)]() mutable {
+        if (durability_) {
+          durability_->on_inbound(proto_.get(), std::move(msg));
+        } else {
+          proto_->on_message(msg);
+        }
+      },
+      bounded);
 }
 
 void ProtocolEngine::post_timer(std::function<void()> fn) {
-  enqueue(CmdKind::kTimer, std::move(fn));
+  enqueue(CmdKind::kTimer, std::move(fn), /*bounded=*/true);
 }
 
 void ProtocolEngine::post_catchup_tick() {
   if (!durability_) return;
-  enqueue(CmdKind::kCatchup, [this] { durability_->tick(proto_.get()); });
+  enqueue(
+      CmdKind::kCatchup, [this] { durability_->tick(proto_.get()); },
+      /*bounded=*/true);
 }
 
 void ProtocolEngine::protocol_send(net::Message msg) {
@@ -288,7 +433,8 @@ std::optional<Durability::Stats> ProtocolEngine::durability_stats() {
   if (!durability_) return Durability::Stats{};
   auto comp = std::make_shared<Completion<Durability::Stats>>();
   const bool ok = enqueue(
-      CmdKind::kStatus, [this, comp] { comp->fulfill(durability_->stats()); });
+      CmdKind::kStatus, [this, comp] { comp->fulfill(durability_->stats()); },
+      /*bounded=*/true);
   if (!ok) {
     std::lock_guard lifecycle(lifecycle_mu_);
     if (!quiescent()) return std::nullopt;
@@ -300,9 +446,9 @@ std::optional<Durability::Stats> ProtocolEngine::durability_stats() {
 std::optional<Durability::CatchupProgress> ProtocolEngine::catchup_progress() {
   if (!durability_) return Durability::CatchupProgress{};
   auto comp = std::make_shared<Completion<Durability::CatchupProgress>>();
-  const bool ok = enqueue(CmdKind::kStatus, [this, comp] {
-    comp->fulfill(durability_->progress());
-  });
+  const bool ok = enqueue(
+      CmdKind::kStatus, [this, comp] { comp->fulfill(durability_->progress()); },
+      /*bounded=*/true);
   if (!ok) {
     std::lock_guard lifecycle(lifecycle_mu_);
     if (!quiescent()) return std::nullopt;
@@ -318,11 +464,17 @@ ProtocolEngine::QueueStats ProtocolEngine::queue_stats() const {
   s.capacity = opts_.queue_capacity;
   s.peak_depth = peak_depth_;
   s.producer_waits = producer_waits_;
+  s.parked_reads = parked_reads_gauge_.load(std::memory_order_relaxed);
+  s.covered_waiters = covered_waiters_gauge_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kCmdKinds; ++i) s.enqueued[i] = enqueued_[i];
   return s;
 }
 
 void ProtocolEngine::loop() {
+  // Publish recovered/initial state before serving anything: with a
+  // batch-end hook installed (sharded site), peers must be able to learn
+  // this shard's post-recovery coverage from the very first wrapped send.
+  if (batch_end_hook_) batch_end_hook_(*proto_);
   std::deque<Cmd> batch;
   for (;;) {
     batch.clear();
@@ -330,14 +482,17 @@ void ProtocolEngine::loop() {
       std::unique_lock lk(mu_);
       const auto ready = [&] { return !queue_.empty() || stop_requested_; };
       if (!ready()) {
-        if (covered_waiters_.empty()) {
-          cv_consume_.wait(lk, ready);
-        } else {
-          auto deadline = covered_waiters_.front().deadline;
-          for (const CoveredWaiter& w : covered_waiters_) {
-            deadline = std::min(deadline, w.deadline);
-          }
+        bool have_deadline = false;
+        auto deadline = std::chrono::steady_clock::time_point::max();
+        for (const CoveredWaiter& w : covered_waiters_) {
+          if (!w.has_deadline) continue;
+          have_deadline = true;
+          deadline = std::min(deadline, w.deadline);
+        }
+        if (have_deadline) {
           cv_consume_.wait_until(lk, deadline, ready);
+        } else {
+          cv_consume_.wait(lk, ready);
         }
       }
       if (queue_.empty() && stop_requested_) break;
@@ -345,6 +500,7 @@ void ProtocolEngine::loop() {
       cv_produce_.notify_all();
     }
 
+    in_batch_ = true;
     bool coverage_dirty = false;
     for (Cmd& cmd : batch) {
       cmd.run();
@@ -354,13 +510,26 @@ void ProtocolEngine::loop() {
                        cmd.kind == CmdKind::kApplyUpdate ||
                        cmd.kind == CmdKind::kTimer;
     }
+    // Publish-before-fulfill: the hook runs while every callback this batch
+    // produced is still deferred, so anything a session learns from those
+    // callbacks is already reflected in the published coverage tokens.
+    if (coverage_dirty && batch_end_hook_) batch_end_hook_(*proto_);
     if (!parked_reads_.empty()) {
       parked_reads_.erase(
           std::remove_if(parked_reads_.begin(), parked_reads_.end(),
-                         [](const auto& c) { return c->settled(); }),
+                         [](const auto& st) { return st->fired; }),
           parked_reads_.end());
     }
     if (!covered_waiters_.empty()) recheck_covered_waiters(!coverage_dirty);
+    in_batch_ = false;
+    if (!deferred_.empty()) {
+      std::vector<std::function<void()>> fire;
+      fire.swap(deferred_);
+      for (auto& fn : fire) fn();
+    }
+    parked_reads_gauge_.store(parked_reads_.size(), std::memory_order_relaxed);
+    covered_waiters_gauge_.store(covered_waiters_.size(),
+                                 std::memory_order_relaxed);
   }
   abort_parked();
 }
@@ -368,15 +537,17 @@ void ProtocolEngine::loop() {
 void ProtocolEngine::recheck_covered_waiters(bool expire_only) {
   const auto now = std::chrono::steady_clock::now();
   for (auto it = covered_waiters_.begin(); it != covered_waiters_.end();) {
-    const bool expired = now >= it->deadline;
+    const bool expired = it->has_deadline && now >= it->deadline;
     if (expired || !expire_only) {
       if (proto_->covered_by(it->token)) {
-        it->done->fulfill(true);
+        auto cb = it->cb;
+        defer([cb] { (*cb)(true); });
         it = covered_waiters_.erase(it);
         continue;
       }
       if (expired) {
-        it->done->fulfill(false);
+        auto cb = it->cb;
+        defer([cb] { (*cb)(false); });
         it = covered_waiters_.erase(it);
         continue;
       }
@@ -386,10 +557,14 @@ void ProtocolEngine::recheck_covered_waiters(bool expire_only) {
 }
 
 void ProtocolEngine::abort_parked() {
-  for (const auto& c : parked_reads_) c->abort();
+  for (const auto& st : parked_reads_) {
+    if (!st->fired) st->cb(std::nullopt);
+  }
   parked_reads_.clear();
-  for (const CoveredWaiter& w : covered_waiters_) w.done->abort();
+  for (const CoveredWaiter& w : covered_waiters_) (*w.cb)(std::nullopt);
   covered_waiters_.clear();
+  parked_reads_gauge_.store(0, std::memory_order_relaxed);
+  covered_waiters_gauge_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ccpr::server

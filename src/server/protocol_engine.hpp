@@ -1,12 +1,14 @@
-// ProtocolEngine: the single-writer core of a site server.
+// ProtocolEngine: the single-writer core of a site server (or of one
+// engine shard of a sharded site — see server/sharded_engine.hpp).
 //
 // One apply thread owns the causal::IProtocol instance exclusively; nothing
 // else ever touches it (the protocols assert this — see the Services
 // re-entrancy contract in causal/protocol.hpp). Everything that used to
 // contend on SiteServer's big mutex is now a *producer*: client-connection
 // threads, the transport delivery thread and the timer thread enqueue typed
-// commands onto one bounded MPSC queue and, for request/response commands,
-// block on a per-command completion until the apply thread has executed it.
+// commands onto one bounded MPSC queue and either block on a per-command
+// completion (legacy blocking API) or hand the engine a callback (async
+// API, used by the epoll reactor and the sharded-engine plumbing).
 //
 // Why this shape scales: protocol work is short and strictly serial anyway
 // (causal metadata has no exploitable intra-site parallelism), so the old
@@ -17,16 +19,29 @@
 // the queue bound gives admission control (a slow site pushes back on its
 // clients instead of buffering unboundedly).
 //
+// Callback discipline (async API): callbacks are invoked exactly once —
+// with a value on success, with std::nullopt if the engine is stopped or
+// stopping. They fire on the apply thread, but *deferred to the end of the
+// batch* that produced the result, after the batch-end hook has run. That
+// ordering is what makes cross-shard dependency tokens sound: the hook
+// publishes this shard's coverage tokens, so by the time any session
+// observes a completion, the published tokens already cover everything that
+// session saw (see sharded_engine.hpp). Callbacks may call the engine's
+// async API freely (those enqueues never block) but must not call the
+// blocking API.
+//
 // Blocking semantics recovered without holding locks across protocol calls:
 //   * reads that RemoteFetch complete later — the continuation fires on the
 //     apply thread during a subsequent message apply and fulfills the
 //     waiting producer's completion;
 //   * covered_by waits — waiters are parked engine-side and re-checked
-//     after every coverage-changing command, with a deadline.
+//     after every coverage-changing command, with a deadline (or without
+//     one, for the sharded engine's envelope admission).
 // On stop() every parked waiter and never-completed read is aborted, and
 // producers get std::nullopt (the server maps that to kShuttingDown).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -76,6 +91,8 @@ class ProtocolEngine {
     std::uint64_t capacity = 0;
     std::uint64_t peak_depth = 0;
     std::uint64_t producer_waits = 0;  ///< enqueues that hit the bound
+    std::uint64_t parked_reads = 0;    ///< RemoteFetch reads in flight
+    std::uint64_t covered_waiters = 0; ///< parked covered_by waits
     std::uint64_t enqueued[kCmdKinds] = {};  ///< per-kind admission counts
     std::uint64_t enqueued_total() const noexcept {
       std::uint64_t t = 0;
@@ -94,6 +111,20 @@ class ProtocolEngine {
     std::uint64_t reads = 0;
     std::uint64_t pending_updates = 0;
   };
+
+  using WriteCb = std::function<void(std::optional<WriteResult>)>;
+  using ReadCb = std::function<void(std::optional<causal::Value>)>;
+  using SnapshotCb =
+      std::function<void(std::optional<std::vector<causal::Value>>)>;
+  using TokenCb =
+      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+  using CoveredCb = std::function<void(std::optional<bool>)>;
+  /// Batch-end hook: runs on the apply thread after every batch that may
+  /// have advanced the applied frontier (writes, peer applies, timers) and
+  /// once at loop start (so recovered state is visible), always *before*
+  /// that batch's deferred callbacks fire. The sharded engine publishes
+  /// this shard's coverage tokens here.
+  using BatchEndHook = std::function<void(causal::IProtocol&)>;
 
   explicit ProtocolEngine(Options opts);
   ~ProtocolEngine();
@@ -118,6 +149,9 @@ class ProtocolEngine {
   /// Returns false (engine unusable) with `*err` set on failure.
   bool recover(std::string* err);
 
+  /// Install the batch-end hook. Must precede start(); at most once.
+  void set_batch_end_hook(BatchEndHook hook);
+
   /// Launch the apply thread. The protocol must already be adopted.
   void start();
   /// Drain queued commands, abort parked reads/waiters, join the apply
@@ -126,7 +160,8 @@ class ProtocolEngine {
   void stop();
   bool running() const noexcept;
 
-  // ---- blocking producer API (client-connection threads) ----
+  // ---- blocking producer API (client/admin threads; never call from an
+  //      apply thread or an engine callback) ----
   // Every call returns std::nullopt iff the engine is (or goes) stopped.
 
   /// `local_replica` tells the engine whether peek(x) is meaningful here
@@ -151,12 +186,33 @@ class ProtocolEngine {
   /// Value-store engine counters (same apply-thread snapshot discipline).
   std::optional<store::EngineStats> store_stats();
 
+  // ---- async producer API (reactor threads, sharded-engine plumbing) ----
+  // Enqueues never block on the queue bound (backpressure lives at the
+  // connection layer); the callback always fires exactly once.
+
+  void async_write(causal::VarId x, std::string data, bool local_replica,
+                   WriteCb cb);
+  void async_read(causal::VarId x, ReadCb cb);
+  void async_snapshot(std::vector<causal::VarId> xs, SnapshotCb cb);
+  void async_token(causal::SiteId target, TokenCb cb);
+  void async_covered(std::vector<std::uint8_t> token, std::uint64_t wait_us,
+                     CoveredCb cb);
+  /// Deadline-less covered wait for the sharded engine's envelope
+  /// admission: cb(true) once the token is covered, cb(nullopt) if the
+  /// engine stops first (cb may fire synchronously in that case).
+  /// `bounded=true` blocks on the queue bound — only callable from
+  /// delivery/client threads; pass false from apply-thread contexts.
+  void post_covered_callback(std::vector<std::uint8_t> token, CoveredCb cb,
+                             bool bounded);
+
   // ---- non-blocking producer API ----
 
   /// Transport delivery: enqueue a peer message apply. Blocks only on the
-  /// queue bound; drops the message if the engine is stopped (shutdown
-  /// races only — a live engine never drops).
-  void apply_message(net::Message msg);
+  /// queue bound (with `bounded=false` it never blocks — required when the
+  /// caller is another shard's apply thread releasing a parked envelope);
+  /// drops the message if the engine is stopped (shutdown races only — a
+  /// live engine never drops).
+  void apply_message(net::Message msg, bool bounded = true);
   /// Timer thread: marshal a Services::schedule callback onto the apply
   /// thread. Dropped if the engine is stopped.
   void post_timer(std::function<void()> fn);
@@ -213,20 +269,28 @@ class ProtocolEngine {
       cv.wait(lk, [&] { return value.has_value() || aborted; });
       return std::move(value);
     }
-    bool settled() {
-      std::lock_guard lk(mu);
-      return value.has_value() || aborted;
-    }
+  };
+
+  /// A read whose RemoteFetch continuation has not fired yet.
+  struct ReadState {
+    ReadCb cb;
+    bool fired = false;  ///< apply-thread-only
   };
 
   struct CoveredWaiter {
     std::vector<std::uint8_t> token;
-    std::chrono::steady_clock::time_point deadline;
-    std::shared_ptr<Completion<bool>> done;
+    bool has_deadline = true;
+    std::chrono::steady_clock::time_point deadline{};
+    std::shared_ptr<CoveredCb> cb;
   };
 
   /// Enqueue; returns false if the engine is stopped (command not queued).
-  bool enqueue(CmdKind kind, std::function<void()> run);
+  /// `bounded` enqueues block while the queue is at capacity; unbounded
+  /// ones never wait (apply threads and engine callbacks must use those to
+  /// stay deadlock-free).
+  bool enqueue(CmdKind kind, std::function<void()> run, bool bounded);
+  /// Run `fn` now, or — inside a batch — after the batch-end hook.
+  void defer(std::function<void()> fn);
   /// True iff the apply thread is gone for good (stopped and joined, or
   /// never started) — direct protocol reads are then race-free.
   bool quiescent() const;
@@ -234,12 +298,23 @@ class ProtocolEngine {
   void recheck_covered_waiters(bool expire_only);
   void abort_parked();
 
+  void submit_write(causal::VarId x, std::string data, bool local_replica,
+                    WriteCb cb, bool bounded);
+  void submit_read(causal::VarId x, ReadCb cb, bool bounded);
+  void submit_snapshot(std::vector<causal::VarId> xs, SnapshotCb cb,
+                       bool bounded);
+  void submit_token(causal::SiteId target, TokenCb cb, bool bounded);
+  void submit_covered(std::vector<std::uint8_t> token, bool has_deadline,
+                      std::chrono::steady_clock::time_point deadline,
+                      CoveredCb cb, bool bounded);
+
   Options opts_;
   std::unique_ptr<causal::IProtocol> proto_;
   metrics::Metrics* proto_metrics_ = nullptr;  ///< apply-thread-only reads
   /// Apply-thread-only after recover(); null when the server runs without
   /// persistence or catch-up (e.g. unit-test engines).
   std::unique_ptr<Durability> durability_;
+  BatchEndHook batch_end_hook_;  ///< apply-thread-only after start()
 
   /// Serializes start()/stop() against each other (two concurrent stop()s
   /// must not both reach the join) and against the quiescent-fallback
@@ -255,14 +330,20 @@ class ProtocolEngine {
   std::uint64_t peak_depth_ = 0;
   std::uint64_t producer_waits_ = 0;
   std::uint64_t enqueued_[kCmdKinds] = {};
+  /// Parked-work gauges mirrored out of the apply thread for queue_stats().
+  std::atomic<std::uint64_t> parked_reads_gauge_{0};
+  std::atomic<std::uint64_t> covered_waiters_gauge_{0};
 
   std::thread apply_thread_;
 
   // ---- apply-thread-private state (no locks needed) ----
-  /// Reads whose continuation has not fired yet (RemoteFetch in flight).
-  std::vector<std::shared_ptr<Completion<causal::Value>>> parked_reads_;
+  std::vector<std::shared_ptr<ReadState>> parked_reads_;
   /// covered_by waiters parked until coverage or deadline.
   std::vector<CoveredWaiter> covered_waiters_;
+  /// Callbacks deferred to the end of the current batch (fired after the
+  /// batch-end hook; see the callback-discipline comment above).
+  std::vector<std::function<void()>> deferred_;
+  bool in_batch_ = false;
 };
 
 }  // namespace ccpr::server

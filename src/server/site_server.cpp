@@ -11,7 +11,6 @@
 #include <utility>
 
 #include "causal/value_codec.hpp"
-#include "server/client_protocol.hpp"
 #include "server/metrics_text.hpp"
 #include "util/assert.hpp"
 
@@ -39,6 +38,13 @@ SiteServer::SiteServer(ClusterConfig config, causal::SiteId self, Options opts)
                            ? config_.max_frame_bytes
                            : net::kDefaultMaxFrameBytes) {
   CCPR_EXPECTS(self_ < config_.site_count());
+  if (opts_.engine_shards.has_value()) {
+    config_.protocol.engine_shards = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(*opts_.engine_shards, 256));
+  }
+  const std::uint32_t shards =
+      std::max<std::uint32_t>(1, config_.protocol.engine_shards);
+
   net::TcpTransport::Options topts;
   topts.self = self_;
   topts.listen_host = config_.sites[self_].host;
@@ -64,63 +70,108 @@ SiteServer::SiteServer(ClusterConfig config, causal::SiteId self, Options opts)
   if (config_.engine_queue_cap > 0) {
     eopts.queue_capacity = config_.engine_queue_cap;
   }
-  engine_ = std::make_unique<ProtocolEngine>(eopts);
+  engine_ = std::make_unique<ShardedEngine>(shards, self_,
+                                            config_.site_count(), eopts);
+  engine_->set_transport_send(
+      [this](net::Message m) { transport_->send(std::move(m)); });
 
-  Durability::Options dopts;
-  dopts.data_dir = opts_.data_dir;
-  dopts.wal_sync = opts_.wal_sync;
-  dopts.self = self_;
-  dopts.sites = config_.site_count();
-  if (config_.catchup_retain > 0) dopts.catchup_retain = config_.catchup_retain;
-  if (config_.checkpoint_every > 0) {
-    dopts.checkpoint_every = config_.checkpoint_every;
-  }
-  // Resend chunks must fit under the per-peer outbound queue cap, or the
-  // queue's drop-oldest overflow policy discards the front of every chunk.
-  if (config_.peer_queue_cap > 0) {
-    dopts.catchup_burst = std::min<std::uint32_t>(
-        dopts.catchup_burst, std::max<std::uint32_t>(config_.peer_queue_cap / 2, 1));
-  }
-  engine_->configure_durability(
-      dopts, [this](net::Message m) { transport_->send(std::move(m)); });
+  shard_protos_.resize(shards, nullptr);
+  for (std::uint32_t k = 0; k < shards; ++k) {
+    ProtocolEngine& eng = engine_->shard(k);
 
-  causal::Services svc;
-  // send runs on the engine's apply thread (from inside protocol calls);
-  // schedule callbacks are marshalled back onto it as timer commands —
-  // both sides of the Services re-entrancy contract are discharged by the
-  // engine's single apply thread. Sends route through the durability layer
-  // so outbound updates get their durable channel stamps.
-  svc.send = [this](net::Message m) { engine_->protocol_send(std::move(m)); };
-  svc.persist_meta_merge = [this](causal::VarId x, causal::SiteId responder,
-                                  const std::uint8_t* data, std::size_t len) {
-    engine_->persist_meta_merge(x, responder, data, len);
-  };
-  svc.now = [] { return wall_now_us(); };
-  svc.schedule = [this](sim::SimTime delay, std::function<void()> fn) {
-    timers_.schedule_after(
-        delay, [this, fn = std::move(fn)] { engine_->post_timer(fn); });
-  };
-  svc.metrics = &proto_metrics_;
-  // Lock-free atomic read; safe from the apply thread at any point in the
-  // server's lifetime (health_ is sized once, below).
-  svc.peer_suspected = [this](causal::SiteId s) { return peer_suspected(s); };
-  causal::ProtocolOptions popts = config_.protocol;
-  if (opts_.store_engine.has_value()) {
-    popts.store_engine.kind = *opts_.store_engine;
+    Durability::Options dopts;
+    // Shard 0 keeps the historic layout so an existing single-shard WAL
+    // restarts in place; extra shards log in per-shard subdirectories.
+    if (!opts_.data_dir.empty()) {
+      dopts.data_dir = k == 0
+                           ? opts_.data_dir
+                           : opts_.data_dir + "/shard-" + std::to_string(k);
+    }
+    dopts.wal_sync = opts_.wal_sync;
+    dopts.self = self_;
+    dopts.sites = config_.site_count();
+    if (config_.catchup_retain > 0) {
+      dopts.catchup_retain = config_.catchup_retain;
+    }
+    if (config_.checkpoint_every > 0) {
+      dopts.checkpoint_every = config_.checkpoint_every;
+    }
+    // Resend chunks must fit under the per-peer outbound queue cap, or the
+    // queue's drop-oldest overflow policy discards the front of every chunk.
+    if (config_.peer_queue_cap > 0) {
+      dopts.catchup_burst = std::min<std::uint32_t>(
+          dopts.catchup_burst,
+          std::max<std::uint32_t>(config_.peer_queue_cap / 2, 1));
+    }
+    // Stamped updates are wrapped with cross-shard coverage tokens *before*
+    // retention, so catch-up resends replay the original-send envelope
+    // verbatim. Re-wrapping at resend time with current tokens could demand
+    // coverage of writes parked behind the resent update at the receiver —
+    // a cross-shard deadlock (see Durability::Options::wrap_update).
+    dopts.wrap_update = [this, k](net::Message m) {
+      return engine_->wrap(k, std::move(m));
+    };
+    // Durability forwards through the sharded wrapper: fresh sends get
+    // wrapped here, already-wrapped retained resends pass through verbatim.
+    eng.configure_durability(dopts, [this, k](net::Message m) {
+      engine_->wrap_and_send(k, std::move(m));
+    });
+
+    causal::Services svc;
+    // send runs on shard k's apply thread (from inside protocol calls);
+    // schedule callbacks are marshalled back onto it as timer commands —
+    // both sides of the Services re-entrancy contract are discharged by
+    // that one apply thread. Sends route through the durability layer so
+    // outbound updates get their durable channel stamps.
+    svc.send = [this, k](net::Message m) {
+      engine_->shard(k).protocol_send(std::move(m));
+    };
+    svc.persist_meta_merge = [this, k](causal::VarId x,
+                                       causal::SiteId responder,
+                                       const std::uint8_t* data,
+                                       std::size_t len) {
+      engine_->shard(k).persist_meta_merge(x, responder, data, len);
+    };
+    svc.now = [] { return wall_now_us(); };
+    svc.schedule = [this, k](sim::SimTime delay, std::function<void()> fn) {
+      timers_.schedule_after(delay, [this, k, fn = std::move(fn)] {
+        engine_->shard(k).post_timer(fn);
+      });
+    };
+    svc.metrics = engine_->shard_metrics(k);
+    // Lock-free atomic read; safe from any apply thread at any point in
+    // the server's lifetime (health_ is sized once, below).
+    svc.peer_suspected = [this](causal::SiteId s) { return peer_suspected(s); };
+
+    causal::ProtocolOptions popts = config_.protocol;
+    // The ShardedEngine owns the sharding here; each inner protocol is a
+    // plain single-shard instance (a nested ShardGroup would double-wrap),
+    // but issues WriteIds from shard k's slice of the seq space so the
+    // site's shards never collide on (writer, seq).
+    popts.engine_shards = 1;
+    popts.write_seq_offset = k;
+    popts.write_seq_stride = shards;
+    if (opts_.store_engine.has_value()) {
+      popts.store_engine.kind = *opts_.store_engine;
+    }
+    // The spill segment lives next to this site's WAL; without a data dir
+    // there is nowhere durable to put it, so the budget degrades to
+    // "never spill" rather than scribbling on the CWD.
+    if (!opts_.data_dir.empty()) {
+      popts.store_engine.spill_dir =
+          opts_.data_dir + "/spill-site-" + std::to_string(self_);
+      if (k > 0) {
+        popts.store_engine.spill_dir += "/shard-" + std::to_string(k);
+      }
+    } else {
+      popts.store_engine.spill_budget_bytes = 0;
+    }
+    auto proto = causal::make_protocol(config_.algorithm, self_, rmap_,
+                                       std::move(svc), popts);
+    shard_protos_[k] = proto.get();
+    eng.adopt_protocol(std::move(proto), engine_->shard_metrics(k));
   }
-  // The spill segment lives next to this site's WAL; without a data dir
-  // there is nowhere durable to put it, so the budget degrades to
-  // "never spill" rather than scribbling on the CWD.
-  if (!opts_.data_dir.empty()) {
-    popts.store_engine.spill_dir =
-        opts_.data_dir + "/spill-site-" + std::to_string(self_);
-  } else {
-    popts.store_engine.spill_budget_bytes = 0;
-  }
-  engine_->adopt_protocol(
-      causal::make_protocol(config_.algorithm, self_, rmap_, std::move(svc),
-                            popts),
-      &proto_metrics_);
+  engine_->install_hooks();
 
   health_ = std::vector<PeerHealth>(config_.site_count());
   hb_interval_us_ = config_.heartbeat_interval_us > 0
@@ -135,23 +186,35 @@ SiteServer::~SiteServer() { stop(); }
 bool SiteServer::start() {
   CCPR_EXPECTS(!started_);
   stopping_.store(false, std::memory_order_relaxed);
-  // Recovery replays the WAL on this thread before anything concurrent
-  // exists; a failure here means the durable state is unusable and the
-  // operator must intervene (delete the WAL to restart empty).
-  std::string err;
-  if (!engine_->recover(&err)) {
-    std::fprintf(stderr, "ccpr_server: site %u recovery failed: %s\n", self_,
-                 err.c_str());
-    return false;
+  // Recovery replays each shard's WAL on this thread before anything
+  // concurrent exists; a failure means the durable state is unusable and
+  // the operator must intervene (delete the WAL to restart empty). Shard 0
+  // goes first: its WAL directory is the parent of the others.
+  for (std::uint32_t k = 0; k < engine_->shards(); ++k) {
+    std::string err;
+    if (!engine_->shard(k).recover(&err)) {
+      std::fprintf(stderr,
+                   "ccpr_server: site %u shard %u recovery failed: %s\n",
+                   self_, k, err.c_str());
+      return false;
+    }
   }
-  // The engine must accept commands before the transport can deliver.
-  engine_->start();
+  // Publish every shard's post-recovery coverage tokens before any apply
+  // thread (or peer delivery) exists: the first wrapped send must carry
+  // tokens covering the recovered state, not an empty fresh-boot cache.
+  for (std::uint32_t k = 0; k < engine_->shards(); ++k) {
+    engine_->publish_tokens(k, *shard_protos_[k]);
+  }
+  // The engines must accept commands before the transport can deliver.
+  engine_->start_all();
   if (!transport_->start()) {
-    engine_->stop();
+    engine_->stop_all();
     return false;
   }
   timers_.start();
-  engine_->post_catchup_tick();  // announce watermarks immediately
+  for (std::uint32_t k = 0; k < engine_->shards(); ++k) {
+    engine_->shard(k).post_catchup_tick();  // announce watermarks now
+  }
   schedule_catchup_tick();
   // Arm the failure detector with a clean slate: no peer is suspected
   // until it has been silent for the full window from *this* start.
@@ -163,8 +226,8 @@ bool SiteServer::start() {
   }
   schedule_heartbeat_tick();
   // Catch-up gate: a site restarting from a WAL answers clients only after
-  // every peer has streamed the updates it missed (bounded by the timeout —
-  // a dead peer must not wedge the restart forever).
+  // every peer has streamed the updates every shard missed (bounded by the
+  // timeout — a dead peer must not wedge the restart forever).
   const auto progress = engine_->catchup_progress();
   if (progress && progress->recovered) {
     const std::uint32_t timeout_ms = config_.catchup_timeout_ms > 0
@@ -178,18 +241,49 @@ bool SiteServer::start() {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
   }
-  client_listen_ = net::tcp_listen(config_.sites[self_].host,
-                                   config_.sites[self_].client_port,
-                                   &client_port_);
-  if (!client_listen_.valid()) {
-    timers_.stop();
-    transport_->stop();
-    engine_->stop();
+  // Admin executor before the reactor: the first frame may be a kStatus.
+  {
+    std::lock_guard lk(admin_mu_);
+    admin_stop_ = false;
+  }
+  admin_thread_ = std::thread([this] { admin_loop(); });
+
+  net::Socket listener = net::tcp_listen(config_.sites[self_].host,
+                                         config_.sites[self_].client_port,
+                                         &client_port_);
+  if (!listener.valid()) {
+    stop_admin_and_core();
     return false;
   }
-  client_accept_thread_ = std::thread([this] { accept_clients(); });
+  net::Reactor::Options ropts;
+  ropts.io_threads =
+      config_.client_io_threads > 0 ? config_.client_io_threads : 2;
+  ropts.max_frame_bytes = max_frame_bytes_;
+  reactor_ = std::make_unique<net::Reactor>(
+      std::move(listener), ropts,
+      [this](const net::Reactor::ConnRef& ref,
+             std::vector<std::uint8_t> body) {
+        handle_client_frame(ref, std::move(body));
+      });
+  if (!reactor_->start()) {
+    reactor_.reset();
+    stop_admin_and_core();
+    return false;
+  }
   started_ = true;
   return true;
+}
+
+void SiteServer::stop_admin_and_core() {
+  {
+    std::lock_guard lk(admin_mu_);
+    admin_stop_ = true;
+  }
+  admin_cv_.notify_all();
+  if (admin_thread_.joinable()) admin_thread_.join();
+  timers_.stop();
+  transport_->stop();
+  engine_->stop_all();
 }
 
 void SiteServer::schedule_catchup_tick() {
@@ -198,7 +292,9 @@ void SiteServer::schedule_catchup_tick() {
   timers_.schedule_after(
       static_cast<std::int64_t>(interval_ms) * 1000, [this] {
         if (stopping_.load(std::memory_order_relaxed)) return;
-        engine_->post_catchup_tick();
+        for (std::uint32_t k = 0; k < engine_->shards(); ++k) {
+          engine_->shard(k).post_catchup_tick();
+        }
         schedule_catchup_tick();
       });
 }
@@ -236,8 +332,8 @@ void SiteServer::heartbeat_tick() {
     // is not flapped into suspicion, with the configured floor as the
     // minimum (suspect-after).
     const std::uint64_t rtt = h.rtt_ewma_us.load(std::memory_order_relaxed);
-    const std::uint64_t window =
-        std::max<std::uint64_t>(suspect_floor_us_, 4 * rtt + 2 * hb_interval_us_);
+    const std::uint64_t window = std::max<std::uint64_t>(
+        suspect_floor_us_, 4 * rtt + 2 * hb_interval_us_);
     if (now > base + window &&
         !h.suspected.exchange(true, std::memory_order_relaxed)) {
       h.suspect_events.fetch_add(1, std::memory_order_relaxed);
@@ -248,28 +344,24 @@ void SiteServer::heartbeat_tick() {
 void SiteServer::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_relaxed);
-  // Stop taking new clients: shut the listener down and join the accept
-  // thread *before* sweeping conns_, so no connection accepted at the last
-  // moment can be inserted after the sweep (accept_clients holds conns_mu_
-  // only for the insert) and then sit in a socket read forever.
-  client_listen_.shutdown_both();
-  if (client_accept_thread_.joinable()) client_accept_thread_.join();
-  // Unblock every client thread parked in a socket read.
-  {
-    std::lock_guard lk(conns_mu_);
-    for (auto& conn : conns_) conn->sock.shutdown_both();
+  // Stop client I/O first: the reactor closes every connection and joins
+  // its loops; engine callbacks still in flight then hit send_response's
+  // late-response drop instead of a dead socket.
+  if (reactor_) {
+    reactor_->stop();
+    reactor_.reset();
   }
-  // Drain queued commands and abort parked reads / covered waits, so every
-  // client thread blocked on a completion observes kShuttingDown.
-  engine_->stop();
+  // Drain the admin executor (its jobs use the blocking engine API, so it
+  // must go before the engines do).
   {
-    std::lock_guard lk(conns_mu_);
-    for (auto& conn : conns_) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
-    conns_.clear();
+    std::lock_guard lk(admin_mu_);
+    admin_stop_ = true;
   }
-  client_listen_.close();
+  admin_cv_.notify_all();
+  if (admin_thread_.joinable()) admin_thread_.join();
+  // Abort parked reads / covered waits and stop the apply threads; any
+  // remaining async callbacks observe nullopt and drop their responses.
+  engine_->stop_all();
   timers_.stop();
   // Best effort: let queued protocol traffic reach live peers before the
   // sockets close. A dead peer's queue is dropped (it would be stale for
@@ -317,135 +409,184 @@ void SiteServer::deliver(net::Message msg) {
     h.suspected.store(false, std::memory_order_relaxed);
     return;
   }
-  // Pure producer: the delivery thread never touches the protocol. It may
-  // block on the engine's queue bound (the transport's inbound queue is
-  // unbounded precisely so this backpressure cannot deadlock peers).
-  engine_->apply_message(std::move(msg));
+  // Pure producer: the delivery thread never touches a protocol. Envelope
+  // admission (sharded) or the single engine's queue bound provide the
+  // backpressure; the transport's inbound queue is unbounded precisely so
+  // this cannot deadlock peers.
+  engine_->deliver(std::move(msg));
 }
 
-void SiteServer::accept_clients() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(client_listen_.fd(), nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) return;
-      // A persistent errno (e.g. EMFILE) must not become a busy spin.
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-      continue;
-    }
-    auto conn = std::make_unique<ClientConn>();
-    conn->sock = net::Socket(fd);
-    ClientConn* raw = conn.get();
-    std::lock_guard lk(conns_mu_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if ((*it)->done.load(std::memory_order_acquire)) {
-        if ((*it)->thread.joinable()) (*it)->thread.join();
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    conn->thread = std::thread([this, raw] { serve_client(raw); });
-    conns_.push_back(std::move(conn));
+// ---- client protocol -------------------------------------------------
+
+void SiteServer::send_status(const net::Reactor::ConnRef& ref,
+                             ClientStatus st) {
+  net::Encoder resp;
+  resp.u8(static_cast<std::uint8_t>(st));
+  reactor_->send_response(ref, resp.take());
+}
+
+void SiteServer::finish_with_tokens(net::Reactor::ConnRef ref,
+                                    std::vector<std::uint8_t> partial,
+                                    bool want_tokens, bool dup_replay) {
+  if (!want_tokens || config_.site_count() <= 1) {
+    net::Encoder resp(partial.size() + 1);
+    resp.raw(partial.data(), partial.size());
+    resp.u8(dup_replay ? kRespDupReplay : 0);
+    reactor_->send_response(ref, resp.take());
+    return;
   }
-}
-
-void SiteServer::serve_client(ClientConn* conn) {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const auto req = read_client_frame(conn->sock.fd(), max_frame_bytes_);
-    if (!req) break;
-    net::Decoder dec(req->data(), req->size());
-    net::Encoder resp;
-    handle_request(dec, resp);
-    if (!write_client_frame(conn->sock.fd(), resp.buffer())) break;
-  }
-  // Shut the connection down but do not close() here: releasing the fd
-  // number from this thread would race stop()'s shutdown_both() over a
-  // concurrently reused fd. The fd is closed by ~ClientConn once the reaper
-  // in accept_clients() (or stop()) has joined this thread.
-  conn->sock.shutdown_both();
-  conn->done.store(true, std::memory_order_release);
-}
-
-void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
-  const auto status = [&resp](ClientStatus st) {
-    resp.u8(static_cast<std::uint8_t>(st));
+  // Coverage tokens for every other site, computed after the op: the token
+  // covers at least the session's causal past (tokens are target-specific
+  // and monotone in this site's state), so presenting it at the target
+  // preserves the session guarantees across a failover — even one this
+  // site never hears about. Gathered via an async chain so no event loop
+  // or apply thread ever blocks; a target whose token gather loses to a
+  // shutdown race is simply omitted, as before.
+  struct Gather {
+    net::Reactor::ConnRef ref;
+    std::vector<std::uint8_t> partial;
+    bool dup_replay = false;
+    causal::SiteId next = 0;
+    std::vector<std::pair<causal::SiteId, std::vector<std::uint8_t>>> tokens;
   };
+  auto st = std::make_shared<Gather>();
+  st->ref = ref;
+  st->partial = std::move(partial);
+  st->dup_replay = dup_replay;
+  struct Runner {
+    static void step(SiteServer* srv, std::shared_ptr<Gather> s) {
+      while (s->next == srv->self_) ++s->next;
+      if (s->next >= srv->config_.site_count()) {
+        net::Encoder resp(s->partial.size() + 16);
+        resp.raw(s->partial.data(), s->partial.size());
+        std::uint8_t flags = s->dup_replay ? kRespDupReplay : 0;
+        if (!s->tokens.empty()) flags |= kRespHasTokens;
+        resp.u8(flags);
+        if ((flags & kRespHasTokens) != 0) {
+          resp.varint(s->tokens.size());
+          for (const auto& [target, token] : s->tokens) {
+            resp.varint(target);
+            resp.varint(token.size());
+            resp.raw(token.data(), token.size());
+          }
+        }
+        srv->reactor_->send_response(s->ref, resp.take());
+        return;
+      }
+      const causal::SiteId target = s->next++;
+      srv->engine_->async_token(
+          target,
+          [srv, target, s](std::optional<std::vector<std::uint8_t>> token) {
+            if (token) s->tokens.emplace_back(target, std::move(*token));
+            step(srv, s);
+          });
+    }
+  };
+  Runner::step(this, st);
+}
+
+void SiteServer::handle_client_frame(const net::Reactor::ConnRef& ref,
+                                     std::vector<std::uint8_t> body) {
+  net::Decoder req(body.data(), body.size());
   const std::uint8_t op = req.u8();
   if (!req.ok()) {
-    status(ClientStatus::kBadRequest);
+    send_status(ref, ClientStatus::kBadRequest);
     return;
   }
   switch (static_cast<ClientOp>(op)) {
     case ClientOp::kPing: {
-      status(ClientStatus::kOk);
+      send_status(ref, ClientStatus::kOk);
       return;
     }
     case ClientOp::kPut: {
       const auto x = static_cast<causal::VarId>(req.varint());
       std::string data = req.bytes();
       if (!req.ok() || x >= rmap_.vars()) {
-        status(ClientStatus::kBadRequest);
+        send_status(ref, ClientStatus::kBadRequest);
         return;
       }
       // Trailing opts (absent from old clients): retry metadata.
-      std::uint8_t opts = 0;
+      std::uint8_t popts = 0;
       std::uint64_t session = 0;
       std::uint64_t req_id = 0;
       const bool has_opts = req.remaining() > 0;
       if (has_opts) {
-        opts = req.u8();
-        if ((opts & kReqHasRequestId) != 0) {
+        popts = req.u8();
+        if ((popts & kReqHasRequestId) != 0) {
           session = req.varint();
           req_id = req.varint();
         }
         if (!req.ok()) {
-          status(ClientStatus::kBadRequest);
+          send_status(ref, ClientStatus::kBadRequest);
           return;
         }
       }
-      const bool dedup = (opts & kReqHasRequestId) != 0 && session != 0;
-      std::optional<ProtocolEngine::WriteResult> r;
-      bool replayed = false;
+      const bool dedup = (popts & kReqHasRequestId) != 0 && session != 0;
       if (dedup) {
-        std::lock_guard lk(dedup_mu_);
-        const auto it = put_dedup_.find(session);
-        if (it != put_dedup_.end() && it->second.req_id == req_id) {
-          r = it->second.result;
-          replayed = true;
-        }
-      }
-      if (!replayed) {
-        r = engine_->write(x, std::move(data), rmap_.replicated_at(x, self_));
-        if (r && dedup) {
+        std::optional<ProtocolEngine::WriteResult> replay;
+        {
           std::lock_guard lk(dedup_mu_);
-          if (put_dedup_.size() >= kDedupSessionCap &&
-              put_dedup_.count(session) == 0) {
-            put_dedup_.erase(put_dedup_.begin());
+          const auto it = put_dedup_.find(session);
+          if (it != put_dedup_.end() && it->second.req_id == req_id) {
+            replay = it->second.result;
           }
-          put_dedup_[session] = PutDedup{req_id, *r};
+        }
+        if (replay) {
+          net::Encoder resp;
+          resp.u8(static_cast<std::uint8_t>(ClientStatus::kOk));
+          resp.varint(replay->id.writer + 1);
+          resp.varint(replay->id.seq);
+          resp.varint(replay->lamport);
+          if (has_opts) {
+            finish_with_tokens(ref, resp.take(),
+                               (popts & kReqWantTokens) != 0,
+                               /*dup_replay=*/true);
+          } else {
+            reactor_->send_response(ref, resp.take());
+          }
+          return;
         }
       }
-      if (!r) {
-        status(ClientStatus::kShuttingDown);
-        return;
-      }
-      status(ClientStatus::kOk);
-      resp.varint(r->id.writer + 1);
-      resp.varint(r->id.seq);
-      resp.varint(r->lamport);
-      if (has_opts) {
-        append_response_flags(resp, (opts & kReqWantTokens) != 0, replayed);
-      }
+      const bool local = rmap_.replicated_at(x, self_);
+      engine_->async_write(
+          x, std::move(data), local,
+          [this, ref, has_opts, popts, dedup, session,
+           req_id](std::optional<ProtocolEngine::WriteResult> r) {
+            if (!r) {
+              send_status(ref, ClientStatus::kShuttingDown);
+              return;
+            }
+            if (dedup) {
+              std::lock_guard lk(dedup_mu_);
+              if (put_dedup_.size() >= kDedupSessionCap &&
+                  put_dedup_.count(session) == 0) {
+                put_dedup_.erase(put_dedup_.begin());
+              }
+              put_dedup_[session] = PutDedup{req_id, *r};
+            }
+            net::Encoder resp;
+            resp.u8(static_cast<std::uint8_t>(ClientStatus::kOk));
+            resp.varint(r->id.writer + 1);
+            resp.varint(r->id.seq);
+            resp.varint(r->lamport);
+            if (has_opts) {
+              finish_with_tokens(ref, resp.take(),
+                                 (popts & kReqWantTokens) != 0,
+                                 /*dup_replay=*/false);
+            } else {
+              reactor_->send_response(ref, resp.take());
+            }
+          });
       return;
     }
     case ClientOp::kGet: {
       const auto x = static_cast<causal::VarId>(req.varint());
       if (!req.ok() || x >= rmap_.vars()) {
-        status(ClientStatus::kBadRequest);
+        send_status(ref, ClientStatus::kBadRequest);
         return;
       }
       const bool has_opts = req.remaining() > 0;
-      const std::uint8_t opts = has_opts ? req.u8() : 0;
+      const std::uint8_t gopts = has_opts ? req.u8() : 0;
       if (!rmap_.replicated_at(x, self_)) {
         // The read would park on a RemoteFetch; if the failure detector
         // believes every replica of x is down, fail fast with a typed
@@ -459,20 +600,26 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         }
         if (!any_alive) {
           reads_fast_failed_.fetch_add(1, std::memory_order_relaxed);
-          status(ClientStatus::kUnavailable);
+          send_status(ref, ClientStatus::kUnavailable);
           return;
         }
       }
-      const auto v = engine_->read(x);
-      if (!v) {
-        status(ClientStatus::kShuttingDown);
-        return;
-      }
-      status(ClientStatus::kOk);
-      causal::encode_value(resp, *v);
-      if (has_opts) {
-        append_response_flags(resp, (opts & kReqWantTokens) != 0, false);
-      }
+      engine_->async_read(
+          x, [this, ref, has_opts, gopts](std::optional<causal::Value> v) {
+            if (!v) {
+              send_status(ref, ClientStatus::kShuttingDown);
+              return;
+            }
+            net::Encoder resp;
+            resp.u8(static_cast<std::uint8_t>(ClientStatus::kOk));
+            causal::encode_value(resp, *v);
+            if (has_opts) {
+              finish_with_tokens(ref, resp.take(),
+                                 (gopts & kReqWantTokens) != 0, false);
+            } else {
+              reactor_->send_response(ref, resp.take());
+            }
+          });
       return;
     }
     case ClientOp::kSnapshot: {
@@ -482,71 +629,172 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
         vars.push_back(static_cast<causal::VarId>(req.varint()));
       }
       if (!req.ok() || count == 0 || count > rmap_.vars()) {
-        status(ClientStatus::kBadRequest);
+        send_status(ref, ClientStatus::kBadRequest);
         return;
       }
       for (const causal::VarId x : vars) {
         if (x >= rmap_.vars() || !rmap_.replicated_at(x, self_)) {
-          status(ClientStatus::kNotReplicated);
+          send_status(ref, ClientStatus::kNotReplicated);
           return;
         }
       }
       const bool has_opts = req.remaining() > 0;
       const std::uint8_t sopts = has_opts ? req.u8() : 0;
-      // One engine command: the values form a causally consistent cut
-      // exactly as in ThreadedCluster::read_many.
-      const auto values = engine_->snapshot(vars);
-      if (!values) {
-        status(ClientStatus::kShuttingDown);
-        return;
-      }
-      status(ClientStatus::kOk);
-      resp.varint(values->size());
-      for (const causal::Value& v : *values) causal::encode_value(resp, v);
-      if (has_opts) {
-        append_response_flags(resp, (sopts & kReqWantTokens) != 0, false);
-      }
+      // Single shard: one engine command, the same atomic cut as
+      // ThreadedCluster::read_many. Sharded: a sequence of per-shard cuts
+      // (see sharded_engine.hpp).
+      engine_->async_snapshot(
+          std::move(vars),
+          [this, ref, has_opts,
+           sopts](std::optional<std::vector<causal::Value>> values) {
+            if (!values) {
+              send_status(ref, ClientStatus::kShuttingDown);
+              return;
+            }
+            net::Encoder resp;
+            resp.u8(static_cast<std::uint8_t>(ClientStatus::kOk));
+            resp.varint(values->size());
+            for (const causal::Value& v : *values) {
+              causal::encode_value(resp, v);
+            }
+            if (has_opts) {
+              finish_with_tokens(ref, resp.take(),
+                                 (sopts & kReqWantTokens) != 0, false);
+            } else {
+              reactor_->send_response(ref, resp.take());
+            }
+          });
       return;
     }
     case ClientOp::kToken: {
       const auto target = static_cast<causal::SiteId>(req.varint());
       if (!req.ok() || target >= rmap_.sites()) {
-        status(ClientStatus::kBadRequest);
+        send_status(ref, ClientStatus::kBadRequest);
         return;
       }
-      const auto token = engine_->coverage_token(target);
-      if (!token) {
-        status(ClientStatus::kShuttingDown);
-        return;
-      }
-      status(ClientStatus::kOk);
-      resp.varint(token->size());
-      resp.raw(token->data(), token->size());
+      engine_->async_token(
+          target,
+          [this, ref](std::optional<std::vector<std::uint8_t>> token) {
+            if (!token) {
+              send_status(ref, ClientStatus::kShuttingDown);
+              return;
+            }
+            net::Encoder resp;
+            resp.u8(static_cast<std::uint8_t>(ClientStatus::kOk));
+            resp.varint(token->size());
+            resp.raw(token->data(), token->size());
+            reactor_->send_response(ref, resp.take());
+          });
       return;
     }
     case ClientOp::kCovered: {
       const std::string token_str = req.bytes();
-      // Clamp so a garbage wait cannot park the connection for hours (the
+      // Clamp so a garbage wait cannot park the request for hours (the
       // client polls in bounded rounds anyway).
       const std::uint64_t wait_us =
           std::min<std::uint64_t>(req.varint(), 10'000'000);
       if (!req.ok()) {
-        status(ClientStatus::kBadRequest);
+        send_status(ref, ClientStatus::kBadRequest);
         return;
       }
       std::vector<std::uint8_t> token(token_str.begin(), token_str.end());
-      const auto covered = engine_->wait_covered(std::move(token), wait_us);
-      if (!covered) {
-        status(ClientStatus::kShuttingDown);
-        return;
-      }
-      status(ClientStatus::kOk);
-      resp.u8(*covered ? 1 : 0);
+      engine_->async_covered(
+          std::move(token), wait_us, [this, ref](std::optional<bool> covered) {
+            if (!covered) {
+              send_status(ref, ClientStatus::kShuttingDown);
+              return;
+            }
+            net::Encoder resp;
+            resp.u8(static_cast<std::uint8_t>(ClientStatus::kOk));
+            resp.u8(*covered ? 1 : 0);
+            reactor_->send_response(ref, resp.take());
+          });
       return;
     }
+    case ClientOp::kChaos: {
+      // Touches only the transport (thread-safe); handled inline.
+      const std::uint8_t action = req.u8();
+      if (!req.ok() || action > 1) {
+        send_status(ref, ClientStatus::kBadRequest);
+        return;
+      }
+      if (action == 0) {
+        transport_->clear_chaos();
+        send_status(ref, ClientStatus::kOk);
+        return;
+      }
+      const std::uint64_t peer_plus1 = req.varint();
+      net::ChaosRule rule;
+      rule.drop_milli = static_cast<std::uint32_t>(req.varint());
+      rule.delay_us = static_cast<std::uint32_t>(req.varint());
+      rule.rate_per_s = static_cast<std::uint32_t>(req.varint());
+      rule.partition = req.u8() != 0;
+      if (!req.ok() || rule.drop_milli > 1000 ||
+          peer_plus1 > config_.site_count() ||
+          (peer_plus1 != 0 && peer_plus1 - 1 == self_)) {
+        send_status(ref, ClientStatus::kBadRequest);
+        return;
+      }
+      for (causal::SiteId peer = 0; peer < config_.site_count(); ++peer) {
+        if (peer == self_) continue;
+        if (peer_plus1 != 0 && peer != peer_plus1 - 1) continue;
+        transport_->set_chaos(peer, rule);
+      }
+      send_status(ref, ClientStatus::kOk);
+      return;
+    }
+    case ClientOp::kStatus:
+    case ClientOp::kMetrics:
+    case ClientOp::kStoreStat:
+    case ClientOp::kEngineStat: {
+      // Blocking engine aggregations: run on the admin executor so the
+      // event loop stays free.
+      admin_post([this, ref, op, body = std::move(body)] {
+        net::Decoder areq(body.data(), body.size());
+        areq.u8();  // re-skip the op byte
+        net::Encoder resp;
+        handle_admin_request(op, areq, resp);
+        reactor_->send_response(ref, resp.take());
+      });
+      return;
+    }
+  }
+  send_status(ref, ClientStatus::kBadRequest);
+}
+
+void SiteServer::admin_post(std::function<void()> job) {
+  {
+    std::lock_guard lk(admin_mu_);
+    if (admin_stop_) return;  // request dies with the connection
+    admin_q_.push_back(std::move(job));
+  }
+  admin_cv_.notify_one();
+}
+
+void SiteServer::admin_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(admin_mu_);
+      admin_cv_.wait(lk, [this] { return admin_stop_ || !admin_q_.empty(); });
+      if (admin_stop_) return;
+      job = std::move(admin_q_.front());
+      admin_q_.pop_front();
+    }
+    job();
+  }
+}
+
+void SiteServer::handle_admin_request(std::uint8_t op, net::Decoder& req,
+                                      net::Encoder& resp) {
+  const auto status = [&resp](ClientStatus st) {
+    resp.u8(static_cast<std::uint8_t>(st));
+  };
+  switch (static_cast<ClientOp>(op)) {
     case ClientOp::kStatus: {
       const auto s = engine_->status();
-      if (!s) {
+      const auto per_shard = engine_->per_shard_stats();
+      if (!s || !per_shard) {
         status(ClientStatus::kShuttingDown);
         return;
       }
@@ -598,6 +846,17 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       }
       resp.varint(suspected.size());
       for (const causal::SiteId peer : suspected) resp.varint(peer);
+      // Engine-shard extension: one row per shard.
+      resp.varint(per_shard->size());
+      for (const auto& row : *per_shard) {
+        resp.varint(row.writes);
+        resp.varint(row.reads);
+        resp.varint(row.pending_updates);
+        resp.varint(row.queue.depth);
+        resp.varint(row.queue.capacity);
+        resp.varint(row.queue.parked_reads);
+        resp.varint(row.queue.covered_waiters);
+      }
       return;
     }
     case ClientOp::kMetrics: {
@@ -625,66 +884,34 @@ void SiteServer::handle_request(net::Decoder& req, net::Encoder& resp) {
       resp.varint(stats->compactions);
       return;
     }
-    case ClientOp::kChaos: {
-      const std::uint8_t action = req.u8();
-      if (!req.ok() || action > 1) {
-        status(ClientStatus::kBadRequest);
+    case ClientOp::kEngineStat: {
+      const auto per_shard = engine_->per_shard_stats();
+      if (!per_shard) {
+        status(ClientStatus::kShuttingDown);
         return;
-      }
-      if (action == 0) {
-        transport_->clear_chaos();
-        status(ClientStatus::kOk);
-        return;
-      }
-      const std::uint64_t peer_plus1 = req.varint();
-      net::ChaosRule rule;
-      rule.drop_milli = static_cast<std::uint32_t>(req.varint());
-      rule.delay_us = static_cast<std::uint32_t>(req.varint());
-      rule.rate_per_s = static_cast<std::uint32_t>(req.varint());
-      rule.partition = req.u8() != 0;
-      if (!req.ok() || rule.drop_milli > 1000 ||
-          peer_plus1 > config_.site_count() ||
-          (peer_plus1 != 0 && peer_plus1 - 1 == self_)) {
-        status(ClientStatus::kBadRequest);
-        return;
-      }
-      for (causal::SiteId peer = 0; peer < config_.site_count(); ++peer) {
-        if (peer == self_) continue;
-        if (peer_plus1 != 0 && peer != peer_plus1 - 1) continue;
-        transport_->set_chaos(peer, rule);
       }
       status(ClientStatus::kOk);
+      resp.varint(per_shard->size());
+      resp.varint(engine_->parked_envelopes());
+      resp.varint(engine_->malformed_envelopes());
+      for (const auto& row : *per_shard) {
+        resp.varint(row.writes);
+        resp.varint(row.reads);
+        resp.varint(row.pending_updates);
+        resp.varint(row.queue.depth);
+        resp.varint(row.queue.capacity);
+        resp.varint(row.queue.peak_depth);
+        resp.varint(row.queue.producer_waits);
+        resp.varint(row.queue.parked_reads);
+        resp.varint(row.queue.covered_waiters);
+        resp.varint(row.queue.enqueued_total());
+      }
       return;
     }
-  }
-  status(ClientStatus::kBadRequest);
-}
-
-void SiteServer::append_response_flags(net::Encoder& resp, bool want_tokens,
-                                       bool dup_replay) {
-  std::uint8_t flags = dup_replay ? kRespDupReplay : 0;
-  std::vector<std::pair<causal::SiteId, std::vector<std::uint8_t>>> tokens;
-  if (want_tokens) {
-    // Coverage tokens for every other site, computed after the op: the
-    // token covers at least the session's causal past (tokens are
-    // target-specific and monotone in this site's state), so presenting it
-    // at the target preserves the session guarantees across a failover —
-    // even one this site never hears about.
-    for (causal::SiteId target = 0; target < config_.site_count(); ++target) {
-      if (target == self_) continue;
-      auto token = engine_->coverage_token(target);
-      if (token) tokens.emplace_back(target, std::move(*token));
-    }
-    if (!tokens.empty()) flags |= kRespHasTokens;
-  }
-  resp.u8(flags);
-  if ((flags & kRespHasTokens) != 0) {
-    resp.varint(tokens.size());
-    for (const auto& [target, token] : tokens) {
-      resp.varint(target);
-      resp.varint(token.size());
-      resp.raw(token.data(), token.size());
-    }
+    default:
+      status(ClientStatus::kBadRequest);
+      (void)req;
+      return;
   }
 }
 
@@ -717,6 +944,26 @@ std::size_t SiteServer::pending_updates() const {
   return s ? static_cast<std::size_t>(s->pending_updates) : 0;
 }
 
+ProtocolEngine::QueueStats SiteServer::engine_stats() const {
+  ProtocolEngine::QueueStats sum;
+  for (const auto& s : engine_->queue_stats()) {
+    sum.depth += s.depth;
+    sum.capacity += s.capacity;
+    sum.peak_depth += s.peak_depth;
+    sum.producer_waits += s.producer_waits;
+    sum.parked_reads += s.parked_reads;
+    sum.covered_waiters += s.covered_waiters;
+    for (std::size_t k = 0; k < ProtocolEngine::kCmdKinds; ++k) {
+      sum.enqueued[k] += s.enqueued[k];
+    }
+  }
+  return sum;
+}
+
+net::Reactor::Stats SiteServer::reactor_stats() const {
+  return reactor_ ? reactor_->stats() : net::Reactor::Stats{};
+}
+
 std::string SiteServer::metrics_text() const {
   const auto s = engine_->status();
   const auto d = engine_->durability_stats();
@@ -728,12 +975,11 @@ std::string SiteServer::metrics_text() const {
     }
   }
   const auto eng = engine_->store_stats();
-  return render_metrics_text(self_, metrics(), engine_->queue_stats(),
-                             transport_->peer_stats(),
-                             s ? s->pending_updates : 0,
-                             d ? *d : Durability::Stats{}, site_regions,
-                             health_stats(),
-                             eng ? *eng : store::EngineStats{});
+  return render_metrics_text(
+      self_, metrics(), engine_->queue_stats(), transport_->peer_stats(),
+      s ? s->pending_updates : 0, d ? *d : Durability::Stats{}, site_regions,
+      health_stats(), eng ? *eng : store::EngineStats{},
+      engine_->parked_envelopes(), engine_->malformed_envelopes());
 }
 
 }  // namespace ccpr::server

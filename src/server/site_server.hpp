@@ -1,20 +1,28 @@
 // SiteServer: the daemon hosting one site of a real-network cluster.
 //
 // It wires together the third runtime: a TcpTransport toward the peer
-// sites, one protocol state machine built by the existing factory, a timer
-// thread for RemoteFetch failover, and a client listener serving the framed
-// request/response protocol of client_protocol.hpp.
+// sites, `engine-shards` protocol state machines behind a ShardedEngine
+// facade, a timer thread for RemoteFetch failover, and an epoll Reactor
+// serving the framed request/response protocol of client_protocol.hpp.
 //
-// Threading model (docs/RUNTIMES.md has the full picture): the protocol
-// instance is owned exclusively by the ProtocolEngine's apply thread.
-// Client-connection threads, the transport delivery thread and the timer
-// thread never touch it — they enqueue commands on the engine's bounded
-// queue and (for request/response work) block on per-command completions.
-// There is no mutex around the protocol anywhere in this file.
+// Threading model (docs/RUNTIMES.md has the full picture): each protocol
+// instance is owned exclusively by its shard's apply thread. Reactor loop
+// threads, the transport delivery thread and the timer thread never touch
+// a protocol — they enqueue commands on the shard engines' queues. Hot
+// client ops (put/get/snapshot/token/covered) run fully asynchronously: the
+// reactor hands the decoded frame to handle_client_frame on a loop thread,
+// the engine callback builds the response on an apply thread and posts it
+// back to the owning loop. Admin ops (status/metrics/store-stat/
+// engine-stat) use the blocking engine API on a single admin-executor
+// thread so they cannot stall the event loops. There is no mutex around any
+// protocol anywhere in this file.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,10 +33,12 @@
 #include "causal/factory.hpp"
 #include "metrics/metrics.hpp"
 #include "net/chaos.hpp"
+#include "net/reactor.hpp"
 #include "net/tcp_transport.hpp"
+#include "server/client_protocol.hpp"
 #include "server/cluster_config.hpp"
 #include "server/metrics_text.hpp"
-#include "server/protocol_engine.hpp"
+#include "server/sharded_engine.hpp"
 #include "util/timer_thread.hpp"
 
 namespace ccpr::server {
@@ -40,6 +50,7 @@ class SiteServer : net::IMessageSink {
   /// just means nothing survives a restart of *this* process.
   struct Options {
     /// Directory for this site's write-ahead log; empty = no persistence.
+    /// Shard 0 logs here directly, shard k > 0 under <data_dir>/shard-<k>.
     /// Also hosts the compact engine's spill segment (in a per-site
     /// subdirectory); with no data dir the spill budget is forced to 0.
     std::string data_dir;
@@ -47,6 +58,9 @@ class SiteServer : net::IMessageSink {
     /// Command-line override of the cluster config's `store-engine` line
     /// (--store-engine); unset = use the config.
     std::optional<store::EngineKind> store_engine;
+    /// Command-line override of the config's `engine-shards`; unset = use
+    /// the config. Every site must agree (the map is cluster-wide).
+    std::optional<std::uint32_t> engine_shards;
   };
 
   SiteServer(ClusterConfig config, causal::SiteId self);
@@ -70,16 +84,21 @@ class SiteServer : net::IMessageSink {
 
   const ClusterConfig& config() const noexcept { return config_; }
   const causal::ReplicaMap& replica_map() const noexcept { return rmap_; }
+  std::uint32_t engine_shards() const noexcept { return engine_->shards(); }
 
   /// Site metrics: protocol counters merged with the transport counters.
   metrics::Metrics metrics() const;
   std::size_t pending_updates() const;
-  ProtocolEngine::QueueStats engine_stats() const {
+  /// Shard-aggregated queue stats (historic single-engine shape).
+  ProtocolEngine::QueueStats engine_stats() const;
+  /// One QueueStats per shard.
+  std::vector<ProtocolEngine::QueueStats> engine_shard_stats() const {
     return engine_->queue_stats();
   }
   std::vector<net::TcpTransport::PeerStats> peer_stats() const {
     return transport_->peer_stats();
   }
+  net::Reactor::Stats reactor_stats() const;
   /// The Prometheus exposition the kMetrics client op serves.
   std::string metrics_text() const;
 
@@ -100,12 +119,6 @@ class SiteServer : net::IMessageSink {
   HealthStats health_stats() const;
 
  private:
-  struct ClientConn {
-    net::Socket sock;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
   /// Per-peer failure-detector state. All fields are atomics so the tick
   /// (timer thread), ack handling (delivery thread), suspicion queries
   /// (apply thread via Services::peer_suspected) and scrapes (client
@@ -120,20 +133,34 @@ class SiteServer : net::IMessageSink {
   };
 
   void deliver(net::Message msg) override;
+  /// start() failure path once the admin/engine/transport layers are up:
+  /// tear them back down in reverse order.
+  void stop_admin_and_core();
   /// Self-rescheduling periodic anti-entropy round on the timer thread.
   void schedule_catchup_tick();
   /// Self-rescheduling heartbeat round: ping every peer, re-evaluate
   /// suspicion from ack ages. Runs on the timer thread.
   void schedule_heartbeat_tick();
   void heartbeat_tick();
-  void accept_clients();
-  void serve_client(ClientConn* conn);
-  /// Execute one decoded request, appending the response body to `resp`.
-  void handle_request(net::Decoder& req, net::Encoder& resp);
+
+  /// Reactor request handler (loop thread): decode the op, kick off the
+  /// async engine work or hand the frame to the admin executor.
+  void handle_client_frame(const net::Reactor::ConnRef& ref,
+                           std::vector<std::uint8_t> body);
+  /// Admin executor: blocking engine ops off the event loops.
+  void admin_post(std::function<void()> job);
+  void admin_loop();
+  /// Blocking handler for the admin-side ops (status/metrics/store-stat/
+  /// engine-stat); runs on the admin thread.
+  void handle_admin_request(std::uint8_t op, net::Decoder& req,
+                            net::Encoder& resp);
+  void send_status(const net::Reactor::ConnRef& ref, ClientStatus st);
   /// Append the response flags byte and, when requested, per-target
-  /// coverage tokens (the client's failover luggage).
-  void append_response_flags(net::Encoder& resp, bool want_tokens,
-                             bool dup_replay);
+  /// coverage tokens (gathered asynchronously), then send. Takes ownership
+  /// of the partially built response body.
+  void finish_with_tokens(net::Reactor::ConnRef ref,
+                          std::vector<std::uint8_t> partial, bool want_tokens,
+                          bool dup_replay);
 
   ClusterConfig config_;
   causal::SiteId self_;
@@ -145,16 +172,22 @@ class SiteServer : net::IMessageSink {
   std::unique_ptr<net::TcpTransport> transport_;
   util::TimerThread timers_;
 
-  /// Exclusive owner of the protocol and its metrics sink. The sink object
-  /// itself lives here so its address is stable across engine restarts.
-  std::unique_ptr<ProtocolEngine> engine_;
-  metrics::Metrics proto_metrics_;
+  /// Exclusive owner of the shard protocols and their metrics sinks.
+  std::unique_ptr<ShardedEngine> engine_;
+  /// Raw observers of the adopted protocols, used only in the
+  /// single-threaded recovery phase of start() (post-recover token
+  /// publish). Never dereferenced while apply threads run.
+  std::vector<causal::IProtocol*> shard_protos_;
 
-  net::Socket client_listen_;
   std::uint16_t client_port_ = 0;
-  std::thread client_accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<ClientConn>> conns_;
+  std::unique_ptr<net::Reactor> reactor_;
+
+  // ---- admin executor ----
+  std::thread admin_thread_;
+  std::mutex admin_mu_;
+  std::condition_variable admin_cv_;
+  std::deque<std::function<void()>> admin_q_;
+  bool admin_stop_ = false;
 
   std::atomic<bool> stopping_{false};
   bool started_ = false;
@@ -171,7 +204,8 @@ class SiteServer : net::IMessageSink {
   // a lost response replays the stored result instead of re-executing.
   // Bounded: at the cap an arbitrary idle session is evicted (a client
   // retries within seconds; eviction only risks re-execution for sessions
-  // that went silent long ago).
+  // that went silent long ago). Touched from reactor loop threads (lookup)
+  // and apply threads (store), hence the mutex.
   struct PutDedup {
     std::uint64_t req_id = 0;
     ProtocolEngine::WriteResult result;

@@ -221,7 +221,13 @@ client::Client admin(const server::ClusterConfig& cfg, causal::SiteId site) {
   return client::Client(cfg, site, copts);
 }
 
-TEST(NemesisTest, ClusterSurvivesPartitionKillAndSlowLinkRounds) {
+/// Parameterized over the engine-shard count: the full nemesis schedule
+/// (partition, SIGKILL + WAL restart, slow links) must hold with sharded
+/// engines too — per-shard WALs recover, cross-shard envelopes drain after
+/// heal, and the checker accepts the history either way.
+class NemesisTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NemesisTest, ClusterSurvivesPartitionKillAndSlowLinkRounds) {
   int rounds = 3;
   if (const char* env = std::getenv("CCPR_NEMESIS_ROUNDS")) {
     rounds = std::max(1, std::atoi(env));
@@ -234,6 +240,7 @@ TEST(NemesisTest, ClusterSurvivesPartitionKillAndSlowLinkRounds) {
     cfg.sites[s].peer_port = ports[s];
     cfg.sites[s].client_port = ports[n + s];
   }
+  cfg.protocol.engine_shards = GetParam();
   cfg.algorithm = causal::Algorithm::kOptTrack;
   cfg.protocol.convergent = true;  // LWW, so healed replicas agree
   cfg.protocol.fetch_timeout_us = 150'000;
@@ -442,6 +449,12 @@ TEST(NemesisTest, ClusterSurvivesPartitionKillAndSlowLinkRounds) {
   EXPECT_TRUE(result.ok);
   for (const auto& v : result.violations) ADD_FAILURE() << v;
 }
+
+INSTANTIATE_TEST_SUITE_P(EngineShards, NemesisTest,
+                         ::testing::Values(1u, 4u),
+                         [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace ccpr

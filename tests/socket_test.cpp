@@ -1,0 +1,194 @@
+// net/socket helper tests: option setters, the audited accept()
+// classification (including fd exhaustion via RLIMIT_NOFILE), and the
+// EINTR/partial-write behaviour of write_all / write_all_vec.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace ccpr {
+namespace {
+
+bool fd_nonblocking(int fd) {
+  return (fcntl(fd, F_GETFL, 0) & O_NONBLOCK) != 0;
+}
+
+bool fd_nodelay(int fd) {
+  int val = 0;
+  socklen_t len = sizeof val;
+  return getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &val, &len) == 0 &&
+         val != 0;
+}
+
+TEST(SocketTest, SetNonblockingtogglesBothWays) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::Socket a(sv[0]);
+  net::Socket b(sv[1]);
+  EXPECT_FALSE(fd_nonblocking(a.fd()));
+  EXPECT_TRUE(net::set_nonblocking(a.fd()));
+  EXPECT_TRUE(fd_nonblocking(a.fd()));
+  // Idempotent: setting again must not flip anything off.
+  EXPECT_TRUE(net::set_nonblocking(a.fd()));
+  EXPECT_TRUE(fd_nonblocking(a.fd()));
+  EXPECT_TRUE(net::set_nonblocking(a.fd(), false));
+  EXPECT_FALSE(fd_nonblocking(a.fd()));
+  // Bad fd reports failure instead of pretending.
+  EXPECT_FALSE(net::set_nonblocking(-1));
+}
+
+TEST(SocketTest, ListenSetsReuseaddrAndDialAcceptSetNodelay) {
+  std::uint16_t port = 0;
+  net::Socket listener = net::tcp_listen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_NE(port, 0);
+  int reuse = 0;
+  socklen_t len = sizeof reuse;
+  ASSERT_EQ(getsockopt(listener.fd(), SOL_SOCKET, SO_REUSEADDR, &reuse, &len),
+            0);
+  EXPECT_NE(reuse, 0) << "tcp_listen must set SO_REUSEADDR";
+
+  net::Socket client = net::tcp_dial("127.0.0.1", port);
+  ASSERT_TRUE(client.valid());
+  EXPECT_TRUE(fd_nodelay(client.fd())) << "tcp_dial must set TCP_NODELAY";
+
+  net::Socket accepted;
+  ASSERT_EQ(net::tcp_accept(listener.fd(), &accepted),
+            net::AcceptResult::kOk);
+  ASSERT_TRUE(accepted.valid());
+  EXPECT_TRUE(fd_nodelay(accepted.fd()))
+      << "tcp_accept must set TCP_NODELAY";
+}
+
+TEST(SocketTest, AcceptOnEmptyNonblockingListenerWouldBlock) {
+  std::uint16_t port = 0;
+  net::Socket listener = net::tcp_listen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_TRUE(net::set_nonblocking(listener.fd()));
+  net::Socket out;
+  EXPECT_EQ(net::tcp_accept(listener.fd(), &out),
+            net::AcceptResult::kWouldBlock);
+  EXPECT_FALSE(out.valid());
+}
+
+TEST(SocketTest, AcceptOnBadFdIsFatal) {
+  net::Socket out;
+  EXPECT_EQ(net::tcp_accept(-1, &out), net::AcceptResult::kFatal);
+  // A plain file is not a listener either (EINVAL/ENOTSOCK -> fatal).
+  EXPECT_EQ(net::tcp_accept(STDIN_FILENO, &out), net::AcceptResult::kFatal);
+}
+
+TEST(SocketTest, AcceptClassifiesFdExhaustion) {
+  std::uint16_t port = 0;
+  net::Socket listener = net::tcp_listen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_TRUE(net::set_nonblocking(listener.fd()));
+  // Park one connection in the accept queue, then clamp RLIMIT_NOFILE to
+  // the highest fd currently open so the accept() itself cannot allocate.
+  net::Socket client = net::tcp_dial("127.0.0.1", port);
+  ASSERT_TRUE(client.valid());
+
+  struct rlimit old_lim;
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &old_lim), 0);
+  int probe = dup(0);  // first free fd number
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+  struct rlimit tight = old_lim;
+  tight.rlim_cur = static_cast<rlim_t>(probe);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  net::Socket out;
+  const auto r = net::tcp_accept(listener.fd(), &out);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &old_lim), 0);
+  EXPECT_EQ(r, net::AcceptResult::kFdExhausted);
+  EXPECT_FALSE(out.valid());
+
+  // Once the limit is restored, the parked connection is still there and
+  // accept succeeds — exhaustion never loses the connection.
+  EXPECT_EQ(net::tcp_accept(listener.fd(), &out), net::AcceptResult::kOk);
+  EXPECT_TRUE(out.valid());
+}
+
+TEST(SocketTest, WriteAllSurvivesPartialWrites) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::Socket w(sv[0]);
+  net::Socket r(sv[1]);
+  // Shrink both buffers so a large write must be split into many partial
+  // writes interleaved with the reader draining.
+  int small = 4096;
+  setsockopt(w.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  setsockopt(r.fd(), SOL_SOCKET, SO_RCVBUF, &small, sizeof small);
+
+  const std::size_t total = 1 << 20;
+  std::vector<std::uint8_t> payload(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  std::vector<std::uint8_t> got(total);
+  std::thread reader(
+      [&] { ASSERT_TRUE(net::read_all(r.fd(), got.data(), got.size())); });
+  EXPECT_TRUE(net::write_all(w.fd(), payload.data(), payload.size()));
+  reader.join();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(SocketTest, WriteAllVecCoalescesManySpans) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::Socket w(sv[0]);
+  net::Socket r(sv[1]);
+  int small = 4096;
+  setsockopt(w.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+
+  // More spans than IOV_MAX, with mixed sizes including empty ones, so the
+  // chunking + partial-write resume paths are both exercised.
+  std::vector<std::vector<std::uint8_t>> chunks;
+  std::vector<net::WriteSpan> spans;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    chunks.emplace_back(i % 7 == 0 ? 0 : (i % 97) + 1,
+                        static_cast<std::uint8_t>(i));
+    total += chunks.back().size();
+  }
+  spans.reserve(chunks.size());
+  for (const auto& c : chunks) spans.push_back({c.data(), c.size()});
+
+  std::vector<std::uint8_t> got(total);
+  std::thread reader(
+      [&] { ASSERT_TRUE(net::read_all(r.fd(), got.data(), got.size())); });
+  EXPECT_TRUE(net::write_all_vec(w.fd(), spans.data(), spans.size()));
+  reader.join();
+
+  std::vector<std::uint8_t> want;
+  want.reserve(total);
+  for (const auto& c : chunks) want.insert(want.end(), c.begin(), c.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(SocketTest, WriteAllFailsOnClosedPeer) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::Socket w(sv[0]);
+  { net::Socket r(sv[1]); }  // close the read side
+  // socket.cpp only installs its SIGPIPE ignore on the listen/dial paths;
+  // this test writes to a raw socketpair, so ignore it explicitly.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::vector<std::uint8_t> payload(1 << 16, 0xab);
+  EXPECT_FALSE(net::write_all(w.fd(), payload.data(), payload.size()));
+}
+
+}  // namespace
+}  // namespace ccpr

@@ -123,8 +123,14 @@ void hammer_session(const server::ClusterConfig& cfg,
   }
 }
 
-TEST(TcpStressTest, ParallelClientsSurviveCausalCheck) {
-  const auto cfg = stress_config();
+/// Parameterized over the engine-shard count: 1 = the historic single
+/// protocol instance, 4 = sharded engines with cross-shard coverage-token
+/// envelopes. The causal checker must pass identically for both.
+class TcpStressTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TcpStressTest, ParallelClientsSurviveCausalCheck) {
+  auto cfg = stress_config();
+  cfg.protocol.engine_shards = GetParam();
   const auto rmap = cfg.replica_map();
 
   std::vector<std::unique_ptr<server::SiteServer>> servers;
@@ -157,11 +163,17 @@ TEST(TcpStressTest, ParallelClientsSurviveCausalCheck) {
   EXPECT_EQ(hammer_ops.load(), kSites * kHammerPerSite * kHammerOps);
 
   // The engine actually carried the load, and the metrics endpoint reports
-  // it: every site must show engine commands and the configured caps.
+  // it: every site must show engine commands and the configured caps
+  // (engine_stats aggregates across shards, so capacity scales with the
+  // shard count).
+  const std::uint32_t shards = GetParam();
   for (causal::SiteId s = 0; s < kSites; ++s) {
+    ASSERT_EQ(servers[s]->engine_shards(), shards);
     const auto qs = servers[s]->engine_stats();
     EXPECT_GT(qs.enqueued_total(), 0u) << "site " << s;
-    EXPECT_EQ(qs.capacity, cfg.engine_queue_cap) << "site " << s;
+    EXPECT_EQ(qs.capacity, cfg.engine_queue_cap * shards) << "site " << s;
+    const auto per_shard = servers[s]->engine_shard_stats();
+    EXPECT_EQ(per_shard.size(), shards) << "site " << s;
     for (const auto& ps : servers[s]->peer_stats()) {
       EXPECT_EQ(ps.queue_cap, cfg.peer_queue_cap);
     }
@@ -173,6 +185,19 @@ TEST(TcpStressTest, ParallelClientsSurviveCausalCheck) {
     EXPECT_NE(text.find("ccpr_engine_commands_total"), std::string::npos);
     EXPECT_NE(text.find("ccpr_writes_total"), std::string::npos);
     EXPECT_NE(text.find("ccpr_peer_batches_sent_total"), std::string::npos);
+    EXPECT_NE(text.find("ccpr_engine_shards"), std::string::npos);
+    if (shards > 1) {
+      EXPECT_NE(text.find("shard=\"0\""), std::string::npos);
+      EXPECT_NE(text.find("ccpr_shard_parked_envelopes"), std::string::npos);
+    }
+    // Per-shard engine counters over the wire.
+    const auto es = probe.engine_stat();
+    EXPECT_EQ(es.shards.size(), shards);
+    std::uint64_t commands = 0;
+    for (const auto& row : es.shards) commands += row.commands_total;
+    EXPECT_GT(commands, 0u);
+    const auto st = probe.status();
+    EXPECT_EQ(st.shards.size(), shards);
   }
 
   for (auto& srv : servers) srv->stop();
@@ -188,6 +213,12 @@ TEST(TcpStressTest, ParallelClientsSurviveCausalCheck) {
   for (const auto& v : result.violations) ADD_FAILURE() << v;
   EXPECT_GT(result.ops_checked, 0u);
 }
+
+INSTANTIATE_TEST_SUITE_P(EngineShards, TcpStressTest,
+                         ::testing::Values(1u, 4u),
+                         [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
 
 // Regression test for the dead-peer availability hole: with a blocking
 // per-peer queue cap, the apply thread would park in transport send() once

@@ -44,6 +44,7 @@ struct ThreadedSweepParam {
   std::uint32_t n;
   std::uint32_t p;
   const char* name;
+  std::uint32_t shards = 1;  ///< engine shards per site (ShardGroup when >1)
 };
 
 class ThreadedSweep : public ::testing::TestWithParam<ThreadedSweepParam> {};
@@ -53,6 +54,7 @@ TEST_P(ThreadedSweep, ConcurrentClientsStayCausal) {
   const std::uint32_t q = 12;
   ThreadedCluster::Options opts;
   opts.max_delay_us = 300;  // widen interleavings
+  opts.protocol.engine_shards = param.shards;
   ThreadedCluster c(param.alg, ReplicaMap::even(param.n, q, param.p), opts);
 
   std::vector<std::thread> clients;
@@ -79,6 +81,8 @@ INSTANTIATE_TEST_SUITE_P(
     Algorithms, ThreadedSweep,
     ::testing::Values(
         ThreadedSweepParam{Algorithm::kOptTrack, 4, 2, "OptTrack_partial"},
+        ThreadedSweepParam{Algorithm::kOptTrack, 4, 2,
+                           "OptTrack_partial_shards4", 4},
         ThreadedSweepParam{Algorithm::kOptTrack, 4, 4, "OptTrack_full"},
         ThreadedSweepParam{Algorithm::kFullTrack, 4, 2, "FullTrack_partial"},
         ThreadedSweepParam{Algorithm::kOptTrackCRP, 4, 4, "CRP"},

@@ -26,6 +26,10 @@
 //   store-stat               the site's value-store engine counters:
 //                            engine kind, keys, resident bytes, probe
 //                            length, spill activity (live server query)
+//   engine-stat              per-shard protocol-engine counters (queue
+//                            depth/peak, producer waits, parked reads,
+//                            covered waiters) plus the cross-shard
+//                            envelope-admission gauges
 //   chaos clear              remove every fault-injection rule on the site
 //   chaos set <peer|all>     install a fault rule on the site's link(s):
 //       [--drop=<p>]         drop probability (0.25 or permille like 250)
@@ -54,8 +58,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ccpr_client --config=<path> --site=<id> "
-               "ping|put|get|snapshot|status|metrics|store-stat|bench|"
-               "chaos ...\n"
+               "ping|put|get|snapshot|status|metrics|store-stat|"
+               "engine-stat|bench|chaos ...\n"
                "       ccpr_client --config=<path> --region=<name> <cmd> ...\n"
                "       ccpr_client --data-dir=<path> --site=<id> wal-stat\n"
                "(--region picks the nearest site of a geo config; --site "
@@ -283,6 +287,21 @@ int main(int argc, char** argv) {
         for (const auto p : st.suspected_peers) std::printf(" %u", p);
         std::printf("\n");
       }
+      if (st.shards.size() > 1) {
+        for (std::size_t k = 0; k < st.shards.size(); ++k) {
+          const auto& row = st.shards[k];
+          std::printf(
+              "shard %zu: writes=%llu reads=%llu pending=%llu "
+              "qdepth=%llu/%llu parked_reads=%llu covered_waiters=%llu\n",
+              k, static_cast<unsigned long long>(row.writes),
+              static_cast<unsigned long long>(row.reads),
+              static_cast<unsigned long long>(row.pending_updates),
+              static_cast<unsigned long long>(row.queue_depth),
+              static_cast<unsigned long long>(row.queue_capacity),
+              static_cast<unsigned long long>(row.parked_reads),
+              static_cast<unsigned long long>(row.covered_waiters));
+        }
+      }
     } else if (cmd == "metrics") {
       std::fputs(cli.metrics_text().c_str(), stdout);
     } else if (cmd == "store-stat") {
@@ -302,6 +321,30 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(st.spill_reads),
           static_cast<unsigned long long>(st.spill_writes),
           static_cast<unsigned long long>(st.compactions));
+    } else if (cmd == "engine-stat") {
+      const auto st = cli.engine_stat();
+      std::printf("shards=%zu parked_envelopes=%llu "
+                  "malformed_envelopes=%llu\n",
+                  st.shards.size(),
+                  static_cast<unsigned long long>(st.parked_envelopes),
+                  static_cast<unsigned long long>(st.malformed_envelopes));
+      for (std::size_t k = 0; k < st.shards.size(); ++k) {
+        const auto& row = st.shards[k];
+        std::printf(
+            "shard %zu: writes=%llu reads=%llu pending=%llu "
+            "qdepth=%llu/%llu peak=%llu producer_waits=%llu "
+            "parked_reads=%llu covered_waiters=%llu commands=%llu\n",
+            k, static_cast<unsigned long long>(row.writes),
+            static_cast<unsigned long long>(row.reads),
+            static_cast<unsigned long long>(row.pending_updates),
+            static_cast<unsigned long long>(row.queue_depth),
+            static_cast<unsigned long long>(row.queue_capacity),
+            static_cast<unsigned long long>(row.queue_peak_depth),
+            static_cast<unsigned long long>(row.producer_waits),
+            static_cast<unsigned long long>(row.parked_reads),
+            static_cast<unsigned long long>(row.covered_waiters),
+            static_cast<unsigned long long>(row.commands_total));
+      }
     } else if (cmd == "bench") {
       return run_bench(cli, flags);
     } else if (cmd == "chaos") {

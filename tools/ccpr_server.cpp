@@ -12,6 +12,10 @@
 //   --store-engine=map|compact
 //                      value-store engine override; omit to use the
 //                      config's `store-engine` line (default map)
+//   --engine-shards=<n>
+//                      protocol-engine shard override (1..256); omit to
+//                      use the config's `engine-shards` line (default 1).
+//                      Every site of a cluster must agree
 //   --print-config     echo the parsed config and exit
 //   --check-config     parse + validate, print the resolved topology and
 //                      exit 0; any config error exits non-zero (CI lints
@@ -107,6 +111,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     sopts.store_engine = kind;
+  }
+  const auto shards = flags.get_int("engine-shards", 0);
+  if (shards != 0) {
+    if (shards < 1 || shards > 256) {
+      std::cerr << "ccpr_server: --engine-shards must be in 1..256\n";
+      return 2;
+    }
+    sopts.engine_shards = static_cast<std::uint32_t>(shards);
   }
 
   // Block the shutdown signals before starting so none can slip into the
