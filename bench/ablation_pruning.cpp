@@ -18,11 +18,13 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, "ablation_pruning", 14);
   bench::print_header(
       "A1 ablation_pruning", "DESIGN.md ablation index",
       "Opt-Track metadata under pruning ablations (n=8, q=64, p=3,\n"
       "w_rate=0.4, 500 ops/site). 'baseline' = both conditions + gossip.");
+  bench::JsonReporter report("ablation_pruning", args);
 
   const Variant variants[] = {
       {"baseline", {}},
@@ -42,9 +44,9 @@ int main() {
     cfg.q = 64;
     cfg.p = 3;
     cfg.protocol = v.opts;
-    cfg.workload.ops_per_site = 500;
+    cfg.workload.ops_per_site = args.quick ? 200 : 500;
     cfg.workload.write_rate = 0.4;
-    cfg.workload.seed = 14;
+    cfg.workload.seed = args.seed;
     const auto r = bench::run_workload(std::move(cfg));
     table.row();
     table.cell(v.name);
@@ -53,6 +55,13 @@ int main() {
     table.cell(r.metrics.log_entries.samples().mean(), 2);
     table.cell(r.metrics.log_entries.peak());
     table.cell(r.metrics.meta_state_bytes.peak());
+    report.add_row(
+        {{"variant", v.name},
+         {"ctrl_bytes_per_msg", r.metrics.control_bytes_per_message()},
+         {"ctrl_bytes_total", r.metrics.control_bytes},
+         {"mean_log_entries", r.metrics.log_entries.samples().mean()},
+         {"peak_log_entries", r.metrics.log_entries.peak()},
+         {"space_peak_bytes", r.metrics.meta_state_bytes.peak()}});
   }
   table.print(std::cout);
   std::cout
@@ -63,5 +72,5 @@ int main() {
          "paper-verbatim merge runs without gossip and deletes obligations\n"
          "it cannot justify — it is not a valid size/correctness trade\n"
          "(see merge_defect_test).\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

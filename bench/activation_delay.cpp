@@ -19,13 +19,13 @@ struct DelayRow {
 };
 
 DelayRow measure(causal::Algorithm alg, double write_rate, double sigma,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, std::uint64_t ops) {
   bench::RunConfig cfg;
   cfg.alg = alg;
   cfg.n = 8;
   cfg.q = 64;
   cfg.p = 8;
-  cfg.workload.ops_per_site = 400;
+  cfg.workload.ops_per_site = ops;
   cfg.workload.write_rate = write_rate;
   cfg.workload.dist = workload::WorkloadSpec::KeyDist::kZipf;
   cfg.workload.zipf_theta = 0.9;
@@ -42,20 +42,26 @@ DelayRow measure(causal::Algorithm alg, double write_rate, double sigma,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, "activation_delay", 77);
   bench::print_header(
       "E7 activation_delay", "paper §II-C optimal activation predicate",
       "Apply delay (receipt -> activation) in microseconds, n=8 fully\n"
       "replicated, zipf(0.9), log-normal WAN latency (median 30ms).\n"
       "A_OPT = Full-Track; A_ORG = Ahamad et al. (merge at receipt).");
+  bench::JsonReporter report("activation_delay", args);
 
+  const std::uint64_t ops_per_site = args.quick ? 150 : 400;
+  const auto w_grid = args.quick ? std::vector<double>{0.2, 0.8}
+                                 : std::vector<double>{0.2, 0.5, 0.8};
   util::Table table({"w_rate", "lat sigma", "A_OPT p50", "A_ORG p50",
                      "A_OPT p99", "A_ORG p99", "A_OPT maxQ", "A_ORG maxQ"});
-  for (const double w : {0.2, 0.5, 0.8}) {
+  for (const double w : w_grid) {
     for (const double sigma : {0.3, 0.9}) {
-      const DelayRow opt =
-          measure(causal::Algorithm::kFullTrack, w, sigma, 77);
-      const DelayRow org = measure(causal::Algorithm::kAhamad, w, sigma, 77);
+      const DelayRow opt = measure(causal::Algorithm::kFullTrack, w, sigma,
+                                   args.seed, ops_per_site);
+      const DelayRow org = measure(causal::Algorithm::kAhamad, w, sigma,
+                                   args.seed, ops_per_site);
       table.row();
       table.cell(w, 1);
       table.cell(sigma, 1);
@@ -65,6 +71,16 @@ int main() {
       table.cell(org.p99, 0);
       table.cell(opt.pending_peak);
       table.cell(org.pending_peak);
+      for (const auto& [name, row] : {std::pair{"full-track", &opt},
+                                      std::pair{"ahamad", &org}}) {
+        report.add_row({{"w_rate", w},
+                        {"lat_sigma", sigma},
+                        {"alg", name},
+                        {"apply_p50_us", row->p50},
+                        {"apply_p99_us", row->p99},
+                        {"apply_max_us", row->max_us},
+                        {"pending_peak", row->pending_peak}});
+      }
     }
   }
   table.print(std::cout);
@@ -72,5 +88,5 @@ int main() {
       << "\nExpected shape: identical transport randomness, but A_ORG's\n"
          "false causality inflates p99 apply delay and the pending-buffer\n"
          "peak, increasingly so at higher write rates and latency variance.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

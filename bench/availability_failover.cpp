@@ -33,13 +33,14 @@ struct Result {
   std::uint64_t completed;
 };
 
-Result run_with_failure(sim::SimTime timeout_us) {
+Result run_with_failure(sim::SimTime timeout_us, std::uint64_t seed,
+                        int rounds) {
   // Var space replicated at pairs of 6 sites; crash one replica-heavy site
   // and read from everywhere.
   const std::uint32_t n = 6, q = 30;
   causal::SimCluster::Options opts;
   opts.latency = std::make_unique<sim::UniformLatency>(5'000, 25'000);
-  opts.latency_seed = 8;
+  opts.latency_seed = seed;
   opts.record_history = false;
   opts.protocol.fetch_timeout_us = timeout_us;
   causal::SimCluster cluster(causal::Algorithm::kOptTrack,
@@ -56,7 +57,7 @@ Result run_with_failure(sim::SimTime timeout_us) {
   // Remote reads from sites that do not replicate the variable. Reads whose
   // pre-designated target is the dead site need the failover to complete.
   std::uint64_t issued = 0;
-  for (int round = 0; round < 10; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     for (causal::VarId x = 0; x < q; ++x) {
       for (causal::SiteId s = 0; s < n; ++s) {
         if (cluster.replica_map().replicated_at(x, s) || s == 1) continue;
@@ -91,7 +92,7 @@ double percentile_ms(std::vector<double>& us, double p) {
   return us[idx] / 1000.0;
 }
 
-TcpResult run_tcp_partition(bool with_failover) {
+TcpResult run_tcp_partition(bool with_failover, int rounds) {
   using namespace std::chrono_literals;
   const std::uint32_t n = 3, q = 12, p = 2;
   auto cfg = server::ClusterConfig::loopback(n, q, p, 0);
@@ -152,7 +153,7 @@ TcpResult run_tcp_partition(bool with_failover) {
   copts.retry.op_deadline = 4000ms;
   client::Client cli(cfg, victim, copts);
   std::vector<double> lat_us;
-  for (int round = 0; round < 10; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     for (causal::VarId x = 0; x < q; ++x) {
       const auto t0 = std::chrono::steady_clock::now();
       try {
@@ -178,22 +179,35 @@ TcpResult run_tcp_partition(bool with_failover) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, "availability_failover", 8);
   bench::print_header(
       "A3 availability_failover", "paper §V availability discussion",
       "Remote reads whose pre-designated replica has failed, n=6, p=2,\n"
       "uniform 5-25ms latency. Sweeps the failover timeout.");
+  bench::JsonReporter report("availability_failover", args);
 
   util::Table table({"timeout (ms)", "reads completed", "retries",
                      "read p50 (ms)", "read p99 (ms)"});
-  for (const sim::SimTime timeout : {30'000, 60'000, 120'000, 240'000}) {
-    const Result r = run_with_failure(timeout);
+  const auto timeouts =
+      args.quick ? std::vector<sim::SimTime>{60'000, 240'000}
+                 : std::vector<sim::SimTime>{30'000, 60'000, 120'000,
+                                             240'000};
+  for (const sim::SimTime timeout : timeouts) {
+    const Result r =
+        run_with_failure(timeout, args.seed, args.quick ? 4 : 10);
     table.row();
     table.cell(static_cast<double>(timeout) / 1000.0, 0);
     table.cell(r.completed);
     table.cell(r.retries);
     table.cell(r.p50_us / 1000.0, 1);
     table.cell(r.p99_us / 1000.0, 1);
+    report.add_row({{"section", "sim_failover"},
+                    {"timeout_ms", static_cast<double>(timeout) / 1000.0},
+                    {"reads_completed", r.completed},
+                    {"fetch_retries", r.retries},
+                    {"read_p50_ms", r.p50_us / 1000.0},
+                    {"read_p99_ms", r.p99_us / 1000.0}});
   }
   table.print(std::cout);
   std::cout
@@ -213,14 +227,30 @@ int main() {
   util::Table tcp_table({"mode", "reads ok", "errors", "failovers",
                          "read p50 (ms)", "read p99 (ms)"});
   for (const bool failover : {false, true}) {
-    const TcpResult r = run_tcp_partition(failover);
+    const char* mode = failover ? "retry+failover" : "no-retry";
+    if (args.quick) {
+      // Wall-clock TCP section: ~2s of sleeps per mode and timing-derived
+      // output; keep the quick matrix fast and deterministic.
+      report.add_skipped({{"section", "tcp_partition"},
+                          {"mode", mode},
+                          {"reason", "quick mode skips wall-clock TCP runs"}});
+      continue;
+    }
+    const TcpResult r = run_tcp_partition(failover, 10);
     tcp_table.row();
-    tcp_table.cell(failover ? "retry+failover" : "no-retry");
+    tcp_table.cell(mode);
     tcp_table.cell(r.ok);
     tcp_table.cell(r.errors);
     tcp_table.cell(r.failovers);
     tcp_table.cell(r.p50_ms, 2);
     tcp_table.cell(r.p99_ms, 2);
+    report.add_row({{"section", "tcp_partition"},
+                    {"mode", mode},
+                    {"reads_ok", r.ok},
+                    {"errors", r.errors},
+                    {"failovers", r.failovers},
+                    {"read_p50_ms", r.p50_ms},
+                    {"read_p99_ms", r.p99_ms}});
   }
   tcp_table.print(std::cout);
   std::cout
@@ -229,5 +259,5 @@ int main() {
          "replicas are suspected); with failover the session abandons the\n"
          "partitioned site after the first error and the error count drops\n"
          "to ~0, at the price of one failover handshake on the first op.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -1,12 +1,26 @@
 // Shared driver for the experiment harness binaries (one binary per paper
 // table/figure; see DESIGN.md §4 for the experiment index).
+//
+// Every bench binary speaks the same small CLI so the sweep runner
+// (tools/sweep) can drive all of them uniformly:
+//
+//   --quick        trim the grid to a CI-sized subset
+//   --out=PATH     write a BENCH_<name>.json snapshot (omit: table only)
+//   --seed=N       base seed for the bench's workloads (per-bench default)
+//
+// Unknown flags are a hard error (exit 2): a typo like --opps= must never
+// silently run the default configuration.
 #pragma once
 
+#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "causal/sim_cluster.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
@@ -66,5 +80,75 @@ inline void print_header(const std::string& experiment,
   std::cout << "\n=== " << experiment << " — " << paper_ref << " ===\n"
             << what << "\n\n";
 }
+
+/// The uniform bench CLI. parse() rejects unknown flags (exit 2), so every
+/// binary must go through it before reading anything bench-specific.
+struct Args {
+  bool quick = false;
+  std::string out;          // snapshot path; empty = don't write
+  std::uint64_t seed = 1;   // base seed; benches derive workload seeds
+
+  static Args parse(int argc, const char* const* argv,
+                    const std::string& bench_name,
+                    std::uint64_t default_seed,
+                    const std::string& default_out = "") {
+    const auto flags = util::Flags::parse(argc, argv);
+    Args args;
+    args.quick = flags.get_bool("quick", false);
+    args.out = flags.get_string("out", default_out);
+    args.seed = static_cast<std::uint64_t>(
+        flags.get_int("seed", static_cast<std::int64_t>(default_seed)));
+    flags.exit_on_unknown(bench_name);
+    return args;
+  }
+};
+
+/// Collects per-cell result rows and writes the BENCH_<name>.json snapshot:
+///
+///   {"bench": ..., "quick": ..., "seed": ..., "results": [{...}, ...]}
+///
+/// Rows carry both the cell's configuration fields (strings / grid values,
+/// identical across seeds) and its measured metrics (what the sweep
+/// aggregator folds into mean±std across seeds, and what the CI gate
+/// compares against the committed baseline).
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, const Args& args)
+      : out_path_(args.out) {
+    doc_["bench"] = std::move(bench_name);
+    doc_["quick"] = args.quick;
+    doc_["seed"] = args.seed;
+    doc_["results"] = util::Json::array();
+  }
+
+  void add_row(util::Json::Object row) {
+    doc_["results"].push_back(util::Json(std::move(row)));
+  }
+  void add_skipped(util::Json::Object row) {
+    doc_["skipped"].push_back(util::Json(std::move(row)));
+  }
+  /// Extra top-level snapshot fields (summary scalars, grid notes).
+  util::Json& extra(const std::string& key) { return doc_[key]; }
+
+  std::size_t rows() const { return doc_["results"].size(); }
+
+  /// Writes the snapshot if --out was given. Returns false (and prints to
+  /// stderr) on I/O failure so benches can propagate a nonzero exit.
+  bool write() const {
+    if (out_path_.empty()) return true;
+    if (!doc_.save_file(out_path_)) {
+      std::fprintf(stderr, "%s: cannot write %s\n",
+                   doc_["bench"].as_string().c_str(), out_path_.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu cells)\n", out_path_.c_str(),
+                doc_["results"].size());
+    return true;
+  }
+
+ private:
+  util::Json doc_ = util::Json::object();
+  std::string out_path_;
+};
 
 }  // namespace ccpr::bench

@@ -18,15 +18,16 @@ struct Row {
   double mean_log;
 };
 
-Row measure(causal::Algorithm alg, std::uint32_t n, double w_rate) {
+Row measure(causal::Algorithm alg, std::uint32_t n, double w_rate,
+            std::uint64_t ops, std::uint64_t seed) {
   bench::RunConfig cfg;
   cfg.alg = alg;
   cfg.n = n;
   cfg.q = 64;
   cfg.p = n;
-  cfg.workload.ops_per_site = 400;
+  cfg.workload.ops_per_site = ops;
   cfg.workload.write_rate = w_rate;
-  cfg.workload.seed = 31;
+  cfg.workload.seed = seed;
   const auto r = bench::run_workload(std::move(cfg));
   return Row{r.metrics.control_bytes_per_message(),
              r.metrics.meta_state_bytes.peak(),
@@ -35,17 +36,28 @@ Row measure(causal::Algorithm alg, std::uint32_t n, double w_rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, "crp_vs_optp", 31);
   bench::print_header(
       "E6 crp_vs_optp", "paper §III-C, Table I last two columns",
       "Opt-Track-CRP vs OptP under full replication (q=64, 400 ops/site).");
+  bench::JsonReporter report("crp_vs_optp", args);
+
+  const std::uint64_t ops_per_site = args.quick ? 150 : 400;
+  const auto n_grid = args.quick ? std::vector<std::uint32_t>{5u, 10u}
+                                 : std::vector<std::uint32_t>{5u, 10u, 20u};
+  const auto w_grid = args.quick
+                          ? std::vector<double>{0.1, 0.5, 0.9}
+                          : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9};
 
   util::Table table({"n", "w_rate", "CRP B/msg", "OptP B/msg", "CRP peakB",
                      "OptP peakB", "CRP mean d", "OptP log"});
-  for (const std::uint32_t n : {5u, 10u, 20u}) {
-    for (const double w : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-      const Row crp = measure(causal::Algorithm::kOptTrackCRP, n, w);
-      const Row optp = measure(causal::Algorithm::kOptP, n, w);
+  for (const std::uint32_t n : n_grid) {
+    for (const double w : w_grid) {
+      const Row crp = measure(causal::Algorithm::kOptTrackCRP, n, w,
+                              ops_per_site, args.seed);
+      const Row optp =
+          measure(causal::Algorithm::kOptP, n, w, ops_per_site, args.seed);
       table.row();
       table.cell(static_cast<std::uint64_t>(n));
       table.cell(w, 1);
@@ -55,6 +67,16 @@ int main() {
       table.cell(optp.space_peak);
       table.cell(crp.mean_log, 2);
       table.cell(optp.mean_log, 1);
+      for (const auto& [alg, row] :
+           {std::pair{causal::Algorithm::kOptTrackCRP, &crp},
+            std::pair{causal::Algorithm::kOptP, &optp}}) {
+        report.add_row({{"n", n},
+                        {"w_rate", w},
+                        {"alg", causal::algorithm_token(alg)},
+                        {"ctrl_bytes_per_msg", row->ctrl_bytes_per_msg},
+                        {"space_peak_bytes", row->space_peak},
+                        {"mean_log_entries", row->mean_log}});
+      }
     }
   }
   table.print(std::cout);
@@ -63,5 +85,5 @@ int main() {
          "as w_rate grows (the log resets on every write, so d falls);\n"
          "OptP bytes/msg grows linearly with n regardless of w_rate.\n"
          "CRP peak space tracks max(n,q); OptP tracks n*q.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

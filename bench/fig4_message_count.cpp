@@ -5,6 +5,8 @@
 // against n*w for full replication) is printed next to the counts measured
 // from the implemented Opt-Track protocol, and the crossover write rate
 // 2/(2+n) is verified empirically.
+//
+//   build/bench/fig4_message_count [--quick] [--out=...] [--seed=N]
 #include "bench_common.hpp"
 
 #include <iostream>
@@ -12,18 +14,30 @@
 
 using namespace ccpr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args =
+      bench::Args::parse(argc, argv, "fig4_message_count", 4242);
   bench::print_header(
       "E1 fig4_message_count", "paper Fig. 4",
       "Messages per run vs w_rate, n=10, q=100, 500 ops/site (Opt-Track).\n"
       "sim = measured transport messages; pred = paper formula\n"
       "(pred charges a write p messages; the implementation does not send\n"
       "to itself, so sim is lower by exactly the local-replica hit rate).");
+  bench::JsonReporter report("fig4_message_count", args);
 
   const std::uint32_t n = 10;
   const std::vector<std::uint32_t> ps{1, 3, 5, 7, 10};
-  const std::uint64_t ops_per_site = 500;
+  const std::uint64_t ops_per_site = args.quick ? 200 : 500;
   const double total_ops = static_cast<double>(ops_per_site) * n;
+  const std::vector<double> w_rates = [&] {
+    std::vector<double> out;
+    if (args.quick) {
+      out = {0.2, 0.5, 0.8};
+    } else {
+      for (double w = 0.05; w < 1.0; w += 0.05) out.push_back(w);
+    }
+    return out;
+  }();
 
   std::vector<std::string> headers{"w_rate"};
   for (const auto p : ps) {
@@ -35,7 +49,7 @@ int main() {
   // Track the empirical crossover: smallest w_rate where p=3 beats full.
   double measured_crossover = -1.0;
 
-  for (double w_rate = 0.05; w_rate < 1.0; w_rate += 0.05) {
+  for (const double w_rate : w_rates) {
     table.row();
     table.cell(w_rate, 2);
     std::uint64_t sim_p3 = 0, sim_full = 0;
@@ -48,7 +62,7 @@ int main() {
       cfg.workload.ops_per_site = ops_per_site;
       cfg.workload.write_rate = w_rate;
       cfg.workload.value_bytes = 8;
-      cfg.workload.seed = 4242;
+      cfg.workload.seed = args.seed;
       auto result = bench::run_workload(std::move(cfg));
       const std::uint64_t sim = result.metrics.messages_total();
       const double writes = w_rate * total_ops;
@@ -58,6 +72,10 @@ int main() {
                  : workload::predicted_messages_partial(n, p, writes, reads);
       table.cell(sim);
       table.cell(pred, 0);
+      report.add_row({{"w_rate", w_rate},
+                      {"p", p},
+                      {"messages", sim},
+                      {"predicted", pred}});
       if (p == 3) sim_p3 = sim;
       if (p == n) sim_full = sim;
     }
@@ -71,5 +89,6 @@ int main() {
             << util::format_double(workload::crossover_write_rate(n), 3)
             << "\nmeasured crossover (first w_rate where p=3 < p=10): "
             << util::format_double(measured_crossover, 2) << "\n";
-  return 0;
+  report.extra("measured_crossover") = measured_crossover;
+  return report.write() ? 0 : 1;
 }

@@ -24,6 +24,11 @@ struct SocialRow {
   double read_p99_us;
 };
 
+struct SocialParams {
+  std::uint64_t ops_per_site;
+  std::uint64_t seed;
+};
+
 /// The same geo shape every social run uses, expressed as the config
 /// layer's Topology so the sim's latency model and the replica map's
 /// proximity routing both derive from one description: ~metro regions
@@ -48,17 +53,34 @@ server::Topology social_topology(
   return topo;
 }
 
-SocialRow run_social(std::uint32_t replicas_per_user) {
+workload::SocialSpec social_spec(const SocialParams& params) {
   workload::SocialSpec spec;
   spec.regions = 2;
   spec.sites_per_region = 3;
   spec.users = 120;
-  spec.replicas_per_user = replicas_per_user;
-  spec.ops_per_site = 600;
+  spec.replicas_per_user = 3;
+  spec.ops_per_site = params.ops_per_site;
   spec.write_rate = 0.25;
   spec.follow_local_prob = 0.9;
   spec.value_bytes = 256;
-  spec.seed = 2026;
+  spec.seed = params.seed;
+  return spec;
+}
+
+SocialRow collect(causal::SimCluster& cluster) {
+  const auto m = cluster.metrics();
+  return SocialRow{
+      m.messages_total(), m.bytes_total(),
+      m.reads ? static_cast<double>(m.remote_reads) /
+                    static_cast<double>(m.reads)
+              : 0.0,
+      m.read_latency_us.percentile(0.5), m.read_latency_us.percentile(0.99)};
+}
+
+SocialRow run_social(std::uint32_t replicas_per_user,
+                     const SocialParams& params) {
+  auto spec = social_spec(params);
+  spec.replicas_per_user = replicas_per_user;
   auto sw = make_social_workload(spec);
 
   causal::SimCluster::Options opts;
@@ -71,28 +93,12 @@ SocialRow run_social(std::uint32_t replicas_per_user) {
   causal::SimCluster cluster(causal::Algorithm::kOptTrack, std::move(sw.rmap),
                              std::move(opts));
   cluster.run_program(sw.program);
-  const auto m = cluster.metrics();
-  return SocialRow{
-      m.messages_total(), m.bytes_total(),
-      m.reads ? static_cast<double>(m.remote_reads) /
-                    static_cast<double>(m.reads)
-              : 0.0,
-      m.read_latency_us.percentile(0.5), m.read_latency_us.percentile(0.99)};
+  return collect(cluster);
 }
 
-SocialRow run_social_full() {
+SocialRow run_social_full(const SocialParams& params) {
   // Same workload but every wall replicated at all 6 sites.
-  workload::SocialSpec spec;
-  spec.regions = 2;
-  spec.sites_per_region = 3;
-  spec.users = 120;
-  spec.replicas_per_user = 3;  // ignored below
-  spec.ops_per_site = 600;
-  spec.write_rate = 0.25;
-  spec.follow_local_prob = 0.9;
-  spec.value_bytes = 256;
-  spec.seed = 2026;
-  auto sw = make_social_workload(spec);
+  auto sw = make_social_workload(social_spec(params));
 
   causal::SimCluster::Options opts;
   opts.latency = social_topology(sw.region_of_site).make_latency(0.1);
@@ -105,30 +111,16 @@ SocialRow run_social_full() {
       causal::ReplicaMap::full(sw.rmap.sites(), sw.rmap.vars()),
       std::move(opts));
   cluster.run_program(sw.program);
-  const auto m = cluster.metrics();
-  return SocialRow{
-      m.messages_total(), m.bytes_total(),
-      m.reads ? static_cast<double>(m.remote_reads) /
-                    static_cast<double>(m.reads)
-              : 0.0,
-      m.read_latency_us.percentile(0.5), m.read_latency_us.percentile(0.99)};
+  return collect(cluster);
 }
 
 /// E8b: same workload and geo latency, varying only what the topology
 /// drives — the placement policy (ring vs home-region) and whether the
 /// replica map carries the topology's distance matrix (proximity-aware
 /// fetch routing vs classic ring-distance targets).
-SocialRow run_social_geo(bool region_placement, bool proximity_routing) {
-  workload::SocialSpec spec;
-  spec.regions = 2;
-  spec.sites_per_region = 3;
-  spec.users = 120;
-  spec.replicas_per_user = 3;
-  spec.ops_per_site = 600;
-  spec.write_rate = 0.25;
-  spec.follow_local_prob = 0.9;
-  spec.value_bytes = 256;
-  spec.seed = 2026;
+SocialRow run_social_geo(bool region_placement, bool proximity_routing,
+                         const SocialParams& params) {
+  const auto spec = social_spec(params);
   auto sw = make_social_workload(spec);
   const auto topo = social_topology(sw.region_of_site);
 
@@ -151,28 +143,37 @@ SocialRow run_social_geo(bool region_placement, bool proximity_routing) {
   causal::SimCluster cluster(causal::Algorithm::kOptTrack, std::move(rmap),
                              std::move(opts));
   cluster.run_program(sw.program);
-  const auto m = cluster.metrics();
-  return SocialRow{
-      m.messages_total(), m.bytes_total(),
-      m.reads ? static_cast<double>(m.remote_reads) /
-                    static_cast<double>(m.reads)
-              : 0.0,
-      m.read_latency_us.percentile(0.5), m.read_latency_us.percentile(0.99)};
+  return collect(cluster);
+}
+
+util::Json::Object social_json(const char* section, const std::string& label,
+                               const SocialRow& row) {
+  return {{"section", section},
+          {"case", label},
+          {"messages", row.messages},
+          {"bytes", row.bytes},
+          {"remote_read_frac", row.remote_read_frac},
+          {"read_p50_us", row.read_p50_us},
+          {"read_p99_us", row.read_p99_us}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, "locality_case", 2026);
   bench::print_header(
       "E8 locality_case", "paper §I case for partial replication + §V",
       "Social-network workload: 2 regions x 3 sites, 120 users, walls\n"
       "pinned to the home region; 90% of reads are regional; 256B posts.");
+  bench::JsonReporter report("locality_case", args);
+
+  const SocialParams social{args.quick ? 200u : 600u, args.seed};
 
   {
     util::Table table({"placement", "messages", "KB total", "remote reads",
                        "read p50 us", "read p99 us"});
     for (const std::uint32_t p : {1u, 2u, 3u}) {
-      const auto row = run_social(p);
+      const auto row = run_social(p, social);
       table.row();
       table.cell("home-region p=" + std::to_string(p));
       table.cell(row.messages);
@@ -180,8 +181,10 @@ int main() {
       table.cell(row.remote_read_frac, 3);
       table.cell(row.read_p50_us, 0);
       table.cell(row.read_p99_us, 0);
+      report.add_row(
+          social_json("placement", "home-region p=" + std::to_string(p), row));
     }
-    const auto full = run_social_full();
+    const auto full = run_social_full(social);
     table.row();
     table.cell("full (p=6)");
     table.cell(full.messages);
@@ -189,6 +192,7 @@ int main() {
     table.cell(full.remote_read_frac, 3);
     table.cell(full.read_p50_us, 0);
     table.cell(full.read_p99_us, 0);
+    report.add_row(social_json("placement", "full p=6", full));
     table.print(std::cout);
     std::cout
         << "\nExpected shape: home-region placement needs a fraction of the\n"
@@ -211,13 +215,15 @@ int main() {
         {"region placement, proximity routing (after)", true, true},
     };
     for (const auto& c : cases) {
-      const auto row = run_social_geo(c.region_placement, c.proximity_routing);
+      const auto row =
+          run_social_geo(c.region_placement, c.proximity_routing, social);
       table.row();
       table.cell(c.name);
       table.cell(row.messages);
       table.cell(row.remote_read_frac, 3);
       table.cell(row.read_p50_us, 0);
       table.cell(row.read_p99_us, 0);
+      report.add_row(social_json("geo_routing", c.name, row));
     }
     table.print(std::cout);
     std::cout
@@ -237,9 +243,9 @@ int main() {
       spec.sites = 8;
       spec.blocks = 64;
       spec.replication = 3;
-      spec.tasks_per_site = 60;
+      spec.tasks_per_site = args.quick ? 25 : 60;
       spec.locality = locality;
-      spec.seed = 7;
+      spec.seed = args.seed + 7;
       auto w = workload::make_hdfs_workload(spec);
       const auto q = w.rmap.vars();
 
@@ -259,14 +265,21 @@ int main() {
       full.run_program(w.program);
 
       const auto pm = partial.metrics();
+      const double msgs_vs_full =
+          static_cast<double>(pm.messages_total()) /
+          static_cast<double>(full.metrics().messages_total());
       table.row();
       table.cell(locality, 2);
       table.cell(pm.messages_total());
       table.cell(pm.remote_reads);
       table.cell(pm.reads);
-      table.cell(static_cast<double>(pm.messages_total()) /
-                     static_cast<double>(full.metrics().messages_total()),
-                 2);
+      table.cell(msgs_vs_full, 2);
+      report.add_row({{"section", "hdfs"},
+                      {"locality", locality},
+                      {"messages", pm.messages_total()},
+                      {"remote_reads", pm.remote_reads},
+                      {"reads", pm.reads},
+                      {"messages_vs_full", msgs_vs_full}});
     }
     table.print(std::cout);
     std::cout << "\nExpected shape: at HDFS-like locality (0.95) partial\n"
@@ -278,29 +291,40 @@ int main() {
   {
     util::Table table({"p", "messages", "ctrl KB", "remote read frac",
                        "read p99 us"});
-    for (const std::uint32_t p : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto p_grid = args.quick
+                            ? std::vector<std::uint32_t>{1u, 3u, 6u}
+                            : std::vector<std::uint32_t>{1u, 2u, 3u, 4u, 5u,
+                                                         6u};
+    for (const std::uint32_t p : p_grid) {
       bench::RunConfig cfg;
       cfg.alg = causal::Algorithm::kOptTrack;
       cfg.n = 6;
       cfg.q = 60;
       cfg.p = p;
-      cfg.workload.ops_per_site = 500;
+      cfg.workload.ops_per_site = args.quick ? 200 : 500;
       cfg.workload.write_rate = 0.3;
       cfg.workload.locality = 0.5;
-      cfg.workload.seed = 6;
+      cfg.workload.seed = args.seed + 6;
       const auto r = bench::run_workload(std::move(cfg));
+      const double remote_frac =
+          r.metrics.reads ? static_cast<double>(r.metrics.remote_reads) /
+                                static_cast<double>(r.metrics.reads)
+                          : 0.0;
       table.row();
       table.cell(static_cast<std::uint64_t>(p));
       table.cell(r.metrics.messages_total());
       table.cell(static_cast<double>(r.metrics.control_bytes) / 1024.0, 1);
-      table.cell(r.metrics.reads
-                     ? static_cast<double>(r.metrics.remote_reads) /
-                           static_cast<double>(r.metrics.reads)
-                     : 0.0,
-                 3);
+      table.cell(remote_frac, 3);
       table.cell(r.metrics.read_latency_us.percentile(0.99), 0);
+      report.add_row({{"section", "p_sweep"},
+                      {"p", p},
+                      {"messages", r.metrics.messages_total()},
+                      {"ctrl_bytes", r.metrics.control_bytes},
+                      {"remote_read_frac", remote_frac},
+                      {"read_p99_us",
+                       r.metrics.read_latency_us.percentile(0.99)}});
     }
     table.print(std::cout);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -21,6 +21,8 @@
 // {1, 2, 4, 8} shards × {4, 16} clients for the scaling curve in
 // EXPERIMENTS.md. Output is one JSON document, BENCH_shard_scale.json by
 // default, uploaded by CI next to the other BENCH_*.json snapshots.
+#include "bench_common.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -33,7 +35,6 @@
 #include "net/socket.hpp"
 #include "server/cluster_config.hpp"
 #include "server/site_server.hpp"
-#include "util/flags.hpp"
 #include "util/rng.hpp"
 
 using namespace ccpr;
@@ -59,7 +60,7 @@ double percentile_us(std::vector<double>& us, double p) {
 }
 
 CellResult run_cell(std::uint32_t shards, std::uint32_t clients,
-                    std::uint32_t ops_per_client) {
+                    std::uint32_t ops_per_client, std::uint64_t seed) {
   const std::uint32_t n = 2, q = 4096, p = 2;
   auto cfg = server::ClusterConfig::loopback(n, q, p, 0);
   {
@@ -99,7 +100,7 @@ CellResult run_cell(std::uint32_t shards, std::uint32_t clients,
   std::vector<std::thread> threads;
   for (std::uint32_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      util::Rng rng(0xbe9cull + c * 977 + shards);
+      util::Rng rng(seed + c * 977 + shards);
       auto& lats = lat_us[c];
       lats.reserve(ops_per_client);
       std::string value(64, 'v');
@@ -107,10 +108,9 @@ CellResult run_cell(std::uint32_t shards, std::uint32_t clients,
         const auto x = static_cast<causal::VarId>(rng.below(q));
         const auto op0 = std::chrono::steady_clock::now();
         sessions[c]->put(x, value);
-        lats.push_back(static_cast<double>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - op0)
-                .count()));
+        lats.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - op0)
+                           .count());
       }
     });
   }
@@ -139,69 +139,42 @@ CellResult run_cell(std::uint32_t shards, std::uint32_t clients,
   return r;
 }
 
-void append_json(std::string& out, const CellResult& r) {
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "    {\"shards\": %u, \"clients\": %u, \"puts\": %llu, "
-                "\"put_ops_per_s\": %.0f, \"put_p50_us\": %.1f, "
-                "\"put_p99_us\": %.1f, \"parked_envelopes\": %llu, "
-                "\"malformed_envelopes\": %llu, \"shard_writes\": [",
-                r.shards, r.clients,
-                static_cast<unsigned long long>(r.puts), r.put_ops_per_s,
-                r.put_p50_us, r.put_p99_us,
-                static_cast<unsigned long long>(r.parked_envelopes),
-                static_cast<unsigned long long>(r.malformed_envelopes));
-  out += buf;
-  for (std::size_t i = 0; i < r.shard_writes.size(); ++i) {
-    std::snprintf(buf, sizeof buf, "%s%llu", i == 0 ? "" : ", ",
-                  static_cast<unsigned long long>(r.shard_writes[i]));
-    out += buf;
-  }
-  out += "]}";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const bool quick = flags.get_bool("quick", false);
-  const std::string out_path = flags.get_string("out", "BENCH_shard_scale.json");
+  const auto args = bench::Args::parse(argc, argv, "shard_scale", 0xbe9cull,
+                                       "BENCH_shard_scale.json");
+  bench::JsonReporter report("shard_scale", args);
 
   const std::vector<std::uint32_t> shard_counts =
-      quick ? std::vector<std::uint32_t>{1, 4}
-            : std::vector<std::uint32_t>{1, 2, 4, 8};
+      args.quick ? std::vector<std::uint32_t>{1, 4}
+                 : std::vector<std::uint32_t>{1, 2, 4, 8};
   const std::vector<std::uint32_t> client_counts =
-      quick ? std::vector<std::uint32_t>{8} : std::vector<std::uint32_t>{4, 16};
-  const std::uint32_t ops_per_client = quick ? 400 : 1500;
+      args.quick ? std::vector<std::uint32_t>{8}
+                 : std::vector<std::uint32_t>{4, 16};
+  const std::uint32_t ops_per_client = args.quick ? 400 : 1500;
 
-  std::vector<CellResult> results;
   for (const std::uint32_t shards : shard_counts) {
     for (const std::uint32_t clients : client_counts) {
-      const auto r = run_cell(shards, clients, ops_per_client);
+      const auto r = run_cell(shards, clients, ops_per_client, args.seed);
       std::printf(
           "shards=%-2u clients=%-3u puts=%-6llu put=%.1fk/s p50=%.0fus "
           "p99=%.0fus parked=%llu\n",
           r.shards, r.clients, static_cast<unsigned long long>(r.puts),
           r.put_ops_per_s / 1e3, r.put_p50_us, r.put_p99_us,
           static_cast<unsigned long long>(r.parked_envelopes));
-      results.push_back(r);
+      util::Json::Array shard_writes;
+      for (const std::uint64_t w : r.shard_writes) shard_writes.push_back(w);
+      report.add_row({{"shards", r.shards},
+                      {"clients", r.clients},
+                      {"puts", r.puts},
+                      {"put_ops_per_s", r.put_ops_per_s},
+                      {"put_p50_us", r.put_p50_us},
+                      {"put_p99_us", r.put_p99_us},
+                      {"parked_envelopes", r.parked_envelopes},
+                      {"malformed_envelopes", r.malformed_envelopes},
+                      {"shard_writes", std::move(shard_writes)}});
     }
   }
-
-  std::string json = "{\n  \"bench\": \"shard_scale\",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    append_json(json, results[i]);
-    json += (i + 1 < results.size()) ? ",\n" : "\n";
-  }
-  json += "  ]\n}\n";
-
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "shard_scale: cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
-  std::printf("wrote %s (%zu cells)\n", out_path.c_str(), results.size());
-  return 0;
+  return report.write() ? 0 : 1;
 }

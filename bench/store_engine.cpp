@@ -3,6 +3,7 @@
 // value sizes from fully-inlined 16 B to out-of-line 4 KiB blobs.
 //
 //   build/bench/store_engine [--quick] [--out=BENCH_store_engine.json]
+//                            [--seed=N]
 //
 // For every (engine, q, value_bytes) cell the bench loads q keys, then runs
 // a seeded read loop, and reports:
@@ -14,20 +15,28 @@
 //     read-path fix buys over the old copy-out accessors,
 //   * index health (mean probe length, slot count).
 //
+// Get latency is timed in NANOSECONDS over batches of 32 finds (one find is
+// tens of ns — far below the ~20-30 ns cost of reading steady_clock, so
+// per-op stamping would measure the timer, and recording microseconds
+// quantized every sub-µs percentile to exactly 1.000). Keys for a batch are
+// drawn before its timer starts; each histogram sample is the batch's
+// per-op mean in ns, reported as fractional microseconds.
+//
 // Cells whose raw payload exceeds kMaxCellBytes are skipped (and listed in
 // the JSON) so the full sweep stays runnable on CI machines; --quick
 // trims the grid to the cells CI asserts on (q=10^6 @ 16 B must show the
 // compact engine >= 2x denser than the map) plus one small row per size.
 //
-// Output is one JSON document, BENCH_store_engine.json by default — the
-// first of the repo's BENCH_*.json perf-trajectory snapshots.
+// Output is one JSON document, BENCH_store_engine.json by default — one of
+// the repo's BENCH_*.json perf-trajectory snapshots.
+#include "bench_common.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "store/engine/value_engine.hpp"
-#include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -36,6 +45,7 @@ using namespace ccpr;
 namespace {
 
 constexpr std::uint64_t kMaxCellBytes = 256ull << 20;  // raw payload cap
+constexpr std::uint32_t kLatencyBatch = 32;            // finds per timestamp
 
 struct CellResult {
   store::EngineKind engine;
@@ -70,7 +80,8 @@ std::string payload_for(causal::VarId x, std::uint32_t size) {
 }
 
 CellResult run_cell(store::EngineKind kind, std::uint32_t q,
-                    std::uint32_t value_bytes, std::uint32_t get_ops) {
+                    std::uint32_t value_bytes, std::uint32_t get_ops,
+                    std::uint64_t seed) {
   store::EngineOptions opts;
   opts.kind = kind;
   auto engine = store::make_engine(opts);
@@ -93,24 +104,33 @@ CellResult run_cell(store::EngineKind kind, std::uint32_t q,
   engine->maintain();
   r.put_ops_per_s = static_cast<double>(q) / (now_s() - put_t0);
 
-  // ---- read phase: seeded uniform gets, per-op latency ----
-  util::Rng rng(0x5eedull + q + value_bytes);
-  util::Histogram lat_us;
+  // ---- read phase: seeded uniform gets, batched-ns latency ----
+  util::Rng rng(seed + q + value_bytes);
+  util::Histogram lat_ns;
   volatile std::uint64_t sink = 0;  // keep the borrow observable
+  causal::VarId batch_keys[kLatencyBatch];
+  const std::uint32_t batches = get_ops / kLatencyBatch;
   const double get_t0 = now_s();
-  for (std::uint32_t i = 0; i < get_ops; ++i) {
-    const auto x = static_cast<causal::VarId>(rng.below(q));
-    const auto op0 = std::chrono::steady_clock::now();
-    const causal::Value* v = engine->find(x);
-    sink += v->lamport;
-    lat_us.add(std::chrono::duration<double, std::micro>(
-                   std::chrono::steady_clock::now() - op0)
-                   .count());
+  for (std::uint32_t b = 0; b < batches; ++b) {
+    // Key selection happens outside the timed window: rng cost is not the
+    // engine's lookup cost.
+    for (std::uint32_t i = 0; i < kLatencyBatch; ++i) {
+      batch_keys[i] = static_cast<causal::VarId>(rng.below(q));
+    }
+    const auto b0 = std::chrono::steady_clock::now();
+    for (std::uint32_t i = 0; i < kLatencyBatch; ++i) {
+      const causal::Value* v = engine->find(batch_keys[i]);
+      sink += v->lamport;
+    }
+    const auto b1 = std::chrono::steady_clock::now();
+    lat_ns.add(std::chrono::duration<double, std::nano>(b1 - b0).count() /
+               static_cast<double>(kLatencyBatch));
   }
   const double get_dt = now_s() - get_t0;
-  r.get_ops_per_s = static_cast<double>(get_ops) / get_dt;
-  r.get_p50_us = lat_us.percentile(0.5);
-  r.get_p99_us = lat_us.percentile(0.99);
+  r.get_ops_per_s =
+      static_cast<double>(batches) * kLatencyBatch / get_dt;
+  r.get_p50_us = lat_ns.percentile(0.5) / 1000.0;
+  r.get_p99_us = lat_ns.percentile(0.99) / 1000.0;
 
   // ---- accessor-fix measurement: copy-out get vs borrowed get ----
   // The copy loop materializes each value into a caller-owned string (what
@@ -143,38 +163,17 @@ CellResult run_cell(store::EngineKind kind, std::uint32_t q,
   return r;
 }
 
-void append_json(std::string& out, const CellResult& r) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof buf,
-      "    {\"engine\": \"%s\", \"q\": %u, \"value_bytes\": %u, "
-      "\"put_ops_per_s\": %.0f, \"get_ops_per_s\": %.0f, "
-      "\"get_p50_us\": %.3f, \"get_p99_us\": %.3f, "
-      "\"copy_get_ops_per_s\": %.0f, \"borrow_get_ops_per_s\": %.0f, "
-      "\"resident_bytes\": %llu, \"resident_bytes_per_key\": %.1f, "
-      "\"mean_probe\": %.3f, \"index_slots\": %llu}",
-      store::engine_kind_token(r.engine), r.q, r.value_bytes,
-      r.put_ops_per_s, r.get_ops_per_s, r.get_p50_us, r.get_p99_us,
-      r.copy_get_ops_per_s, r.borrow_get_ops_per_s,
-      static_cast<unsigned long long>(r.resident_bytes),
-      r.resident_bytes_per_key, r.mean_probe,
-      static_cast<unsigned long long>(r.index_slots));
-  out += buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto flags = util::Flags::parse(argc, argv);
-  const bool quick = flags.get_bool("quick", false);
-  const std::string out_path =
-      flags.get_string("out", "BENCH_store_engine.json");
+  const auto args = bench::Args::parse(argc, argv, "store_engine", 0x5eed,
+                                       "BENCH_store_engine.json");
+  bench::JsonReporter report("store_engine", args);
 
   const std::uint32_t qs[] = {10'000, 100'000, 1'000'000};
   const std::uint32_t sizes[] = {16, 256, 4096};
 
-  std::vector<CellResult> results;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> skipped;
+  std::size_t skipped = 0;
   for (const std::uint32_t q : qs) {
     for (const std::uint32_t size : sizes) {
       const std::uint64_t raw =
@@ -183,52 +182,45 @@ int main(int argc, char** argv) {
         std::printf("skip q=%u value_bytes=%u (raw payload %llu MB > cap)\n",
                     q, size,
                     static_cast<unsigned long long>(raw >> 20));
-        skipped.emplace_back(q, size);
+        report.add_skipped({{"q", q}, {"value_bytes", size}});
+        ++skipped;
         continue;
       }
       // Quick mode: the q=10^6 @ 16 B cell CI asserts on, plus the small-q
       // row so every value size still gets one sample.
       const bool quick_keep =
           q == 10'000 || (size == 16 && q == 1'000'000);
-      if (quick && !quick_keep) continue;
+      if (args.quick && !quick_keep) continue;
       const std::uint32_t get_ops = std::min<std::uint32_t>(q, 200'000);
       for (const auto kind :
            {store::EngineKind::kMap, store::EngineKind::kCompact}) {
-        const auto r = run_cell(kind, q, size, get_ops);
+        const auto r = run_cell(kind, q, size, get_ops, args.seed);
         std::printf(
-            "%-7s q=%-8u vsize=%-5u put=%.2fM/s get=%.2fM/s p99=%.2fus "
-            "resident/key=%.1fB probe=%.2f copy=%.2fM/s borrow=%.2fM/s\n",
+            "%-7s q=%-8u vsize=%-5u put=%.2fM/s get=%.2fM/s p50=%.3fus "
+            "p99=%.3fus resident/key=%.1fB probe=%.2f copy=%.2fM/s "
+            "borrow=%.2fM/s\n",
             store::engine_kind_token(kind), q, size,
-            r.put_ops_per_s / 1e6, r.get_ops_per_s / 1e6, r.get_p99_us,
-            r.resident_bytes_per_key, r.mean_probe,
+            r.put_ops_per_s / 1e6, r.get_ops_per_s / 1e6, r.get_p50_us,
+            r.get_p99_us, r.resident_bytes_per_key, r.mean_probe,
             r.copy_get_ops_per_s / 1e6, r.borrow_get_ops_per_s / 1e6);
-        results.push_back(r);
+        report.add_row({{"engine", store::engine_kind_token(kind)},
+                        {"q", r.q},
+                        {"value_bytes", r.value_bytes},
+                        {"put_ops_per_s", r.put_ops_per_s},
+                        {"get_ops_per_s", r.get_ops_per_s},
+                        {"get_p50_us", r.get_p50_us},
+                        {"get_p99_us", r.get_p99_us},
+                        {"copy_get_ops_per_s", r.copy_get_ops_per_s},
+                        {"borrow_get_ops_per_s", r.borrow_get_ops_per_s},
+                        {"resident_bytes", r.resident_bytes},
+                        {"resident_bytes_per_key", r.resident_bytes_per_key},
+                        {"mean_probe", r.mean_probe},
+                        {"index_slots", r.index_slots}});
       }
     }
   }
 
-  std::string json = "{\n  \"bench\": \"store_engine\",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    append_json(json, results[i]);
-    json += (i + 1 < results.size()) ? ",\n" : "\n";
-  }
-  json += "  ],\n  \"skipped\": [";
-  for (std::size_t i = 0; i < skipped.size(); ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%s{\"q\": %u, \"value_bytes\": %u}",
-                  i == 0 ? "" : ", ", skipped[i].first, skipped[i].second);
-    json += buf;
-  }
-  json += "]\n}\n";
-
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "store_engine: cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
-  std::printf("wrote %s (%zu cells, %zu skipped)\n", out_path.c_str(),
-              results.size(), skipped.size());
+  if (!report.write()) return 1;
+  std::printf("%zu cells, %zu skipped\n", report.rows(), skipped);
   return 0;
 }

@@ -3,57 +3,77 @@
 //   Opt-Track-CRP / OptP:    n*w                    (full replication)
 // Measured message counts for all four algorithms on identical workloads,
 // against the closed-form predictions.
+//
+//   build/bench/table1_message_count [--quick] [--out=...] [--seed=N]
 #include "bench_common.hpp"
 
 #include <iostream>
 
 using namespace ccpr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args =
+      bench::Args::parse(argc, argv, "table1_message_count", 99);
   bench::print_header(
       "E2 table1_message_count", "paper Table I (message count)",
       "n=10, q=100, p=3 for partial algorithms, 400 ops/site.\n"
       "Formulas charge multicasts p (resp. n) messages including the\n"
       "writer's own replica; measured counts skip the self-send.");
+  bench::JsonReporter report("table1_message_count", args);
 
   const std::uint32_t n = 10;
-  const std::uint64_t ops_per_site = 400;
+  const std::uint64_t ops_per_site = args.quick ? 150 : 400;
   const double total_ops = static_cast<double>(ops_per_site) * n;
+  const std::vector<double> w_rates =
+      args.quick ? std::vector<double>{0.1, 0.5, 0.9}
+                 : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9};
 
   util::Table table({"w_rate", "Full-Track (p=3)", "Opt-Track (p=3)",
                      "pred partial", "Opt-Track-CRP", "OptP", "pred full"});
 
-  for (double w_rate : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+  const auto run_one = [&](causal::Algorithm alg, std::uint32_t p,
+                           double w_rate) {
+    bench::RunConfig cfg;
+    cfg.alg = alg;
+    cfg.n = n;
+    cfg.q = 100;
+    cfg.p = p;
+    cfg.workload.ops_per_site = ops_per_site;
+    cfg.workload.write_rate = w_rate;
+    cfg.workload.seed = args.seed;
+    return bench::run_workload(std::move(cfg)).metrics.messages_total();
+  };
+
+  for (const double w_rate : w_rates) {
     const double writes = w_rate * total_ops;
     const double reads = total_ops - writes;
+    const double pred_partial =
+        workload::predicted_messages_partial(n, 3, writes, reads);
+    const double pred_full = workload::predicted_messages_full(n, writes);
     table.row();
     table.cell(w_rate, 1);
     for (const auto alg :
          {causal::Algorithm::kFullTrack, causal::Algorithm::kOptTrack}) {
-      bench::RunConfig cfg;
-      cfg.alg = alg;
-      cfg.n = n;
-      cfg.q = 100;
-      cfg.p = 3;
-      cfg.workload.ops_per_site = ops_per_site;
-      cfg.workload.write_rate = w_rate;
-      cfg.workload.seed = 99;
-      table.cell(bench::run_workload(std::move(cfg)).metrics.messages_total());
+      const auto msgs = run_one(alg, 3, w_rate);
+      table.cell(msgs);
+      report.add_row({{"w_rate", w_rate},
+                      {"alg", causal::algorithm_token(alg)},
+                      {"p", 3},
+                      {"messages", msgs},
+                      {"predicted", pred_partial}});
     }
-    table.cell(workload::predicted_messages_partial(n, 3, writes, reads), 0);
+    table.cell(pred_partial, 0);
     for (const auto alg :
          {causal::Algorithm::kOptTrackCRP, causal::Algorithm::kOptP}) {
-      bench::RunConfig cfg;
-      cfg.alg = alg;
-      cfg.n = n;
-      cfg.q = 100;
-      cfg.p = n;
-      cfg.workload.ops_per_site = ops_per_site;
-      cfg.workload.write_rate = w_rate;
-      cfg.workload.seed = 99;
-      table.cell(bench::run_workload(std::move(cfg)).metrics.messages_total());
+      const auto msgs = run_one(alg, n, w_rate);
+      table.cell(msgs);
+      report.add_row({{"w_rate", w_rate},
+                      {"alg", causal::algorithm_token(alg)},
+                      {"p", n},
+                      {"messages", msgs},
+                      {"predicted", pred_full}});
     }
-    table.cell(workload::predicted_messages_full(n, writes), 0);
+    table.cell(pred_full, 0);
   }
 
   table.print(std::cout);
@@ -62,5 +82,5 @@ int main() {
                "exceeds 2/(2+n) = "
             << util::format_double(workload::crossover_write_rate(n), 3)
             << ".\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -7,8 +7,12 @@
 // region so only the operation's own processing is measured.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "causal/sim_cluster.hpp"
 #include "sim/latency.hpp"
 
@@ -92,4 +96,69 @@ BENCHMARK_CAPTURE(BM_LocalRead, opt_track_crp, Algorithm::kOptTrackCRP)
 BENCHMARK_CAPTURE(BM_LocalRead, optp, Algorithm::kOptP)
     ->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, plus one JSON row per finished benchmark so the
+/// sweep harness can snapshot/aggregate this binary like every other bench.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::JsonReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      out_->add_row({{"name", run.benchmark_name()},
+                     {"real_ns_per_op", run.GetAdjustedRealTime()},
+                     {"cpu_ns_per_op", run.GetAdjustedCPUTime()},
+                     {"iterations", run.iterations},
+                     {"label", run.report_label}});
+    }
+  }
+
+ private:
+  bench::JsonReporter* out_;
+};
+
+}  // namespace
+
+// Custom BENCHMARK_MAIN: peels off the shared bench flags (--quick, --out,
+// --seed) before google-benchmark sees argv, maps --quick onto a short
+// --benchmark_min_time, and exits 2 on flags neither layer recognizes.
+int main(int argc, char** argv) {
+  bench::Args args;
+  args.out = "";  // stdout-only unless --out= is given
+  std::vector<char*> bench_argv{argv[0]};
+  std::vector<std::string> owned;
+  owned.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick" || arg == "--quick=true") {
+      args.quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      args.out = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      // Accepted for CLI uniformity; google-benchmark runs are not seeded.
+      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      owned.push_back(arg);
+      bench_argv.push_back(owned.back().data());
+    }
+  }
+  if (args.quick) {
+    owned.push_back("--benchmark_min_time=0.01");
+    bench_argv.push_back(owned.back().data());
+  }
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 2;
+  }
+
+  bench::JsonReporter report("table1_op_time", args);
+  CaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.write() ? 0 : 1;
+}

@@ -18,15 +18,15 @@ struct SpaceResult {
 };
 
 SpaceResult measure(causal::Algorithm alg, std::uint32_t n, std::uint32_t q,
-                    std::uint32_t p) {
+                    std::uint32_t p, std::uint64_t ops, std::uint64_t seed) {
   bench::RunConfig cfg;
   cfg.alg = alg;
   cfg.n = n;
   cfg.q = q;
   cfg.p = p;
-  cfg.workload.ops_per_site = 400;
+  cfg.workload.ops_per_site = ops;
   cfg.workload.write_rate = 0.5;
-  cfg.workload.seed = 21;
+  cfg.workload.seed = seed;
   const auto r = bench::run_workload(std::move(cfg));
   return SpaceResult{r.metrics.meta_state_bytes.peak(),
                      r.metrics.meta_state_bytes.samples().mean(),
@@ -35,11 +35,14 @@ SpaceResult measure(causal::Algorithm alg, std::uint32_t n, std::uint32_t q,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, "table1_space", 21);
   bench::print_header(
       "E5 table1_space", "paper Table I (space complexity)",
       "Per-site causal metadata footprint (peak bytes over the run / mean\n"
       "bytes / mean causal-log entries), w_rate=0.5, p=3 partial.");
+  bench::JsonReporter report("table1_space", args);
+  const std::uint64_t ops_per_site = args.quick ? 150 : 400;
 
   struct AlgSpec {
     causal::Algorithm alg;
@@ -60,14 +63,26 @@ int main() {
                         " peakB/meanB/log");
     }
     util::Table table(headers);
-    for (const std::uint32_t q : {32u, 64u, 128u, 256u}) {
+    const auto q_grid = args.quick ? std::vector<std::uint32_t>{32u, 128u}
+                                   : std::vector<std::uint32_t>{32u, 64u,
+                                                                128u, 256u};
+    for (const std::uint32_t q : q_grid) {
       table.row();
       table.cell(static_cast<std::uint64_t>(q));
       for (const auto& a : algs) {
-        const auto r = measure(a.alg, 8, q, a.partial ? 3 : 8);
+        const std::uint32_t p = a.partial ? 3 : 8;
+        const auto r = measure(a.alg, 8, q, p, ops_per_site, args.seed);
         table.cell(std::to_string(r.peak_bytes) + "/" +
                    util::format_double(r.mean_bytes, 0) + "/" +
                    util::format_double(r.mean_log_entries, 1));
+        report.add_row({{"sweep", "q"},
+                        {"n", 8},
+                        {"q", q},
+                        {"alg", causal::algorithm_token(a.alg)},
+                        {"p", p},
+                        {"peak_bytes", r.peak_bytes},
+                        {"mean_bytes", r.mean_bytes},
+                        {"mean_log_entries", r.mean_log_entries}});
       }
     }
     table.print(std::cout);
@@ -81,14 +96,26 @@ int main() {
                         " peakB/meanB/log");
     }
     util::Table table(headers);
-    for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    const auto n_grid = args.quick ? std::vector<std::uint32_t>{4u, 16u}
+                                   : std::vector<std::uint32_t>{4u, 8u, 16u,
+                                                                32u};
+    for (const std::uint32_t n : n_grid) {
       table.row();
       table.cell(static_cast<std::uint64_t>(n));
       for (const auto& a : algs) {
-        const auto r = measure(a.alg, n, 64, a.partial ? std::min(3u, n) : n);
+        const std::uint32_t p = a.partial ? std::min(3u, n) : n;
+        const auto r = measure(a.alg, n, 64, p, ops_per_site, args.seed);
         table.cell(std::to_string(r.peak_bytes) + "/" +
                    util::format_double(r.mean_bytes, 0) + "/" +
                    util::format_double(r.mean_log_entries, 1));
+        report.add_row({{"sweep", "n"},
+                        {"n", n},
+                        {"q", 64},
+                        {"alg", causal::algorithm_token(a.alg)},
+                        {"p", p},
+                        {"peak_bytes", r.peak_bytes},
+                        {"mean_bytes", r.mean_bytes},
+                        {"mean_log_entries", r.mean_log_entries}});
       }
     }
     table.print(std::cout);
@@ -98,5 +125,5 @@ int main() {
       << "\nExpected shape: Full-Track grows with n^2 (matrix per stored\n"
          "variable) and with q; Opt-Track stays near O(pq) amortized;\n"
          "Opt-Track-CRP tracks max(n, q); OptP tracks n*q.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

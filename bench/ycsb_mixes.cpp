@@ -14,12 +14,13 @@ using namespace ccpr;
 namespace {
 
 metrics::Metrics run_mix(causal::Algorithm alg, workload::YcsbMix mix,
-                         std::uint32_t p) {
+                         std::uint32_t p, std::uint64_t ops,
+                         std::uint64_t seed) {
   const std::uint32_t n = 10, q = 100;
   workload::WorkloadSpec base;
-  base.ops_per_site = 400;
+  base.ops_per_site = ops;
   base.value_bytes = 64;
-  base.seed = 515;
+  base.seed = seed;
   const auto rmap = causal::ReplicaMap::even(n, q, p);
   const auto program = workload::generate_ycsb(mix, base, rmap);
 
@@ -35,14 +36,17 @@ metrics::Metrics run_mix(causal::Algorithm alg, workload::YcsbMix mix,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, "ycsb_mixes", 515);
   bench::print_header(
       "A5 ycsb_mixes", "DESIGN.md ablation index",
       "Standard YCSB mixes on n=10, q=100 (zipf 0.99). Partial algorithms\n"
       "run p=3, full-replication algorithms p=10. YCSB-A is write-heavy\n"
       "(w_rate 0.5 >> crossover 0.167): partial replication should win on\n"
       "messages; YCSB-B/C are read-dominated: full replication should win.");
+  bench::JsonReporter report("ycsb_mixes", args);
 
+  const std::uint64_t ops_per_site = args.quick ? 150 : 400;
   const workload::YcsbMix mixes[] = {
       workload::YcsbMix::kA, workload::YcsbMix::kB, workload::YcsbMix::kC,
       workload::YcsbMix::kF};
@@ -50,8 +54,10 @@ int main() {
   util::Table table({"mix", "OptTrack p=3 msgs", "OptTrack KB",
                      "CRP p=10 msgs", "CRP KB", "winner (msgs)"});
   for (const auto mix : mixes) {
-    const auto partial = run_mix(causal::Algorithm::kOptTrack, mix, 3);
-    const auto full = run_mix(causal::Algorithm::kOptTrackCRP, mix, 10);
+    const auto partial = run_mix(causal::Algorithm::kOptTrack, mix, 3,
+                                 ops_per_site, args.seed);
+    const auto full = run_mix(causal::Algorithm::kOptTrackCRP, mix, 10,
+                              ops_per_site, args.seed);
     table.row();
     table.cell(workload::ycsb_name(mix));
     table.cell(partial.messages_total());
@@ -60,11 +66,20 @@ int main() {
     table.cell(static_cast<double>(full.bytes_total()) / 1024.0, 0);
     table.cell(partial.messages_total() < full.messages_total() ? "partial"
                                                                 : "full");
+    report.add_row(
+        {{"mix", workload::ycsb_name(mix)},
+         {"partial_messages", partial.messages_total()},
+         {"partial_bytes", partial.bytes_total()},
+         {"full_messages", full.messages_total()},
+         {"full_bytes", full.bytes_total()},
+         {"winner", partial.messages_total() < full.messages_total()
+                        ? "partial"
+                        : "full"}});
   }
   table.print(std::cout);
   std::cout
       << "\nExpected shape: partial wins YCSB-A and YCSB-F (write-heavy),\n"
          "full replication wins YCSB-B and trivially YCSB-C (no writes,\n"
          "so partial pays remote-read messages for nothing).\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -1,0 +1,497 @@
+#include "sweep/sweep.hpp"
+
+#include <sys/utsname.h>
+#include <sys/wait.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ccpr::sweep {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string json_string_list_error(const char* what) {
+  return std::string(what) + " must be a string or array of scalars";
+}
+
+/// Matrix values and fixed args accept any scalar JSON value; everything
+/// is carried as the string that ends up on the command line.
+std::optional<std::string> scalar_to_string(const util::Json& v) {
+  switch (v.kind()) {
+    case util::Json::Kind::kString:
+      return v.as_string();
+    case util::Json::Kind::kBool:
+      return std::string(v.as_bool() ? "true" : "false");
+    case util::Json::Kind::kInt:
+      return std::to_string(v.as_int());
+    case util::Json::Kind::kDouble: {
+      util::Json d(v.as_double());
+      return d.dump();
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Run-directory names must be stable and portable: keep [A-Za-z0-9._-],
+/// map everything else to '-'.
+std::string slug(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out.push_back(ok ? c : '-');
+  }
+  return out;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+/// Best-effort `git rev-parse HEAD`; empty when not in a repo / no git.
+std::string git_head() {
+  std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "";
+  char buf[128] = {0};
+  std::string out;
+  if (std::fgets(buf, sizeof buf, pipe) != nullptr) out = buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+util::Json host_info() {
+  util::Json host = util::Json::object();
+  struct utsname un = {};
+  if (::uname(&un) == 0) {
+    host["os"] = std::string(un.sysname) + " " + un.release;
+    host["machine"] = un.machine;
+    host["node"] = un.nodename;
+  }
+  host["hardware_concurrency"] =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+  return host;
+}
+
+bool is_numeric(const util::Json& v) { return v.is_number(); }
+
+/// Merge one row's field across seeds: identical values collapse to the
+/// value itself; differing numbers become {"mean","std"} (n-1 stddev, 0
+/// for a single seed); differing non-numbers keep the first seed's value.
+util::Json merge_field(const std::vector<const util::Json*>& values) {
+  bool all_equal = true;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (!(*values[i] == *values[0])) {
+      all_equal = false;
+      break;
+    }
+  }
+  if (all_equal) return *values[0];
+  bool all_numeric = true;
+  for (const auto* v : values) {
+    if (!is_numeric(*v)) {
+      all_numeric = false;
+      break;
+    }
+  }
+  if (!all_numeric) return *values[0];
+  util::RunningStats stats;
+  for (const auto* v : values) stats.add(v->as_double());
+  util::Json merged = util::Json::object();
+  merged["mean"] = stats.mean();
+  merged["std"] = stats.stddev();
+  return merged;
+}
+
+}  // namespace
+
+std::optional<SweepConfig> SweepConfig::parse(const util::Json& doc,
+                                              std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<SweepConfig> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("sweep config must be a JSON object");
+  SweepConfig cfg;
+  cfg.name = doc["name"].as_string("");
+  if (cfg.name.empty()) return fail("sweep config needs a \"name\"");
+  cfg.out_root = doc["out_root"].as_string(cfg.out_root);
+  cfg.bin_dir = doc["bin_dir"].as_string(cfg.bin_dir);
+  if (doc.contains("jobs")) {
+    cfg.jobs = static_cast<int>(doc["jobs"].as_int(1));
+  }
+  const auto& benches = doc["benches"];
+  if (!benches.is_array() || benches.items().empty()) {
+    return fail("sweep config needs a non-empty \"benches\" array");
+  }
+  for (const auto& b : benches.items()) {
+    BenchSpec spec;
+    spec.bench = b["bench"].as_string("");
+    spec.bin = b["bin"].as_string("");
+    if (spec.bench.empty() || spec.bin.empty()) {
+      return fail("every bench entry needs \"bench\" and \"bin\"");
+    }
+    for (const auto& [key, value] : b["args"].fields()) {
+      const auto s = scalar_to_string(value);
+      if (!s) return fail("args." + key + ": " + json_string_list_error("it"));
+      spec.args[key] = *s;
+    }
+    for (const auto& [key, values] : b["matrix"].fields()) {
+      if (!values.is_array() || values.items().empty()) {
+        return fail("matrix." + key + " must be a non-empty array");
+      }
+      for (const auto& value : values.items()) {
+        const auto s = scalar_to_string(value);
+        if (!s) return fail(json_string_list_error(("matrix." + key).c_str()));
+        spec.matrix[key].push_back(*s);
+      }
+    }
+    for (const auto& seed : b["seeds"].items()) {
+      spec.seeds.push_back(static_cast<std::uint64_t>(seed.as_int(1)));
+    }
+    for (const auto& a : b["ablations"].items()) {
+      Ablation ab;
+      ab.name = a["name"].as_string("");
+      if (ab.name.empty()) return fail("every ablation needs a \"name\"");
+      for (const auto& f : a["flags"].items()) {
+        const auto s = scalar_to_string(f);
+        if (!s) return fail(json_string_list_error("ablation flags"));
+        ab.flags.push_back(*s);
+      }
+      spec.ablations.push_back(std::move(ab));
+    }
+    cfg.benches.push_back(std::move(spec));
+  }
+  return cfg;
+}
+
+std::optional<SweepConfig> SweepConfig::load(const std::string& path,
+                                             std::string* error) {
+  const auto doc = util::Json::load_file(path, error);
+  if (!doc) return std::nullopt;
+  return parse(*doc, error);
+}
+
+std::string experiment_dir(const SweepConfig& config) {
+  return config.out_root + "/" + slug(config.name);
+}
+
+std::vector<Cell> expand_cells(const SweepConfig& config) {
+  std::vector<Cell> cells;
+  for (const auto& bench : config.benches) {
+    const std::vector<Ablation> ablations =
+        bench.ablations.empty() ? std::vector<Ablation>{{"base", {}}}
+                                : bench.ablations;
+    const std::vector<std::uint64_t> seeds =
+        bench.seeds.empty() ? std::vector<std::uint64_t>{1} : bench.seeds;
+
+    // Row-major walk of the matrix in sorted-key order (std::map).
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes(
+        bench.matrix.begin(), bench.matrix.end());
+    std::size_t points = 1;
+    for (const auto& [key, values] : axes) points *= values.size();
+
+    for (const auto& ablation : ablations) {
+      for (std::size_t point = 0; point < points; ++point) {
+        std::map<std::string, std::string> params;
+        std::size_t rem = point;
+        for (auto it = axes.rbegin(); it != axes.rend(); ++it) {
+          params[it->first] = it->second[rem % it->second.size()];
+          rem /= it->second.size();
+        }
+        for (const std::uint64_t seed : seeds) {
+          Cell cell;
+          cell.bench = bench.bench;
+          cell.bin = bench.bin;
+          cell.ablation = ablation.name;
+          cell.seed = seed;
+          cell.params = params;
+
+          std::string id = slug(bench.bench) + "." + slug(ablation.name);
+          for (const auto& [key, value] : params) {
+            id += "." + slug(key) + "-" + slug(value);
+          }
+          id += ".s" + std::to_string(seed);
+          cell.id = id;
+
+          for (const auto& [key, value] : bench.args) {
+            cell.argv.push_back("--" + key + "=" + value);
+          }
+          for (const auto& [key, value] : params) {
+            cell.argv.push_back("--" + key + "=" + value);
+          }
+          for (const auto& flag : ablation.flags) {
+            cell.argv.push_back(flag);
+          }
+          cell.argv.push_back("--seed=" + std::to_string(seed));
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+/// A prior run counts as complete only if its result exists AND its
+/// meta.json recorded a clean exit — a cell killed mid-write leaves a
+/// result.json-less dir or a non-zero exit and reruns on --resume.
+bool cell_complete(const fs::path& dir) {
+  std::error_code ec;
+  if (!fs::exists(dir / "result.json", ec)) return false;
+  const auto meta = util::Json::load_file((dir / "meta.json").string());
+  if (!meta) return false;
+  return (*meta)["exit_code"].as_int(-1) == 0;
+}
+
+struct CellOutcome {
+  bool skipped = false;
+  bool failed = false;
+};
+
+CellOutcome run_one_cell(const Cell& cell, const fs::path& runs_dir,
+                         const std::string& bin_abs, bool resume,
+                         const std::string& sha, const util::Json& host,
+                         std::ostream& log, std::mutex& log_mu) {
+  const fs::path dir = runs_dir / cell.id;
+  if (resume && cell_complete(dir)) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    log << "  [resume] " << cell.id << "\n";
+    return {.skipped = true};
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    log << "  [FAIL]   " << cell.id << ": cannot create " << dir.string()
+        << "\n";
+    return {.failed = true};
+  }
+
+  std::string command = "cd " + shell_quote(dir.string()) + " && " +
+                        shell_quote(bin_abs);
+  for (const auto& arg : cell.argv) command += " " + shell_quote(arg);
+  command += " --out=result.json > stdout.txt 2> stderr.txt";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const int status = std::system(command.c_str());
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  const int exit_code =
+      WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+
+  util::Json meta = util::Json::object();
+  meta["cell"] = cell.id;
+  meta["bench"] = cell.bench;
+  meta["ablation"] = cell.ablation;
+  meta["seed"] = cell.seed;
+  util::Json params = util::Json::object();
+  for (const auto& [key, value] : cell.params) params[key] = value;
+  meta["params"] = params;
+  meta["bin"] = bin_abs;
+  meta["command"] = command;
+  meta["git_sha"] = sha;
+  meta["host"] = host;
+  meta["exit_code"] = exit_code;
+  meta["wall_s"] = wall_s;
+  meta.save_file((dir / "meta.json").string());
+
+  std::lock_guard<std::mutex> lock(log_mu);
+  if (exit_code != 0) {
+    log << "  [FAIL]   " << cell.id << " (exit " << exit_code << ", see "
+        << (dir / "stderr.txt").string() << ")\n";
+    return {.failed = true};
+  }
+  log << "  [done]   " << cell.id << " (" << util::format_double(wall_s, 1)
+      << "s)\n";
+  return {};
+}
+
+}  // namespace
+
+RunSummary run_cells(const SweepConfig& config, const std::vector<Cell>& cells,
+                     const RunnerOptions& opts, std::ostream& log) {
+  RunSummary summary;
+  const fs::path runs_dir = fs::path(experiment_dir(config)) / "runs";
+  const std::size_t limit =
+      opts.max_cells > 0 ? std::min(opts.max_cells, cells.size())
+                         : cells.size();
+
+  if (opts.dry_run) {
+    for (std::size_t i = 0; i < limit; ++i) {
+      log << "  [plan]   " << cells[i].id << "  " << cells[i].bin;
+      for (const auto& arg : cells[i].argv) log << " " << arg;
+      log << "\n";
+    }
+    return summary;
+  }
+
+  std::error_code ec;
+  fs::create_directories(runs_dir, ec);
+  const std::string bin_root =
+      fs::absolute(config.bin_dir, ec).lexically_normal().string();
+  const std::string sha = git_head();
+  const util::Json host = host_info();
+
+  std::mutex log_mu;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> ran{0}, resumed{0}, failed{0};
+  const int jobs = std::max(1, opts.jobs);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= limit) return;
+        const Cell& cell = cells[i];
+        const std::string bin_abs = bin_root + "/" + cell.bin;
+        const auto outcome = run_one_cell(cell, runs_dir, bin_abs,
+                                          opts.resume, sha, host, log, log_mu);
+        if (outcome.skipped) {
+          resumed.fetch_add(1);
+        } else if (outcome.failed) {
+          failed.fetch_add(1);
+        } else {
+          ran.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  summary.ran = ran.load();
+  summary.resumed = resumed.load();
+  summary.failed = failed.load();
+  return summary;
+}
+
+bool aggregate(const SweepConfig& config, std::string* error,
+               std::ostream& log) {
+  const fs::path exp_dir = experiment_dir(config);
+  const fs::path runs_dir = exp_dir / "runs";
+  const auto cells = expand_cells(config);
+
+  // bench -> group key -> seed-ordered list of (seed, results array).
+  struct Group {
+    std::string ablation;
+    std::map<std::string, std::string> params;
+    std::vector<std::pair<std::uint64_t, const util::Json*>> seeds;
+  };
+  std::map<std::string, std::map<std::string, Group>> by_bench;
+  // Parsed documents need to outlive the Group pointers above.
+  std::vector<std::unique_ptr<util::Json>> docs;
+
+  for (const auto& cell : cells) {
+    const fs::path dir = runs_dir / cell.id;
+    if (!cell_complete(dir)) {
+      if (error != nullptr) {
+        *error = "cell " + cell.id + " has no successful result (run the "
+                 "sweep, or rerun with --resume)";
+      }
+      return false;
+    }
+    auto doc = util::Json::load_file((dir / "result.json").string(), error);
+    if (!doc) {
+      if (error != nullptr) *error = cell.id + ": " + *error;
+      return false;
+    }
+    docs.push_back(std::make_unique<util::Json>(std::move(*doc)));
+    const util::Json* results = &(*docs.back())["results"];
+    if (!results->is_array()) {
+      if (error != nullptr) {
+        *error = cell.id + ": result.json has no \"results\" array";
+      }
+      return false;
+    }
+
+    std::string key = slug(cell.ablation);
+    for (const auto& [k, v] : cell.params) key += "." + k + "-" + v;
+    auto& group = by_bench[cell.bench][key];
+    group.ablation = cell.ablation;
+    group.params = cell.params;
+    group.seeds.emplace_back(cell.seed, results);
+  }
+
+  for (auto& [bench, groups] : by_bench) {
+    util::Json doc = util::Json::object();
+    doc["bench"] = bench;
+    doc["sweep"] = config.name;
+    util::Json::Array group_rows;
+    for (auto& [key, group] : groups) {
+      util::Json g = util::Json::object();
+      g["ablation"] = group.ablation;
+      util::Json params = util::Json::object();
+      for (const auto& [k, v] : group.params) params[k] = v;
+      g["params"] = params;
+      util::Json::Array seed_list;
+      std::size_t rows = SIZE_MAX;
+      for (const auto& [seed, results] : group.seeds) {
+        seed_list.push_back(seed);
+        rows = std::min(rows, results->items().size());
+      }
+      g["seeds"] = util::Json(std::move(seed_list));
+      // Align rows by index: every seed of a group ran the same grid, so
+      // row i is the same configuration everywhere. A seed with fewer rows
+      // (crashed mid-emit would not get here; a --quick/full mismatch
+      // could) truncates the group to the common prefix.
+      util::Json::Array merged_rows;
+      for (std::size_t i = 0; i < rows; ++i) {
+        util::Json row = util::Json::object();
+        // Union of keys, sorted (std::map) for determinism.
+        std::map<std::string, std::vector<const util::Json*>> fields;
+        for (const auto& [seed, results] : group.seeds) {
+          for (const auto& [k, v] : results->items()[i].fields()) {
+            fields[k].push_back(&v);
+          }
+        }
+        for (const auto& [k, values] : fields) {
+          if (values.size() != group.seeds.size()) {
+            row[k] = *values[0];  // field missing for some seed: keep first
+          } else {
+            row[k] = merge_field(values);
+          }
+        }
+        merged_rows.push_back(std::move(row));
+      }
+      g["results"] = util::Json(std::move(merged_rows));
+      group_rows.push_back(std::move(g));
+    }
+    doc["groups"] = util::Json(std::move(group_rows));
+
+    const std::string out = (exp_dir / ("BENCH_" + bench + ".json")).string();
+    if (!doc.save_file(out)) {
+      if (error != nullptr) *error = "cannot write " + out;
+      return false;
+    }
+    log << "  [agg]    " << out << " (" << groups.size() << " groups)\n";
+  }
+  return true;
+}
+
+}  // namespace ccpr::sweep

@@ -1,0 +1,111 @@
+// Declarative experiment sweep: a JSON config describes a matrix of
+// (bench binary × parameter grid × seeds × ablations); the runner executes
+// one subprocess per cell into its own run directory (meta.json capturing
+// git sha / host / exit status, result.json from the bench's --out), can
+// resume a half-finished sweep by skipping cells whose result already
+// exists, and aggregates all cells of a bench into one deterministic
+// BENCH_<name>.json with mean±std across seeds.
+//
+// Determinism contract: aggregate() output depends only on the result.json
+// contents (sorted groups, sorted keys, fixed float formatting via
+// util::Json) — never on wall-clock, host, or the order cells ran in. The
+// sweep_harness_test relies on this to compare a resumed sweep against a
+// from-scratch one byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ccpr::sweep {
+
+/// One named flag bundle toggled on top of a bench's fixed args, e.g.
+/// {"name": "no-gating", "flags": ["--no-gating"]}. The implicit default
+/// ablation is "base" with no extra flags.
+struct Ablation {
+  std::string name;
+  std::vector<std::string> flags;
+};
+
+/// One bench entry of the experiment matrix.
+struct BenchSpec {
+  std::string bench;  ///< logical name; aggregate writes BENCH_<bench>.json
+  std::string bin;    ///< binary path relative to bin_dir ("bench/store_engine")
+  std::map<std::string, std::string> args;  ///< fixed --key=value flags
+  /// Grid parameters: every combination of one value per key becomes a
+  /// distinct cell, passed as --key=value.
+  std::map<std::string, std::vector<std::string>> matrix;
+  std::vector<std::uint64_t> seeds;  ///< empty = single run with seed 1
+  std::vector<Ablation> ablations;   ///< empty = just the "base" ablation
+};
+
+struct SweepConfig {
+  std::string name;      ///< experiment name; runs land in out_root/name/
+  std::string out_root = "sweep-out";
+  std::string bin_dir = "build";
+  int jobs = 1;          ///< default parallelism (CLI --jobs overrides)
+  std::vector<BenchSpec> benches;
+
+  static std::optional<SweepConfig> parse(const util::Json& doc,
+                                          std::string* error);
+  static std::optional<SweepConfig> load(const std::string& path,
+                                         std::string* error);
+};
+
+/// One fully-resolved grid point. `id` doubles as the run-directory name:
+/// it contains only [A-Za-z0-9._-] and is stable across runs of the same
+/// config, which is what makes --resume able to find prior results.
+struct Cell {
+  std::string id;
+  std::string bench;
+  std::string bin;       ///< still relative to bin_dir
+  std::string ablation;
+  std::uint64_t seed = 1;
+  std::map<std::string, std::string> params;   ///< matrix point
+  std::vector<std::string> argv;  ///< flags after the binary, sans --out
+};
+
+/// Expand a config into the full, deterministically-ordered cell list
+/// (benches in config order, then ablations, then the matrix in sorted-key
+/// row-major order, then seeds).
+std::vector<Cell> expand_cells(const SweepConfig& config);
+
+struct RunnerOptions {
+  int jobs = 1;
+  bool resume = false;     ///< skip cells with a successful prior result
+  bool dry_run = false;    ///< print the plan, touch nothing
+  std::size_t max_cells = 0;  ///< stop after N cells (0 = all); lets tests
+                              ///< emulate an interrupted sweep
+};
+
+struct RunSummary {
+  std::size_t ran = 0;
+  std::size_t resumed = 0;   ///< skipped because a prior result was found
+  std::size_t failed = 0;
+  bool ok() const { return failed == 0; }
+};
+
+/// Execute the cells under <out_root>/<name>/runs/<cell.id>/. Each cell's
+/// subprocess runs with the run directory as cwd, so `--out=result.json`
+/// and any scratch files stay inside it; stdout/stderr are captured next
+/// to it. Thread-parallel up to opts.jobs.
+RunSummary run_cells(const SweepConfig& config, const std::vector<Cell>& cells,
+                     const RunnerOptions& opts, std::ostream& log);
+
+/// Merge every completed cell into per-bench snapshots
+/// <out_root>/<name>/BENCH_<bench>.json. Rows are aligned by index within
+/// each (ablation, params) group across seeds; fields identical across
+/// seeds stay scalar, numeric fields that differ become
+/// {"mean": .., "std": ..} over the seeds present.
+bool aggregate(const SweepConfig& config, std::string* error,
+               std::ostream& log);
+
+/// The directory all of a config's runs and snapshots land in.
+std::string experiment_dir(const SweepConfig& config);
+
+}  // namespace ccpr::sweep

@@ -1,8 +1,28 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace ccpr::util {
+
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
 
 Flags Flags::parse(int argc, const char* const* argv) {
   Flags flags;
@@ -24,29 +44,34 @@ Flags Flags::parse(int argc, const char* const* argv) {
 }
 
 bool Flags::has(const std::string& name) const {
+  known_.insert(name);
   return values_.count(name) != 0;
 }
 
 std::string Flags::get_string(const std::string& name,
                               const std::string& fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::int64_t Flags::get_int(const std::string& name,
                             std::int64_t fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end() || it->second.empty()) return fallback;
   return std::strtod(it->second.c_str(), nullptr);
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   const std::string& v = it->second;
@@ -59,6 +84,38 @@ std::vector<std::string> Flags::names() const {
   out.reserve(values_.size());
   for (const auto& [k, v] : values_) out.push_back(k);
   return out;
+}
+
+void Flags::note_known(std::initializer_list<const char*> names) const {
+  for (const char* n : names) known_.insert(n);
+}
+
+std::vector<std::string> Flags::unknown_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (known_.count(k) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+void Flags::exit_on_unknown(const std::string& prog) const {
+  const auto unknown = unknown_flags();
+  if (unknown.empty()) return;
+  for (const auto& flag : unknown) {
+    std::string hint;
+    std::size_t best = 3;  // suggest only within edit distance 2
+    for (const auto& k : known_) {
+      const std::size_t d = edit_distance(flag, k);
+      if (d < best) {
+        best = d;
+        hint = k;
+      }
+    }
+    std::fprintf(stderr, "%s: unknown flag --%s%s%s\n", prog.c_str(),
+                 flag.c_str(), hint.empty() ? "" : " (did you mean --",
+                 hint.empty() ? "" : (hint + "?)").c_str());
+  }
+  std::exit(2);
 }
 
 }  // namespace ccpr::util

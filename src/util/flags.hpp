@@ -1,11 +1,12 @@
 // Minimal command-line flag parsing for the tools and examples:
-// --key=value and --switch forms, with typed accessors and an automatic
-// usage listing. No external dependencies.
+// --key=value and --switch forms, with typed accessors and unknown-flag
+// detection. No external dependencies.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,10 @@ namespace ccpr::util {
 
 class Flags {
  public:
-  /// Parses argv; returns std::nullopt and fills `error` on malformed input
-  /// (unknown flags are collected and reported by unknown_flags()).
+  /// Parses argv. Every --flag the binary later reads through has()/get_*()
+  /// is recorded as known; anything left over is reported by
+  /// unknown_flags(), so a typo like --opps= can be rejected instead of
+  /// silently running the default configuration.
   static Flags parse(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;
@@ -34,9 +37,25 @@ class Flags {
   /// Names seen on the command line (for unknown-flag diagnostics).
   std::vector<std::string> names() const;
 
+  /// Marks flags as known without reading them — for binaries whose
+  /// subcommands only query their own subset (e.g. ccpr_client).
+  void note_known(std::initializer_list<const char*> names) const;
+
+  /// Flags present on the command line that no accessor ever asked for and
+  /// note_known() never covered. Call after all flags have been read.
+  std::vector<std::string> unknown_flags() const;
+
+  /// Prints a diagnostic (with a did-you-mean suggestion when a known flag
+  /// is within edit distance 2) and exits(2) if any unknown flag remains.
+  void exit_on_unknown(const std::string& prog) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  // Which flag names the program asked about — mutated by the const typed
+  // accessors, which is exactly the point: "known" means "some code path
+  // would have consumed it".
+  mutable std::set<std::string> known_;
 };
 
 }  // namespace ccpr::util

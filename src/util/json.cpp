@@ -1,0 +1,380 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ccpr::util {
+
+namespace {
+
+const Json& null_json() {
+  static const Json kNull;
+  return kNull;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json(nullptr);
+    return number();
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail("invalid token");
+      return std::nullopt;
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    errno = 0;
+    if (!is_double) {
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end == tok.c_str() + tok.size() && errno == 0) {
+        return Json(static_cast<std::int64_t>(v));
+      }
+    }
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      fail("invalid number '" + tok + "'");
+      return std::nullopt;
+    }
+    return Json(d);
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // Pass BMP escapes through as '?' placeholders rather than
+            // carrying a full UTF-8 encoder; snapshot content is ASCII.
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            pos_ += 4;
+            out += '?';
+            break;
+          }
+          default:
+            fail(std::string("bad escape '\\") + e + "'");
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> array() {
+    consume('[');
+    Json out = Json::array();
+    skip_ws();
+    if (consume(']')) return out;
+    while (true) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      if (consume(',')) continue;
+      if (consume(']')) return out;
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> object() {
+    consume('{');
+    Json out = Json::object();
+    skip_ws();
+    if (consume('}')) return out;
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.fields()[std::move(*key)] = std::move(*v);
+      if (consume(',')) continue;
+      if (consume('}')) return out;
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  if (kind_ == Kind::kObject) {
+    const auto it = object_.find(key);
+    if (it != object_.end()) return it->second;
+  }
+  return null_json();
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ != Kind::kObject) {
+    *this = Json::object();
+  }
+  return object_[key];
+}
+
+void Json::push_back(Json v) {
+  if (kind_ != Kind::kArray) {
+    *this = Json::array();
+  }
+  array_.push_back(std::move(v));
+}
+
+bool Json::operator==(const Json& other) const {
+  if (kind_ != other.kind_) {
+    // int 3 == double 3.0 for aggregation comparisons.
+    if (is_number() && other.is_number()) {
+      return as_double() == other.as_double();
+    }
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kInt: return int_ == other.int_;
+    case Kind::kDouble: return double_ == other.double_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return array_ == other.array_;
+    case Kind::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      if (std::isnan(double_) || std::isinf(double_)) {
+        out += "null";  // JSON has no NaN/Inf; null is the honest encoding
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.12g", double_);
+      out += buf;
+      // Keep doubles round-trippable as doubles (aggregation stability).
+      if (std::strpbrk(buf, ".eE") == nullptr) out += ".0";
+      break;
+    }
+    case Kind::kString:
+      append_escaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& v : array_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        newline(depth + 1);
+        append_escaped(out, k);
+        out += ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+std::optional<Json> Json::load_file(const std::string& path,
+                                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), error);
+}
+
+bool Json::save_file(const std::string& path, int indent) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << dump(indent) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace ccpr::util

@@ -1,0 +1,122 @@
+// Minimal JSON value type: parse, build, and deterministic serialization.
+// Used by the bench JsonReporter, the sweep runner (configs, meta.json,
+// result.json) and the snapshot aggregator. Deliberately small: objects are
+// sorted maps so `dump()` is byte-stable for identical values — the sweep
+// aggregation relies on that to make resume-vs-scratch runs comparable
+// byte-for-byte. Not a general-purpose library: no \uXXXX escapes beyond
+// pass-through, numbers are int64 or double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <type_traits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccpr::util {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  /// One template for every integer width so uint32_t etc. bind exactly
+  /// instead of ambiguously converting toward int/int64/double.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Json(T v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(float v) : kind_(Kind::kDouble), double_(v) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_int() const noexcept { return kind_ == Kind::kInt; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const noexcept {
+    if (kind_ == Kind::kInt) return int_;
+    if (kind_ == Kind::kDouble) return static_cast<std::int64_t>(double_);
+    return fallback;
+  }
+  double as_double(double fallback = 0.0) const noexcept {
+    if (kind_ == Kind::kDouble) return double_;
+    if (kind_ == Kind::kInt) return static_cast<double>(int_);
+    return fallback;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+  std::string as_string(const std::string& fallback) const {
+    return is_string() ? string_ : fallback;
+  }
+
+  const Array& items() const noexcept { return array_; }
+  Array& items() noexcept { return array_; }
+  const Object& fields() const noexcept { return object_; }
+  Object& fields() noexcept { return object_; }
+
+  /// Object member access; returns a shared null for missing keys.
+  const Json& operator[](const std::string& key) const;
+  /// Mutable object member (creates the key; converts a null to an object).
+  Json& operator[](const std::string& key);
+  bool contains(const std::string& key) const {
+    return kind_ == Kind::kObject && object_.count(key) != 0;
+  }
+
+  void push_back(Json v);
+  std::size_t size() const noexcept {
+    return kind_ == Kind::kArray ? array_.size() : object_.size();
+  }
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+  /// Serialize. indent=0: compact one-line; indent>0: pretty-printed with
+  /// that many spaces per level. Object keys are emitted in sorted order,
+  /// doubles with "%.12g" — the output is a pure function of the value.
+  std::string dump(int indent = 0) const;
+
+  /// Parse; returns std::nullopt and fills `error` (if non-null) on failure.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+  /// File helpers; load returns nullopt on missing/unreadable/invalid file.
+  static std::optional<Json> load_file(const std::string& path,
+                                       std::string* error = nullptr);
+  bool save_file(const std::string& path, int indent = 2) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace ccpr::util

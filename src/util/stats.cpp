@@ -19,7 +19,12 @@ void RunningStats::add(double x) noexcept {
 }
 
 double RunningStats::variance() const noexcept {
-  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  // n in {0, 1} has no sample variance — report 0, never NaN. m2_ is
+  // mathematically non-negative but merge()'s catastrophic cancellation can
+  // leave a tiny negative residue; clamp so stddev() never sqrts below 0.
+  if (n_ < 2) return 0.0;
+  const double v = m2_ / static_cast<double>(n_ - 1);
+  return v > 0.0 ? v : 0.0;
 }
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }

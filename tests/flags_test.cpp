@@ -64,5 +64,70 @@ TEST(FlagsTest, NamesListsFlags) {
   EXPECT_EQ(names[1], "b");
 }
 
+TEST(FlagsTest, UnknownFlagsReportsUnqueriedOnly) {
+  const auto f = parse({"--n=1", "--typo=2"});
+  EXPECT_EQ(f.get_int("n", 0), 1);
+  const auto unknown = f.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, EveryAccessorMarksFlagsKnown) {
+  const auto f = parse({"--a=1", "--b=2.5", "--c=x", "--d=true", "--e"});
+  f.get_int("a", 0);
+  f.get_double("b", 0.0);
+  f.get_string("c", "");
+  f.get_bool("d", false);
+  f.has("e");
+  EXPECT_TRUE(f.unknown_flags().empty());
+}
+
+TEST(FlagsTest, QueryingAbsentFlagIsHarmless) {
+  const auto f = parse({"--quick"});
+  f.get_bool("quick", false);
+  f.get_int("ops", 100);  // queried but not on the command line
+  EXPECT_TRUE(f.unknown_flags().empty());
+}
+
+TEST(FlagsTest, NoteKnownCoversUnqueriedFlags) {
+  // ccpr_server/ccpr_client style: an early-return branch (--check-config,
+  // a subcommand) may skip the accessors for flags other branches read.
+  const auto f = parse({"--site=A", "--config=x.json", "--typo=1"});
+  f.note_known({"site", "config"});
+  const auto unknown = f.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, UnknownFlagsAreSorted) {
+  const auto f = parse({"--zz", "--aa", "--mm=3"});
+  const auto unknown = f.unknown_flags();
+  ASSERT_EQ(unknown.size(), 3u);
+  EXPECT_EQ(unknown[0], "aa");
+  EXPECT_EQ(unknown[1], "mm");
+  EXPECT_EQ(unknown[2], "zz");
+}
+
+TEST(FlagsTest, ExitOnUnknownIsNoopWhenAllKnown) {
+  const auto f = parse({"--ops=50"});
+  f.get_int("ops", 0);
+  f.exit_on_unknown("bench");  // must return, not exit
+  SUCCEED();
+}
+
+TEST(FlagsDeathTest, ExitOnUnknownExitsWithCode2) {
+  const auto f = parse({"--opps=50"});
+  f.get_int("ops", 0);
+  EXPECT_EXIT(f.exit_on_unknown("bench"), testing::ExitedWithCode(2),
+              "bench: unknown flag --opps");
+}
+
+TEST(FlagsDeathTest, ExitOnUnknownSuggestsNearbyFlag) {
+  const auto f = parse({"--opps=50"});
+  f.get_int("ops", 0);
+  EXPECT_EXIT(f.exit_on_unknown("bench"), testing::ExitedWithCode(2),
+              "did you mean --ops");
+}
+
 }  // namespace
 }  // namespace ccpr::util

@@ -65,6 +65,50 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, VarianceNeedsTwoSamples) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(7.0);
+  // A single sample has no spread: n-1 denominator must not divide by zero.
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, IdenticalSamplesHaveZeroVariance) {
+  // Catastrophic cancellation in a naive sum-of-squares form can drive the
+  // accumulator slightly negative; stddev() must never go NaN.
+  RunningStats s;
+  for (int i = 0; i < 10000; ++i) s.add(1e9 + 0.1);
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-3);
+  EXPECT_EQ(s.stddev(), s.stddev());  // not NaN
+}
+
+TEST(RunningStatsTest, MergeTwoEmptiesStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeSingletonsMatchesDirect) {
+  // The sweep aggregator merges one RunningStats per seed; the smallest
+  // real case is singleton+singleton.
+  RunningStats a, b, direct;
+  a.add(10.0);
+  b.add(20.0);
+  direct.add(10.0);
+  direct.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), direct.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), direct.variance());
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
 TEST(HistogramTest, EmptyPercentileIsZero) {
   Histogram h;
   EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
@@ -152,6 +196,33 @@ TEST(HistogramTest, BucketEdgeIsUpperBoundForEveryValue) {
     const double v = rng.exponential(1.0e6);
     EXPECT_GE(edge_of(v), v) << "value " << v;
   }
+}
+
+TEST(HistogramTest, PercentileExtremesOfQ) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  // q=0 reports the smallest bucket's edge, q=1 the max; both bound the
+  // true extremes and q=0 <= q=1.
+  EXPECT_GE(h.percentile(0.0), 1.0);
+  EXPECT_LE(h.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, NanosecondBucketsResolveSubMicrosecondLatencies) {
+  // The bench harness records latencies in ns precisely so that sub-us
+  // operations don't all collapse into one bucket (the old us-granular
+  // histogram pinned every percentile at 1.0us). 40ns and 700ns ops must
+  // land in distinguishable buckets with truthful percentiles.
+  Histogram h;
+  for (int i = 0; i < 900; ++i) h.add(40.0);   // fast path: 0.04us
+  for (int i = 0; i < 100; ++i) h.add(700.0);  // slow tail: 0.7us
+  const double p50_us = h.percentile(0.5) / 1000.0;
+  const double p99_us = h.percentile(0.99) / 1000.0;
+  EXPECT_GT(p50_us, 0.0);
+  EXPECT_LT(p50_us, 0.05);  // near 0.04, not quantized up to 1.0
+  EXPECT_GT(p99_us, 0.6);
+  EXPECT_LT(p99_us, 0.8);
+  EXPECT_LT(p50_us, p99_us);
 }
 
 TEST(HistogramTest, ResetClears) {

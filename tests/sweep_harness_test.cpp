@@ -1,0 +1,296 @@
+// End-to-end tests for the sweep harness (src/sweep): cell expansion,
+// config validation, and the interruption/resume contract — a sweep killed
+// partway through, resumed with --resume, must run only the missing cells
+// and produce a BENCH_*.json aggregate byte-for-byte identical to a
+// from-scratch run.
+#include "sweep/sweep.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ccpr::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A self-cleaning scratch dir holding a fake bench "binary" (a shell
+/// script) that emits a deterministic result.json derived from its --seed
+/// and appends its argv to an invocations.log two levels up — which, given
+/// the runner's <exp>/runs/<cell>/ cwd, lands at <exp>/invocations.log.
+class SweepHarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ccpr_sweep_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    root_ = tmpl;
+
+    const fs::path script = root_ / "fakebench";
+    std::ofstream out(script);
+    out << "#!/bin/sh\n"
+           "seed=0\n"
+           "base=0\n"
+           "out=result.json\n"
+           "for arg in \"$@\"; do\n"
+           "  case \"$arg\" in\n"
+           "    --seed=*) seed=${arg#--seed=} ;;\n"
+           "    --base=*) base=${arg#--base=} ;;\n"
+           "    --out=*) out=${arg#--out=} ;;\n"
+           "  esac\n"
+           "done\n"
+           "echo \"$@\" >> ../../invocations.log\n"
+           "printf '{\"bench\": \"fake\", \"results\": [{\"alg\": \"fake\", "
+           "\"metric\": %d}]}\\n' $((seed * 10 + base)) > \"$out\"\n";
+    out.close();
+    ASSERT_EQ(::chmod(script.c_str(), 0755), 0);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  /// 2-cell config: one bench, seeds {1, 2}, fixed arg --base=7. Seed s
+  /// emits metric 10*s + 7, so the aggregate's mean/std are predictable.
+  SweepConfig two_cell_config(const std::string& out_root) const {
+    SweepConfig cfg;
+    cfg.name = "fake-exp";
+    cfg.out_root = (root_ / out_root).string();
+    cfg.bin_dir = root_.string();
+    BenchSpec spec;
+    spec.bench = "fake";
+    spec.bin = "fakebench";
+    spec.args["base"] = "7";
+    spec.seeds = {1, 2};
+    cfg.benches.push_back(spec);
+    return cfg;
+  }
+
+  static std::vector<std::string> read_lines(const fs::path& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  static std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(SweepHarnessTest, ExpandCellsIsDeterministicallyOrdered) {
+  SweepConfig cfg = two_cell_config("out");
+  cfg.benches[0].matrix["x"] = {"1", "2"};
+  cfg.benches[0].ablations = {{"base", {}}, {"alt", {"--alt"}}};
+  const auto cells = expand_cells(cfg);
+  // ablations x matrix x seeds, in config/sorted/row-major order.
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_EQ(cells[0].id, "fake.base.x-1.s1");
+  EXPECT_EQ(cells[1].id, "fake.base.x-1.s2");
+  EXPECT_EQ(cells[2].id, "fake.base.x-2.s1");
+  EXPECT_EQ(cells[4].id, "fake.alt.x-1.s1");
+  EXPECT_EQ(cells[7].id, "fake.alt.x-2.s2");
+  // argv carries fixed args, matrix point, ablation flags, then the seed.
+  const auto& argv = cells[4].argv;
+  ASSERT_EQ(argv.size(), 4u);
+  EXPECT_EQ(argv[0], "--base=7");
+  EXPECT_EQ(argv[1], "--x=1");
+  EXPECT_EQ(argv[2], "--alt");
+  EXPECT_EQ(argv[3], "--seed=1");
+}
+
+TEST_F(SweepHarnessTest, CellIdsContainOnlySafeCharacters) {
+  SweepConfig cfg = two_cell_config("out");
+  cfg.benches[0].matrix["write rate"] = {"0.5", "a/b"};
+  for (const auto& cell : expand_cells(cfg)) {
+    EXPECT_EQ(cell.id.find_first_not_of(
+                  "abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"),
+              std::string::npos)
+        << cell.id;
+  }
+}
+
+TEST_F(SweepHarnessTest, ConfigParseRejectsMalformedDocuments) {
+  std::string err;
+  const auto check_fails = [&err](const char* text) {
+    const auto doc = util::Json::parse(text, &err);
+    ASSERT_TRUE(doc) << err;
+    err.clear();
+    EXPECT_FALSE(SweepConfig::parse(*doc, &err));
+    EXPECT_FALSE(err.empty());
+  };
+  check_fails("{}");                                   // no name
+  check_fails("{\"name\": \"x\"}");                    // no benches
+  check_fails("{\"name\": \"x\", \"benches\": []}");   // empty benches
+  check_fails(
+      "{\"name\": \"x\", \"benches\": [{\"bench\": \"b\"}]}");  // no bin
+  check_fails(
+      "{\"name\": \"x\", \"benches\": [{\"bench\": \"b\", \"bin\": \"b\","
+      " \"matrix\": {\"k\": []}}]}");  // empty matrix axis
+  check_fails(
+      "{\"name\": \"x\", \"benches\": [{\"bench\": \"b\", \"bin\": \"b\","
+      " \"ablations\": [{\"flags\": []}]}]}");  // ablation without a name
+}
+
+TEST_F(SweepHarnessTest, ConfigParseAcceptsTheRealQuickMatrix) {
+  // The committed CI matrix must stay loadable; catch drift between the
+  // config schema and the checked-in experiment files.
+  for (const char* path :
+       {"bench/experiments/quick.json", "bench/experiments/default.json"}) {
+    const fs::path repo_relative = fs::path(CCPR_SOURCE_DIR) / path;
+    std::string err;
+    const auto cfg = SweepConfig::load(repo_relative.string(), &err);
+    ASSERT_TRUE(cfg) << path << ": " << err;
+    EXPECT_FALSE(cfg->benches.empty()) << path;
+    EXPECT_GT(expand_cells(*cfg).size(), cfg->benches.size()) << path;
+  }
+}
+
+TEST_F(SweepHarnessTest, RunsCellsAndAggregatesMeanStd) {
+  const SweepConfig cfg = two_cell_config("out");
+  const auto cells = expand_cells(cfg);
+  ASSERT_EQ(cells.size(), 2u);
+
+  std::ostringstream log;
+  RunnerOptions opts;
+  opts.jobs = 2;
+  const auto summary = run_cells(cfg, cells, opts, log);
+  EXPECT_EQ(summary.ran, 2u);
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_TRUE(summary.ok());
+
+  // Per-cell artifacts: meta.json with a clean exit, captured stdio.
+  const fs::path run1 = fs::path(experiment_dir(cfg)) / "runs" / "fake.base.s1";
+  ASSERT_TRUE(fs::exists(run1 / "result.json"));
+  const auto meta = util::Json::load_file((run1 / "meta.json").string());
+  ASSERT_TRUE(meta);
+  EXPECT_EQ((*meta)["exit_code"].as_int(-1), 0);
+  EXPECT_EQ((*meta)["bench"].as_string(""), "fake");
+  EXPECT_EQ((*meta)["seed"].as_int(0), 1);
+  EXPECT_TRUE(meta->contains("git_sha"));
+  EXPECT_TRUE(meta->contains("host"));
+  EXPECT_TRUE(fs::exists(run1 / "stdout.txt"));
+
+  std::string err;
+  ASSERT_TRUE(aggregate(cfg, &err, log)) << err;
+  const fs::path agg = fs::path(experiment_dir(cfg)) / "BENCH_fake.json";
+  const auto doc = util::Json::load_file(agg.string(), &err);
+  ASSERT_TRUE(doc) << err;
+  EXPECT_EQ((*doc)["bench"].as_string(""), "fake");
+  const auto& groups = (*doc)["groups"].items();
+  ASSERT_EQ(groups.size(), 1u);
+  const auto& row = groups[0]["results"].items()[0];
+  // Identical across seeds -> stays scalar; differing -> {mean, std}.
+  EXPECT_EQ(row["alg"].as_string(""), "fake");
+  // Seeds 1,2 with --base=7 emit metrics 17 and 27.
+  EXPECT_DOUBLE_EQ(row["metric"]["mean"].as_double(), 22.0);
+  EXPECT_NEAR(row["metric"]["std"].as_double(), 7.0710678, 1e-6);
+}
+
+TEST_F(SweepHarnessTest, InterruptedSweepResumesOnlyMissingCells) {
+  const SweepConfig cfg = two_cell_config("out");
+  const auto cells = expand_cells(cfg);
+  const fs::path exp_dir = experiment_dir(cfg);
+  std::ostringstream log;
+
+  // "Kill" the sweep after cell 1 of 2.
+  RunnerOptions first;
+  first.jobs = 1;
+  first.max_cells = 1;
+  const auto s1 = run_cells(cfg, cells, first, log);
+  EXPECT_EQ(s1.ran, 1u);
+  ASSERT_EQ(read_lines(exp_dir / "invocations.log").size(), 1u);
+  EXPECT_TRUE(fs::exists(exp_dir / "runs" / "fake.base.s1" / "result.json"));
+  EXPECT_FALSE(fs::exists(exp_dir / "runs" / "fake.base.s2" / "result.json"));
+
+  // Aggregation refuses a half-finished sweep and names the hole.
+  std::string err;
+  EXPECT_FALSE(aggregate(cfg, &err, log));
+  EXPECT_NE(err.find("fake.base.s2"), std::string::npos) << err;
+
+  // Resume: only the missing cell runs.
+  RunnerOptions resume;
+  resume.jobs = 1;
+  resume.resume = true;
+  const auto s2 = run_cells(cfg, cells, resume, log);
+  EXPECT_EQ(s2.ran, 1u);
+  EXPECT_EQ(s2.resumed, 1u);
+  EXPECT_EQ(s2.failed, 0u);
+  const auto invocations = read_lines(exp_dir / "invocations.log");
+  ASSERT_EQ(invocations.size(), 2u);
+  EXPECT_NE(invocations[0].find("--seed=1"), std::string::npos);
+  EXPECT_NE(invocations[1].find("--seed=2"), std::string::npos);
+
+  ASSERT_TRUE(aggregate(cfg, &err, log)) << err;
+  const std::string resumed_bytes =
+      read_file(exp_dir / "BENCH_fake.json");
+  ASSERT_FALSE(resumed_bytes.empty());
+
+  // A from-scratch run of the same config aggregates byte-for-byte
+  // identically: the snapshot depends only on results, never on how many
+  // attempts it took to produce them.
+  const SweepConfig fresh = two_cell_config("out-scratch");
+  RunnerOptions all;
+  all.jobs = 1;
+  const auto s3 = run_cells(fresh, expand_cells(fresh), all, log);
+  EXPECT_EQ(s3.ran, 2u);
+  ASSERT_TRUE(aggregate(fresh, &err, log)) << err;
+  const std::string scratch_bytes =
+      read_file(fs::path(experiment_dir(fresh)) / "BENCH_fake.json");
+  EXPECT_EQ(resumed_bytes, scratch_bytes);
+}
+
+TEST_F(SweepHarnessTest, ResumeRerunsCellsThatExitedNonZero) {
+  const SweepConfig cfg = two_cell_config("out");
+  const auto cells = expand_cells(cfg);
+  const fs::path exp_dir = experiment_dir(cfg);
+  std::ostringstream log;
+
+  RunnerOptions all;
+  all.jobs = 1;
+  ASSERT_TRUE(run_cells(cfg, cells, all, log).ok());
+
+  // Forge a crashed cell: result.json present but meta says exit 137.
+  const fs::path meta_path = exp_dir / "runs" / "fake.base.s2" / "meta.json";
+  auto meta = util::Json::load_file(meta_path.string());
+  ASSERT_TRUE(meta);
+  (*meta)["exit_code"] = 137;
+  ASSERT_TRUE(meta->save_file(meta_path.string()));
+
+  RunnerOptions resume;
+  resume.jobs = 1;
+  resume.resume = true;
+  const auto summary = run_cells(cfg, cells, resume, log);
+  EXPECT_EQ(summary.ran, 1u);     // only the forged-crash cell reran
+  EXPECT_EQ(summary.resumed, 1u);
+  ASSERT_EQ(read_lines(exp_dir / "invocations.log").size(), 3u);
+}
+
+TEST_F(SweepHarnessTest, DryRunTouchesNothing) {
+  const SweepConfig cfg = two_cell_config("out");
+  std::ostringstream log;
+  RunnerOptions opts;
+  opts.dry_run = true;
+  const auto summary = run_cells(cfg, expand_cells(cfg), opts, log);
+  EXPECT_EQ(summary.ran, 0u);
+  EXPECT_FALSE(fs::exists(cfg.out_root));
+  EXPECT_NE(log.str().find("[plan]"), std::string::npos);
+  EXPECT_NE(log.str().find("fake.base.s1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccpr::sweep

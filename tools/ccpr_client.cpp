@@ -207,6 +207,16 @@ int run_bench(client::Client& cli, const util::Flags& flags) {
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  // The legal flag set spans several subcommands, each of which only reads
+  // its own slice; declare the union up front so any typo dies here instead
+  // of being silently ignored (a mistyped --write-rate used to run the
+  // bench at the default rate).
+  flags.note_known({"config", "site", "region", "data-dir",          // routing
+                    "no-retry", "failover", "op-deadline-ms",        // retry
+                    "ops", "write-rate", "value-bytes", "seed",      // bench
+                    "json",                                          // bench
+                    "drop", "delay", "rate", "partition"});          // chaos
+  flags.exit_on_unknown("ccpr_client");
   const std::string config_path = flags.get_string("config", "");
   auto site_id = flags.get_int("site", -1);
   const std::string region = flags.get_string("region", "");

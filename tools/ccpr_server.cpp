@@ -44,6 +44,11 @@ void on_signal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
+  // Early-return branches below skip some accessors, so declare the full
+  // legal set up front and reject typos before doing any work.
+  flags.note_known({"config", "site", "data-dir", "wal-sync", "store-engine",
+                    "engine-shards", "print-config", "check-config"});
+  flags.exit_on_unknown("ccpr_server");
   const std::string config_path = flags.get_string("config", "");
   if (config_path.empty()) {
     std::cerr << "usage: ccpr_server --config=<path> --site=<id>\n";

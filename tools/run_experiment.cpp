@@ -23,6 +23,9 @@
 //   --aggressive-merge         paper-verbatim MERGE (unsound; see DESIGN.md)
 //   --check                    run the offline causal checker afterwards
 //   --csv                      emit one CSV row (+ header with --csv-header)
+//   --out=<path>               also write the metrics as one JSON snapshot
+//                              (same shape as the bench --out files), so the
+//                              sweep harness can drive sim experiments
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -33,6 +36,7 @@
 #include "checker/causal_checker.hpp"
 #include "checker/convergence.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 #include "workload/ycsb.hpp"
@@ -91,8 +95,15 @@ std::unique_ptr<sim::LatencyModel> parse_latency(const std::string& spec,
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
 
-  const auto alg = parse_alg(flags.get_string("alg", "opt-track"));
+  const std::string alg_token = flags.get_string("alg", "opt-track");
   const auto n = static_cast<std::uint32_t>(flags.get_int("n", 10));
+  const bool do_check = flags.get_bool("check", false);
+  const bool csv = flags.get_bool("csv", false);
+  const bool csv_header = flags.get_bool("csv-header", false);
+  const std::string out_path = flags.get_string("out", "");
+  // Everything below re-reads flags already noted above or reads the rest;
+  // by the end of the block every legal flag is known, so typos die here.
+  const auto alg = parse_alg(alg_token);
   const auto q = static_cast<std::uint32_t>(flags.get_int("q", 100));
   const auto p = static_cast<std::uint32_t>(flags.get_int("p", 3));
 
@@ -130,7 +141,7 @@ int main(int argc, char** argv) {
   opts.latency =
       parse_latency(flags.get_string("latency", "uniform:10000:50000"), n);
   opts.latency_seed = spec.seed * 31 + 7;
-  opts.record_history = flags.get_bool("check", false);
+  opts.record_history = do_check;
   opts.drop_rate = flags.get_double("drop-rate", 0.0);
   opts.duplicate_rate = flags.get_double("dup-rate", 0.0);
   opts.protocol.convergent = flags.get_bool("convergent", false);
@@ -138,6 +149,7 @@ int main(int argc, char** argv) {
       static_cast<sim::SimTime>(flags.get_int("fetch-timeout", 0));
   opts.protocol.fetch_gating = !flags.get_bool("no-gating", false);
   opts.protocol.aggressive_merge = flags.get_bool("aggressive-merge", false);
+  flags.exit_on_unknown("run_experiment");
 
   causal::SimCluster cluster(alg, causal::ReplicaMap::even(n, q, p),
                              std::move(opts));
@@ -145,7 +157,7 @@ int main(int argc, char** argv) {
   const auto m = cluster.metrics();
 
   std::string verdict = "-";
-  if (flags.get_bool("check", false)) {
+  if (do_check) {
     const auto result = checker::check_causal_consistency(
         cluster.history(), cluster.replica_map());
     verdict = result.ok ? "causal" : "VIOLATED";
@@ -154,8 +166,42 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (flags.get_bool("csv", false)) {
-    if (flags.get_bool("csv-header", false)) {
+  if (!out_path.empty()) {
+    util::Json doc = util::Json::object();
+    doc["bench"] = "run_experiment";
+    doc["quick"] = false;
+    doc["seed"] = spec.seed;
+    util::Json::Object row{
+        {"alg", causal::algorithm_token(alg)},
+        {"mix", mix_name},
+        {"n", n},
+        {"q", q},
+        {"p", p},
+        {"write_rate", spec.write_rate},
+        {"messages", m.messages_total()},
+        {"update_msgs", m.update_msgs},
+        {"fetch_req_msgs", m.fetch_req_msgs},
+        {"ctrl_bytes", m.control_bytes},
+        {"payload_bytes", m.payload_bytes},
+        {"ctrl_bytes_per_msg", m.control_bytes_per_message()},
+        {"remote_reads", m.remote_reads},
+        {"apply_p50_us", m.apply_delay_us.percentile(0.5)},
+        {"apply_p99_us", m.apply_delay_us.percentile(0.99)},
+        {"read_p50_us", m.read_latency_us.percentile(0.5)},
+        {"read_p99_us", m.read_latency_us.percentile(0.99)},
+        {"log_peak", m.log_entries.peak()},
+        {"space_peak_bytes", m.meta_state_bytes.peak()},
+        {"retransmits", cluster.retransmissions()},
+        {"checker", verdict}};
+    doc["results"] = util::Json::Array{util::Json(std::move(row))};
+    if (!doc.save_file(out_path)) {
+      std::cerr << "run_experiment: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+
+  if (csv) {
+    if (csv_header) {
       std::cout << "alg,mix,n,q,p,write_rate,seed,messages,updates,"
                    "fetches,ctrl_bytes,payload_bytes,remote_reads,"
                    "apply_p99_us,read_p99_us,log_peak,space_peak,"

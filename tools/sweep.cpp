@@ -1,122 +1,99 @@
-// ccpr sweep: run a (w_rate x algorithm) grid over several seeds and report
-// mean +/- stddev for the headline metrics — the statistical companion to
-// run_experiment for EXPERIMENTS.md-style claims.
+// ccpr sweep: run a declarative experiment matrix (bench binaries x
+// parameter grid x seeds x ablations) from a JSON config, one run
+// directory per cell, then aggregate per-bench snapshots with mean+/-std
+// across seeds.
 //
-//   build/tools/sweep --n=10 --q=100 --p=3 --ops=500 --seeds=5 \
-//       --algs=full-track,opt-track --rates=0.1,0.3,0.5,0.7,0.9 [--csv]
+//   build/tools/sweep --config=bench/experiments/quick.json \
+//       [--jobs=4] [--resume] [--out-root=sweep-out] [--bin-dir=build] \
+//       [--dry-run] [--max-cells=N] [--list] [--aggregate-only] \
+//       [--no-aggregate]
+//
+// Flags:
+//   --config=<path>     experiment matrix (see bench/experiments/*.json)
+//   --jobs=<n>          parallel cells (default: config "jobs", then 1)
+//   --resume            skip cells whose run dir already holds a
+//                       successful result.json; run only what is missing
+//   --out-root=<dir>    override the config's out_root
+//   --bin-dir=<dir>     override the config's bin_dir (bench binaries are
+//                       resolved relative to this)
+//   --dry-run           print the expanded cell plan, execute nothing
+//   --max-cells=<n>     stop after the first n cells (tests use this to
+//                       emulate an interrupted sweep)
+//   --list              alias for --dry-run
+//   --aggregate-only    skip execution, just rebuild BENCH_*.json from the
+//                       run directories already on disk
+//   --no-aggregate      run cells but skip the aggregation step
+//
+// Layout under <out_root>/<name>/:
+//   runs/<cell_id>/meta.json    git sha, host, command, exit code, wall time
+//   runs/<cell_id>/result.json  the bench's --out snapshot
+//   runs/<cell_id>/stdout.txt, stderr.txt
+//   BENCH_<bench>.json          aggregate across seeds (deterministic bytes)
 #include <iostream>
-#include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "causal/sim_cluster.hpp"
+#include "sweep/sweep.hpp"
 #include "util/flags.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-#include "workload/workload.hpp"
 
 using namespace ccpr;
 
-namespace {
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string tok;
-  while (std::getline(ss, tok, sep)) {
-    if (!tok.empty()) out.push_back(tok);
-  }
-  return out;
-}
-
-causal::Algorithm parse_alg(const std::string& name) {
-  if (const auto alg = causal::algorithm_from_token(name)) return *alg;
-  std::cerr << "unknown algorithm: " << name << "\n";
-  std::exit(2);
-}
-
-struct CellStats {
-  util::RunningStats messages, ctrl_bytes, read_p99, apply_p99;
-};
-
-std::string mean_std(const util::RunningStats& s, int precision = 0) {
-  return util::format_double(s.mean(), precision) + "±" +
-         util::format_double(s.stddev(), precision);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
-  const auto n = static_cast<std::uint32_t>(flags.get_int("n", 10));
-  const auto q = static_cast<std::uint32_t>(flags.get_int("q", 100));
-  const auto p = static_cast<std::uint32_t>(flags.get_int("p", 3));
-  const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 500));
-  const auto seeds = static_cast<std::uint64_t>(flags.get_int("seeds", 5));
-  const bool csv = flags.get_bool("csv", false);
+  const std::string config_path = flags.get_string("config", "");
+  const int jobs_flag = static_cast<int>(flags.get_int("jobs", 0));
+  const bool resume = flags.get_bool("resume", false);
+  const std::string out_root = flags.get_string("out-root", "");
+  const std::string bin_dir = flags.get_string("bin-dir", "");
+  const bool dry_run =
+      flags.get_bool("dry-run", false) || flags.get_bool("list", false);
+  const auto max_cells =
+      static_cast<std::size_t>(flags.get_int("max-cells", 0));
+  const bool aggregate_only = flags.get_bool("aggregate-only", false);
+  const bool no_aggregate = flags.get_bool("no-aggregate", false);
+  flags.exit_on_unknown("sweep");
 
-  std::vector<causal::Algorithm> algs;
-  for (const auto& name :
-       split(flags.get_string("algs", "opt-track"), ',')) {
-    algs.push_back(parse_alg(name));
-  }
-  std::vector<double> rates;
-  for (const auto& r :
-       split(flags.get_string("rates", "0.1,0.3,0.5,0.7,0.9"), ',')) {
-    rates.push_back(std::stod(r));
-  }
-
-  if (csv) {
-    std::cout << "alg,w_rate,seeds,messages_mean,messages_std,"
-                 "ctrl_bytes_mean,read_p99_mean,apply_p99_mean\n";
+  if (config_path.empty()) {
+    std::cerr << "usage: sweep --config=<path> [--jobs=N] [--resume] "
+                 "[--dry-run] [--max-cells=N] [--aggregate-only]\n";
+    return 2;
   }
 
-  util::Table table({"alg", "w_rate", "messages (μ±σ)", "ctrl KB (μ±σ)",
-                     "read p99 ms", "apply p99 ms"});
-  for (const auto alg : algs) {
-    for (const double rate : rates) {
-      CellStats cell;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        workload::WorkloadSpec spec;
-        spec.ops_per_site = ops;
-        spec.write_rate = rate;
-        spec.seed = seed * 7919;
-        const auto rmap = causal::ReplicaMap::even(n, q, p);
-        const auto program = workload::generate_program(spec, rmap);
+  std::string error;
+  auto config = sweep::SweepConfig::load(config_path, &error);
+  if (!config) {
+    std::cerr << "sweep: " << config_path << ": " << error << "\n";
+    return 2;
+  }
+  if (!out_root.empty()) config->out_root = out_root;
+  if (!bin_dir.empty()) config->bin_dir = bin_dir;
 
-        causal::SimCluster::Options opts;
-        opts.latency =
-            std::make_unique<sim::UniformLatency>(10'000, 50'000);
-        opts.latency_seed = seed * 104'729;
-        opts.record_history = false;
-        causal::SimCluster cluster(alg, causal::ReplicaMap::even(n, q, p),
-                                   std::move(opts));
-        cluster.run_program(program);
-        const auto m = cluster.metrics();
-        cell.messages.add(static_cast<double>(m.messages_total()));
-        cell.ctrl_bytes.add(static_cast<double>(m.control_bytes));
-        cell.read_p99.add(m.read_latency_us.percentile(0.99));
-        cell.apply_p99.add(m.apply_delay_us.percentile(0.99));
-      }
-      if (csv) {
-        std::cout << causal::algorithm_name(alg) << ',' << rate << ','
-                  << seeds << ',' << cell.messages.mean() << ','
-                  << cell.messages.stddev() << ','
-                  << cell.ctrl_bytes.mean() << ','
-                  << cell.read_p99.mean() << ','
-                  << cell.apply_p99.mean() << "\n";
-      } else {
-        table.row();
-        table.cell(causal::algorithm_name(alg));
-        table.cell(rate, 2);
-        table.cell(mean_std(cell.messages));
-        table.cell(mean_std(cell.ctrl_bytes, 0));
-        table.cell(cell.read_p99.mean() / 1000.0, 1);
-        table.cell(cell.apply_p99.mean() / 1000.0, 1);
-      }
+  const auto cells = sweep::expand_cells(*config);
+  std::cout << "sweep " << config->name << ": " << cells.size()
+            << " cells -> " << sweep::experiment_dir(*config) << "\n";
+
+  if (!aggregate_only) {
+    sweep::RunnerOptions opts;
+    opts.jobs = jobs_flag > 0 ? jobs_flag : std::max(1, config->jobs);
+    opts.resume = resume;
+    opts.dry_run = dry_run;
+    opts.max_cells = max_cells;
+    const auto summary = sweep::run_cells(*config, cells, opts, std::cout);
+    if (dry_run) return 0;
+    std::cout << "sweep " << config->name << ": " << summary.ran << " ran, "
+              << summary.resumed << " resumed, " << summary.failed
+              << " failed\n";
+    if (!summary.ok()) return 1;
+    if (max_cells > 0 && max_cells < cells.size()) {
+      std::cout << "sweep: stopped after " << max_cells
+                << " cells (--max-cells); rerun with --resume to finish\n";
+      return 0;  // partial by request; aggregation would fail on the gap
     }
   }
-  if (!csv) table.print(std::cout);
+
+  if (no_aggregate) return 0;
+  if (!sweep::aggregate(*config, &error, std::cout)) {
+    std::cerr << "sweep: aggregate: " << error << "\n";
+    return 1;
+  }
   return 0;
 }
